@@ -1,0 +1,26 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench tables examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+tables:
+	dune exec bench/main.exe -- tables
+
+examples:
+	@for e in quickstart mutual_exclusion database_locks \
+	  algorithm_comparison distributed_debugging online_monitoring \
+	  channel_monitor boolean_predicates deadlock_detection bank_audit; do \
+	  echo "==== $$e ===="; dune exec examples/$$e.exe; echo; done
+
+clean:
+	dune clean
