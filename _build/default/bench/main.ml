@@ -1,0 +1,520 @@
+(* Reproduction harness: regenerates every evaluation artefact of
+   Garg & Chase (ICDCS 1995). The paper is analytical, so each
+   "table" here is a measured check of a §3.4 / §4.4 / §5 complexity
+   claim (see DESIGN.md §4 for the experiment index E1-E9 and
+   EXPERIMENTS.md for paper-vs-measured commentary).
+
+   Usage:  dune exec bench/main.exe            (all experiments + micro)
+           dune exec bench/main.exe -- tables  (E1-E8 only)
+           dune exec bench/main.exe -- micro   (Bechamel E9 only)        *)
+
+open Wcp_trace
+open Wcp_sim
+open Wcp_core
+
+let line = String.make 78 '-'
+
+let header title claim =
+  Printf.printf "\n%s\n%s\n%s\n%s\n" line title claim line
+
+let seeds = [ 1L; 2L; 3L ]
+
+let mean_i xs = List.fold_left ( + ) 0 xs / List.length xs
+
+let mean_f xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let random_comp ~n ~m ~p_pred ~seed =
+  Generator.random
+    ~params:{ Generator.n; sends_per_process = m; p_pred; p_recv = 0.5 }
+    ~seed ()
+
+(* Sum of a per-process stat over the monitor ids. *)
+let monitor_sum stats ~n f =
+  let acc = ref 0 in
+  for p = 0 to n - 1 do
+    acc := !acc + f stats (Run_common.monitor_of ~n p)
+  done;
+  !acc
+
+let monitor_max stats ~n f =
+  let acc = ref 0 in
+  for p = 0 to n - 1 do
+    acc := max !acc (f stats (Run_common.monitor_of ~n p))
+  done;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* E1: §3.4 scaling of the vector-clock token algorithm                *)
+(* ------------------------------------------------------------------ *)
+
+let e1 () =
+  header "E1  token-vc scaling (paper §3.4)"
+    "claim: <= 2nm monitor messages; O(n^2 m) total work/bits; O(nm) per process";
+  Printf.printf "%4s %4s %7s %7s %8s %8s %9s %10s %9s\n" "n" "m" "states"
+    "hops" "mon-msgs" "2nm" "work" "work/n2m" "max-work";
+  List.iter
+    (fun n ->
+      let m = 20 in
+      let rows =
+        List.map
+          (fun seed ->
+            let comp = random_comp ~n ~m ~p_pred:0.3 ~seed in
+            let spec = Spec.all comp in
+            let r = Token_vc.detect ~seed comp spec in
+            let mm = Computation.max_events_per_process comp in
+            let work = monitor_sum r.stats ~n Stats.work_of in
+            ( Computation.total_states comp,
+              r.extras.token_hops,
+              r.extras.token_hops + r.extras.snapshots,
+              2 * n * (mm + 1),
+              work,
+              float_of_int work /. float_of_int (n * n * (mm + 1)),
+              monitor_max r.stats ~n Stats.work_of ))
+          seeds
+      in
+      let g f = mean_i (List.map f rows) in
+      Printf.printf "%4d %4d %7d %7d %8d %8d %9d %10.3f %9d\n" n m
+        (g (fun (a, _, _, _, _, _, _) -> a))
+        (g (fun (_, a, _, _, _, _, _) -> a))
+        (g (fun (_, _, a, _, _, _, _) -> a))
+        (g (fun (_, _, _, a, _, _, _) -> a))
+        (g (fun (_, _, _, _, a, _, _) -> a))
+        (mean_f (List.map (fun (_, _, _, _, _, a, _) -> a) rows))
+        (g (fun (_, _, _, _, _, _, a) -> a)))
+    [ 2; 4; 8; 16; 24; 32 ]
+
+(* ------------------------------------------------------------------ *)
+(* E2: checker concentrates O(n^2 m) space; token-vc spreads O(nm)     *)
+(* ------------------------------------------------------------------ *)
+
+let e2 () =
+  header "E2  space and work skew: checker [7] vs token-vc (paper §3.4)"
+    "claim: checker needs O(n^2 m) words on ONE process; token-vc O(nm) each";
+  Printf.printf "%4s %12s %12s %7s %14s %14s\n" "n" "chk-space" "tok-space"
+    "ratio" "chk-max-work" "tok-max-work";
+  List.iter
+    (fun n ->
+      let m = 16 in
+      let rows =
+        List.map
+          (fun seed ->
+            let comp = random_comp ~n ~m ~p_pred:0.3 ~seed in
+            let spec = Spec.all comp in
+            let c = Checker_centralized.detect ~seed comp spec in
+            let t = Token_vc.detect ~seed comp spec in
+            let chk_space =
+              Stats.space_high_water c.stats (Run_common.extra_id ~n)
+            in
+            let tok_space = monitor_max t.stats ~n Stats.space_high_water in
+            ( chk_space,
+              tok_space,
+              Stats.work_of c.stats (Run_common.extra_id ~n),
+              monitor_max t.stats ~n Stats.work_of ))
+          seeds
+      in
+      let g f = mean_i (List.map f rows) in
+      let cs = g (fun (a, _, _, _) -> a) and ts = g (fun (_, a, _, _) -> a) in
+      Printf.printf "%4d %12d %12d %7.2f %14d %14d\n" n cs ts
+        (float_of_int cs /. float_of_int (max 1 ts))
+        (g (fun (_, _, a, _) -> a))
+        (g (fun (_, _, _, a) -> a)))
+    [ 2; 4; 8; 16; 24; 32 ]
+
+(* ------------------------------------------------------------------ *)
+(* E3: multi-token parallelism (§3.5)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let e3 () =
+  header "E3  multi-token parallelism (paper §3.5)"
+    "claim: g tokens work concurrently; detection (simulated) time drops with g";
+  let n = 24 and m = 16 in
+  Printf.printf "%4s %10s %8s %8s %9s\n" "g" "sim-time" "hops" "merges" "msgs";
+  List.iter
+    (fun groups ->
+      let rows =
+        List.map
+          (fun seed ->
+            let comp = random_comp ~n ~m ~p_pred:0.25 ~seed in
+            let spec = Spec.all comp in
+            let r = Token_multi.detect ~groups ~seed comp spec in
+            (r.sim_time, r.extras.token_hops, r.extras.merges,
+             Stats.total_sent r.stats))
+          seeds
+      in
+      Printf.printf "%4d %10.1f %8d %8d %9d\n" groups
+        (mean_f (List.map (fun (a, _, _, _) -> a) rows))
+        (mean_i (List.map (fun (_, a, _, _) -> a) rows))
+        (mean_i (List.map (fun (_, _, a, _) -> a) rows))
+        (mean_i (List.map (fun (_, _, _, a) -> a) rows)))
+    [ 1; 2; 3; 4; 6; 8; 12 ]
+
+(* ------------------------------------------------------------------ *)
+(* E4: §4.4 scaling of the direct-dependence algorithm                 *)
+(* ------------------------------------------------------------------ *)
+
+let e4 () =
+  header "E4  token-dd scaling (paper §4.4)"
+    "claim: <= 3Nm monitor messages, O(Nm) bits, O(m) work & space per process";
+  Printf.printf "%4s %4s %7s %7s %8s %8s %9s %9s %9s\n" "N" "m" "polls"
+    "hops" "mon-msgs" "3Nm" "bits" "max-work" "max-spc";
+  List.iter
+    (fun n ->
+      let m = 12 in
+      let rows =
+        List.map
+          (fun seed ->
+            (* Sparse predicates put the first satisfying cut late in
+               the run, forcing the chain through many eliminations --
+               the regime the §4.4 bounds are about. *)
+            let comp = random_comp ~n ~m ~p_pred:0.05 ~seed in
+            let spec =
+              Spec.make comp [| 0; n / 2 |] (* small n, large N: §4's regime *)
+            in
+            let r = Token_dd.detect ~seed comp spec in
+            let mm = Computation.max_events_per_process comp in
+            ( r.extras.polls,
+              r.extras.token_hops,
+              (2 * r.extras.polls) + r.extras.token_hops,
+              3 * n * (mm + 1),
+              monitor_sum r.stats ~n Stats.bits,
+              monitor_max r.stats ~n Stats.work_of,
+              monitor_max r.stats ~n Stats.space_high_water ))
+          seeds
+      in
+      let g f = mean_i (List.map f rows) in
+      Printf.printf "%4d %4d %7d %7d %8d %8d %9d %9d %9d\n" n m
+        (g (fun (a, _, _, _, _, _, _) -> a))
+        (g (fun (_, a, _, _, _, _, _) -> a))
+        (g (fun (_, _, a, _, _, _, _) -> a))
+        (g (fun (_, _, _, a, _, _, _) -> a))
+        (g (fun (_, _, _, _, a, _, _) -> a))
+        (g (fun (_, _, _, _, _, a, _) -> a))
+        (g (fun (_, _, _, _, _, _, a) -> a)))
+    [ 4; 8; 16; 32; 64 ]
+
+(* ------------------------------------------------------------------ *)
+(* E5: crossover between the two algorithms (§1, §4, §6)               *)
+(* ------------------------------------------------------------------ *)
+
+let e5 () =
+  header "E5  vc vs dd crossover (paper §1/§4/§6)"
+    "claim: dd's O(Nm) beats vc's O(n^2 m) once n^2 >> N  (here N = 64, so n ~ 8)";
+  let n_total = 64 and m = 8 in
+  Printf.printf "%4s %12s %12s %10s %12s %12s\n" "n" "vc-bits" "dd-bits"
+    "winner" "vc-work" "dd-work";
+  List.iter
+    (fun width ->
+      let rows =
+        List.map
+          (fun seed ->
+            let comp = random_comp ~n:n_total ~m ~p_pred:0.3 ~seed in
+            let rng = Wcp_util.Rng.create seed in
+            let procs = Generator.random_procs rng ~n:n_total ~width in
+            let spec = Spec.make comp procs in
+            let vc = Token_vc.detect ~seed comp spec in
+            let dd = Token_dd.detect ~seed comp spec in
+            (* Monitoring traffic each algorithm adds: bits sent by the
+               monitors plus the applications' snapshot bits. *)
+            let mon_bits (r : Detection.result) =
+              monitor_sum r.stats ~n:n_total Stats.bits
+            in
+            let snap_bits_vc =
+              vc.Detection.extras.Detection.snapshots * 32 * (width + 1)
+            in
+            let snap_bits_dd =
+              (dd.Detection.extras.Detection.snapshots * 32)
+              + (2 * 32 * Snapshot.total_dd_deps comp spec)
+            in
+            ( mon_bits vc + snap_bits_vc,
+              mon_bits dd + snap_bits_dd,
+              monitor_sum vc.Detection.stats ~n:n_total Stats.work_of,
+              monitor_sum dd.Detection.stats ~n:n_total Stats.work_of ))
+          seeds
+      in
+      let g f = mean_i (List.map f rows) in
+      let vb = g (fun (a, _, _, _) -> a) and db = g (fun (_, a, _, _) -> a) in
+      Printf.printf "%4d %12d %12d %10s %12d %12d\n" width vb db
+        (if vb < db then "vc" else "dd")
+        (g (fun (_, _, a, _) -> a))
+        (g (fun (_, _, _, a) -> a)))
+    [ 2; 4; 8; 16; 32; 48; 64 ]
+
+(* ------------------------------------------------------------------ *)
+(* E6: the Ω(nm) lower bound (§5)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let e6 () =
+  header "E6  adversary lower bound (paper §5, Theorem 5.1)"
+    "claim: any S1/S2 algorithm is forced through >= nm - n sequential deletions";
+  Printf.printf "%4s %5s %9s %11s %9s %7s\n" "n" "m" "rounds" "deletions"
+    "nm-n" "ratio";
+  List.iter
+    (fun (n, m) ->
+      let world, _ = Wcp_lowerbound.Adversary.make ~n ~m in
+      let answer, trace = Wcp_lowerbound.Detector.run world in
+      assert (answer = Wcp_lowerbound.Detector.No_antichain);
+      let bound = (n * m) - n in
+      Printf.printf "%4d %5d %9d %11d %9d %7.3f\n" n m
+        trace.Wcp_lowerbound.Detector.rounds
+        trace.Wcp_lowerbound.Detector.deletions bound
+        (float_of_int trace.Wcp_lowerbound.Detector.deletions
+        /. float_of_int (max 1 bound)))
+    [ (2, 16); (4, 16); (8, 16); (16, 16); (16, 64); (32, 32); (64, 16) ]
+
+(* ------------------------------------------------------------------ *)
+(* E7: agreement matrix (Figs 2-5, Table 1)                            *)
+(* ------------------------------------------------------------------ *)
+
+let e7 () =
+  header "E7  agreement matrix: all detectors vs the oracle (Figs 2-5)"
+    "claim: every algorithm halts with the FIRST cut satisfying the WCP";
+  Printf.printf "%-22s %8s %8s %8s %8s %8s %8s\n" "workload" "outcome"
+    "checker" "tok-vc" "multi" "tok-dd" "dd-par";
+  let check name comp spec seed =
+    let expected = Oracle.first_cut comp spec in
+    let ok o = if Detection.outcome_equal o expected then "ok" else "FAIL" in
+    let chk = (Checker_centralized.detect ~seed comp spec).outcome in
+    let vc = (Token_vc.detect ~seed comp spec).outcome in
+    let mu =
+      (Token_multi.detect ~groups:(min 2 (Spec.width spec)) ~seed comp spec)
+        .outcome
+    in
+    let dd =
+      Detection.project_outcome spec (Token_dd.detect ~seed comp spec).outcome
+    in
+    let dp =
+      Detection.project_outcome spec
+        (Token_dd.detect ~parallel:true ~seed comp spec).outcome
+    in
+    Printf.printf "%-22s %8s %8s %8s %8s %8s %8s\n" name
+      (match expected with
+      | Detection.Detected _ -> "detect"
+      | Detection.No_detection -> "none")
+      (ok chk) (ok vc) (ok mu) (ok dd) (ok dp)
+  in
+  List.iter
+    (fun w ->
+      let spec = Spec.make w.Workloads.comp w.Workloads.procs in
+      check w.Workloads.name w.Workloads.comp spec 11L)
+    (Workloads.all ~seed:2025L);
+  List.iter
+    (fun (p_pred, tag) ->
+      let comp = random_comp ~n:6 ~m:10 ~p_pred ~seed:9L in
+      check (Printf.sprintf "random p=%s" tag) comp (Spec.all comp) 9L)
+    [ (0.0, "0"); (0.3, "0.3"); (1.0, "1") ]
+
+(* ------------------------------------------------------------------ *)
+(* E8: parallel direct-dependence variant (§4.5)                       *)
+(* ------------------------------------------------------------------ *)
+
+let e8 () =
+  header "E8  prefetching dd variant (paper §4.5)"
+    "claim: overlapping candidate search with the token shrinks detection time";
+  Printf.printf "%4s %12s %12s %9s %10s %10s\n" "N" "seq-time" "par-time"
+    "speedup" "seq-polls" "par-polls";
+  List.iter
+    (fun n ->
+      let m = 10 in
+      let rows =
+        List.map
+          (fun seed ->
+            let comp = random_comp ~n ~m ~p_pred:0.05 ~seed in
+            let spec = Spec.make comp [| 0; n / 2 |] in
+            let s = Token_dd.detect ~seed comp spec in
+            let p = Token_dd.detect ~parallel:true ~seed comp spec in
+            (s.sim_time, p.sim_time, s.extras.polls, p.extras.polls))
+          seeds
+      in
+      let st = mean_f (List.map (fun (a, _, _, _) -> a) rows) in
+      let pt = mean_f (List.map (fun (_, a, _, _) -> a) rows) in
+      Printf.printf "%4d %12.1f %12.1f %9.2f %10d %10d\n" n st pt (st /. pt)
+        (mean_i (List.map (fun (_, _, a, _) -> a) rows))
+        (mean_i (List.map (fun (_, _, _, a) -> a) rows)))
+    [ 4; 8; 16; 32; 64 ]
+
+(* ------------------------------------------------------------------ *)
+(* E10: ablation — §3.5 group assignment                               *)
+(* ------------------------------------------------------------------ *)
+
+let e10 () =
+  header "E10 ablation: multi-token group assignment (design choice, §3.5)"
+    "the paper leaves the monitor partition open; round-robin vs contiguous blocks";
+  let n = 24 and m = 16 in
+  Printf.printf "%4s %14s %14s %12s %12s
+" "g" "rr-time" "blocks-time"
+    "rr-hops" "blocks-hops";
+  List.iter
+    (fun groups ->
+      let run assignment =
+        List.map
+          (fun seed ->
+            let comp = random_comp ~n ~m ~p_pred:0.25 ~seed in
+            let spec = Spec.all comp in
+            let r = Token_multi.detect ~assignment ~groups ~seed comp spec in
+            (r.sim_time, r.extras.token_hops))
+          seeds
+      in
+      let rr = run Token_multi.Round_robin in
+      let bl = run Token_multi.Blocks in
+      Printf.printf "%4d %14.1f %14.1f %12d %12d
+" groups
+        (mean_f (List.map fst rr))
+        (mean_f (List.map fst bl))
+        (mean_i (List.map snd rr))
+        (mean_i (List.map snd bl)))
+    [ 2; 4; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* E11: ablation — network latency model                               *)
+(* ------------------------------------------------------------------ *)
+
+let e11 () =
+  header "E11 ablation: latency model sensitivity"
+    "verdicts are latency-independent; detection time scales with the model";
+  let n = 12 and m = 12 in
+  Printf.printf "%-22s %12s %12s %10s
+" "latency" "vc-time" "dd-time" "agree";
+  List.iter
+    (fun (name, latency) ->
+      let rows =
+        List.map
+          (fun seed ->
+            let comp = random_comp ~n ~m ~p_pred:0.2 ~seed in
+            let spec = Spec.make comp [| 0; 3; 6; 9 |] in
+            let fifo ~src ~dst =
+              src < n
+              && (dst = Run_common.monitor_of ~n src
+                 || dst = Run_common.extra_id ~n)
+            in
+            let network () = Network.create ~fifo ~latency () in
+            let vc = Token_vc.detect ~network:(network ()) ~seed comp spec in
+            let dd = Token_dd.detect ~network:(network ()) ~seed comp spec in
+            let agree =
+              Detection.outcome_equal vc.outcome (Oracle.first_cut comp spec)
+              && Detection.outcome_equal
+                   (Detection.project_outcome spec dd.outcome)
+                   (Oracle.first_cut comp spec)
+            in
+            (vc.sim_time, dd.sim_time, agree))
+          seeds
+      in
+      Printf.printf "%-22s %12.1f %12.1f %10s
+" name
+        (mean_f (List.map (fun (a, _, _) -> a) rows))
+        (mean_f (List.map (fun (_, a, _) -> a) rows))
+        (if List.for_all (fun (_, _, a) -> a) rows then "yes" else "NO"))
+    [
+      ("constant 1.0", Network.Constant 1.0);
+      ("uniform [0.5,1.5)", Network.Uniform (0.5, 1.5));
+      ("uniform [0.1,10)", Network.Uniform (0.1, 10.0));
+      ("exponential mean 1", Network.Exponential 1.0);
+      ("exponential mean 5", Network.Exponential 5.0);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E12: ablation — token starting monitor (§3.2)                       *)
+(* ------------------------------------------------------------------ *)
+
+let e12 () =
+  header "E12 ablation: token starting position (§3.2)"
+    "\"the token can start on any process\": verdicts identical, hop counts shift";
+  let n = 16 and m = 12 in
+  Printf.printf "%10s %10s %10s %10s
+" "start" "vc-hops" "dd-hops" "agree";
+  List.iter
+    (fun start_at ->
+      let rows =
+        List.map
+          (fun seed ->
+            let comp = random_comp ~n ~m ~p_pred:0.3 ~seed in
+            let spec = Spec.all comp in
+            let vc = Token_vc.detect ~start_at ~seed comp spec in
+            let dd = Token_dd.detect ~start_at ~seed comp spec in
+            let agree =
+              Detection.outcome_equal vc.outcome (Oracle.first_cut comp spec)
+              && Detection.outcome_equal
+                   (Detection.project_outcome spec dd.outcome)
+                   (Oracle.first_cut comp spec)
+            in
+            (vc.extras.token_hops, dd.extras.token_hops, agree))
+          seeds
+      in
+      Printf.printf "%10d %10d %10d %10s
+" start_at
+        (mean_i (List.map (fun (a, _, _) -> a) rows))
+        (mean_i (List.map (fun (_, a, _) -> a) rows))
+        (if List.for_all (fun (_, _, a) -> a) rows then "yes" else "NO"))
+    [ 0; 5; 10; 15 ]
+
+(* ------------------------------------------------------------------ *)
+(* E9: Bechamel micro-benchmarks                                       *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  header "E9  CPU micro-benchmarks (Bechamel)"
+    "wall-clock cost of one full detection run per algorithm (fixed workload)";
+  let open Bechamel in
+  let comp = random_comp ~n:8 ~m:12 ~p_pred:0.3 ~seed:5L in
+  let spec = Spec.make comp [| 0; 2; 4; 6 |] in
+  let mk name f = Test.make ~name (Staged.stage f) in
+  let test =
+    Test.make_grouped ~name:"detect"
+      [
+        mk "oracle" (fun () -> ignore (Oracle.first_cut comp spec));
+        mk "checker" (fun () ->
+            ignore (Checker_centralized.detect ~seed:5L comp spec));
+        mk "token-vc" (fun () -> ignore (Token_vc.detect ~seed:5L comp spec));
+        mk "multi-token" (fun () ->
+            ignore (Token_multi.detect ~groups:2 ~seed:5L comp spec));
+        mk "token-dd" (fun () -> ignore (Token_dd.detect ~seed:5L comp spec));
+        mk "token-dd-par" (fun () ->
+            ignore (Token_dd.detect ~parallel:true ~seed:5L comp spec));
+        mk "lower-bound n=16 m=16" (fun () ->
+            let world, _ = Wcp_lowerbound.Adversary.make ~n:16 ~m:16 in
+            ignore (Wcp_lowerbound.Detector.run world));
+      ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+  in
+  let raw_results = Benchmark.all cfg instances test in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw_results) instances
+  in
+  let results = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun _instance tbl ->
+      let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) tbl [] in
+      List.iter
+        (fun (name, result) ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "%-32s %12.1f ns/run\n" name est
+          | _ -> Printf.printf "%-32s (no estimate)\n" name)
+        (List.sort compare rows))
+    results
+
+let tables () =
+  e1 ();
+  e2 ();
+  e3 ();
+  e4 ();
+  e5 ();
+  e6 ();
+  e7 ();
+  e8 ();
+  e10 ();
+  e11 ();
+  e12 ()
+
+let () =
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match mode with
+  | "tables" -> tables ()
+  | "micro" -> micro ()
+  | _ ->
+      tables ();
+      micro ()

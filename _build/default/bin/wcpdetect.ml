@@ -1,0 +1,471 @@
+(* wcpdetect — command-line front end for the WCP detection library.
+
+   Subcommands:
+     generate    write a random computation to a trace file
+     workload    write a workload computation (mutex/tpl/ring/cs)
+     detect      run one detection algorithm on a trace
+     compare     run every algorithm on a trace and tabulate costs
+     lowerbound  play the Theorem 5.1 adversary game *)
+
+open Cmdliner
+open Wcp_trace
+open Wcp_sim
+open Wcp_core
+
+(* ------------------------------------------------------------------ *)
+(* Common arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let setup_logs =
+  let setup style_renderer level =
+    Fmt_tty.setup_std_outputs ?style_renderer ();
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level level
+  in
+  Term.(const setup $ Fmt_cli.style_renderer () $ Logs_cli.level ())
+
+let seed_arg =
+  let doc = "PRNG seed; equal seeds reproduce runs exactly." in
+  Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let trace_arg =
+  let doc = "Trace file (wcp-trace v1 format)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE" ~doc)
+
+let output_arg =
+  let doc = "Output trace file; - for stdout." in
+  Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let procs_arg =
+  let doc =
+    "Comma-separated processes the WCP spans (e.g. 0,2,5). Default: all."
+  in
+  Arg.(value & opt (some string) None & info [ "procs" ] ~docv:"PROCS" ~doc)
+
+let spec_of comp = function
+  | None -> Spec.all comp
+  | Some s ->
+      let procs =
+        String.split_on_char ',' s
+        |> List.filter (fun t -> t <> "")
+        |> List.map int_of_string |> Array.of_list
+      in
+      Array.sort compare procs;
+      Spec.make comp procs
+
+let emit_trace out comp =
+  match out with
+  | "-" -> print_string (Trace_codec.encode comp)
+  | path ->
+      Trace_codec.write_file path comp;
+      Printf.printf "wrote %s (%d processes, %d states, %d messages)\n" path
+        (Computation.n comp)
+        (Computation.total_states comp)
+        (Array.length (Computation.messages comp))
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let generate_cmd =
+  let n =
+    Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc:"Number of processes.")
+  in
+  let sends =
+    Arg.(
+      value & opt int 10
+      & info [ "m"; "sends" ] ~docv:"M" ~doc:"Sends per process.")
+  in
+  let p_pred =
+    Arg.(
+      value & opt float 0.5
+      & info [ "p-pred" ] ~docv:"P"
+          ~doc:"Probability a state's local predicate is true.")
+  in
+  let p_recv =
+    Arg.(
+      value & opt float 0.5
+      & info [ "p-recv" ] ~docv:"P" ~doc:"Bias toward receiving when possible.")
+  in
+  let run n sends p_pred p_recv seed out =
+    let comp =
+      Generator.random
+        ~params:{ Generator.n; sends_per_process = sends; p_pred; p_recv }
+        ~seed ()
+    in
+    emit_trace out comp
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a random computation trace.")
+    Term.(const run $ n $ sends $ p_pred $ p_recv $ seed_arg $ output_arg)
+
+(* ------------------------------------------------------------------ *)
+(* workload                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let workload_cmd =
+  let kind =
+    let doc = "Workload: mutex, tpl, ring, cs or philosophers." in
+    Arg.(
+      required
+      & pos 0
+          (some
+             (enum
+                [
+                  ("mutex", `Mutex);
+                  ("tpl", `Tpl);
+                  ("ring", `Ring);
+                  ("cs", `Cs);
+                  ("philosophers", `Philosophers);
+                ]))
+          None
+      & info [] ~docv:"KIND" ~doc)
+  in
+  let size =
+    Arg.(
+      value & opt int 3
+      & info [ "size" ] ~docv:"K"
+          ~doc:"Clients / readers+writers / ring members.")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 4
+      & info [ "rounds" ] ~docv:"R" ~doc:"Rounds / requests / laps.")
+  in
+  let p_bug =
+    Arg.(
+      value & opt float 0.0
+      & info [ "p-bug" ] ~docv:"P" ~doc:"Bug injection probability.")
+  in
+  let run kind size rounds p_bug seed out =
+    let w =
+      match kind with
+      | `Mutex ->
+          Workloads.mutual_exclusion ~clients:size ~rounds ~p_bug ~seed
+      | `Tpl ->
+          Workloads.two_phase_locking ~readers:(max 1 (size / 2))
+            ~writers:(max 1 (size - (size / 2)))
+            ~requests:rounds ~p_bug ~seed
+      | `Ring -> Workloads.token_ring ~procs:size ~laps:rounds ~p_bug ~seed
+      | `Cs -> Workloads.client_server ~clients:size ~requests:rounds ~seed
+      | `Philosophers ->
+          Workloads.dining_philosophers ~philosophers:size ~meals:rounds
+            ~patience:(1.0 -. p_bug) ~seed
+    in
+    Printf.printf "# workload %s; wcp procs: %s\n" w.Workloads.name
+      (String.concat ","
+         (List.map string_of_int (Array.to_list w.Workloads.procs)));
+    emit_trace out w.Workloads.comp
+  in
+  Cmd.v
+    (Cmd.info "workload" ~doc:"Generate a workload computation trace.")
+    Term.(const run $ kind $ size $ rounds $ p_bug $ seed_arg $ output_arg)
+
+(* ------------------------------------------------------------------ *)
+(* detect                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type algo = Vc | Multi | Dd | Dd_par | Checker | Oracle_a | Cm | Strong_a
+
+let algo_arg =
+  let doc =
+    "Algorithm: token-vc, multi-token, token-dd, token-dd-par, checker, \
+     oracle, cooper-marzullo or strong (Definitely)."
+  in
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("token-vc", Vc);
+             ("multi-token", Multi);
+             ("token-dd", Dd);
+             ("token-dd-par", Dd_par);
+             ("checker", Checker);
+             ("oracle", Oracle_a);
+             ("cooper-marzullo", Cm);
+             ("strong", Strong_a);
+           ])
+        Vc
+    & info [ "a"; "algorithm" ] ~docv:"ALGO" ~doc)
+
+let groups_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "groups" ] ~docv:"G" ~doc:"Groups for multi-token (§3.5).")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "per-process" ] ~doc:"Print per-process stats.")
+
+let run_algo algo ~groups ~seed comp spec =
+  match algo with
+  | Vc -> Some (Token_vc.detect ~seed comp spec)
+  | Multi ->
+      Some (Token_multi.detect ~groups:(min groups (Spec.width spec)) ~seed comp spec)
+  | Dd -> Some (Token_dd.detect ~seed comp spec)
+  | Dd_par -> Some (Token_dd.detect ~parallel:true ~seed comp spec)
+  | Checker -> Some (Checker_centralized.detect ~seed comp spec)
+  | Oracle_a ->
+      Format.printf "oracle: %a@." Detection.pp_outcome
+        (Oracle.first_cut comp spec);
+      None
+  | Cm ->
+      (match Cooper_marzullo.detect_wcp comp spec with
+      | Ok (outcome, expl) ->
+          Format.printf "cooper-marzullo: %a (explored %d cuts)@."
+            Detection.pp_outcome outcome expl.Cooper_marzullo.cuts_explored
+      | Error expl ->
+          Format.printf "cooper-marzullo: limit after %d cuts@."
+            expl.Cooper_marzullo.cuts_explored);
+      None
+  | Strong_a ->
+      (match Strong.definitely comp spec with
+      | Some w ->
+          Format.printf "strong: Definitely holds; witness intervals:";
+          Array.iter
+            (fun (iv : Strong.interval) ->
+              Format.printf " P%d:[%d,%d]" iv.Strong.proc iv.Strong.first
+                iv.Strong.last)
+            w;
+          Format.printf "@."
+      | None -> Format.printf "strong: Definitely does not hold@.");
+      None
+
+let detect_cmd =
+  let run trace algo groups procs seed verbose =
+    let comp = Trace_codec.read_file trace in
+    let spec = spec_of comp procs in
+    match run_algo algo ~groups ~seed comp spec with
+    | None -> ()
+    | Some r ->
+        Format.printf "%a@." Detection.pp_result r;
+        if verbose then Format.printf "%a@." Stats.pp r.Detection.stats
+  in
+  Cmd.v
+    (Cmd.info "detect" ~doc:"Run a detection algorithm on a trace.")
+    Term.(
+      const (fun () -> run) $ setup_logs $ trace_arg $ algo_arg $ groups_arg
+      $ procs_arg $ seed_arg $ verbose_arg)
+
+(* ------------------------------------------------------------------ *)
+(* compare                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let compare_cmd =
+  let run trace procs seed =
+    let comp = Trace_codec.read_file trace in
+    let spec = spec_of comp procs in
+    let oracle = Oracle.first_cut comp spec in
+    Format.printf "oracle: %a@.@." Detection.pp_outcome oracle;
+    Format.printf "%-14s %8s %10s %9s %9s %9s %6s %6s@." "algorithm" "msgs"
+      "bits" "work" "max-work" "max-space" "hops" "time";
+    List.iter
+      (fun (name, r, scope) ->
+        let out =
+          match scope with
+          | `Spec -> r.Detection.outcome
+          | `Full -> Detection.project_outcome spec r.Detection.outcome
+        in
+        let agree = Detection.outcome_equal out oracle in
+        Format.printf "%-14s %8d %10d %9d %9d %9d %6d %6.1f%s@." name
+          (Stats.total_sent r.Detection.stats)
+          (Stats.total_bits r.Detection.stats)
+          (Stats.total_work r.Detection.stats)
+          (Stats.max_work r.Detection.stats)
+          (Stats.max_space r.Detection.stats)
+          r.Detection.extras.Detection.token_hops r.Detection.sim_time
+          (if agree then "" else "  << DISAGREES"))
+      [
+        ("checker", Checker_centralized.detect ~seed comp spec, `Spec);
+        ("token-vc", Token_vc.detect ~seed comp spec, `Spec);
+        ( "multi-token",
+          Token_multi.detect ~groups:(min 2 (Spec.width spec)) ~seed comp spec,
+          `Spec );
+        ("token-dd", Token_dd.detect ~seed comp spec, `Full);
+        ("token-dd-par", Token_dd.detect ~parallel:true ~seed comp spec, `Full);
+      ]
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Run every algorithm on a trace and tabulate.")
+    Term.(const run $ trace_arg $ procs_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* render                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let render_cmd =
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("ascii", `Ascii); ("dot", `Dot) ]) `Ascii
+      & info [ "f"; "format" ] ~docv:"FMT" ~doc:"ascii or dot.")
+  in
+  let mark =
+    Arg.(
+      value & flag
+      & info [ "mark-first-cut" ]
+          ~doc:"Highlight the oracle's first satisfying cut.")
+  in
+  let run trace format procs mark =
+    let comp = Trace_codec.read_file trace in
+    let cut =
+      if mark then
+        match Oracle.first_cut comp (spec_of comp procs) with
+        | Detection.Detected cut -> Some cut
+        | Detection.No_detection -> None
+      else None
+    in
+    match format with
+    | `Ascii -> print_string (Render.ascii ?cut comp)
+    | `Dot -> print_string (Render.dot ?cut comp)
+  in
+  Cmd.v
+    (Cmd.info "render" ~doc:"Render a trace as text or Graphviz.")
+    Term.(const run $ trace_arg $ format $ procs_arg $ mark)
+
+(* ------------------------------------------------------------------ *)
+(* gcp                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let parse_channel ~line spec =
+  (* empty:SRC-DST | atleastK:SRC-DST | atmostK:SRC-DST *)
+  match String.split_on_char ':' spec with
+  | [ kind; pair ] -> (
+      let src, dst =
+        match String.split_on_char '-' pair with
+        | [ s; d ] -> (int_of_string s, int_of_string d)
+        | _ -> failwith (Printf.sprintf "bad channel endpoints %S" line)
+      in
+      if kind = "empty" then Gcp.empty ~src ~dst
+      else if String.length kind > 7 && String.sub kind 0 7 = "atleast" then
+        Gcp.at_least (int_of_string (String.sub kind 7 (String.length kind - 7))) ~src ~dst
+      else if String.length kind > 6 && String.sub kind 0 6 = "atmost" then
+        Gcp.at_most (int_of_string (String.sub kind 6 (String.length kind - 6))) ~src ~dst
+      else failwith (Printf.sprintf "unknown channel predicate %S" kind))
+  | _ -> failwith (Printf.sprintf "bad channel spec %S (want kind:src-dst)" line)
+
+let gcp_cmd =
+  let channels =
+    Arg.(
+      value & opt_all string []
+      & info [ "c"; "channel" ] ~docv:"SPEC"
+          ~doc:
+            "Channel predicate, e.g. empty:0-1, atleast2:0-1, atmost3:2-0.              Repeatable.")
+  in
+  let online =
+    Arg.(
+      value & flag
+      & info [ "online" ]
+          ~doc:"Run the online centralized checker instead of the offline                 algorithm.")
+  in
+  let run trace channel_specs procs online seed =
+    let comp = Trace_codec.read_file trace in
+    let spec = spec_of comp procs in
+    let channels = List.map (fun s -> parse_channel ~line:s s) channel_specs in
+    if online then
+      let r = Checker_gcp.detect ~seed ~channels comp spec in
+      Format.printf "%a@." Detection.pp_result r
+    else
+      Format.printf "%a@." Detection.pp_outcome (Gcp.detect comp spec ~channels)
+  in
+  Cmd.v
+    (Cmd.info "gcp" ~doc:"Detect a generalized conjunctive predicate.")
+    Term.(const run $ trace_arg $ channels $ procs_arg $ online $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* live                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let live_cmd =
+  let mode =
+    Arg.(
+      value
+      & opt (enum [ ("vc", Instrument.Vc); ("dd", Instrument.Dd) ]) Instrument.Vc
+      & info [ "mode" ] ~docv:"MODE" ~doc:"vc or dd monitoring mode.")
+  in
+  let p_bug =
+    Arg.(
+      value & opt float 0.4
+      & info [ "p-bug" ] ~docv:"P" ~doc:"Coordinator race probability.")
+  in
+  let clients =
+    Arg.(value & opt int 3 & info [ "clients" ] ~docv:"K" ~doc:"Clients.")
+  in
+  let rounds =
+    Arg.(value & opt int 3 & info [ "rounds" ] ~docv:"R" ~doc:"CS entries each.")
+  in
+  let run mode p_bug clients rounds seed =
+    let r = Live_mutex.run ~p_bug ~mode ~clients ~rounds ~seed () in
+    let spec = Spec.make r.Live_mutex.recorded r.Live_mutex.wcp_procs in
+    let online =
+      match mode with
+      | Instrument.Vc -> r.Live_mutex.online
+      | Instrument.Dd -> Detection.project_outcome spec r.Live_mutex.online
+    in
+    (match (online, r.Live_mutex.detection_time) with
+    | Detection.Detected cut, Some t ->
+        Format.printf "online verdict: VIOLATION at %a (sim time %.0f of %.0f)@."
+          Cut.pp cut t r.Live_mutex.sim_time
+    | Detection.Detected cut, None ->
+        Format.printf "online verdict: VIOLATION at %a@." Cut.pp cut
+    | Detection.No_detection, _ ->
+        Format.printf "online verdict: clean run (%.0f time units)@."
+          r.Live_mutex.sim_time);
+    let expected = Oracle.first_cut r.Live_mutex.recorded spec in
+    Format.printf "offline oracle on the recording: %a (%s)@."
+      Detection.pp_outcome expected
+      (if Detection.outcome_equal online expected then "matches"
+       else "MISMATCH")
+  in
+  Cmd.v
+    (Cmd.info "live"
+       ~doc:"Run a live instrumented mutual-exclusion system under online              monitoring (Fig. 1).")
+    Term.(const run $ mode $ p_bug $ clients $ rounds $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* lowerbound                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let lowerbound_cmd =
+  let n = Arg.(value & opt int 8 & info [ "n" ] ~docv:"N" ~doc:"Queues.") in
+  let m =
+    Arg.(value & opt int 16 & info [ "m" ] ~docv:"M" ~doc:"States per queue.")
+  in
+  let run n m =
+    let world, stats = Wcp_lowerbound.Adversary.make ~n ~m in
+    let answer, trace = Wcp_lowerbound.Detector.run world in
+    (match answer with
+    | Wcp_lowerbound.Detector.Antichain _ ->
+        print_endline "BUG: adversary conceded an antichain"
+    | Wcp_lowerbound.Detector.No_antichain ->
+        Printf.printf "no antichain (as the adversary guarantees)\n");
+    Printf.printf
+      "n=%d m=%d: %d rounds, %d deletions (forced lower bound nm - n = %d)\n" n
+      m trace.Wcp_lowerbound.Detector.rounds
+      trace.Wcp_lowerbound.Detector.deletions
+      ((n * m) - n);
+    Printf.printf "adversary answered %d comparisons\n"
+      stats.Wcp_lowerbound.Adversary.comparisons_answered
+  in
+  Cmd.v
+    (Cmd.info "lowerbound" ~doc:"Play the Theorem 5.1 adversary game.")
+    Term.(const run $ n $ m)
+
+let () =
+  let info =
+    Cmd.info "wcpdetect" ~version:"1.0.0"
+      ~doc:"Distributed detection of weak conjunctive predicates (Garg & Chase, ICDCS 1995)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            generate_cmd;
+            workload_cmd;
+            detect_cmd;
+            compare_cmd;
+            render_cmd;
+            gcp_cmd;
+            live_cmd;
+            lowerbound_cmd;
+          ]))

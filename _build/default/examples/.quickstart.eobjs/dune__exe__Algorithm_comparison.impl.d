@@ -1,0 +1,1 @@
+examples/algorithm_comparison.ml: Checker_centralized Computation Cooper_marzullo Detection Format Generator List Oracle Spec Stats Token_dd Token_multi Token_vc Wcp_core Wcp_sim Wcp_trace

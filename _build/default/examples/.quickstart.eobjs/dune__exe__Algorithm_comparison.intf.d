@@ -1,0 +1,1 @@
+examples/algorithm_comparison.mli:

@@ -1,0 +1,1 @@
+examples/bank_audit.ml: Array Builder Computation Cut Detection Format Fun List Relational Wcp_core Wcp_trace Wcp_util

@@ -1,0 +1,1 @@
+examples/boolean_predicates.ml: Boolean Builder Cooper_marzullo Cut Detection Format List Render Wcp_core Wcp_trace

@@ -1,0 +1,1 @@
+examples/channel_monitor.ml: Builder Computation Cut Detection Format Gcp List Oracle Spec Wcp_core Wcp_trace

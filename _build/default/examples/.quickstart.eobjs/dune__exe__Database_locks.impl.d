@@ -1,0 +1,1 @@
+examples/database_locks.ml: Checker_centralized Computation Cut Detection Format Int64 Run_common Spec Token_dd Wcp_core Wcp_sim Wcp_trace Workloads

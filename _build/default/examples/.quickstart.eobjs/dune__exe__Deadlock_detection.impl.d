@@ -1,0 +1,1 @@
+examples/deadlock_detection.ml: Cut Detection Format Int64 Oracle Spec Strong Token_dd Token_vc Wcp_core Wcp_trace Workloads

@@ -1,0 +1,1 @@
+examples/distributed_debugging.ml: Array Computation Cut Detection Format Oracle Spec State Token_vc Wcp_clocks Wcp_core Wcp_trace Workloads

@@ -1,0 +1,1 @@
+examples/mutual_exclusion.ml: Computation Cut Detection Format Int64 Spec State Token_vc Wcp_core Wcp_trace Workloads

@@ -1,0 +1,1 @@
+examples/online_monitoring.ml: Cut Detection Format Instrument List Live_mutex Oracle Spec Wcp_core Wcp_trace

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Builder Computation Cut Detection Format Oracle Spec Token_dd Token_vc Wcp_core Wcp_trace

@@ -1,0 +1,100 @@
+(* Relational predicates (Tomlinson–Garg [13], cited in §1): auditing
+   conservation of money.
+
+   Branches hold balances and wire money to each other. The global
+   invariant "Σ balances = total" is violated at no *consistent* cut
+   only if in-flight transfers are counted; the audit questions are:
+
+     - what is the lowest combined on-books balance any consistent
+       global snapshot could have seen? (money in flight)
+     - could the books ever have shown MORE than the true total?
+       (they must not: that would be double counting)
+
+   Both are min/max-sum relational predicates, not conjunctions. *)
+
+open Wcp_trace
+open Wcp_core
+
+let branches = 4
+let initial_balance = 100
+
+(* Build a run of random transfers, tracking every branch's balance in
+   every local state. Returns the computation and the valuation. *)
+let build ~transfers ~seed =
+  let rng = Wcp_util.Rng.create seed in
+  let b = Builder.create ~n:branches in
+  (* balances.(p) = list of balances per state, reversed *)
+  let balances = Array.make branches [ initial_balance ] in
+  let current p = List.hd balances.(p) in
+  let push p x = balances.(p) <- x :: balances.(p) in
+  let in_flight = ref [] in
+  for _ = 1 to transfers do
+    (* Either launch a transfer or land one. *)
+    if !in_flight <> [] && Wcp_util.Rng.bool rng then begin
+      let (dst, amount, handle), rest =
+        let l = !in_flight in
+        let k = Wcp_util.Rng.int rng (List.length l) in
+        let rec take acc i = function
+          | [] -> assert false
+          | x :: r -> if i = k then (x, List.rev_append acc r) else take (x :: acc) (i + 1) r
+        in
+        take [] 0 l
+      in
+      in_flight := rest;
+      Builder.recv b ~dst handle;
+      push dst (current dst + amount)
+    end
+    else begin
+      let src = Wcp_util.Rng.int rng branches in
+      let dst = (src + 1 + Wcp_util.Rng.int rng (branches - 1)) mod branches in
+      let amount = 1 + Wcp_util.Rng.int rng (max 1 (current src / 2)) in
+      let handle = Builder.send b ~src ~dst in
+      push src (current src - amount);
+      in_flight := (dst, amount, handle) :: !in_flight
+    end
+  done;
+  (* Land the stragglers. *)
+  List.iter
+    (fun (dst, amount, handle) ->
+      Builder.recv b ~dst handle;
+      push dst (current dst + amount))
+    !in_flight;
+  let comp = Builder.finish b in
+  let tables = Array.map (fun l -> Array.of_list (List.rev l)) balances in
+  let valuation : Relational.valuation =
+   fun ~proc ~state -> tables.(proc).(state - 1)
+  in
+  (comp, valuation)
+
+let () =
+  let comp, balance = build ~transfers:14 ~seed:11L in
+  Format.printf "%a@." Computation.pp_summary comp;
+  let total = branches * initial_balance in
+  let procs = Array.init branches Fun.id in
+  Format.printf "true total: %d@.@." total;
+
+  (match Relational.min_sum comp balance ~procs with
+  | Ok (lo, cut) ->
+      Format.printf "lowest on-books total any snapshot could see: %d at %a@."
+        lo Cut.pp cut;
+      Format.printf "  (%d in flight at that cut)@." (total - lo)
+  | Error `Limit -> Format.printf "limit@.");
+
+  (match Relational.max_sum comp balance ~procs with
+  | Ok (hi, cut) ->
+      Format.printf "highest on-books total: %d at %a@." hi Cut.pp cut;
+      if hi > total then
+        Format.printf "  AUDIT FAILURE: double counting!@."
+      else Format.printf "  never exceeds the true total: no double counting.@."
+  | Error `Limit -> Format.printf "limit@.");
+
+  (* Alert threshold: could the books have dipped below 90%% of total? *)
+  let reserve = total * 9 / 10 in
+  match Relational.possibly_sum_leq comp balance ~procs ~k:reserve with
+  | Ok (Detection.Detected cut) ->
+      Format.printf "@.reserve alert (<= %d) WOULD have fired, e.g. at %a@."
+        reserve Cut.pp cut
+  | Ok Detection.No_detection ->
+      Format.printf "@.reserve alert (<= %d) could never fire in this run@."
+        reserve
+  | Error `Limit -> Format.printf "limit@."

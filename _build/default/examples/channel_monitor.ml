@@ -1,0 +1,82 @@
+(* Generalized conjunctive predicates (the [6] extension): conditions
+   that mention CHANNEL states, not just process states.
+
+   Scenario: clients fire requests at a server. The operations team
+   wants to catch the global condition
+
+      "the server is idle  ∧  requests are piling up in its channel"
+
+   — a scheduling pathology no process can see alone: the server finds
+   its inbox empty every time it looks, yet requests exist, in flight.
+   "Server idle" is a local predicate; "≥ k requests in flight" is a
+   channel predicate (linear: only the server's progress can drain the
+   channel, only senders can fill it). *)
+
+open Wcp_trace
+open Wcp_core
+
+(* Build a run where the pathology genuinely occurs: the server keeps
+   busy with client 1's chatter while clients 2 and 3's requests sit in
+   flight. States of the server between communication events with the
+   predicate "idle" (here: flagged when it is between work bursts). *)
+let build () =
+  let b = Builder.create ~n:4 in
+  let server = 0 in
+  (* Server does a work burst with client 1. *)
+  let r1 = Builder.send b ~src:1 ~dst:server in
+  Builder.recv b ~dst:server r1;
+  let a1 = Builder.send b ~src:server ~dst:1 in
+  Builder.recv b ~dst:1 a1;
+  (* Server now idles; flag the predicate. *)
+  Builder.set_pred b ~proc:server true;
+  (* Meanwhile clients 2 and 3 each send a request that stays in
+     flight for a while. *)
+  let r2 = Builder.send b ~src:2 ~dst:server in
+  let r3 = Builder.send b ~src:3 ~dst:server in
+  (* Much later the server finally receives them. *)
+  Builder.recv b ~dst:server r2;
+  Builder.recv b ~dst:server r3;
+  let a2 = Builder.send b ~src:server ~dst:2 in
+  let a3 = Builder.send b ~src:server ~dst:3 in
+  Builder.recv b ~dst:2 a2;
+  Builder.recv b ~dst:3 a3;
+  Builder.finish b
+
+let () =
+  let comp = build () in
+  let spec = Spec.make comp [| 0 |] in
+  Format.printf "%a@.@." Computation.pp_summary comp;
+
+  (* Plain WCP: "server idle" alone fires as soon as the server idles,
+     whether or not anything is queued — not what ops wants. *)
+  (match Oracle.first_cut comp spec with
+  | Detection.Detected cut ->
+      Format.printf "WCP \"server idle\" alone:            fires at %a@."
+        Cut.pp cut
+  | Detection.No_detection -> Format.printf "WCP alone: never@.");
+
+  (* GCP: idle AND >= 2 requests in flight from clients 2 and 3. *)
+  let channels =
+    [ Gcp.at_least 1 ~src:2 ~dst:0; Gcp.at_least 1 ~src:3 ~dst:0 ]
+  in
+  (match Gcp.detect comp spec ~channels with
+  | Detection.Detected cut ->
+      Format.printf "GCP \"idle ∧ requests in flight\":   fires at %a@." Cut.pp
+        cut;
+      List.iter
+        (fun cp ->
+          Format.printf "    %s holds: %b@." (Gcp.name cp)
+            (Gcp.holds_at comp cp ~cut))
+        channels;
+      Format.printf "    in flight to server at the cut: %d message(s)@."
+        (List.length (Gcp.in_flight comp ~src:2 ~dst:0 ~cut)
+        + List.length (Gcp.in_flight comp ~src:3 ~dst:0 ~cut))
+  | Detection.No_detection ->
+      Format.printf "GCP: pathology absent in this run@.");
+
+  (* A condition that cannot happen here: idle with 2 requests in
+     flight from client 1 (client 1 only ever has one outstanding). *)
+  match Gcp.detect comp spec ~channels:[ Gcp.at_least 2 ~src:1 ~dst:0 ] with
+  | Detection.No_detection ->
+      Format.printf "@.control: \"idle ∧ 2 in flight from client 1\" correctly never fires@."
+  | Detection.Detected _ -> assert false

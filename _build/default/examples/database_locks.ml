@@ -1,0 +1,63 @@
+(* Paper §2, example 2: detecting a broken lock manager.
+
+   Serializability is enforced with two-phase locking on a shared item:
+   readers may share, a writer must be exclusive. A bug makes the
+   manager occasionally skip the conflict check. The error condition
+   "(P_1 has read lock) ∧ (P_2 has write lock)" is a WCP; we run the
+   direct-dependence algorithm (the lock manager's mailbox makes every
+   process causally entangled, the regime §4 targets) and cross-check
+   with the centralized Garg–Waldecker checker. *)
+
+open Wcp_trace
+open Wcp_core
+
+let () =
+  Format.printf "== correct lock manager ==@.";
+  for s = 1 to 5 do
+    let seed = Int64.of_int s in
+    let w =
+      Workloads.two_phase_locking ~readers:2 ~writers:2 ~requests:3 ~p_bug:0.0
+        ~seed
+    in
+    let spec = Spec.make w.Workloads.comp w.Workloads.procs in
+    let r = Token_dd.detect ~seed w.Workloads.comp spec in
+    Format.printf "  seed %d: %a@." s Detection.pp_outcome
+      (Detection.project_outcome spec r.Detection.outcome)
+  done;
+
+  Format.printf "@.== buggy lock manager (p_bug = 0.4) ==@.";
+  let caught = ref 0 in
+  for s = 1 to 10 do
+    let seed = Int64.of_int s in
+    let w =
+      Workloads.two_phase_locking ~readers:2 ~writers:2 ~requests:4 ~p_bug:0.4
+        ~seed
+    in
+    let spec = Spec.make w.Workloads.comp w.Workloads.procs in
+    let dd = Token_dd.detect ~parallel:true ~seed w.Workloads.comp spec in
+    let checker = Checker_centralized.detect ~seed w.Workloads.comp spec in
+    let projected = Detection.project_outcome spec dd.Detection.outcome in
+    assert (Detection.outcome_equal projected checker.Detection.outcome);
+    (match projected with
+    | Detection.Detected cut ->
+        incr caught;
+        Format.printf
+          "  seed %2d: read lock and write lock held concurrently at %a@." s
+          Cut.pp cut
+    | Detection.No_detection -> Format.printf "  seed %2d: run stayed safe@." s);
+    (* §4.4 vs [7]: the direct-dependence algorithm spreads its work
+       across processes; the checker concentrates all of its work on
+       one. *)
+    let n = Computation.n w.Workloads.comp in
+    let dd_total = Wcp_sim.Stats.total_work dd.Detection.stats in
+    let dd_max = Wcp_sim.Stats.max_work dd.Detection.stats in
+    let chk_work =
+      Wcp_sim.Stats.work_of checker.Detection.stats (Run_common.extra_id ~n)
+    in
+    if s = 1 then
+      Format.printf
+        "    (cost note: dd work %d spread with busiest process %d;@.\
+        \     checker work %d, all on the single checker)@."
+        dd_total dd_max chk_work
+  done;
+  Format.printf "@.%d of 10 buggy runs had a detectable lock conflict.@." !caught

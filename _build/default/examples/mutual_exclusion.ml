@@ -1,0 +1,46 @@
+(* Paper §2, example 1: detecting a mutual-exclusion violation.
+
+   A coordinator grants a critical section to clients; an injected race
+   makes it occasionally issue a grant while another is outstanding.
+   Whether any run violates CS_1 ∧ CS_2 is exactly a WCP question: the
+   violation is a global condition no single process can observe.
+
+   We sweep seeds, report which runs contain a violation, and show the
+   vector-clock token algorithm pinpointing the first violating cut —
+   something a testbed would miss whenever the overlap does not happen
+   to manifest in wall-clock time. *)
+
+open Wcp_trace
+open Wcp_core
+
+let detect_run ~p_bug ~seed =
+  let w = Workloads.mutual_exclusion ~clients:3 ~rounds:4 ~p_bug ~seed in
+  let spec = Spec.make w.Workloads.comp w.Workloads.procs in
+  let r = Token_vc.detect ~seed w.Workloads.comp spec in
+  (w, r)
+
+let () =
+  Format.printf "== correct coordinator (p_bug = 0) ==@.";
+  for s = 1 to 5 do
+    let _, r = detect_run ~p_bug:0.0 ~seed:(Int64.of_int s) in
+    Format.printf "  seed %d: %a@." s Detection.pp_outcome r.Detection.outcome
+  done;
+
+  Format.printf "@.== racy coordinator (p_bug = 0.4) ==@.";
+  let violations = ref 0 in
+  for s = 1 to 10 do
+    let w, r = detect_run ~p_bug:0.4 ~seed:(Int64.of_int s) in
+    (match r.Detection.outcome with
+    | Detection.Detected cut ->
+        incr violations;
+        Format.printf "  seed %2d: VIOLATION at %a" s Cut.pp cut;
+        (* Show the causal witness: both clients' critical-section
+           states are concurrent. *)
+        let a = Cut.state cut 0 and b = Cut.state cut 1 in
+        Format.printf "  (%a || %a: %b)@." State.pp a State.pp b
+          (Computation.concurrent w.Workloads.comp a b)
+    | Detection.No_detection ->
+        Format.printf "  seed %2d: this run happened to stay safe@." s)
+  done;
+  Format.printf "@.%d of 10 racy runs violated mutual exclusion;@." !violations;
+  Format.printf "every violation was caught with its first violating cut.@."

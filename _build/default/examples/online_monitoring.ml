@@ -1,0 +1,52 @@
+(* The paper's Fig. 1, live: no trace file anywhere.
+
+   Application processes (a coordinator and its mutual-exclusion
+   clients) run inside the simulator, carrying the Fig. 2 / §4.1
+   instrumentation: clock tags on their real protocol messages, local
+   snapshots to their mated monitor processes the moment their
+   predicate becomes true. The monitor plane runs the token algorithms
+   ONLINE — the verdict lands while the application is still running.
+
+   The run also records itself; afterwards we replay the oracle on the
+   recording to show the online verdict was exact. *)
+
+open Wcp_trace
+open Wcp_core
+
+let describe mode =
+  match mode with
+  | Instrument.Vc -> "vector-clock token (§3)"
+  | Instrument.Dd -> "direct-dependence token (§4)"
+
+let show ~mode ~p_bug ~seed =
+  let r = Live_mutex.run ~p_bug ~mode ~clients:3 ~rounds:3 ~seed () in
+  let spec = Spec.make r.Live_mutex.recorded r.Live_mutex.wcp_procs in
+  let online =
+    match mode with
+    | Instrument.Vc -> r.Live_mutex.online
+    | Instrument.Dd -> Detection.project_outcome spec r.Live_mutex.online
+  in
+  (match (online, r.Live_mutex.detection_time) with
+  | Detection.Detected cut, Some t ->
+      Format.printf
+        "  seed %Ld: monitors flagged CS1∧CS2 at %a — sim time %.0f of %.0f@."
+        seed Cut.pp cut t r.Live_mutex.sim_time
+  | Detection.Detected cut, None ->
+      Format.printf "  seed %Ld: flagged %a at end of run@." seed Cut.pp cut
+  | Detection.No_detection, _ ->
+      Format.printf "  seed %Ld: clean (no violating cut exists)@." seed);
+  (* Exactness check against the recording. *)
+  let expected = Oracle.first_cut r.Live_mutex.recorded spec in
+  assert (Detection.outcome_equal online expected)
+
+let () =
+  List.iter
+    (fun mode ->
+      Format.printf "== online monitoring with the %s ==@." (describe mode);
+      Format.printf "-- correct coordinator --@.";
+      List.iter (fun s -> show ~mode ~p_bug:0.0 ~seed:s) [ 1L; 2L; 3L ];
+      Format.printf "-- racy coordinator (p_bug = 0.5) --@.";
+      List.iter (fun s -> show ~mode ~p_bug:0.5 ~seed:s) [ 1L; 2L; 3L; 4L ];
+      Format.printf "@.")
+    [ Instrument.Vc; Instrument.Dd ];
+  Format.printf "every online verdict matched the offline oracle exactly.@."

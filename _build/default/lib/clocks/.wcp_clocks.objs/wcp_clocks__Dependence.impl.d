@@ -1,0 +1,1 @@
+lib/clocks/dependence.ml: Format List Stdlib

@@ -1,0 +1,1 @@
+lib/clocks/dependence.mli: Format

@@ -1,0 +1,25 @@
+type t = { src : int; clock : int }
+
+let equal a b = a.src = b.src && a.clock = b.clock
+
+let compare = Stdlib.compare
+
+let pp ppf { src; clock } = Format.fprintf ppf "(src:%d,clk:%d)" src clock
+
+type accumulator = { mutable rev_deps : t list; mutable n : int }
+
+let create_accumulator () = { rev_deps = []; n = 0 }
+
+let record acc d =
+  acc.rev_deps <- d :: acc.rev_deps;
+  acc.n <- acc.n + 1
+
+let drain acc =
+  let deps = List.rev acc.rev_deps in
+  acc.rev_deps <- [];
+  acc.n <- 0;
+  deps
+
+let peek acc = List.rev acc.rev_deps
+
+let count acc = acc.n

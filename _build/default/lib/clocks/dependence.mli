@@ -1,0 +1,40 @@
+(** Direct dependences (paper §4.1).
+
+    In the direct-dependence algorithm each application process keeps a
+    scalar clock equal to the 1-based index of its current local state
+    (incremented on every send and receive). A message sent by [P_j]
+    from state [k] carries the tag [k]; when [P_i] receives it, [P_i]
+    records the direct dependence [(j, k)]: every subsequent state of
+    [P_i] directly depends on state [(j, k)].
+
+    An {!accumulator} gathers dependences between local snapshots; a
+    snapshot drains the accumulator (the paper: "the dependence list is
+    reinitialized to be empty after generating the local snapshot"). *)
+
+type t = { src : int; clock : int }
+(** A single direct dependence: a message sent by process [src] from
+    its local state [clock] was received before the state carrying this
+    dependence. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Renders as [(src:3,clk:7)]. *)
+
+type accumulator
+
+val create_accumulator : unit -> accumulator
+
+val record : accumulator -> t -> unit
+(** Append a dependence (O(1)). *)
+
+val drain : accumulator -> t list
+(** Return all recorded dependences in arrival order and reset the
+    accumulator. *)
+
+val peek : accumulator -> t list
+(** Current contents without resetting. *)
+
+val count : accumulator -> int

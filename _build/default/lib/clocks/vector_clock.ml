@@ -1,0 +1,59 @@
+type t = int array
+
+type relation = Before | After | Concurrent | Equal
+
+let make ~n ~owner =
+  assert (n > 0 && owner >= 0 && owner < n);
+  let v = Array.make n 0 in
+  v.(owner) <- 1;
+  v
+
+let of_array a =
+  Array.iter (fun x -> assert (x >= 0)) a;
+  Array.copy a
+
+let to_array t = Array.copy t
+
+let size = Array.length
+
+let get t i = t.(i)
+
+let tick t ~owner =
+  let v = Array.copy t in
+  v.(owner) <- v.(owner) + 1;
+  v
+
+let merge a b =
+  assert (Array.length a = Array.length b);
+  Array.mapi (fun i x -> max x b.(i)) a
+
+let receive t ~owner ~msg = tick (merge t msg) ~owner
+
+let leq a b =
+  assert (Array.length a = Array.length b);
+  let rec go i = i = Array.length a || (a.(i) <= b.(i) && go (i + 1)) in
+  go 0
+
+let equal a b = a = b
+
+let lt a b = leq a b && not (equal a b)
+
+let relation a b =
+  match (leq a b, leq b a) with
+  | true, true -> Equal
+  | true, false -> Before
+  | false, true -> After
+  | false, false -> Concurrent
+
+let concurrent a b = relation a b = Concurrent
+
+let compare = Stdlib.compare
+
+let pp ppf t =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+       Format.pp_print_int)
+    (Array.to_list t)
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,67 @@
+(** Vector clocks (Fidge [4] / Mattern [9]).
+
+    A vector clock over [n] processes is an [n]-vector of non-negative
+    integers. Process indices are 0-based throughout the library (the
+    paper writes [P_1 .. P_n]; we write [P_0 .. P_{n-1}]).
+
+    The clock discipline follows Fig. 2 of the paper: process [i] starts
+    with [v = 0 .. 0] except [v.(i) = 1]; on every send the current
+    clock is attached to the message and then [v.(i)] is incremented;
+    on every receive the clock is merged with the message's clock and
+    then [v.(i)] is incremented. Thus [v.(i)] equals the 1-based index
+    of the current local state (interval between communication events).
+
+    Key properties used by the detection algorithms (paper §3.1):
+    - [a → b  ⟺  a.v < b.v] for states [a], [b] of distinct processes;
+    - for a clock [v] held by process [i] and any [j ≠ i],
+      state [(j, v.(j))] happened before state [(i, v.(i))]. *)
+
+type t = private int array
+(** Immutable by convention: no function in this interface mutates a
+    [t] that it did not itself allocate. *)
+
+type relation = Before | After | Concurrent | Equal
+
+val make : n:int -> owner:int -> t
+(** Initial clock of process [owner] among [n] processes. *)
+
+val of_array : int array -> t
+(** Adopt (copies) an arbitrary vector; entries must be [>= 0]. *)
+
+val to_array : t -> int array
+(** Fresh copy as a plain array. *)
+
+val size : t -> int
+
+val get : t -> int -> int
+
+val tick : t -> owner:int -> t
+(** Increment the owner's component (a fresh vector is returned). *)
+
+val merge : t -> t -> t
+(** Component-wise maximum. Both vectors must have the same size. *)
+
+val receive : t -> owner:int -> msg:t -> t
+(** [merge] then [tick]: the Fig. 2 receive rule. *)
+
+val leq : t -> t -> bool
+(** Component-wise [<=]. *)
+
+val lt : t -> t -> bool
+(** [leq a b && a <> b]: the happened-before test for states of
+    distinct processes. *)
+
+val relation : t -> t -> relation
+
+val concurrent : t -> t -> bool
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Arbitrary total order (lexicographic); for use in sets and maps
+    only — NOT the causal order. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders as [[1,0,3]]. *)
+
+val to_string : t -> string

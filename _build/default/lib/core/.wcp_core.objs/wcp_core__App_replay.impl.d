@@ -1,0 +1,1 @@
+lib/core/app_replay.ml: Computation Engine Hashtbl Messages Rng Wcp_sim Wcp_trace Wcp_util

@@ -1,0 +1,1 @@
+lib/core/app_replay.mli: Computation Engine Messages Wcp_sim Wcp_trace

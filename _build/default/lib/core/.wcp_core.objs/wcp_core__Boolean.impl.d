@@ -1,0 +1,1 @@
+lib/core/boolean.ml: Array Computation Cut Detection Format Fun Hashtbl List Option Oracle Printf Spec State Token_vc Wcp_trace

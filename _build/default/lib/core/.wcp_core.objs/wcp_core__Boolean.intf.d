@@ -1,0 +1,1 @@
+lib/core/boolean.mli: Computation Cut Format Wcp_trace

@@ -1,0 +1,1 @@
+lib/core/checker_centralized.ml: App_replay Array Computation Cut Detection Engine Fun List Messages Option Queue Run_common Snapshot Spec Wcp_sim Wcp_trace

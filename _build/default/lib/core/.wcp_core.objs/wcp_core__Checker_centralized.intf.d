@@ -1,0 +1,1 @@
+lib/core/checker_centralized.mli: Computation Detection Network Spec Wcp_sim Wcp_trace

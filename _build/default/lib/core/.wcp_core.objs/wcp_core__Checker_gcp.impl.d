@@ -1,0 +1,1 @@
+lib/core/checker_gcp.ml: App_replay Array Computation Cut Detection Engine Fun Gcp List Messages Option Printf Queue Run_common Snapshot Wcp_sim Wcp_trace

@@ -1,0 +1,1 @@
+lib/core/checker_gcp.mli: Computation Detection Gcp Network Spec Wcp_sim Wcp_trace

@@ -1,0 +1,1 @@
+lib/core/cooper_marzullo.ml: Array Computation Cut Detection Hashtbl Queue Spec State Vector_clock Wcp_clocks Wcp_trace

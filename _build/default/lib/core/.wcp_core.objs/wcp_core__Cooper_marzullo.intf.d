@@ -1,0 +1,1 @@
+lib/core/cooper_marzullo.mli: Computation Cut Detection Spec Wcp_trace

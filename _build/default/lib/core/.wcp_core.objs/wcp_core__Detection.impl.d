@@ -1,0 +1,1 @@
+lib/core/detection.ml: Array Cut Format Spec State Stats Wcp_sim Wcp_trace

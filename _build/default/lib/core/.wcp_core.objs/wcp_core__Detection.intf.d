@@ -1,0 +1,1 @@
+lib/core/detection.mli: Cut Format Spec Stats Wcp_sim Wcp_trace

@@ -1,0 +1,1 @@
+lib/core/gcp.ml: Array Computation Cut Detection List Printf Spec State Wcp_trace

@@ -1,0 +1,1 @@
+lib/core/gcp.mli: Computation Cut Detection Spec Wcp_trace

@@ -1,0 +1,1 @@
+lib/core/instrument.ml: Array Dependence Engine Messages Run_common Snapshot Wcp_clocks Wcp_sim

@@ -1,0 +1,1 @@
+lib/core/instrument.mli: Engine Messages Wcp_sim

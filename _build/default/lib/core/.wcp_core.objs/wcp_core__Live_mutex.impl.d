@@ -1,0 +1,1 @@
+lib/core/live_mutex.ml: Array Builder Computation Detection Engine Hashtbl Instrument Messages Queue Rng Run_common Token_dd Token_vc Wcp_sim Wcp_trace Wcp_util

@@ -1,0 +1,1 @@
+lib/core/live_mutex.mli: Computation Detection Instrument Wcp_trace

@@ -1,0 +1,1 @@
+lib/core/messages.ml: Array Format List Snapshot

@@ -1,0 +1,1 @@
+lib/core/oracle.ml: Array Computation Cut Detection List Spec State Wcp_trace

@@ -1,0 +1,1 @@
+lib/core/oracle.mli: Computation Detection Spec Wcp_trace

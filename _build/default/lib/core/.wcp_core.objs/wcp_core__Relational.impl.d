@@ -1,0 +1,1 @@
+lib/core/relational.ml: Array Computation Cut Detection State Wcp_trace

@@ -1,0 +1,1 @@
+lib/core/relational.mli: Computation Cut Detection Wcp_trace

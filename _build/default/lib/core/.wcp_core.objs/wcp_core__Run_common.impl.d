@@ -1,0 +1,1 @@
+lib/core/run_common.ml: Computation Detection Engine Network Wcp_sim Wcp_trace

@@ -1,0 +1,1 @@
+lib/core/run_common.mli: Computation Detection Engine Messages Network Wcp_sim Wcp_trace

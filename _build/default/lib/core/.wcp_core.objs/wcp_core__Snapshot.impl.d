@@ -1,0 +1,1 @@
+lib/core/snapshot.ml: Array Computation Dependence List Spec State Wcp_clocks Wcp_trace

@@ -1,0 +1,1 @@
+lib/core/snapshot.mli: Computation Dependence Spec Wcp_clocks Wcp_trace

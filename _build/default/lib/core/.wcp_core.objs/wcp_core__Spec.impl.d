@@ -1,0 +1,1 @@
+lib/core/spec.ml: Array Computation Format Fun Wcp_clocks Wcp_trace

@@ -1,0 +1,1 @@
+lib/core/spec.mli: Computation Format Wcp_clocks Wcp_trace

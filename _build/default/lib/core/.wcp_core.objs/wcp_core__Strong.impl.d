@@ -1,0 +1,1 @@
+lib/core/strong.ml: Array Computation List Spec State Wcp_trace

@@ -1,0 +1,1 @@
+lib/core/strong.mli: Computation Spec Wcp_trace

@@ -1,0 +1,1 @@
+lib/core/token_dd.ml: App_replay Array Computation Cut Dependence Detection Engine Fun List Logs Messages Printf Queue Run_common Snapshot Wcp_clocks Wcp_sim Wcp_trace

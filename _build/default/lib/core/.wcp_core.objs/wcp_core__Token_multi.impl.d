@@ -1,0 +1,1 @@
+lib/core/token_multi.ml: App_replay Array Computation Cut Detection Engine List Messages Queue Run_common Snapshot Spec Wcp_sim Wcp_trace

@@ -1,0 +1,1 @@
+lib/core/token_multi.mli: Computation Detection Network Spec Wcp_sim Wcp_trace

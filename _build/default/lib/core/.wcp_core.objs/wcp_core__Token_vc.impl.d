@@ -1,0 +1,1 @@
+lib/core/token_vc.ml: App_replay Array Computation Cut Detection Engine List Logs Messages Printf Queue Run_common Snapshot Spec State Wcp_sim Wcp_trace

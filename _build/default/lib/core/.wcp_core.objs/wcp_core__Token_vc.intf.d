@@ -1,0 +1,1 @@
+lib/core/token_vc.mli: Computation Detection Engine Messages Network Spec Wcp_sim Wcp_trace

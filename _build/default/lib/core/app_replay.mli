@@ -1,0 +1,33 @@
+(** Application-process replay driver.
+
+    Re-executes a recorded computation inside the discrete-event
+    engine: each application process performs its sends and receives in
+    trace order (buffering out-of-order arrivals, since application
+    channels are not FIFO) and emits its local snapshots at the moment
+    it enters each snapshot-bearing state, followed by a final
+    [App_done] marker. Think-time between operations is sampled from
+    the engine's PRNG so different seeds exercise different timings of
+    the {e same} causal structure.
+
+    The monitors therefore observe exactly what they would observe
+    watching the original run live; they never look inside the recorded
+    computation. *)
+
+open Wcp_trace
+open Wcp_sim
+
+val install :
+  Messages.t Engine.t ->
+  Computation.t ->
+  snapshots:(int -> (int * Messages.t) list) ->
+  snapshot_dst:(int -> int option) ->
+  spec_width:int ->
+  ?think:float ->
+  unit ->
+  unit
+(** [snapshots p] lists, for application process [p], the snapshot
+    message to emit upon entering each listed state (ascending state
+    order). [snapshot_dst p] is the engine id receiving [p]'s snapshots
+    and final [App_done], or [None] if [p] reports to nobody.
+    [spec_width] sizes the clock tag charged on application messages.
+    [think] (default 0.3) is the mean think time before each send. *)

@@ -1,0 +1,95 @@
+open Wcp_trace
+open Wcp_sim
+
+let detect ?network ~seed comp spec =
+  let n = Computation.n comp in
+  let width = Spec.width spec in
+  let engine = Run_common.make_engine ?network ~seed comp in
+  let checker = Run_common.extra_id ~n in
+  let outcome = ref None in
+  let snapshots_seen = ref 0 in
+  let announce ctx o =
+    if !outcome = None then begin
+      outcome := Some o;
+      Engine.stop ctx
+    end
+  in
+  let queues = Array.init width (fun _ -> Queue.create ()) in
+  let finished = Array.make width false in
+  let cand : Snapshot.vc option array = Array.make width None in
+  let queued_words = ref 0 in
+  (* (k, a) happened before (l, b) iff b's clock has seen a's state. *)
+  let hb k (a : Snapshot.vc) (b : Snapshot.vc) = b.clock.(k) >= a.clock.(k) in
+  let fill ctx k =
+    let c = Queue.pop queues.(k) in
+    queued_words := !queued_words - (width + 1);
+    cand.(k) <- Some c;
+    Engine.charge_work ctx width;
+    (* Compare the fresh candidate against every standing one;
+       eliminate whichever side happened before the other. Standing
+       candidates are pairwise concurrent by induction, so at most the
+       fresh candidate dies, possibly killing several stale peers
+       first. *)
+    let l = ref 0 in
+    while cand.(k) <> None && !l < width do
+      (if !l <> k then
+         match cand.(!l) with
+         | Some other ->
+             if hb k c other then cand.(k) <- None
+             else if hb !l other c then cand.(!l) <- None
+         | None -> ());
+      incr l
+    done
+  in
+  let rec drive ctx =
+    let progressed = ref false in
+    for k = 0 to width - 1 do
+      if cand.(k) = None && not (Queue.is_empty queues.(k)) then begin
+        fill ctx k;
+        progressed := true
+      end
+    done;
+    if !progressed then drive ctx
+    else if Array.for_all Option.is_some cand then
+      let states =
+        Array.map
+          (function Some (c : Snapshot.vc) -> c.state | None -> assert false)
+          cand
+      in
+      announce ctx
+        (Detection.Detected (Cut.make ~procs:(Spec.procs spec) ~states))
+    else if
+      Array.exists
+        (fun k -> cand.(k) = None && Queue.is_empty queues.(k) && finished.(k))
+        (Array.init width Fun.id)
+    then announce ctx Detection.No_detection
+  in
+  let on_message ctx ~src msg =
+    let k = Spec.index_of spec (src : int) in
+    match msg with
+    | Messages.Snap_vc s ->
+        incr snapshots_seen;
+        Queue.add s queues.(k);
+        queued_words := !queued_words + width + 1;
+        Engine.note_space ctx !queued_words;
+        drive ctx
+    | Messages.App_done ->
+        finished.(k) <- true;
+        drive ctx
+    | _ -> failwith "Checker: unexpected message"
+  in
+  Engine.set_handler engine checker on_message;
+  App_replay.install engine comp
+    ~snapshots:(fun p ->
+      if Spec.mem spec p then
+        List.map
+          (fun (s : Snapshot.vc) -> (s.state, Messages.Snap_vc s))
+          (Snapshot.vc_stream comp spec ~proc:p)
+      else [])
+    ~snapshot_dst:(fun p -> if Spec.mem spec p then Some checker else None)
+    ~spec_width:width ();
+  let result = Run_common.finish engine ~outcome ~extras:Detection.no_extras in
+  {
+    result with
+    extras = { result.extras with snapshots = !snapshots_seen };
+  }

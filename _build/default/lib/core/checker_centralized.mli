@@ -1,0 +1,21 @@
+(** The centralized checker baseline (Garg–Waldecker [7]).
+
+    Every spec process sends its Fig. 2 local snapshots over a FIFO
+    channel to a single checker process, which runs the advance-the-cut
+    algorithm online: it keeps one candidate per process and eliminates
+    any candidate that happened before another (comparing the O(n)
+    vector clocks), declaring detection when the [n] candidates are
+    pairwise concurrent.
+
+    This is the algorithm the paper improves on: total work is the same
+    [O(n²m)], but {e all} of it — and [O(n²m)] buffer space — lands on
+    the one checker process (engine id [2N]), which is what experiment
+    E2 measures against the token algorithm's [O(nm)] per-process
+    bounds. *)
+
+open Wcp_trace
+open Wcp_sim
+
+val detect :
+  ?network:Network.t -> seed:int64 -> Computation.t -> Spec.t ->
+  Detection.result

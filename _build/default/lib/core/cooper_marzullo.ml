@@ -1,0 +1,158 @@
+open Wcp_trace
+open Wcp_clocks
+
+type exploration = { cuts_explored : int; max_frontier : int }
+
+module Key = struct
+  type t = int array
+
+  let equal = ( = )
+
+  let hash = Hashtbl.hash
+end
+
+module Seen = Hashtbl.Make (Key)
+
+let detect ?(limit = 5_000_000) comp phi =
+  let n = Computation.n comp in
+  let explored = ref 0 in
+  let max_frontier = ref 0 in
+  let seen = Seen.create 1024 in
+  let initial = Array.make n 1 in
+  (* The all-initial-states cut is always consistent. *)
+  let frontier = Queue.create () in
+  Queue.add initial frontier;
+  Seen.replace seen initial ();
+  let exploration () =
+    { cuts_explored = !explored; max_frontier = !max_frontier }
+  in
+  (* Advancing process [i] within a consistent cut stays consistent iff
+     the new state of [i] has not seen past any other selected state:
+     forall j <> i, vc(i, c_i + 1).(j) < c_j. *)
+  let can_advance cut i =
+    cut.(i) < Computation.num_states comp i
+    &&
+    let v = Computation.vc comp (State.make ~proc:i ~index:(cut.(i) + 1)) in
+    let rec ok j =
+      j = n || ((j = i || Vector_clock.get v j < cut.(j)) && ok (j + 1))
+    in
+    ok 0
+  in
+  let rec level () =
+    if Queue.is_empty frontier then Ok (Detection.No_detection, exploration ())
+    else begin
+      let width = Queue.length frontier in
+      if width > !max_frontier then max_frontier := width;
+      let hit = ref None in
+      let next = Queue.create () in
+      (try
+         while not (Queue.is_empty frontier) do
+           let cut = Queue.pop frontier in
+           incr explored;
+           if !explored > limit then raise Exit;
+           let as_cut = Cut.over_all comp cut in
+           if phi as_cut then begin
+             hit := Some as_cut;
+             raise Exit
+           end;
+           for i = 0 to n - 1 do
+             if can_advance cut i then begin
+               let succ = Array.copy cut in
+               succ.(i) <- succ.(i) + 1;
+               if not (Seen.mem seen succ) then begin
+                 Seen.replace seen succ ();
+                 Queue.add succ next
+               end
+             end
+           done
+         done
+       with Exit -> ());
+      match !hit with
+      | Some cut -> Ok (Detection.Detected cut, exploration ())
+      | None ->
+          if !explored > limit then Error (exploration ())
+          else begin
+            Queue.transfer next frontier;
+            level ()
+          end
+    end
+  in
+  level ()
+
+let definitely ?(limit = 5_000_000) comp phi =
+  let n = Computation.n comp in
+  let explored = ref 0 in
+  let max_frontier = ref 0 in
+  let exploration () =
+    { cuts_explored = !explored; max_frontier = !max_frontier }
+  in
+  let final = Array.init n (fun p -> Computation.num_states comp p) in
+  let can_advance cut i =
+    cut.(i) < Computation.num_states comp i
+    &&
+    let v = Computation.vc comp (State.make ~proc:i ~index:(cut.(i) + 1)) in
+    let rec ok j =
+      j = n || ((j = i || Vector_clock.get v j < cut.(j)) && ok (j + 1))
+    in
+    ok 0
+  in
+  (* Frontier: cuts at the current level reachable from the initial cut
+     without passing through any phi-cut. *)
+  let seen = Seen.create 1024 in
+  let initial = Array.make n 1 in
+  let frontier = Queue.create () in
+  if not (phi (Cut.over_all comp initial)) then begin
+    Queue.add initial frontier;
+    Seen.replace seen initial ()
+  end;
+  incr explored;
+  let rec level () =
+    if Queue.is_empty frontier then
+      (* Every observation was forced through a phi-cut. *)
+      Ok (true, exploration ())
+    else if Queue.fold (fun acc c -> acc || c = final) false frontier then
+      (* Some observation reaches the end phi-free. *)
+      Ok (false, exploration ())
+    else begin
+      let width = Queue.length frontier in
+      if width > !max_frontier then max_frontier := width;
+      let next = Queue.create () in
+      let aborted = ref false in
+      while not (Queue.is_empty frontier) do
+        let cut = Queue.pop frontier in
+        for i = 0 to n - 1 do
+          if can_advance cut i then begin
+            let succ = Array.copy cut in
+            succ.(i) <- succ.(i) + 1;
+            if not (Seen.mem seen succ) then begin
+              Seen.replace seen succ ();
+              incr explored;
+              if !explored > limit then aborted := true;
+              if not (phi (Cut.over_all comp succ)) then Queue.add succ next
+            end
+          end
+        done
+      done;
+      if !aborted then Error (exploration ())
+      else begin
+        Queue.transfer next frontier;
+        level ()
+      end
+    end
+  in
+  level ()
+
+let wcp_phi comp spec cut =
+  let w = Cut.width cut in
+  let rec ok k =
+    if k = w then true
+    else
+      let s = Cut.state cut k in
+      ((not (Spec.mem spec s.State.proc)) || Computation.pred comp s)
+      && ok (k + 1)
+  in
+  ok 0
+
+let definitely_wcp ?limit comp spec = definitely ?limit comp (wcp_phi comp spec)
+
+let detect_wcp ?limit comp spec = detect ?limit comp (wcp_phi comp spec)

@@ -1,0 +1,59 @@
+(** Cooper–Marzullo lattice detection (baseline [3]).
+
+    Detects [Possibly(φ)] for an arbitrary global predicate [φ] by
+    breadth-first search over the lattice of consistent global states,
+    level by level (level = sum of state indices). This is the general
+    but expensive baseline the paper contrasts with: the number of
+    consistent cuts can be exponential in [N], which is exactly why
+    WCP-specific algorithms matter.
+
+    For a WCP the first satisfying cut is the unique satisfying cut on
+    the lowest satisfying level, so when [detect] is given a WCP it
+    returns the same first cut as the oracle (over all [N]
+    processes). *)
+
+open Wcp_trace
+
+type exploration = {
+  cuts_explored : int;  (** consistent cuts visited *)
+  max_frontier : int;  (** widest BFS level *)
+}
+
+val detect :
+  ?limit:int ->
+  Computation.t ->
+  (Cut.t -> bool) ->
+  (Detection.outcome * exploration, exploration) result
+(** [detect comp phi] searches for the first consistent cut (over all
+    processes) satisfying [phi]. [limit] (default 5 million) bounds
+    visited cuts; [Error] reports the exploration when exceeded. *)
+
+val detect_wcp :
+  ?limit:int ->
+  Computation.t ->
+  Spec.t ->
+  (Detection.outcome * exploration, exploration) result
+(** [detect] specialised to a WCP: [phi] is the conjunction of the spec
+    processes' local predicates. *)
+
+val definitely :
+  ?limit:int ->
+  Computation.t ->
+  (Cut.t -> bool) ->
+  (bool * exploration, exploration) result
+(** [Definitely(φ)] (Cooper–Marzullo's stronger modality): does {e
+    every} observation of the run — every path through the lattice of
+    consistent cuts from the initial to the final cut — pass through a
+    cut satisfying [φ]? Computed by the level-sweep: keep only the cuts
+    reachable without meeting a [φ]-cut; [Definitely] holds iff that
+    set empties before the final cut is reached. *)
+
+val definitely_wcp :
+  ?limit:int ->
+  Computation.t ->
+  Spec.t ->
+  (bool * exploration, exploration) result
+(** {!definitely} for the conjunction of the spec processes' local
+    predicates. [Definitely ⇒ Possibly]; the reverse fails whenever the
+    condition can be "dodged" by a different interleaving — the reason
+    testbed reruns miss bugs that WCP detection catches. *)

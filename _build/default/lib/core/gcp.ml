@@ -1,0 +1,181 @@
+open Wcp_trace
+
+type channel_predicate = {
+  name : string;
+  src : int;
+  dst : int;
+  holds : Computation.message list -> bool;
+  holds_count : (int -> bool) option;
+      (* count-based form, when the predicate depends only on the
+         number of in-flight messages (the online checker needs it) *)
+  on_false : [ `Advance_src | `Advance_dst ];
+}
+
+let channel_predicate ~name ~src ~dst ~holds ~on_false =
+  { name; src; dst; holds; holds_count = None; on_false }
+
+let counting ~name ~src ~dst ~holds_count ~on_false =
+  {
+    name;
+    src;
+    dst;
+    holds = (fun msgs -> holds_count (List.length msgs));
+    holds_count = Some holds_count;
+    on_false;
+  }
+
+let empty ~src ~dst =
+  counting
+    ~name:(Printf.sprintf "empty(%d->%d)" src dst)
+    ~src ~dst
+    ~holds_count:(fun k -> k = 0)
+    ~on_false:`Advance_dst
+
+let at_most k ~src ~dst =
+  counting
+    ~name:(Printf.sprintf "at-most-%d(%d->%d)" k src dst)
+    ~src ~dst
+    ~holds_count:(fun c -> c <= k)
+    ~on_false:`Advance_dst
+
+let at_least k ~src ~dst =
+  counting
+    ~name:(Printf.sprintf "at-least-%d(%d->%d)" k src dst)
+    ~src ~dst
+    ~holds_count:(fun c -> c >= k)
+    ~on_false:`Advance_src
+
+let name cp = cp.name
+
+let endpoints cp = (cp.src, cp.dst)
+
+let forced_endpoint cp =
+  match cp.on_false with `Advance_src -> cp.src | `Advance_dst -> cp.dst
+
+let count_based cp = cp.holds_count
+
+(* A message has been sent at local state [s] iff its send event (which
+   ends state [src_state]) precedes [s]: src_state < s. It has been
+   received at local state [t] iff the receive event (which begins
+   state [dst_state]) has happened: dst_state <= t. *)
+let in_flight comp ~src ~dst ~cut =
+  let w = Cut.width cut in
+  if w <> Computation.n comp then
+    invalid_arg "Gcp.in_flight: cut must span all processes";
+  let state_of p = (Cut.state cut p).State.index in
+  let s = state_of src and t = state_of dst in
+  Array.to_list (Computation.messages comp)
+  |> List.filter (fun (m : Computation.message) ->
+         m.Computation.src = src && m.Computation.dst = dst
+         && m.Computation.src_state < s
+         && m.Computation.dst_state > t)
+
+let holds_at comp cp ~cut = cp.holds (in_flight comp ~src:cp.src ~dst:cp.dst ~cut)
+
+let check_channels comp channels =
+  let n = Computation.n comp in
+  List.iter
+    (fun cp ->
+      if cp.src < 0 || cp.src >= n || cp.dst < 0 || cp.dst >= n then
+        invalid_arg "Gcp: channel endpoint out of range")
+    channels
+
+let candidates_for comp spec p =
+  if Spec.mem spec p then Computation.candidates comp p
+  else List.init (Computation.num_states comp p) (fun k -> k + 1)
+
+let detect comp spec ~channels =
+  check_channels comp channels;
+  let n = Computation.n comp in
+  let queues = Array.init n (fun p -> candidates_for comp spec p) in
+  let head p = match queues.(p) with [] -> None | s :: _ -> Some s in
+  let state_of p s = State.make ~proc:p ~index:s in
+  let current_cut () =
+    let states =
+      Array.init n (fun p ->
+          match head p with Some s -> s | None -> assert false)
+    in
+    Cut.over_all comp states
+  in
+  (* A head that happened before another head can never join a
+     satisfying cut (Lemma 3.1(4) reasoning over all N processes). *)
+  let find_hb_eliminable () =
+    let rec scan p q =
+      if p = n then None
+      else if q = n then scan (p + 1) 0
+      else if p = q then scan p (q + 1)
+      else
+        match (head p, head q) with
+        | Some a, Some b
+          when Computation.happened_before comp (state_of p a) (state_of q b)
+          -> Some p
+        | _ -> scan p (q + 1)
+    in
+    scan 0 0
+  in
+  let find_channel_eliminable () =
+    let cut = current_cut () in
+    let rec scan = function
+      | [] -> None
+      | cp :: rest ->
+          if holds_at comp cp ~cut then scan rest
+          else
+            Some (match cp.on_false with `Advance_src -> cp.src | `Advance_dst -> cp.dst)
+    in
+    scan channels
+  in
+  let rec advance () =
+    if Array.exists (fun q -> q = []) queues then Detection.No_detection
+    else
+      match find_hb_eliminable () with
+      | Some p ->
+          queues.(p) <- List.tl queues.(p);
+          advance ()
+      | None -> (
+          (* The cut is consistent; channel states are well-defined. *)
+          match find_channel_eliminable () with
+          | Some p ->
+              queues.(p) <- List.tl queues.(p);
+              advance ()
+          | None -> Detection.Detected (current_cut ()))
+  in
+  advance ()
+
+let detect_brute comp spec ~channels =
+  check_channels comp channels;
+  let n = Computation.n comp in
+  let cand = Array.init n (fun p -> Array.of_list (candidates_for comp spec p)) in
+  if Array.exists (fun a -> Array.length a = 0) cand then Detection.No_detection
+  else begin
+    let combos =
+      Array.fold_left (fun acc a -> acc * Array.length a) 1 cand
+    in
+    if combos > 2_000_000 then
+      invalid_arg "Gcp.detect_brute: too many combinations";
+    let best = ref None in
+    let pick = Array.make n 0 in
+    let rec explore k =
+      if k = n then begin
+        let states = Array.mapi (fun p j -> cand.(p).(j)) pick in
+        let cut = Cut.over_all comp states in
+        if
+          Cut.consistent comp cut
+          && List.for_all (fun cp -> holds_at comp cp ~cut) channels
+        then
+          best :=
+            Some
+              (match !best with
+              | None -> states
+              | Some b -> Array.map2 min b states)
+      end
+      else
+        for j = 0 to Array.length cand.(k) - 1 do
+          pick.(k) <- j;
+          explore (k + 1)
+        done
+    in
+    explore 0;
+    match !best with
+    | None -> Detection.No_detection
+    | Some states -> Detection.Detected (Cut.over_all comp states)
+  end

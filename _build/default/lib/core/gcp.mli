@@ -1,0 +1,99 @@
+(** Generalized Conjunctive Predicates — the channel-predicate
+    extension (Garg, Chase, Mitchell & Kilgore [6], cited in §1).
+
+    A GCP conjoins local predicates with predicates over channel
+    states: the messages sent but not yet received on a directed
+    channel at the cut. Detection of the first satisfying cut remains
+    possible when every channel predicate is {e linear}: whenever it is
+    false at a cut, one identifiable endpoint can never satisfy it
+    without advancing, so that endpoint's state can be eliminated.
+
+    The built-in predicates and their forced endpoints:
+    - {!empty} / {!at_most}: false means too many messages are in
+      flight; only the receiver can drain them (sends only add), so
+      the receiver advances;
+    - {!at_least}: false means too few; only the sender can add, so
+      the sender advances.
+
+    This module implements the centralized checker of [6] offline, on
+    a recorded computation; it generalizes {!Oracle.first_cut}, to
+    which it degenerates when [channels] is empty. The cut spans all
+    [N] processes (channel states are only well-defined on full
+    cuts). *)
+
+open Wcp_trace
+
+type channel_predicate
+
+val channel_predicate :
+  name:string ->
+  src:int ->
+  dst:int ->
+  holds:(Computation.message list -> bool) ->
+  on_false:[ `Advance_src | `Advance_dst ] ->
+  channel_predicate
+(** Custom linear channel predicate over the in-flight messages of the
+    channel [src → dst]. {b The caller asserts linearity}: [on_false]
+    must name an endpoint whose current state cannot belong to any
+    satisfying cut that agrees with the current cut elsewhere. A
+    non-linear predicate can make {!detect} miss the first cut (it will
+    still only ever report satisfying cuts). *)
+
+val empty : src:int -> dst:int -> channel_predicate
+(** The channel carries no in-flight message. *)
+
+val at_most : int -> src:int -> dst:int -> channel_predicate
+(** At most [k] messages in flight. *)
+
+val at_least : int -> src:int -> dst:int -> channel_predicate
+(** At least [k] messages in flight. *)
+
+val counting :
+  name:string ->
+  src:int ->
+  dst:int ->
+  holds_count:(int -> bool) ->
+  on_false:[ `Advance_src | `Advance_dst ] ->
+  channel_predicate
+(** Like {!channel_predicate}, but depending only on the {e number} of
+    in-flight messages; such predicates can also be detected online by
+    {!Checker_gcp}, which sees message counters rather than message
+    lists. The built-ins below are all counting predicates. *)
+
+val name : channel_predicate -> string
+
+val endpoints : channel_predicate -> int * int
+(** [(src, dst)]. *)
+
+val forced_endpoint : channel_predicate -> int
+(** The endpoint eliminated when the predicate is false at a consistent
+    cut. *)
+
+val count_based : channel_predicate -> (int -> bool) option
+(** The counting form, when there is one. *)
+
+val in_flight :
+  Computation.t -> src:int -> dst:int -> cut:Cut.t -> Computation.message list
+(** Messages sent on [src → dst] strictly before [src]'s cut state and
+    not yet received at [dst]'s cut state. [cut] must span all
+    processes. *)
+
+val holds_at : Computation.t -> channel_predicate -> cut:Cut.t -> bool
+
+val detect :
+  Computation.t ->
+  Spec.t ->
+  channels:channel_predicate list ->
+  Detection.outcome
+(** First consistent cut (over all [N] processes) where every spec
+    process's local predicate and every channel predicate holds.
+    @raise Invalid_argument if a channel endpoint is out of range. *)
+
+val detect_brute :
+  Computation.t ->
+  Spec.t ->
+  channels:channel_predicate list ->
+  Detection.outcome
+(** Exponential reference: pointwise minimum over all satisfying cuts.
+    Test use only.
+    @raise Invalid_argument beyond 2 million combinations. *)

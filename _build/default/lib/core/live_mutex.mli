@@ -1,0 +1,41 @@
+(** A live, instrumented application: coordinator-based mutual
+    exclusion under online WCP monitoring.
+
+    This is the paper's Fig. 1 picture end to end, with no recorded
+    trace anywhere in the loop: clients and a coordinator exchange
+    request/grant/release messages inside the simulation engine, each
+    application process runs the Fig. 2 / §4.1 instrumentation
+    ({!Instrument}), and the monitor processes of {!Token_vc} or
+    {!Token_dd} detect [CS_1 ∧ CS_2] online. A race in the coordinator
+    (probability [p_bug] per grant decision while another grant is
+    outstanding) makes violations possible.
+
+    For validation the run also records itself through
+    {!Wcp_trace.Builder}; the recorded computation is returned so tests
+    can replay the oracle on it and confirm the online verdict. The
+    monitors never see the recording. *)
+
+open Wcp_trace
+
+type outcome = {
+  online : Detection.outcome;
+      (** what the online monitors decided; for [Dd] mode the cut spans
+          all processes *)
+  recorded : Computation.t;
+      (** the ground-truth computation, recorded on the side *)
+  wcp_procs : int array;  (** the monitored processes (clients 1 and 2) *)
+  sim_time : float;
+  detection_time : float option;
+      (** simulated time at which the online verdict landed, [None] if
+          the run ended first *)
+}
+
+val run :
+  ?p_bug:float ->
+  mode:Instrument.mode ->
+  clients:int ->
+  rounds:int ->
+  seed:int64 ->
+  unit ->
+  outcome
+(** @raise Invalid_argument for [clients < 2] or [rounds < 1]. *)

@@ -1,0 +1,70 @@
+type color = Red | Green
+
+type tag = Vc_tag of int array | Dd_tag of { src : int; clock : int }
+
+type t =
+  | App_msg of { msg_id : int }
+  | App_data of { tag : tag; kind : int; data : int }
+  | Snap_vc of Snapshot.vc
+  | Snap_dd of Snapshot.dd
+  | Snap_gcp of { state : int; clock : int array; counts : int array }
+  | App_done
+  | Vc_token of { g : int array; color : color array }
+  | Group_token of { g : int array; color : color array; group : int }
+  | Group_return of { g : int array; color : color array; group : int }
+  | Dd_token
+  | Poll of { clock : int; next_red : int option }
+  | Poll_reply of { became_red : bool }
+
+let word = 32
+
+let tag_bits = function
+  | Vc_tag v -> word * Array.length v
+  | Dd_tag _ -> word
+
+let bits ~spec_width = function
+  | App_msg _ -> word * (1 + spec_width)
+  | App_data { tag; _ } -> (word * 2) + tag_bits tag
+  | Snap_vc _ -> word * (spec_width + 1)
+  | Snap_dd { deps; _ } -> word * (1 + (2 * List.length deps))
+  | Snap_gcp { clock; counts; _ } ->
+      word * (1 + Array.length clock + Array.length counts)
+  | App_done -> word
+  | Vc_token _ | Group_token _ | Group_return _ -> word * 2 * spec_width
+  | Dd_token -> word
+  | Poll _ -> word * 2
+  | Poll_reply _ -> 1
+
+let pp_color ppf = function
+  | Red -> Format.pp_print_string ppf "R"
+  | Green -> Format.pp_print_string ppf "G"
+
+let pp_vec ppf (g, color) =
+  Format.pp_print_char ppf '[';
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Format.pp_print_char ppf ' ';
+      Format.fprintf ppf "%d%a" v pp_color color.(i))
+    g;
+  Format.pp_print_char ppf ']'
+
+let pp ppf = function
+  | App_msg { msg_id } -> Format.fprintf ppf "app#%d" msg_id
+  | App_data { kind; data; _ } -> Format.fprintf ppf "app-data(%d,%d)" kind data
+  | Snap_vc { state; _ } -> Format.fprintf ppf "snap-vc@%d" state
+  | Snap_dd { state; deps } ->
+      Format.fprintf ppf "snap-dd@%d(%d deps)" state (List.length deps)
+  | Snap_gcp { state; counts; _ } ->
+      Format.fprintf ppf "snap-gcp@%d(%d channels)" state (Array.length counts)
+  | App_done -> Format.pp_print_string ppf "app-done"
+  | Vc_token { g; color } -> Format.fprintf ppf "token%a" pp_vec (g, color)
+  | Group_token { g; color; group } ->
+      Format.fprintf ppf "gtoken%d%a" group pp_vec (g, color)
+  | Group_return { g; color; group } ->
+      Format.fprintf ppf "greturn%d%a" group pp_vec (g, color)
+  | Dd_token -> Format.pp_print_string ppf "dd-token"
+  | Poll { clock; next_red } ->
+      Format.fprintf ppf "poll(%d,%s)" clock
+        (match next_red with None -> "-" | Some p -> string_of_int p)
+  | Poll_reply { became_red } ->
+      Format.fprintf ppf "reply(%s)" (if became_red then "became-red" else "no-change")

@@ -1,0 +1,58 @@
+(** The wire protocol shared by all online detection algorithms.
+
+    A single variant covers application traffic, snapshots, and every
+    monitor-to-monitor message, so one engine instance can run any of
+    the algorithms. The {!bits} function implements the size accounting
+    policy from DESIGN.md §3 (32-bit words). *)
+
+type color = Red | Green
+
+type tag = Vc_tag of int array | Dd_tag of { src : int; clock : int }
+(** Clock tag piggybacked on live application messages: the [n]-entry
+    vector clock (Fig. 2) or the sender's scalar clock (§4.1). Tags on
+    {e replayed} traffic are implicit (see {!App_msg}). *)
+
+type t =
+  | App_msg of { msg_id : int }
+      (** Replayed application message. The clock tag it would carry is
+          accounted for in {!bits} but not materialised: the replay
+          harness already knows every clock from the recorded
+          computation, and the monitors never see application
+          messages. *)
+  | App_data of { tag : tag; kind : int; data : int }
+      (** Live application message (paired with {!Instrument}): the
+          clock tag plus a small protocol-specific payload. *)
+  | Snap_vc of Snapshot.vc  (** Fig. 2 local snapshot *)
+  | Snap_dd of Snapshot.dd  (** §4.1 local snapshot *)
+  | Snap_gcp of { state : int; clock : int array; counts : int array }
+      (** GCP-mode snapshot ([6], see {!Checker_gcp}): full [N]-wide
+          vector clock plus, per monitored channel on which this
+          process is an endpoint, its send (resp. receive) counter at
+          this state. *)
+  | App_done
+      (** End-of-trace marker (finite-run extension, DESIGN.md §3). *)
+  | Vc_token of { g : int array; color : color array }
+      (** The §3 token: candidate cut and colors, spec-indexed. *)
+  | Group_token of { g : int array; color : color array; group : int }
+      (** §3.5: a group's token, dispatched by the leader. *)
+  | Group_return of { g : int array; color : color array; group : int }
+      (** §3.5: group token returning to the leader. *)
+  | Dd_token  (** §4: the empty token. *)
+  | Poll of { clock : int; next_red : int option }
+      (** §4 poll: a dependence's clock and the poller's red-chain
+          successor. *)
+  | Poll_reply of { became_red : bool }
+
+val bits : spec_width:int -> t -> int
+(** Size of a message in bits under the 32-bit-word policy:
+    - [App_msg]: word payload + clock tag ([spec_width] words for the
+      vector-clock algorithms — callers pass [~spec_width:1] when
+      running the scalar-clock §4 algorithm);
+    - [App_data]: two payload words + the actual tag's size;
+    - [Snap_vc]: [spec_width + 1] words; [Snap_dd]: [1 + 2·|deps|];
+    - [Snap_gcp]: [1 + N + #channels] words;
+    - [Vc_token]/[Group_token]/[Group_return]: [2·spec_width] words
+      ([G] plus colors);
+    - [Dd_token]: 1 word; [Poll]: 2 words; [Poll_reply]: 1 bit. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,89 @@
+open Wcp_trace
+
+let first_cut_with comp ~procs ~candidates =
+  let n = Array.length procs in
+  if n = 0 then invalid_arg "Oracle.first_cut_with: no processes";
+  (* Per process: remaining candidate states, earliest first. *)
+  let queues = Array.map candidates procs in
+  let head k =
+    match queues.(k) with [] -> None | s :: _ -> Some s
+  in
+  let state_of k s = State.make ~proc:procs.(k) ~index:s in
+  (* Find a candidate that happened before another candidate; it can be
+     eliminated (paper Lemma 3.1 part 4 reasoning). *)
+  let find_eliminable () =
+    let rec scan k l =
+      if k = n then None
+      else if l = n then scan (k + 1) 0
+      else if k = l then scan k (l + 1)
+      else
+        match (head k, head l) with
+        | Some a, Some b
+          when Computation.happened_before comp (state_of k a) (state_of l b)
+          -> Some k
+        | _ -> scan k (l + 1)
+    in
+    scan 0 0
+  in
+  let rec advance () =
+    if Array.exists (fun q -> q = []) queues then Detection.No_detection
+    else
+      match find_eliminable () with
+      | Some k ->
+          queues.(k) <- List.tl queues.(k);
+          advance ()
+      | None ->
+          let states =
+            Array.map
+              (fun q -> match q with s :: _ -> s | [] -> assert false)
+              queues
+          in
+          Detection.Detected (Cut.make ~procs ~states)
+  in
+  advance ()
+
+let first_cut comp spec =
+  first_cut_with comp ~procs:(Spec.procs spec)
+    ~candidates:(Computation.candidates comp)
+
+let first_cut_brute comp spec =
+  let procs = Spec.procs spec in
+  let candidate_lists = Array.map (Computation.candidates comp) procs in
+  let combos =
+    Array.fold_left (fun acc l -> acc * List.length l) 1 candidate_lists
+  in
+  if Array.exists (fun l -> l = []) candidate_lists then Detection.No_detection
+  else begin
+    if combos > 2_000_000 then
+      invalid_arg "Oracle.first_cut_brute: too many combinations";
+    let arrays = Array.map Array.of_list candidate_lists in
+    let n = Array.length procs in
+    let best : int array option ref = ref None in
+    let pick = Array.make n 0 in
+    let rec explore k =
+      if k = n then begin
+        let states = Array.mapi (fun i j -> arrays.(i).(j)) pick in
+        let cut = Cut.make ~procs ~states in
+        if Cut.satisfies comp cut then
+          best :=
+            Some
+              (match !best with
+              | None -> states
+              | Some b -> Array.map2 min b states)
+      end
+      else
+        for j = 0 to Array.length arrays.(k) - 1 do
+          pick.(k) <- j;
+          explore (k + 1)
+        done
+    in
+    explore 0;
+    match !best with
+    | None -> Detection.No_detection
+    | Some states -> Detection.Detected (Cut.make ~procs ~states)
+  end
+
+let satisfiable comp spec =
+  match first_cut comp spec with
+  | Detection.Detected _ -> true
+  | Detection.No_detection -> false

@@ -1,0 +1,39 @@
+(** Offline reference detectors.
+
+    {!first_cut} runs the classic advance-the-cut WCP algorithm of
+    Garg–Waldecker [7] directly on a recorded computation: keep one
+    candidate state per spec process, repeatedly eliminate any
+    candidate that happened before another candidate, and stop when the
+    survivors are pairwise concurrent (detected) or some process runs
+    out of candidates (no detection). Because a WCP is a {e linear}
+    predicate, the eliminated states can never appear in any satisfying
+    cut, so the algorithm finds the unique pointwise-least satisfying
+    cut — the paper's "first cut".
+
+    {!first_cut_brute} enumerates every combination of candidate
+    states and returns the pointwise minimum of all satisfying cuts.
+    Exponential; only for cross-validating {!first_cut} on small
+    computations in the test suite. *)
+
+open Wcp_trace
+
+val first_cut : Computation.t -> Spec.t -> Detection.outcome
+
+val first_cut_with :
+  Computation.t ->
+  procs:int array ->
+  candidates:(int -> int list) ->
+  Detection.outcome
+(** Generalised advance-the-cut: detect over the given (sorted,
+    distinct) processes with caller-supplied candidate-state lists
+    (ascending). {!first_cut} is the instance where candidates are the
+    recorded predicate-true states; {!Boolean.detect} supplies
+    conjunctions of arbitrary local literals instead. *)
+
+val first_cut_brute : Computation.t -> Spec.t -> Detection.outcome
+(** @raise Invalid_argument if the candidate-combination count exceeds
+    2 million (refuse rather than hang). *)
+
+val satisfiable : Computation.t -> Spec.t -> bool
+(** Does any consistent cut satisfy the WCP? ([first_cut] ≠
+    [No_detection].) *)

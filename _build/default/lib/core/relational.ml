@@ -1,0 +1,113 @@
+open Wcp_trace
+
+type valuation = proc:int -> state:int -> int
+
+let of_pred comp ?(when_true = 1) ?(when_false = 0) () : valuation =
+ fun ~proc ~state ->
+  if Computation.pred comp (State.make ~proc ~index:state) then when_true
+  else when_false
+
+let sum_at comp v cut =
+  ignore comp;
+  let total = ref 0 in
+  for k = 0 to Cut.width cut - 1 do
+    let s = Cut.state cut k in
+    total := !total + v ~proc:s.State.proc ~state:s.State.index
+  done;
+  !total
+
+let min_sum_pair comp v ~p ~q =
+  let n = Computation.n comp in
+  if p = q || p < 0 || q < 0 || p >= n || q >= n then
+    invalid_arg "Relational.min_sum_pair: bad processes";
+  let lo = min p q and hi = max p q in
+  let best = ref None in
+  for a = 1 to Computation.num_states comp lo do
+    for b = 1 to Computation.num_states comp hi do
+      if
+        Computation.concurrent comp
+          (State.make ~proc:lo ~index:a)
+          (State.make ~proc:hi ~index:b)
+      then begin
+        let s = v ~proc:lo ~state:a + v ~proc:hi ~state:b in
+        match !best with
+        | Some (s', _, _) when s' <= s -> ()
+        | _ -> best := Some (s, a, b)
+      end
+    done
+  done;
+  match !best with
+  | Some (s, a, b) -> (s, Cut.make ~procs:[| lo; hi |] ~states:[| a; b |])
+  | None ->
+      (* Initial states are always pairwise concurrent. *)
+      assert false
+
+let min_sum ?(limit = 2_000_000) comp v ~procs =
+  let w = Array.length procs in
+  if w = 0 then invalid_arg "Relational.min_sum: no processes";
+  Array.iteri
+    (fun k p ->
+      if p < 0 || p >= Computation.n comp then
+        invalid_arg "Relational.min_sum: bad process";
+      if k > 0 && procs.(k - 1) >= p then
+        invalid_arg "Relational.min_sum: procs must be strictly increasing")
+    procs;
+  let states p = Computation.num_states comp p in
+  let best = ref None in
+  let examined = ref 0 in
+  let pick = Array.make w 0 in
+  let exception Limit in
+  (* Depth-first over state combinations; prune a branch as soon as a
+     chosen pair is ordered (consistency is pairwise). *)
+  let rec explore k =
+    if k = w then begin
+      incr examined;
+      if !examined > limit then raise Limit;
+      let s =
+        let acc = ref 0 in
+        for i = 0 to w - 1 do
+          acc := !acc + v ~proc:procs.(i) ~state:pick.(i)
+        done;
+        !acc
+      in
+      match !best with
+      | Some (s', _) when s' <= s -> ()
+      | _ -> best := Some (s, Array.copy pick)
+    end
+    else
+      for cand = 1 to states procs.(k) do
+        incr examined;
+        if !examined > limit then raise Limit;
+        pick.(k) <- cand;
+        let consistent_so_far =
+          let rec ok i =
+            i >= k
+            || (Computation.concurrent comp
+                  (State.make ~proc:procs.(i) ~index:pick.(i))
+                  (State.make ~proc:procs.(k) ~index:cand)
+               && ok (i + 1))
+          in
+          ok 0
+        in
+        if consistent_so_far then explore (k + 1)
+      done
+  in
+  match explore 0 with
+  | () -> (
+      match !best with
+      | Some (s, states) -> Ok (s, Cut.make ~procs ~states)
+      | None -> assert false (* the all-initial cut is consistent *))
+  | exception Limit -> Error `Limit
+
+let negate (v : valuation) ~proc ~state = -v ~proc ~state
+
+let max_sum ?limit comp v ~procs =
+  match min_sum ?limit comp (negate v) ~procs with
+  | Ok (s, cut) -> Ok (-s, cut)
+  | Error `Limit -> Error `Limit
+
+let possibly_sum_leq ?limit comp v ~procs ~k =
+  match min_sum ?limit comp v ~procs with
+  | Ok (s, cut) ->
+      Ok (if s <= k then Detection.Detected cut else Detection.No_detection)
+  | Error `Limit -> Error `Limit

@@ -1,0 +1,75 @@
+(** Relational global predicates (Tomlinson & Garg [13], cited in §1).
+
+    A {e relational} predicate constrains integer-valued local
+    variables across processes — the canonical example is
+    [x₁ + x₂ ≤ k] ("the two bank branches' combined balance dropped
+    below the reserve"). Such predicates are not conjunctions of local
+    predicates, so the WCP machinery does not apply directly; they are
+    detected by minimising the sum over consistent cuts.
+
+    Local variables are supplied as a {!valuation} — a function from a
+    process's local state to the variable's value there (the recorded
+    computation only stores predicate booleans; valuations live beside
+    it, exactly like {!Boolean}'s primitives).
+
+    Detection answers: what is the minimum of [Σᵢ xᵢ] over all
+    consistent cuts spanning the given processes, and at which cut is
+    it attained? [x₁ + x₂ ≤ k] was possible iff the minimum is [≤ k].
+    Maximisation (for [≥ k] questions) is the same problem on negated
+    valuations, provided as {!max_sum} for convenience.
+
+    Two evaluators:
+    - {!min_sum_pair}: the two-process case in O(states²) pair
+      enumeration with O(1) concurrency tests — the case [13] treats
+      efficiently;
+    - {!min_sum}: any width, by bounded exhaustive search over
+      state combinations with pairwise-consistency pruning. *)
+
+open Wcp_trace
+
+type valuation = proc:int -> state:int -> int
+
+val of_pred :
+  Computation.t -> ?when_true:int -> ?when_false:int -> unit -> valuation
+(** Valuation view of the recorded predicate flags (default 1/0) —
+    e.g. [Σ flags = n] is "all predicates hold", connecting relational
+    and conjunctive detection in tests. *)
+
+val sum_at : Computation.t -> valuation -> Cut.t -> int
+(** [Σ] of the valuation over the cut's states. *)
+
+val min_sum_pair :
+  Computation.t -> valuation -> p:int -> q:int -> int * Cut.t
+(** Minimum of [x_p + x_q] over consistent two-process cuts, with a
+    witness cut (the lexicographically least among minimisers). Always
+    defined: initial states are mutually concurrent.
+    @raise Invalid_argument if [p = q] or out of range. *)
+
+val min_sum :
+  ?limit:int ->
+  Computation.t ->
+  valuation ->
+  procs:int array ->
+  (int * Cut.t, [ `Limit ]) result
+(** Minimum over consistent cuts spanning [procs] (sorted, distinct),
+    with a witness. [limit] (default 2 million) bounds the state
+    combinations examined. *)
+
+val max_sum :
+  ?limit:int ->
+  Computation.t ->
+  valuation ->
+  procs:int array ->
+  (int * Cut.t, [ `Limit ]) result
+
+val possibly_sum_leq :
+  ?limit:int ->
+  Computation.t ->
+  valuation ->
+  procs:int array ->
+  k:int ->
+  (Detection.outcome, [ `Limit ]) result
+(** [Detected cut] iff some consistent cut has [Σ ≤ k]; the witness is
+    the minimising cut (not in general the temporally first such
+    cut — relational predicates are not linear, so a unique first cut
+    need not exist). *)

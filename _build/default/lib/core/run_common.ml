@@ -1,0 +1,34 @@
+open Wcp_trace
+open Wcp_sim
+
+let monitor_of ~n p = n + p
+
+let extra_id ~n = 2 * n
+
+let default_network ~n =
+  let fifo ~src ~dst =
+    src < n && (dst = monitor_of ~n src || dst = extra_id ~n)
+  in
+  Network.create ~fifo ~latency:(Network.Uniform (0.5, 1.5)) ()
+
+let make_engine_n ?network ~seed ~n () =
+  let network = match network with Some nw -> nw | None -> default_network ~n in
+  Engine.create ~network ~num_processes:((2 * n) + 1) ~seed ()
+
+let make_engine ?network ~seed comp =
+  make_engine_n ?network ~seed ~n:(Computation.n comp) ()
+
+type announce = Detection.outcome -> unit
+
+let finish engine ~outcome ~extras =
+  Engine.run engine;
+  match !outcome with
+  | None -> failwith "detection run ended without an outcome"
+  | Some o ->
+      {
+        Detection.outcome = o;
+        stats = Engine.stats engine;
+        sim_time = Engine.now engine;
+        events = Engine.events_processed engine;
+        extras;
+      }

@@ -1,0 +1,45 @@
+(** Shared wiring for the online detection runs.
+
+    Engine process layout for a computation with [N] application
+    processes:
+    - ids [0 .. N-1]: application processes (trace replay);
+    - ids [N .. 2N-1]: monitor of application process [p] is [N + p];
+    - id [2N]: the centralized checker (for the baseline) or the
+      multi-token leader (§3.5); idle otherwise.
+
+    The default network gives every link an independent uniform latency
+    and makes exactly the application→monitor and application→checker
+    links FIFO, as required by §3.1; monitor-to-monitor traffic may be
+    reordered freely. *)
+
+open Wcp_trace
+open Wcp_sim
+
+val monitor_of : n:int -> int -> int
+(** [monitor_of ~n p = n + p]. *)
+
+val extra_id : n:int -> int
+(** [2n]: checker / leader id. *)
+
+val default_network : n:int -> Network.t
+
+val make_engine :
+  ?network:Network.t -> seed:int64 -> Computation.t -> Messages.t Engine.t
+(** Engine with [2N + 1] processes and the default network. *)
+
+val make_engine_n :
+  ?network:Network.t -> seed:int64 -> n:int -> unit -> Messages.t Engine.t
+(** Same, for live systems that have no recorded computation. *)
+
+type announce = Detection.outcome -> unit
+(** Callback a monitor invokes exactly once to report the result and
+    halt the simulation. *)
+
+val finish :
+  Messages.t Engine.t ->
+  outcome:Detection.outcome option ref ->
+  extras:Detection.extras ->
+  Detection.result
+(** Run the engine and assemble the result.
+    @raise Failure if the event queue drains without any announcement
+    (a protocol bug, surfaced loudly for the test suite). *)

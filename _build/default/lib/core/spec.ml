@@ -1,0 +1,39 @@
+open Wcp_trace
+
+type t = { procs : int array; index : int array }
+
+let make comp procs =
+  let n = Computation.n comp in
+  if Array.length procs = 0 then invalid_arg "Spec.make: empty";
+  let index = Array.make n (-1) in
+  Array.iteri
+    (fun k p ->
+      if p < 0 || p >= n then invalid_arg "Spec.make: no such process";
+      if k > 0 && procs.(k - 1) >= p then
+        invalid_arg "Spec.make: procs must be strictly increasing";
+      index.(p) <- k)
+    procs;
+  { procs = Array.copy procs; index }
+
+let all comp = make comp (Array.init (Computation.n comp) Fun.id)
+
+let procs t = t.procs
+
+let width t = Array.length t.procs
+
+let proc t k = t.procs.(k)
+
+let mem t p = p >= 0 && p < Array.length t.index && t.index.(p) >= 0
+
+let index_of t p =
+  if not (mem t p) then raise Not_found;
+  t.index.(p)
+
+let project t vc = Array.map (fun p -> Wcp_clocks.Vector_clock.get vc p) t.procs
+
+let pp ppf t =
+  Format.fprintf ppf "wcp over {%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ' ')
+       Format.pp_print_int)
+    (Array.to_list t.procs)

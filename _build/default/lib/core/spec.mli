@@ -1,0 +1,43 @@
+(** A weak conjunctive predicate specification.
+
+    A WCP is the conjunction of local predicates of [n <= N] processes
+    (paper §2). The per-state truth values already live in the
+    {!Wcp_trace.Computation}; the specification contributes the subset
+    of processes whose predicates participate. Processes outside the
+    subset have the trivially-true local predicate. *)
+
+open Wcp_trace
+
+type t
+
+val make : Computation.t -> int array -> t
+(** [make comp procs] — [procs] must be sorted, duplicate-free process
+    ids of [comp].
+    @raise Invalid_argument otherwise. *)
+
+val all : Computation.t -> t
+(** The WCP over every process ([n = N]). *)
+
+val procs : t -> int array
+(** The spec processes, sorted ascending. Do not mutate. *)
+
+val width : t -> int
+(** The paper's [n]. *)
+
+val proc : t -> int -> int
+(** [proc t k] is the process id at spec index [k]. *)
+
+val mem : t -> int -> bool
+(** Does process [p] carry a local predicate? *)
+
+val index_of : t -> int -> int
+(** Spec index of process [p].
+    @raise Not_found if [p] is not a spec process. *)
+
+val project : t -> Wcp_clocks.Vector_clock.t -> int array
+(** Restrict a full [N]-sized vector clock to the spec processes: the
+    [n]-sized vectors that the vector-clock algorithm's snapshots and
+    token actually carry (this is what makes its message size [O(n)]
+    rather than [O(N)]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,78 @@
+open Wcp_trace
+
+type interval = { proc : int; first : int; last : int }
+
+let intervals comp ~proc =
+  let num = Computation.num_states comp proc in
+  let flag s = Computation.pred comp (State.make ~proc ~index:s) in
+  let rec scan s acc =
+    if s > num then List.rev acc
+    else if not (flag s) then scan (s + 1) acc
+    else begin
+      let rec run e = if e < num && flag (e + 1) then run (e + 1) else e in
+      let last = run s in
+      scan (last + 1) ({ proc; first = s; last } :: acc)
+    end
+  in
+  scan 1 []
+
+(* Event-level happened-before. Event [a >= 1] of process [i] is the
+   communication event between states [a] and [a+1]. For distinct
+   processes, [e_i^a -> e_j^b] iff a message chain leaves [i] at event
+   [>= a] and reaches [j] by event [<= b]; in state terms that is
+   exactly "state [(i, a)] happened before state [(j, b+1)]" (a send at
+   event [s >= a] goes out from state [s >= a]; a receive at event
+   [r <= b] lands in state [r+1 <= b+1]). Same process: [a < b]. *)
+let event_hb comp (i, a) (j, b) =
+  if i = j then a < b
+  else
+    Computation.happened_before comp
+      (State.make ~proc:i ~index:a)
+      (State.make ~proc:j ~index:(b + 1))
+
+(* begin(I_i) -> end(I_j), with the boundary conventions: an interval
+   that starts at its process's initial state has no begin event (it
+   "began at minus infinity"), one that ends at the final state has no
+   end event ("ends at plus infinity"); both make the condition
+   vacuously true. *)
+let begins_before_end comp (ii : interval) (ij : interval) =
+  if ii.first = 1 then true
+  else if ij.last = Computation.num_states comp ij.proc then true
+  else event_hb comp (ii.proc, ii.first - 1) (ij.proc, ij.last)
+
+let definitely comp spec =
+  let procs = Spec.procs spec in
+  let n = Array.length procs in
+  let queues = Array.map (fun p -> intervals comp ~proc:p) procs in
+  let head k = match queues.(k) with [] -> None | iv :: _ -> Some iv in
+  (* Find a pair whose condition fails; the SECOND component can never
+     satisfy it with any current-or-later interval of the first, so it
+     is eliminated (see the .mli). *)
+  let find_eliminable () =
+    let rec scan i j =
+      if i = n then None
+      else if j = n then scan (i + 1) 0
+      else if i = j then scan i (j + 1)
+      else
+        match (head i, head j) with
+        | Some a, Some b when not (begins_before_end comp a b) -> Some j
+        | _ -> scan i (j + 1)
+    in
+    scan 0 0
+  in
+  let rec advance () =
+    if Array.exists (fun q -> q = []) queues then None
+    else
+      match find_eliminable () with
+      | Some j ->
+          queues.(j) <- List.tl queues.(j);
+          advance ()
+      | None ->
+          Some
+            (Array.map
+               (fun q -> match q with iv :: _ -> iv | [] -> assert false)
+               queues)
+  in
+  advance ()
+
+let holds comp spec = definitely comp spec <> None

@@ -1,0 +1,44 @@
+(** Strong conjunctive predicates: [Definitely(l₁ ∧ … ∧ lₙ)] by
+    interval overlap.
+
+    The paper detects {e weak} conjunctive predicates — the name is in
+    contrast to the {e strong} ones of the companion work (Garg &
+    Waldecker, "Detection of Strong Unstable Predicates in Distributed
+    Programs", TPDS 1996): a strong predicate holds when {e every}
+    observation of the run passes through a cut where the conjunction
+    is true, i.e. [Definitely(∧ lᵢ)].
+
+    The interval characterisation: group each process's predicate-true
+    states into maximal {e intervals}. A set of intervals, one per spec
+    process, witnesses the strong predicate iff for every ordered pair
+    [(i, j)] the beginning of [i]'s interval happened before the end of
+    [j]'s — no observation can then leave any interval before entering
+    them all. Detection is an advance-the-cut over interval queues: if
+    [¬(begin(Iᵢ) → end(Iⱼ))] then no current-or-later interval of [i]
+    can reach [end(Iⱼ)] either, so [Iⱼ] is eliminated. Cost
+    [O(n² · intervals)] — exponentially cheaper than sweeping the cut
+    lattice, which is exactly why the characterisation matters.
+
+    {!definitely} is cross-validated against
+    {!Cooper_marzullo.definitely_wcp} (level sweep) and, transitively,
+    against brute-force observation enumeration in the test suite. *)
+
+open Wcp_trace
+
+type interval = {
+  proc : int;
+  first : int;  (** first state of the maximal predicate-true run *)
+  last : int;  (** last state of that run *)
+}
+
+val intervals : Computation.t -> proc:int -> interval list
+(** Maximal runs of consecutive predicate-true states, in order. *)
+
+val definitely : Computation.t -> Spec.t -> interval array option
+(** [Some witness] (one interval per spec process, spec order) iff the
+    strong conjunctive predicate holds — every observation passes
+    through a cut where all the spec processes' predicates are
+    simultaneously true. *)
+
+val holds : Computation.t -> Spec.t -> bool
+(** [definitely ≠ None]. *)

@@ -1,0 +1,291 @@
+open Wcp_trace
+open Wcp_clocks
+open Wcp_sim
+
+let log = Logs.Src.create "wcp.token-dd" ~doc:"direct-dependence token algorithm"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+type mon = {
+  proc : int;
+  queue : Snapshot.dd Queue.t;
+  mutable queue_words : int;
+  mutable app_done : bool;
+  mutable color : Messages.color;
+  mutable g : int;
+      (* clock of the current candidate; while red, the highest
+         eliminated clock (states <= g can never join the cut) *)
+  mutable next_red : int option;  (* red-chain successor (process id) *)
+  mutable has_token : bool;
+  mutable tentative : int option;
+      (* last consumed candidate's clock; a valid new candidate once it
+         exceeds [g]; committed into [g] only when the token is here *)
+  mutable deps_pending : Dependence.t list;  (* discovered, not yet polled *)
+  mutable polling : bool;  (* one poll in flight, awaiting its reply *)
+}
+
+let snapshot_words (s : Snapshot.dd) = 1 + (2 * List.length s.deps)
+
+type monitors = {
+  start_id : int;
+  start_token : Messages.t Wcp_sim.Engine.ctx -> unit;
+}
+
+let install engine ~n_app ~parallel ?check ?(stop = true) ?(start_at = 0)
+    ~outcome ~hops ~polls ~snapshots () =
+  let n = n_app in
+  if start_at < 0 || start_at >= n then
+    invalid_arg "Token_dd.install: start_at out of range";
+  let snapshots_seen = snapshots in
+  let announce ctx o =
+    if !outcome = None then begin
+      outcome := Some o;
+      if stop then Engine.stop ctx
+    end
+  in
+  let bits = Messages.bits ~spec_width:1 in
+  let monitor_id p = Run_common.monitor_of ~n p in
+  let monitors =
+    Array.init n (fun proc ->
+        {
+          proc;
+          queue = Queue.create ();
+          queue_words = 0;
+          app_done = false;
+          color = Messages.Red;
+          g = 0;
+          (* Initial red chain, rotated so the token holder is at its
+             head: start_at -> start_at+1 -> ... -> start_at-1. *)
+          next_red =
+            (if (proc + 1) mod n = start_at then None
+             else Some ((proc + 1) mod n));
+          has_token = false;
+          tentative = None;
+          deps_pending = [];
+          polling = false;
+        })
+  in
+  let detected_cut () =
+    let states = Array.map (fun m -> m.g) monitors in
+    Cut.make ~procs:(Array.init n Fun.id) ~states
+  in
+  (* The search loop shared by the token holder (Fig. 4) and, when
+     [parallel], by prefetching red monitors (§4.5). One step per call
+     chain: poll the next discovered dependence, else consume the next
+     candidate, else commit/pass if the token is here. *)
+  let rec drive ctx m =
+    if !outcome <> None || m.polling then ()
+    else
+      match m.deps_pending with
+      | d :: rest ->
+          m.deps_pending <- rest;
+          m.polling <- true;
+          incr polls;
+          let msg = Messages.Poll { clock = d.Dependence.clock; next_red = m.next_red } in
+          Engine.send ctx ~bits:(bits msg) ~dst:(monitor_id d.Dependence.src) msg
+      | [] -> (
+          let tentative_valid =
+            match m.tentative with Some c -> c > m.g | None -> false
+          in
+          if tentative_valid then begin
+            if m.has_token then commit_and_pass ctx m
+            (* else: prefetched and ready; wait for the token. *)
+          end
+          else if m.color = Messages.Red && (m.has_token || parallel) then
+            match Queue.take_opt m.queue with
+            | Some cand ->
+                m.queue_words <- m.queue_words - snapshot_words cand;
+                Engine.charge_work ctx (1 + List.length cand.Snapshot.deps);
+                m.deps_pending <- cand.Snapshot.deps;
+                m.tentative <- Some cand.Snapshot.state;
+                drive ctx m
+            | None ->
+                if m.app_done then
+                  (* This process can never produce a fresh candidate:
+                     no cut at or before the end of the run satisfies
+                     the WCP. *)
+                  announce ctx Detection.No_detection)
+
+  and commit_and_pass ctx m =
+    (match m.tentative with Some c -> m.g <- c | None -> assert false);
+    m.tentative <- None;
+    m.color <- Messages.Green;
+    m.has_token <- false;
+    (match check with
+    | Some f ->
+        f
+          ~g:(Array.map (fun m -> m.g) monitors)
+          ~color:(Array.map (fun m -> m.color) monitors)
+          ~next_red:(Array.map (fun m -> m.next_red) monitors)
+          ~next:m.next_red
+    | None -> ());
+    match m.next_red with
+    | None ->
+        Log.info (fun f ->
+            f "t=%.3f WCP detected; chain empty at monitor %d" (Engine.time ctx)
+              m.proc);
+        announce ctx (Detection.Detected (detected_cut ()))
+    | Some j ->
+        m.next_red <- None;
+        incr hops;
+        Log.debug (fun f ->
+            f "t=%.3f token %d -> %d (G=%d)" (Engine.time ctx) m.proc j m.g);
+        let msg = Messages.Dd_token in
+        Engine.send ctx ~bits:(bits msg) ~dst:(monitor_id j) msg
+  in
+  let on_message m ctx ~src msg =
+    match msg with
+    | Messages.Snap_dd s ->
+        incr snapshots_seen;
+        Queue.add s m.queue;
+        m.queue_words <- m.queue_words + snapshot_words s;
+        Engine.note_space ctx m.queue_words;
+        drive ctx m
+    | Messages.App_done ->
+        m.app_done <- true;
+        drive ctx m
+    | Messages.Dd_token ->
+        m.has_token <- true;
+        drive ctx m
+    | Messages.Poll { clock; next_red } ->
+        (* Fig. 5. *)
+        Engine.charge_work ctx 1;
+        let old = m.color in
+        if clock >= m.g then begin
+          m.color <- Messages.Red;
+          m.g <- clock
+        end;
+        let became = m.color = Messages.Red && old = Messages.Green in
+        if became then m.next_red <- next_red;
+        let reply = Messages.Poll_reply { became_red = became } in
+        Engine.send ctx ~bits:(bits reply) ~dst:src reply;
+        (* A poll can invalidate a prefetched candidate or wake a newly
+           red monitor; re-enter the search loop. *)
+        if parallel then drive ctx m
+    | Messages.Poll_reply { became_red } ->
+        m.polling <- false;
+        if became_red then m.next_red <- Some (src - n);
+        drive ctx m
+    | _ -> failwith "Token_dd: unexpected message at monitor"
+  in
+  Array.iter
+    (fun m -> Engine.set_handler engine (monitor_id m.proc) (on_message m))
+    monitors;
+  {
+    start_id = monitor_id start_at;
+    start_token =
+      (fun ctx ->
+        (* The token starts at the chain head. *)
+        monitors.(start_at).has_token <- true;
+        drive ctx monitors.(start_at));
+  }
+
+let start engine monitors =
+  Engine.schedule_initial engine ~proc:monitors.start_id ~at:0.0
+    monitors.start_token
+
+let check_invariants comp ~g ~color ~next_red ~next =
+  let n = Computation.n comp in
+  (* (i, s) ->_d (j, t): one message from i to j sent from state >= s
+     and received entering state <= t (or same process, s < t). *)
+  let directly_precedes i s j t =
+    (i = j && s < t)
+    || Array.exists
+         (fun (msg : Computation.message) ->
+           msg.Computation.src = i && msg.Computation.dst = j
+           && msg.Computation.src_state >= s
+           && msg.Computation.dst_state <= t)
+         (Computation.messages comp)
+  in
+  for i = 0 to n - 1 do
+    match color.(i) with
+    | Messages.Red ->
+        (* Lemma 4.2(1): an advanced red candidate is dominated. *)
+        if g.(i) <> 0 then begin
+          let dominated = ref false in
+          for j = 0 to n - 1 do
+            if j <> i && g.(j) <> 0 && directly_precedes i g.(i) j g.(j) then
+              dominated := true
+          done;
+          if not !dominated then
+            failwith
+              (Printf.sprintf
+                 "Lemma 4.2(1) violated: red (%d,%d) ->_d no candidate" i g.(i))
+        end
+    | Messages.Green ->
+        (* Lemma 4.2(2): green candidates are pairwise ->_d-free. *)
+        for j = 0 to n - 1 do
+          if j <> i && color.(j) = Messages.Green
+             && directly_precedes i g.(i) j g.(j)
+          then
+            failwith
+              (Printf.sprintf
+                 "Lemma 4.2(2) violated: green (%d,%d) ->_d green (%d,%d)" i
+                 g.(i) j g.(j))
+        done
+  done;
+  (* Lemma 4.2(3): the monitors on the red chain (reached from the
+     committing monitor's successor) are exactly the red monitors. *)
+  let on_chain = Array.make n false in
+  let steps = ref 0 in
+  let cursor = ref next in
+  while !cursor <> None do
+    incr steps;
+    if !steps > n then failwith "Lemma 4.2(3) violated: red chain has a cycle";
+    (match !cursor with
+    | Some j ->
+        if on_chain.(j) then
+          failwith "Lemma 4.2(3) violated: monitor on the chain twice";
+        on_chain.(j) <- true;
+        cursor := next_red.(j)
+    | None -> ())
+  done;
+  for i = 0 to n - 1 do
+    if on_chain.(i) && color.(i) <> Messages.Red then
+      failwith
+        (Printf.sprintf "Lemma 4.2(3) violated: green monitor %d on the chain" i);
+    if (not on_chain.(i)) && color.(i) = Messages.Red then
+      failwith
+        (Printf.sprintf "Lemma 4.2(3) violated: red monitor %d off the chain" i)
+  done
+
+let detect ?network ?(parallel = false) ?(invariant_checks = false) ?start_at
+    ~seed comp spec =
+  let n = Computation.n comp in
+  let engine = Run_common.make_engine ?network ~seed comp in
+  let outcome = ref None in
+  let hops = ref 0 in
+  let polls = ref 0 in
+  let snapshots = ref 0 in
+  let check =
+    (* The Lemma 4.2 statements quantify over quiescent protocol states;
+       with prefetching (§4.5) a commit can race with in-flight polls,
+       so the executable check is restricted to the sequential mode. *)
+    if invariant_checks && not parallel then Some (check_invariants comp)
+    else None
+  in
+  let monitors =
+    install engine ~n_app:n ~parallel ?check ?start_at ~outcome ~hops ~polls
+      ~snapshots ()
+  in
+  (* Application side: §4.1 snapshots, from every process. *)
+  App_replay.install engine comp
+    ~snapshots:(fun p ->
+      List.map
+        (fun (s : Snapshot.dd) ->
+          ((s.state : int), Messages.Snap_dd s))
+        (Snapshot.dd_stream comp spec ~proc:p))
+    ~snapshot_dst:(fun p -> Some (Run_common.monitor_of ~n p))
+    ~spec_width:1 ();
+  start engine monitors;
+  let result = Run_common.finish engine ~outcome ~extras:Detection.no_extras in
+  {
+    result with
+    extras =
+      {
+        result.extras with
+        token_hops = !hops;
+        polls = !polls;
+        snapshots = !snapshots;
+      };
+  }

@@ -1,0 +1,201 @@
+open Wcp_trace
+open Wcp_sim
+
+type mon = {
+  k : int;  (* spec index *)
+  group : int;
+  queue : Snapshot.vc Queue.t;
+  mutable app_done : bool;
+  mutable held : (int array * Messages.color array) option;
+  mutable last : Snapshot.vc option;
+}
+
+type leader = {
+  merged_g : int array;
+  merged_color : Messages.color array;
+  mutable outstanding : int;
+}
+
+type assignment = Round_robin | Blocks
+
+let detect ?network ?(assignment = Round_robin) ~groups ~seed comp spec =
+  let n = Computation.n comp in
+  let width = Spec.width spec in
+  if groups < 1 || groups > width then
+    invalid_arg "Token_multi.detect: groups out of range";
+  let engine = Run_common.make_engine ?network ~seed comp in
+  let leader_id = Run_common.extra_id ~n in
+  let outcome = ref None in
+  let hops = ref 0 in
+  let merges = ref 0 in
+  let snapshots_seen = ref 0 in
+  let announce ctx o =
+    if !outcome = None then begin
+      outcome := Some o;
+      Engine.stop ctx
+    end
+  in
+  let bits = Messages.bits ~spec_width:width in
+  let monitor_id k = Run_common.monitor_of ~n (Spec.proc spec k) in
+  let group_of =
+    match assignment with
+    | Round_robin -> fun k -> k mod groups
+    | Blocks -> fun k -> min (groups - 1) (k * groups / width)
+  in
+  let send_token ctx ~dst msg =
+    incr hops;
+    Engine.send ctx ~bits:(bits msg) ~dst msg
+  in
+  (* Group-token processing: the §3 monitor algorithm, except the token
+     may only move to red monitors of its own group and otherwise
+     returns to the leader. *)
+  let rec process ctx m g color =
+    if color.(m.k) = Messages.Red then
+      match Queue.take_opt m.queue with
+      | None ->
+          if m.app_done then announce ctx Detection.No_detection
+          else m.held <- Some (g, color)
+      | Some cand ->
+          Engine.charge_work ctx 1;
+          m.last <- Some cand;
+          if cand.Snapshot.clock.(m.k) > g.(m.k) then begin
+            g.(m.k) <- cand.Snapshot.clock.(m.k);
+            color.(m.k) <- Messages.Green
+          end;
+          process ctx m g color
+    else begin
+      (match m.last with
+      | Some cand ->
+          Engine.charge_work ctx width;
+          for j = 0 to width - 1 do
+            if j <> m.k && cand.Snapshot.clock.(j) >= g.(j) then begin
+              g.(j) <- cand.Snapshot.clock.(j);
+              color.(j) <- Messages.Red
+            end
+          done
+      | None -> ());
+      let next_in_group = ref None in
+      for j = width - 1 downto 0 do
+        if color.(j) = Messages.Red && group_of j = m.group then
+          next_in_group := Some j
+      done;
+      match !next_in_group with
+      | Some j ->
+          send_token ctx ~dst:(monitor_id j)
+            (Messages.Group_token { g; color; group = m.group })
+      | None ->
+          send_token ctx ~dst:leader_id
+            (Messages.Group_return { g; color; group = m.group })
+    end
+  in
+  let resume ctx m =
+    match m.held with
+    | Some (g, color) ->
+        m.held <- None;
+        process ctx m g color
+    | None -> ()
+  in
+  let on_monitor m ctx ~src:_ msg =
+    match msg with
+    | Messages.Snap_vc s ->
+        incr snapshots_seen;
+        Queue.add s m.queue;
+        Engine.note_space ctx (Queue.length m.queue * width);
+        resume ctx m
+    | Messages.App_done ->
+        m.app_done <- true;
+        resume ctx m
+    | Messages.Group_token { g; color; group } ->
+        assert (group = m.group);
+        process ctx m g color
+    | _ -> failwith "Token_multi: unexpected message at monitor"
+  in
+  (* Leader: merge returned tokens, re-dispatch into groups that still
+     contain red entries (paper §3.5). *)
+  let ld =
+    {
+      merged_g = Array.make width 0;
+      merged_color = Array.make width Messages.Red;
+      outstanding = 0;
+    }
+  in
+  let dispatch ctx =
+    incr merges;
+    if Array.for_all (fun c -> c = Messages.Green) ld.merged_color then
+      announce ctx
+        (Detection.Detected
+           (Cut.make ~procs:(Spec.procs spec) ~states:(Array.copy ld.merged_g)))
+    else
+      for gr = 0 to groups - 1 do
+        let first_red = ref None in
+        for j = width - 1 downto 0 do
+          if group_of j = gr && ld.merged_color.(j) = Messages.Red then
+            first_red := Some j
+        done;
+        match !first_red with
+        | Some j ->
+            ld.outstanding <- ld.outstanding + 1;
+            send_token ctx ~dst:(monitor_id j)
+              (Messages.Group_token
+                 {
+                   g = Array.copy ld.merged_g;
+                   color = Array.copy ld.merged_color;
+                   group = gr;
+                 })
+        | None -> ()
+      done
+  in
+  let on_leader ctx ~src:_ msg =
+    match msg with
+    | Messages.Group_return { g; color; group = _ } ->
+        Engine.charge_work ctx width;
+        for j = 0 to width - 1 do
+          if g.(j) > ld.merged_g.(j) then begin
+            ld.merged_g.(j) <- g.(j);
+            ld.merged_color.(j) <- color.(j)
+          end
+          else if g.(j) = ld.merged_g.(j) && color.(j) = Messages.Red then
+            ld.merged_color.(j) <- Messages.Red
+        done;
+        ld.outstanding <- ld.outstanding - 1;
+        if ld.outstanding = 0 then dispatch ctx
+    | _ -> failwith "Token_multi: unexpected message at leader"
+  in
+  let monitors =
+    Array.init width (fun k ->
+        {
+          k;
+          group = group_of k;
+          queue = Queue.create ();
+          app_done = false;
+          held = None;
+          last = None;
+        })
+  in
+  Array.iter
+    (fun m -> Engine.set_handler engine (monitor_id m.k) (on_monitor m))
+    monitors;
+  Engine.set_handler engine leader_id on_leader;
+  App_replay.install engine comp
+    ~snapshots:(fun p ->
+      if Spec.mem spec p then
+        List.map
+          (fun (s : Snapshot.vc) -> (s.state, Messages.Snap_vc s))
+          (Snapshot.vc_stream comp spec ~proc:p)
+      else [])
+    ~snapshot_dst:(fun p ->
+      if Spec.mem spec p then Some (Run_common.monitor_of ~n p) else None)
+    ~spec_width:width ();
+  Engine.schedule_initial engine ~proc:leader_id ~at:0.0 (fun ctx ->
+      dispatch ctx);
+  let result = Run_common.finish engine ~outcome ~extras:Detection.no_extras in
+  {
+    result with
+    extras =
+      {
+        result.extras with
+        token_hops = !hops;
+        snapshots = !snapshots_seen;
+        merges = !merges;
+      };
+  }

@@ -1,0 +1,206 @@
+open Wcp_trace
+open Wcp_sim
+
+let log = Logs.Src.create "wcp.token-vc" ~doc:"vector-clock token algorithm"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+type mon = {
+  k : int;  (* spec index *)
+  queue : Snapshot.vc Queue.t;
+  mutable app_done : bool;
+  (* Token parked here while we wait for a fresh candidate. *)
+  mutable held : (int array * Messages.color array) option;
+  mutable last : Snapshot.vc option;  (* last candidate consumed *)
+}
+
+type monitors = {
+  start_id : int;
+  start_token : Messages.t Wcp_sim.Engine.ctx -> unit;
+}
+
+(* Executable check of Lemma 3.1 (parts 1-3) against the ground-truth
+   computation; [g.(j) = 0] entries denote "no state selected yet" and
+   are exempt, exactly as in the paper's statements. *)
+let check_invariants comp spec ~g ~color =
+  let width = Spec.width spec in
+  let state j = State.make ~proc:(Spec.proc spec j) ~index:g.(j) in
+  for i = 0 to width - 1 do
+    (match color.(i) with
+    | Messages.Red ->
+        if g.(i) <> 0 then begin
+          let dominated = ref false in
+          for j = 0 to width - 1 do
+            if j <> i && g.(j) <> 0
+               && Computation.happened_before comp (state i) (state j)
+            then dominated := true
+          done;
+          if not !dominated then
+            failwith
+              (Printf.sprintf
+                 "Lemma 3.1(1) violated: red state (%d,%d) precedes no candidate"
+                 (Spec.proc spec i) g.(i))
+        end
+    | Messages.Green ->
+        if g.(i) = 0 then failwith "Lemma 3.1: green entry with G = 0";
+        for j = 0 to width - 1 do
+          if j <> i && g.(j) <> 0
+             && Computation.happened_before comp (state i) (state j)
+          then
+            failwith
+              (Printf.sprintf
+                 "Lemma 3.1(2) violated: green state (%d,%d) precedes (%d,%d)"
+                 (Spec.proc spec i) g.(i) (Spec.proc spec j) g.(j))
+        done);
+    (* Part 3 follows from part 2, but check it directly as well. *)
+    for j = 0 to width - 1 do
+      if i <> j && color.(i) = Messages.Green && color.(j) = Messages.Green
+         && not (Computation.concurrent comp (state i) (state j))
+      then failwith "Lemma 3.1(3) violated: green candidates not concurrent"
+    done
+  done
+
+let install engine ~n_app ~wcp_procs ?check ?(stop = true) ?(start_at = 0)
+    ~outcome ~hops ~snapshots () =
+  let width = Array.length wcp_procs in
+  if width = 0 then invalid_arg "Token_vc.install: empty WCP";
+  if start_at < 0 || start_at >= width then
+    invalid_arg "Token_vc.install: start_at out of range";
+  Array.iteri
+    (fun k p ->
+      if p < 0 || p >= n_app then invalid_arg "Token_vc.install: bad process";
+      if k > 0 && wcp_procs.(k - 1) >= p then
+        invalid_arg "Token_vc.install: procs must be strictly increasing")
+    wcp_procs;
+  let announce ctx o =
+    if !outcome = None then begin
+      outcome := Some o;
+      if stop then Engine.stop ctx
+    end
+  in
+  let bits = Messages.bits ~spec_width:width in
+  let monitor_id k = Run_common.monitor_of ~n:n_app wcp_procs.(k) in
+  (* Fig. 3, run by the monitor currently holding the token. *)
+  let rec process ctx m g color =
+    if color.(m.k) = Messages.Red then
+      match Queue.take_opt m.queue with
+      | None ->
+          if m.app_done then announce ctx Detection.No_detection
+          else m.held <- Some (g, color)
+      | Some cand ->
+          Engine.charge_work ctx 1;
+          m.last <- Some cand;
+          if cand.Snapshot.clock.(m.k) > g.(m.k) then begin
+            g.(m.k) <- cand.Snapshot.clock.(m.k);
+            color.(m.k) <- Messages.Green
+          end;
+          process ctx m g color
+    else begin
+      let m_k = m.k in
+      let cand =
+        match m.last with
+        | Some c -> c
+        | None -> assert false (* the token only visits red monitors *)
+      in
+      Engine.charge_work ctx width;
+      for j = 0 to width - 1 do
+        if j <> m.k && cand.Snapshot.clock.(j) >= g.(j) then begin
+          g.(j) <- cand.Snapshot.clock.(j);
+          color.(j) <- Messages.Red
+        end
+      done;
+      (match check with Some f -> f ~g ~color | None -> ());
+      let first_red = ref None in
+      for j = width - 1 downto 0 do
+        if color.(j) = Messages.Red then first_red := Some j
+      done;
+      match !first_red with
+      | Some j ->
+          incr hops;
+          Log.debug (fun m ->
+              m "t=%.3f token %d -> %d" (Engine.time ctx) m_k j);
+          let msg = Messages.Vc_token { g; color } in
+          Engine.send ctx ~bits:(bits msg) ~dst:(monitor_id j) msg
+      | None ->
+          Log.info (fun m ->
+              m "t=%.3f WCP detected at monitor %d" (Engine.time ctx) m_k);
+          announce ctx
+            (Detection.Detected
+               (Cut.make ~procs:wcp_procs ~states:(Array.copy g)))
+    end
+  in
+  let resume ctx m =
+    match m.held with
+    | Some (g, color) ->
+        m.held <- None;
+        process ctx m g color
+    | None -> ()
+  in
+  let on_message m ctx ~src:_ msg =
+    match msg with
+    | Messages.Snap_vc s ->
+        incr snapshots;
+        Queue.add s m.queue;
+        Engine.note_space ctx (Queue.length m.queue * width);
+        resume ctx m
+    | Messages.App_done ->
+        m.app_done <- true;
+        resume ctx m
+    | Messages.Vc_token { g; color } -> process ctx m g color
+    | _ -> failwith "Token_vc: unexpected message at monitor"
+  in
+  let cells =
+    Array.init width (fun k ->
+        { k; queue = Queue.create (); app_done = false; held = None; last = None })
+  in
+  Array.iter
+    (fun m -> Engine.set_handler engine (monitor_id m.k) (on_message m))
+    cells;
+  {
+    start_id = monitor_id start_at;
+    start_token =
+      (fun ctx ->
+        (* The token starts fully red with G = 0: no state selected.
+           §3.2: "the token can start on any process. Since the entire
+           color vector is initialized to red, it must eventually visit
+           every process at least once." *)
+        let g = Array.make width 0 in
+        let color = Array.make width Messages.Red in
+        process ctx cells.(start_at) g color);
+  }
+
+let start engine monitors =
+  Engine.schedule_initial engine ~proc:monitors.start_id ~at:0.0
+    monitors.start_token
+
+let detect ?network ?(invariant_checks = false) ?start_at ~seed comp spec =
+  let n = Computation.n comp in
+  let width = Spec.width spec in
+  let engine = Run_common.make_engine ?network ~seed comp in
+  let outcome = ref None in
+  let hops = ref 0 in
+  let snapshots = ref 0 in
+  let check =
+    if invariant_checks then Some (check_invariants comp spec) else None
+  in
+  let monitors =
+    install engine ~n_app:n ~wcp_procs:(Spec.procs spec) ?check ?start_at
+      ~outcome ~hops ~snapshots ()
+  in
+  (* Application side: Fig. 2 snapshots, spec processes only. *)
+  App_replay.install engine comp
+    ~snapshots:(fun p ->
+      if Spec.mem spec p then
+        List.map
+          (fun (s : Snapshot.vc) -> (s.state, Messages.Snap_vc s))
+          (Snapshot.vc_stream comp spec ~proc:p)
+      else [])
+    ~snapshot_dst:(fun p ->
+      if Spec.mem spec p then Some (Run_common.monitor_of ~n p) else None)
+    ~spec_width:width ();
+  start engine monitors;
+  let result = Run_common.finish engine ~outcome ~extras:Detection.no_extras in
+  {
+    result with
+    extras = { result.extras with token_hops = !hops; snapshots = !snapshots };
+  }

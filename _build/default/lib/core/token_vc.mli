@@ -1,0 +1,76 @@
+(** The single-token vector-clock WCP detection algorithm (paper §3,
+    Figs 2–3).
+
+    One token circulates among the [n] monitor processes of the spec.
+    It carries the candidate cut [G] and a color vector: [color.(k) =
+    Red] means state [(k, G.(k))] has been eliminated (it happened
+    before some other candidate, Lemma 3.1), [Green] means no selected
+    state is causally after it. The token is only ever sent to a red
+    monitor; that monitor consumes fresh candidates from its
+    application process until one advances past [G.(k)], turns itself
+    green, then marks red every [j] whose candidate the new state
+    causally dominates. All green ⇒ the cut is consistent and every
+    local predicate holds: the WCP is detected, and by Theorem 3.2 the
+    cut is the {e first} such cut.
+
+    Costs (§3.4, checked by the test suite and bench E1): the token
+    moves at most [nm] times, at most [2nm] messages total, [O(n²m)]
+    total bits and work, but only [O(nm)] work and space on any one
+    process.
+
+    {2 Two ways to run it}
+
+    {!detect} replays a recorded computation (the application side is
+    driven by {!App_replay}). {!install} + {!start} wire only the
+    monitor side into an engine, for {e live} monitoring: application
+    processes instrumented with {!Instrument} feed the monitors
+    directly, the paper's Fig. 1 deployment. *)
+
+open Wcp_trace
+open Wcp_sim
+
+type monitors
+
+val install :
+  Messages.t Engine.t ->
+  n_app:int ->
+  wcp_procs:int array ->
+  ?check:(g:int array -> color:Messages.color array -> unit) ->
+  ?stop:bool ->
+  ?start_at:int ->
+  outcome:Detection.outcome option ref ->
+  hops:int ref ->
+  snapshots:int ref ->
+  unit ->
+  monitors
+(** Install the Fig. 3 monitor handlers for the WCP over [wcp_procs]
+    (sorted, distinct application process ids in [0..n_app)). The
+    engine must follow the {!Run_common} id layout. [check], when
+    given, is invoked with the token contents every time the token
+    finishes processing at a monitor (used to assert Lemma 3.1 against
+    a ground-truth computation). On termination the detecting monitor
+    stores the result in [outcome] and, unless [stop] is [false], halts
+    the engine (live monitors pass [~stop:false] so the application can
+    run to completion). *)
+
+val start : Messages.t Engine.t -> monitors -> unit
+(** Schedule the initial (all-red, [G = 0]) token at the starting
+    monitor ([start_at], a spec index, default the first) at time 0.
+    §3.2: the token may start anywhere because the fully red color
+    vector forces it to visit every monitor at least once. Call before
+    [Engine.run]. *)
+
+val detect :
+  ?network:Network.t ->
+  ?invariant_checks:bool ->
+  ?start_at:int ->
+  seed:int64 ->
+  Computation.t ->
+  Spec.t ->
+  Detection.result
+(** Replay the computation and run the detection protocol on top.
+    [invariant_checks] re-validates Lemma 3.1(1–3) against the recorded
+    computation at every token processing step — an executable proof
+    check (it reads the trace, so costs are not charged for it).
+    @raise Failure if [invariant_checks] is on and an invariant is
+    violated. *)

@@ -1,0 +1,1 @@
+lib/lowerbound/adversary.ml: Array World

@@ -1,0 +1,1 @@
+lib/lowerbound/detector.ml: Array Fun List Wcp_util World

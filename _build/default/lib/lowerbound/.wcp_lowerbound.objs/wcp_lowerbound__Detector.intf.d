@@ -1,0 +1,1 @@
+lib/lowerbound/detector.mli: Wcp_util World

@@ -1,0 +1,1 @@
+lib/lowerbound/world.ml: Array Computation List Spec State Wcp_core Wcp_trace

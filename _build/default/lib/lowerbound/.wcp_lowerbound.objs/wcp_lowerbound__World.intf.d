@@ -1,0 +1,1 @@
+lib/lowerbound/world.mli: Wcp_core Wcp_trace

@@ -1,0 +1,50 @@
+exception Cheating of string
+
+type stats = {
+  mutable comparisons_answered : int;
+  mutable deletions : int;
+}
+
+let make ~n ~m =
+  if n < 2 then invalid_arg "Adversary.make: need n >= 2";
+  if m < 1 then invalid_arg "Adversary.make: need m >= 1";
+  let sizes = Array.make n m in
+  (* Head of queue [lo] precedes head of queue [hi]; all else
+     incomparable. *)
+  let lo = ref 0 and hi = ref 1 in
+  let stats = { comparisons_answered = 0; deletions = 0 } in
+  let remaining k = sizes.(k) in
+  let head_id k = m - sizes.(k) + 1 in
+  let compare_heads i j =
+    if sizes.(i) = 0 || sizes.(j) = 0 then
+      invalid_arg "Adversary: comparing an empty queue's head";
+    stats.comparisons_answered <- stats.comparisons_answered + 1;
+    if i = !lo && j = !hi then World.Precedes
+    else if i = !hi && j = !lo then World.Follows
+    else World.Incomparable
+  in
+  let delete_heads ks =
+    match ks with
+    | [] -> ()
+    | [ k ] when k = !lo ->
+        sizes.(k) <- sizes.(k) - 1;
+        stats.deletions <- stats.deletions + 1;
+        if sizes.(k) > 0 then begin
+          (* Next round (paper's proof): the longest remaining other
+             queue's head is dominated by the fresh head of the queue
+             just popped. *)
+          let longest = ref (if k = 0 then 1 else 0) in
+          for i = 0 to n - 1 do
+            if i <> k && sizes.(i) > sizes.(!longest) then longest := i
+          done;
+          hi := k;
+          lo := !longest
+        end
+        (* A queue emptied: the game is over; any sound algorithm must
+           now answer "no antichain". *)
+    | _ ->
+        raise
+          (Cheating
+             "adversary: only the single dominated head may be deleted")
+  in
+  ( { World.n; remaining; head_id; compare_heads; delete_heads }, stats )

@@ -1,0 +1,25 @@
+(** The Theorem 5.1 adversary.
+
+    Answers comparison queries so that at every moment exactly one head
+    is dominated (the head of the current "low" queue precedes the head
+    of the "high" queue; every other pair is incomparable), forcing any
+    sound algorithm to delete one state per step. After each deletion
+    the low queue becomes the longest remaining queue and the high
+    queue becomes the one just deleted from, exactly as in the paper's
+    proof. The game ends when a queue empties, after [nm − n + 1]
+    forced sequential deletions — witnessing the [Ω(nm)] bound.
+
+    The adversary {e verifies soundness}: deleting a head it has not
+    shown dominated raises [Cheating], because the adversary could then
+    exhibit a poset, consistent with all its previous answers, in which
+    that head belonged to the antichain. *)
+
+exception Cheating of string
+
+type stats = {
+  mutable comparisons_answered : int;  (** S1 pair-queries answered *)
+  mutable deletions : int;  (** heads deleted *)
+}
+
+val make : n:int -> m:int -> World.t * stats
+(** An adversary world with [n] queues of [m] elements each. *)

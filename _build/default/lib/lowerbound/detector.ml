@@ -1,0 +1,55 @@
+type answer = Antichain of int array | No_antichain
+
+type trace = { rounds : int; deletions : int }
+
+type policy = Greedy | One_at_a_time | Random_subset of Wcp_util.Rng.t
+
+(* Choose which of the dominated heads to delete this round. *)
+let select policy = function
+  | [] -> []
+  | dominated -> (
+      match policy with
+      | Greedy -> dominated
+      | One_at_a_time -> [ List.hd dominated ]
+      | Random_subset rng ->
+          let chosen =
+            List.filter (fun _ -> Wcp_util.Rng.bool rng) dominated
+          in
+          if chosen = [] then [ List.nth dominated (Wcp_util.Rng.int rng (List.length dominated)) ]
+          else chosen)
+
+let run ?(policy = Greedy) (w : World.t) =
+  let n = w.World.n in
+  let rounds = ref 0 in
+  let deletions = ref 0 in
+  let rec round () =
+    if Array.exists (fun k -> w.World.remaining k = 0) (Array.init n Fun.id)
+    then (No_antichain, { rounds = !rounds; deletions = !deletions })
+    else begin
+      incr rounds;
+      (* S1: one pass over all head pairs; collect dominated heads. *)
+      let dominated = Array.make n false in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          match w.World.compare_heads i j with
+          | World.Precedes -> dominated.(i) <- true
+          | World.Follows -> dominated.(j) <- true
+          | World.Incomparable -> ()
+        done
+      done;
+      let doomed = ref [] in
+      for i = n - 1 downto 0 do
+        if dominated.(i) then doomed := i :: !doomed
+      done;
+      match select policy !doomed with
+      | [] ->
+          ( Antichain (Array.init n w.World.head_id),
+            { rounds = !rounds; deletions = !deletions } )
+      | ks ->
+          (* S2: delete the selected dominated heads in parallel. *)
+          deletions := !deletions + List.length ks;
+          w.World.delete_heads ks;
+          round ()
+    end
+  in
+  round ()

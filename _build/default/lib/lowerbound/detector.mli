@@ -1,0 +1,34 @@
+(** A sound comparison-based detection algorithm for the §5 model.
+
+    Each round performs one S1 step (compare all head pairs) and then
+    one S2 step deleting {e every} dominated head — the most parallel
+    deletion any sound algorithm can make, since only heads proven to
+    precede another head can be excluded from all future antichains.
+    This is the parallel form of the advance-the-cut algorithm.
+
+    Against a real computation it finds the first satisfying cut;
+    against the {!Adversary} it is forced to delete one state per
+    round, demonstrating the [Ω(nm)] bound of Theorem 5.1. *)
+
+type answer =
+  | Antichain of int array
+      (** head identifiers (state indices for computation worlds)
+          forming the size-[n] antichain *)
+  | No_antichain
+
+type trace = {
+  rounds : int;  (** S1 steps performed *)
+  deletions : int;  (** heads deleted over all S2 steps *)
+}
+
+type policy =
+  | Greedy  (** delete every dominated head (maximal parallel S2) *)
+  | One_at_a_time  (** delete a single dominated head per round *)
+  | Random_subset of Wcp_util.Rng.t
+      (** delete a random non-empty subset of the dominated heads *)
+
+val run : ?policy:policy -> World.t -> answer * trace
+(** All policies are sound (they only delete dominated heads) and
+    complete; the adversary forces each of them through [Ω(nm)] steps —
+    Theorem 5.1 does not depend on the deletion strategy. Default
+    {!Greedy}. *)

@@ -1,0 +1,42 @@
+open Wcp_trace
+open Wcp_core
+
+type relation = Precedes | Follows | Incomparable
+
+type t = {
+  n : int;
+  remaining : int -> int;
+  head_id : int -> int;
+  compare_heads : int -> int -> relation;
+  delete_heads : int list -> unit;
+}
+
+let of_computation comp spec =
+  let n = Spec.width spec in
+  let queues =
+    Array.map (fun p -> ref (Computation.candidates comp p)) (Spec.procs spec)
+  in
+  let head k =
+    match !(queues.(k)) with
+    | [] -> invalid_arg "World: queue empty"
+    | s :: _ -> State.make ~proc:(Spec.proc spec k) ~index:s
+  in
+  {
+    n;
+    remaining = (fun k -> List.length !(queues.(k)));
+    head_id = (fun k -> (head k).State.index);
+    compare_heads =
+      (fun i j ->
+        let a = head i and b = head j in
+        if Computation.happened_before comp a b then Precedes
+        else if Computation.happened_before comp b a then Follows
+        else Incomparable);
+    delete_heads =
+      (fun ks ->
+        List.iter
+          (fun k ->
+            match !(queues.(k)) with
+            | [] -> invalid_arg "World.delete_heads: queue empty"
+            | _ :: rest -> queues.(k) := rest)
+          ks);
+  }

@@ -1,0 +1,37 @@
+(** The §5 queue model of online predicate detection.
+
+    A detection algorithm sees [n] queues of candidate local states,
+    one per process, and may only:
+    - {b S1}: compare the current heads of the queues, and
+    - {b S2}: delete any number of heads in parallel.
+
+    It must decide whether the underlying poset contains an antichain
+    of size [n] with one element per queue — i.e. whether the WCP is
+    detectable. A {e world} is the environment answering those queries:
+    either a real recorded computation or the Theorem 5.1 adversary. *)
+
+type relation =
+  | Precedes  (** head of [i] happened before head of [j] *)
+  | Follows
+  | Incomparable
+
+type t = {
+  n : int;
+  remaining : int -> int;  (** elements left in queue [i] (head included) *)
+  head_id : int -> int;
+      (** opaque identifier of queue [i]'s head (the 1-based state
+          index for computation-backed worlds); queue must be
+          non-empty *)
+  compare_heads : int -> int -> relation;
+      (** both queues must be non-empty *)
+  delete_heads : int list -> unit;
+      (** S2 step. The world may verify soundness: a correct algorithm
+          only deletes heads it has proven dominated, so worlds are
+          entitled to reject anything else. *)
+}
+
+val of_computation : Wcp_trace.Computation.t -> Wcp_core.Spec.t -> t
+(** Queues are the spec processes' candidate (predicate-true) states in
+    order; comparisons answer from the recorded happened-before
+    relation. [delete_heads] accepts any deletion (the real world
+    cannot be cheated, only misused). *)

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Float Heap Logs Network Printf Rng Stats Wcp_util

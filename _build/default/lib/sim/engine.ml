@@ -1,0 +1,131 @@
+open Wcp_util
+
+let log = Logs.Src.create "wcp.engine" ~doc:"discrete-event engine"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+type 'msg event_body =
+  | Deliver of { dst : int; src : int; msg : 'msg }
+  | Timer of { proc : int; callback : 'msg ctx -> unit }
+
+and 'msg event = { at : float; seq : int; body : 'msg event_body }
+
+and 'msg t = {
+  num_processes : int;
+  network : Network.t;
+  rng : Rng.t;
+  stats : Stats.t;
+  queue : 'msg event Heap.t;
+  handlers : ('msg ctx -> src:int -> 'msg -> unit) option array;
+  max_events : int;
+  mutable next_seq : int;
+  mutable clock : float;
+  mutable stop_requested : bool;
+  mutable events_done : int;
+  mutable running : bool;
+}
+
+and 'msg ctx = { engine : 'msg t; proc : int }
+
+let compare_events a b =
+  match Float.compare a.at b.at with 0 -> compare a.seq b.seq | c -> c
+
+let create ?(network = Network.uniform_default) ?(max_events = 50_000_000)
+    ~num_processes ~seed () =
+  if num_processes < 1 then invalid_arg "Engine.create: need >= 1 process";
+  {
+    num_processes;
+    network;
+    rng = Rng.create seed;
+    stats = Stats.create ~n:num_processes;
+    queue = Heap.create ~cmp:compare_events;
+    handlers = Array.make num_processes None;
+    max_events;
+    next_seq = 0;
+    clock = 0.0;
+    stop_requested = false;
+    events_done = 0;
+    running = false;
+  }
+
+let set_handler t i h =
+  if i < 0 || i >= t.num_processes then
+    invalid_arg "Engine.set_handler: no such process";
+  t.handlers.(i) <- Some h
+
+let stats t = t.stats
+
+let now t = t.clock
+
+let stopped t = t.stop_requested
+
+let events_processed t = t.events_done
+
+let push t ~at body =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Heap.add t.queue { at; seq; body }
+
+let schedule_initial t ~proc ~at callback =
+  if proc < 0 || proc >= t.num_processes then
+    invalid_arg "Engine.schedule_initial: no such process";
+  if at < 0.0 then invalid_arg "Engine.schedule_initial: negative time";
+  push t ~at (Timer { proc; callback })
+
+let self ctx = ctx.proc
+
+let time ctx = ctx.engine.clock
+
+let send ctx ?(bits = 32) ~dst msg =
+  let t = ctx.engine in
+  if dst < 0 || dst >= t.num_processes then
+    invalid_arg "Engine.send: no such process";
+  let at =
+    Network.delivery_time t.network t.rng ~src:ctx.proc ~dst ~now:t.clock
+  in
+  Stats.msg_sent t.stats ~proc:ctx.proc ~bits;
+  push t ~at (Deliver { dst; src = ctx.proc; msg })
+
+let schedule ctx ~delay callback =
+  let t = ctx.engine in
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  push t ~at:(t.clock +. delay) (Timer { proc = ctx.proc; callback })
+
+let charge_work ctx units = Stats.work ctx.engine.stats ~proc:ctx.proc units
+
+let note_space ctx words = Stats.space ctx.engine.stats ~proc:ctx.proc words
+
+let rng ctx = ctx.engine.rng
+
+let stop ctx = ctx.engine.stop_requested <- true
+
+let dispatch t ev =
+  t.clock <- ev.at;
+  match ev.body with
+  | Deliver { dst; src; msg } -> (
+      Log.debug (fun m -> m "t=%.3f deliver %d -> %d" ev.at src dst);
+      Stats.msg_received t.stats ~proc:dst;
+      match t.handlers.(dst) with
+      | Some h -> h { engine = t; proc = dst } ~src msg
+      | None ->
+          failwith
+            (Printf.sprintf "Engine: message for process %d with no handler"
+               dst))
+  | Timer { proc; callback } -> callback { engine = t; proc }
+
+let run t =
+  if t.running then invalid_arg "Engine.run: already run";
+  t.running <- true;
+  let rec loop () =
+    if t.stop_requested then ()
+    else
+      match Heap.pop t.queue with
+      | None -> ()
+      | Some ev ->
+          t.events_done <- t.events_done + 1;
+          if t.events_done > t.max_events then
+            failwith "Engine.run: event budget exceeded (runaway protocol?)";
+          dispatch t ev;
+          loop ()
+  in
+  loop ()

@@ -1,0 +1,83 @@
+(** Deterministic discrete-event simulation engine.
+
+    Processes are numbered [0 .. num_processes - 1] and are plain
+    message handlers: the engine invokes a process's handler for each
+    delivered message (and for each expired timer callback). Handlers
+    react by sending messages, scheduling timers, charging costs to the
+    {!Stats} instance, or halting the run.
+
+    Determinism: events are ordered by [(time, insertion sequence)] so
+    simultaneous events fire in creation order, and all randomness
+    (latencies, handler decisions) is drawn from per-engine
+    {!Wcp_util.Rng} state derived from the seed. Two runs with equal
+    seeds and handlers are identical.
+
+    The engine is monomorphic in a user message type ['msg] per
+    instance; a protocol stack defines one variant type covering all
+    its message kinds. *)
+
+open Wcp_util
+
+type 'msg t
+
+type 'msg ctx
+(** Handler's capability to interact with the engine. Valid only for
+    the duration of the handler invocation that received it. *)
+
+val create :
+  ?network:Network.t -> ?max_events:int -> num_processes:int -> seed:int64 ->
+  unit -> 'msg t
+(** [max_events] (default 50 million) guards against runaway protocols:
+    exceeding it raises [Failure]. *)
+
+val set_handler : 'msg t -> int -> ('msg ctx -> src:int -> 'msg -> unit) -> unit
+(** Install the message handler for a process. Messages arriving for a
+    process with no handler raise [Failure] (a wiring bug, not a
+    protocol condition). *)
+
+val stats : 'msg t -> Stats.t
+(** Message counts are charged automatically on [send]; work and space
+    are charged by handlers via {!charge_work} and {!note_space}. *)
+
+val schedule_initial :
+  'msg t -> proc:int -> at:float -> ('msg ctx -> unit) -> unit
+(** Seed the event queue before {!run}: the callback runs as process
+    [proc] at absolute time [at]. *)
+
+val run : 'msg t -> unit
+(** Process events until the queue drains or a handler calls {!stop}.
+    May be called once per engine. *)
+
+val now : 'msg t -> float
+(** Simulated time after (or during) [run]. *)
+
+val stopped : 'msg t -> bool
+(** Whether a handler called {!stop}. *)
+
+val events_processed : 'msg t -> int
+
+(** {2 Operations available to handlers} *)
+
+val self : 'msg ctx -> int
+
+val time : 'msg ctx -> float
+
+val send : 'msg ctx -> ?bits:int -> dst:int -> 'msg -> unit
+(** Hand a message to the network; it will be delivered to [dst]'s
+    handler at a time chosen by the network model. [bits] (default 32)
+    is charged to the sender's stats. *)
+
+val schedule : 'msg ctx -> delay:float -> ('msg ctx -> unit) -> unit
+(** Run a callback at [time ctx +. delay]. *)
+
+val charge_work : 'msg ctx -> int -> unit
+(** Charge work units to the invoking process. *)
+
+val note_space : 'msg ctx -> int -> unit
+(** Report the invoking process's current buffer usage (words). *)
+
+val rng : 'msg ctx -> Rng.t
+(** The engine's PRNG (shared; use for handler-level randomness). *)
+
+val stop : 'msg ctx -> unit
+(** Halt the simulation after the current handler returns. *)

@@ -1,0 +1,32 @@
+open Wcp_util
+
+type latency = Constant of float | Uniform of float * float | Exponential of float
+
+type t = {
+  fifo : src:int -> dst:int -> bool;
+  latency : latency;
+  (* Last scheduled delivery per (src, dst); used to clamp FIFO links. *)
+  last : (int * int, float) Hashtbl.t;
+}
+
+let create ?(fifo = fun ~src:_ ~dst:_ -> false) ~latency () =
+  { fifo; latency; last = Hashtbl.create 64 }
+
+let uniform_default = create ~latency:(Uniform (0.5, 1.5)) ()
+
+let sample t rng =
+  match t.latency with
+  | Constant d -> d
+  | Uniform (lo, hi) -> lo +. Rng.float rng (hi -. lo)
+  | Exponential mean -> Rng.exponential rng ~mean
+
+let delivery_time t rng ~src ~dst ~now =
+  let raw = now +. sample t rng in
+  if t.fifo ~src ~dst then begin
+    let key = (src, dst) in
+    let prev = Option.value ~default:neg_infinity (Hashtbl.find_opt t.last key) in
+    let at = if raw < prev then prev else raw in
+    Hashtbl.replace t.last key at;
+    at
+  end
+  else raw

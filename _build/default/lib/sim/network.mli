@@ -1,0 +1,32 @@
+(** Network model for the discrete-event engine.
+
+    The paper assumes reliable asynchronous channels with no FIFO
+    guarantee (§2), except that the application-to-monitor snapshot
+    channel must be FIFO (§3.1). The model therefore supports a
+    per-link FIFO predicate: on FIFO links delivery times are clamped
+    to be non-decreasing; on other links independent latency samples
+    may reorder messages freely.
+
+    Latency distributions are sampled from the engine's deterministic
+    PRNG, so a given seed fully determines every delivery schedule. *)
+
+open Wcp_util
+
+type latency =
+  | Constant of float
+  | Uniform of float * float  (** inclusive lower, exclusive upper *)
+  | Exponential of float  (** mean *)
+
+type t
+
+val create :
+  ?fifo:(src:int -> dst:int -> bool) -> latency:latency -> unit -> t
+(** [fifo] defaults to [fun ~src:_ ~dst:_ -> false] (no link is
+    FIFO). *)
+
+val uniform_default : t
+(** Non-FIFO, [Uniform (0.5, 1.5)] — a reasonable generic network. *)
+
+val delivery_time : t -> Rng.t -> src:int -> dst:int -> now:float -> float
+(** Absolute delivery time for a message handed to the network at
+    [now]. Monotone per link when the link is FIFO. *)

@@ -1,0 +1,63 @@
+type t = {
+  sent : int array;
+  received : int array;
+  bits : int array;
+  work : int array;
+  space_hw : int array;
+}
+
+let create ~n =
+  {
+    sent = Array.make n 0;
+    received = Array.make n 0;
+    bits = Array.make n 0;
+    work = Array.make n 0;
+    space_hw = Array.make n 0;
+  }
+
+let n t = Array.length t.sent
+
+let msg_sent t ~proc ~bits =
+  t.sent.(proc) <- t.sent.(proc) + 1;
+  t.bits.(proc) <- t.bits.(proc) + bits
+
+let msg_received t ~proc = t.received.(proc) <- t.received.(proc) + 1
+
+let work t ~proc units = t.work.(proc) <- t.work.(proc) + units
+
+let space t ~proc words =
+  if words > t.space_hw.(proc) then t.space_hw.(proc) <- words
+
+let sent t i = t.sent.(i)
+let received t i = t.received.(i)
+let bits t i = t.bits.(i)
+let work_of t i = t.work.(i)
+let space_high_water t i = t.space_hw.(i)
+
+let sum = Array.fold_left ( + ) 0
+let maximum a = Array.fold_left max 0 a
+
+let total_sent t = sum t.sent
+let total_bits t = sum t.bits
+let total_work t = sum t.work
+let max_work t = maximum t.work
+let max_space t = maximum t.space_hw
+
+let merge_into ~dst src =
+  if n dst <> n src then invalid_arg "Stats.merge_into: size mismatch";
+  for i = 0 to n dst - 1 do
+    dst.sent.(i) <- dst.sent.(i) + src.sent.(i);
+    dst.received.(i) <- dst.received.(i) + src.received.(i);
+    dst.bits.(i) <- dst.bits.(i) + src.bits.(i);
+    dst.work.(i) <- dst.work.(i) + src.work.(i);
+    dst.space_hw.(i) <- max dst.space_hw.(i) src.space_hw.(i)
+  done
+
+let pp ppf t =
+  Format.fprintf ppf "proc  sent  recv      bits      work    space@.";
+  for i = 0 to n t - 1 do
+    Format.fprintf ppf "%4d %5d %5d %9d %9d %8d@." i t.sent.(i) t.received.(i)
+      t.bits.(i) t.work.(i) t.space_hw.(i)
+  done;
+  Format.fprintf ppf "total sent=%d bits=%d work=%d max-work=%d max-space=%d"
+    (total_sent t) (total_bits t) (total_work t) (max_work t) (max_space t)

@@ -1,0 +1,62 @@
+(** Per-process cost accounting.
+
+    The paper's complexity claims (§3.4, §4.4) are stated in terms of
+    messages sent, bits communicated, computation steps ("work") and
+    buffer space, each both in total and per process. Every detection
+    algorithm in [wcp.core] charges its costs here so the benchmark
+    harness can compare measured values against the analytical bounds.
+
+    Units:
+    - messages: count;
+    - bits: as charged by the caller (the harness charges 32-bit words
+      per the accounting policy in DESIGN.md §3);
+    - work: abstract constant-time steps (vector-clock component
+      comparisons, candidate examinations, dependence processing);
+    - space: words; tracked as a high-water mark per process. *)
+
+type t
+
+val create : n:int -> t
+(** [n] independently tracked processes (application and monitor costs
+    are charged to the same index; the harness separates them by using
+    distinct stats instances where needed). *)
+
+val n : t -> int
+
+val msg_sent : t -> proc:int -> bits:int -> unit
+(** Charge one message of the given size to [proc]. *)
+
+val msg_received : t -> proc:int -> unit
+
+val work : t -> proc:int -> int -> unit
+(** Charge computation steps. *)
+
+val space : t -> proc:int -> int -> unit
+(** Report current buffer usage in words; the high-water mark is
+    kept. *)
+
+(** {2 Per-process readings} *)
+
+val sent : t -> int -> int
+val received : t -> int -> int
+val bits : t -> int -> int
+val work_of : t -> int -> int
+val space_high_water : t -> int -> int
+
+(** {2 Aggregates} *)
+
+val total_sent : t -> int
+val total_bits : t -> int
+val total_work : t -> int
+val max_work : t -> int
+(** Largest per-process work — the paper's "work performed by any
+    process". *)
+
+val max_space : t -> int
+
+val merge_into : dst:t -> t -> unit
+(** Add all counters of the source into [dst] (same [n] required);
+    high-water marks combine by max. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line table of per-process counters plus totals. *)

@@ -1,0 +1,1 @@
+lib/trace/builder.ml: Array Computation List Printf

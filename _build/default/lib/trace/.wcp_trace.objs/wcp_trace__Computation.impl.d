@@ -1,0 +1,1 @@
+lib/trace/computation.ml: Array Dependence Format List Queue State Vector_clock Wcp_clocks

@@ -1,0 +1,1 @@
+lib/trace/computation.mli: Dependence Format State Vector_clock Wcp_clocks

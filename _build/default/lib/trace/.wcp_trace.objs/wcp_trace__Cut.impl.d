@@ -1,0 +1,1 @@
+lib/trace/cut.ml: Array Computation Format Fun List State

@@ -1,0 +1,1 @@
+lib/trace/cut.mli: Computation Format State

@@ -1,0 +1,1 @@
+lib/trace/generator.ml: Array Builder Fun List Rng Wcp_util

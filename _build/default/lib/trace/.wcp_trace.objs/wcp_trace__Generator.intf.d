@@ -1,0 +1,1 @@
+lib/trace/generator.mli: Computation Rng Wcp_util

@@ -1,0 +1,1 @@
+lib/trace/render.ml: Array Buffer Computation Cut List Printf State

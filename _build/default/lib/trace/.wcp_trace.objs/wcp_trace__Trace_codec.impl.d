@@ -1,0 +1,1 @@
+lib/trace/trace_codec.ml: Array Buffer Computation Format Fun List Printf State String

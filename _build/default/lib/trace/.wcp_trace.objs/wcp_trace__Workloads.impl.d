@@ -1,0 +1,1 @@
+lib/trace/workloads.ml: Array Builder Computation Fun Int64 List Queue Rng Wcp_util

@@ -1,0 +1,60 @@
+type msg = { msg_id : int; msg_dst : int; mutable received : bool }
+
+type t = {
+  n : int;
+  rev_ops : Computation.op list array;
+  rev_pred : bool list array;
+  (* Head of rev_pred.(i) is the current state's flag. *)
+  mutable next_msg : int;
+}
+
+let create ~n =
+  if n <= 0 then invalid_arg "Builder.create: n must be positive";
+  {
+    n;
+    rev_ops = Array.make n [];
+    rev_pred = Array.make n [ false ];
+    next_msg = 0;
+  }
+
+let check_proc t p ~what =
+  if p < 0 || p >= t.n then
+    invalid_arg (Printf.sprintf "Builder.%s: no process %d" what p)
+
+let send t ~src ~dst =
+  check_proc t src ~what:"send";
+  check_proc t dst ~what:"send";
+  if src = dst then invalid_arg "Builder.send: self-send";
+  let id = t.next_msg in
+  t.next_msg <- id + 1;
+  t.rev_ops.(src) <- Computation.Send { dst; msg = id } :: t.rev_ops.(src);
+  t.rev_pred.(src) <- false :: t.rev_pred.(src);
+  { msg_id = id; msg_dst = dst; received = false }
+
+let recv t ~dst m =
+  check_proc t dst ~what:"recv";
+  if m.received then invalid_arg "Builder.recv: message already received";
+  if m.msg_dst <> dst then
+    invalid_arg
+      (Printf.sprintf "Builder.recv: message addressed to %d, not %d"
+         m.msg_dst dst);
+  m.received <- true;
+  t.rev_ops.(dst) <- Computation.Recv { msg = m.msg_id } :: t.rev_ops.(dst);
+  t.rev_pred.(dst) <- false :: t.rev_pred.(dst)
+
+let internal t ~proc = check_proc t proc ~what:"internal"
+
+let set_pred t ~proc v =
+  check_proc t proc ~what:"set_pred";
+  match t.rev_pred.(proc) with
+  | _ :: rest -> t.rev_pred.(proc) <- v :: rest
+  | [] -> assert false
+
+let current_state t ~proc =
+  check_proc t proc ~what:"current_state";
+  List.length t.rev_pred.(proc)
+
+let finish t =
+  let ops = Array.map List.rev t.rev_ops in
+  let pred = Array.map (fun l -> Array.of_list (List.rev l)) t.rev_pred in
+  Computation.of_raw ~ops ~pred

@@ -1,0 +1,51 @@
+(** Imperative construction of computations.
+
+    The builder records events in the (sequential) order the caller
+    issues them; because a message handle can only be received after
+    the call that created it, every built run is causally sound by
+    construction. Predicate truth defaults to [false] for each state
+    and is switched on with {!set_pred}, which applies to the process's
+    {e current} state.
+
+    Typical use:
+    {[
+      let b = Builder.create ~n:2 in
+      Builder.set_pred b ~proc:0 true;        (* l_0 holds in (0,1) *)
+      let m = Builder.send b ~src:0 ~dst:1 in
+      Builder.recv b ~dst:1 m;
+      Builder.set_pred b ~proc:1 true;        (* l_1 holds in (1,2) *)
+      let c = Builder.finish b in
+      ...
+    ]} *)
+
+type t
+
+type msg
+(** Handle for a sent-but-not-yet-received message. *)
+
+val create : n:int -> t
+
+val send : t -> src:int -> dst:int -> msg
+(** Append a send event to [src]; the message must later be passed to
+    {!recv} exactly once. *)
+
+val recv : t -> dst:int -> msg -> unit
+(** Append the matching receive to [dst].
+    @raise Invalid_argument if [dst] is not the addressed process or
+    the handle was already received. *)
+
+val internal : t -> proc:int -> unit
+(** No-op placeholder: local computation that is not a communication
+    event does not create a new state (states are delimited by
+    communication only), so this records nothing. Provided so that
+    example code can mirror program structure literally. *)
+
+val set_pred : t -> proc:int -> bool -> unit
+(** Set the local predicate's truth in the current state of [proc]. *)
+
+val current_state : t -> proc:int -> int
+(** 1-based index of the process's current state. *)
+
+val finish : t -> Computation.t
+(** Validate and freeze. @raise Computation.Invalid if any message was
+    never received. *)

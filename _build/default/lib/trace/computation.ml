@@ -1,0 +1,229 @@
+open Wcp_clocks
+
+type op = Send of { dst : int; msg : int } | Recv of { msg : int }
+
+type message = {
+  id : int;
+  src : int;
+  src_state : int;
+  dst : int;
+  dst_state : int;
+}
+
+type t = {
+  n : int;
+  ops : op array array;
+  pred : bool array array;
+  messages : message array;
+  vcs : Vector_clock.t array array;
+  deps : Dependence.t option array array;
+  max_events : int;
+}
+
+exception Invalid of string
+
+let invalid fmt = Format.kasprintf (fun s -> raise (Invalid s)) fmt
+
+(* First pass over the raw ops: check message ids are dense, each sent
+   and received exactly once, and addressed to the process that receives
+   it. Returns the per-message sender/receiver skeleton. *)
+let check_messages ~n (ops : op array array) =
+  let num_msgs =
+    Array.fold_left
+      (fun acc proc_ops ->
+        Array.fold_left
+          (fun acc op ->
+            match op with Send { msg; _ } | Recv { msg } -> max acc (msg + 1))
+          acc proc_ops)
+      0 ops
+  in
+  let senders = Array.make num_msgs None in
+  let receivers = Array.make num_msgs None in
+  Array.iteri
+    (fun i proc_ops ->
+      Array.iter
+        (fun op ->
+          match op with
+          | Send { dst; msg } ->
+              if msg < 0 then invalid "negative message id %d" msg;
+              if dst < 0 || dst >= n then
+                invalid "message %d sent to invalid process %d" msg dst;
+              if dst = i then invalid "message %d is a self-send on %d" msg i;
+              (match senders.(msg) with
+              | Some _ -> invalid "message %d sent twice" msg
+              | None -> senders.(msg) <- Some (i, dst))
+          | Recv { msg } ->
+              if msg < 0 || msg >= num_msgs then
+                invalid "receive of unknown message %d" msg;
+              (match receivers.(msg) with
+              | Some _ -> invalid "message %d received twice" msg
+              | None -> receivers.(msg) <- Some i))
+        proc_ops)
+    ops;
+  let pair id =
+    match (senders.(id), receivers.(id)) with
+    | Some (src, dst), Some r ->
+        if r <> dst then
+          invalid "message %d addressed to %d but received by %d" id dst r;
+        (src, dst)
+    | None, _ -> invalid "message id %d never sent" id
+    | _, None -> invalid "message %d never received" id
+  in
+  Array.init num_msgs pair
+
+(* Topological replay: execute each process's ops in order, blocking a
+   receive until the matching send has executed. Any process left
+   unfinished at the end witnesses a causal cycle. Computes the vector
+   clock of every state and the direct dependence at every receive. *)
+let replay ~n (ops : op array array) endpoints =
+  let num_msgs = Array.length endpoints in
+  let msg_vc : Vector_clock.t option array = Array.make num_msgs None in
+  let msg_src_state = Array.make num_msgs 0 in
+  let msg_dst_state = Array.make num_msgs 0 in
+  let waiting_for : int option array = Array.make num_msgs None in
+  let pos = Array.make n 0 in
+  let clock = Array.init n (fun i -> Vector_clock.make ~n ~owner:i) in
+  (* vcs built backwards; state 1's clock is the initial clock. *)
+  let rev_vcs = Array.init n (fun i -> ref [ clock.(i) ]) in
+  let rev_deps = Array.init n (fun _ -> ref [ None ]) in
+  let queue = Queue.create () in
+  Array.iteri (fun i _ -> Queue.add i queue) ops;
+  let run i =
+    let blocked = ref false in
+    while (not !blocked) && pos.(i) < Array.length ops.(i) do
+      (match ops.(i).(pos.(i)) with
+      | Send { msg; _ } ->
+          msg_vc.(msg) <- Some clock.(i);
+          msg_src_state.(msg) <- Vector_clock.get clock.(i) i;
+          clock.(i) <- Vector_clock.tick clock.(i) ~owner:i;
+          rev_vcs.(i) := clock.(i) :: !(rev_vcs.(i));
+          rev_deps.(i) := None :: !(rev_deps.(i));
+          (match waiting_for.(msg) with
+          | Some j ->
+              waiting_for.(msg) <- None;
+              Queue.add j queue
+          | None -> ())
+      | Recv { msg } -> (
+          match msg_vc.(msg) with
+          | None ->
+              waiting_for.(msg) <- Some i;
+              blocked := true
+          | Some sender_vc ->
+              clock.(i) <- Vector_clock.receive clock.(i) ~owner:i ~msg:sender_vc;
+              msg_dst_state.(msg) <- Vector_clock.get clock.(i) i;
+              rev_vcs.(i) := clock.(i) :: !(rev_vcs.(i));
+              let src, _ = endpoints.(msg) in
+              rev_deps.(i) :=
+                Some Dependence.{ src; clock = msg_src_state.(msg) }
+                :: !(rev_deps.(i))));
+      if not !blocked then pos.(i) <- pos.(i) + 1
+    done
+  in
+  while not (Queue.is_empty queue) do
+    run (Queue.pop queue)
+  done;
+  Array.iteri
+    (fun i p ->
+      if p < Array.length ops.(i) then
+        invalid "process %d blocked at event %d: causal cycle in trace" i p)
+    pos;
+  let vcs = Array.map (fun r -> Array.of_list (List.rev !r)) rev_vcs in
+  let deps = Array.map (fun r -> Array.of_list (List.rev !r)) rev_deps in
+  let messages =
+    Array.mapi
+      (fun id (src, dst) ->
+        {
+          id;
+          src;
+          src_state = msg_src_state.(id);
+          dst;
+          dst_state = msg_dst_state.(id);
+        })
+      endpoints
+  in
+  (vcs, deps, messages)
+
+let of_raw ~ops ~pred =
+  let n = Array.length ops in
+  if n = 0 then invalid "empty computation";
+  if Array.length pred <> n then
+    invalid "pred has %d rows for %d processes" (Array.length pred) n;
+  let ops = Array.map Array.of_list ops in
+  Array.iteri
+    (fun i row ->
+      let expect = Array.length ops.(i) + 1 in
+      if Array.length row <> expect then
+        invalid "process %d: %d predicate flags for %d states"
+          i (Array.length row) expect)
+    pred;
+  let endpoints = check_messages ~n ops in
+  let vcs, deps, messages = replay ~n ops endpoints in
+  let max_events =
+    Array.fold_left (fun acc o -> max acc (Array.length o)) 0 ops
+  in
+  let pred = Array.map Array.copy pred in
+  { n; ops; pred; messages; vcs; deps; max_events }
+
+let n t = t.n
+
+let num_states t i = Array.length t.ops.(i) + 1
+
+let total_states t =
+  let total = ref 0 in
+  for i = 0 to t.n - 1 do
+    total := !total + num_states t i
+  done;
+  !total
+
+let ops t i = Array.to_list t.ops.(i)
+
+let messages t = t.messages
+
+let check_state t (s : State.t) =
+  if s.proc < 0 || s.proc >= t.n then invalid "no process %d" s.proc;
+  if s.index < 1 || s.index > num_states t s.proc then
+    invalid "process %d has no state %d" s.proc s.index
+
+let pred t (s : State.t) =
+  check_state t s;
+  t.pred.(s.proc).(s.index - 1)
+
+let vc t (s : State.t) =
+  check_state t s;
+  t.vcs.(s.proc).(s.index - 1)
+
+let dep_at t (s : State.t) =
+  check_state t s;
+  t.deps.(s.proc).(s.index - 1)
+
+let happened_before t (a : State.t) (b : State.t) =
+  check_state t a;
+  check_state t b;
+  if a.proc = b.proc then a.index < b.index
+  else Vector_clock.get (vc t b) a.proc >= a.index
+
+let concurrent t a b =
+  (not (State.equal a b))
+  && (not (happened_before t a b))
+  && not (happened_before t b a)
+
+let candidates t i =
+  let states = num_states t i in
+  let rec collect k acc =
+    if k < 1 then acc
+    else collect (k - 1) (if t.pred.(i).(k - 1) then k :: acc else acc)
+  in
+  collect states []
+
+let max_events_per_process t = t.max_events
+
+let reflag t ~pred =
+  let fresh =
+    Array.init t.n (fun p ->
+        Array.init (num_states t p) (fun k -> pred ~proc:p ~state:(k + 1)))
+  in
+  { t with pred = fresh }
+
+let pp_summary ppf t =
+  Format.fprintf ppf "computation: %d processes, %d states, %d messages"
+    t.n (total_states t) (Array.length t.messages)

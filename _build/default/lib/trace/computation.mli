@@ -1,0 +1,100 @@
+(** A recorded distributed computation (one run of a distributed
+    program, paper §2).
+
+    Each of the [n] processes executes a sequence of communication
+    events (sends and receives). The interval between two consecutive
+    events is a {e local state}; process [i] with [e] events has
+    [e + 1] states, indexed 1-based (see {!State}). Every state carries
+    the truth value of that process's local predicate — the only part
+    of the program state the detection algorithms need.
+
+    Derived data computed once at construction time:
+    - the vector clock of every state (Fig. 2 discipline);
+    - the scalar clock of every state (§4.1) — identically the state's
+      index, since the counter is incremented on every send/receive;
+    - the direct dependence (§4.1) recorded at each receive.
+
+    Construction validates that the run is causally sound: every
+    message is sent exactly once and received exactly once, by the
+    addressed process, and the send precedes the receive in some
+    linearization (no causal cycles). *)
+
+open Wcp_clocks
+
+type op =
+  | Send of { dst : int; msg : int }
+  | Recv of { msg : int }
+      (** One communication event. [msg] identifiers are global,
+          dense, and 0-based. *)
+
+type message = {
+  id : int;
+  src : int;
+  src_state : int;  (** state of [src] from which the message was sent *)
+  dst : int;
+  dst_state : int;  (** state of [dst] entered upon receipt *)
+}
+
+type t
+
+exception Invalid of string
+(** Raised by {!of_raw} (and the codec) on causally unsound input. *)
+
+val of_raw : ops:op list array -> pred:bool array array -> t
+(** [of_raw ~ops ~pred] builds a computation from per-process event
+    lists. [pred.(i)] must have length [List.length ops.(i) + 1]: one
+    truth value per state.
+    @raise Invalid if the run is not a valid computation. *)
+
+val n : t -> int
+(** Number of processes. *)
+
+val num_states : t -> int -> int
+(** Number of states of process [i] (at least 1). *)
+
+val total_states : t -> int
+
+val ops : t -> int -> op list
+(** Communication events of process [i], in order. *)
+
+val messages : t -> message array
+(** All messages, indexed by id. *)
+
+val pred : t -> State.t -> bool
+(** Truth of the local predicate in the given state. *)
+
+val vc : t -> State.t -> Vector_clock.t
+(** Vector clock of the given state (full [n]-sized vector). *)
+
+val dep_at : t -> State.t -> Dependence.t option
+(** The direct dependence recorded at the transition {e into} the given
+    state: [Some {src; clock}] iff that transition was the receipt of a
+    message sent by [src] from its state [clock]. [None] for state 1
+    and for states entered by a send. *)
+
+val happened_before : t -> State.t -> State.t -> bool
+(** Lamport's happened-before between local states, answered from the
+    vector clocks in O(1). *)
+
+val concurrent : t -> State.t -> State.t -> bool
+(** Neither state happened before the other. States of the same
+    process are never concurrent (unless equal, which is also not
+    concurrent). *)
+
+val candidates : t -> int -> int list
+(** Indices of process [i]'s states whose local predicate is true —
+    exactly the states for which the Fig. 2 application process emits a
+    local snapshot. *)
+
+val max_events_per_process : t -> int
+(** The paper's [m]: the largest number of messages sent or received by
+    any single process. *)
+
+val reflag : t -> pred:(proc:int -> state:int -> bool) -> t
+(** The same communication structure with different local-predicate
+    flags — used to hand a derived WCP (e.g. one DNF disjunct of a
+    boolean predicate) to the detection machinery. Clocks and
+    dependences are shared, not recomputed. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-line shape summary (process count, states, messages). *)

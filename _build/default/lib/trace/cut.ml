@@ -1,0 +1,67 @@
+type t = { procs : int array; states : int array }
+
+let make ~procs ~states =
+  let n = Array.length procs in
+  if n = 0 then invalid_arg "Cut.make: empty cut";
+  if Array.length states <> n then
+    invalid_arg "Cut.make: procs/states length mismatch";
+  Array.iteri
+    (fun k p ->
+      if k > 0 && procs.(k - 1) >= p then
+        invalid_arg "Cut.make: procs must be strictly increasing";
+      if p < 0 then invalid_arg "Cut.make: negative process id";
+      if states.(k) < 1 then invalid_arg "Cut.make: state index < 1")
+    procs;
+  { procs = Array.copy procs; states = Array.copy states }
+
+let over_all comp states =
+  make ~procs:(Array.init (Computation.n comp) Fun.id) ~states
+
+let state c k = State.make ~proc:c.procs.(k) ~index:c.states.(k)
+
+let width c = Array.length c.procs
+
+let equal a b = a.procs = b.procs && a.states = b.states
+
+let pointwise_leq a b =
+  a.procs = b.procs
+  && Array.for_all2 (fun x y -> x <= y) a.states b.states
+
+let violations comp c =
+  let pairs = ref [] in
+  let w = width c in
+  for k = 0 to w - 1 do
+    for l = 0 to w - 1 do
+      if k <> l then begin
+        let a = state c k and b = state c l in
+        if Computation.happened_before comp a b then pairs := (a, b) :: !pairs
+      end
+    done
+  done;
+  List.rev !pairs
+
+let consistent comp c =
+  let w = width c in
+  let rec ok k l =
+    if k = w then true
+    else if l = w then ok (k + 1) (k + 2)
+    else
+      Computation.concurrent comp (state c k) (state c l) && ok k (l + 1)
+  in
+  ok 0 1
+
+let satisfies comp c =
+  let w = width c in
+  let rec preds k = k = w || (Computation.pred comp (state c k) && preds (k + 1)) in
+  preds 0 && consistent comp c
+
+let pp ppf c =
+  Format.pp_print_char ppf '{';
+  Array.iteri
+    (fun k p ->
+      if k > 0 then Format.pp_print_char ppf ' ';
+      Format.fprintf ppf "%d:%d" p c.states.(k))
+    c.procs;
+  Format.pp_print_char ppf '}'
+
+let to_string c = Format.asprintf "%a" pp c

@@ -1,0 +1,49 @@
+(** Global cuts over a (possibly strict) subset of processes.
+
+    A weak conjunctive predicate is defined over [n <= N] of the [N]
+    application processes (paper §1); a cut selects one local state
+    from each of those [n] processes. The cut is {e consistent} when
+    the selected states are pairwise concurrent, and {e satisfies} the
+    WCP when additionally every selected state's local predicate holds.
+
+    [procs] lists the predicate processes in increasing order;
+    [states.(k)] is the 1-based state index selected from process
+    [procs.(k)]. *)
+
+type t = { procs : int array; states : int array }
+
+val make : procs:int array -> states:int array -> t
+(** @raise Invalid_argument on length mismatch, unsorted or duplicate
+    processes, or state index < 1. *)
+
+val over_all : Computation.t -> int array -> t
+(** Cut over every process of the computation, with the given states. *)
+
+val state : t -> int -> State.t
+(** [state c k] is the [k]-th selected state as a {!State.t}. *)
+
+val width : t -> int
+(** Number of processes the cut spans. *)
+
+val equal : t -> t -> bool
+
+val pointwise_leq : t -> t -> bool
+(** [pointwise_leq a b] iff the two cuts span the same processes and
+    [a] selects an equal-or-earlier state on each. The first satisfying
+    cut is the least satisfying cut in this order (WCPs are linear
+    predicates, so it is unique). *)
+
+val consistent : Computation.t -> t -> bool
+(** All selected states pairwise concurrent. *)
+
+val satisfies : Computation.t -> t -> bool
+(** Consistent and every selected state's local predicate is true. *)
+
+val violations : Computation.t -> t -> (State.t * State.t) list
+(** All ordered pairs [(a, b)] of selected states with [a → b]; empty
+    iff consistent. For diagnostics and tests. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders as [{0:3 2:1 5:4}] (process:state pairs). *)
+
+val to_string : t -> string

@@ -1,0 +1,72 @@
+open Wcp_util
+
+type params = {
+  n : int;
+  sends_per_process : int;
+  p_pred : float;
+  p_recv : float;
+}
+
+let default_params = { n = 4; sends_per_process = 10; p_pred = 0.5; p_recv = 0.5 }
+
+let random ?(params = default_params) ~seed () =
+  let { n; sends_per_process; p_pred; p_recv } = params in
+  if n < 1 then invalid_arg "Generator.random: n must be >= 1";
+  if n = 1 && sends_per_process > 0 then
+    invalid_arg "Generator.random: a single process has nobody to send to";
+  let rng = Rng.create seed in
+  let b = Builder.create ~n in
+  for i = 0 to n - 1 do
+    Builder.set_pred b ~proc:i (Rng.bernoulli rng p_pred)
+  done;
+  let sends_left = Array.make n sends_per_process in
+  (* pending.(i): messages in flight toward process i. An array-backed
+     bag so a uniformly random (non-FIFO) element can be consumed. *)
+  let pending = Array.make n [] in
+  let pending_count = Array.make n 0 in
+  let total_pending = ref 0 in
+  let total_sends = ref (n * sends_per_process) in
+  let receive_on i =
+    let k = Rng.int rng pending_count.(i) in
+    let rec take acc j = function
+      | [] -> assert false
+      | m :: rest ->
+          if j = k then (m, List.rev_append acc rest) else take (m :: acc) (j + 1) rest
+    in
+    let m, rest = take [] 0 pending.(i) in
+    pending.(i) <- rest;
+    pending_count.(i) <- pending_count.(i) - 1;
+    decr total_pending;
+    Builder.recv b ~dst:i m;
+    Builder.set_pred b ~proc:i (Rng.bernoulli rng p_pred)
+  in
+  let send_from i =
+    let dst =
+      let d = Rng.int rng (n - 1) in
+      if d >= i then d + 1 else d
+    in
+    let m = Builder.send b ~src:i ~dst in
+    pending.(dst) <- m :: pending.(dst);
+    pending_count.(dst) <- pending_count.(dst) + 1;
+    incr total_pending;
+    sends_left.(i) <- sends_left.(i) - 1;
+    decr total_sends;
+    Builder.set_pred b ~proc:i (Rng.bernoulli rng p_pred)
+  in
+  while !total_sends > 0 || !total_pending > 0 do
+    let i = Rng.int rng n in
+    let can_recv = pending_count.(i) > 0 in
+    let can_send = sends_left.(i) > 0 in
+    if can_recv && ((not can_send) || Rng.bernoulli rng p_recv) then receive_on i
+    else if can_send then send_from i
+    (* else: this process is idle; the loop retries another process. *)
+  done;
+  Builder.finish b
+
+let random_procs rng ~n ~width =
+  if width < 1 || width > n then invalid_arg "Generator.random_procs";
+  let all = Array.init n Fun.id in
+  Rng.shuffle rng all;
+  let chosen = Array.sub all 0 width in
+  Array.sort compare chosen;
+  chosen

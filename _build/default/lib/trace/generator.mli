@@ -1,0 +1,35 @@
+(** Random computation generation.
+
+    Produces causally sound computations by simulating an interleaving:
+    at each step a random process either sends to a random peer or
+    receives one of its pending (in-flight) messages. Receive order is
+    deliberately {e not} FIFO — the paper makes no FIFO assumption for
+    application channels (§2) and the detection algorithms must cope.
+
+    All randomness flows from the [seed]; equal parameters and seed
+    give byte-identical computations. *)
+
+open Wcp_util
+
+type params = {
+  n : int;  (** number of processes (the paper's [N]) *)
+  sends_per_process : int;
+      (** sends issued by each process; the paper's [m] bounds the
+          events (sends + receives) of the busiest process *)
+  p_pred : float;
+      (** probability that the local predicate holds in any given
+          state; [0.] gives an undetectable run, [1.] makes the first
+          globally consistent candidate cut detectable immediately *)
+  p_recv : float;
+      (** bias toward receiving when a message is pending (higher
+          values give "chattier", more causally connected runs) *)
+}
+
+val default_params : params
+(** [n = 4], [sends_per_process = 10], [p_pred = 0.5], [p_recv = 0.5]. *)
+
+val random : ?params:params -> seed:int64 -> unit -> Computation.t
+
+val random_procs : Rng.t -> n:int -> width:int -> int array
+(** A sorted random subset of [width] distinct processes out of [n];
+    used to choose which processes a WCP spans. *)

@@ -1,0 +1,83 @@
+let cut_marks cut comp =
+  let marks = Array.make (Computation.n comp) 0 in
+  (match cut with
+  | None -> ()
+  | Some c ->
+      for k = 0 to Cut.width c - 1 do
+        let s = Cut.state c k in
+        marks.(s.State.proc) <- s.State.index
+      done);
+  marks
+
+let ascii ?cut comp =
+  let buf = Buffer.create 512 in
+  let marks = cut_marks cut comp in
+  for p = 0 to Computation.n comp - 1 do
+    Buffer.add_string buf (Printf.sprintf "P%d:" p);
+    let state = ref 1 in
+    let put_state () =
+      let flag =
+        if Computation.pred comp (State.make ~proc:p ~index:!state) then "*"
+        else "."
+      in
+      let mark = if marks.(p) = !state then "<" else "" in
+      Buffer.add_string buf (Printf.sprintf " (%d)%s%s" !state flag mark)
+    in
+    put_state ();
+    List.iter
+      (fun op ->
+        (match op with
+        | Computation.Send { dst; msg } ->
+            Buffer.add_string buf (Printf.sprintf " !%d>%d" msg dst)
+        | Computation.Recv { msg } ->
+            Buffer.add_string buf (Printf.sprintf " ?%d" msg));
+        incr state;
+        put_state ())
+      (Computation.ops comp p);
+    Buffer.add_char buf '\n'
+  done;
+  let msgs = Computation.messages comp in
+  if Array.length msgs > 0 then begin
+    Buffer.add_string buf "messages:";
+    Array.iter
+      (fun (m : Computation.message) ->
+        Buffer.add_string buf
+          (Printf.sprintf " %d:%d->%d" m.Computation.id m.Computation.src
+             m.Computation.dst))
+      msgs;
+    Buffer.add_char buf '\n'
+  end;
+  Buffer.contents buf
+
+let dot ?cut comp =
+  let buf = Buffer.create 1024 in
+  let marks = cut_marks cut comp in
+  Buffer.add_string buf "digraph computation {\n";
+  Buffer.add_string buf "  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+  for p = 0 to Computation.n comp - 1 do
+    Buffer.add_string buf (Printf.sprintf "  subgraph cluster_p%d {\n" p);
+    Buffer.add_string buf (Printf.sprintf "    label=\"P%d\";\n" p);
+    for s = 1 to Computation.num_states comp p do
+      let pred = Computation.pred comp (State.make ~proc:p ~index:s) in
+      let attrs = Buffer.create 32 in
+      Buffer.add_string attrs (Printf.sprintf "label=\"(%d,%d)\"" p s);
+      if pred then Buffer.add_string attrs ", style=filled, fillcolor=palegreen";
+      if marks.(p) = s then Buffer.add_string attrs ", color=red, penwidth=2";
+      Buffer.add_string buf (Printf.sprintf "    p%d_s%d [%s];\n" p s (Buffer.contents attrs))
+    done;
+    for s = 1 to Computation.num_states comp p - 1 do
+      Buffer.add_string buf
+        (Printf.sprintf "    p%d_s%d -> p%d_s%d;\n" p s p (s + 1))
+    done;
+    Buffer.add_string buf "  }\n"
+  done;
+  Array.iter
+    (fun (m : Computation.message) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  p%d_s%d -> p%d_s%d [style=dashed, label=\"m%d\", constraint=false];\n"
+           m.Computation.src m.Computation.src_state m.Computation.dst
+           m.Computation.dst_state m.Computation.id))
+    (Computation.messages comp);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

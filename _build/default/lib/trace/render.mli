@@ -1,0 +1,24 @@
+(** Rendering computations for humans.
+
+    {!ascii} gives a per-process listing of a run — states with their
+    predicate flags, interleaved with the communication events — plus a
+    message table; good enough to eyeball small traces in a terminal.
+    {!dot} emits a Graphviz digraph of the space-time diagram (one rank
+    per process, message edges dashed, predicate-true states filled,
+    an optional cut highlighted) for anything bigger.
+
+    Both renderings are deterministic, which the test suite uses to
+    golden-test them. *)
+
+
+val ascii : ?cut:Cut.t -> Computation.t -> string
+(** Example output (predicate-true states are starred; cut states carry
+    a [<] marker):
+    {v
+    P0: (1). !0>1 (2)* ?3 (3).<
+    P1: (1). ?0 (2). !1>2 (3)* ...
+    messages: 0:0->1 1:1->2 ...
+    v} *)
+
+val dot : ?cut:Cut.t -> Computation.t -> string
+(** Graphviz source; render with [dot -Tsvg]. *)

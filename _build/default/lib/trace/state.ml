@@ -1,0 +1,11 @@
+type t = { proc : int; index : int }
+
+let make ~proc ~index = { proc; index }
+
+let equal a b = a.proc = b.proc && a.index = b.index
+
+let compare = Stdlib.compare
+
+let pp ppf { proc; index } = Format.fprintf ppf "(%d,%d)" proc index
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,22 @@
+(** Local-state identifiers.
+
+    The paper writes [(i, k)] for the [k]-th state of process [P_i]: a
+    {e state} is the interval between two consecutive communication
+    events of a process. Indices are 1-based ([k >= 1]), matching the
+    Fig. 2 convention that [vclock.(i) = 1] in the initial state; the
+    value [0] is reserved for the detection algorithms' "no state
+    selected yet" sentinel and never names a real state. *)
+
+type t = { proc : int; index : int }
+
+val make : proc:int -> index:int -> t
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Orders by process, then index; a total order for containers only. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders as [(2,5)]. *)
+
+val to_string : t -> string

@@ -1,0 +1,117 @@
+exception Parse_error of { line : int; message : string }
+
+let parse_error ~line fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let encode comp =
+  let buf = Buffer.create 1024 in
+  let n = Computation.n comp in
+  Buffer.add_string buf "wcp-trace v1\n";
+  Buffer.add_string buf (Printf.sprintf "n %d\n" n);
+  for i = 0 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf "ops %d" i);
+    List.iter
+      (fun op ->
+        match op with
+        | Computation.Send { dst; msg } ->
+            Buffer.add_string buf (Printf.sprintf " S%d:%d" dst msg)
+        | Computation.Recv { msg } ->
+            Buffer.add_string buf (Printf.sprintf " R:%d" msg))
+      (Computation.ops comp i);
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (Printf.sprintf "pred %d" i);
+    for s = 1 to Computation.num_states comp i do
+      Buffer.add_string buf
+        (if Computation.pred comp (State.make ~proc:i ~index:s) then " 1"
+         else " 0")
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let split_ws s =
+  String.split_on_char ' ' s |> List.filter (fun t -> t <> "")
+
+let strip_comment s =
+  match String.index_opt s '#' with
+  | None -> s
+  | Some i -> String.sub s 0 i
+
+let parse_int ~line s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> parse_error ~line "expected integer, got %S" s
+
+let parse_op ~line tok =
+  if String.length tok >= 2 && tok.[0] = 'R' && tok.[1] = ':' then
+    Computation.Recv
+      { msg = parse_int ~line (String.sub tok 2 (String.length tok - 2)) }
+  else if String.length tok >= 1 && tok.[0] = 'S' then
+    match String.index_opt tok ':' with
+    | Some c ->
+        let dst = parse_int ~line (String.sub tok 1 (c - 1)) in
+        let msg =
+          parse_int ~line (String.sub tok (c + 1) (String.length tok - c - 1))
+        in
+        Computation.Send { dst; msg }
+    | None -> parse_error ~line "malformed send token %S" tok
+  else parse_error ~line "unknown op token %S" tok
+
+let decode text =
+  let lines = String.split_on_char '\n' text in
+  let n = ref (-1) in
+  let ops : Computation.op list array ref = ref [||] in
+  let pred : bool array array ref = ref [||] in
+  let saw_header = ref false in
+  List.iteri
+    (fun idx raw ->
+      let line = idx + 1 in
+      match split_ws (strip_comment raw) with
+      | [] -> ()
+      | "wcp-trace" :: version :: _ ->
+          if version <> "v1" then
+            parse_error ~line "unsupported version %S" version;
+          saw_header := true
+      | "n" :: [ count ] ->
+          if not !saw_header then parse_error ~line "missing wcp-trace header";
+          let c = parse_int ~line count in
+          if c < 1 then parse_error ~line "n must be >= 1";
+          n := c;
+          ops := Array.make c [];
+          pred := Array.make c [||]
+      | "ops" :: proc :: toks ->
+          let p = parse_int ~line proc in
+          if !n < 0 then parse_error ~line "ops before n";
+          if p < 0 || p >= !n then parse_error ~line "no process %d" p;
+          !ops.(p) <- List.map (parse_op ~line) toks
+      | "pred" :: proc :: toks ->
+          let p = parse_int ~line proc in
+          if !n < 0 then parse_error ~line "pred before n";
+          if p < 0 || p >= !n then parse_error ~line "no process %d" p;
+          !pred.(p) <-
+            Array.of_list
+              (List.map
+                 (fun t ->
+                   match t with
+                   | "0" -> false
+                   | "1" -> true
+                   | _ -> parse_error ~line "pred flag must be 0 or 1, got %S" t)
+                 toks)
+      | tok :: _ -> parse_error ~line "unknown directive %S" tok)
+    lines;
+  if !n < 0 then parse_error ~line:0 "no 'n' directive";
+  Computation.of_raw ~ops:!ops ~pred:!pred
+
+let write_file path comp =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (encode comp))
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      decode (really_input_string ic len))

@@ -1,0 +1,30 @@
+(** Plain-text serialization of computations.
+
+    Format (line-oriented, [#] starts a comment):
+    {v
+    wcp-trace v1
+    n 3
+    ops 0 S1:0 R:2 S2:1
+    pred 0 1 0 1 1
+    ops 1 R:0 ...
+    pred 1 ...
+    v}
+    [Sd:m] is "send message [m] to process [d]"; [R:m] is "receive
+    message [m]". The [pred] line for process [i] lists one [0]/[1]
+    flag per state ([number of ops + 1] flags).
+
+    Decoding re-validates causal soundness through
+    {!Computation.of_raw}, so a trace file can never produce an
+    inconsistent in-memory computation. *)
+
+exception Parse_error of { line : int; message : string }
+
+val encode : Computation.t -> string
+
+val decode : string -> Computation.t
+(** @raise Parse_error on syntax errors.
+    @raise Computation.Invalid on causally unsound traces. *)
+
+val write_file : string -> Computation.t -> unit
+
+val read_file : string -> Computation.t

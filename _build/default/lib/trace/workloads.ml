@@ -1,0 +1,432 @@
+open Wcp_util
+
+type t = { comp : Computation.t; procs : int array; name : string }
+
+(* Every workload below is a tiny agent simulation: a global loop picks
+   a random enabled action (send or receive) and applies it to the
+   Builder, so the interleaving — and hence the happened-before order —
+   varies with the seed while the protocol logic stays fixed. *)
+
+let pick_nth rng l =
+  let k = Rng.int rng (List.length l) in
+  List.nth l k
+
+(* Remove the [k]-th element, returning it and the remainder. *)
+let take_nth k l =
+  let rec go acc j = function
+    | [] -> invalid_arg "take_nth"
+    | x :: rest ->
+        if j = k then (x, List.rev_append acc rest)
+        else go (x :: acc) (j + 1) rest
+  in
+  go [] 0 l
+
+let take_random rng l =
+  let k = Rng.int rng (List.length l) in
+  take_nth k l
+
+(* ------------------------------------------------------------------ *)
+(* Mutual exclusion (paper §2, example 1)                              *)
+(* ------------------------------------------------------------------ *)
+
+type mutex_client = Mx_idle of int | Mx_waiting of int | Mx_in_cs of int | Mx_done
+
+let mutual_exclusion ~clients ~rounds ~p_bug ~seed =
+  if clients < 2 then invalid_arg "mutual_exclusion: need >= 2 clients";
+  if rounds < 1 then invalid_arg "mutual_exclusion: need >= 1 round";
+  let rng = Rng.create seed in
+  let n = clients + 1 in
+  let coord = 0 in
+  let b = Builder.create ~n in
+  let state = Array.make (clients + 1) (Mx_idle rounds) in
+  (* Coordinator mailbox: in-flight messages to the coordinator, tagged
+     with their meaning. *)
+  let coord_mail = ref [] in
+  let grants_in_flight = Array.make (clients + 1) ([] : Builder.msg list) in
+  let pending = Queue.create () in
+  let outstanding = ref 0 in
+  let done_count = ref 0 in
+  let enabled () =
+    let acts = ref [] in
+    for c = 1 to clients do
+      (match state.(c) with
+      | Mx_idle _ -> acts := `Client_request c :: !acts
+      | Mx_in_cs _ -> acts := `Client_release c :: !acts
+      | Mx_waiting _ ->
+          if grants_in_flight.(c) <> [] then acts := `Client_recv_grant c :: !acts
+      | Mx_done -> ())
+    done;
+    if !coord_mail <> [] then acts := `Coord_recv :: !acts;
+    if not (Queue.is_empty pending) then
+      if !outstanding = 0 || Rng.bernoulli rng p_bug then
+        acts := `Coord_grant :: !acts;
+    !acts
+  in
+  let step = function
+    | `Client_request c ->
+        let r = match state.(c) with Mx_idle r -> r | _ -> assert false in
+        let m = Builder.send b ~src:c ~dst:coord in
+        coord_mail := (`Request c, m) :: !coord_mail;
+        state.(c) <- Mx_waiting r
+    | `Client_recv_grant c ->
+        let r = match state.(c) with Mx_waiting r -> r | _ -> assert false in
+        let m, rest = take_random rng grants_in_flight.(c) in
+        grants_in_flight.(c) <- rest;
+        Builder.recv b ~dst:c m;
+        Builder.set_pred b ~proc:c true;
+        state.(c) <- Mx_in_cs r
+    | `Client_release c ->
+        let r = match state.(c) with Mx_in_cs r -> r | _ -> assert false in
+        let m = Builder.send b ~src:c ~dst:coord in
+        coord_mail := (`Release, m) :: !coord_mail;
+        if r - 1 = 0 then begin
+          state.(c) <- Mx_done;
+          incr done_count
+        end
+        else state.(c) <- Mx_idle (r - 1)
+    | `Coord_recv -> (
+        let (tag, m), rest = take_random rng !coord_mail in
+        coord_mail := rest;
+        Builder.recv b ~dst:coord m;
+        match tag with
+        | `Request c -> Queue.add c pending
+        | `Release -> decr outstanding)
+    | `Coord_grant ->
+        let c = Queue.pop pending in
+        let m = Builder.send b ~src:coord ~dst:c in
+        grants_in_flight.(c) <- m :: grants_in_flight.(c);
+        incr outstanding
+  in
+  let rec loop () =
+    match enabled () with
+    | [] -> ()
+    | acts ->
+        step (pick_nth rng acts);
+        loop ()
+  in
+  loop ();
+  { comp = Builder.finish b; procs = [| 1; 2 |]; name = "mutual-exclusion" }
+
+(* ------------------------------------------------------------------ *)
+(* Two-phase locking (paper §2, example 2)                             *)
+(* ------------------------------------------------------------------ *)
+
+type lock_kind = Read | Write
+
+type tpl_client = Tp_idle of int | Tp_waiting of int | Tp_holding of int | Tp_done
+
+let two_phase_locking ~readers ~writers ~requests ~p_bug ~seed =
+  if readers < 1 || writers < 1 then
+    invalid_arg "two_phase_locking: need >= 1 reader and >= 1 writer";
+  if requests < 1 then invalid_arg "two_phase_locking: need >= 1 request";
+  let rng = Rng.create seed in
+  let clients = readers + writers in
+  let n = clients + 1 in
+  let manager = 0 in
+  let kind c = if c <= readers then Read else Write in
+  let b = Builder.create ~n in
+  let state = Array.make (clients + 1) (Tp_idle requests) in
+  let manager_mail = ref [] in
+  let grants_in_flight = Array.make (clients + 1) ([] : Builder.msg list) in
+  let pending = Queue.create () in
+  let readers_held = ref 0 in
+  let writer_held = ref false in
+  let compatible = function
+    | Read -> not !writer_held
+    | Write -> (not !writer_held) && !readers_held = 0
+  in
+  let enabled () =
+    let acts = ref [] in
+    for c = 1 to clients do
+      (match state.(c) with
+      | Tp_idle _ -> acts := `Request c :: !acts
+      | Tp_holding _ -> acts := `Unlock c :: !acts
+      | Tp_waiting _ ->
+          if grants_in_flight.(c) <> [] then acts := `Recv_grant c :: !acts
+      | Tp_done -> ())
+    done;
+    if !manager_mail <> [] then acts := `Mgr_recv :: !acts;
+    if not (Queue.is_empty pending) then begin
+      let head = Queue.peek pending in
+      if compatible (kind head) || Rng.bernoulli rng p_bug then
+        acts := `Mgr_grant :: !acts
+    end;
+    !acts
+  in
+  let step = function
+    | `Request c ->
+        let r = match state.(c) with Tp_idle r -> r | _ -> assert false in
+        let m = Builder.send b ~src:c ~dst:manager in
+        manager_mail := (`Lock c, m) :: !manager_mail;
+        state.(c) <- Tp_waiting r
+    | `Recv_grant c ->
+        let r = match state.(c) with Tp_waiting r -> r | _ -> assert false in
+        let m, rest = take_random rng grants_in_flight.(c) in
+        grants_in_flight.(c) <- rest;
+        Builder.recv b ~dst:c m;
+        Builder.set_pred b ~proc:c true;
+        state.(c) <- Tp_holding r
+    | `Unlock c ->
+        let r = match state.(c) with Tp_holding r -> r | _ -> assert false in
+        let m = Builder.send b ~src:c ~dst:manager in
+        manager_mail := (`Unlock c, m) :: !manager_mail;
+        if r - 1 = 0 then state.(c) <- Tp_done else state.(c) <- Tp_idle (r - 1)
+    | `Mgr_recv -> (
+        let (tag, m), rest = take_random rng !manager_mail in
+        manager_mail := rest;
+        Builder.recv b ~dst:manager m;
+        match tag with
+        | `Lock c -> Queue.add c pending
+        | `Unlock c -> (
+            match kind c with
+            | Read -> decr readers_held
+            | Write -> writer_held := false))
+    | `Mgr_grant ->
+        let c = Queue.pop pending in
+        let m = Builder.send b ~src:manager ~dst:c in
+        grants_in_flight.(c) <- m :: grants_in_flight.(c);
+        (match kind c with
+        | Read -> incr readers_held
+        | Write -> writer_held := true)
+  in
+  let rec loop () =
+    match enabled () with
+    | [] -> ()
+    | acts ->
+        step (pick_nth rng acts);
+        loop ()
+  in
+  loop ();
+  {
+    comp = Builder.finish b;
+    procs = [| 1; readers + 1 |] (* first reader, first writer *);
+    name = "two-phase-locking";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Token ring (negative control)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let token_ring ~procs ~laps ~p_bug ~seed =
+  if procs < 2 then invalid_arg "token_ring: need >= 2 processes";
+  if laps < 1 then invalid_arg "token_ring: need >= 1 lap";
+  let rng = Rng.create seed in
+  let b = Builder.create ~n:procs in
+  (* Process 0 holds the token initially. *)
+  Builder.set_pred b ~proc:0 true;
+  let hops = (laps * procs) - 1 in
+  let holder = ref 0 in
+  for _ = 1 to hops do
+    let src = !holder in
+    let dst = (src + 1) mod procs in
+    let m = Builder.send b ~src ~dst in
+    (* Stale-flag bug: the sender keeps believing it holds the token. *)
+    if Rng.bernoulli rng p_bug then Builder.set_pred b ~proc:src true;
+    Builder.recv b ~dst m;
+    Builder.set_pred b ~proc:dst true;
+    holder := dst
+  done;
+  { comp = Builder.finish b; procs = [| 0; 1 |]; name = "token-ring" }
+
+(* ------------------------------------------------------------------ *)
+(* Dining philosophers (potential-deadlock detection)                  *)
+(* ------------------------------------------------------------------ *)
+
+type phil_state =
+  | Ph_hungry of int  (* meals left *)
+  | Ph_wait_left of int
+  | Ph_wait_right of int * int  (* meals left, retries left *)
+  | Ph_done
+
+let max_right_retries = 5
+
+let dining_philosophers ~philosophers ~meals ~patience ~seed =
+  if philosophers < 2 then
+    invalid_arg "dining_philosophers: need >= 2 philosophers";
+  if meals < 1 then invalid_arg "dining_philosophers: need >= 1 meal";
+  let k = philosophers in
+  let n = 2 * k in
+  let fork j = k + j in
+  let left i = i and right i = (i + 1) mod k in
+  let rng = Rng.create seed in
+  let b = Builder.create ~n in
+  let state = Array.init k (fun _ -> Ph_hungry meals) in
+  (* holding.(i): philosopher i currently holds its left fork but not
+     the right — the monitored predicate. Must be re-asserted on every
+     new state of i while it holds. *)
+  let holding = Array.make k false in
+  let mark i = if holding.(i) then Builder.set_pred b ~proc:i true in
+  (* fork agent state: None = free, Some phil = granted *)
+  let fork_holder = Array.make k None in
+  (* mailboxes: in-flight messages, by destination *)
+  let fork_mail = Array.make k [] in
+  (* at most one reply in flight per philosopher *)
+  let phil_reply = Array.make k None in
+  let send_to_fork i j tag =
+    let m = Builder.send b ~src:i ~dst:(fork j) in
+    mark i;
+    fork_mail.(j) <- (tag, i, m) :: fork_mail.(j)
+  in
+  let reply_to_phil j i tag =
+    let m = Builder.send b ~src:(fork j) ~dst:i in
+    phil_reply.(i) <- Some (tag, j, m)
+  in
+  let enabled () =
+    let acts = ref [] in
+    for i = 0 to k - 1 do
+      (match state.(i) with
+      | Ph_hungry _ -> acts := `Request_left i :: !acts
+      | Ph_wait_left _ | Ph_wait_right _ ->
+          if phil_reply.(i) <> None then acts := `Phil_recv i :: !acts
+      | Ph_done -> ())
+    done;
+    for j = 0 to k - 1 do
+      if fork_mail.(j) <> [] then acts := `Fork_recv j :: !acts
+    done;
+    !acts
+  in
+  let step = function
+    | `Request_left i ->
+        let m = match state.(i) with Ph_hungry m -> m | _ -> assert false in
+        send_to_fork i (left i) `Request;
+        state.(i) <- Ph_wait_left m
+    | `Fork_recv j -> (
+        let (tag, i, m), rest = take_random rng fork_mail.(j) in
+        fork_mail.(j) <- rest;
+        Builder.recv b ~dst:(fork j) m;
+        match tag with
+        | `Request ->
+            if fork_holder.(j) = None then begin
+              fork_holder.(j) <- Some i;
+              reply_to_phil j i `Grant
+            end
+            else reply_to_phil j i `Busy
+        | `Release -> fork_holder.(j) <- None)
+    | `Phil_recv i -> (
+        let tag, j, m =
+          match phil_reply.(i) with Some r -> r | None -> assert false
+        in
+        phil_reply.(i) <- None;
+        Builder.recv b ~dst:i m;
+        match (state.(i), tag) with
+        | Ph_wait_left meals_left, `Grant ->
+            (* Holds left, wants right: the circular-wait window. *)
+            holding.(i) <- true;
+            mark i;
+            send_to_fork i (right i) `Request;
+            state.(i) <- Ph_wait_right (meals_left, max_right_retries)
+        | Ph_wait_left meals_left, `Busy ->
+            ignore j;
+            state.(i) <- Ph_hungry meals_left
+        | Ph_wait_right (meals_left, _), `Grant ->
+            (* Both forks: eat, then put both down. *)
+            holding.(i) <- false;
+            send_to_fork i (left i) `Release;
+            send_to_fork i (right i) `Release;
+            state.(i) <-
+              (if meals_left - 1 = 0 then Ph_done else Ph_hungry (meals_left - 1))
+        | Ph_wait_right (meals_left, retries), `Busy ->
+            if retries > 0 && Rng.bernoulli rng patience then begin
+              (* Keep the left fork, ask for the right again. *)
+              send_to_fork i (right i) `Request;
+              state.(i) <- Ph_wait_right (meals_left, retries - 1)
+            end
+            else begin
+              (* Give up: release the left fork, start over. *)
+              holding.(i) <- false;
+              send_to_fork i (left i) `Release;
+              state.(i) <- Ph_hungry meals_left
+            end
+        | (Ph_hungry _ | Ph_done), _ -> assert false)
+  in
+  let rec loop () =
+    match enabled () with
+    | [] -> ()
+    | acts ->
+        step (pick_nth rng acts);
+        loop ()
+  in
+  loop ();
+  {
+    comp = Builder.finish b;
+    procs = Array.init k Fun.id;
+    name = "dining-philosophers";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Client–server (wide WCP)                                            *)
+(* ------------------------------------------------------------------ *)
+
+type cs_client = Cs_idle of int | Cs_waiting of int | Cs_done
+
+let client_server ~clients ~requests ~seed =
+  if clients < 1 then invalid_arg "client_server: need >= 1 client";
+  if requests < 1 then invalid_arg "client_server: need >= 1 request";
+  let rng = Rng.create seed in
+  let n = clients + 1 in
+  let server = 0 in
+  let b = Builder.create ~n in
+  let state = Array.make (clients + 1) (Cs_idle requests) in
+  let server_mail = ref [] in
+  let responses_in_flight = Array.make (clients + 1) ([] : Builder.msg list) in
+  let enabled () =
+    let acts = ref [] in
+    for c = 1 to clients do
+      (match state.(c) with
+      | Cs_idle _ -> acts := `Send_req c :: !acts
+      | Cs_waiting _ ->
+          if responses_in_flight.(c) <> [] then acts := `Recv_resp c :: !acts
+      | Cs_done -> ())
+    done;
+    if !server_mail <> [] then acts := `Server_recv :: !acts;
+    !acts
+  in
+  let step = function
+    | `Send_req c ->
+        let r = match state.(c) with Cs_idle r -> r | _ -> assert false in
+        let m = Builder.send b ~src:c ~dst:server in
+        server_mail := (c, m) :: !server_mail;
+        Builder.set_pred b ~proc:c true;
+        state.(c) <- Cs_waiting r
+    | `Recv_resp c ->
+        let r = match state.(c) with Cs_waiting r -> r | _ -> assert false in
+        let m, rest = take_random rng responses_in_flight.(c) in
+        responses_in_flight.(c) <- rest;
+        Builder.recv b ~dst:c m;
+        if r - 1 = 0 then state.(c) <- Cs_done else state.(c) <- Cs_idle (r - 1)
+    | `Server_recv ->
+        let (c, m), rest = take_random rng !server_mail in
+        server_mail := rest;
+        Builder.recv b ~dst:server m;
+        let resp = Builder.send b ~src:server ~dst:c in
+        responses_in_flight.(c) <- resp :: responses_in_flight.(c)
+  in
+  let rec loop () =
+    match enabled () with
+    | [] -> ()
+    | acts ->
+        step (pick_nth rng acts);
+        loop ()
+  in
+  loop ();
+  {
+    comp = Builder.finish b;
+    procs = Array.init clients (fun i -> i + 1);
+    name = "client-server";
+  }
+
+let all ~seed =
+  [
+    mutual_exclusion ~clients:3 ~rounds:4 ~p_bug:0.3 ~seed;
+    mutual_exclusion ~clients:3 ~rounds:4 ~p_bug:0.0
+      ~seed:(Int64.add seed 1L);
+    two_phase_locking ~readers:2 ~writers:2 ~requests:3 ~p_bug:0.3
+      ~seed:(Int64.add seed 2L);
+    two_phase_locking ~readers:2 ~writers:2 ~requests:3 ~p_bug:0.0
+      ~seed:(Int64.add seed 3L);
+    token_ring ~procs:5 ~laps:3 ~p_bug:0.4 ~seed:(Int64.add seed 4L);
+    token_ring ~procs:5 ~laps:3 ~p_bug:0.0 ~seed:(Int64.add seed 5L);
+    client_server ~clients:4 ~requests:3 ~seed:(Int64.add seed 6L);
+    dining_philosophers ~philosophers:4 ~meals:2 ~patience:0.7
+      ~seed:(Int64.add seed 7L);
+  ]

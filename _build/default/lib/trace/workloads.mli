@@ -1,0 +1,72 @@
+(** Workload generators for the scenarios that motivate the paper.
+
+    Each workload simulates a small distributed protocol, records it as
+    a {!Computation.t}, marks the per-state truth of the relevant local
+    predicates, and names the subset of processes the WCP spans.
+
+    - {!mutual_exclusion} is the paper's §2 example 1: detecting
+      [CS_1 ∧ CS_2] catches a mutual-exclusion violation.
+    - {!two_phase_locking} is the paper's §2 example 2: detecting
+      [(P_1 has read lock) ∧ (P_2 has write lock)] catches a broken
+      lock manager.
+    - {!token_ring} is a negative control: "holds the token" states are
+      never concurrent in a correct ring, so detection must not fire
+      unless the injected bug is enabled.
+    - {!client_server} gives a WCP spanning nearly all processes
+      ("every client is blocked on the server"), the regime where the
+      vector-clock algorithm is at its best. *)
+
+type t = {
+  comp : Computation.t;
+  procs : int array;  (** the [n] processes the WCP is defined over *)
+  name : string;
+}
+
+val mutual_exclusion :
+  clients:int -> rounds:int -> p_bug:float -> seed:int64 -> t
+(** Central-coordinator mutual exclusion (coordinator is process 0,
+    clients are 1..clients). With probability [p_bug] per grant
+    decision the coordinator issues a grant while another is
+    outstanding, allowing two critical sections to overlap. The WCP
+    spans the first two clients; the local predicate is "in critical
+    section". *)
+
+val two_phase_locking :
+  readers:int -> writers:int -> requests:int -> p_bug:float -> seed:int64 -> t
+(** Lock manager (process 0) serving read/write lock requests for one
+    shared item. Correct behaviour: any number of concurrent readers,
+    writers exclusive. With probability [p_bug] per grant the manager
+    ignores the conflict check. WCP spans one reader and one writer:
+    "holds read lock" ∧ "holds write lock". *)
+
+val token_ring : procs:int -> laps:int -> p_bug:float -> seed:int64 -> t
+(** A token circulates [laps] times around a unidirectional ring. The
+    local predicate is "believes it holds the token". With [p_bug] a
+    process keeps believing so after passing the token on (a stale
+    flag). WCP spans the first two ring members. *)
+
+val dining_philosophers :
+  philosophers:int -> meals:int -> patience:float -> seed:int64 -> t
+(** The classic potential-deadlock detector. Philosophers (processes
+    [0..k-1]) and fork agents (processes [k..2k-1]) alternate around a
+    table; philosopher [i] needs forks [i] (left) and [(i+1) mod k]
+    (right). Each philosopher requests left, then right; if the right
+    fork is busy it gives up with probability [1 - patience] per
+    retry — releasing the left fork and starting over — so every run
+    terminates. The local predicate is "holds the left fork but not the
+    right": the WCP over all philosophers is the circular-wait
+    condition, i.e. a state from which the system {e could} have
+    deadlocked. High [patience] makes the window wide (detectable);
+    [patience = 0.] gives up immediately on contention and the window
+    still occurs whenever all left forks are granted concurrently. *)
+
+val client_server : clients:int -> requests:int -> seed:int64 -> t
+(** Clients (1..clients) send [requests] requests each to a server
+    (process 0), blocking for each response. Local predicate: "has a
+    request outstanding". WCP spans all clients: every client blocked
+    simultaneously. *)
+
+val all :
+  seed:int64 -> t list
+(** One representative instance of each workload (used by the
+    agreement experiment E7 and the test suite). *)

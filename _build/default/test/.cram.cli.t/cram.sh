@@ -1,0 +1,22 @@
+  $ wcpdetect generate -n 4 -m 5 --p-pred 0.4 --seed 9 -o run.trace
+  $ wcpdetect detect run.trace -a oracle
+  $ wcpdetect detect run.trace -a token-vc | cut -d'|' -f1
+  $ wcpdetect detect run.trace -a token-dd | cut -d'|' -f1
+  $ wcpdetect detect run.trace -a checker | cut -d'|' -f1
+  $ wcpdetect detect run.trace -a multi-token --groups 2 | cut -d'|' -f1
+  $ wcpdetect detect run.trace -a oracle --procs 1,3
+  $ wcpdetect workload mutex --size 3 --rounds 2 --p-bug 0.5 --seed 4 -o mutex.trace
+  $ wcpdetect detect mutex.trace -a oracle --procs 1,2
+  $ wcpdetect generate -n 2 -m 1 --p-pred 1.0 --seed 2 -o tiny.trace
+  $ wcpdetect render tiny.trace
+  $ wcpdetect render tiny.trace -f dot | head -4
+  $ wcpdetect gcp tiny.trace -c atleast1:0-1 --procs 0
+  $ wcpdetect gcp tiny.trace -c atleast1:0-1 --procs 0 --online | cut -d'|' -f1
+  $ wcpdetect lowerbound -n 4 -m 8
+  $ wcpdetect live --mode vc --p-bug 0.0 --clients 2 --rounds 2 --seed 5
+  $ wcpdetect workload philosophers --size 3 --rounds 2 --seed 6 -o ph.trace
+  $ wcpdetect detect ph.trace -a oracle --procs 0,1,2
+  $ wcpdetect detect ph.trace -a strong --procs 0,1,2
+  $ wcpdetect detect tiny.trace -a strong --procs 0,1
+  $ wcpdetect detect tiny.trace -a cooper-marzullo
+  $ wcpdetect compare ph.trace --procs 0,1,2 | head -3

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Computation Generator Int64 List QCheck2 QCheck_alcotest State Wcp_core Wcp_trace Wcp_util

@@ -1,0 +1,1 @@
+test/test_boolean.ml: Alcotest Boolean Computation Cooper_marzullo Cut Detection Helpers Int64 List Oracle Printf QCheck2 Spec State Wcp_core Wcp_trace Wcp_util

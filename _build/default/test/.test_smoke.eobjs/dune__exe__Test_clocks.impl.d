@@ -1,0 +1,1 @@
+test/test_clocks.ml: Alcotest Array Dependence Fun List QCheck2 QCheck_alcotest Vector_clock Wcp_clocks

@@ -1,0 +1,1 @@
+test/test_computation.ml: Alcotest Array Builder Bytes Computation Cut Dependence Filename Fun Helpers List QCheck2 State String Sys Trace_codec Vector_clock Wcp_clocks Wcp_trace

@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Checker_centralized Cut Detection Filename Fun List Oracle Spec Sys Token_dd Token_multi Token_vc Trace_codec Wcp_core Wcp_trace

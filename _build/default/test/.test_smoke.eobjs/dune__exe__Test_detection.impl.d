@@ -1,0 +1,1 @@
+test/test_detection.ml: Alcotest Cut Detection Format Helpers List Messages Network Run_common Snapshot Spec Str Token_vc Wcp_clocks Wcp_core Wcp_sim Wcp_trace Wcp_util

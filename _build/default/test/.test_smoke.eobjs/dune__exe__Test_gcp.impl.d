@@ -1,0 +1,1 @@
+test/test_gcp.ml: Alcotest Array Builder Checker_gcp Computation Cut Detection Gcp Helpers Int64 List Oracle QCheck2 Spec Wcp_core Wcp_trace Wcp_util

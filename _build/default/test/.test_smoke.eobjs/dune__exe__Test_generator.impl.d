@@ -1,0 +1,1 @@
+test/test_generator.ml: Alcotest Array Computation Cut Detection Generator Helpers Int64 List Oracle Printf Spec Trace_codec Wcp_core Wcp_trace Wcp_util Workloads

@@ -1,0 +1,1 @@
+test/test_lowerbound.ml: Adversary Alcotest Array Builder Computation Cut Detection Detector Helpers Int64 List Oracle Printf QCheck2 Spec State Wcp_core Wcp_lowerbound Wcp_trace Wcp_util World

@@ -1,0 +1,1 @@
+test/test_oracle.ml: Alcotest Array Builder Computation Cooper_marzullo Cut Detection Fun Generator Hashtbl Helpers Int64 Oracle QCheck2 Spec State Wcp_core Wcp_trace Wcp_util

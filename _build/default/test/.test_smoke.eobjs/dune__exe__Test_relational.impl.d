@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Array Builder Computation Cut Detection Fun Helpers Option Oracle QCheck2 Relational Spec Wcp_core Wcp_trace

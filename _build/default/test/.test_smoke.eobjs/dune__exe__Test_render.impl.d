@@ -1,0 +1,1 @@
+test/test_render.ml: Alcotest Array Builder Computation Cut Helpers List Printf Render Str String Wcp_trace

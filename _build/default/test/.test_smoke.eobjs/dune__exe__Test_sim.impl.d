@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Buffer Engine List Network Printf Stats String Wcp_sim Wcp_util

@@ -1,0 +1,1 @@
+test/test_smoke.ml: Alcotest Checker_centralized Computation Detection Generator Int64 Oracle Spec Token_dd Token_multi Token_vc Wcp_core Wcp_trace Wcp_util

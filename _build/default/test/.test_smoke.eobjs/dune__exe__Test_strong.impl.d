@@ -1,0 +1,1 @@
+test/test_strong.ml: Alcotest Array Builder Computation Cooper_marzullo Generator Helpers Int64 List Oracle QCheck2 Spec State Strong Wcp_core Wcp_trace Wcp_util

@@ -1,0 +1,1 @@
+test/test_token_vc.ml: Alcotest Array Computation Cut Detection Fun Generator Helpers Int64 List Network Oracle QCheck2 Run_common Spec Stats Token_vc Wcp_core Wcp_sim Wcp_trace Wcp_util Workloads

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fun Heap Int64 List QCheck2 QCheck_alcotest Rng Wcp_util

@@ -1,0 +1,99 @@
+The CLI surface, end to end. Everything is seeded, so outputs are exact.
+
+Generate a random trace:
+
+  $ wcpdetect generate -n 4 -m 5 --p-pred 0.4 --seed 9 -o run.trace
+  wrote run.trace (4 processes, 44 states, 20 messages)
+
+The oracle and every detection algorithm agree on it:
+
+  $ wcpdetect detect run.trace -a oracle
+  oracle: detected {0:6 1:3 2:8 3:2}
+
+  $ wcpdetect detect run.trace -a token-vc | cut -d'|' -f1
+  detected {0:6 1:3 2:8 3:2} 
+
+  $ wcpdetect detect run.trace -a token-dd | cut -d'|' -f1
+  detected {0:6 1:3 2:8 3:2} 
+
+  $ wcpdetect detect run.trace -a checker | cut -d'|' -f1
+  detected {0:6 1:3 2:8 3:2} 
+
+  $ wcpdetect detect run.trace -a multi-token --groups 2 | cut -d'|' -f1
+  detected {0:6 1:3 2:8 3:2} 
+
+A sub-spec WCP:
+
+  $ wcpdetect detect run.trace -a oracle --procs 1,3
+  oracle: detected {1:3 3:2}
+
+Workload generation names its WCP processes:
+
+  $ wcpdetect workload mutex --size 3 --rounds 2 --p-bug 0.5 --seed 4 -o mutex.trace
+  # workload mutual-exclusion; wcp procs: 1,2
+  wrote mutex.trace (4 processes, 40 states, 18 messages)
+
+  $ wcpdetect detect mutex.trace -a oracle --procs 1,2
+  oracle: detected {1:3 2:3}
+
+Rendering:
+
+  $ wcpdetect generate -n 2 -m 1 --p-pred 1.0 --seed 2 -o tiny.trace
+  wrote tiny.trace (2 processes, 6 states, 2 messages)
+
+  $ wcpdetect render tiny.trace
+  P0: (1)* ?0 (2)* !1>1 (3)*
+  P1: (1)* !0>0 (2)* ?1 (3)*
+  messages: 0:1->0 1:0->1
+
+  $ wcpdetect render tiny.trace -f dot | head -4
+  digraph computation {
+    rankdir=LR;
+    node [shape=box, fontsize=10];
+    subgraph cluster_p0 {
+
+Channel predicates (GCP), offline and online:
+
+  $ wcpdetect gcp tiny.trace -c atleast1:0-1 --procs 0
+  detected {0:3 1:2}
+
+  $ wcpdetect gcp tiny.trace -c atleast1:0-1 --procs 0 --online | cut -d'|' -f1
+  detected {0:3 1:2} 
+
+The Theorem 5.1 adversary game:
+
+  $ wcpdetect lowerbound -n 4 -m 8
+  no antichain (as the adversary guarantees)
+  n=4 m=8: 29 rounds, 29 deletions (forced lower bound nm - n = 28)
+  adversary answered 174 comparisons
+
+Live monitoring (Fig. 1):
+
+  $ wcpdetect live --mode vc --p-bug 0.0 --clients 2 --rounds 2 --seed 5
+  online verdict: clean run (10 time units)
+  offline oracle on the recording: no detection (matches)
+
+Strong (Definitely) detection and the philosophers workload:
+
+  $ wcpdetect workload philosophers --size 3 --rounds 2 --seed 6 -o ph.trace
+  # workload dining-philosophers; wcp procs: 0,1,2
+  wrote ph.trace (6 processes, 270 states, 132 messages)
+
+  $ wcpdetect detect ph.trace -a oracle --procs 0,1,2
+  oracle: detected {0:3 1:3 2:3}
+
+  $ wcpdetect detect ph.trace -a strong --procs 0,1,2
+  strong: Definitely does not hold
+
+  $ wcpdetect detect tiny.trace -a strong --procs 0,1
+  strong: Definitely holds; witness intervals: P0:[1,3] P1:[1,3]
+
+  $ wcpdetect detect tiny.trace -a cooper-marzullo
+  cooper-marzullo: detected {0:1 1:1} (explored 1 cuts)
+
+Comparing everything on the workload:
+
+  $ wcpdetect compare ph.trace --procs 0,1,2 | head -3
+  oracle: detected {0:3 1:3 2:3}
+  
+  algorithm          msgs       bits      work  max-work max-space   hops   time

@@ -1,0 +1,176 @@
+Every example is deterministic; pin their complete outputs.
+
+  $ ../../examples/quickstart.exe
+  computation: 2 processes, 6 states, 2 messages
+  oracle:    detected {0:2 1:1}
+  token-vc:  detected {0:2 1:1} | msgs=7 bits=640 work=6 max-work=3 max-space=2 hops=1 polls=0 snaps=2 t=2.30 ev=9
+  token-dd:  detected {0:2 1:1} | msgs=7 bits=352 work=2 max-work=1 max-space=1 hops=1 polls=0 snaps=2 t=2.30 ev=9
+  projected: detected {0:2 1:1}
+  quickstart OK
+
+  $ ../../examples/mutual_exclusion.exe
+  == correct coordinator (p_bug = 0) ==
+    seed 1: no detection
+    seed 2: no detection
+    seed 3: no detection
+    seed 4: no detection
+    seed 5: no detection
+  
+  == racy coordinator (p_bug = 0.4) ==
+    seed  1: VIOLATION at {1:6 2:6}  ((1,6) || (2,6): true)
+    seed  2: VIOLATION at {1:6 2:9}  ((1,6) || (2,9): true)
+    seed  3: VIOLATION at {1:3 2:6}  ((1,3) || (2,6): true)
+    seed  4: VIOLATION at {1:3 2:3}  ((1,3) || (2,3): true)
+    seed  5: VIOLATION at {1:3 2:3}  ((1,3) || (2,3): true)
+    seed  6: VIOLATION at {1:12 2:9}  ((1,12) || (2,9): true)
+    seed  7: VIOLATION at {1:3 2:3}  ((1,3) || (2,3): true)
+    seed  8: VIOLATION at {1:3 2:6}  ((1,3) || (2,6): true)
+    seed  9: VIOLATION at {1:3 2:3}  ((1,3) || (2,3): true)
+    seed 10: VIOLATION at {1:3 2:3}  ((1,3) || (2,3): true)
+  
+  10 of 10 racy runs violated mutual exclusion;
+  every violation was caught with its first violating cut.
+
+  $ ../../examples/database_locks.exe
+  == correct lock manager ==
+    seed 1: no detection
+    seed 2: no detection
+    seed 3: no detection
+    seed 4: no detection
+    seed 5: no detection
+  
+  == buggy lock manager (p_bug = 0.4) ==
+    seed  1: read lock and write lock held concurrently at {1:6 3:6}
+      (cost note: dd work 81 spread with busiest process 43;
+       checker work 8, all on the single checker)
+    seed  2: read lock and write lock held concurrently at {1:9 3:12}
+    seed  3: read lock and write lock held concurrently at {1:6 3:6}
+    seed  4: read lock and write lock held concurrently at {1:3 3:3}
+    seed  5: run stayed safe
+    seed  6: read lock and write lock held concurrently at {1:9 3:6}
+    seed  7: read lock and write lock held concurrently at {1:3 3:3}
+    seed  8: read lock and write lock held concurrently at {1:3 3:3}
+    seed  9: read lock and write lock held concurrently at {1:6 3:6}
+    seed 10: read lock and write lock held concurrently at {1:3 3:3}
+  
+  9 of 10 buggy runs had a detectable lock conflict.
+
+  $ ../../examples/algorithm_comparison.exe
+  computation: 8 processes, 200 states, 96 messages
+  wcp over {0 2 4 6} (n = 4 of N = 8)
+  
+  oracle: detected {0:10 2:4 4:7 6:4}
+  
+  algorithm              msgs       bits      work  max-work max-space    time
+  checker [7]              78      12480        28        28        65     5.3
+  token-vc (§3)          103      16768        23         7        36     8.1
+  multi g=2 (§3.5)       122      20384        43        12        36    10.2
+  token-dd (§4)          274      17356        49         9        73    38.6
+  token-dd ∥ (§4.5)      271      17260        49         9        67    17.7
+  cooper-marzullo    explored 516774 consistent cuts (frontier 69312)
+  
+  all detectors agree on the first cut.
+
+  $ ../../examples/distributed_debugging.exe
+  breakpoint: all 4 clients simultaneously blocked
+  
+  breakpoint fired at the first such cut: {1:2 2:2 3:2 4:2}
+  
+  frozen global state:
+    client P1 in state 2: just sent a request, blocked on the reply
+      vector clock [0,2,0,0,0]
+    client P2 in state 2: just sent a request, blocked on the reply
+      vector clock [0,0,2,0,0]
+    client P3 in state 2: just sent a request, blocked on the reply
+      vector clock [0,0,0,2,0]
+    client P4 in state 2: just sent a request, blocked on the reply
+      vector clock [0,0,0,0,2]
+  
+  (cut verified consistent: no message crosses it)
+  (cut verified minimal: it is the FIRST such state)
+
+  $ ../../examples/online_monitoring.exe
+  == online monitoring with the vector-clock token (§3) ==
+  -- correct coordinator --
+    seed 1: clean (no violating cut exists)
+    seed 2: clean (no violating cut exists)
+    seed 3: clean (no violating cut exists)
+  -- racy coordinator (p_bug = 0.5) --
+    seed 1: monitors flagged CS1∧CS2 at {1:3 2:3} — sim time 5 of 14
+    seed 2: monitors flagged CS1∧CS2 at {1:3 2:3} — sim time 5 of 17
+    seed 3: monitors flagged CS1∧CS2 at {1:6 2:6} — sim time 9 of 13
+    seed 4: monitors flagged CS1∧CS2 at {1:3 2:6} — sim time 7 of 12
+  
+  == online monitoring with the direct-dependence token (§4) ==
+  -- correct coordinator --
+    seed 1: clean (no violating cut exists)
+    seed 2: clean (no violating cut exists)
+    seed 3: clean (no violating cut exists)
+  -- racy coordinator (p_bug = 0.5) --
+    seed 1: monitors flagged CS1∧CS2 at {1:3 2:6} — sim time 29 of 29
+    seed 2: monitors flagged CS1∧CS2 at {1:3 2:3} — sim time 18 of 18
+    seed 3: monitors flagged CS1∧CS2 at {1:3 2:3} — sim time 17 of 17
+    seed 4: monitors flagged CS1∧CS2 at {1:6 2:6} — sim time 44 of 44
+  
+  every online verdict matched the offline oracle exactly.
+
+  $ ../../examples/channel_monitor.exe
+  computation: 4 processes, 16 states, 6 messages
+  
+  WCP "server idle" alone:            fires at {0:3}
+  GCP "idle ∧ requests in flight":   fires at {0:3 1:2 2:2 3:2}
+      at-least-1(2->0) holds: true
+      at-least-1(3->0) holds: true
+      in flight to server at the cut: 2 message(s)
+  
+  control: "idle ∧ 2 in flight from client 1" correctly never fires
+
+  $ ../../examples/boolean_predicates.exe
+  P0: (1). !0>2 (2). ?1 (3). !2>1 (4). ?3 (5).
+  P1: (1)* ?2 (2). !3>0 (3).
+  P2: (1). ?0 (2)* !1>0 (3).
+  messages: 0:0->2 1:2->0 2:0->1 3:1->0
+  
+  monitoring: ((l_1@1 ∧ l_2@2) ∨ (¬(l_1@1) ∧ ¬(l_2@2)))
+  
+  split-brain  possible, first at {1:1 2:2}
+  dark         possible, first at {1:2 2:3}
+  
+  Definitely(BAD): every observation passes through a bad state —
+    the overlap window is inherent to this failover ordering.
+  
+  (DNF-based verdict cross-checked against the cut lattice)
+
+  $ ../../examples/deadlock_detection.exe
+  == 5 philosophers, patient (long contention windows) ==
+    seed  1: circular wait at {0:6 1:9 2:11 3:3 4:3}
+    seed  2: circular wait at {0:3 1:3 2:3 3:3 4:9}
+    seed  3: circular wait at {0:3 1:3 2:3 3:3 4:3}
+    seed  4: circular wait at {0:3 1:3 2:3 3:3 4:3}
+    seed  5: circular wait at {0:9 1:5 2:3 3:9 4:3}
+    seed  6: circular wait at {0:3 1:3 2:3 3:3 4:3}
+    seed  7: circular wait at {0:11 1:5 2:6 3:17 4:11}
+    seed  8: circular wait at {0:3 1:9 2:3 3:4 4:9}
+    seed  9: circular wait at {0:14 1:13 2:11 3:5 4:3}
+    seed 10: circular wait at {0:13 1:17 2:7 3:19 4:16}
+  10 of 10 runs passed through a potential deadlock.
+  
+  witness (4 philosophers, seed 1): {0:3 1:3 2:3 3:3}
+    each philosopher holds its left fork in this cut;
+    no message crosses the cut (verified consistent).
+    (confirmed by the direct-dependence algorithm)
+    but not definite: a lucky schedule avoids it (Strong check)
+  
+  == impatience narrows the window (patience = 0.0) ==
+  8 of 10 impatient runs had a circular-wait cut.
+
+  $ ../../examples/bank_audit.exe
+  computation: 4 processes, 24 states, 10 messages
+  true total: 400
+  
+  lowest on-books total any snapshot could see: 190 at {0:3 1:5 2:3 3:5}
+    (210 in flight at that cut)
+  highest on-books total: 400 at {0:1 1:1 2:1 3:1}
+    never exceeds the true total: no double counting.
+  
+  reserve alert (<= 360) WOULD have fired, e.g. at {0:3 1:5 2:3 3:5}

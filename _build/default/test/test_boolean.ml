@@ -1,0 +1,265 @@
+open Wcp_trace
+open Wcp_core
+
+let qtest = Helpers.qtest
+
+(* Primitives used throughout: the recorded flag, state parity, and
+   state-index thresholds. *)
+let flag comp p = Boolean.of_recorded_pred comp ~proc:p
+
+let even p = Boolean.prim ~proc:p ~name:"even" ~holds:(fun k -> k mod 2 = 0)
+
+let after p k0 = Boolean.prim ~proc:p ~name:"late" ~holds:(fun k -> k >= k0)
+
+(* ------------------------------------------------------------------ *)
+(* DNF                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let lit_names c = List.map (fun l -> l.Boolean.lit_name) c
+
+let test_dnf_shapes () =
+  let a = Boolean.prim ~proc:0 ~name:"a" ~holds:(fun _ -> true) in
+  let b = Boolean.prim ~proc:1 ~name:"b" ~holds:(fun _ -> true) in
+  let c = Boolean.prim ~proc:2 ~name:"c" ~holds:(fun _ -> true) in
+  (* a ∧ (b ∨ c)  →  (a ∧ b) ∨ (a ∧ c) *)
+  let d = Boolean.dnf (Boolean.and_ [ a; Boolean.or_ [ b; c ] ]) in
+  Alcotest.(check (list (list string)))
+    "distribution"
+    [ [ "a"; "b" ]; [ "a"; "c" ] ]
+    (List.map lit_names d);
+  (* ¬(a ∨ b)  →  ¬a ∧ ¬b *)
+  let d = Boolean.dnf (Boolean.not_ (Boolean.or_ [ a; b ])) in
+  Alcotest.(check (list (list string))) "de morgan" [ [ "¬a"; "¬b" ] ]
+    (List.map lit_names d);
+  (* ¬¬a → a *)
+  let d = Boolean.dnf (Boolean.not_ (Boolean.not_ a)) in
+  Alcotest.(check (list (list string))) "double negation" [ [ "a" ] ]
+    (List.map lit_names d);
+  Alcotest.(check int) "true is one empty disjunct" 1
+    (List.length (Boolean.dnf (Boolean.const true)));
+  Alcotest.(check int) "false is no disjunct" 0
+    (List.length (Boolean.dnf (Boolean.const false)))
+
+let test_dnf_blowup_guard () =
+  (* (a1 ∨ b1) ∧ (a2 ∨ b2) ∧ ... blows up exponentially. *)
+  let clause i =
+    Boolean.or_
+      [
+        Boolean.prim ~proc:0 ~name:(Printf.sprintf "a%d" i) ~holds:(fun _ -> true);
+        Boolean.prim ~proc:0 ~name:(Printf.sprintf "b%d" i) ~holds:(fun _ -> true);
+      ]
+  in
+  let expr = Boolean.and_ (List.init 12 clause) in
+  match Boolean.dnf ~max_disjuncts:100 expr with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected blow-up guard to fire"
+
+(* ------------------------------------------------------------------ *)
+(* Detection                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_detect_simple_or () =
+  let comp = Helpers.build_comp (3, 5, 0, 50, 4) in
+  (* Recorded flags are all false; parity primitives still fire. *)
+  let expr = Boolean.or_ [ flag comp 0; even 1 ] in
+  let v = Boolean.detect comp expr in
+  Alcotest.(check bool) "possibly via the parity disjunct" true
+    v.Boolean.possibly;
+  (match v.Boolean.disjuncts with
+  | [ d_flag; d_even ] ->
+      Alcotest.(check bool) "flag disjunct unsat" true
+        (d_flag.Boolean.first_cut = None);
+      (match d_even.Boolean.first_cut with
+      | Some cut ->
+          Alcotest.(check string) "first even state of P1" "{1:2}"
+            (Cut.to_string cut)
+      | None -> Alcotest.fail "parity disjunct should fire")
+  | _ -> Alcotest.fail "expected two disjuncts");
+  let none = Boolean.detect comp (Boolean.and_ [ flag comp 0; even 1 ]) in
+  Alcotest.(check bool) "conjunction with false flag unsat" false
+    none.Boolean.possibly
+
+let test_detect_negation () =
+  (* ¬even ∧ even on the same process is a contradiction. *)
+  let comp = Helpers.build_comp (3, 5, 50, 50, 5) in
+  let v = Boolean.detect comp (Boolean.and_ [ even 0; Boolean.not_ (even 0) ]) in
+  Alcotest.(check bool) "contradiction unsat" false v.Boolean.possibly
+
+let test_detect_wcp_consistency () =
+  (* A pure conjunction of recorded flags must agree with the oracle. *)
+  let comp = Helpers.build_comp (4, 8, 40, 50, 6) in
+  let spec = Spec.all comp in
+  let expr = Boolean.and_ (List.init 4 (fun p -> flag comp p)) in
+  let v = Boolean.detect comp expr in
+  match (Oracle.first_cut comp spec, v.Boolean.disjuncts) with
+  | Detection.Detected cut, [ { Boolean.first_cut = Some cut'; _ } ] ->
+      Alcotest.(check bool) "same first cut" true (Cut.equal cut cut')
+  | Detection.No_detection, [ { Boolean.first_cut = None; _ } ] -> ()
+  | _ -> Alcotest.fail "boolean detection disagrees with the WCP oracle"
+
+let test_detected_cut_satisfies_disjunct () =
+  let comp = Helpers.build_comp (4, 8, 50, 50, 7) in
+  let expr =
+    Boolean.or_
+      [
+        Boolean.and_ [ flag comp 0; Boolean.not_ (flag comp 1) ];
+        Boolean.and_ [ even 2; after 3 2 ];
+      ]
+  in
+  let v = Boolean.detect comp expr in
+  List.iter
+    (fun d ->
+      match d.Boolean.first_cut with
+      | None -> ()
+      | Some cut ->
+          Alcotest.(check bool) "cut consistent" true (Cut.consistent comp cut))
+    v.Boolean.disjuncts
+
+let test_eval () =
+  let comp = Helpers.build_comp (3, 4, 100, 50, 8) in
+  let full = Cut.over_all comp [| 1; 1; 1 |] in
+  Alcotest.(check bool) "flags true at initial cut" true
+    (Boolean.eval (Boolean.and_ [ flag comp 0; flag comp 1 ]) comp full);
+  Alcotest.(check bool) "parity at initial cut" false
+    (Boolean.eval (even 2) comp full);
+  Alcotest.(check bool) "negation" true
+    (Boolean.eval (Boolean.not_ (even 2)) comp full)
+
+let test_unknown_process_rejected () =
+  let comp = Helpers.build_comp (2, 3, 50, 50, 9) in
+  match Boolean.detect comp (even 7) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown process should be rejected"
+
+(* Cross-check Possibly against Cooper–Marzullo with the general
+   predicate evaluated on full cuts. *)
+let gen_expr comp rng =
+  let n = Computation.n comp in
+  let rec go depth =
+    if depth = 0 || Wcp_util.Rng.int rng 3 = 0 then
+      let p = Wcp_util.Rng.int rng n in
+      match Wcp_util.Rng.int rng 3 with
+      | 0 -> flag comp p
+      | 1 -> even p
+      | _ -> after p (1 + Wcp_util.Rng.int rng 3)
+    else
+      match Wcp_util.Rng.int rng 3 with
+      | 0 -> Boolean.not_ (go (depth - 1))
+      | 1 -> Boolean.and_ [ go (depth - 1); go (depth - 1) ]
+      | _ -> Boolean.or_ [ go (depth - 1); go (depth - 1) ]
+  in
+  go 3
+
+let prop_possibly_equals_cooper_marzullo =
+  qtest ~count:150 "Possibly(φ) = Cooper–Marzullo lattice search"
+    QCheck2.Gen.(
+      pair (Helpers.gen_comp_params ~max_n:3 ~max_sends:5) (int_range 0 100_000))
+    (fun (params, eseed) ->
+      let comp = Helpers.build_comp params in
+      let rng = Wcp_util.Rng.create (Int64.of_int eseed) in
+      let expr = gen_expr comp rng in
+      let v = Boolean.detect comp expr in
+      match Cooper_marzullo.detect comp (fun cut -> Boolean.eval expr comp cut) with
+      | Ok (Detection.Detected _, _) -> v.Boolean.possibly
+      | Ok (Detection.No_detection, _) -> not v.Boolean.possibly
+      | Error _ -> true)
+
+let prop_disjunct_cuts_minimal =
+  qtest ~count:100 "each disjunct's cut is its own first cut"
+    QCheck2.Gen.(
+      pair (Helpers.gen_comp_params ~max_n:3 ~max_sends:4) (int_range 0 100_000))
+    (fun (params, eseed) ->
+      let comp = Helpers.build_comp params in
+      let rng = Wcp_util.Rng.create (Int64.of_int eseed) in
+      let expr = gen_expr comp rng in
+      let v = Boolean.detect comp expr in
+      let conj = Boolean.dnf expr in
+      List.for_all
+        (fun (d : Boolean.disjunct_result) ->
+          match d.Boolean.first_cut with
+          | None -> true
+          | Some cut ->
+              (* The cut satisfies every literal of its disjunct. *)
+              let lits = List.nth conj d.Boolean.index in
+              List.for_all
+                (fun l ->
+                  let rec find k =
+                    if k = Cut.width cut then true
+                    else
+                      let s = Cut.state cut k in
+                      if s.State.proc = l.Boolean.lit_proc then
+                        l.Boolean.lit_holds s.State.index
+                      else find (k + 1)
+                  in
+                  find 0)
+                lits
+              && Cut.consistent comp cut)
+        v.Boolean.disjuncts)
+
+let prop_online_equals_offline =
+  qtest ~count:120 "detect_online (distributed) = detect (oracle)"
+    QCheck2.Gen.(
+      tup3 (Helpers.gen_comp_params ~max_n:4 ~max_sends:6) (int_range 0 100_000)
+        (int_range 0 1000))
+    (fun (params, eseed, dseed) ->
+      let comp = Helpers.build_comp params in
+      let rng = Wcp_util.Rng.create (Int64.of_int eseed) in
+      let expr = gen_expr comp rng in
+      let offline = Boolean.detect comp expr in
+      let online = Boolean.detect_online ~seed:(Int64.of_int dseed) comp expr in
+      offline.Boolean.possibly = online.Boolean.possibly
+      && List.for_all2
+           (fun (a : Boolean.disjunct_result) (b : Boolean.disjunct_result) ->
+             a.Boolean.procs = b.Boolean.procs
+             &&
+             match (a.Boolean.first_cut, b.Boolean.first_cut) with
+             | None, None -> true
+             | Some x, Some y -> Cut.equal x y
+             | _ -> false)
+           offline.Boolean.disjuncts online.Boolean.disjuncts)
+
+let test_reflag () =
+  let comp = Helpers.build_comp (3, 4, 0, 50, 3) in
+  let flipped = Computation.reflag comp ~pred:(fun ~proc:_ ~state:_ -> true) in
+  Alcotest.(check int) "structure preserved"
+    (Computation.total_states comp)
+    (Computation.total_states flipped);
+  for p = 0 to 2 do
+    Alcotest.(check int)
+      (Printf.sprintf "all states candidates on %d" p)
+      (Computation.num_states flipped p)
+      (List.length (Computation.candidates flipped p));
+    Alcotest.(check (list int))
+      (Printf.sprintf "original untouched on %d" p)
+      []
+      (Computation.candidates comp p)
+  done
+
+let () =
+  Alcotest.run "boolean"
+    [
+      ( "dnf",
+        [
+          Alcotest.test_case "shapes" `Quick test_dnf_shapes;
+          Alcotest.test_case "blow-up guard" `Quick test_dnf_blowup_guard;
+        ] );
+      ( "detection",
+        [
+          Alcotest.test_case "simple or" `Quick test_detect_simple_or;
+          Alcotest.test_case "negation" `Quick test_detect_negation;
+          Alcotest.test_case "wcp consistency" `Quick
+            test_detect_wcp_consistency;
+          Alcotest.test_case "cuts satisfy their disjunct" `Quick
+            test_detected_cut_satisfies_disjunct;
+          Alcotest.test_case "eval" `Quick test_eval;
+          Alcotest.test_case "unknown process" `Quick
+            test_unknown_process_rejected;
+        ] );
+      ( "properties",
+        [
+          prop_possibly_equals_cooper_marzullo;
+          prop_disjunct_cuts_minimal;
+          prop_online_equals_offline;
+        ] );
+      ("reflag", [ Alcotest.test_case "reflag" `Quick test_reflag ]);
+    ]

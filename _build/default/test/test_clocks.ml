@@ -1,0 +1,176 @@
+open Wcp_clocks
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let vc = Alcotest.testable Vector_clock.pp Vector_clock.equal
+
+(* ------------------------------------------------------------------ *)
+(* Vector clocks                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_make () =
+  let v = Vector_clock.make ~n:3 ~owner:1 in
+  Alcotest.(check (array int)) "initial" [| 0; 1; 0 |] (Vector_clock.to_array v)
+
+let test_tick () =
+  let v = Vector_clock.make ~n:2 ~owner:0 in
+  let v' = Vector_clock.tick v ~owner:0 in
+  Alcotest.(check int) "ticked" 2 (Vector_clock.get v' 0);
+  Alcotest.(check int) "original untouched" 1 (Vector_clock.get v 0)
+
+let test_merge () =
+  let a = Vector_clock.of_array [| 3; 0; 5 |] in
+  let b = Vector_clock.of_array [| 1; 4; 5 |] in
+  Alcotest.check vc "pointwise max"
+    (Vector_clock.of_array [| 3; 4; 5 |])
+    (Vector_clock.merge a b)
+
+let test_receive_rule () =
+  (* Fig. 2: merge then tick own component. *)
+  let mine = Vector_clock.of_array [| 2; 1; 0 |] in
+  let msg = Vector_clock.of_array [| 1; 3; 4 |] in
+  Alcotest.check vc "receive"
+    (Vector_clock.of_array [| 3; 3; 4 |])
+    (Vector_clock.receive mine ~owner:0 ~msg)
+
+let test_relations () =
+  let a = Vector_clock.of_array [| 1; 2 |] in
+  let b = Vector_clock.of_array [| 2; 2 |] in
+  let c = Vector_clock.of_array [| 0; 3 |] in
+  Alcotest.(check bool) "a < b" true (Vector_clock.lt a b);
+  Alcotest.(check bool) "not b < a" false (Vector_clock.lt b a);
+  Alcotest.(check bool) "b || c" true (Vector_clock.concurrent b c);
+  Alcotest.(check bool) "a equal a" true (Vector_clock.equal a a);
+  (match Vector_clock.relation a b with
+  | Vector_clock.Before -> ()
+  | _ -> Alcotest.fail "expected Before");
+  (match Vector_clock.relation b a with
+  | Vector_clock.After -> ()
+  | _ -> Alcotest.fail "expected After");
+  (match Vector_clock.relation b c with
+  | Vector_clock.Concurrent -> ()
+  | _ -> Alcotest.fail "expected Concurrent");
+  match Vector_clock.relation a a with
+  | Vector_clock.Equal -> ()
+  | _ -> Alcotest.fail "expected Equal"
+
+let test_of_array_copies () =
+  let raw = [| 1; 2 |] in
+  let v = Vector_clock.of_array raw in
+  raw.(0) <- 99;
+  Alcotest.(check int) "decoupled from source" 1 (Vector_clock.get v 0)
+
+let test_pp () =
+  Alcotest.(check string) "pp" "[1,0,3]"
+    (Vector_clock.to_string (Vector_clock.of_array [| 1; 0; 3 |]))
+
+let gen_vc n = QCheck2.Gen.(array_size (pure n) (int_range 0 20))
+
+let prop_relation_exclusive =
+  qtest "exactly one relation holds"
+    QCheck2.Gen.(pair (gen_vc 4) (gen_vc 4))
+    (fun (a, b) ->
+      let a = Vector_clock.of_array a and b = Vector_clock.of_array b in
+      let cases =
+        [
+          Vector_clock.relation a b = Vector_clock.Before;
+          Vector_clock.relation a b = Vector_clock.After;
+          Vector_clock.relation a b = Vector_clock.Concurrent;
+          Vector_clock.relation a b = Vector_clock.Equal;
+        ]
+      in
+      List.length (List.filter Fun.id cases) = 1)
+
+let prop_relation_antisymmetric =
+  qtest "Before/After are mirror images"
+    QCheck2.Gen.(pair (gen_vc 4) (gen_vc 4))
+    (fun (a, b) ->
+      let a = Vector_clock.of_array a and b = Vector_clock.of_array b in
+      match (Vector_clock.relation a b, Vector_clock.relation b a) with
+      | Vector_clock.Before, Vector_clock.After
+      | Vector_clock.After, Vector_clock.Before
+      | Vector_clock.Concurrent, Vector_clock.Concurrent
+      | Vector_clock.Equal, Vector_clock.Equal -> true
+      | _ -> false)
+
+let prop_merge_upper_bound =
+  qtest "merge dominates both arguments"
+    QCheck2.Gen.(pair (gen_vc 5) (gen_vc 5))
+    (fun (a, b) ->
+      let a = Vector_clock.of_array a and b = Vector_clock.of_array b in
+      let m = Vector_clock.merge a b in
+      Vector_clock.leq a m && Vector_clock.leq b m)
+
+let prop_merge_least =
+  qtest "merge is the least upper bound"
+    QCheck2.Gen.(triple (gen_vc 4) (gen_vc 4) (gen_vc 4))
+    (fun (a, b, c) ->
+      let a = Vector_clock.of_array a
+      and b = Vector_clock.of_array b
+      and c = Vector_clock.of_array c in
+      let m = Vector_clock.merge a b in
+      if Vector_clock.leq a c && Vector_clock.leq b c then
+        Vector_clock.leq m c
+      else true)
+
+let prop_tick_strictly_increases =
+  qtest "tick strictly increases" (gen_vc 4) (fun a ->
+      let a = Vector_clock.of_array a in
+      Vector_clock.lt a (Vector_clock.tick a ~owner:2))
+
+(* ------------------------------------------------------------------ *)
+(* Dependence accumulator                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_acc_order () =
+  let acc = Dependence.create_accumulator () in
+  Dependence.record acc { Dependence.src = 1; clock = 5 };
+  Dependence.record acc { Dependence.src = 2; clock = 3 };
+  Alcotest.(check int) "count" 2 (Dependence.count acc);
+  let got = Dependence.drain acc in
+  Alcotest.(check (list (pair int int)))
+    "arrival order"
+    [ (1, 5); (2, 3) ]
+    (List.map (fun d -> (d.Dependence.src, d.Dependence.clock)) got);
+  Alcotest.(check int) "reset" 0 (Dependence.count acc);
+  Alcotest.(check (list reject)) "empty after drain" [] (Dependence.drain acc)
+
+let test_acc_peek () =
+  let acc = Dependence.create_accumulator () in
+  Dependence.record acc { Dependence.src = 0; clock = 1 };
+  ignore (Dependence.peek acc);
+  Alcotest.(check int) "peek keeps contents" 1 (Dependence.count acc)
+
+let test_dep_compare () =
+  let a = { Dependence.src = 1; clock = 2 } in
+  let b = { Dependence.src = 1; clock = 3 } in
+  Alcotest.(check bool) "equal refl" true (Dependence.equal a a);
+  Alcotest.(check bool) "not equal" false (Dependence.equal a b);
+  Alcotest.(check bool) "ordered" true (Dependence.compare a b < 0)
+
+let () =
+  Alcotest.run "clocks"
+    [
+      ( "vector-clock",
+        [
+          Alcotest.test_case "make" `Quick test_make;
+          Alcotest.test_case "tick" `Quick test_tick;
+          Alcotest.test_case "merge" `Quick test_merge;
+          Alcotest.test_case "receive rule" `Quick test_receive_rule;
+          Alcotest.test_case "relations" `Quick test_relations;
+          Alcotest.test_case "of_array copies" `Quick test_of_array_copies;
+          Alcotest.test_case "pp" `Quick test_pp;
+          prop_relation_exclusive;
+          prop_relation_antisymmetric;
+          prop_merge_upper_bound;
+          prop_merge_least;
+          prop_tick_strictly_increases;
+        ] );
+      ( "dependence",
+        [
+          Alcotest.test_case "accumulator order" `Quick test_acc_order;
+          Alcotest.test_case "peek" `Quick test_acc_peek;
+          Alcotest.test_case "compare" `Quick test_dep_compare;
+        ] );
+    ]

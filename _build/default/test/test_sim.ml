@@ -1,0 +1,277 @@
+open Wcp_sim
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_counters () =
+  let s = Stats.create ~n:3 in
+  Stats.msg_sent s ~proc:0 ~bits:64;
+  Stats.msg_sent s ~proc:0 ~bits:32;
+  Stats.msg_received s ~proc:1;
+  Stats.work s ~proc:2 5;
+  Stats.work s ~proc:2 7;
+  Stats.space s ~proc:1 10;
+  Stats.space s ~proc:1 4;
+  Alcotest.(check int) "sent" 2 (Stats.sent s 0);
+  Alcotest.(check int) "bits" 96 (Stats.bits s 0);
+  Alcotest.(check int) "received" 1 (Stats.received s 1);
+  Alcotest.(check int) "work" 12 (Stats.work_of s 2);
+  Alcotest.(check int) "space high-water keeps max" 10
+    (Stats.space_high_water s 1);
+  Alcotest.(check int) "total sent" 2 (Stats.total_sent s);
+  Alcotest.(check int) "total bits" 96 (Stats.total_bits s);
+  Alcotest.(check int) "total work" 12 (Stats.total_work s);
+  Alcotest.(check int) "max work" 12 (Stats.max_work s);
+  Alcotest.(check int) "max space" 10 (Stats.max_space s)
+
+let test_stats_merge () =
+  let a = Stats.create ~n:2 and b = Stats.create ~n:2 in
+  Stats.msg_sent a ~proc:0 ~bits:8;
+  Stats.msg_sent b ~proc:0 ~bits:8;
+  Stats.space a ~proc:1 3;
+  Stats.space b ~proc:1 9;
+  Stats.merge_into ~dst:a b;
+  Alcotest.(check int) "sent added" 2 (Stats.sent a 0);
+  Alcotest.(check int) "space maxed" 9 (Stats.space_high_water a 1);
+  let c = Stats.create ~n:3 in
+  match Stats.merge_into ~dst:a c with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "size mismatch should fail"
+
+(* ------------------------------------------------------------------ *)
+(* Network                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_constant_latency () =
+  let nw = Network.create ~latency:(Network.Constant 2.5) () in
+  let rng = Wcp_util.Rng.create 1L in
+  Alcotest.(check (float 1e-9)) "constant" 12.5
+    (Network.delivery_time nw rng ~src:0 ~dst:1 ~now:10.0)
+
+let test_uniform_bounds () =
+  let nw = Network.create ~latency:(Network.Uniform (1.0, 3.0)) () in
+  let rng = Wcp_util.Rng.create 2L in
+  for _ = 1 to 500 do
+    let at = Network.delivery_time nw rng ~src:0 ~dst:1 ~now:5.0 in
+    if at < 6.0 || at >= 8.0 then Alcotest.failf "delivery %.3f out of bounds" at
+  done
+
+let test_fifo_clamping () =
+  let nw =
+    Network.create
+      ~fifo:(fun ~src:_ ~dst:_ -> true)
+      ~latency:(Network.Uniform (0.0, 10.0))
+      ()
+  in
+  let rng = Wcp_util.Rng.create 3L in
+  let last = ref neg_infinity in
+  for i = 0 to 99 do
+    (* Hand messages to the network at increasing times; FIFO demands
+       non-decreasing delivery. *)
+    let at = Network.delivery_time nw rng ~src:0 ~dst:1 ~now:(float_of_int i *. 0.1) in
+    if at < !last then Alcotest.fail "FIFO link reordered";
+    last := at
+  done
+
+let test_non_fifo_reorders () =
+  let nw = Network.create ~latency:(Network.Uniform (0.0, 10.0)) () in
+  let rng = Wcp_util.Rng.create 4L in
+  let reordered = ref false in
+  let last = ref neg_infinity in
+  for _ = 1 to 100 do
+    let at = Network.delivery_time nw rng ~src:0 ~dst:1 ~now:0.0 in
+    if at < !last then reordered := true;
+    last := at
+  done;
+  Alcotest.(check bool) "non-FIFO link reorders eventually" true !reordered
+
+let test_fifo_per_link () =
+  (* FIFO on (0,1) must not constrain (0,2). *)
+  let nw =
+    Network.create
+      ~fifo:(fun ~src ~dst -> src = 0 && dst = 1)
+      ~latency:(Network.Constant 1.0)
+      ()
+  in
+  let rng = Wcp_util.Rng.create 5L in
+  let a = Network.delivery_time nw rng ~src:0 ~dst:1 ~now:10.0 in
+  let b = Network.delivery_time nw rng ~src:0 ~dst:2 ~now:0.0 in
+  Alcotest.(check (float 1e-9)) "fifo link" 11.0 a;
+  Alcotest.(check (float 1e-9)) "independent link" 1.0 b
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_delivery () =
+  let e = Engine.create ~num_processes:2 ~seed:1L () in
+  let got = ref [] in
+  Engine.set_handler e 1 (fun ctx ~src msg ->
+      got := (src, msg, Engine.time ctx) :: !got);
+  Engine.schedule_initial e ~proc:0 ~at:0.0 (fun ctx ->
+      Engine.send ctx ~dst:1 "hello");
+  Engine.run e;
+  match !got with
+  | [ (0, "hello", t) ] ->
+      Alcotest.(check bool) "time advanced" true (t > 0.0);
+      Alcotest.(check int) "events" 2 (Engine.events_processed e)
+  | _ -> Alcotest.fail "expected exactly one delivery"
+
+let test_determinism () =
+  let run () =
+    let e =
+      Engine.create
+        ~network:(Network.create ~latency:(Network.Uniform (0.1, 2.0)) ())
+        ~num_processes:3 ~seed:9L ()
+    in
+    let log = Buffer.create 64 in
+    for p = 0 to 2 do
+      Engine.set_handler e p (fun ctx ~src msg ->
+          Buffer.add_string log
+            (Printf.sprintf "%d<-%d:%s@%.4f;" p src msg (Engine.time ctx));
+          if String.length msg < 3 then
+            Engine.send ctx ~dst:((p + 1) mod 3) (msg ^ "x"))
+    done;
+    Engine.schedule_initial e ~proc:0 ~at:0.0 (fun ctx ->
+        Engine.send ctx ~dst:1 "a");
+    Engine.run e;
+    Buffer.contents log
+  in
+  Alcotest.(check string) "identical runs" (run ()) (run ())
+
+let test_timer_ordering () =
+  let e = Engine.create ~num_processes:1 ~seed:1L () in
+  let order = ref [] in
+  Engine.set_handler e 0 (fun _ ~src:_ _ -> ());
+  Engine.schedule_initial e ~proc:0 ~at:0.0 (fun ctx ->
+      Engine.schedule ctx ~delay:3.0 (fun _ -> order := 3 :: !order);
+      Engine.schedule ctx ~delay:1.0 (fun _ -> order := 1 :: !order);
+      Engine.schedule ctx ~delay:2.0 (fun _ -> order := 2 :: !order));
+  Engine.run e;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !order)
+
+let test_same_time_insertion_order () =
+  let e = Engine.create ~num_processes:1 ~seed:1L () in
+  let order = ref [] in
+  Engine.schedule_initial e ~proc:0 ~at:5.0 (fun _ -> order := "a" :: !order);
+  Engine.schedule_initial e ~proc:0 ~at:5.0 (fun _ -> order := "b" :: !order);
+  Engine.run e;
+  Alcotest.(check (list string)) "ties broken by insertion" [ "a"; "b" ]
+    (List.rev !order)
+
+let test_stop () =
+  let e = Engine.create ~num_processes:1 ~seed:1L () in
+  let fired = ref 0 in
+  Engine.schedule_initial e ~proc:0 ~at:0.0 (fun ctx ->
+      incr fired;
+      Engine.stop ctx);
+  Engine.schedule_initial e ~proc:0 ~at:1.0 (fun _ -> incr fired);
+  Engine.run e;
+  Alcotest.(check int) "later event not processed" 1 !fired;
+  Alcotest.(check bool) "stopped" true (Engine.stopped e)
+
+let test_no_handler () =
+  let e = Engine.create ~num_processes:2 ~seed:1L () in
+  Engine.schedule_initial e ~proc:0 ~at:0.0 (fun ctx ->
+      Engine.send ctx ~dst:1 ());
+  match Engine.run e with
+  | exception Failure _ -> ()
+  | () -> Alcotest.fail "missing handler should fail loudly"
+
+let test_event_budget () =
+  let e = Engine.create ~max_events:100 ~num_processes:2 ~seed:1L () in
+  Engine.set_handler e 0 (fun ctx ~src:_ () -> Engine.send ctx ~dst:1 ());
+  Engine.set_handler e 1 (fun ctx ~src:_ () -> Engine.send ctx ~dst:0 ());
+  Engine.schedule_initial e ~proc:0 ~at:0.0 (fun ctx ->
+      Engine.send ctx ~dst:1 ());
+  match Engine.run e with
+  | exception Failure _ -> ()
+  | () -> Alcotest.fail "runaway ping-pong should hit the budget"
+
+let test_stats_charged () =
+  let e = Engine.create ~num_processes:2 ~seed:1L () in
+  Engine.set_handler e 1 (fun ctx ~src:_ () ->
+      Engine.charge_work ctx 4;
+      Engine.note_space ctx 17);
+  Engine.schedule_initial e ~proc:0 ~at:0.0 (fun ctx ->
+      Engine.send ctx ~bits:100 ~dst:1 ());
+  Engine.run e;
+  let s = Engine.stats e in
+  Alcotest.(check int) "sender counted" 1 (Stats.sent s 0);
+  Alcotest.(check int) "bits counted" 100 (Stats.bits s 0);
+  Alcotest.(check int) "receiver counted" 1 (Stats.received s 1);
+  Alcotest.(check int) "work charged" 4 (Stats.work_of s 1);
+  Alcotest.(check int) "space noted" 17 (Stats.space_high_water s 1)
+
+let test_run_twice () =
+  let e = Engine.create ~num_processes:1 ~seed:1L () in
+  Engine.run e;
+  match Engine.run e with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "second run should be rejected"
+
+let test_self_send () =
+  (* A process may send to itself through the network (used nowhere in
+     the protocols, but the engine should permit it). *)
+  let e = Engine.create ~num_processes:1 ~seed:1L () in
+  let got = ref false in
+  Engine.set_handler e 0 (fun _ ~src msg ->
+      if src = 0 && msg = 42 then got := true);
+  Engine.schedule_initial e ~proc:0 ~at:0.0 (fun ctx ->
+      Engine.send ctx ~dst:0 42);
+  Engine.run e;
+  Alcotest.(check bool) "self delivery" true !got
+
+let test_fifo_network_in_engine () =
+  let nw =
+    Network.create
+      ~fifo:(fun ~src:_ ~dst:_ -> true)
+      ~latency:(Network.Uniform (0.0, 5.0))
+      ()
+  in
+  let e = Engine.create ~network:nw ~num_processes:2 ~seed:12L () in
+  let got = ref [] in
+  Engine.set_handler e 1 (fun _ ~src:_ i -> got := i :: !got);
+  Engine.schedule_initial e ~proc:0 ~at:0.0 (fun ctx ->
+      for i = 1 to 50 do
+        Engine.send ctx ~dst:1 i
+      done);
+  Engine.run e;
+  Alcotest.(check (list int)) "in-order delivery"
+    (List.init 50 (fun i -> i + 1))
+    (List.rev !got)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "stats",
+        [
+          Alcotest.test_case "counters" `Quick test_stats_counters;
+          Alcotest.test_case "merge" `Quick test_stats_merge;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "constant latency" `Quick test_constant_latency;
+          Alcotest.test_case "uniform bounds" `Quick test_uniform_bounds;
+          Alcotest.test_case "fifo clamping" `Quick test_fifo_clamping;
+          Alcotest.test_case "non-fifo reorders" `Quick test_non_fifo_reorders;
+          Alcotest.test_case "fifo per link" `Quick test_fifo_per_link;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "delivery" `Quick test_delivery;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "timer ordering" `Quick test_timer_ordering;
+          Alcotest.test_case "tie-break by insertion" `Quick
+            test_same_time_insertion_order;
+          Alcotest.test_case "stop" `Quick test_stop;
+          Alcotest.test_case "missing handler" `Quick test_no_handler;
+          Alcotest.test_case "event budget" `Quick test_event_budget;
+          Alcotest.test_case "stats charged" `Quick test_stats_charged;
+          Alcotest.test_case "run twice" `Quick test_run_twice;
+          Alcotest.test_case "self send" `Quick test_self_send;
+          Alcotest.test_case "fifo in engine" `Quick
+            test_fifo_network_in_engine;
+        ] );
+    ]

@@ -1,0 +1,61 @@
+open Wcp_trace
+open Wcp_core
+
+let check_agreement ~seed ~params ~spec_width =
+  let comp = Generator.random ~params ~seed () in
+  let rng = Wcp_util.Rng.create (Int64.add seed 99L) in
+  let procs =
+    Generator.random_procs rng ~n:(Computation.n comp) ~width:spec_width
+  in
+  let spec = Spec.make comp procs in
+  let expected = Oracle.first_cut comp spec in
+  let vc = Token_vc.detect ~invariant_checks:true ~seed comp spec in
+  if not (Detection.outcome_equal vc.outcome expected) then
+    Alcotest.failf "token_vc mismatch seed=%Ld: got %a want %a" seed
+      Detection.pp_outcome vc.outcome Detection.pp_outcome expected;
+  let chk = Checker_centralized.detect ~seed comp spec in
+  if not (Detection.outcome_equal chk.outcome expected) then
+    Alcotest.failf "checker mismatch seed=%Ld: got %a want %a" seed
+      Detection.pp_outcome chk.outcome Detection.pp_outcome expected;
+  let multi = Token_multi.detect ~groups:(min 3 spec_width) ~seed comp spec in
+  if not (Detection.outcome_equal multi.outcome expected) then
+    Alcotest.failf "multi mismatch seed=%Ld: got %a want %a" seed
+      Detection.pp_outcome multi.outcome Detection.pp_outcome expected;
+  let dd = Token_dd.detect ~seed comp spec in
+  let dd_proj = Detection.project_outcome spec dd.outcome in
+  if not (Detection.outcome_equal dd_proj expected) then
+    Alcotest.failf "dd mismatch seed=%Ld: got %a want %a" seed
+      Detection.pp_outcome dd_proj Detection.pp_outcome expected;
+  let ddp = Token_dd.detect ~parallel:true ~seed comp spec in
+  let ddp_proj = Detection.project_outcome spec ddp.outcome in
+  if not (Detection.outcome_equal ddp_proj expected) then
+    Alcotest.failf "dd-par mismatch seed=%Ld: got %a want %a" seed
+      Detection.pp_outcome ddp_proj Detection.pp_outcome expected
+
+let smoke () =
+  for s = 1 to 30 do
+    let seed = Int64.of_int s in
+    let params =
+      { Generator.n = 4; sends_per_process = 6; p_pred = 0.4; p_recv = 0.5 }
+    in
+    check_agreement ~seed ~params ~spec_width:3
+  done
+
+let smoke_full_width () =
+  for s = 31 to 50 do
+    let seed = Int64.of_int s in
+    let params =
+      { Generator.n = 5; sends_per_process = 5; p_pred = 0.5; p_recv = 0.5 }
+    in
+    check_agreement ~seed ~params ~spec_width:5
+  done
+
+let () =
+  Alcotest.run "smoke"
+    [
+      ( "agreement",
+        [
+          Alcotest.test_case "random width-3" `Quick smoke;
+          Alcotest.test_case "random full-width" `Quick smoke_full_width;
+        ] );
+    ]

@@ -1,0 +1,174 @@
+open Wcp_trace
+open Wcp_core
+
+let qtest = Helpers.qtest
+
+(* ------------------------------------------------------------------ *)
+(* Interval extraction                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_intervals () =
+  let comp =
+    Computation.of_raw
+      ~ops:[| [ Computation.Send { dst = 1; msg = 0 };
+                Computation.Send { dst = 1; msg = 1 };
+                Computation.Send { dst = 1; msg = 2 } ];
+              [ Computation.Recv { msg = 0 };
+                Computation.Recv { msg = 1 };
+                Computation.Recv { msg = 2 } ] |]
+      ~pred:[| [| true; true; false; true |]; [| false; false; false; false |] |]
+  in
+  let ivs = Strong.intervals comp ~proc:0 in
+  Alcotest.(check (list (pair int int)))
+    "maximal runs"
+    [ (1, 2); (4, 4) ]
+    (List.map (fun iv -> (iv.Strong.first, iv.Strong.last)) ivs);
+  Alcotest.(check (list (pair int int))) "no runs" []
+    (List.map (fun iv -> (iv.Strong.first, iv.Strong.last))
+       (Strong.intervals comp ~proc:1))
+
+(* ------------------------------------------------------------------ *)
+(* Hand cases                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Whole-process-true partner: l1 always true forces overlap with any
+   l0-true state (no messages needed). *)
+let test_always_true_partner () =
+  let comp =
+    Computation.of_raw
+      ~ops:[| [ Computation.Send { dst = 1; msg = 0 } ];
+              [ Computation.Recv { msg = 0 } ] |]
+      ~pred:[| [| false; true |]; [| true; true |] |]
+  in
+  Alcotest.(check bool) "definitely" true (Strong.holds comp (Spec.all comp))
+
+(* Two concurrent single-state windows with no causal forcing: possibly
+   but not definitely. *)
+let test_dodgeable_window () =
+  let ops = [| [ Computation.Send { dst = 1; msg = 0 };
+                 Computation.Send { dst = 1; msg = 1 } ];
+               [ Computation.Recv { msg = 0 };
+                 Computation.Recv { msg = 1 } ] |] in
+  let pred = [| [| false; true; false |]; [| false; true; false |] |] in
+  let comp = Computation.of_raw ~ops ~pred in
+  let spec = Spec.all comp in
+  Alcotest.(check bool) "possibly" true (Oracle.satisfiable comp spec);
+  Alcotest.(check bool) "not definitely" false (Strong.holds comp spec)
+
+(* Causally forced overlap: P0's window starts before P1 can end its
+   own (message into the window) and vice versa. *)
+let test_forced_overlap () =
+  (* P0: true from the start until after receiving back; P1: true from
+     its receive to the end. begin(I0) = bottom, end(I1) = top: the
+     pairwise conditions hold trivially. *)
+  let b = Builder.create ~n:2 in
+  Builder.set_pred b ~proc:0 true;
+  let m = Builder.send b ~src:0 ~dst:1 in
+  Builder.recv b ~dst:1 m;
+  Builder.set_pred b ~proc:1 true;
+  let m2 = Builder.send b ~src:1 ~dst:0 in
+  Builder.recv b ~dst:0 m2;
+  Builder.set_pred b ~proc:0 true;
+  Builder.set_pred b ~proc:1 true;
+  let comp = Builder.finish b in
+  (* P0 pred: states 1 true, 2 false... set_pred marked state 1 and 3;
+     P1: states 2 and 3. Hmm: P0 intervals [1,1],[3,3]; P1 [2,3]. *)
+  let spec = Spec.all comp in
+  Alcotest.(check bool) "definitely" true (Strong.holds comp spec)
+
+let test_witness_shape () =
+  let comp =
+    Computation.of_raw
+      ~ops:[| []; [] |]
+      ~pred:[| [| true |]; [| true |] |]
+  in
+  match Strong.definitely comp (Spec.all comp) with
+  | Some w ->
+      Alcotest.(check int) "one interval per process" 2 (Array.length w);
+      Array.iter
+        (fun iv ->
+          Alcotest.(check int) "covers the single state" 1 iv.Strong.first)
+        w
+  | None -> Alcotest.fail "single-state all-true run is definite"
+
+let test_single_process () =
+  let comp =
+    Computation.of_raw ~ops:[| [] |] ~pred:[| [| true |] |]
+  in
+  Alcotest.(check bool) "n=1: definitely iff some candidate" true
+    (Strong.holds comp (Spec.all comp));
+  let comp =
+    Computation.of_raw ~ops:[| [] |] ~pred:[| [| false |] |]
+  in
+  Alcotest.(check bool) "n=1 negative" false
+    (Strong.holds comp (Spec.all comp))
+
+(* ------------------------------------------------------------------ *)
+(* Cross-validation against the lattice sweep                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_equals_lattice =
+  qtest ~count:400 "interval algorithm = Cooper-Marzullo level sweep"
+    Helpers.gen_small_comp (fun comp ->
+      let spec = Spec.all comp in
+      match Cooper_marzullo.definitely_wcp comp spec with
+      | Error _ -> true
+      | Ok (expected, _) -> Strong.holds comp spec = expected)
+
+let prop_equals_lattice_subsets =
+  qtest ~count:250 "interval algorithm = lattice sweep on sub-specs"
+    QCheck2.Gen.(pair Helpers.gen_small_comp (int_range 0 10_000))
+    (fun (comp, pseed) ->
+      let rng = Wcp_util.Rng.create (Int64.of_int pseed) in
+      let width = 1 + Wcp_util.Rng.int rng (Computation.n comp) in
+      let procs = Generator.random_procs rng ~n:(Computation.n comp) ~width in
+      let spec = Spec.make comp procs in
+      match Cooper_marzullo.definitely_wcp comp spec with
+      | Error _ -> true
+      | Ok (expected, _) -> Strong.holds comp spec = expected)
+
+let prop_definitely_implies_possibly =
+  qtest ~count:200 "strong implies weak" Helpers.gen_medium_comp (fun comp ->
+      let spec = Spec.all comp in
+      (not (Strong.holds comp spec)) || Oracle.satisfiable comp spec)
+
+let prop_witness_is_valid =
+  qtest ~count:200 "witness intervals satisfy the pairwise condition"
+    Helpers.gen_small_comp (fun comp ->
+      let spec = Spec.all comp in
+      match Strong.definitely comp spec with
+      | None -> true
+      | Some w ->
+          Array.for_all
+            (fun (iv : Strong.interval) ->
+              (* each witness interval is predicate-true throughout *)
+              let ok = ref true in
+              for s = iv.Strong.first to iv.Strong.last do
+                if not (Computation.pred comp (State.make ~proc:iv.Strong.proc ~index:s))
+                then ok := false
+              done;
+              !ok)
+            w)
+
+let () =
+  Alcotest.run "strong"
+    [
+      ( "intervals",
+        [ Alcotest.test_case "extraction" `Quick test_intervals ] );
+      ( "hand-cases",
+        [
+          Alcotest.test_case "always-true partner" `Quick
+            test_always_true_partner;
+          Alcotest.test_case "dodgeable window" `Quick test_dodgeable_window;
+          Alcotest.test_case "forced overlap" `Quick test_forced_overlap;
+          Alcotest.test_case "witness shape" `Quick test_witness_shape;
+          Alcotest.test_case "single process" `Quick test_single_process;
+        ] );
+      ( "cross-validation",
+        [
+          prop_equals_lattice;
+          prop_equals_lattice_subsets;
+          prop_definitely_implies_possibly;
+          prop_witness_is_valid;
+        ] );
+    ]

@@ -1,0 +1,247 @@
+open Wcp_trace
+open Wcp_sim
+open Wcp_core
+
+let qtest = Helpers.qtest
+
+let gen_with_spec =
+  QCheck2.Gen.(
+    pair (Helpers.gen_comp_params ~max_n:6 ~max_sends:10) (int_range 0 10_000))
+
+let make (params, sseed) =
+  let comp = Helpers.build_comp params in
+  let rng = Wcp_util.Rng.create (Int64.of_int sseed) in
+  let width = 1 + Wcp_util.Rng.int rng (Computation.n comp) in
+  let procs = Generator.random_procs rng ~n:(Computation.n comp) ~width in
+  (comp, Spec.make comp procs, Int64.of_int sseed)
+
+let prop_agreement =
+  qtest ~count:250 "token-dd projects to the oracle's first cut" gen_with_spec
+    (fun input ->
+      let comp, spec, seed = make input in
+      let r = Token_dd.detect ~invariant_checks:true ~seed comp spec in
+      Detection.outcome_equal
+        (Detection.project_outcome spec r.outcome)
+        (Oracle.first_cut comp spec))
+
+let prop_agreement_parallel =
+  qtest ~count:250 "parallel token-dd (§4.5) projects to the oracle's cut"
+    gen_with_spec (fun input ->
+      let comp, spec, seed = make input in
+      let r = Token_dd.detect ~parallel:true ~seed comp spec in
+      Detection.outcome_equal
+        (Detection.project_outcome spec r.outcome)
+        (Oracle.first_cut comp spec))
+
+let prop_full_cut_consistent =
+  qtest ~count:150 "the N-wide detected cut is itself consistent"
+    gen_with_spec (fun input ->
+      let comp, spec, seed = make input in
+      match (Token_dd.detect ~seed comp spec).outcome with
+      | Detection.Detected cut ->
+          Cut.consistent comp cut
+          && Array.for_all
+               (fun p ->
+                 (not (Spec.mem spec p))
+                 || Computation.pred comp (Cut.state cut p))
+               (Array.init (Cut.width cut) Fun.id)
+      | Detection.No_detection -> true)
+
+let prop_bounds =
+  qtest ~count:150 "§4.4 bounds: polls, hops, per-process work and space"
+    gen_with_spec (fun input ->
+      let comp, spec, seed = make input in
+      let r = Token_dd.detect ~seed comp spec in
+      let n = Computation.n comp in
+      let m = Computation.max_events_per_process comp in
+      let total_msgs = Array.length (Computation.messages comp) in
+      let total_cands =
+        let acc = ref 0 in
+        for p = 0 to n - 1 do
+          acc :=
+            !acc
+            + List.length (Snapshot.dd_stream comp spec ~proc:p)
+        done;
+        !acc
+      in
+      (* Each dependence is polled at most once. *)
+      let polls_ok = r.extras.polls <= total_msgs in
+      (* Each token move follows >= 1 candidate acceptance. *)
+      let hops_ok = r.extras.token_hops <= total_cands + n in
+      (* O(m) work and space per monitor. *)
+      let per_proc_ok = ref true in
+      for p = 0 to n - 1 do
+        let mon = Run_common.monitor_of ~n p in
+        if Stats.work_of r.stats mon > (3 * m) + 3 then per_proc_ok := false;
+        if Stats.space_high_water r.stats mon > (3 * m) + 3 then
+          per_proc_ok := false
+      done;
+      polls_ok && hops_ok && !per_proc_ok)
+
+let prop_parallel_same_totals_shape =
+  (* §4.5: the parallel variant must not change the outcome and keeps
+     the same asymptotic message budget (each dep still polled at most
+     once, token still visits red monitors only). *)
+  qtest ~count:100 "parallel variant keeps the message bounds" gen_with_spec
+    (fun input ->
+      let comp, spec, seed = make input in
+      let r = Token_dd.detect ~parallel:true ~seed comp spec in
+      let total_msgs = Array.length (Computation.messages comp) in
+      r.extras.polls <= total_msgs)
+
+let prop_determinism =
+  qtest ~count:40 "identical seeds give identical runs" gen_with_spec
+    (fun input ->
+      let comp, spec, seed = make input in
+      let a = Token_dd.detect ~seed comp spec in
+      let b = Token_dd.detect ~seed comp spec in
+      Detection.outcome_equal a.outcome b.outcome
+      && a.sim_time = b.sim_time && a.events = b.events
+      && a.extras.polls = b.extras.polls
+      && a.extras.token_hops = b.extras.token_hops)
+
+let prop_network_insensitive =
+  qtest ~count:40 "outcome independent of the network model" gen_with_spec
+    (fun input ->
+      let comp, spec, seed = make input in
+      let n = Computation.n comp in
+      let expected = Oracle.first_cut comp spec in
+      List.for_all
+        (fun latency ->
+          let fifo ~src ~dst =
+            src < n
+            && (dst = Run_common.monitor_of ~n src || dst = Run_common.extra_id ~n)
+          in
+          let network = Network.create ~fifo ~latency () in
+          let r = Token_dd.detect ~network ~seed comp spec in
+          Detection.outcome_equal
+            (Detection.project_outcome spec r.outcome)
+            expected)
+        [ Network.Constant 1.0; Network.Uniform (0.01, 20.0) ])
+
+let prop_start_anywhere =
+  qtest ~count:60 "any chain head yields the oracle's cut" gen_with_spec
+    (fun input ->
+      let comp, spec, seed = make input in
+      let expected = Oracle.first_cut comp spec in
+      let n = Computation.n comp in
+      List.for_all
+        (fun start_at ->
+          let r =
+            Token_dd.detect ~invariant_checks:true ~start_at ~seed comp spec
+          in
+          Detection.outcome_equal
+            (Detection.project_outcome spec r.outcome)
+            expected)
+        [ 0; n / 2; n - 1 ])
+
+let prop_parallel_network_insensitive =
+  (* The §4.5 variant's prefetch races are exactly where timing bugs
+     would hide: hammer it across latency models and chain heads. *)
+  qtest ~count:60 "parallel variant across networks and chain heads"
+    gen_with_spec (fun input ->
+      let comp, spec, seed = make input in
+      let n = Computation.n comp in
+      let expected = Oracle.first_cut comp spec in
+      List.for_all
+        (fun latency ->
+          List.for_all
+            (fun start_at ->
+              let fifo ~src ~dst =
+                src < n
+                && (dst = Run_common.monitor_of ~n src
+                   || dst = Run_common.extra_id ~n)
+              in
+              let network = Network.create ~fifo ~latency () in
+              let r =
+                Token_dd.detect ~network ~parallel:true ~start_at ~seed comp
+                  spec
+              in
+              Detection.outcome_equal
+                (Detection.project_outcome spec r.outcome)
+                expected)
+            [ 0; n - 1 ])
+        [ Network.Constant 1.0; Network.Uniform (0.01, 20.0);
+          Network.Exponential 3.0 ])
+
+let test_pred_never_true () =
+  let comp = Helpers.build_comp (4, 6, 0, 50, 1) in
+  let spec = Spec.all comp in
+  let r = Token_dd.detect ~seed:1L comp spec in
+  Alcotest.check Helpers.outcome "no detection" Detection.No_detection r.outcome
+
+let test_pred_always_true () =
+  let comp = Helpers.build_comp (4, 6, 100, 50, 2) in
+  let spec = Spec.all comp in
+  match (Token_dd.detect ~seed:2L comp spec).outcome with
+  | Detection.Detected cut ->
+      Alcotest.(check string) "initial cut" "{0:1 1:1 2:1 3:1}"
+        (Cut.to_string cut)
+  | Detection.No_detection -> Alcotest.fail "expected detection"
+
+let test_single_process () =
+  let comp = Computation.of_raw ~ops:[| [] |] ~pred:[| [| true |] |] in
+  let spec = Spec.all comp in
+  match (Token_dd.detect ~seed:1L comp spec).outcome with
+  | Detection.Detected cut ->
+      Alcotest.(check string) "trivial" "{0:1}" (Cut.to_string cut)
+  | Detection.No_detection -> Alcotest.fail "expected detection"
+
+let test_workload_matrix () =
+  List.iter
+    (fun w ->
+      let spec = Spec.make w.Workloads.comp w.Workloads.procs in
+      List.iter
+        (fun parallel ->
+          let r =
+            Token_dd.detect ~parallel ~seed:7L w.Workloads.comp spec
+          in
+          Alcotest.check Helpers.outcome
+            (Printf.sprintf "%s parallel=%b" w.Workloads.name parallel)
+            (Oracle.first_cut w.Workloads.comp spec)
+            (Detection.project_outcome spec r.outcome))
+        [ false; true ])
+    (Workloads.all ~seed:321L)
+
+let test_non_spec_pred_ignored () =
+  (* Direct-dependence runs over all N processes with trivially-true
+     predicates outside the spec — even when those processes' recorded
+     predicate flags are false. *)
+  let b = Builder.create ~n:3 in
+  Builder.set_pred b ~proc:0 true;
+  Builder.set_pred b ~proc:2 true;
+  let m = Builder.send b ~src:1 ~dst:2 in
+  Builder.recv b ~dst:2 m;
+  let comp = Builder.finish b in
+  let spec = Spec.make comp [| 0; 2 |] in
+  let r = Token_dd.detect ~seed:3L comp spec in
+  Alcotest.check Helpers.outcome "detects despite pred-false middleman"
+    (Oracle.first_cut comp spec)
+    (Detection.project_outcome spec r.outcome)
+
+let () =
+  Alcotest.run "token_dd"
+    [
+      ( "agreement",
+        [
+          prop_agreement;
+          prop_agreement_parallel;
+          prop_full_cut_consistent;
+          Alcotest.test_case "workloads (both variants)" `Quick
+            test_workload_matrix;
+          Alcotest.test_case "non-spec preds ignored" `Quick
+            test_non_spec_pred_ignored;
+        ] );
+      ("bounds", [ prop_bounds; prop_parallel_same_totals_shape ]);
+      ( "robustness",
+        [
+          prop_determinism;
+          prop_network_insensitive;
+          prop_parallel_network_insensitive;
+          prop_start_anywhere;
+          Alcotest.test_case "predicate never true" `Quick test_pred_never_true;
+          Alcotest.test_case "predicate always true" `Quick
+            test_pred_always_true;
+          Alcotest.test_case "single process" `Quick test_single_process;
+        ] );
+    ]

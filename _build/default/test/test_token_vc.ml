@@ -1,0 +1,170 @@
+open Wcp_trace
+open Wcp_sim
+open Wcp_core
+
+let qtest = Helpers.qtest
+
+let gen_with_spec =
+  QCheck2.Gen.(
+    pair (Helpers.gen_comp_params ~max_n:6 ~max_sends:10) (int_range 0 10_000))
+
+let make (params, sseed) =
+  let comp = Helpers.build_comp params in
+  let rng = Wcp_util.Rng.create (Int64.of_int sseed) in
+  let width = 1 + Wcp_util.Rng.int rng (Computation.n comp) in
+  let procs = Generator.random_procs rng ~n:(Computation.n comp) ~width in
+  (comp, Spec.make comp procs, Int64.of_int sseed)
+
+let total_candidates comp spec =
+  Array.fold_left
+    (fun acc p -> acc + List.length (Computation.candidates comp p))
+    0 (Spec.procs spec)
+
+let prop_agreement =
+  qtest ~count:250 "token-vc finds the oracle's first cut" gen_with_spec
+    (fun input ->
+      let comp, spec, seed = make input in
+      let r = Token_vc.detect ~invariant_checks:true ~seed comp spec in
+      Detection.outcome_equal r.outcome (Oracle.first_cut comp spec))
+
+let prop_bounds =
+  qtest ~count:150 "§3.4 bounds: hops, messages, work, space" gen_with_spec
+    (fun input ->
+      let comp, spec, seed = make input in
+      let r = Token_vc.detect ~seed comp spec in
+      let n = Computation.n comp in
+      let width = Spec.width spec in
+      let m = Computation.max_events_per_process comp in
+      let cands = total_candidates comp spec in
+      (* Every token move is preceded by consuming >= 1 candidate. *)
+      let hops_ok = r.extras.token_hops <= cands + 1 in
+      (* Monitoring messages: tokens + snapshots <= 2 n (m+1) [+ done markers]. *)
+      let msgs_ok =
+        r.extras.token_hops + r.extras.snapshots <= 2 * width * (m + 1)
+      in
+      (* O(nm) work and space per monitor process. *)
+      let work_ok = ref true and space_ok = ref true in
+      for p = 0 to n - 1 do
+        let mon = Run_common.monitor_of ~n p in
+        if Stats.work_of r.stats mon > 2 * (m + 2) * (width + 1) then
+          work_ok := false;
+        if Stats.space_high_water r.stats mon > (m + 2) * width then
+          space_ok := false
+      done;
+      hops_ok && msgs_ok && !work_ok && !space_ok)
+
+let prop_determinism =
+  qtest ~count:40 "identical seeds give identical runs" gen_with_spec
+    (fun input ->
+      let comp, spec, seed = make input in
+      let a = Token_vc.detect ~seed comp spec in
+      let b = Token_vc.detect ~seed comp spec in
+      Detection.outcome_equal a.outcome b.outcome
+      && a.sim_time = b.sim_time && a.events = b.events
+      && Stats.total_sent a.stats = Stats.total_sent b.stats
+      && Stats.total_bits a.stats = Stats.total_bits b.stats
+      && a.extras.token_hops = b.extras.token_hops)
+
+let prop_network_insensitive =
+  (* The detected cut is a property of the computation, not of message
+     timing: any latency model must yield the same outcome. *)
+  qtest ~count:60 "outcome independent of the network model" gen_with_spec
+    (fun input ->
+      let comp, spec, seed = make input in
+      let n = Computation.n comp in
+      let expected = Oracle.first_cut comp spec in
+      List.for_all
+        (fun latency ->
+          let fifo ~src ~dst =
+            src < n
+            && (dst = Run_common.monitor_of ~n src || dst = Run_common.extra_id ~n)
+          in
+          let network = Network.create ~fifo ~latency () in
+          let r = Token_vc.detect ~network ~seed comp spec in
+          Detection.outcome_equal r.outcome expected)
+        [
+          Network.Constant 1.0;
+          Network.Exponential 2.0;
+          Network.Uniform (0.01, 20.0);
+        ])
+
+let test_pred_never_true () =
+  let comp = Helpers.build_comp (4, 6, 0, 50, 1) in
+  let spec = Spec.all comp in
+  let r = Token_vc.detect ~seed:1L comp spec in
+  Alcotest.check Helpers.outcome "no detection" Detection.No_detection r.outcome;
+  Alcotest.(check int) "no snapshots" 0 r.extras.snapshots
+
+let test_pred_always_true () =
+  let comp = Helpers.build_comp (4, 6, 100, 50, 2) in
+  let spec = Spec.all comp in
+  let r = Token_vc.detect ~invariant_checks:true ~seed:2L comp spec in
+  match r.outcome with
+  | Detection.Detected cut ->
+      Alcotest.(check string) "initial cut detected" "{0:1 1:1 2:1 3:1}"
+        (Cut.to_string cut)
+  | Detection.No_detection -> Alcotest.fail "expected initial-cut detection"
+
+let test_width_one () =
+  let comp = Helpers.build_comp (3, 5, 30, 50, 3) in
+  let spec = Spec.make comp [| 1 |] in
+  let r = Token_vc.detect ~seed:3L comp spec in
+  Alcotest.check Helpers.outcome "matches oracle" (Oracle.first_cut comp spec)
+    r.outcome;
+  Alcotest.(check int) "no token moves with one monitor" 0 r.extras.token_hops
+
+let prop_start_anywhere =
+  (* §3.2: "the token can start on any process". *)
+  qtest ~count:60 "any starting monitor yields the oracle's cut" gen_with_spec
+    (fun input ->
+      let comp, spec, seed = make input in
+      let expected = Oracle.first_cut comp spec in
+      List.for_all
+        (fun start_at ->
+          let r =
+            Token_vc.detect ~invariant_checks:true ~start_at ~seed comp spec
+          in
+          Detection.outcome_equal r.outcome expected)
+        (List.init (Spec.width spec) Fun.id))
+
+let test_workload_matrix () =
+  List.iter
+    (fun w ->
+      let spec = Spec.make w.Workloads.comp w.Workloads.procs in
+      let r =
+        Token_vc.detect ~invariant_checks:true ~seed:5L w.Workloads.comp spec
+      in
+      Alcotest.check Helpers.outcome w.Workloads.name
+        (Oracle.first_cut w.Workloads.comp spec)
+        r.outcome)
+    (Workloads.all ~seed:123L)
+
+let test_detected_state_has_true_preds () =
+  (* End-to-end: every state of a detected cut satisfies its local
+     predicate and the cut is consistent. *)
+  let comp = Helpers.build_comp (5, 8, 60, 50, 4) in
+  let spec = Spec.all comp in
+  match (Token_vc.detect ~seed:4L comp spec).outcome with
+  | Detection.Detected cut ->
+      Alcotest.(check bool) "satisfies" true (Cut.satisfies comp cut)
+  | Detection.No_detection -> ()
+
+let () =
+  Alcotest.run "token_vc"
+    [
+      ( "agreement",
+        [ prop_agreement; Alcotest.test_case "workloads" `Quick test_workload_matrix ] );
+      ("bounds", [ prop_bounds ]);
+      ( "robustness",
+        [
+          prop_determinism;
+          prop_network_insensitive;
+          prop_start_anywhere;
+          Alcotest.test_case "predicate never true" `Quick test_pred_never_true;
+          Alcotest.test_case "predicate always true" `Quick
+            test_pred_always_true;
+          Alcotest.test_case "width one" `Quick test_width_one;
+          Alcotest.test_case "detected cut satisfies" `Quick
+            test_detected_state_has_true_preds;
+        ] );
+    ]

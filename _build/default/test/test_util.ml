@@ -1,0 +1,223 @@
+open Wcp_util
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_determinism () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1L and b = Rng.create 2L in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.next_int64 a <> Rng.next_int64 b then differs := true
+  done;
+  Alcotest.(check bool) "streams differ" true !differs
+
+let test_copy_independent () =
+  let a = Rng.create 7L in
+  ignore (Rng.next_int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.next_int64 a)
+    (Rng.next_int64 b);
+  (* advancing the copy further must not affect the original *)
+  let b' = Rng.copy a in
+  ignore (Rng.next_int64 b');
+  ignore (Rng.next_int64 b');
+  Alcotest.(check int64) "original unaffected" (Rng.next_int64 a)
+    (Rng.next_int64 (Rng.copy a))
+
+let test_split_diverges () =
+  let a = Rng.create 3L in
+  let b = Rng.split a in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.next_int64 a <> Rng.next_int64 b then differs := true
+  done;
+  Alcotest.(check bool) "split stream differs" true !differs
+
+let test_bernoulli_extremes () =
+  let r = Rng.create 5L in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=1 always true" true (Rng.bernoulli r 1.0)
+  done;
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 always false" false (Rng.bernoulli r 0.0)
+  done
+
+let test_exponential_positive () =
+  let r = Rng.create 11L in
+  for _ = 1 to 1000 do
+    let x = Rng.exponential r ~mean:2.0 in
+    if x < 0.0 then Alcotest.fail "exponential sample negative"
+  done
+
+let test_exponential_mean () =
+  let r = Rng.create 13L in
+  let k = 20_000 in
+  let total = ref 0.0 in
+  for _ = 1 to k do
+    total := !total +. Rng.exponential r ~mean:3.0
+  done;
+  let mean = !total /. float_of_int k in
+  if mean < 2.7 || mean > 3.3 then
+    Alcotest.failf "exponential mean %.3f too far from 3.0" mean
+
+let test_pick_singleton () =
+  let r = Rng.create 17L in
+  Alcotest.(check int) "singleton" 9 (Rng.pick r [| 9 |])
+
+let prop_int_bounds =
+  qtest "int within bounds"
+    QCheck2.Gen.(pair (int_range 1 1_000_000) (int_range 0 1000))
+    (fun (bound, seed) ->
+      let r = Rng.create (Int64.of_int seed) in
+      let x = Rng.int r bound in
+      x >= 0 && x < bound)
+
+let prop_float_bounds =
+  qtest "float within bounds"
+    QCheck2.Gen.(int_range 0 1000)
+    (fun seed ->
+      let r = Rng.create (Int64.of_int seed) in
+      let x = Rng.float r 10.0 in
+      x >= 0.0 && x < 10.0)
+
+let prop_shuffle_permutation =
+  qtest "shuffle is a permutation"
+    QCheck2.Gen.(pair (list_size (int_range 0 50) int) (int_range 0 1000))
+    (fun (l, seed) ->
+      let r = Rng.create (Int64.of_int seed) in
+      let a = Array.of_list l in
+      Rng.shuffle r a;
+      List.sort compare (Array.to_list a) = List.sort compare l)
+
+let test_int_uniformish () =
+  (* All residues of a small modulus appear. *)
+  let r = Rng.create 23L in
+  let seen = Array.make 8 false in
+  for _ = 1 to 1000 do
+    seen.(Rng.int r 8) <- true
+  done;
+  Alcotest.(check bool) "all residues hit" true (Array.for_all Fun.id seen)
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let int_heap () = Heap.create ~cmp:compare
+
+let test_heap_empty () =
+  let h = int_heap () in
+  Alcotest.(check int) "length" 0 (Heap.length h);
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "peek" None (Heap.peek h);
+  Alcotest.(check (option int)) "pop" None (Heap.pop h);
+  Alcotest.check_raises "pop_exn" (Invalid_argument "Heap.pop_exn: empty")
+    (fun () -> ignore (Heap.pop_exn h))
+
+let test_heap_ordering () =
+  let h = int_heap () in
+  List.iter (Heap.add h) [ 5; 3; 8; 1; 9; 2; 7 ];
+  Alcotest.(check (option int)) "peek min" (Some 1) (Heap.peek h);
+  let rec drain acc =
+    match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  Alcotest.(check (list int)) "sorted drain" [ 1; 2; 3; 5; 7; 8; 9 ] (drain [])
+
+let test_heap_duplicates () =
+  let h = int_heap () in
+  List.iter (Heap.add h) [ 4; 4; 4; 1; 1 ];
+  Alcotest.(check int) "length" 5 (Heap.length h);
+  Alcotest.(check (list int)) "sorted" [ 1; 1; 4; 4; 4 ] (Heap.to_sorted_list h)
+
+let test_heap_to_sorted_nondestructive () =
+  let h = int_heap () in
+  List.iter (Heap.add h) [ 3; 1; 2 ];
+  ignore (Heap.to_sorted_list h);
+  Alcotest.(check int) "length preserved" 3 (Heap.length h);
+  Alcotest.(check (option int)) "min preserved" (Some 1) (Heap.peek h)
+
+let test_heap_clear () =
+  let h = int_heap () in
+  List.iter (Heap.add h) [ 1; 2 ];
+  Heap.clear h;
+  Alcotest.(check bool) "empty after clear" true (Heap.is_empty h);
+  Heap.add h 5;
+  Alcotest.(check (option int)) "usable after clear" (Some 5) (Heap.peek h)
+
+let prop_heap_sorts =
+  qtest "heap drain equals sort"
+    QCheck2.Gen.(list_size (int_range 0 200) int)
+    (fun l ->
+      let h = int_heap () in
+      List.iter (Heap.add h) l;
+      Heap.to_sorted_list h = List.sort compare l)
+
+let prop_heap_interleaved =
+  qtest "interleaved add/pop respects order"
+    QCheck2.Gen.(list_size (int_range 0 100) (option int))
+    (fun ops ->
+      (* None = pop, Some x = add x; model with a sorted list. *)
+      let h = int_heap () in
+      let model = ref [] in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some x ->
+              Heap.add h x;
+              model := List.sort compare (x :: !model);
+              true
+          | None -> (
+              match (Heap.pop h, !model) with
+              | None, [] -> true
+              | Some x, m :: rest ->
+                  model := rest;
+                  x = m
+              | _ -> false))
+        ops)
+
+let test_heap_custom_order () =
+  let h = Heap.create ~cmp:(fun a b -> compare b a) in
+  List.iter (Heap.add h) [ 1; 5; 3 ];
+  Alcotest.(check (option int)) "max-heap" (Some 5) (Heap.peek h)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "copy independent" `Quick test_copy_independent;
+          Alcotest.test_case "split diverges" `Quick test_split_diverges;
+          Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+          Alcotest.test_case "exponential positive" `Quick
+            test_exponential_positive;
+          Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+          Alcotest.test_case "pick singleton" `Quick test_pick_singleton;
+          Alcotest.test_case "int uniform-ish" `Quick test_int_uniformish;
+          prop_int_bounds;
+          prop_float_bounds;
+          prop_shuffle_permutation;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "duplicates" `Quick test_heap_duplicates;
+          Alcotest.test_case "to_sorted nondestructive" `Quick
+            test_heap_to_sorted_nondestructive;
+          Alcotest.test_case "clear" `Quick test_heap_clear;
+          Alcotest.test_case "custom order" `Quick test_heap_custom_order;
+          prop_heap_sorts;
+          prop_heap_interleaved;
+        ] );
+    ]
