@@ -1,6 +1,9 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench tables examples clean
+.PHONY: all build test bench tables bench-json perf-check examples clean
+
+# Committed machine-readable baseline (see EXPERIMENTS.md).
+BENCH_BASELINE ?= BENCH_1.json
 
 all: build
 
@@ -15,6 +18,16 @@ bench:
 
 tables:
 	dune exec bench/main.exe -- tables
+
+# Regenerate the JSON benchmark baseline (all E1-E8 sweeps, fanned out
+# over domains; deterministic fields are domain-count independent).
+bench-json:
+	dune exec bench/main.exe -- json --out $(BENCH_BASELINE)
+
+# Re-run the sweeps and fail if any deterministic metric drifted from
+# the committed baseline, or wall time regressed > 20% per experiment.
+perf-check:
+	dune exec bench/main.exe -- perf-check $(BENCH_BASELINE)
 
 examples:
 	@for e in quickstart mutual_exclusion database_locks \

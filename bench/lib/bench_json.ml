@@ -1,0 +1,620 @@
+open Wcp_trace
+open Wcp_core
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON                                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  exception Parse_error of string
+
+  let rec emit buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+        (* %.17g round-trips any double through float_of_string. *)
+        let s = Printf.sprintf "%.17g" f in
+        Buffer.add_string buf s;
+        (* Keep it a JSON number that re-parses as a float. *)
+        if String.for_all (fun c -> (c >= '0' && c <= '9') || c = '-') s then
+          Buffer.add_string buf ".0"
+    | Str s ->
+        Buffer.add_char buf '"';
+        String.iter
+          (fun c ->
+            match c with
+            | '"' -> Buffer.add_string buf "\\\""
+            | '\\' -> Buffer.add_string buf "\\\\"
+            | '\n' -> Buffer.add_string buf "\\n"
+            | '\t' -> Buffer.add_string buf "\\t"
+            | '\r' -> Buffer.add_string buf "\\r"
+            | c when Char.code c < 0x20 ->
+                Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+            | c -> Buffer.add_char buf c)
+          s;
+        Buffer.add_char buf '"'
+    | List xs ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char buf ',';
+            emit buf x)
+          xs;
+        Buffer.add_char buf ']'
+    | Obj kvs ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            emit buf (Str k);
+            Buffer.add_char buf ':';
+            emit buf v)
+          kvs;
+        Buffer.add_char buf '}'
+
+  let to_string t =
+    let buf = Buffer.create 4096 in
+    emit buf t;
+    Buffer.contents buf
+
+  (* Recursive-descent parser, sufficient for the documents this module
+     emits (and ordinary hand-edited baselines). *)
+  let parse s =
+    let len = String.length s in
+    let pos = ref 0 in
+    let error fmt =
+      Printf.ksprintf (fun m ->
+          raise (Parse_error (Printf.sprintf "at byte %d: %s" !pos m)))
+        fmt
+    in
+    let peek () = if !pos < len then Some s.[!pos] else None in
+    let skip_ws () =
+      while
+        !pos < len
+        && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        incr pos
+      done
+    in
+    let expect c =
+      if !pos < len && s.[!pos] = c then incr pos
+      else error "expected %c" c
+    in
+    let literal word v =
+      let l = String.length word in
+      if !pos + l <= len && String.sub s !pos l = word then begin
+        pos := !pos + l;
+        v
+      end
+      else error "bad literal"
+    in
+    let number () =
+      let start = !pos in
+      let is_float = ref false in
+      while
+        !pos < len
+        &&
+        match s.[!pos] with
+        | '0' .. '9' | '-' | '+' -> true
+        | '.' | 'e' | 'E' ->
+            is_float := true;
+            true
+        | _ -> false
+      do
+        incr pos
+      done;
+      let tok = String.sub s start (!pos - start) in
+      if !is_float then Float (float_of_string tok)
+      else
+        match int_of_string_opt tok with
+        | Some i -> Int i
+        | None -> Float (float_of_string tok)
+    in
+    let string_lit () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= len then error "unterminated string";
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+            incr pos;
+            (if !pos >= len then error "unterminated escape";
+             match s.[!pos] with
+             | '"' -> Buffer.add_char buf '"'
+             | '\\' -> Buffer.add_char buf '\\'
+             | '/' -> Buffer.add_char buf '/'
+             | 'n' -> Buffer.add_char buf '\n'
+             | 't' -> Buffer.add_char buf '\t'
+             | 'r' -> Buffer.add_char buf '\r'
+             | 'b' -> Buffer.add_char buf '\b'
+             | 'f' -> Buffer.add_char buf '\012'
+             | 'u' ->
+                 if !pos + 4 >= len then error "bad \\u escape";
+                 let code =
+                   int_of_string ("0x" ^ String.sub s (!pos + 1) 4)
+                 in
+                 (* Only BMP code points below 0x80 are expected here. *)
+                 if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                 else error "non-ASCII \\u escape unsupported";
+                 pos := !pos + 4
+             | c -> error "bad escape \\%c" c);
+            incr pos;
+            go ()
+        | c ->
+            Buffer.add_char buf c;
+            incr pos;
+            go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | None -> error "unexpected end of input"
+      | Some '{' ->
+          incr pos;
+          skip_ws ();
+          if peek () = Some '}' then begin
+            incr pos;
+            Obj []
+          end
+          else begin
+            let rec members acc =
+              skip_ws ();
+              let k = string_lit () in
+              skip_ws ();
+              expect ':';
+              let v = value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  incr pos;
+                  members ((k, v) :: acc)
+              | Some '}' ->
+                  incr pos;
+                  Obj (List.rev ((k, v) :: acc))
+              | _ -> error "expected , or } in object"
+            in
+            members []
+          end
+      | Some '[' ->
+          incr pos;
+          skip_ws ();
+          if peek () = Some ']' then begin
+            incr pos;
+            List []
+          end
+          else begin
+            let rec items acc =
+              let v = value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  incr pos;
+                  items (v :: acc)
+              | Some ']' ->
+                  incr pos;
+                  List (List.rev (v :: acc))
+              | _ -> error "expected , or ] in array"
+            in
+            items []
+          end
+      | Some '"' -> Str (string_lit ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> number ()
+    in
+    let v = value () in
+    skip_ws ();
+    if !pos <> len then error "trailing garbage";
+    v
+
+  let member name = function
+    | Obj kvs -> (
+        match List.assoc_opt name kvs with
+        | Some v -> v
+        | None -> raise (Parse_error ("missing field " ^ name)))
+    | _ -> raise (Parse_error ("not an object looking up " ^ name))
+
+  let to_int = function
+    | Int i -> i
+    | j -> raise (Parse_error ("expected int, got " ^ to_string j))
+
+  let to_float = function
+    | Float f -> f
+    | Int i -> float_of_int i
+    | j -> raise (Parse_error ("expected number, got " ^ to_string j))
+
+  let to_str = function
+    | Str s -> s
+    | j -> raise (Parse_error ("expected string, got " ^ to_string j))
+
+  let to_list = function
+    | List l -> l
+    | j -> raise (Parse_error ("expected array, got " ^ to_string j))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Jobs and metrics                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type job = {
+  experiment : string;  (* "E1".."E8" *)
+  algo : string;
+  n : int;
+  m : int;  (* sends per process (adversary: its m parameter) *)
+  p_pred : float;
+  seed : int;
+  param : int;  (* groups (multi), spec width (E5), else 0 *)
+}
+
+type metrics = {
+  job : job;
+  outcome : string;  (* "detected" | "none" *)
+  states : int;
+  hops : int;
+  polls : int;
+  snapshots : int;
+  merges : int;
+  work : int;
+  max_work : int;
+  messages : int;
+  bits : int;
+  events : int;
+  sim_time : float;
+  (* Machine-dependent; excluded from determinism comparisons. *)
+  wall_ns : int;
+  alloc_bytes : int;
+}
+
+let spec_for job comp =
+  match job.experiment with
+  | "E4" | "E8" -> Spec.make comp [| 0; job.n / 2 |]
+  | "E5" ->
+      let rng = Wcp_util.Rng.create (Int64.of_int job.seed) in
+      Spec.make comp (Generator.random_procs rng ~n:job.n ~width:job.param)
+  | _ -> Spec.all comp
+
+let run_job job =
+  Gc.minor ();
+  let alloc0 = Gc.allocated_bytes () in
+  let t0 = Unix.gettimeofday () in
+  let result =
+    if job.algo = "adversary" then begin
+      (* E6: the §5 lower-bound game is deterministic and has no
+         simulation behind it; map its two counters into the shared
+         record shape. *)
+      let world, _ = Wcp_lowerbound.Adversary.make ~n:job.n ~m:job.m in
+      let answer, trace = Wcp_lowerbound.Detector.run world in
+      let outcome =
+        match answer with
+        | Wcp_lowerbound.Detector.No_antichain -> "none"
+        | _ -> "detected"
+      in
+      `Adversary
+        ( outcome,
+          trace.Wcp_lowerbound.Detector.deletions,
+          trace.Wcp_lowerbound.Detector.rounds )
+    end
+    else begin
+      let comp =
+        Generator.random
+          ~params:
+            {
+              Generator.n = job.n;
+              sends_per_process = job.m;
+              p_pred = job.p_pred;
+              p_recv = 0.5;
+            }
+          ~seed:(Int64.of_int job.seed) ()
+      in
+      let spec = spec_for job comp in
+      let seed = Int64.of_int job.seed in
+      let r =
+        match job.algo with
+        | "token-vc" -> Token_vc.detect ~seed comp spec
+        | "token-dd" -> Token_dd.detect ~seed comp spec
+        | "token-dd-par" -> Token_dd.detect ~parallel:true ~seed comp spec
+        | "token-multi" ->
+            Token_multi.detect ~groups:job.param ~seed comp spec
+        | "checker" -> Checker_centralized.detect ~seed comp spec
+        | a -> invalid_arg ("Bench_json.run_job: unknown algo " ^ a)
+      in
+      `Sim (comp, r)
+    end
+  in
+  let wall_ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+  let alloc_bytes = int_of_float (Gc.allocated_bytes () -. alloc0) in
+  match result with
+  | `Adversary (outcome, deletions, rounds) ->
+      {
+        job;
+        outcome;
+        states = 0;
+        hops = 0;
+        polls = 0;
+        snapshots = 0;
+        merges = 0;
+        work = deletions;
+        max_work = deletions;
+        messages = 0;
+        bits = 0;
+        events = rounds;
+        sim_time = 0.0;
+        wall_ns;
+        alloc_bytes;
+      }
+  | `Sim (comp, r) ->
+      {
+        job;
+        outcome =
+          (match r.Detection.outcome with
+          | Detection.Detected _ -> "detected"
+          | Detection.No_detection -> "none");
+        states = Computation.total_states comp;
+        hops = r.extras.Detection.token_hops;
+        polls = r.extras.Detection.polls;
+        snapshots = r.extras.Detection.snapshots;
+        merges = r.extras.Detection.merges;
+        work = Wcp_sim.Stats.total_work r.stats;
+        max_work = Wcp_sim.Stats.max_work r.stats;
+        messages = Wcp_sim.Stats.total_sent r.stats;
+        bits = Wcp_sim.Stats.total_bits r.stats;
+        events = r.events;
+        sim_time = r.sim_time;
+        wall_ns;
+        alloc_bytes;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Sweep profiles                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type profile = Full | Smoke
+
+let profile_name = function Full -> "full" | Smoke -> "smoke"
+
+let profile_of_name = function
+  | "full" -> Full
+  | "smoke" -> Smoke
+  | s -> invalid_arg ("Bench_json.profile_of_name: " ^ s)
+
+let job ?(p_pred = 0.3) ?(param = 0) experiment algo ~n ~m ~seed () =
+  { experiment; algo; n; m; p_pred; seed; param }
+
+let seeds = [ 1; 2; 3 ]
+
+let jobs = function
+  | Smoke ->
+      [
+        job "E1" "token-vc" ~n:8 ~m:10 ~seed:1 ();
+        job "E1" "token-vc" ~n:8 ~m:10 ~seed:2 ();
+        job "E2" "checker" ~n:8 ~m:10 ~seed:1 ();
+        job "E3" "token-multi" ~n:8 ~m:8 ~p_pred:0.25 ~param:2 ~seed:1 ();
+        job "E4" "token-dd" ~n:8 ~m:10 ~p_pred:0.05 ~seed:1 ();
+        job "E8" "token-dd-par" ~n:8 ~m:10 ~p_pred:0.05 ~seed:1 ();
+      ]
+  | Full ->
+      let sweep f xs = List.concat_map f xs in
+      let per_seed f = List.map f seeds in
+      sweep
+        (fun n -> per_seed (fun seed -> job "E1" "token-vc" ~n ~m:20 ~seed ()))
+        [ 2; 4; 8; 16; 24; 32 ]
+      @ sweep
+          (fun n -> per_seed (fun seed -> job "E2" "checker" ~n ~m:16 ~seed ()))
+          [ 2; 4; 8; 16; 24; 32 ]
+      @ sweep
+          (fun groups ->
+            per_seed (fun seed ->
+                job "E3" "token-multi" ~n:24 ~m:16 ~p_pred:0.25 ~param:groups
+                  ~seed ()))
+          [ 1; 2; 4; 8 ]
+      @ sweep
+          (fun n ->
+            per_seed (fun seed ->
+                job "E4" "token-dd" ~n ~m:12 ~p_pred:0.05 ~seed ()))
+          [ 4; 8; 16; 32; 64 ]
+      @ sweep
+          (fun width ->
+            sweep
+              (fun algo ->
+                per_seed (fun seed ->
+                    job "E5" algo ~n:64 ~m:8 ~param:width ~seed ()))
+              [ "token-vc"; "token-dd" ])
+          [ 2; 8; 32; 64 ]
+      @ List.map
+          (fun (n, m) -> job "E6" "adversary" ~n ~m ~p_pred:0.0 ~seed:0 ())
+          [ (8, 16); (16, 16); (32, 32) ]
+      @ sweep
+          (fun p_pred ->
+            List.map
+              (fun algo -> job "E7" algo ~n:6 ~m:10 ~p_pred ~seed:9 ())
+              [ "checker"; "token-vc"; "token-dd"; "token-dd-par" ])
+          [ 0.0; 0.3; 1.0 ]
+      @ sweep
+          (fun n ->
+            sweep
+              (fun algo ->
+                per_seed (fun seed ->
+                    job "E8" algo ~n ~m:10 ~p_pred:0.05 ~seed ()))
+              [ "token-dd"; "token-dd-par" ])
+          [ 4; 8; 16; 32 ]
+
+let run ?domains profile =
+  let js = Array.of_list (jobs profile) in
+  Wcp_util.Parallel.map ?domains run_job js
+
+(* ------------------------------------------------------------------ *)
+(* Serialisation                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let schema = "wcp-bench/1"
+
+let metrics_to_json r =
+  Json.Obj
+    [
+      ("experiment", Json.Str r.job.experiment);
+      ("algo", Json.Str r.job.algo);
+      ("n", Json.Int r.job.n);
+      ("m", Json.Int r.job.m);
+      ("p_pred", Json.Float r.job.p_pred);
+      ("seed", Json.Int r.job.seed);
+      ("param", Json.Int r.job.param);
+      ("outcome", Json.Str r.outcome);
+      ("states", Json.Int r.states);
+      ("hops", Json.Int r.hops);
+      ("polls", Json.Int r.polls);
+      ("snapshots", Json.Int r.snapshots);
+      ("merges", Json.Int r.merges);
+      ("work", Json.Int r.work);
+      ("max_work", Json.Int r.max_work);
+      ("messages", Json.Int r.messages);
+      ("bits", Json.Int r.bits);
+      ("events", Json.Int r.events);
+      ("sim_time", Json.Float r.sim_time);
+      ("wall_ns", Json.Int r.wall_ns);
+      ("alloc_bytes", Json.Int r.alloc_bytes);
+    ]
+
+let metrics_of_json j =
+  let open Json in
+  {
+    job =
+      {
+        experiment = to_str (member "experiment" j);
+        algo = to_str (member "algo" j);
+        n = to_int (member "n" j);
+        m = to_int (member "m" j);
+        p_pred = to_float (member "p_pred" j);
+        seed = to_int (member "seed" j);
+        param = to_int (member "param" j);
+      };
+    outcome = to_str (member "outcome" j);
+    states = to_int (member "states" j);
+    hops = to_int (member "hops" j);
+    polls = to_int (member "polls" j);
+    snapshots = to_int (member "snapshots" j);
+    merges = to_int (member "merges" j);
+    work = to_int (member "work" j);
+    max_work = to_int (member "max_work" j);
+    messages = to_int (member "messages" j);
+    bits = to_int (member "bits" j);
+    events = to_int (member "events" j);
+    sim_time = to_float (member "sim_time" j);
+    wall_ns = to_int (member "wall_ns" j);
+    alloc_bytes = to_int (member "alloc_bytes" j);
+  }
+
+let emit ~profile results =
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.Str schema);
+        ("profile", Json.Str (profile_name profile));
+        ("jobs", Json.Int (Array.length results));
+        ( "results",
+          Json.List (Array.to_list (Array.map metrics_to_json results)) );
+      ]
+  in
+  (* One record per line keeps committed baselines diffable. *)
+  let b = Buffer.create 16384 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"schema\": %s,\n"
+                         (Json.to_string (Json.member "schema" doc)));
+  Buffer.add_string b (Printf.sprintf "  \"profile\": %s,\n"
+                         (Json.to_string (Json.member "profile" doc)));
+  Buffer.add_string b (Printf.sprintf "  \"jobs\": %d,\n"
+                         (Array.length results));
+  Buffer.add_string b "  \"results\": [\n";
+  Array.iteri
+    (fun i r ->
+      Buffer.add_string b "    ";
+      Buffer.add_string b (Json.to_string (metrics_to_json r));
+      if i < Array.length results - 1 then Buffer.add_char b ',';
+      Buffer.add_char b '\n')
+    results;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let parse_doc s =
+  let doc = Json.parse s in
+  let got = Json.to_str (Json.member "schema" doc) in
+  if got <> schema then
+    raise (Json.Parse_error (Printf.sprintf "schema %S, expected %S" got schema));
+  let profile = profile_of_name (Json.to_str (Json.member "profile" doc)) in
+  let results =
+    Array.of_list (List.map metrics_of_json (Json.to_list (Json.member "results" doc)))
+  in
+  (profile, results)
+
+(* ------------------------------------------------------------------ *)
+(* Comparison                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let job_key j =
+  Printf.sprintf "%s/%s n=%d m=%d p=%g seed=%d param=%d" j.experiment j.algo
+    j.n j.m j.p_pred j.seed j.param
+
+let strip_timing r = { r with wall_ns = 0; alloc_bytes = 0 }
+
+let deterministic_equal a b = strip_timing a = strip_timing b
+
+(* Compare a fresh run against a committed baseline: every deterministic
+   field must match exactly; wall time may regress at most [tolerance]
+   (default 0.20) on each experiment's total, with a 10 ms absolute
+   floor so scheduler noise on sub-millisecond experiments cannot trip
+   the gate. Returns human-readable failure lines, empty on success. *)
+let wall_floor_ns = 10_000_000
+
+let compare_runs ?(tolerance = 0.20) ~baseline ~current () =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  let tbl = Hashtbl.create 64 in
+  Array.iter (fun r -> Hashtbl.replace tbl (job_key r.job) r) current;
+  Array.iter
+    (fun b ->
+      match Hashtbl.find_opt tbl (job_key b.job) with
+      | None -> err "missing job: %s" (job_key b.job)
+      | Some c ->
+          if not (deterministic_equal b c) then
+            err "metrics drifted for %s (e.g. hops %d->%d, work %d->%d, messages %d->%d)"
+              (job_key b.job) b.hops c.hops b.work c.work b.messages c.messages)
+    baseline;
+  (* Wall-clock: per-experiment totals, 20% headroom. *)
+  let totals results =
+    let t = Hashtbl.create 8 in
+    Array.iter
+      (fun r ->
+        let k = r.job.experiment in
+        Hashtbl.replace t k (r.wall_ns + Option.value ~default:0 (Hashtbl.find_opt t k)))
+      results;
+    t
+  in
+  let bt = totals baseline and ct = totals current in
+  Hashtbl.iter
+    (fun exp base ->
+      match Hashtbl.find_opt ct exp with
+      | None -> ()
+      | Some cur ->
+          if
+            base > 0
+            && float_of_int cur > (1.0 +. tolerance) *. float_of_int base
+            && cur - base > wall_floor_ns
+          then
+            err "%s wall time regressed: %d ns -> %d ns (> %+.0f%%)" exp base
+              cur (tolerance *. 100.0))
+    bt;
+  List.rev !errors

@@ -1,0 +1,104 @@
+(** Machine-readable benchmark harness.
+
+    Runs the E1-E8 experiment sweeps as independent jobs (fanned out
+    over domains with {!Wcp_util.Parallel}), records one metrics record
+    per job, and serialises the lot as a stable JSON document suitable
+    for committing as a regression baseline (see [BENCH_1.json] and
+    EXPERIMENTS.md, "Machine-readable benchmarks").
+
+    All fields except [wall_ns] and [alloc_bytes] are deterministic
+    functions of the job parameters: two runs of the same profile — on
+    any machine, at any domain count — agree on them exactly, and
+    {!compare_runs} enforces this against a committed baseline. *)
+
+(** Hand-rolled JSON (the toolchain has no JSON package). *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  exception Parse_error of string
+
+  val to_string : t -> string
+  val parse : string -> t  (** @raise Parse_error on malformed input *)
+
+  val member : string -> t -> t
+  val to_int : t -> int
+  val to_float : t -> float
+  val to_str : t -> string
+  val to_list : t -> t list
+end
+
+type job = {
+  experiment : string;  (** "E1".."E8" *)
+  algo : string;
+      (** "token-vc", "token-dd", "token-dd-par", "token-multi",
+          "checker", "adversary" *)
+  n : int;
+  m : int;
+  p_pred : float;
+  seed : int;
+  param : int;  (** groups (E3), spec width (E5), else 0 *)
+}
+
+type metrics = {
+  job : job;
+  outcome : string;  (** "detected" or "none" *)
+  states : int;
+  hops : int;
+  polls : int;
+  snapshots : int;
+  merges : int;
+  work : int;
+  max_work : int;
+  messages : int;
+  bits : int;
+  events : int;
+  sim_time : float;
+  wall_ns : int;  (** machine-dependent *)
+  alloc_bytes : int;  (** machine-dependent (GC promotion noise) *)
+}
+
+type profile = Full | Smoke
+
+val profile_name : profile -> string
+val profile_of_name : string -> profile
+
+val jobs : profile -> job list
+
+val run_job : job -> metrics
+(** Run one job to completion in the calling domain. *)
+
+val run : ?domains:int -> profile -> metrics array
+(** All jobs of the profile, in declaration order, fanned out with
+    {!Wcp_util.Parallel.map} ([domains = 1] runs sequentially). The
+    deterministic metric fields do not depend on [domains]. *)
+
+val schema : string
+(** Document schema tag, ["wcp-bench/1"]. *)
+
+val emit : profile:profile -> metrics array -> string
+(** JSON document, one result record per line. *)
+
+val parse_doc : string -> profile * metrics array
+(** @raise Json.Parse_error on malformed input or schema mismatch. *)
+
+val strip_timing : metrics -> metrics
+(** Zero the machine-dependent fields, for exact comparisons. *)
+
+val deterministic_equal : metrics -> metrics -> bool
+
+val job_key : job -> string
+(** Human-readable identity used to match baseline and current runs. *)
+
+val compare_runs :
+  ?tolerance:float -> baseline:metrics array -> current:metrics array ->
+  unit -> string list
+(** Failure lines, empty when [current] reproduces every deterministic
+    field of [baseline] and no experiment's total wall time regressed
+    by more than [tolerance] (default 0.20). *)

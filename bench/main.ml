@@ -6,7 +6,12 @@
 
    Usage:  dune exec bench/main.exe            (all experiments + micro)
            dune exec bench/main.exe -- tables  (E1-E8 only)
-           dune exec bench/main.exe -- micro   (Bechamel E9 only)        *)
+           dune exec bench/main.exe -- micro   (Bechamel E9 only)
+
+   Machine-readable mode (see EXPERIMENTS.md and Bench_json):
+           dune exec bench/main.exe -- json [--smoke] [--seq]
+                                            [--domains K] [--out FILE]
+           dune exec bench/main.exe -- perf-check BASELINE [CURRENT]     *)
 
 open Wcp_trace
 open Wcp_sim
@@ -510,11 +515,87 @@ let tables () =
   e11 ();
   e12 ()
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable harness (JSON) and the perf-regression gate        *)
+(* ------------------------------------------------------------------ *)
+
+let json_mode args =
+  let profile = ref Wcp_bench.Bench_json.Full in
+  let domains = ref None in
+  let out = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+        profile := Wcp_bench.Bench_json.Smoke;
+        parse rest
+    | "--seq" :: rest ->
+        domains := Some 1;
+        parse rest
+    | "--domains" :: k :: rest ->
+        domains := Some (int_of_string k);
+        parse rest
+    | "--out" :: f :: rest ->
+        out := Some f;
+        parse rest
+    | a :: _ -> failwith ("json: unknown argument " ^ a)
+  in
+  parse args;
+  let results = Wcp_bench.Bench_json.run ?domains:!domains !profile in
+  let doc = Wcp_bench.Bench_json.emit ~profile:!profile results in
+  match !out with
+  | None -> print_string doc
+  | Some f ->
+      let oc = open_out f in
+      output_string oc doc;
+      close_out oc;
+      Printf.printf "wrote %d results to %s\n" (Array.length results) f
+
+let read_file f =
+  match open_in_bin f with
+  | exception Sys_error msg ->
+      Printf.eprintf "perf-check: cannot read baseline: %s\n" msg;
+      Printf.eprintf "  (generate one with: make bench-json)\n";
+      exit 1
+  | ic ->
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+
+let parse_file f =
+  match Wcp_bench.Bench_json.parse_doc (read_file f) with
+  | exception Wcp_bench.Bench_json.Json.Parse_error msg ->
+      Printf.eprintf "perf-check: %s is not a wcp-bench/1 document (%s)\n" f msg;
+      exit 1
+  | doc -> doc
+
+let perf_check args =
+  let baseline_file, current =
+    match args with
+    | [ b ] ->
+        (* No current file: re-run the baseline's profile now. *)
+        let profile, _ = parse_file b in
+        (b, Wcp_bench.Bench_json.run profile)
+    | [ b; c ] ->
+        let _, current = parse_file c in
+        (b, current)
+    | _ -> failwith "usage: perf-check BASELINE [CURRENT]"
+  in
+  let _, baseline = parse_file baseline_file in
+  match Wcp_bench.Bench_json.compare_runs ~baseline ~current () with
+  | [] ->
+      Printf.printf "perf-check: OK (%d jobs match %s)\n" (Array.length baseline)
+        baseline_file
+  | errors ->
+      List.iter (fun e -> Printf.eprintf "perf-check: %s\n" e) errors;
+      exit 1
+
 let () =
-  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  match mode with
-  | "tables" -> tables ()
-  | "micro" -> micro ()
+  let argv = Array.to_list Sys.argv in
+  match argv with
+  | _ :: "tables" :: _ -> tables ()
+  | _ :: "micro" :: _ -> micro ()
+  | _ :: "json" :: rest -> json_mode rest
+  | _ :: "perf-check" :: rest -> perf_check rest
   | _ ->
       tables ();
       micro ()

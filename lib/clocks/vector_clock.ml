@@ -14,6 +14,8 @@ let of_array a =
 
 let to_array t = Array.copy t
 
+let copy = Array.copy
+
 let size = Array.length
 
 let get t i = t.(i)
@@ -23,18 +25,42 @@ let tick t ~owner =
   v.(owner) <- v.(owner) + 1;
   v
 
+let tick_into t ~owner = t.(owner) <- t.(owner) + 1
+
+let merge_into ~into b =
+  assert (Array.length into = Array.length b);
+  for i = 0 to Array.length into - 1 do
+    if b.(i) > into.(i) then into.(i) <- b.(i)
+  done
+
 let merge a b =
   assert (Array.length a = Array.length b);
-  Array.mapi (fun i x -> max x b.(i)) a
+  let v = Array.copy a in
+  merge_into ~into:v b;
+  v
 
-let receive t ~owner ~msg = tick (merge t msg) ~owner
+(* Fused merge-then-tick: one allocation instead of the two a
+   [tick (merge t msg)] pipeline performs. This is the per-receive hot
+   path of the trace replay. *)
+let receive t ~owner ~msg =
+  let v = merge t msg in
+  v.(owner) <- v.(owner) + 1;
+  v
 
 let leq a b =
   assert (Array.length a = Array.length b);
-  let rec go i = i = Array.length a || (a.(i) <= b.(i) && go (i + 1)) in
+  let n = Array.length a in
+  let rec go i = i = n || (a.(i) <= b.(i) && go (i + 1)) in
   go 0
 
-let equal a b = a = b
+let equal a b =
+  a == b
+  ||
+  let n = Array.length a in
+  n = Array.length b
+  &&
+  let rec go i = i = n || (a.(i) = b.(i) && go (i + 1)) in
+  go 0
 
 let lt a b = leq a b && not (equal a b)
 
@@ -47,7 +73,21 @@ let relation a b =
 
 let concurrent a b = relation a b = Concurrent
 
-let compare = Stdlib.compare
+(* Same order as the polymorphic [Stdlib.compare] on int arrays (size
+   first, then lexicographic), without the polymorphic dispatch. *)
+let compare a b =
+  if a == b then 0
+  else
+    let la = Array.length a and lb = Array.length b in
+    if la <> lb then Stdlib.compare la lb
+    else
+      let rec go i =
+        if i = la then 0
+        else
+          let c = Stdlib.compare (a.(i) : int) b.(i) in
+          if c <> 0 then c else go (i + 1)
+      in
+      go 0
 
 let pp ppf t =
   Format.fprintf ppf "[%a]"

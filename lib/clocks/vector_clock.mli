@@ -18,7 +18,10 @@
 
 type t = private int array
 (** Immutable by convention: no function in this interface mutates a
-    [t] that it did not itself allocate. *)
+    [t] that it did not itself allocate — except the explicitly
+    in-place {!tick_into} and {!merge_into}, which exist for
+    allocation-free hot loops and require the caller to own the clock
+    uniquely. *)
 
 type relation = Before | After | Concurrent | Equal
 
@@ -42,7 +45,27 @@ val merge : t -> t -> t
 (** Component-wise maximum. Both vectors must have the same size. *)
 
 val receive : t -> owner:int -> msg:t -> t
-(** [merge] then [tick]: the Fig. 2 receive rule. *)
+(** [merge] then [tick]: the Fig. 2 receive rule. Allocates once (not
+    once per step). *)
+
+(** {2 In-place operations}
+
+    Allocation-free variants for hot loops. They mutate their first
+    argument, so they are only sound on clocks the caller owns
+    uniquely — never on a clock obtained from another module (clocks
+    are shared structurally throughout the library). *)
+
+val copy : t -> t
+(** Fresh, uniquely-owned copy; the usual way to obtain a clock that
+    may be passed to {!tick_into} / {!merge_into}. *)
+
+val tick_into : t -> owner:int -> unit
+(** [tick_into t ~owner] is [tick] without the copy: increments
+    [t.(owner)] in place. *)
+
+val merge_into : into:t -> t -> unit
+(** [merge_into ~into b] folds [b] into [into] by component-wise
+    maximum, in place. Both clocks must have the same size. *)
 
 val leq : t -> t -> bool
 (** Component-wise [<=]. *)

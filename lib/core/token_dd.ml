@@ -38,7 +38,7 @@ let install engine ~n_app ~parallel ?check ?(stop = true) ?(start_at = 0)
     invalid_arg "Token_dd.install: start_at out of range";
   let snapshots_seen = snapshots in
   let announce ctx o =
-    if !outcome = None then begin
+    if Option.is_none !outcome then begin
       outcome := Some o;
       if stop then Engine.stop ctx
     end
@@ -73,8 +73,9 @@ let install engine ~n_app ~parallel ?check ?(stop = true) ?(start_at = 0)
      [parallel], by prefetching red monitors (§4.5). One step per call
      chain: poll the next discovered dependence, else consume the next
      candidate, else commit/pass if the token is here. *)
+  let is_red m = match m.color with Messages.Red -> true | _ -> false in
   let rec drive ctx m =
-    if !outcome <> None || m.polling then ()
+    if Option.is_some !outcome || m.polling then ()
     else
       match m.deps_pending with
       | d :: rest ->
@@ -91,7 +92,7 @@ let install engine ~n_app ~parallel ?check ?(stop = true) ?(start_at = 0)
             if m.has_token then commit_and_pass ctx m
             (* else: prefetched and ready; wait for the token. *)
           end
-          else if m.color = Messages.Red && (m.has_token || parallel) then
+          else if is_red m && (m.has_token || parallel) then
             match Queue.take_opt m.queue with
             | Some cand ->
                 m.queue_words <- m.queue_words - snapshot_words cand;
@@ -150,12 +151,12 @@ let install engine ~n_app ~parallel ?check ?(stop = true) ?(start_at = 0)
     | Messages.Poll { clock; next_red } ->
         (* Fig. 5. *)
         Engine.charge_work ctx 1;
-        let old = m.color in
+        let was_green = not (is_red m) in
         if clock >= m.g then begin
           m.color <- Messages.Red;
           m.g <- clock
         end;
-        let became = m.color = Messages.Red && old = Messages.Green in
+        let became = is_red m && was_green in
         if became then m.next_red <- next_red;
         let reply = Messages.Poll_reply { became_red = became } in
         Engine.send ctx ~bits:(bits reply) ~dst:src reply;

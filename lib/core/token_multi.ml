@@ -30,7 +30,7 @@ let detect ?network ?(assignment = Round_robin) ~groups ~seed comp spec =
   let merges = ref 0 in
   let snapshots_seen = ref 0 in
   let announce ctx o =
-    if !outcome = None then begin
+    if Option.is_none !outcome then begin
       outcome := Some o;
       Engine.stop ctx
     end
@@ -50,7 +50,8 @@ let detect ?network ?(assignment = Round_robin) ~groups ~seed comp spec =
      may only move to red monitors of its own group and otherwise
      returns to the leader. *)
   let rec process ctx m g color =
-    if color.(m.k) = Messages.Red then
+    match color.(m.k) with
+    | Messages.Red -> (
       match Queue.take_opt m.queue with
       | None ->
           if m.app_done then announce ctx Detection.No_detection
@@ -62,8 +63,8 @@ let detect ?network ?(assignment = Round_robin) ~groups ~seed comp spec =
             g.(m.k) <- cand.Snapshot.clock.(m.k);
             color.(m.k) <- Messages.Green
           end;
-          process ctx m g color
-    else begin
+          process ctx m g color)
+    | Messages.Green ->
       (match m.last with
       | Some cand ->
           Engine.charge_work ctx width;
@@ -74,19 +75,19 @@ let detect ?network ?(assignment = Round_robin) ~groups ~seed comp spec =
             end
           done
       | None -> ());
-      let next_in_group = ref None in
+      let next_in_group = ref (-1) in
       for j = width - 1 downto 0 do
-        if color.(j) = Messages.Red && group_of j = m.group then
-          next_in_group := Some j
+        match color.(j) with
+        | Messages.Red -> if group_of j = m.group then next_in_group := j
+        | Messages.Green -> ()
       done;
-      match !next_in_group with
-      | Some j ->
-          send_token ctx ~dst:(monitor_id j)
-            (Messages.Group_token { g; color; group = m.group })
-      | None ->
-          send_token ctx ~dst:leader_id
-            (Messages.Group_return { g; color; group = m.group })
-    end
+      let j = !next_in_group in
+      if j >= 0 then
+        send_token ctx ~dst:(monitor_id j)
+          (Messages.Group_token { g; color; group = m.group })
+      else
+        send_token ctx ~dst:leader_id
+          (Messages.Group_return { g; color; group = m.group })
   in
   let resume ctx m =
     match m.held with

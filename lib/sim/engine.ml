@@ -4,19 +4,22 @@ let log = Logs.Src.create "wcp.engine" ~doc:"discrete-event engine"
 
 module Log = (val Logs.src_log log : Logs.LOG)
 
+(* Event keys (time, sequence) live unboxed inside the flat heap; only
+   the body is a heap-allocated value, so a push costs one small block
+   instead of the record-plus-boxed-float of a generic heap entry. *)
 type 'msg event_body =
   | Deliver of { dst : int; src : int; msg : 'msg }
   | Timer of { proc : int; callback : 'msg ctx -> unit }
-
-and 'msg event = { at : float; seq : int; body : 'msg event_body }
 
 and 'msg t = {
   num_processes : int;
   network : Network.t;
   rng : Rng.t;
   stats : Stats.t;
-  queue : 'msg event Heap.t;
+  queue : 'msg event_body Heap.Flat.t;
   handlers : ('msg ctx -> src:int -> 'msg -> unit) option array;
+  (* One preallocated ctx per process, reused for every dispatch. *)
+  mutable ctxs : 'msg ctx array;
   max_events : int;
   mutable next_seq : int;
   mutable clock : float;
@@ -27,26 +30,28 @@ and 'msg t = {
 
 and 'msg ctx = { engine : 'msg t; proc : int }
 
-let compare_events a b =
-  match Float.compare a.at b.at with 0 -> compare a.seq b.seq | c -> c
-
 let create ?(network = Network.uniform_default) ?(max_events = 50_000_000)
     ~num_processes ~seed () =
   if num_processes < 1 then invalid_arg "Engine.create: need >= 1 process";
-  {
-    num_processes;
-    network;
-    rng = Rng.create seed;
-    stats = Stats.create ~n:num_processes;
-    queue = Heap.create ~cmp:compare_events;
-    handlers = Array.make num_processes None;
-    max_events;
-    next_seq = 0;
-    clock = 0.0;
-    stop_requested = false;
-    events_done = 0;
-    running = false;
-  }
+  let t =
+    {
+      num_processes;
+      network;
+      rng = Rng.create seed;
+      stats = Stats.create ~n:num_processes;
+      queue = Heap.Flat.create ();
+      handlers = Array.make num_processes None;
+      ctxs = [||];
+      max_events;
+      next_seq = 0;
+      clock = 0.0;
+      stop_requested = false;
+      events_done = 0;
+      running = false;
+    }
+  in
+  t.ctxs <- Array.init num_processes (fun proc -> { engine = t; proc });
+  t
 
 let set_handler t i h =
   if i < 0 || i >= t.num_processes then
@@ -64,7 +69,7 @@ let events_processed t = t.events_done
 let push t ~at body =
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
-  Heap.add t.queue { at; seq; body }
+  Heap.Flat.add t.queue ~at ~seq body
 
 let schedule_initial t ~proc ~at callback =
   if proc < 0 || proc >= t.num_processes then
@@ -99,33 +104,35 @@ let rng ctx = ctx.engine.rng
 
 let stop ctx = ctx.engine.stop_requested <- true
 
-let dispatch t ev =
-  t.clock <- ev.at;
-  match ev.body with
+let dispatch t body =
+  match body with
   | Deliver { dst; src; msg } -> (
-      Log.debug (fun m -> m "t=%.3f deliver %d -> %d" ev.at src dst);
+      Log.debug (fun m -> m "t=%.3f deliver %d -> %d" t.clock src dst);
       Stats.msg_received t.stats ~proc:dst;
       match t.handlers.(dst) with
-      | Some h -> h { engine = t; proc = dst } ~src msg
+      | Some h -> h t.ctxs.(dst) ~src msg
       | None ->
           failwith
             (Printf.sprintf "Engine: message for process %d with no handler"
                dst))
-  | Timer { proc; callback } -> callback { engine = t; proc }
+  | Timer { proc; callback } -> callback t.ctxs.(proc)
 
 let run t =
   if t.running then invalid_arg "Engine.run: already run";
   t.running <- true;
   let rec loop () =
-    if t.stop_requested then ()
-    else
-      match Heap.pop t.queue with
-      | None -> ()
-      | Some ev ->
-          t.events_done <- t.events_done + 1;
-          if t.events_done > t.max_events then
-            failwith "Engine.run: event budget exceeded (runaway protocol?)";
-          dispatch t ev;
-          loop ()
+    if t.stop_requested || Heap.Flat.is_empty t.queue then ()
+    else begin
+      (* Guard BEFORE dispatch: exactly max_events events ever run. *)
+      if t.events_done >= t.max_events then
+        failwith "Engine.run: event budget exceeded (runaway protocol?)";
+      let at = Heap.Flat.min_at t.queue in
+      let body = Heap.Flat.pop_exn t.queue in
+      t.events_done <- t.events_done + 1;
+      t.clock <- at;
+      dispatch t body;
+      loop ()
+    end
   in
-  loop ()
+  loop ();
+  Stats.set_events_done t.stats t.events_done

@@ -28,7 +28,8 @@ val create :
   ?network:Network.t -> ?max_events:int -> num_processes:int -> seed:int64 ->
   unit -> 'msg t
 (** [max_events] (default 50 million) guards against runaway protocols:
-    exceeding it raises [Failure]. *)
+    the budget is checked before each dispatch, so at most [max_events]
+    events ever run; attempting one more raises [Failure]. *)
 
 val set_handler : 'msg t -> int -> ('msg ctx -> src:int -> 'msg -> unit) -> unit
 (** Install the message handler for a process. Messages arriving for a

@@ -4,6 +4,7 @@ type t = {
   bits : int array;
   work : int array;
   space_hw : int array;
+  mutable events_done : int;
 }
 
 let create ~n =
@@ -13,6 +14,7 @@ let create ~n =
     bits = Array.make n 0;
     work = Array.make n 0;
     space_hw = Array.make n 0;
+    events_done = 0;
   }
 
 let n t = Array.length t.sent
@@ -27,6 +29,10 @@ let work t ~proc units = t.work.(proc) <- t.work.(proc) + units
 
 let space t ~proc words =
   if words > t.space_hw.(proc) then t.space_hw.(proc) <- words
+
+let set_events_done t k = t.events_done <- k
+
+let events_done t = t.events_done
 
 let sent t i = t.sent.(i)
 let received t i = t.received.(i)
@@ -51,7 +57,8 @@ let merge_into ~dst src =
     dst.bits.(i) <- dst.bits.(i) + src.bits.(i);
     dst.work.(i) <- dst.work.(i) + src.work.(i);
     dst.space_hw.(i) <- max dst.space_hw.(i) src.space_hw.(i)
-  done
+  done;
+  dst.events_done <- dst.events_done + src.events_done
 
 let pp ppf t =
   Format.fprintf ppf "proc  sent  recv      bits      work    space@.";
@@ -59,5 +66,7 @@ let pp ppf t =
     Format.fprintf ppf "%4d %5d %5d %9d %9d %8d@." i t.sent.(i) t.received.(i)
       t.bits.(i) t.work.(i) t.space_hw.(i)
   done;
-  Format.fprintf ppf "total sent=%d bits=%d work=%d max-work=%d max-space=%d"
+  Format.fprintf ppf
+    "total sent=%d bits=%d work=%d max-work=%d max-space=%d events=%d"
     (total_sent t) (total_bits t) (total_work t) (max_work t) (max_space t)
+    t.events_done

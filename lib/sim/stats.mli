@@ -35,6 +35,12 @@ val space : t -> proc:int -> int -> unit
 (** Report current buffer usage in words; the high-water mark is
     kept. *)
 
+val set_events_done : t -> int -> unit
+(** Recorded by the engine at the end of a run: total simulation events
+    dispatched. *)
+
+val events_done : t -> int
+
 (** {2 Per-process readings} *)
 
 val sent : t -> int -> int

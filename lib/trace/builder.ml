@@ -1,10 +1,16 @@
 type msg = { msg_id : int; msg_dst : int; mutable received : bool }
 
+(* Growable per-process rows: ops.(i) holds ops_len.(i) events, pred.(i)
+   holds pred_len.(i) = ops_len.(i) + 1 state flags. Appends are
+   amortised O(1) with no per-event list cells, and set_pred overwrites
+   in place — the builder allocates nothing per event beyond the op
+   itself. *)
 type t = {
   n : int;
-  rev_ops : Computation.op list array;
-  rev_pred : bool list array;
-  (* Head of rev_pred.(i) is the current state's flag. *)
+  ops : Computation.op array array;
+  ops_len : int array;
+  pred : bool array array;
+  pred_len : int array;
   mutable next_msg : int;
 }
 
@@ -12,8 +18,10 @@ let create ~n =
   if n <= 0 then invalid_arg "Builder.create: n must be positive";
   {
     n;
-    rev_ops = Array.make n [];
-    rev_pred = Array.make n [ false ];
+    ops = Array.make n [||];
+    ops_len = Array.make n 0;
+    pred = Array.init n (fun _ -> Array.make 8 false);
+    pred_len = Array.make n 1;
     next_msg = 0;
   }
 
@@ -21,14 +29,34 @@ let check_proc t p ~what =
   if p < 0 || p >= t.n then
     invalid_arg (Printf.sprintf "Builder.%s: no process %d" what p)
 
+let push_op t i op =
+  let len = t.ops_len.(i) in
+  let row = t.ops.(i) in
+  if len = Array.length row then begin
+    let fresh = Array.make (max 8 (2 * len)) op in
+    Array.blit row 0 fresh 0 len;
+    t.ops.(i) <- fresh
+  end;
+  t.ops.(i).(len) <- op;
+  t.ops_len.(i) <- len + 1;
+  (* New state, predicate false until set_pred says otherwise. *)
+  let plen = t.pred_len.(i) in
+  let prow = t.pred.(i) in
+  if plen = Array.length prow then begin
+    let fresh = Array.make (2 * plen) false in
+    Array.blit prow 0 fresh 0 plen;
+    t.pred.(i) <- fresh
+  end;
+  t.pred.(i).(plen) <- false;
+  t.pred_len.(i) <- plen + 1
+
 let send t ~src ~dst =
   check_proc t src ~what:"send";
   check_proc t dst ~what:"send";
   if src = dst then invalid_arg "Builder.send: self-send";
   let id = t.next_msg in
   t.next_msg <- id + 1;
-  t.rev_ops.(src) <- Computation.Send { dst; msg = id } :: t.rev_ops.(src);
-  t.rev_pred.(src) <- false :: t.rev_pred.(src);
+  push_op t src (Computation.Send { dst; msg = id });
   { msg_id = id; msg_dst = dst; received = false }
 
 let recv t ~dst m =
@@ -39,22 +67,19 @@ let recv t ~dst m =
       (Printf.sprintf "Builder.recv: message addressed to %d, not %d"
          m.msg_dst dst);
   m.received <- true;
-  t.rev_ops.(dst) <- Computation.Recv { msg = m.msg_id } :: t.rev_ops.(dst);
-  t.rev_pred.(dst) <- false :: t.rev_pred.(dst)
+  push_op t dst (Computation.Recv { msg = m.msg_id })
 
 let internal t ~proc = check_proc t proc ~what:"internal"
 
 let set_pred t ~proc v =
   check_proc t proc ~what:"set_pred";
-  match t.rev_pred.(proc) with
-  | _ :: rest -> t.rev_pred.(proc) <- v :: rest
-  | [] -> assert false
+  t.pred.(proc).(t.pred_len.(proc) - 1) <- v
 
 let current_state t ~proc =
   check_proc t proc ~what:"current_state";
-  List.length t.rev_pred.(proc)
+  t.pred_len.(proc)
 
 let finish t =
-  let ops = Array.map List.rev t.rev_ops in
-  let pred = Array.map (fun l -> Array.of_list (List.rev l)) t.rev_pred in
-  Computation.of_raw ~ops ~pred
+  let ops = Array.init t.n (fun i -> Array.sub t.ops.(i) 0 t.ops_len.(i)) in
+  let pred = Array.init t.n (fun i -> Array.sub t.pred.(i) 0 t.pred_len.(i)) in
+  Computation.of_arrays ~ops ~pred

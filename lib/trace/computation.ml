@@ -83,9 +83,11 @@ let replay ~n (ops : op array array) endpoints =
   let waiting_for : int option array = Array.make num_msgs None in
   let pos = Array.make n 0 in
   let clock = Array.init n (fun i -> Vector_clock.make ~n ~owner:i) in
-  (* vcs built backwards; state 1's clock is the initial clock. *)
-  let rev_vcs = Array.init n (fun i -> ref [ clock.(i) ]) in
-  let rev_deps = Array.init n (fun _ -> ref [ None ]) in
+  (* Final per-state tables, sized up front (state count = ops + 1);
+     slot 0 holds the initial clock, slot [p + 1] is written as the op
+     at position [p] executes. *)
+  let vcs = Array.init n (fun i -> Array.make (Array.length ops.(i) + 1) clock.(i)) in
+  let deps = Array.init n (fun i -> Array.make (Array.length ops.(i) + 1) None) in
   let queue = Queue.create () in
   Array.iteri (fun i _ -> Queue.add i queue) ops;
   let run i =
@@ -96,8 +98,7 @@ let replay ~n (ops : op array array) endpoints =
           msg_vc.(msg) <- Some clock.(i);
           msg_src_state.(msg) <- Vector_clock.get clock.(i) i;
           clock.(i) <- Vector_clock.tick clock.(i) ~owner:i;
-          rev_vcs.(i) := clock.(i) :: !(rev_vcs.(i));
-          rev_deps.(i) := None :: !(rev_deps.(i));
+          vcs.(i).(pos.(i) + 1) <- clock.(i);
           (match waiting_for.(msg) with
           | Some j ->
               waiting_for.(msg) <- None;
@@ -109,13 +110,17 @@ let replay ~n (ops : op array array) endpoints =
               waiting_for.(msg) <- Some i;
               blocked := true
           | Some sender_vc ->
-              clock.(i) <- Vector_clock.receive clock.(i) ~owner:i ~msg:sender_vc;
+              (* Fig. 2 receive rule via the in-place ops: one fresh
+                 array per state instead of one per step. *)
+              let v = Vector_clock.copy clock.(i) in
+              Vector_clock.merge_into ~into:v sender_vc;
+              Vector_clock.tick_into v ~owner:i;
+              clock.(i) <- v;
               msg_dst_state.(msg) <- Vector_clock.get clock.(i) i;
-              rev_vcs.(i) := clock.(i) :: !(rev_vcs.(i));
+              vcs.(i).(pos.(i) + 1) <- clock.(i);
               let src, _ = endpoints.(msg) in
-              rev_deps.(i) :=
-                Some Dependence.{ src; clock = msg_src_state.(msg) }
-                :: !(rev_deps.(i))));
+              deps.(i).(pos.(i) + 1) <-
+                Some Dependence.{ src; clock = msg_src_state.(msg) }));
       if not !blocked then pos.(i) <- pos.(i) + 1
     done
   in
@@ -127,8 +132,6 @@ let replay ~n (ops : op array array) endpoints =
       if p < Array.length ops.(i) then
         invalid "process %d blocked at event %d: causal cycle in trace" i p)
     pos;
-  let vcs = Array.map (fun r -> Array.of_list (List.rev !r)) rev_vcs in
-  let deps = Array.map (fun r -> Array.of_list (List.rev !r)) rev_deps in
   let messages =
     Array.mapi
       (fun id (src, dst) ->
@@ -143,12 +146,11 @@ let replay ~n (ops : op array array) endpoints =
   in
   (vcs, deps, messages)
 
-let of_raw ~ops ~pred =
+let of_arrays ~ops ~pred =
   let n = Array.length ops in
   if n = 0 then invalid "empty computation";
   if Array.length pred <> n then
     invalid "pred has %d rows for %d processes" (Array.length pred) n;
-  let ops = Array.map Array.of_list ops in
   Array.iteri
     (fun i row ->
       let expect = Array.length ops.(i) + 1 in
@@ -161,8 +163,10 @@ let of_raw ~ops ~pred =
   let max_events =
     Array.fold_left (fun acc o -> max acc (Array.length o)) 0 ops
   in
-  let pred = Array.map Array.copy pred in
   { n; ops; pred; messages; vcs; deps; max_events }
+
+let of_raw ~ops ~pred =
+  of_arrays ~ops:(Array.map Array.of_list ops) ~pred:(Array.map Array.copy pred)
 
 let n t = t.n
 
@@ -188,24 +192,34 @@ let pred t (s : State.t) =
   check_state t s;
   t.pred.(s.proc).(s.index - 1)
 
+let vc_unsafe t (s : State.t) = t.vcs.(s.proc).(s.index - 1)
+
 let vc t (s : State.t) =
   check_state t s;
-  t.vcs.(s.proc).(s.index - 1)
+  vc_unsafe t s
 
 let dep_at t (s : State.t) =
   check_state t s;
   t.deps.(s.proc).(s.index - 1)
 
+let happened_before_unsafe t (a : State.t) (b : State.t) =
+  if a.proc = b.proc then a.index < b.index
+  else Vector_clock.get (vc_unsafe t b) a.proc >= a.index
+
 let happened_before t (a : State.t) (b : State.t) =
   check_state t a;
   check_state t b;
-  if a.proc = b.proc then a.index < b.index
-  else Vector_clock.get (vc t b) a.proc >= a.index
+  happened_before_unsafe t a b
+
+let concurrent_unsafe t a b =
+  (not (State.equal a b))
+  && (not (happened_before_unsafe t a b))
+  && not (happened_before_unsafe t b a)
 
 let concurrent t a b =
-  (not (State.equal a b))
-  && (not (happened_before t a b))
-  && not (happened_before t b a)
+  check_state t a;
+  check_state t b;
+  concurrent_unsafe t a b
 
 let candidates t i =
   let states = num_states t i in

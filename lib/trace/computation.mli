@@ -46,6 +46,12 @@ val of_raw : ops:op list array -> pred:bool array array -> t
     truth value per state.
     @raise Invalid if the run is not a valid computation. *)
 
+val of_arrays : ops:op array array -> pred:bool array array -> t
+(** Like {!of_raw} but from per-process event {e arrays}, which the
+    computation takes ownership of — the caller must not mutate them
+    afterwards. The allocation-lean entry point used by
+    {!Builder.finish}; [of_raw] is a copying wrapper around it. *)
+
 val n : t -> int
 (** Number of processes. *)
 
@@ -80,6 +86,20 @@ val concurrent : t -> State.t -> State.t -> bool
 (** Neither state happened before the other. States of the same
     process are never concurrent (unless equal, which is also not
     concurrent). *)
+
+(** {2 Unchecked variants}
+
+    Same answers as {!vc} / {!happened_before} / {!concurrent} but
+    without re-validating that the states exist. For inner loops that
+    query many states already known to be in range (e.g. the executable
+    Lemma 3.1 / 4.2 invariant checks, which run per token hop).
+    Out-of-range states are undefined behaviour (array bounds aside). *)
+
+val vc_unsafe : t -> State.t -> Vector_clock.t
+
+val happened_before_unsafe : t -> State.t -> State.t -> bool
+
+val concurrent_unsafe : t -> State.t -> State.t -> bool
 
 val candidates : t -> int -> int list
 (** Indices of process [i]'s states whose local predicate is true —

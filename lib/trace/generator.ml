@@ -20,22 +20,26 @@ let random ?(params = default_params) ~seed () =
     Builder.set_pred b ~proc:i (Rng.bernoulli rng p_pred)
   done;
   let sends_left = Array.make n sends_per_process in
-  (* pending.(i): messages in flight toward process i. An array-backed
-     bag so a uniformly random (non-FIFO) element can be consumed. *)
-  let pending = Array.make n [] in
+  (* pending.(i): messages in flight toward process i, newest last — an
+     array-backed bag so drawing the k-th-newest element allocates
+     nothing (the list version consed O(k) cells per receive, the
+     single largest allocation in big sweeps). *)
+  let pending = Array.make n [||] in
   let pending_count = Array.make n 0 in
   let total_pending = ref 0 in
   let total_sends = ref (n * sends_per_process) in
   let receive_on i =
     let k = Rng.int rng pending_count.(i) in
-    let rec take acc j = function
-      | [] -> assert false
-      | m :: rest ->
-          if j = k then (m, List.rev_append acc rest) else take (m :: acc) (j + 1) rest
-    in
-    let m, rest = take [] 0 pending.(i) in
-    pending.(i) <- rest;
-    pending_count.(i) <- pending_count.(i) - 1;
+    let arr = pending.(i) in
+    let c = pending_count.(i) in
+    (* k counts from the newest (the historical list order); shift the
+       suffix down to preserve the remaining order exactly. *)
+    let j = c - 1 - k in
+    let m = arr.(j) in
+    for t = j to c - 2 do
+      arr.(t) <- arr.(t + 1)
+    done;
+    pending_count.(i) <- c - 1;
     decr total_pending;
     Builder.recv b ~dst:i m;
     Builder.set_pred b ~proc:i (Rng.bernoulli rng p_pred)
@@ -46,8 +50,14 @@ let random ?(params = default_params) ~seed () =
       if d >= i then d + 1 else d
     in
     let m = Builder.send b ~src:i ~dst in
-    pending.(dst) <- m :: pending.(dst);
-    pending_count.(dst) <- pending_count.(dst) + 1;
+    let c = pending_count.(dst) in
+    if c = Array.length pending.(dst) then begin
+      let fresh = Array.make (max 8 (2 * c)) m in
+      Array.blit pending.(dst) 0 fresh 0 c;
+      pending.(dst) <- fresh
+    end;
+    pending.(dst).(c) <- m;
+    pending_count.(dst) <- c + 1;
     incr total_pending;
     sends_left.(i) <- sends_left.(i) - 1;
     decr total_sends;

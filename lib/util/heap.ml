@@ -74,3 +74,109 @@ let to_sorted_list t =
     match pop copy with None -> List.rev acc | Some x -> drain (x :: acc)
   in
   drain []
+
+(* ------------------------------------------------------------------ *)
+
+module Flat = struct
+  (* Struct-of-arrays min-heap keyed on (at, seq). Keys live in an
+     unboxed float array and a plain int array, so a push allocates
+     nothing and key comparisons never touch a closure or a boxed
+     float — unlike the generic heap above, whose (float, int, payload)
+     records cost ~10 words per event in the discrete-event engine. *)
+
+  type 'a t = {
+    mutable at : float array;
+    mutable seq : int array;
+    mutable payload : 'a array;
+    mutable size : int;
+  }
+
+  let create () = { at = [||]; seq = [||]; payload = [||]; size = 0 }
+
+  let length t = t.size
+
+  let is_empty t = t.size = 0
+
+  (* [x] seeds the payload array so no dummy element is needed. *)
+  let grow t x =
+    let capacity = Array.length t.seq in
+    if t.size = capacity then begin
+      let cap = max 8 (2 * capacity) in
+      let at = Array.make cap 0.0 in
+      let seq = Array.make cap 0 in
+      let payload = Array.make cap x in
+      Array.blit t.at 0 at 0 t.size;
+      Array.blit t.seq 0 seq 0 t.size;
+      Array.blit t.payload 0 payload 0 t.size;
+      t.at <- at;
+      t.seq <- seq;
+      t.payload <- payload
+    end
+
+  let[@inline] less t i j =
+    t.at.(i) < t.at.(j) || (t.at.(i) = t.at.(j) && t.seq.(i) < t.seq.(j))
+
+  let[@inline] swap t i j =
+    let a = t.at.(i) in
+    t.at.(i) <- t.at.(j);
+    t.at.(j) <- a;
+    let s = t.seq.(i) in
+    t.seq.(i) <- t.seq.(j);
+    t.seq.(j) <- s;
+    let p = t.payload.(i) in
+    t.payload.(i) <- t.payload.(j);
+    t.payload.(j) <- p
+
+  let rec sift_up t i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if less t i parent then begin
+        swap t i parent;
+        sift_up t parent
+      end
+    end
+
+  let rec sift_down t i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = ref i in
+    if l < t.size && less t l !smallest then smallest := l;
+    if r < t.size && less t r !smallest then smallest := r;
+    if !smallest <> i then begin
+      swap t i !smallest;
+      sift_down t !smallest
+    end
+
+  let add t ~at ~seq x =
+    grow t x;
+    let i = t.size in
+    t.at.(i) <- at;
+    t.seq.(i) <- seq;
+    t.payload.(i) <- x;
+    t.size <- i + 1;
+    sift_up t i
+
+  let min_at t =
+    if t.size = 0 then invalid_arg "Heap.Flat.min_at: empty";
+    t.at.(0)
+
+  let pop_exn t =
+    if t.size = 0 then invalid_arg "Heap.Flat.pop_exn: empty";
+    let top = t.payload.(0) in
+    let last = t.size - 1 in
+    t.size <- last;
+    if last > 0 then begin
+      t.at.(0) <- t.at.(last);
+      t.seq.(0) <- t.seq.(last);
+      t.payload.(0) <- t.payload.(last);
+      sift_down t 0
+    end;
+    (* The vacated slot keeps one stale reference until overwritten by
+       a later add — same transient behaviour as the generic heap. *)
+    top
+
+  let clear t =
+    t.at <- [||];
+    t.seq <- [||];
+    t.payload <- [||];
+    t.size <- 0
+end

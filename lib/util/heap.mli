@@ -27,3 +27,30 @@ val clear : 'a t -> unit
 
 val to_sorted_list : 'a t -> 'a list
 (** Non-destructive: all elements in ascending order. O(k log k). *)
+
+(** Struct-of-arrays min-heap specialised to [(at, seq)] keys — the
+    discrete-event engine's event queue. Keys are stored in an unboxed
+    float array and an int array, so [add] allocates nothing beyond
+    occasional capacity doubling and comparisons involve no closure or
+    boxed float. Ties on [at] break toward the smaller [seq]. *)
+module Flat : sig
+  type 'a t
+
+  val create : unit -> 'a t
+
+  val length : 'a t -> int
+
+  val is_empty : 'a t -> bool
+
+  val add : 'a t -> at:float -> seq:int -> 'a -> unit
+
+  val min_at : 'a t -> float
+  (** Key of the smallest element.
+      @raise Invalid_argument when empty. *)
+
+  val pop_exn : 'a t -> 'a
+  (** Remove and return the payload of the smallest element.
+      @raise Invalid_argument when empty. *)
+
+  val clear : 'a t -> unit
+end

@@ -1,0 +1,23 @@
+(** Deterministic parallel map over OCaml 5 domains.
+
+    A fixed pool of domains claims work items from a shared counter;
+    result [i] always comes from input [i], so for a pure function the
+    output is identical whatever the domain count (including 1, which
+    runs entirely in the calling domain). Used by the bench harness to
+    fan independent simulation runs out across cores while keeping the
+    emitted metrics byte-identical to a sequential sweep.
+
+    [f] must not rely on domain-local state and the calls must be
+    independent: items run concurrently in unspecified order. If any
+    call raises, the first such exception (by input index) is re-raised
+    after all domains have drained. *)
+
+val default_domains : unit -> int
+(** [WCP_DOMAINS] from the environment if set (must be a positive
+    integer), else {!Domain.recommended_domain_count}. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~domains f xs] with [domains] defaulting to
+    {!default_domains}. The pool never exceeds [Array.length xs]. *)
+
+val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -1,38 +1,135 @@
-type t = { mutable state : int64 }
+(* SplitMix64, implemented on native ints as two 32-bit halves.
 
-let golden_gamma = 0x9E3779B97F4A7C15L
+   The obvious implementation (Int64 arithmetic) boxes every
+   intermediate on non-flambda compilers, which made the generator the
+   single largest allocator in the whole simulator (~60% of all bytes
+   in a bench sweep). The (lo, hi) split below performs the exact same
+   64-bit arithmetic — the output stream is bit-for-bit identical to
+   the Int64 version, which the golden corpus and cram suites pin —
+   with zero allocation per draw.
 
-let create seed = { state = seed }
+   Invariant: [lo] and [hi] always hold values in [0, 2^32). *)
 
-let copy t = { state = t.state }
+type t = {
+  mutable lo : int;
+  mutable hi : int;
+  (* Output halves of the last [next] call; scratch space so the mixing
+     function can "return" two values without allocating a tuple. *)
+  mutable out_lo : int;
+  mutable out_hi : int;
+}
 
-(* SplitMix64 output function: advance by the golden gamma, then mix. *)
+let mask32 = 0xFFFFFFFF
+
+(* gamma = 0x9E3779B97F4A7C15, c1 = 0xBF58476D1CE4E5B9,
+   c2 = 0x94D049BB133111EB: the SplitMix64 constants, split in half. *)
+let gamma_lo = 0x7F4A7C15
+let gamma_hi = 0x9E3779B9
+let c1_lo = 0x1CE4E5B9
+let c1_hi = 0xBF58476D
+let c2_lo = 0x133111EB
+let c2_hi = 0x94D049BB
+
+let create seed =
+  {
+    lo = Int64.to_int (Int64.logand seed 0xFFFFFFFFL);
+    hi = Int64.to_int (Int64.logand (Int64.shift_right_logical seed 32) 0xFFFFFFFFL);
+    out_lo = 0;
+    out_hi = 0;
+  }
+
+let copy t = { lo = t.lo; hi = t.hi; out_lo = t.out_lo; out_hi = t.out_hi }
+
+(* (a * b) mod 2^32 for a, b in [0, 2^32). The partial products stay
+   under 2^49, far inside the 63-bit native range; the lsl 16 may spill
+   past bit 62 but only bits below 32 survive the mask. *)
+let[@inline] mul_lo32 a b =
+  ((a * (b land 0xFFFF)) + ((a * (b lsr 16)) lsl 16)) land mask32
+
+(* Full 64-bit product (a * b) mod 2^64 of a = ah·2^32 + al and
+   b = bh·2^32 + bl, written to [t.out_lo] / [t.out_hi]. The low 32×32
+   product is computed in 16-bit limbs so no intermediate exceeds
+   2^33. *)
+let[@inline] mul64 t al ah bl bh =
+  let a0 = al land 0xFFFF and a1 = al lsr 16 in
+  let b0 = bl land 0xFFFF and b1 = bl lsr 16 in
+  let p0 = a0 * b0 in
+  let p1 = (a1 * b0) + (p0 lsr 16) in
+  let p2 = (a0 * b1) + (p1 land 0xFFFF) in
+  let lo = ((p2 land 0xFFFF) lsl 16) lor (p0 land 0xFFFF) in
+  let carry = (a1 * b1) + (p1 lsr 16) + (p2 lsr 16) in
+  t.out_lo <- lo;
+  t.out_hi <- (carry + mul_lo32 al bh + mul_lo32 ah bl) land mask32
+
+(* Advance by the golden gamma, then mix; leaves z in out_lo/out_hi. *)
+let next t =
+  let lo = t.lo + gamma_lo in
+  let hi = (t.hi + gamma_hi + (lo lsr 32)) land mask32 in
+  let lo = lo land mask32 in
+  t.lo <- lo;
+  t.hi <- hi;
+  (* z ^= z >>> 30 *)
+  let zl = lo lxor ((lo lsr 30) lor ((hi land 0x3FFFFFFF) lsl 2)) in
+  let zh = hi lxor (hi lsr 30) in
+  mul64 t zl zh c1_lo c1_hi;
+  (* z ^= z >>> 27 *)
+  let zl = t.out_lo and zh = t.out_hi in
+  let zl = zl lxor ((zl lsr 27) lor ((zh land 0x7FFFFFF) lsl 5)) in
+  let zh = zh lxor (zh lsr 27) in
+  mul64 t zl zh c2_lo c2_hi;
+  (* z ^= z >>> 31 *)
+  let zl = t.out_lo and zh = t.out_hi in
+  t.out_lo <- zl lxor ((zl lsr 31) lor ((zh land 0x7FFFFFFF) lsl 1));
+  t.out_hi <- zh lxor (zh lsr 31)
+
 let next_int64 t =
-  t.state <- Int64.add t.state golden_gamma;
-  let z = t.state in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
-  Int64.logxor z (Int64.shift_right_logical z 31)
+  next t;
+  Int64.logor
+    (Int64.shift_left (Int64.of_int t.out_hi) 32)
+    (Int64.of_int t.out_lo)
 
-let split t =
-  let seed = next_int64 t in
-  create seed
+let split t = create (next_int64 t)
 
 let int t bound =
   assert (bound > 0);
-  let mask = Int64.shift_right_logical (next_int64 t) 1 in
-  Int64.to_int (Int64.rem mask (Int64.of_int bound))
+  next t;
+  (* mask = z >>> 1, a 63-bit value: hi·2^31 + (lo >>> 1). *)
+  if bound < 0x40000000 then
+    (* Reduce without materialising the 63-bit value (it can exceed
+       [max_int]): (hi·2^31 + w) mod b, with every product < 2^62. *)
+    ((t.out_hi mod bound) * (0x80000000 mod bound) + ((t.out_lo lsr 1) mod bound))
+    mod bound
+  else
+    (* Rare large-bound path; keep the exact Int64 semantics. *)
+    let z =
+      Int64.logor
+        (Int64.shift_left (Int64.of_int t.out_hi) 32)
+        (Int64.of_int t.out_lo)
+    in
+    Int64.to_int
+      (Int64.rem (Int64.shift_right_logical z 1) (Int64.of_int bound))
+
+(* bits = z >>> 11, a 53-bit value that fits a native int exactly. *)
+let[@inline] bits53 t = (t.out_hi lsl 21) lor (t.out_lo lsr 11)
+
+let two53 = 9007199254740992.0
 
 let float t bound =
-  let bits = Int64.shift_right_logical (next_int64 t) 11 in
-  Int64.to_float bits /. 9007199254740992.0 *. bound
+  next t;
+  float_of_int (bits53 t) /. two53 *. bound
 
-let bool t = Int64.logand (next_int64 t) 1L = 1L
+let bool t =
+  next t;
+  t.out_lo land 1 = 1
 
-let bernoulli t p = float t 1.0 < p
+let bernoulli t p =
+  next t;
+  (* Same value as [float t 1.0 < p], without the boxed return. *)
+  float_of_int (bits53 t) /. two53 < p
 
 let exponential t ~mean =
-  let u = float t 1.0 in
+  next t;
+  let u = float_of_int (bits53 t) /. two53 in
   (* Avoid log 0. *)
   let u = if u <= 0.0 then 1e-300 else u in
   -.mean *. log u

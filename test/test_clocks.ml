@@ -119,6 +119,39 @@ let prop_tick_strictly_increases =
       let a = Vector_clock.of_array a in
       Vector_clock.lt a (Vector_clock.tick a ~owner:2))
 
+(* The in-place operations must agree with their pure counterparts on
+   arbitrary clocks — they are the engine-room versions the replay and
+   token algorithms rely on. *)
+let prop_tick_into_agrees =
+  qtest "tick_into = tick"
+    QCheck2.Gen.(pair (gen_vc 5) (int_range 0 4))
+    (fun (a, owner) ->
+      let pure = Vector_clock.tick (Vector_clock.of_array a) ~owner in
+      let inplace = Vector_clock.copy (Vector_clock.of_array a) in
+      Vector_clock.tick_into inplace ~owner;
+      Vector_clock.equal pure inplace)
+
+let prop_merge_into_agrees =
+  qtest "merge_into = merge"
+    QCheck2.Gen.(pair (gen_vc 5) (gen_vc 5))
+    (fun (a, b) ->
+      let a = Vector_clock.of_array a and b = Vector_clock.of_array b in
+      let pure = Vector_clock.merge a b in
+      let into = Vector_clock.copy a in
+      Vector_clock.merge_into ~into b;
+      (* [b] must be untouched and the merge exact. *)
+      Vector_clock.equal pure into
+      && Vector_clock.equal b (Vector_clock.of_array (Vector_clock.to_array b)))
+
+let prop_copy_independent =
+  qtest "copy is independent of the original" (gen_vc 5) (fun a ->
+      let orig = Vector_clock.of_array a in
+      let snapshot = Vector_clock.to_array orig in
+      let c = Vector_clock.copy orig in
+      Vector_clock.tick_into c ~owner:0;
+      Vector_clock.merge_into ~into:c orig;
+      snapshot = Vector_clock.to_array orig)
+
 (* ------------------------------------------------------------------ *)
 (* Dependence accumulator                                              *)
 (* ------------------------------------------------------------------ *)
@@ -166,6 +199,9 @@ let () =
           prop_merge_upper_bound;
           prop_merge_least;
           prop_tick_strictly_increases;
+          prop_tick_into_agrees;
+          prop_merge_into_agrees;
+          prop_copy_independent;
         ] );
       ( "dependence",
         [

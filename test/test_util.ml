@@ -189,6 +189,77 @@ let test_heap_custom_order () =
   List.iter (Heap.add h) [ 1; 5; 3 ];
   Alcotest.(check (option int)) "max-heap" (Some 5) (Heap.peek h)
 
+(* ------------------------------------------------------------------ *)
+(* Flat (struct-of-arrays) heap                                        *)
+(* ------------------------------------------------------------------ *)
+
+let prop_flat_heap_sorts =
+  qtest "flat heap drains keys in order, FIFO on ties"
+    QCheck2.Gen.(list_size (int_range 0 200) (int_range 0 20))
+    (fun keys ->
+      let h = Heap.Flat.create () in
+      List.iteri
+        (fun seq k -> Heap.Flat.add h ~at:(float_of_int k) ~seq (seq, k))
+        keys;
+      (* Drain; check keys ascend and equal keys come out in insertion
+         order (the engine's determinism depends on this). *)
+      let ok = ref true in
+      let last_at = ref neg_infinity and last_seq = ref (-1) in
+      while not (Heap.Flat.is_empty h) do
+        let at = Heap.Flat.min_at h in
+        let seq, k = Heap.Flat.pop_exn h in
+        if float_of_int k <> at then ok := false;
+        if at < !last_at then ok := false;
+        if at = !last_at && seq < !last_seq then ok := false;
+        last_at := at;
+        last_seq := seq
+      done;
+      !ok)
+
+let test_flat_heap_clear () =
+  let h = Heap.Flat.create () in
+  Heap.Flat.add h ~at:1.0 ~seq:0 "x";
+  Heap.Flat.clear h;
+  Alcotest.(check bool) "cleared" true (Heap.Flat.is_empty h);
+  Alcotest.(check int) "length" 0 (Heap.Flat.length h)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel map                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let collatz_len n0 =
+  let rec go n acc =
+    if n <= 1 then acc
+    else go (if n mod 2 = 0 then n / 2 else (3 * n) + 1) (acc + 1)
+  in
+  go (max 1 n0) 0
+
+let prop_parallel_map_deterministic =
+  qtest ~count:50 "Parallel.map = Array.map at every domain count"
+    QCheck2.Gen.(pair (array_size (int_range 0 40) (int_range 0 10_000))
+                   (int_range 1 8))
+    (fun (xs, domains) ->
+      let expected = Array.map collatz_len xs in
+      Parallel.map ~domains collatz_len xs = expected)
+
+let test_parallel_map_list () =
+  Alcotest.(check (list int)) "map_list keeps order"
+    [ 2; 4; 6; 8 ]
+    (Parallel.map_list ~domains:3 (fun x -> 2 * x) [ 1; 2; 3; 4 ])
+
+let test_parallel_exception () =
+  match
+    Parallel.map ~domains:4
+      (fun x -> if x = 7 then failwith "boom" else x)
+      [| 1; 2; 7; 4; 5 |]
+  with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Failure m -> Alcotest.(check string) "first error wins" "boom" m
+
+let test_parallel_empty () =
+  Alcotest.(check int) "empty input" 0
+    (Array.length (Parallel.map ~domains:4 (fun x -> x) [||]))
+
 let () =
   Alcotest.run "util"
     [
@@ -219,5 +290,15 @@ let () =
           Alcotest.test_case "custom order" `Quick test_heap_custom_order;
           prop_heap_sorts;
           prop_heap_interleaved;
+          prop_flat_heap_sorts;
+          Alcotest.test_case "flat clear" `Quick test_flat_heap_clear;
+        ] );
+      ( "parallel",
+        [
+          prop_parallel_map_deterministic;
+          Alcotest.test_case "map_list order" `Quick test_parallel_map_list;
+          Alcotest.test_case "exception propagates" `Quick
+            test_parallel_exception;
+          Alcotest.test_case "empty" `Quick test_parallel_empty;
         ] );
     ]
