@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench tables bench-json perf-check examples clean
+.PHONY: all build test bench tables bench-json perf-check chaos-soak examples clean
 
 # Committed machine-readable baseline (see EXPERIMENTS.md).
 BENCH_BASELINE ?= BENCH_1.json
@@ -28,6 +28,12 @@ bench-json:
 # the committed baseline, or wall time regressed > 20% per experiment.
 perf-check:
 	dune exec bench/main.exe -- perf-check $(BENCH_BASELINE)
+
+# Full chaos matrix (drop rate x size x seed, token-vc + token-dd vs
+# the fault-free oracle). A bounded smoke of the same test always runs
+# inside `make test`; this target unlocks the whole sweep.
+chaos-soak:
+	WCP_CHAOS_SOAK=1 dune exec test/test_soak.exe -- test chaos
 
 examples:
 	@for e in quickstart mutual_exclusion database_locks \

@@ -252,7 +252,7 @@ end
 (* ------------------------------------------------------------------ *)
 
 type job = {
-  experiment : string;  (* "E1".."E8" *)
+  experiment : string;  (* "E1".."E9" *)
   algo : string;
   n : int;
   m : int;  (* sends per process (adversary: its m parameter) *)
@@ -275,6 +275,11 @@ type metrics = {
   bits : int;
   events : int;
   sim_time : float;
+  (* Fault-recovery work; zero everywhere outside E9. *)
+  retransmits : int;
+  dups_suppressed : int;
+  net_dropped : int;
+  net_duplicated : int;
   (* Machine-dependent; excluded from determinism comparisons. *)
   wall_ns : int;
   alloc_bytes : int;
@@ -323,13 +328,25 @@ let run_job job =
       in
       let spec = spec_for job comp in
       let seed = Int64.of_int job.seed in
+      (* E9 runs under chaos: drop rate param%, duplication at half the
+         drop rate, fault stream seeded by the job seed. *)
+      let fault =
+        if job.experiment = "E9" then
+          Some
+            (Wcp_sim.Fault.uniform ~seed
+               ~drop:(float_of_int job.param /. 100.0)
+               ~dup:(float_of_int job.param /. 200.0)
+               ())
+        else None
+      in
       let r =
         match job.algo with
-        | "token-vc" -> Token_vc.detect ~seed comp spec
-        | "token-dd" -> Token_dd.detect ~seed comp spec
-        | "token-dd-par" -> Token_dd.detect ~parallel:true ~seed comp spec
+        | "token-vc" -> Token_vc.detect ?fault ~seed comp spec
+        | "token-dd" -> Token_dd.detect ?fault ~seed comp spec
+        | "token-dd-par" ->
+            Token_dd.detect ?fault ~parallel:true ~seed comp spec
         | "token-multi" ->
-            Token_multi.detect ~groups:job.param ~seed comp spec
+            Token_multi.detect ?fault ~groups:job.param ~seed comp spec
         | "checker" -> Checker_centralized.detect ~seed comp spec
         | a -> invalid_arg ("Bench_json.run_job: unknown algo " ^ a)
       in
@@ -354,6 +371,10 @@ let run_job job =
         bits = 0;
         events = rounds;
         sim_time = 0.0;
+        retransmits = 0;
+        dups_suppressed = 0;
+        net_dropped = 0;
+        net_duplicated = 0;
         wall_ns;
         alloc_bytes;
       }
@@ -363,7 +384,8 @@ let run_job job =
         outcome =
           (match r.Detection.outcome with
           | Detection.Detected _ -> "detected"
-          | Detection.No_detection -> "none");
+          | Detection.No_detection -> "none"
+          | Detection.Undetectable_crashed _ -> "undetectable");
         states = Computation.total_states comp;
         hops = r.extras.Detection.token_hops;
         polls = r.extras.Detection.polls;
@@ -375,6 +397,10 @@ let run_job job =
         bits = Wcp_sim.Stats.total_bits r.stats;
         events = r.events;
         sim_time = r.sim_time;
+        retransmits = Wcp_sim.Stats.total_retransmits r.stats;
+        dups_suppressed = Wcp_sim.Stats.total_dups_suppressed r.stats;
+        net_dropped = Wcp_sim.Stats.net_dropped r.stats;
+        net_duplicated = Wcp_sim.Stats.net_duplicated r.stats;
         wall_ns;
         alloc_bytes;
       }
@@ -406,6 +432,8 @@ let jobs = function
         job "E3" "token-multi" ~n:8 ~m:8 ~p_pred:0.25 ~param:2 ~seed:1 ();
         job "E4" "token-dd" ~n:8 ~m:10 ~p_pred:0.05 ~seed:1 ();
         job "E8" "token-dd-par" ~n:8 ~m:10 ~p_pred:0.05 ~seed:1 ();
+        job "E9" "token-vc" ~n:8 ~m:10 ~param:20 ~seed:1 ();
+        job "E9" "token-dd" ~n:8 ~m:10 ~param:20 ~seed:1 ();
       ]
   | Full ->
       let sweep f xs = List.concat_map f xs in
@@ -452,6 +480,14 @@ let jobs = function
                     job "E8" algo ~n ~m:10 ~p_pred:0.05 ~seed ()))
               [ "token-dd"; "token-dd-par" ])
           [ 4; 8; 16; 32 ]
+      @ sweep
+          (fun drop_pct ->
+            sweep
+              (fun algo ->
+                per_seed (fun seed ->
+                    job "E9" algo ~n:8 ~m:10 ~param:drop_pct ~seed ()))
+              [ "token-vc"; "token-dd" ])
+          [ 10; 20; 30 ]
 
 let run ?domains profile =
   let js = Array.of_list (jobs profile) in
@@ -461,7 +497,7 @@ let run ?domains profile =
 (* Serialisation                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let schema = "wcp-bench/1"
+let schema = "wcp-bench/2"
 
 let metrics_to_json r =
   Json.Obj
@@ -485,6 +521,10 @@ let metrics_to_json r =
       ("bits", Json.Int r.bits);
       ("events", Json.Int r.events);
       ("sim_time", Json.Float r.sim_time);
+      ("retransmits", Json.Int r.retransmits);
+      ("dups_suppressed", Json.Int r.dups_suppressed);
+      ("net_dropped", Json.Int r.net_dropped);
+      ("net_duplicated", Json.Int r.net_duplicated);
       ("wall_ns", Json.Int r.wall_ns);
       ("alloc_bytes", Json.Int r.alloc_bytes);
     ]
@@ -514,6 +554,10 @@ let metrics_of_json j =
     bits = to_int (member "bits" j);
     events = to_int (member "events" j);
     sim_time = to_float (member "sim_time" j);
+    retransmits = to_int (member "retransmits" j);
+    dups_suppressed = to_int (member "dups_suppressed" j);
+    net_dropped = to_int (member "net_dropped" j);
+    net_duplicated = to_int (member "net_duplicated" j);
     wall_ns = to_int (member "wall_ns" j);
     alloc_bytes = to_int (member "alloc_bytes" j);
   }

@@ -1,6 +1,6 @@
 (** Machine-readable benchmark harness.
 
-    Runs the E1-E8 experiment sweeps as independent jobs (fanned out
+    Runs the E1-E9 experiment sweeps as independent jobs (fanned out
     over domains with {!Wcp_util.Parallel}), records one metrics record
     per job, and serialises the lot as a stable JSON document suitable
     for committing as a regression baseline (see [BENCH_1.json] and
@@ -35,7 +35,7 @@ module Json : sig
 end
 
 type job = {
-  experiment : string;  (** "E1".."E8" *)
+  experiment : string;  (** "E1".."E9" *)
   algo : string;
       (** "token-vc", "token-dd", "token-dd-par", "token-multi",
           "checker", "adversary" *)
@@ -43,7 +43,7 @@ type job = {
   m : int;
   p_pred : float;
   seed : int;
-  param : int;  (** groups (E3), spec width (E5), else 0 *)
+  param : int;  (** groups (E3), spec width (E5), drop %% (E9), else 0 *)
 }
 
 type metrics = {
@@ -60,6 +60,10 @@ type metrics = {
   bits : int;
   events : int;
   sim_time : float;
+  retransmits : int;  (** transport recovery (E9; zero elsewhere) *)
+  dups_suppressed : int;
+  net_dropped : int;
+  net_duplicated : int;
   wall_ns : int;  (** machine-dependent *)
   alloc_bytes : int;  (** machine-dependent (GC promotion noise) *)
 }
@@ -80,7 +84,8 @@ val run : ?domains:int -> profile -> metrics array
     deterministic metric fields do not depend on [domains]. *)
 
 val schema : string
-(** Document schema tag, ["wcp-bench/1"]. *)
+(** Document schema tag, ["wcp-bench/2"] (v2 added the fault-recovery
+    counters). *)
 
 val emit : profile:profile -> metrics array -> string
 (** JSON document, one result record per line. *)

@@ -1,12 +1,12 @@
 (* Reproduction harness: regenerates every evaluation artefact of
    Garg & Chase (ICDCS 1995). The paper is analytical, so each
    "table" here is a measured check of a §3.4 / §4.4 / §5 complexity
-   claim (see DESIGN.md §4 for the experiment index E1-E9 and
+   claim (see DESIGN.md §4 for the experiment index E1-E13 and
    EXPERIMENTS.md for paper-vs-measured commentary).
 
    Usage:  dune exec bench/main.exe            (all experiments + micro)
            dune exec bench/main.exe -- tables  (E1-E8 only)
-           dune exec bench/main.exe -- micro   (Bechamel E9 only)
+           dune exec bench/main.exe -- micro   (Bechamel E13 only)
 
    Machine-readable mode (see EXPERIMENTS.md and Bench_json):
            dune exec bench/main.exe -- json [--smoke] [--seq]
@@ -294,7 +294,8 @@ let e7 () =
     Printf.printf "%-22s %8s %8s %8s %8s %8s %8s\n" name
       (match expected with
       | Detection.Detected _ -> "detect"
-      | Detection.No_detection -> "none")
+      | Detection.No_detection -> "none"
+      | Detection.Undetectable_crashed _ -> "crash")
       (ok chk) (ok vc) (ok mu) (ok dd) (ok dp)
   in
   List.iter
@@ -452,11 +453,11 @@ let e12 () =
     [ 0; 5; 10; 15 ]
 
 (* ------------------------------------------------------------------ *)
-(* E9: Bechamel micro-benchmarks                                       *)
+(* E13: Bechamel micro-benchmarks                                      *)
 (* ------------------------------------------------------------------ *)
 
 let micro () =
-  header "E9  CPU micro-benchmarks (Bechamel)"
+  header "E13 CPU micro-benchmarks (Bechamel)"
     "wall-clock cost of one full detection run per algorithm (fixed workload)";
   let open Bechamel in
   let comp = random_comp ~n:8 ~m:12 ~p_pred:0.3 ~seed:5L in
@@ -564,7 +565,7 @@ let read_file f =
 let parse_file f =
   match Wcp_bench.Bench_json.parse_doc (read_file f) with
   | exception Wcp_bench.Bench_json.Json.Parse_error msg ->
-      Printf.eprintf "perf-check: %s is not a wcp-bench/1 document (%s)\n" f msg;
+      Printf.eprintf "perf-check: %s is not a wcp-bench document (%s)\n" f msg;
       exit 1
   | doc -> doc
 

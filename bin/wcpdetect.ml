@@ -64,6 +64,53 @@ let emit_trace out comp =
         (Array.length (Computation.messages comp))
 
 (* ------------------------------------------------------------------ *)
+(* Fault-plan arguments (shared by detect and chaos)                   *)
+(* ------------------------------------------------------------------ *)
+
+let drop_arg =
+  let doc = "Per-delivery message loss probability on every link." in
+  Arg.(value & opt float 0.0 & info [ "drop" ] ~docv:"P" ~doc)
+
+let dup_arg =
+  let doc = "Per-delivery message duplication probability on every link." in
+  Arg.(value & opt float 0.0 & info [ "dup" ] ~docv:"P" ~doc)
+
+let fault_seed_arg =
+  let doc = "Seed of the fault plan's private PRNG stream." in
+  Arg.(value & opt int64 0L & info [ "fault-seed" ] ~docv:"SEED" ~doc)
+
+let crash_arg =
+  let doc =
+    "Crash window ID@START or ID@START-END (engine process id: application \
+     process p is p, its monitor is N+p). Without -END the crash is \
+     permanent. Repeatable."
+  in
+  Arg.(value & opt_all string [] & info [ "crash" ] ~docv:"SPEC" ~doc)
+
+let parse_crash spec =
+  let fail () =
+    failwith (Printf.sprintf "bad --crash %S (want ID@START or ID@START-END)" spec)
+  in
+  match String.split_on_char '@' spec with
+  | [ id; times ] -> (
+      let proc = try int_of_string id with _ -> fail () in
+      match String.split_on_char '-' times with
+      | [ t ] ->
+          let from_t = try float_of_string t with _ -> fail () in
+          Fault.window ~kind:Fault.Crash ~proc ~from_t ()
+      | [ a; b ] ->
+          let from_t = try float_of_string a with _ -> fail () in
+          let until_t = try float_of_string b with _ -> fail () in
+          Fault.window ~kind:Fault.Crash ~proc ~from_t ~until_t ()
+      | _ -> fail ())
+  | _ -> fail ()
+
+let fault_plan ~drop ~dup ~crashes ~fault_seed =
+  let windows = List.map parse_crash crashes in
+  let plan = Fault.uniform ~seed:fault_seed ~drop ~dup ~windows () in
+  if Fault.is_none plan then None else Some plan
+
+(* ------------------------------------------------------------------ *)
 (* generate                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -197,13 +244,22 @@ let groups_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "per-process" ] ~doc:"Print per-process stats.")
 
-let run_algo algo ~groups ~seed comp spec =
+let run_algo ?fault algo ~groups ~seed comp spec =
+  (match (fault, algo) with
+  | Some _, (Checker | Oracle_a | Cm | Strong_a) ->
+      prerr_endline
+        "wcpdetect: fault injection is only supported for the token algorithms";
+      exit 2
+  | _ -> ());
   match algo with
-  | Vc -> Some (Token_vc.detect ~seed comp spec)
+  | Vc -> Some (Token_vc.detect ?fault ~seed comp spec)
   | Multi ->
-      Some (Token_multi.detect ~groups:(min groups (Spec.width spec)) ~seed comp spec)
-  | Dd -> Some (Token_dd.detect ~seed comp spec)
-  | Dd_par -> Some (Token_dd.detect ~parallel:true ~seed comp spec)
+      Some
+        (Token_multi.detect ?fault
+           ~groups:(min groups (Spec.width spec))
+           ~seed comp spec)
+  | Dd -> Some (Token_dd.detect ?fault ~seed comp spec)
+  | Dd_par -> Some (Token_dd.detect ?fault ~parallel:true ~seed comp spec)
   | Checker -> Some (Checker_centralized.detect ~seed comp spec)
   | Oracle_a ->
       Format.printf "oracle: %a@." Detection.pp_outcome
@@ -232,10 +288,11 @@ let run_algo algo ~groups ~seed comp spec =
       None
 
 let detect_cmd =
-  let run trace algo groups procs seed verbose =
+  let run trace algo groups procs seed verbose drop dup crashes fault_seed =
     let comp = Trace_codec.read_file trace in
     let spec = spec_of comp procs in
-    match run_algo algo ~groups ~seed comp spec with
+    let fault = fault_plan ~drop ~dup ~crashes ~fault_seed in
+    match run_algo ?fault algo ~groups ~seed comp spec with
     | None -> ()
     | Some r ->
         Format.printf "%a@." Detection.pp_result r;
@@ -245,7 +302,67 @@ let detect_cmd =
     (Cmd.info "detect" ~doc:"Run a detection algorithm on a trace.")
     Term.(
       const (fun () -> run) $ setup_logs $ trace_arg $ algo_arg $ groups_arg
-      $ procs_arg $ seed_arg $ verbose_arg)
+      $ procs_arg $ seed_arg $ verbose_arg $ drop_arg $ dup_arg $ crash_arg
+      $ fault_seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* chaos                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_cmd =
+  let algo =
+    let doc = "Algorithm under test: token-vc, multi-token or token-dd." in
+    Arg.(
+      value
+      & opt (enum [ ("token-vc", Vc); ("multi-token", Multi); ("token-dd", Dd) ]) Vc
+      & info [ "a"; "algorithm" ] ~docv:"ALGO" ~doc)
+  in
+  let run trace algo groups procs seed drop dup crashes fault_seed =
+    let comp = Trace_codec.read_file trace in
+    let spec = spec_of comp procs in
+    let windows = List.map parse_crash crashes in
+    let fault = Fault.uniform ~seed:fault_seed ~drop ~dup ~windows () in
+    let name, r, scope =
+      match algo with
+      | Vc -> ("token-vc", Token_vc.detect ~fault ~seed comp spec, `Spec)
+      | Multi ->
+          ( "multi-token",
+            Token_multi.detect ~fault
+              ~groups:(min groups (Spec.width spec))
+              ~seed comp spec,
+            `Spec )
+      | _ -> ("token-dd", Token_dd.detect ~fault ~seed comp spec, `Full)
+    in
+    let out =
+      match scope with
+      | `Spec -> r.Detection.outcome
+      | `Full -> Detection.project_outcome spec r.Detection.outcome
+    in
+    let oracle =
+      match out with
+      | Detection.Undetectable_crashed _ -> "degraded"
+      | _ ->
+          if Detection.outcome_equal out (Oracle.first_cut comp spec) then
+            "match"
+          else "MISMATCH"
+    in
+    let st = r.Detection.stats in
+    Format.printf
+      "chaos %s drop=%.2f dup=%.2f crashes=%d: %a | retransmits=%d \
+       dup-suppressed=%d net-drop=%d net-dup=%d crash-drop=%d | oracle: %s@."
+      name drop dup (List.length crashes) Detection.pp_outcome out
+      (Stats.total_retransmits st)
+      (Stats.total_dups_suppressed st)
+      (Stats.net_dropped st) (Stats.net_duplicated st) (Stats.crash_dropped st)
+      oracle
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run a token algorithm under a deterministic fault plan and compare           its verdict with the fault-free oracle.")
+    Term.(
+      const run $ trace_arg $ algo $ groups_arg $ procs_arg $ seed_arg
+      $ drop_arg $ dup_arg $ crash_arg $ fault_seed_arg)
 
 (* ------------------------------------------------------------------ *)
 (* compare                                                             *)
@@ -312,7 +429,7 @@ let render_cmd =
       if mark then
         match Oracle.first_cut comp (spec_of comp procs) with
         | Detection.Detected cut -> Some cut
-        | Detection.No_detection -> None
+        | Detection.No_detection | Detection.Undetectable_crashed _ -> None
       else None
     in
     match format with
@@ -410,7 +527,9 @@ let live_cmd =
         Format.printf "online verdict: VIOLATION at %a@." Cut.pp cut
     | Detection.No_detection, _ ->
         Format.printf "online verdict: clean run (%.0f time units)@."
-          r.Live_mutex.sim_time);
+          r.Live_mutex.sim_time
+    | (Detection.Undetectable_crashed _ as o), _ ->
+        Format.printf "online verdict: %a@." Detection.pp_outcome o);
     let expected = Oracle.first_cut r.Live_mutex.recorded spec in
     Format.printf "offline oracle on the recording: %a (%s)@."
       Detection.pp_outcome expected
@@ -463,6 +582,7 @@ let () =
             generate_cmd;
             workload_cmd;
             detect_cmd;
+            chaos_cmd;
             compare_cmd;
             render_cmd;
             gcp_cmd;

@@ -94,7 +94,7 @@ let () =
   | Ok (Detection.Detected cut) ->
       Format.printf "@.reserve alert (<= %d) WOULD have fired, e.g. at %a@."
         reserve Cut.pp cut
-  | Ok Detection.No_detection ->
+  | Ok (Detection.No_detection | Detection.Undetectable_crashed _) ->
       Format.printf "@.reserve alert (<= %d) could never fire in this run@."
         reserve
   | Error `Limit -> Format.printf "limit@."

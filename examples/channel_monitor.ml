@@ -53,7 +53,8 @@ let () =
   | Detection.Detected cut ->
       Format.printf "WCP \"server idle\" alone:            fires at %a@."
         Cut.pp cut
-  | Detection.No_detection -> Format.printf "WCP alone: never@.");
+  | Detection.No_detection | Detection.Undetectable_crashed _ ->
+      Format.printf "WCP alone: never@.");
 
   (* GCP: idle AND >= 2 requests in flight from clients 2 and 3. *)
   let channels =
@@ -71,12 +72,12 @@ let () =
       Format.printf "    in flight to server at the cut: %d message(s)@."
         (List.length (Gcp.in_flight comp ~src:2 ~dst:0 ~cut)
         + List.length (Gcp.in_flight comp ~src:3 ~dst:0 ~cut))
-  | Detection.No_detection ->
+  | Detection.No_detection | Detection.Undetectable_crashed _ ->
       Format.printf "GCP: pathology absent in this run@.");
 
   (* A condition that cannot happen here: idle with 2 requests in
      flight from client 1 (client 1 only ever has one outstanding). *)
   match Gcp.detect comp spec ~channels:[ Gcp.at_least 2 ~src:1 ~dst:0 ] with
-  | Detection.No_detection ->
+  | Detection.No_detection | Detection.Undetectable_crashed _ ->
       Format.printf "@.control: \"idle ∧ 2 in flight from client 1\" correctly never fires@."
   | Detection.Detected _ -> assert false

@@ -26,7 +26,7 @@ let () =
     | Detection.Detected cut ->
         incr risky;
         Format.printf "  seed %2d: circular wait at %a@." s Cut.pp cut
-    | Detection.No_detection ->
+    | Detection.No_detection | Detection.Undetectable_crashed _ ->
         Format.printf "  seed %2d: no circular-wait state in this run@." s
   done;
   Format.printf "%d of 10 runs passed through a potential deadlock.@.@." !risky;
@@ -61,7 +61,7 @@ let () =
           (Detection.project_outcome spec dd.Detection.outcome)
           (Detection.Detected cut));
       Format.printf "  (confirmed by the direct-dependence algorithm)@."
-  | Detection.No_detection ->
+  | Detection.No_detection | Detection.Undetectable_crashed _ ->
       Format.printf "witness run was lucky; try another seed@.");
 
   (* Was the circular wait AVOIDABLE? Possibly(WCP) says some schedule

@@ -30,7 +30,7 @@ let () =
     (Spec.width spec);
 
   match (Token_vc.detect ~seed comp spec).Detection.outcome with
-  | Detection.No_detection ->
+  | Detection.No_detection | Detection.Undetectable_crashed _ ->
       Format.printf "breakpoint never fired in this run.@."
   | Detection.Detected cut ->
       Format.printf "breakpoint fired at the first such cut: %a@.@." Cut.pp cut;
@@ -51,5 +51,6 @@ let () =
          really is the first time the condition held. *)
       (match Oracle.first_cut comp spec with
       | Detection.Detected first -> assert (Cut.equal first cut)
-      | Detection.No_detection -> assert false);
+      | Detection.No_detection | Detection.Undetectable_crashed _ ->
+          assert false);
       Format.printf "(cut verified minimal: it is the FIRST such state)@."

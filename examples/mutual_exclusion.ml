@@ -39,7 +39,7 @@ let () =
         let a = Cut.state cut 0 and b = Cut.state cut 1 in
         Format.printf "  (%a || %a: %b)@." State.pp a State.pp b
           (Computation.concurrent w.Workloads.comp a b)
-    | Detection.No_detection ->
+    | Detection.No_detection | Detection.Undetectable_crashed _ ->
         Format.printf "  seed %2d: this run happened to stay safe@." s)
   done;
   Format.printf "@.%d of 10 racy runs violated mutual exclusion;@." !violations;

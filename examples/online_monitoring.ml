@@ -33,7 +33,7 @@ let show ~mode ~p_bug ~seed =
         seed Cut.pp cut t r.Live_mutex.sim_time
   | Detection.Detected cut, None ->
       Format.printf "  seed %Ld: flagged %a at end of run@." seed Cut.pp cut
-  | Detection.No_detection, _ ->
+  | (Detection.No_detection | Detection.Undetectable_crashed _), _ ->
       Format.printf "  seed %Ld: clean (no violating cut exists)@." seed);
   (* Exactness check against the recording. *)
   let expected = Oracle.first_cut r.Live_mutex.recorded spec in

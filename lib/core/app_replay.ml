@@ -11,13 +11,15 @@ type proc_state = {
   mutable blocked : bool;  (* current op is a receive we cannot satisfy yet *)
 }
 
-let install engine comp ~snapshots ~snapshot_dst ~spec_width ?(think = 0.3) () =
+let install engine comp ?net ~snapshots ~snapshot_dst ~spec_width
+    ?(think = 0.3) () =
+  let net = match net with Some n -> n | None -> Run_common.raw_net engine in
   let n = Computation.n comp in
   let emit_snapshot ctx st =
     match (st.dst_monitor, st.pending_snaps) with
     | Some dst, (s, msg) :: rest when s = st.state_index ->
         st.pending_snaps <- rest;
-        Engine.send ctx ~bits:(Messages.bits ~spec_width msg) ~dst msg
+        net.Run_common.send ctx ~bits:(Messages.bits ~spec_width msg) ~dst msg
     | _ -> ()
   in
   let enter_next_state ctx st =
@@ -31,13 +33,14 @@ let install engine comp ~snapshots ~snapshot_dst ~spec_width ?(think = 0.3) () =
         match st.dst_monitor with
         | Some dst ->
             st.dst_monitor <- None;
-            Engine.send ctx ~bits:(Messages.bits ~spec_width Messages.App_done)
+            net.Run_common.send ctx
+              ~bits:(Messages.bits ~spec_width Messages.App_done)
               ~dst Messages.App_done
         | None -> ())
     | Computation.Send { dst; msg } :: rest ->
         let delay = Rng.exponential (Engine.rng ctx) ~mean:think in
         Engine.schedule ctx ~delay (fun ctx ->
-            Engine.send ctx
+            net.Run_common.send ctx
               ~bits:(Messages.bits ~spec_width (Messages.App_msg { msg_id = msg }))
               ~dst
               (Messages.App_msg { msg_id = msg });
@@ -78,7 +81,7 @@ let install engine comp ~snapshots ~snapshot_dst ~spec_width ?(think = 0.3) () =
         blocked = false;
       }
     in
-    Engine.set_handler engine p (on_message st);
+    net.Run_common.set_handler p (on_message st);
     Engine.schedule_initial engine ~proc:p ~at:0.0 (fun ctx ->
         emit_snapshot ctx st;
         step ctx st)

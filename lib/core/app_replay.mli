@@ -19,6 +19,7 @@ open Wcp_sim
 val install :
   Messages.t Engine.t ->
   Computation.t ->
+  ?net:Run_common.net ->
   snapshots:(int -> (int * Messages.t) list) ->
   snapshot_dst:(int -> int option) ->
   spec_width:int ->
@@ -30,4 +31,9 @@ val install :
     order). [snapshot_dst p] is the engine id receiving [p]'s snapshots
     and final [App_done], or [None] if [p] reports to nobody.
     [spec_width] sizes the clock tag charged on application messages.
-    [think] (default 0.3) is the mean think time before each send. *)
+    [think] (default 0.3) is the mean think time before each send.
+
+    [net] (default {!Run_common.raw_net}) carries all application
+    traffic; under a fault plan the replay must ride the reliable
+    transport, or a dropped application message would deadlock the
+    script. *)

@@ -150,7 +150,7 @@ let detect_disjunct comp index lits =
       let first_cut =
         match Oracle.first_cut_with comp ~procs ~candidates with
         | Detection.Detected cut -> Some cut
-        | Detection.No_detection -> None
+        | Detection.No_detection | Detection.Undetectable_crashed _ -> None
       in
       { index; procs; first_cut }
 
@@ -186,7 +186,7 @@ let detect_disjunct_online ~seed comp index lits =
       let first_cut =
         match r.Detection.outcome with
         | Detection.Detected cut -> Some cut
-        | Detection.No_detection -> None
+        | Detection.No_detection | Detection.Undetectable_crashed _ -> None
       in
       { index; procs; first_cut }
 

@@ -1,7 +1,10 @@
 open Wcp_trace
 open Wcp_sim
 
-type outcome = Detected of Cut.t | No_detection
+type outcome =
+  | Detected of Cut.t
+  | No_detection
+  | Undetectable_crashed of int list
 
 type extras = { token_hops : int; polls : int; snapshots : int; merges : int }
 
@@ -19,10 +22,13 @@ let outcome_equal a b =
   match (a, b) with
   | Detected c1, Detected c2 -> Cut.equal c1 c2
   | No_detection, No_detection -> true
-  | Detected _, No_detection | No_detection, Detected _ -> false
+  | Undetectable_crashed p1, Undetectable_crashed p2 ->
+      List.sort_uniq compare p1 = List.sort_uniq compare p2
+  | (Detected _ | No_detection | Undetectable_crashed _), _ -> false
 
 let project_outcome spec = function
   | No_detection -> No_detection
+  | Undetectable_crashed procs -> Undetectable_crashed procs
   | Detected cut ->
       let states =
         Array.map
@@ -43,6 +49,11 @@ let project_outcome spec = function
 let pp_outcome ppf = function
   | Detected cut -> Format.fprintf ppf "detected %a" Cut.pp cut
   | No_detection -> Format.pp_print_string ppf "no detection"
+  | Undetectable_crashed procs ->
+      Format.fprintf ppf "undetectable (crashed:%a)"
+        (fun ppf ->
+          List.iter (fun p -> Format.fprintf ppf " %d" p))
+        (List.sort_uniq compare procs)
 
 let pp_result ppf r =
   Format.fprintf ppf

@@ -14,6 +14,11 @@ type outcome =
           [N] processes; for the others it spans the spec processes. *)
   | No_detection
       (** The WCP holds in no consistent cut of this (finite) run. *)
+  | Undetectable_crashed of int list
+      (** Graceful degradation under a fault plan: the listed engine
+          processes (see the {!result.stats} id layout) crashed
+          permanently or became unreachable, so the protocol cannot
+          decide the predicate. Reported instead of hanging. *)
 
 type extras = {
   token_hops : int;  (** times the token changed monitor *)
@@ -38,8 +43,8 @@ type result = {
 val outcome_equal : outcome -> outcome -> bool
 
 val project_outcome : Spec.t -> outcome -> outcome
-(** Restrict a [Detected] cut to the spec processes (identity on
-    [No_detection]); used to compare the direct-dependence algorithm's
+(** Restrict a [Detected] cut to the spec processes (identity on the
+    other outcomes); used to compare the direct-dependence algorithm's
     [N]-wide cut against the oracle. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -9,12 +9,15 @@ type t =
   | Snap_dd of Snapshot.dd
   | Snap_gcp of { state : int; clock : int array; counts : int array }
   | App_done
-  | Vc_token of { g : int array; color : color array }
-  | Group_token of { g : int array; color : color array; group : int }
+  | Vc_token of { seq : int; g : int array; color : color array }
+  | Group_token of { seq : int; g : int array; color : color array; group : int }
   | Group_return of { g : int array; color : color array; group : int }
-  | Dd_token
+  | Dd_token of { seq : int }
   | Poll of { clock : int; next_red : int option }
   | Poll_reply of { became_red : bool }
+  | Wd_probe of { seq : int }
+  | Wd_reply of { seq : int; received : bool; holding : bool }
+  | Frame of t Wcp_sim.Transport.frame
 
 let word = 32
 
@@ -22,7 +25,10 @@ let tag_bits = function
   | Vc_tag v -> word * Array.length v
   | Dd_tag _ -> word
 
-let bits ~spec_width = function
+(* Token [seq] fields ride in the same header word the pre-robustness
+   accounting already charged, so the bit formulas are unchanged and
+   fault-free cost metrics stay bit-identical. *)
+let rec bits ~spec_width = function
   | App_msg _ -> word * (1 + spec_width)
   | App_data { tag; _ } -> (word * 2) + tag_bits tag
   | Snap_vc _ -> word * (spec_width + 1)
@@ -31,9 +37,14 @@ let bits ~spec_width = function
       word * (1 + Array.length clock + Array.length counts)
   | App_done -> word
   | Vc_token _ | Group_token _ | Group_return _ -> word * 2 * spec_width
-  | Dd_token -> word
+  | Dd_token _ -> word
   | Poll _ -> word * 2
   | Poll_reply _ -> 1
+  | Wd_probe _ -> word
+  | Wd_reply _ -> word
+  | Frame (Wcp_sim.Transport.Data { payload; _ }) ->
+      Wcp_sim.Transport.frame_overhead_bits + bits ~spec_width payload
+  | Frame (Wcp_sim.Transport.Ack _) -> Wcp_sim.Transport.frame_overhead_bits
 
 let pp_color ppf = function
   | Red -> Format.pp_print_string ppf "R"
@@ -48,7 +59,7 @@ let pp_vec ppf (g, color) =
     g;
   Format.pp_print_char ppf ']'
 
-let pp ppf = function
+let rec pp ppf = function
   | App_msg { msg_id } -> Format.fprintf ppf "app#%d" msg_id
   | App_data { kind; data; _ } -> Format.fprintf ppf "app-data(%d,%d)" kind data
   | Snap_vc { state; _ } -> Format.fprintf ppf "snap-vc@%d" state
@@ -57,14 +68,22 @@ let pp ppf = function
   | Snap_gcp { state; counts; _ } ->
       Format.fprintf ppf "snap-gcp@%d(%d channels)" state (Array.length counts)
   | App_done -> Format.pp_print_string ppf "app-done"
-  | Vc_token { g; color } -> Format.fprintf ppf "token%a" pp_vec (g, color)
-  | Group_token { g; color; group } ->
+  | Vc_token { g; color; _ } -> Format.fprintf ppf "token%a" pp_vec (g, color)
+  | Group_token { g; color; group; _ } ->
       Format.fprintf ppf "gtoken%d%a" group pp_vec (g, color)
   | Group_return { g; color; group } ->
       Format.fprintf ppf "greturn%d%a" group pp_vec (g, color)
-  | Dd_token -> Format.pp_print_string ppf "dd-token"
+  | Dd_token _ -> Format.pp_print_string ppf "dd-token"
   | Poll { clock; next_red } ->
       Format.fprintf ppf "poll(%d,%s)" clock
         (match next_red with None -> "-" | Some p -> string_of_int p)
   | Poll_reply { became_red } ->
       Format.fprintf ppf "reply(%s)" (if became_red then "became-red" else "no-change")
+  | Wd_probe { seq } -> Format.fprintf ppf "wd-probe#%d" seq
+  | Wd_reply { seq; received; holding } ->
+      Format.fprintf ppf "wd-reply#%d(%s%s)" seq
+        (if received then "received" else "missing")
+        (if holding then ",holding" else "")
+  | Frame (Wcp_sim.Transport.Data { seq; payload }) ->
+      Format.fprintf ppf "frame#%d(%a)" seq pp payload
+  | Frame (Wcp_sim.Transport.Ack { cum }) -> Format.fprintf ppf "ack#%d" cum

@@ -31,17 +31,30 @@ type t =
           this state. *)
   | App_done
       (** End-of-trace marker (finite-run extension, DESIGN.md §3). *)
-  | Vc_token of { g : int array; color : color array }
-      (** The §3 token: candidate cut and colors, spec-indexed. *)
-  | Group_token of { g : int array; color : color array; group : int }
+  | Vc_token of { seq : int; g : int array; color : color array }
+      (** The §3 token: candidate cut and colors, spec-indexed. [seq]
+          is a global token-hop number (1-based) used by the robustness
+          layer to discard duplicate/regenerated tokens; it rides in
+          the token's header word, so {!bits} is unchanged by it. *)
+  | Group_token of { seq : int; g : int array; color : color array; group : int }
       (** §3.5: a group's token, dispatched by the leader. *)
   | Group_return of { g : int array; color : color array; group : int }
       (** §3.5: group token returning to the leader. *)
-  | Dd_token  (** §4: the empty token. *)
+  | Dd_token of { seq : int }  (** §4: the (otherwise empty) token. *)
   | Poll of { clock : int; next_red : int option }
       (** §4 poll: a dependence's clock and the poller's red-chain
           successor. *)
   | Poll_reply of { became_red : bool }
+  | Wd_probe of { seq : int }
+      (** Token-loss watchdog lease probe: "did token [seq] reach you,
+          and are you still holding it?" Probes and replies ride the
+          raw (lossy) network — they are cheap and idempotent, and the
+          reliable transport already guarantees liveness without
+          them. *)
+  | Wd_reply of { seq : int; received : bool; holding : bool }
+  | Frame of t Wcp_sim.Transport.frame
+      (** Reliable-transport envelope used when running under a fault
+          plan (see {!Wcp_sim.Transport}). *)
 
 val bits : spec_width:int -> t -> int
 (** Size of a message in bits under the 32-bit-word policy:
@@ -53,6 +66,9 @@ val bits : spec_width:int -> t -> int
     - [Snap_gcp]: [1 + N + #channels] words;
     - [Vc_token]/[Group_token]/[Group_return]: [2·spec_width] words
       ([G] plus colors);
-    - [Dd_token]: 1 word; [Poll]: 2 words; [Poll_reply]: 1 bit. *)
+    - [Dd_token]: 1 word; [Poll]: 2 words; [Poll_reply]: 1 bit;
+    - [Wd_probe]/[Wd_reply]: 1 word;
+    - [Frame]: the payload plus {!Wcp_sim.Transport.frame_overhead_bits}
+      of header ([Ack]s are header-only). *)
 
 val pp : Format.formatter -> t -> unit

@@ -86,4 +86,4 @@ let first_cut_brute comp spec =
 let satisfiable comp spec =
   match first_cut comp spec with
   | Detection.Detected _ -> true
-  | Detection.No_detection -> false
+  | Detection.No_detection | Detection.Undetectable_crashed _ -> false

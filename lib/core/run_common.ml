@@ -11,24 +11,58 @@ let default_network ~n =
   in
   Network.create ~fifo ~latency:(Network.Uniform (0.5, 1.5)) ()
 
-let make_engine_n ?network ~seed ~n () =
+let make_engine_n ?network ?fault ~seed ~n () =
   let network = match network with Some nw -> nw | None -> default_network ~n in
-  Engine.create ~network ~num_processes:((2 * n) + 1) ~seed ()
+  Engine.create ~network ?fault ~num_processes:((2 * n) + 1) ~seed ()
 
-let make_engine ?network ~seed comp =
-  make_engine_n ?network ~seed ~n:(Computation.n comp) ()
+let make_engine ?network ?fault ~seed comp =
+  make_engine_n ?network ?fault ~seed ~n:(Computation.n comp) ()
 
 type announce = Detection.outcome -> unit
 
-let finish engine ~outcome ~extras =
+type net = {
+  send : Messages.t Engine.ctx -> bits:int -> dst:int -> Messages.t -> unit;
+  set_handler :
+    int -> (Messages.t Engine.ctx -> src:int -> Messages.t -> unit) -> unit;
+}
+
+let raw_net engine =
+  {
+    send = (fun ctx ~bits ~dst msg -> Engine.send ctx ~bits ~dst msg);
+    set_handler = (fun id h -> Engine.set_handler engine id h);
+  }
+
+let reliable_net ?rto ?backoff ?max_retries ?on_unreachable engine =
+  let transport =
+    Transport.create ?rto ?backoff ?max_retries
+      ~inject:(fun frame -> Messages.Frame frame)
+      ~project:(function Messages.Frame f -> Some f | _ -> None)
+      ?on_unreachable engine
+  in
+  {
+    send = (fun ctx ~bits ~dst msg -> Transport.send transport ctx ~bits ~dst msg);
+    set_handler = (fun id h -> Transport.wire transport id h);
+  }
+
+let finish ?fault engine ~outcome ~extras =
   Engine.run engine;
+  let result o =
+    {
+      Detection.outcome = o;
+      stats = Engine.stats engine;
+      sim_time = Engine.now engine;
+      events = Engine.events_processed engine;
+      extras;
+    }
+  in
   match !outcome with
-  | None -> failwith "detection run ended without an outcome"
-  | Some o ->
-      {
-        Detection.outcome = o;
-        stats = Engine.stats engine;
-        sim_time = Engine.now engine;
-        events = Engine.events_processed engine;
-        extras;
-      }
+  | Some o -> result o
+  | None -> (
+      (* The event queue drained with no announcement. Under a fault
+         plan with permanent crashes this is the expected shape of a
+         wedged protocol (e.g. a crashed application process starves
+         its monitor forever): degrade gracefully instead of raising. *)
+      match fault with
+      | Some plan when Fault.permanently_crashed plan <> [] ->
+          result (Detection.Undetectable_crashed (Fault.permanently_crashed plan))
+      | _ -> failwith "detection run ended without an outcome")

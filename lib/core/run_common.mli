@@ -24,22 +24,57 @@ val extra_id : n:int -> int
 val default_network : n:int -> Network.t
 
 val make_engine :
-  ?network:Network.t -> seed:int64 -> Computation.t -> Messages.t Engine.t
-(** Engine with [2N + 1] processes and the default network. *)
+  ?network:Network.t -> ?fault:Fault.plan -> seed:int64 -> Computation.t ->
+  Messages.t Engine.t
+(** Engine with [2N + 1] processes and the default network. [fault]
+    (default none) switches on deterministic fault injection; see
+    {!Wcp_sim.Fault}. *)
 
 val make_engine_n :
-  ?network:Network.t -> seed:int64 -> n:int -> unit -> Messages.t Engine.t
+  ?network:Network.t -> ?fault:Fault.plan -> seed:int64 -> n:int -> unit ->
+  Messages.t Engine.t
 (** Same, for live systems that have no recorded computation. *)
 
 type announce = Detection.outcome -> unit
 (** Callback a monitor invokes exactly once to report the result and
     halt the simulation. *)
 
+type net = {
+  send : Messages.t Engine.ctx -> bits:int -> dst:int -> Messages.t -> unit;
+  set_handler :
+    int -> (Messages.t Engine.ctx -> src:int -> Messages.t -> unit) -> unit;
+}
+(** A pluggable delivery substrate: protocol code sends and installs
+    handlers through one of these, so the same algorithm runs either
+    directly on the engine or through the reliable transport. *)
+
+val raw_net : Messages.t Engine.t -> net
+(** Plain {!Engine.send} / {!Engine.set_handler}; byte-for-byte the
+    pre-robustness behaviour, used whenever no fault plan is active. *)
+
+val reliable_net :
+  ?rto:float ->
+  ?backoff:float ->
+  ?max_retries:int ->
+  ?on_unreachable:(Messages.t Engine.ctx -> dst:int -> unit) ->
+  Messages.t Engine.t ->
+  net
+(** All traffic rides one {!Wcp_sim.Transport} instance whose frames
+    are embedded as {!Messages.Frame}: exactly-once FIFO delivery per
+    link over a faulty network. [on_unreachable] fires when some flow
+    exhausts its retries (a permanently crashed peer) — detectors use
+    it to announce {!Detection.Undetectable_crashed}. *)
+
 val finish :
+  ?fault:Fault.plan ->
   Messages.t Engine.t ->
   outcome:Detection.outcome option ref ->
   extras:Detection.extras ->
   Detection.result
-(** Run the engine and assemble the result.
-    @raise Failure if the event queue drains without any announcement
-    (a protocol bug, surfaced loudly for the test suite). *)
+(** Run the engine and assemble the result. If the event queue drains
+    without any announcement and [fault] contains permanent crash
+    windows, the result is [Undetectable_crashed] over those processes
+    (graceful degradation).
+    @raise Failure if the queue drains without an announcement and no
+    permanent crash explains it (a protocol bug, surfaced loudly for
+    the test suite). *)

@@ -22,6 +22,7 @@ type mon = {
          exceeds [g]; committed into [g] only when the token is here *)
   mutable deps_pending : Dependence.t list;  (* discovered, not yet polled *)
   mutable polling : bool;  (* one poll in flight, awaiting its reply *)
+  mutable last_token_seq : int;  (* highest token hop accepted (dedup) *)
 }
 
 let snapshot_words (s : Snapshot.dd) = 1 + (2 * List.length s.deps)
@@ -31,8 +32,9 @@ type monitors = {
   start_token : Messages.t Wcp_sim.Engine.ctx -> unit;
 }
 
-let install engine ~n_app ~parallel ?check ?(stop = true) ?(start_at = 0)
-    ~outcome ~hops ~polls ~snapshots () =
+let install engine ~n_app ~parallel ?net ?watchdog ?check ?(stop = true)
+    ?(start_at = 0) ~outcome ~hops ~polls ~snapshots () =
+  let net = match net with Some n -> n | None -> Run_common.raw_net engine in
   let n = n_app in
   if start_at < 0 || start_at >= n then
     invalid_arg "Token_dd.install: start_at out of range";
@@ -63,6 +65,7 @@ let install engine ~n_app ~parallel ?check ?(stop = true) ?(start_at = 0)
           tentative = None;
           deps_pending = [];
           polling = false;
+          last_token_seq = 0;
         })
   in
   let detected_cut () =
@@ -83,7 +86,8 @@ let install engine ~n_app ~parallel ?check ?(stop = true) ?(start_at = 0)
           m.polling <- true;
           incr polls;
           let msg = Messages.Poll { clock = d.Dependence.clock; next_red = m.next_red } in
-          Engine.send ctx ~bits:(bits msg) ~dst:(monitor_id d.Dependence.src) msg
+          net.Run_common.send ctx ~bits:(bits msg)
+            ~dst:(monitor_id d.Dependence.src) msg
       | [] -> (
           let tentative_valid =
             match m.tentative with Some c -> c > m.g | None -> false
@@ -129,10 +133,18 @@ let install engine ~n_app ~parallel ?check ?(stop = true) ?(start_at = 0)
     | Some j ->
         m.next_red <- None;
         incr hops;
+        let seq = !hops in
         Log.debug (fun f ->
             f "t=%.3f token %d -> %d (G=%d)" (Engine.time ctx) m.proc j m.g);
-        let msg = Messages.Dd_token in
-        Engine.send ctx ~bits:(bits msg) ~dst:(monitor_id j) msg
+        let msg = Messages.Dd_token { seq } in
+        net.Run_common.send ctx ~bits:(bits msg) ~dst:(monitor_id j) msg;
+        (match watchdog with
+        | None -> ()
+        | Some wd ->
+            Watchdog.watch wd ctx ~seq ~dst:(monitor_id j)
+              ~resend:(fun ctx ->
+                net.Run_common.send ctx ~bits:(bits msg) ~dst:(monitor_id j)
+                  msg))
   in
   let on_message m ctx ~src msg =
     match msg with
@@ -145,9 +157,14 @@ let install engine ~n_app ~parallel ?check ?(stop = true) ?(start_at = 0)
     | Messages.App_done ->
         m.app_done <- true;
         drive ctx m
-    | Messages.Dd_token ->
-        m.has_token <- true;
-        drive ctx m
+    | Messages.Dd_token { seq } ->
+        (* Regenerated/duplicated tokens repeat a hop number; accepting
+           one twice would put two tokens in circulation. *)
+        if seq > m.last_token_seq then begin
+          m.last_token_seq <- seq;
+          m.has_token <- true;
+          drive ctx m
+        end
     | Messages.Poll { clock; next_red } ->
         (* Fig. 5. *)
         Engine.charge_work ctx 1;
@@ -159,7 +176,7 @@ let install engine ~n_app ~parallel ?check ?(stop = true) ?(start_at = 0)
         let became = is_red m && was_green in
         if became then m.next_red <- next_red;
         let reply = Messages.Poll_reply { became_red = became } in
-        Engine.send ctx ~bits:(bits reply) ~dst:src reply;
+        net.Run_common.send ctx ~bits:(bits reply) ~dst:src reply;
         (* A poll can invalidate a prefetched candidate or wake a newly
            red monitor; re-enter the search loop. *)
         if parallel then drive ctx m
@@ -167,10 +184,24 @@ let install engine ~n_app ~parallel ?check ?(stop = true) ?(start_at = 0)
         m.polling <- false;
         if became_red then m.next_red <- Some (src - n);
         drive ctx m
+    | Messages.Wd_probe { seq } ->
+        let reply =
+          Messages.Wd_reply
+            {
+              seq;
+              received = seq <= m.last_token_seq;
+              holding = m.has_token && seq = m.last_token_seq;
+            }
+        in
+        Engine.send ctx ~bits:(bits reply) ~dst:src reply
+    | Messages.Wd_reply { seq; received; holding } -> (
+        match watchdog with
+        | Some wd -> Watchdog.on_reply wd ctx ~seq ~received ~holding
+        | None -> ())
     | _ -> failwith "Token_dd: unexpected message at monitor"
   in
   Array.iter
-    (fun m -> Engine.set_handler engine (monitor_id m.proc) (on_message m))
+    (fun m -> net.Run_common.set_handler (monitor_id m.proc) (on_message m))
     monitors;
   {
     start_id = monitor_id start_at;
@@ -250,10 +281,13 @@ let check_invariants comp ~g ~color ~next_red ~next =
         (Printf.sprintf "Lemma 4.2(3) violated: red monitor %d off the chain" i)
   done
 
-let detect ?network ?(parallel = false) ?(invariant_checks = false) ?start_at
-    ~seed comp spec =
+let detect ?network ?fault ?(parallel = false) ?(invariant_checks = false)
+    ?start_at ~seed comp spec =
   let n = Computation.n comp in
-  let engine = Run_common.make_engine ?network ~seed comp in
+  let fault =
+    match fault with Some p when not (Fault.is_none p) -> Some p | _ -> None
+  in
+  let engine = Run_common.make_engine ?network ?fault ~seed comp in
   let outcome = ref None in
   let hops = ref 0 in
   let polls = ref 0 in
@@ -265,12 +299,18 @@ let detect ?network ?(parallel = false) ?(invariant_checks = false) ?start_at
     if invariant_checks && not parallel then Some (check_invariants comp)
     else None
   in
+  let net, watchdog =
+    match fault with
+    | None -> (None, None)
+    | Some _ ->
+        (Some (Token_vc.chaos_net engine ~outcome), Some (Watchdog.create ()))
+  in
   let monitors =
-    install engine ~n_app:n ~parallel ?check ?start_at ~outcome ~hops ~polls
-      ~snapshots ()
+    install engine ~n_app:n ~parallel ?net ?watchdog ?check ?start_at ~outcome
+      ~hops ~polls ~snapshots ()
   in
   (* Application side: §4.1 snapshots, from every process. *)
-  App_replay.install engine comp
+  App_replay.install engine comp ?net
     ~snapshots:(fun p ->
       List.map
         (fun (s : Snapshot.dd) ->
@@ -279,7 +319,9 @@ let detect ?network ?(parallel = false) ?(invariant_checks = false) ?start_at
     ~snapshot_dst:(fun p -> Some (Run_common.monitor_of ~n p))
     ~spec_width:1 ();
   start engine monitors;
-  let result = Run_common.finish engine ~outcome ~extras:Detection.no_extras in
+  let result =
+    Run_common.finish ?fault engine ~outcome ~extras:Detection.no_extras
+  in
   {
     result with
     extras =

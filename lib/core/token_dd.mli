@@ -46,6 +46,8 @@ val install :
   Messages.t Engine.t ->
   n_app:int ->
   parallel:bool ->
+  ?net:Run_common.net ->
+  ?watchdog:Watchdog.t ->
   ?check:
     (g:int array ->
     color:Messages.color array ->
@@ -64,8 +66,8 @@ val install :
     (the WCP's identity is immaterial to the monitors: they only see
     snapshot streams, which is why live monitoring needs no recorded
     computation). The engine must follow the {!Run_common} id layout.
-    The detected cut spans all [n_app] processes. [stop] as in
-    {!Token_vc.install}. *)
+    The detected cut spans all [n_app] processes. [stop], [net] and
+    [watchdog] as in {!Token_vc.install}. *)
 
 val start : Messages.t Engine.t -> monitors -> unit
 (** Hand the token to the head of the initial red chain (the monitor of
@@ -74,6 +76,7 @@ val start : Messages.t Engine.t -> monitors -> unit
 
 val detect :
   ?network:Network.t ->
+  ?fault:Fault.plan ->
   ?parallel:bool ->
   ?invariant_checks:bool ->
   ?start_at:int ->
@@ -83,6 +86,8 @@ val detect :
   Detection.result
 (** The [Detected] cut spans all [N] processes; project it with
     {!Detection.project_outcome} to compare against the oracle.
+    [fault] as in {!Token_vc.detect}: reliable transport + token
+    watchdog + graceful [Undetectable_crashed] degradation.
     [invariant_checks] re-validates Lemma 4.2(1-3) against the recorded
     computation at every commit point (sequential mode only; the
     statements quantify over quiescent protocol states, which

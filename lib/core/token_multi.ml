@@ -5,9 +5,11 @@ type mon = {
   k : int;  (* spec index *)
   group : int;
   queue : Snapshot.vc Queue.t;
+  wd : Watchdog.t option;  (* guards this monitor's forwards *)
   mutable app_done : bool;
   mutable held : (int array * Messages.color array) option;
   mutable last : Snapshot.vc option;
+  mutable last_token_seq : int;
 }
 
 type leader = {
@@ -18,17 +20,25 @@ type leader = {
 
 type assignment = Round_robin | Blocks
 
-let detect ?network ?(assignment = Round_robin) ~groups ~seed comp spec =
+let detect ?network ?fault ?(assignment = Round_robin) ~groups ~seed comp spec =
   let n = Computation.n comp in
   let width = Spec.width spec in
   if groups < 1 || groups > width then
     invalid_arg "Token_multi.detect: groups out of range";
-  let engine = Run_common.make_engine ?network ~seed comp in
+  let fault =
+    match fault with Some p when not (Fault.is_none p) -> Some p | _ -> None
+  in
+  let engine = Run_common.make_engine ?network ?fault ~seed comp in
   let leader_id = Run_common.extra_id ~n in
   let outcome = ref None in
   let hops = ref 0 in
   let merges = ref 0 in
   let snapshots_seen = ref 0 in
+  let chaos = Option.is_some fault in
+  let net =
+    if chaos then Token_vc.chaos_net engine ~outcome
+    else Run_common.raw_net engine
+  in
   let announce ctx o =
     if Option.is_none !outcome then begin
       outcome := Some o;
@@ -42,9 +52,28 @@ let detect ?network ?(assignment = Round_robin) ~groups ~seed comp spec =
     | Round_robin -> fun k -> k mod groups
     | Blocks -> fun k -> min (groups - 1) (k * groups / width)
   in
-  let send_token ctx ~dst msg =
+  (* A group token hop, guarded by the sender's watchdog when running
+     under chaos; [g]/[color] are deep-copied for regeneration since
+     the receiver mutates the arrays it is sent. *)
+  let send_group_token ctx ?wd ~dst ~group g color =
     incr hops;
-    Engine.send ctx ~bits:(bits msg) ~dst msg
+    let seq = !hops in
+    let msg = Messages.Group_token { seq; g; color; group } in
+    net.Run_common.send ctx ~bits:(bits msg) ~dst msg;
+    match wd with
+    | None -> ()
+    | Some wd ->
+        let g' = Array.copy g and color' = Array.copy color in
+        Watchdog.watch wd ctx ~seq ~dst ~resend:(fun ctx ->
+            let msg =
+              Messages.Group_token
+                { seq; g = Array.copy g'; color = Array.copy color'; group }
+            in
+            net.Run_common.send ctx ~bits:(bits msg) ~dst msg)
+  in
+  let send_return ctx ~dst msg =
+    incr hops;
+    net.Run_common.send ctx ~bits:(bits msg) ~dst msg
   in
   (* Group-token processing: the §3 monitor algorithm, except the token
      may only move to red monitors of its own group and otherwise
@@ -83,10 +112,10 @@ let detect ?network ?(assignment = Round_robin) ~groups ~seed comp spec =
       done;
       let j = !next_in_group in
       if j >= 0 then
-        send_token ctx ~dst:(monitor_id j)
-          (Messages.Group_token { g; color; group = m.group })
+        send_group_token ctx ?wd:m.wd ~dst:(monitor_id j) ~group:m.group g
+          color
       else
-        send_token ctx ~dst:leader_id
+        send_return ctx ~dst:leader_id
           (Messages.Group_return { g; color; group = m.group })
   in
   let resume ctx m =
@@ -96,7 +125,7 @@ let detect ?network ?(assignment = Round_robin) ~groups ~seed comp spec =
         process ctx m g color
     | None -> ()
   in
-  let on_monitor m ctx ~src:_ msg =
+  let on_monitor m ctx ~src msg =
     match msg with
     | Messages.Snap_vc s ->
         incr snapshots_seen;
@@ -106,9 +135,26 @@ let detect ?network ?(assignment = Round_robin) ~groups ~seed comp spec =
     | Messages.App_done ->
         m.app_done <- true;
         resume ctx m
-    | Messages.Group_token { g; color; group } ->
+    | Messages.Group_token { seq; g; color; group } ->
         assert (group = m.group);
-        process ctx m g color
+        if seq > m.last_token_seq then begin
+          m.last_token_seq <- seq;
+          process ctx m g color
+        end
+    | Messages.Wd_probe { seq } ->
+        let reply =
+          Messages.Wd_reply
+            {
+              seq;
+              received = seq <= m.last_token_seq;
+              holding = m.held <> None && seq = m.last_token_seq;
+            }
+        in
+        Engine.send ctx ~bits:(bits reply) ~dst:src reply
+    | Messages.Wd_reply { seq; received; holding } -> (
+        match m.wd with
+        | Some wd -> Watchdog.on_reply wd ctx ~seq ~received ~holding
+        | None -> ())
     | _ -> failwith "Token_multi: unexpected message at monitor"
   in
   (* Leader: merge returned tokens, re-dispatch into groups that still
@@ -119,6 +165,12 @@ let detect ?network ?(assignment = Round_robin) ~groups ~seed comp spec =
       merged_color = Array.make width Messages.Red;
       outstanding = 0;
     }
+  in
+  (* The leader may have one token in flight per group, so it owns one
+     watchdog per group (a watchdog tracks a single token). *)
+  let leader_wds =
+    if chaos then Array.init groups (fun _ -> Some (Watchdog.create ()))
+    else Array.make groups None
   in
   let dispatch ctx =
     incr merges;
@@ -136,13 +188,9 @@ let detect ?network ?(assignment = Round_robin) ~groups ~seed comp spec =
         match !first_red with
         | Some j ->
             ld.outstanding <- ld.outstanding + 1;
-            send_token ctx ~dst:(monitor_id j)
-              (Messages.Group_token
-                 {
-                   g = Array.copy ld.merged_g;
-                   color = Array.copy ld.merged_color;
-                   group = gr;
-                 })
+            send_group_token ctx ?wd:leader_wds.(gr) ~dst:(monitor_id j)
+              ~group:gr (Array.copy ld.merged_g)
+              (Array.copy ld.merged_color)
         | None -> ()
       done
   in
@@ -160,6 +208,14 @@ let detect ?network ?(assignment = Round_robin) ~groups ~seed comp spec =
         done;
         ld.outstanding <- ld.outstanding - 1;
         if ld.outstanding = 0 then dispatch ctx
+    | Messages.Wd_reply { seq; received; holding } ->
+        (* Route by sequence number: only the watchdog watching [seq]
+           reacts, the rest ignore the reply. *)
+        Array.iter
+          (function
+            | Some wd -> Watchdog.on_reply wd ctx ~seq ~received ~holding
+            | None -> ())
+          leader_wds
     | _ -> failwith "Token_multi: unexpected message at leader"
   in
   let monitors =
@@ -168,16 +224,19 @@ let detect ?network ?(assignment = Round_robin) ~groups ~seed comp spec =
           k;
           group = group_of k;
           queue = Queue.create ();
+          wd = (if chaos then Some (Watchdog.create ()) else None);
           app_done = false;
           held = None;
           last = None;
+          last_token_seq = 0;
         })
   in
   Array.iter
-    (fun m -> Engine.set_handler engine (monitor_id m.k) (on_monitor m))
+    (fun m -> net.Run_common.set_handler (monitor_id m.k) (on_monitor m))
     monitors;
-  Engine.set_handler engine leader_id on_leader;
+  net.Run_common.set_handler leader_id on_leader;
   App_replay.install engine comp
+    ?net:(if chaos then Some net else None)
     ~snapshots:(fun p ->
       if Spec.mem spec p then
         List.map
@@ -189,7 +248,9 @@ let detect ?network ?(assignment = Round_robin) ~groups ~seed comp spec =
     ~spec_width:width ();
   Engine.schedule_initial engine ~proc:leader_id ~at:0.0 (fun ctx ->
       dispatch ctx);
-  let result = Run_common.finish engine ~outcome ~extras:Detection.no_extras in
+  let result =
+    Run_common.finish ?fault engine ~outcome ~extras:Detection.no_extras
+  in
   {
     result with
     extras =

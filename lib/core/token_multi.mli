@@ -24,6 +24,7 @@ type assignment =
 
 val detect :
   ?network:Network.t ->
+  ?fault:Fault.plan ->
   ?assignment:assignment ->
   groups:int ->
   seed:int64 ->
@@ -32,5 +33,7 @@ val detect :
   Detection.result
 (** [assignment] (default {!Round_robin}) is the §3.5 partition of the
     monitors into groups — the paper leaves it open; bench E10 ablates
-    the choice.
+    the choice. [fault] as in {!Token_vc.detect}: reliable transport,
+    one watchdog per group token, graceful [Undetectable_crashed]
+    degradation.
     @raise Invalid_argument if [groups < 1] or [groups > Spec.width]. *)

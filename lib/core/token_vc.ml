@@ -12,6 +12,7 @@ type mon = {
   (* Token parked here while we wait for a fresh candidate. *)
   mutable held : (int array * Messages.color array) option;
   mutable last : Snapshot.vc option;  (* last candidate consumed *)
+  mutable last_token_seq : int;  (* highest token hop accepted (dedup) *)
 }
 
 type monitors = {
@@ -64,8 +65,9 @@ let check_invariants comp spec ~g ~color =
     done
   done
 
-let install engine ~n_app ~wcp_procs ?check ?(stop = true) ?(start_at = 0)
-    ~outcome ~hops ~snapshots () =
+let install engine ~n_app ~wcp_procs ?net ?watchdog ?check ?(stop = true)
+    ?(start_at = 0) ~outcome ~hops ~snapshots () =
+  let net = match net with Some n -> n | None -> Run_common.raw_net engine in
   let width = Array.length wcp_procs in
   if width = 0 then invalid_arg "Token_vc.install: empty WCP";
   if start_at < 0 || start_at >= width then
@@ -124,10 +126,25 @@ let install engine ~n_app ~wcp_procs ?check ?(stop = true) ?(start_at = 0)
       let j = !first_red in
       if j >= 0 then begin
         incr hops;
+        let seq = !hops in
         Log.debug (fun m ->
             m "t=%.3f token %d -> %d" (Engine.time ctx) m_k j);
-        let msg = Messages.Vc_token { g; color } in
-        Engine.send ctx ~bits:(bits msg) ~dst:(monitor_id j) msg
+        let msg = Messages.Vc_token { seq; g; color } in
+        net.Run_common.send ctx ~bits:(bits msg) ~dst:(monitor_id j) msg;
+        match watchdog with
+        | None -> ()
+        | Some wd ->
+            (* Deep-copy for regeneration: the receiver mutates the
+               arrays of the copy it gets. *)
+            let g' = Array.copy g and color' = Array.copy color in
+            Watchdog.watch wd ctx ~seq ~dst:(monitor_id j)
+              ~resend:(fun ctx ->
+                let msg =
+                  Messages.Vc_token
+                    { seq; g = Array.copy g'; color = Array.copy color' }
+                in
+                net.Run_common.send ctx ~bits:(bits msg) ~dst:(monitor_id j)
+                  msg)
       end
       else begin
         Log.info (fun m ->
@@ -144,7 +161,7 @@ let install engine ~n_app ~wcp_procs ?check ?(stop = true) ?(start_at = 0)
         process ctx m g color
     | None -> ()
   in
-  let on_message m ctx ~src:_ msg =
+  let on_message m ctx ~src msg =
     match msg with
     | Messages.Snap_vc s ->
         incr snapshots;
@@ -154,15 +171,42 @@ let install engine ~n_app ~wcp_procs ?check ?(stop = true) ?(start_at = 0)
     | Messages.App_done ->
         m.app_done <- true;
         resume ctx m
-    | Messages.Vc_token { g; color } -> process ctx m g color
+    | Messages.Vc_token { seq; g; color } ->
+        (* Regenerated/duplicated tokens carry an already-seen hop
+           number; processing one twice would corrupt the search. *)
+        if seq > m.last_token_seq then begin
+          m.last_token_seq <- seq;
+          process ctx m g color
+        end
+    | Messages.Wd_probe { seq } ->
+        let reply =
+          Messages.Wd_reply
+            {
+              seq;
+              received = seq <= m.last_token_seq;
+              holding = m.held <> None && seq = m.last_token_seq;
+            }
+        in
+        Engine.send ctx ~bits:(bits reply) ~dst:src reply
+    | Messages.Wd_reply { seq; received; holding } -> (
+        match watchdog with
+        | Some wd -> Watchdog.on_reply wd ctx ~seq ~received ~holding
+        | None -> ())
     | _ -> failwith "Token_vc: unexpected message at monitor"
   in
   let cells =
     Array.init width (fun k ->
-        { k; queue = Queue.create (); app_done = false; held = None; last = None })
+        {
+          k;
+          queue = Queue.create ();
+          app_done = false;
+          held = None;
+          last = None;
+          last_token_seq = 0;
+        })
   in
   Array.iter
-    (fun m -> Engine.set_handler engine (monitor_id m.k) (on_message m))
+    (fun m -> net.Run_common.set_handler (monitor_id m.k) (on_message m))
     cells;
   {
     start_id = monitor_id start_at;
@@ -177,26 +221,47 @@ let install engine ~n_app ~wcp_procs ?check ?(stop = true) ?(start_at = 0)
         process ctx cells.(start_at) g color);
   }
 
+(* Shared by the token detectors: under a fault plan, route all
+   protocol traffic through the reliable transport and degrade to
+   [Undetectable_crashed] when a peer is unreachable. *)
+let chaos_net engine ~outcome =
+  let on_unreachable ctx ~dst =
+    if Option.is_none !outcome then begin
+      outcome := Some (Detection.Undetectable_crashed [ dst ]);
+      Engine.stop ctx
+    end
+  in
+  Run_common.reliable_net ~on_unreachable engine
+
 let start engine monitors =
   Engine.schedule_initial engine ~proc:monitors.start_id ~at:0.0
     monitors.start_token
 
-let detect ?network ?(invariant_checks = false) ?start_at ~seed comp spec =
+let detect ?network ?fault ?(invariant_checks = false) ?start_at ~seed comp
+    spec =
   let n = Computation.n comp in
   let width = Spec.width spec in
-  let engine = Run_common.make_engine ?network ~seed comp in
+  let fault =
+    match fault with Some p when not (Fault.is_none p) -> Some p | _ -> None
+  in
+  let engine = Run_common.make_engine ?network ?fault ~seed comp in
   let outcome = ref None in
   let hops = ref 0 in
   let snapshots = ref 0 in
   let check =
     if invariant_checks then Some (check_invariants comp spec) else None
   in
+  let net, watchdog =
+    match fault with
+    | None -> (None, None)
+    | Some _ -> (Some (chaos_net engine ~outcome), Some (Watchdog.create ()))
+  in
   let monitors =
-    install engine ~n_app:n ~wcp_procs:(Spec.procs spec) ?check ?start_at
-      ~outcome ~hops ~snapshots ()
+    install engine ~n_app:n ~wcp_procs:(Spec.procs spec) ?net ?watchdog ?check
+      ?start_at ~outcome ~hops ~snapshots ()
   in
   (* Application side: Fig. 2 snapshots, spec processes only. *)
-  App_replay.install engine comp
+  App_replay.install engine comp ?net
     ~snapshots:(fun p ->
       if Spec.mem spec p then
         List.map
@@ -207,7 +272,9 @@ let detect ?network ?(invariant_checks = false) ?start_at ~seed comp spec =
       if Spec.mem spec p then Some (Run_common.monitor_of ~n p) else None)
     ~spec_width:width ();
   start engine monitors;
-  let result = Run_common.finish engine ~outcome ~extras:Detection.no_extras in
+  let result =
+    Run_common.finish ?fault engine ~outcome ~extras:Detection.no_extras
+  in
   {
     result with
     extras = { result.extras with token_hops = !hops; snapshots = !snapshots };

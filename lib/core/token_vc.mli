@@ -35,6 +35,8 @@ val install :
   Messages.t Engine.t ->
   n_app:int ->
   wcp_procs:int array ->
+  ?net:Run_common.net ->
+  ?watchdog:Watchdog.t ->
   ?check:(g:int array -> color:Messages.color array -> unit) ->
   ?stop:bool ->
   ?start_at:int ->
@@ -51,7 +53,18 @@ val install :
     a ground-truth computation). On termination the detecting monitor
     stores the result in [outcome] and, unless [stop] is [false], halts
     the engine (live monitors pass [~stop:false] so the application can
-    run to completion). *)
+    run to completion).
+
+    [net] (default {!Run_common.raw_net}) carries all monitor traffic;
+    pass {!Run_common.reliable_net} when running under a fault plan.
+    [watchdog], when given, guards every token hop against loss (lease
+    probe + regeneration; see {!Watchdog}). *)
+
+val chaos_net :
+  Messages.t Engine.t -> outcome:Detection.outcome option ref -> Run_common.net
+(** {!Run_common.reliable_net} whose unreachable-peer callback records
+    [Undetectable_crashed] in [outcome] (first crash wins) and halts
+    the engine. Shared by all token detectors' [?fault] modes. *)
 
 val start : Messages.t Engine.t -> monitors -> unit
 (** Schedule the initial (all-red, [G = 0]) token at the starting
@@ -62,6 +75,7 @@ val start : Messages.t Engine.t -> monitors -> unit
 
 val detect :
   ?network:Network.t ->
+  ?fault:Fault.plan ->
   ?invariant_checks:bool ->
   ?start_at:int ->
   seed:int64 ->
@@ -72,5 +86,11 @@ val detect :
     [invariant_checks] re-validates Lemma 3.1(1–3) against the recorded
     computation at every token processing step — an executable proof
     check (it reads the trace, so costs are not charged for it).
+
+    [fault] (default none) runs the whole stack under deterministic
+    chaos: all traffic rides the reliable transport, every token hop is
+    watched by a {!Watchdog}, and a permanently crashed/unreachable
+    peer yields [Undetectable_crashed] instead of a hang. Passing
+    [Fault.none] is identical to omitting [fault].
     @raise Failure if [invariant_checks] is on and an invariant is
     violated. *)

@@ -1,0 +1,56 @@
+open Wcp_sim
+
+type t = {
+  lease : float;
+  max_probes : int;
+  mutable seq : int;  (* watched token hop; 0 = idle *)
+  mutable dst : int;
+  mutable resend : (Messages.t Engine.ctx -> unit) option;
+  mutable probes : int;
+}
+
+let create ?(lease = 25.0) ?(max_probes = 6) () =
+  if not (Float.is_finite lease) || lease <= 0.0 then
+    invalid_arg "Watchdog.create: lease must be positive";
+  if max_probes < 1 then invalid_arg "Watchdog.create: max_probes must be >= 1";
+  { lease; max_probes; seq = 0; dst = -1; resend = None; probes = 0 }
+
+let probe_bits = Messages.bits ~spec_width:1 (Messages.Wd_probe { seq = 0 })
+
+(* Probes ride the raw network on purpose: they are idempotent, and a
+   lost probe merely skips one regeneration opportunity — the reliable
+   transport still guarantees the token itself arrives or the peer is
+   declared unreachable. *)
+let arm t ctx ~delay seq =
+  Engine.schedule ctx ~delay (fun ctx ->
+      if t.seq = seq then
+        Engine.send ctx ~bits:probe_bits ~dst:t.dst
+          (Messages.Wd_probe { seq }))
+
+let watch t ctx ~seq ~dst ~resend =
+  if seq <= 0 then invalid_arg "Watchdog.watch: seq must be positive";
+  t.seq <- seq;
+  t.dst <- dst;
+  t.resend <- Some resend;
+  t.probes <- 0;
+  arm t ctx ~delay:t.lease seq
+
+let stand_down t =
+  t.seq <- 0;
+  t.resend <- None
+
+let on_reply t ctx ~seq ~received ~holding =
+  if seq = t.seq && seq > 0 then
+    if not received then begin
+      (match t.resend with Some f -> f ctx | None -> ());
+      t.probes <- t.probes + 1;
+      if t.probes <= t.max_probes then arm t ctx ~delay:t.lease seq
+      else stand_down t
+    end
+    else if holding then begin
+      t.probes <- t.probes + 1;
+      if t.probes <= t.max_probes then
+        arm t ctx ~delay:(t.lease *. float_of_int (1 + t.probes)) seq
+      else stand_down t
+    end
+    else stand_down t

@@ -1,0 +1,51 @@
+(** Token-loss watchdog: lease probes plus regeneration by the
+    last-known holder.
+
+    After a monitor forwards the token (hop number [seq]) to [dst], it
+    keeps a resend closure and arms a lease timer. When the lease
+    expires it sends a {!Messages.Wd_probe} over the {e raw} network;
+    the receiver answers {!Messages.Wd_reply} stating whether the token
+    reached it ([received]) and whether it still holds it ([holding]).
+
+    - not received: the last-known holder {e regenerates} the token
+      (resends its saved copy through the caller-supplied channel) and
+      re-arms;
+    - received and still holding: the holder is alive but waiting for
+      candidates — re-arm with a linearly growing lease, up to
+      [max_probes] times, then stand down (the reliable transport and
+      its unreachable detection own liveness from here);
+    - received and no longer holding: responsibility has moved to the
+      next hop (which armed its own watchdog) — stand down.
+
+    Regenerated tokens carry the original [seq], and every monitor
+    discards token messages whose [seq] does not exceed the last one it
+    accepted, so regeneration can never double-run the protocol. A
+    watchdog instance tracks one outstanding token at a time (a monitor
+    never has more in flight); {!watch} for a newer [seq] supersedes
+    the previous watch, and stale probe replies are ignored. *)
+
+open Wcp_sim
+
+type t
+
+val create : ?lease:float -> ?max_probes:int -> unit -> t
+(** [lease] (default 25.0 sim-time units) is the initial probe delay;
+    [max_probes] (default 6) bounds consecutive unproductive probes.
+    @raise Invalid_argument on a non-positive lease or max_probes. *)
+
+val watch :
+  t ->
+  Messages.t Engine.ctx ->
+  seq:int ->
+  dst:int ->
+  resend:(Messages.t Engine.ctx -> unit) ->
+  unit
+(** Start watching token [seq] just sent to [dst]. [resend] must
+    re-emit a fresh copy of that token (deep-copied — the original's
+    arrays are mutated by the receiver). [seq] must be positive and
+    increase across calls on the same watchdog. *)
+
+val on_reply :
+  t -> Messages.t Engine.ctx -> seq:int -> received:bool -> holding:bool -> unit
+(** Feed a {!Messages.Wd_reply} back in; replies for superseded
+    sequence numbers are ignored. *)

@@ -15,6 +15,10 @@ and 'msg t = {
   num_processes : int;
   network : Network.t;
   rng : Rng.t;
+  (* [None] when no fault plan was given (or the plan is Fault.none):
+     the hot path then never touches the fault layer, so fault-free
+     runs are bit-identical to pre-fault builds. *)
+  fault : Fault.t option;
   stats : Stats.t;
   queue : 'msg event_body Heap.Flat.t;
   handlers : ('msg ctx -> src:int -> 'msg -> unit) option array;
@@ -30,14 +34,20 @@ and 'msg t = {
 
 and 'msg ctx = { engine : 'msg t; proc : int }
 
-let create ?(network = Network.uniform_default) ?(max_events = 50_000_000)
-    ~num_processes ~seed () =
+let create ?(network = Network.uniform_default) ?fault
+    ?(max_events = 50_000_000) ~num_processes ~seed () =
   if num_processes < 1 then invalid_arg "Engine.create: need >= 1 process";
+  let fault =
+    match fault with
+    | Some plan when not (Fault.is_none plan) -> Some (Fault.start plan)
+    | _ -> None
+  in
   let t =
     {
       num_processes;
       network;
       rng = Rng.create seed;
+      fault;
       stats = Stats.create ~n:num_processes;
       queue = Heap.Flat.create ();
       handlers = Array.make num_processes None;
@@ -89,7 +99,21 @@ let send ctx ?(bits = 32) ~dst msg =
     Network.delivery_time t.network t.rng ~src:ctx.proc ~dst ~now:t.clock
   in
   Stats.msg_sent t.stats ~proc:ctx.proc ~bits;
-  push t ~at (Deliver { dst; src = ctx.proc; msg })
+  match t.fault with
+  | None -> push t ~at (Deliver { dst; src = ctx.proc; msg })
+  | Some f -> (
+      (* The nominal schedule above already consumed the engine RNG, so
+         whatever the fault layer decides, fault-free traffic elsewhere
+         in the run sees an unchanged random stream. *)
+      match Fault.fate f ~src:ctx.proc ~dst with
+      | Fault.Drop -> Stats.note_net_dropped t.stats
+      | Fault.Pass { extra; dup_extra } ->
+          push t ~at:(at +. extra) (Deliver { dst; src = ctx.proc; msg });
+          (match dup_extra with
+          | None -> ()
+          | Some e ->
+              Stats.note_net_duplicated t.stats;
+              push t ~at:(at +. e) (Deliver { dst; src = ctx.proc; msg })))
 
 let schedule ctx ~delay callback =
   let t = ctx.engine in
@@ -113,9 +137,24 @@ let dispatch t body =
       | Some h -> h t.ctxs.(dst) ~src msg
       | None ->
           failwith
-            (Printf.sprintf "Engine: message for process %d with no handler"
-               dst))
+            (Printf.sprintf
+               "Engine: message from process %d for process %d with no handler"
+               src dst))
   | Timer { proc; callback } -> callback t.ctxs.(proc)
+
+(* With a fault plan active, events aimed at a process inside a crash
+   or stall window are dropped or re-queued at the window's end instead
+   of dispatched. *)
+let faulty_dispatch t fault ~at body =
+  let proc, timer =
+    match body with
+    | Deliver { dst; _ } -> (dst, false)
+    | Timer { proc; _ } -> (proc, true)
+  in
+  match Fault.crash_fate fault ~proc ~now:at ~timer with
+  | Fault.Up -> dispatch t body
+  | Fault.Lost -> Stats.note_crash_dropped t.stats
+  | Fault.Deferred until -> push t ~at:until body
 
 let run t =
   if t.running then invalid_arg "Engine.run: already run";
@@ -130,7 +169,9 @@ let run t =
       let body = Heap.Flat.pop_exn t.queue in
       t.events_done <- t.events_done + 1;
       t.clock <- at;
-      dispatch t body;
+      (match t.fault with
+      | None -> dispatch t body
+      | Some f -> faulty_dispatch t f ~at body);
       loop ()
     end
   in

@@ -25,16 +25,23 @@ type 'msg ctx
     the duration of the handler invocation that received it. *)
 
 val create :
-  ?network:Network.t -> ?max_events:int -> num_processes:int -> seed:int64 ->
-  unit -> 'msg t
+  ?network:Network.t -> ?fault:Fault.plan -> ?max_events:int ->
+  num_processes:int -> seed:int64 -> unit -> 'msg t
 (** [max_events] (default 50 million) guards against runaway protocols:
     the budget is checked before each dispatch, so at most [max_events]
-    events ever run; attempting one more raises [Failure]. *)
+    events ever run; attempting one more raises [Failure].
+
+    [fault] (default none) injects deterministic chaos: link-level
+    drops/duplicates/delay spikes are applied to each [send] {e after}
+    the network model fixed the nominal delivery time, and crash/stall
+    windows filter events at dispatch. The fault layer draws from its
+    own PRNG (seeded by the plan), so passing [Fault.none] — or no plan
+    — leaves runs bit-identical to an engine without the fault layer. *)
 
 val set_handler : 'msg t -> int -> ('msg ctx -> src:int -> 'msg -> unit) -> unit
 (** Install the message handler for a process. Messages arriving for a
-    process with no handler raise [Failure] (a wiring bug, not a
-    protocol condition). *)
+    process with no handler raise [Failure] naming both the source and
+    destination process (a wiring bug, not a protocol condition). *)
 
 val stats : 'msg t -> Stats.t
 (** Message counts are charged automatically on [send]; work and space

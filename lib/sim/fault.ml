@@ -1,0 +1,125 @@
+open Wcp_util
+
+type kind = Crash | Stall
+
+type window = {
+  proc : int;
+  from_t : float;
+  until_t : float option;
+  kind : kind;
+}
+
+type link = { drop : float; dup : float; spike_p : float; spike_mean : float }
+
+let check_prob name p =
+  if Float.is_nan p || p < 0.0 || p > 1.0 then
+    invalid_arg (Printf.sprintf "Fault.link: %s=%g not in [0,1]" name p)
+
+let link ?(drop = 0.0) ?(dup = 0.0) ?(spike_p = 0.0) ?(spike_mean = 0.0) () =
+  check_prob "drop" drop;
+  check_prob "dup" dup;
+  check_prob "spike_p" spike_p;
+  if Float.is_nan spike_mean || spike_mean < 0.0
+     || not (Float.is_finite spike_mean)
+  then
+    invalid_arg
+      (Printf.sprintf "Fault.link: spike_mean=%g not finite non-negative"
+         spike_mean);
+  { drop; dup; spike_p; spike_mean }
+
+let window ?until_t ~kind ~proc ~from_t () =
+  if proc < 0 then invalid_arg "Fault.window: negative proc";
+  if Float.is_nan from_t || from_t < 0.0 then
+    invalid_arg (Printf.sprintf "Fault.window: from_t=%g invalid" from_t);
+  (match until_t with
+  | None -> ()
+  | Some u ->
+      if Float.is_nan u || u <= from_t then
+        invalid_arg
+          (Printf.sprintf "Fault.window: until_t=%g must exceed from_t=%g" u
+             from_t));
+  { proc; from_t; until_t; kind }
+
+type plan = {
+  seed : int64;
+  links : (src:int -> dst:int -> link) option;
+  windows : window array;
+}
+
+let none = { seed = 0L; links = None; windows = [||] }
+
+let make ?(seed = 0L) ?links ?(windows = []) () =
+  { seed; links; windows = Array.of_list windows }
+
+let uniform ?(seed = 0L) ?drop ?dup ?spike_p ?spike_mean ?windows () =
+  let l = link ?drop ?dup ?spike_p ?spike_mean () in
+  if l.drop = 0.0 && l.dup = 0.0 && l.spike_p = 0.0 then make ~seed ?windows ()
+  else make ~seed ~links:(fun ~src:_ ~dst:_ -> l) ?windows ()
+
+let is_none p = p.links = None && Array.length p.windows = 0
+
+let seed p = p.seed
+
+let permanently_crashed p =
+  Array.to_list p.windows
+  |> List.filter_map (fun w -> if w.until_t = None then Some w.proc else None)
+  |> List.sort_uniq compare
+
+type t = { plan : plan; rng : Rng.t }
+
+let start plan = { plan; rng = Rng.create plan.seed }
+
+let plan t = t.plan
+
+let active t = not (is_none t.plan)
+
+type fate = Pass of { extra : float; dup_extra : float option } | Drop
+
+let no_fault_pass = Pass { extra = 0.0; dup_extra = None }
+
+let fate t ~src ~dst =
+  match t.plan.links with
+  | None -> no_fault_pass
+  | Some links ->
+      let l = links ~src ~dst in
+      if l.drop > 0.0 && Rng.bernoulli t.rng l.drop then Drop
+      else
+        let extra =
+          if l.spike_p > 0.0 && Rng.bernoulli t.rng l.spike_p then
+            Rng.exponential t.rng ~mean:l.spike_mean
+          else 0.0
+        in
+        let dup_extra =
+          if l.dup > 0.0 && Rng.bernoulli t.rng l.dup then
+            (* The duplicate trails the original by its own exponential
+               gap (mean 1.0 time units) so it exercises reordering, not
+               just same-instant redelivery. *)
+            Some (extra +. Rng.exponential t.rng ~mean:1.0)
+          else None
+        in
+        if extra = 0.0 && dup_extra = None then no_fault_pass
+        else Pass { extra; dup_extra }
+
+type crash_fate = Up | Lost | Deferred of float
+
+let crash_fate t ~proc ~now ~timer =
+  (* Windows are few (a handful per plan); a linear scan per dispatch
+     is cheaper than any index. First containing window wins. *)
+  let ws = t.plan.windows in
+  let n = Array.length ws in
+  let rec find i =
+    if i >= n then Up
+    else
+      let w = ws.(i) in
+      let inside =
+        w.proc = proc && now >= w.from_t
+        && match w.until_t with None -> true | Some u -> now < u
+      in
+      if not inside then find (i + 1)
+      else
+        match (w.kind, w.until_t) with
+        | _, None -> Lost
+        | Crash, Some u -> if timer then Deferred u else Lost
+        | Stall, Some u -> Deferred u
+  in
+  find 0

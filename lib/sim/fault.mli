@@ -1,0 +1,113 @@
+(** Deterministic fault injection for the discrete-event engine.
+
+    A {e fault plan} describes everything that may go wrong in a run:
+    per-link message loss, duplication and delay spikes, plus scheduled
+    per-process crash or stall windows. The plan is applied by the
+    engine at the network boundary, {e after} {!Network.delivery_time}
+    has fixed the nominal delivery schedule, and draws all of its
+    randomness from its own SplitMix64 stream seeded by [seed] — never
+    from the engine's PRNG. Two consequences:
+
+    - equal (engine seed, fault seed) pairs reproduce a chaotic run
+      bit for bit;
+    - a plan with zero fault rates and no windows ({!none}) leaves the
+      engine's random stream untouched, so zero-fault runs are
+      bit-identical to runs with no plan at all.
+
+    Window semantics (a window is half-open, [\[from_t, until_t)]):
+    - [Crash]: messages delivered to the process inside the window are
+      {e lost}; the process's own timers are deferred to the window end
+      (its local state survives — the window models a crash-and-restart
+      or a network partition of that host). A window with
+      [until_t = None] is a {e permanent} crash: everything addressed
+      to the process, timers included, is dropped forever.
+    - [Stall]: the process is frozen — both messages and timers are
+      deferred to the window end; nothing is lost. *)
+
+type kind = Crash | Stall
+
+type window = {
+  proc : int;
+  from_t : float;
+  until_t : float option;  (** [None] = permanent *)
+  kind : kind;
+}
+
+type link = {
+  drop : float;  (** per-delivery loss probability *)
+  dup : float;  (** per-delivery duplication probability *)
+  spike_p : float;  (** probability of an extra delay spike *)
+  spike_mean : float;  (** mean of the exponential spike *)
+}
+
+val link :
+  ?drop:float -> ?dup:float -> ?spike_p:float -> ?spike_mean:float ->
+  unit -> link
+(** All rates default to 0. @raise Invalid_argument if a probability is
+    outside [\[0, 1\]] or [spike_mean] is negative or not finite. *)
+
+val window : ?until_t:float -> kind:kind -> proc:int -> from_t:float -> unit -> window
+(** @raise Invalid_argument if [proc < 0], times are negative/NaN, or
+    [until_t <= from_t]. *)
+
+type plan
+
+val none : plan
+(** No faults at all; {!is_none} holds. *)
+
+val make :
+  ?seed:int64 ->
+  ?links:(src:int -> dst:int -> link) ->
+  ?windows:window list ->
+  unit -> plan
+(** [links] defaults to a fault-free link everywhere; [seed] defaults
+    to 0. *)
+
+val uniform :
+  ?seed:int64 ->
+  ?drop:float -> ?dup:float -> ?spike_p:float -> ?spike_mean:float ->
+  ?windows:window list ->
+  unit -> plan
+(** Every link gets the same fault rates (validated as for {!link}).
+    All rates zero degenerates to [make ?windows ()], so
+    [uniform ()] satisfies {!is_none}. *)
+
+val is_none : plan -> bool
+(** True only for {!none} (constructed with no links function and no
+    windows): the engine skips the fault path entirely. A plan built
+    with [make ~links] is conservatively considered active even if the
+    function returns zero rates everywhere. *)
+
+val seed : plan -> int64
+
+val permanently_crashed : plan -> int list
+(** Sorted process ids with a [Crash]/[Stall] window that never ends —
+    used to report graceful degradation instead of a hang. *)
+
+(** {2 Runtime state (used by the engine)} *)
+
+type t
+(** A plan plus its private PRNG stream. *)
+
+val start : plan -> t
+
+val plan : t -> plan
+
+val active : t -> bool
+
+type fate =
+  | Pass of { extra : float; dup_extra : float option }
+      (** Deliver after [extra] additional delay; if [dup_extra] is
+          [Some e], also deliver a duplicate copy delayed by [e]. *)
+  | Drop
+
+val fate : t -> src:int -> dst:int -> fate
+(** Draw the fate of one delivery on the plan's private stream. *)
+
+type crash_fate = Up | Lost | Deferred of float
+
+val crash_fate : t -> proc:int -> now:float -> timer:bool -> crash_fate
+(** What happens to an event dispatched to [proc] at [now]: [Up] runs
+    it, [Lost] silently drops it, [Deferred t] re-schedules it at
+    [t]. [timer] distinguishes the process's own timers from message
+    deliveries (see the window semantics above). *)

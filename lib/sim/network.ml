@@ -9,7 +9,24 @@ type t = {
   last : (int * int, float) Hashtbl.t;
 }
 
+let bad fmt = Printf.ksprintf invalid_arg ("Network.create: " ^^ fmt)
+
+let finite_nonneg what x =
+  if Float.is_nan x || not (Float.is_finite x) || x < 0.0 then
+    bad "%s %g must be finite and non-negative" what x
+
+let validate = function
+  | Constant d -> finite_nonneg "Constant delay" d
+  | Uniform (lo, hi) ->
+      finite_nonneg "Uniform lower bound" lo;
+      finite_nonneg "Uniform upper bound" hi;
+      if lo > hi then bad "Uniform bounds inverted (%g > %g)" lo hi
+  | Exponential mean ->
+      if Float.is_nan mean || not (Float.is_finite mean) || mean <= 0.0 then
+        bad "Exponential mean %g must be finite and positive" mean
+
 let create ?(fifo = fun ~src:_ ~dst:_ -> false) ~latency () =
+  validate latency;
   { fifo; latency; last = Hashtbl.create 64 }
 
 let uniform_default = create ~latency:(Uniform (0.5, 1.5)) ()

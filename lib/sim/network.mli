@@ -22,7 +22,12 @@ type t
 val create :
   ?fifo:(src:int -> dst:int -> bool) -> latency:latency -> unit -> t
 (** [fifo] defaults to [fun ~src:_ ~dst:_ -> false] (no link is
-    FIFO). *)
+    FIFO).
+
+    The latency description is validated eagerly: bounds must be
+    finite and non-negative, [Uniform (lo, hi)] needs [lo <= hi], and
+    [Exponential mean] needs [mean > 0].
+    @raise Invalid_argument on a bad description. *)
 
 val uniform_default : t
 (** Non-FIFO, [Uniform (0.5, 1.5)] — a reasonable generic network. *)

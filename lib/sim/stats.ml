@@ -4,7 +4,12 @@ type t = {
   bits : int array;
   work : int array;
   space_hw : int array;
+  retransmits : int array;
+  dups_suppressed : int array;
   mutable events_done : int;
+  mutable net_dropped : int;
+  mutable net_duplicated : int;
+  mutable crash_dropped : int;
 }
 
 let create ~n =
@@ -14,7 +19,12 @@ let create ~n =
     bits = Array.make n 0;
     work = Array.make n 0;
     space_hw = Array.make n 0;
+    retransmits = Array.make n 0;
+    dups_suppressed = Array.make n 0;
     events_done = 0;
+    net_dropped = 0;
+    net_duplicated = 0;
+    crash_dropped = 0;
   }
 
 let n t = Array.length t.sent
@@ -34,6 +44,17 @@ let set_events_done t k = t.events_done <- k
 
 let events_done t = t.events_done
 
+let retransmit t ~proc = t.retransmits.(proc) <- t.retransmits.(proc) + 1
+
+let dup_suppressed t ~proc =
+  t.dups_suppressed.(proc) <- t.dups_suppressed.(proc) + 1
+
+let note_net_dropped t = t.net_dropped <- t.net_dropped + 1
+
+let note_net_duplicated t = t.net_duplicated <- t.net_duplicated + 1
+
+let note_crash_dropped t = t.crash_dropped <- t.crash_dropped + 1
+
 let sent t i = t.sent.(i)
 let received t i = t.received.(i)
 let bits t i = t.bits.(i)
@@ -48,6 +69,16 @@ let total_bits t = sum t.bits
 let total_work t = sum t.work
 let max_work t = maximum t.work
 let max_space t = maximum t.space_hw
+let total_retransmits t = sum t.retransmits
+let total_dups_suppressed t = sum t.dups_suppressed
+let net_dropped t = t.net_dropped
+let net_duplicated t = t.net_duplicated
+let crash_dropped t = t.crash_dropped
+
+let any_faults t =
+  total_retransmits t > 0
+  || total_dups_suppressed t > 0
+  || t.net_dropped > 0 || t.net_duplicated > 0 || t.crash_dropped > 0
 
 let merge_into ~dst src =
   if n dst <> n src then invalid_arg "Stats.merge_into: size mismatch";
@@ -56,9 +87,14 @@ let merge_into ~dst src =
     dst.received.(i) <- dst.received.(i) + src.received.(i);
     dst.bits.(i) <- dst.bits.(i) + src.bits.(i);
     dst.work.(i) <- dst.work.(i) + src.work.(i);
-    dst.space_hw.(i) <- max dst.space_hw.(i) src.space_hw.(i)
+    dst.space_hw.(i) <- max dst.space_hw.(i) src.space_hw.(i);
+    dst.retransmits.(i) <- dst.retransmits.(i) + src.retransmits.(i);
+    dst.dups_suppressed.(i) <- dst.dups_suppressed.(i) + src.dups_suppressed.(i)
   done;
-  dst.events_done <- dst.events_done + src.events_done
+  dst.events_done <- dst.events_done + src.events_done;
+  dst.net_dropped <- dst.net_dropped + src.net_dropped;
+  dst.net_duplicated <- dst.net_duplicated + src.net_duplicated;
+  dst.crash_dropped <- dst.crash_dropped + src.crash_dropped
 
 let pp ppf t =
   Format.fprintf ppf "proc  sent  recv      bits      work    space@.";
@@ -69,4 +105,12 @@ let pp ppf t =
   Format.fprintf ppf
     "total sent=%d bits=%d work=%d max-work=%d max-space=%d events=%d"
     (total_sent t) (total_bits t) (total_work t) (max_work t) (max_space t)
-    t.events_done
+    t.events_done;
+  (* The faults line only appears when fault injection actually fired,
+     so fault-free runs keep their historical (golden-tested) output. *)
+  if any_faults t then
+    Format.fprintf ppf
+      "@.faults retransmit=%d dup-suppressed=%d net-drop=%d net-dup=%d \
+       crash-drop=%d"
+      (total_retransmits t) (total_dups_suppressed t) t.net_dropped
+      t.net_duplicated t.crash_dropped

@@ -41,6 +41,28 @@ val set_events_done : t -> int -> unit
 
 val events_done : t -> int
 
+(** {2 Fault / robustness counters}
+
+    Charged by {!Transport} (retransmissions, duplicate suppression)
+    and by the engine's fault-injection path ({!Fault}); all stay zero
+    in fault-free runs. *)
+
+val retransmit : t -> proc:int -> unit
+(** One timeout-driven retransmission by [proc]'s transport sender. *)
+
+val dup_suppressed : t -> proc:int -> unit
+(** One duplicate frame discarded by [proc]'s transport receiver. *)
+
+val note_net_dropped : t -> unit
+(** A delivery lost by the fault plan at the network boundary. *)
+
+val note_net_duplicated : t -> unit
+(** A delivery duplicated by the fault plan. *)
+
+val note_crash_dropped : t -> unit
+(** An event lost because its target process was inside a crash
+    window. *)
+
 (** {2 Per-process readings} *)
 
 val sent : t -> int -> int
@@ -59,6 +81,16 @@ val max_work : t -> int
     process". *)
 
 val max_space : t -> int
+
+val total_retransmits : t -> int
+val total_dups_suppressed : t -> int
+val net_dropped : t -> int
+val net_duplicated : t -> int
+val crash_dropped : t -> int
+
+val any_faults : t -> bool
+(** True iff any fault counter is nonzero (i.e. fault injection or the
+    reliable transport actually did something this run). *)
 
 val merge_into : dst:t -> t -> unit
 (** Add all counters of the source into [dst] (same [n] required);

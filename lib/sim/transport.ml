@@ -1,0 +1,183 @@
+type 'msg frame = Data of { seq : int; payload : 'msg } | Ack of { cum : int }
+
+let frame_overhead_bits = 32
+
+(* Sender side of one (src, dst) flow. [base .. next_seq - 1] are the
+   in-flight (unacked) sequence numbers; [buf] keeps their payloads for
+   retransmission. A single timer chain per flow watches the oldest
+   in-flight frame (the cumulative-ack cursor): engine timers cannot be
+   cancelled, so a fired timer that finds its deadline pushed forward —
+   an ack arrived meanwhile — re-arms itself instead of retransmitting. *)
+type 'msg tx = {
+  dst : int;
+  mutable next_seq : int;
+  mutable base : int;
+  buf : (int, 'msg * int) Hashtbl.t;  (* seq -> payload, bits *)
+  mutable armed : bool;
+  mutable deadline : float;
+  mutable retries : int;
+  mutable cur_rto : float;
+}
+
+(* Receiver side of one (src, dst) flow. *)
+type 'msg rx = {
+  mutable expected : int;
+  pending : (int, 'msg) Hashtbl.t;  (* out-of-order buffer *)
+}
+
+type 'msg t = {
+  engine : 'msg Engine.t;
+  rto : float;
+  backoff : float;
+  max_retries : int;
+  inject : 'msg frame -> 'msg;
+  project : 'msg -> 'msg frame option;
+  on_unreachable : 'msg Engine.ctx -> dst:int -> unit;
+  txs : (int * int, 'msg tx) Hashtbl.t;
+  rxs : (int * int, 'msg rx) Hashtbl.t;
+  mutable dead : int list;
+}
+
+let create ?(rto = 4.0) ?(backoff = 2.0) ?(max_retries = 12) ~inject ~project
+    ?(on_unreachable = fun _ ~dst:_ -> ()) engine =
+  if not (Float.is_finite rto) || rto <= 0.0 then
+    invalid_arg "Transport.create: rto must be positive";
+  if not (Float.is_finite backoff) || backoff < 1.0 then
+    invalid_arg "Transport.create: backoff must be >= 1";
+  if max_retries < 1 then
+    invalid_arg "Transport.create: max_retries must be >= 1";
+  {
+    engine;
+    rto;
+    backoff;
+    max_retries;
+    inject;
+    project;
+    on_unreachable;
+    txs = Hashtbl.create 16;
+    rxs = Hashtbl.create 16;
+    dead = [];
+  }
+
+let unreachable t = t.dead
+
+let is_dead t dst = List.mem dst t.dead
+
+let tx_flow t ~src ~dst =
+  let key = (src, dst) in
+  match Hashtbl.find_opt t.txs key with
+  | Some f -> f
+  | None ->
+      let f =
+        {
+          dst;
+          next_seq = 1;
+          base = 1;
+          buf = Hashtbl.create 8;
+          armed = false;
+          deadline = 0.0;
+          retries = 0;
+          cur_rto = t.rto;
+        }
+      in
+      Hashtbl.add t.txs key f;
+      f
+
+let rx_flow t ~src ~dst =
+  let key = (src, dst) in
+  match Hashtbl.find_opt t.rxs key with
+  | Some f -> f
+  | None ->
+      let f = { expected = 1; pending = Hashtbl.create 8 } in
+      Hashtbl.add t.rxs key f;
+      f
+
+let transmit t ctx flow seq =
+  let payload, bits = Hashtbl.find flow.buf seq in
+  Engine.send ctx
+    ~bits:(bits + frame_overhead_bits)
+    ~dst:flow.dst
+    (t.inject (Data { seq; payload }))
+
+let rec tick t flow ctx =
+  if flow.base >= flow.next_seq || is_dead t flow.dst then
+    flow.armed <- false
+  else
+    let now = Engine.time ctx in
+    if now +. 1e-9 < flow.deadline then
+      (* Progress was made since this timer was armed; wait out the
+         refreshed deadline. *)
+      Engine.schedule ctx ~delay:(flow.deadline -. now) (tick t flow)
+    else begin
+      flow.retries <- flow.retries + 1;
+      if flow.retries > t.max_retries then begin
+        flow.armed <- false;
+        t.dead <- List.sort_uniq compare (flow.dst :: t.dead);
+        t.on_unreachable ctx ~dst:flow.dst
+      end
+      else begin
+        Stats.retransmit (Engine.stats t.engine) ~proc:(Engine.self ctx);
+        transmit t ctx flow flow.base;
+        flow.cur_rto <- flow.cur_rto *. t.backoff;
+        flow.deadline <- now +. flow.cur_rto;
+        Engine.schedule ctx ~delay:flow.cur_rto (tick t flow)
+      end
+    end
+
+let arm t flow ctx =
+  if not flow.armed then begin
+    flow.armed <- true;
+    flow.retries <- 0;
+    flow.cur_rto <- t.rto;
+    flow.deadline <- Engine.time ctx +. t.rto;
+    Engine.schedule ctx ~delay:t.rto (tick t flow)
+  end
+
+let send t ctx ?(bits = 32) ~dst payload =
+  if is_dead t dst then ()
+  else begin
+    let flow = tx_flow t ~src:(Engine.self ctx) ~dst in
+    let seq = flow.next_seq in
+    flow.next_seq <- seq + 1;
+    Hashtbl.add flow.buf seq (payload, bits);
+    transmit t ctx flow seq;
+    arm t flow ctx
+  end
+
+let handle_ack t ctx ~src cum =
+  match Hashtbl.find_opt t.txs (Engine.self ctx, src) with
+  | None -> ()
+  | Some flow ->
+      if cum >= flow.base then begin
+        for seq = flow.base to cum do
+          Hashtbl.remove flow.buf seq
+        done;
+        flow.base <- cum + 1;
+        flow.retries <- 0;
+        flow.cur_rto <- t.rto;
+        flow.deadline <- Engine.time ctx +. t.rto
+      end
+
+let handle_data t ctx ~src ~seq payload deliver =
+  let self = Engine.self ctx in
+  let flow = rx_flow t ~src ~dst:self in
+  if seq < flow.expected || Hashtbl.mem flow.pending seq then
+    Stats.dup_suppressed (Engine.stats t.engine) ~proc:self
+  else Hashtbl.replace flow.pending seq payload;
+  while Hashtbl.mem flow.pending flow.expected do
+    let p = Hashtbl.find flow.pending flow.expected in
+    Hashtbl.remove flow.pending flow.expected;
+    flow.expected <- flow.expected + 1;
+    deliver ctx ~src p
+  done;
+  (* Cumulative ack; acks themselves ride the raw network — they are
+     idempotent and any retransmitted frame will provoke another one. *)
+  Engine.send ctx ~bits:frame_overhead_bits ~dst:src
+    (t.inject (Ack { cum = flow.expected - 1 }))
+
+let wire t proc handler =
+  Engine.set_handler t.engine proc (fun ctx ~src msg ->
+      match t.project msg with
+      | None -> handler ctx ~src msg
+      | Some (Data { seq; payload }) -> handle_data t ctx ~src ~seq payload handler
+      | Some (Ack { cum }) -> handle_ack t ctx ~src cum)

@@ -1,0 +1,67 @@
+(** Reliable delivery over faulty links.
+
+    The paper assumes reliable asynchronous channels (§2); {!Fault}
+    deliberately breaks that assumption. This module restores it on
+    top of a lossy/duplicating engine network with the classic
+    machinery: per-link sequence numbers, cumulative acknowledgements,
+    timeout-driven retransmission with exponential backoff (built on
+    engine timers), and receiver-side de-duplication/reordering. Each
+    (src, dst) flow is delivered exactly once, in send order — i.e.
+    every transported link is reliable FIFO.
+
+    The transport is embedded in the host protocol's message type: the
+    caller supplies [inject]/[project] to wrap a {!frame} as a protocol
+    message and recognise one on receipt, so a single engine instance
+    carries both raw and transported traffic.
+
+    Retransmissions charge {!Stats.retransmit} to the sender and
+    suppressed duplicates charge {!Stats.dup_suppressed} to the
+    receiver, on top of the normal send/receive accounting.
+
+    When a flow's oldest frame exhausts [max_retries], the transport
+    gives up and invokes [on_unreachable] (once per destination) so the
+    protocol can degrade gracefully instead of retrying forever. *)
+
+type 'msg frame =
+  | Data of { seq : int; payload : 'msg }
+      (** [seq] counts from 1 per (src, dst) flow. *)
+  | Ack of { cum : int }
+      (** Cumulative: every [Data] frame with [seq <= cum] arrived. *)
+
+type 'msg t
+
+val create :
+  ?rto:float ->
+  ?backoff:float ->
+  ?max_retries:int ->
+  inject:('msg frame -> 'msg) ->
+  project:('msg -> 'msg frame option) ->
+  ?on_unreachable:('msg Engine.ctx -> dst:int -> unit) ->
+  'msg Engine.t ->
+  'msg t
+(** [rto] (default 4.0 sim-time units) is the initial retransmission
+    timeout, doubled ([backoff], default 2.0) after each consecutive
+    retransmission of the same oldest frame, up to [max_retries]
+    (default 12) before the destination is declared unreachable.
+    [on_unreachable] defaults to doing nothing. *)
+
+val send : 'msg t -> 'msg Engine.ctx -> ?bits:int -> dst:int -> 'msg -> unit
+(** Like {!Engine.send} but reliable: assigns the next sequence number
+    on the (self, dst) flow, buffers the payload for retransmission and
+    arms the flow's timer. [bits] is the payload size; the frame header
+    adds one 32-bit word ({!frame_overhead_bits}). *)
+
+val wire :
+  'msg t -> int -> ('msg Engine.ctx -> src:int -> 'msg -> unit) -> unit
+(** [wire t proc handler] installs [proc]'s engine handler through the
+    transport: frames (recognised via [project]) are consumed by the
+    transport — acked, de-duplicated, re-ordered — and their payloads
+    handed to [handler] exactly once in per-flow send order; non-frame
+    messages go straight to [handler]. *)
+
+val frame_overhead_bits : int
+(** Bits added to a payload by the [Data] header; an [Ack] costs the
+    same on its own. *)
+
+val unreachable : 'msg t -> int list
+(** Sorted destinations declared unreachable so far. *)

@@ -91,6 +91,35 @@ Strong (Definitely) detection and the philosophers workload:
   $ wcpdetect detect tiny.trace -a cooper-marzullo
   cooper-marzullo: detected {0:1 1:1} (explored 1 cuts)
 
+Chaos: under a deterministic fault plan (lossy, duplicating links) the
+token algorithms still converge on the fault-free oracle's first cut,
+and the summary line accounts for the recovery work:
+
+  $ wcpdetect chaos run.trace -a token-vc --drop 0.2 --dup 0.1 --fault-seed 7
+  chaos token-vc drop=0.20 dup=0.10 crashes=0: detected {0:6 1:3 2:8 3:2} | retransmits=6 dup-suppressed=7 net-drop=10 net-dup=13 crash-drop=0 | oracle: match
+
+  $ wcpdetect chaos run.trace -a token-dd --drop 0.2 --dup 0.1 --fault-seed 7
+  chaos token-dd drop=0.20 dup=0.10 crashes=0: detected {0:6 1:3 2:8 3:2} | retransmits=11 dup-suppressed=13 net-drop=17 net-dup=17 crash-drop=0 | oracle: match
+
+  $ wcpdetect chaos run.trace -a multi-token --groups 2 --drop 0.2 --dup 0.1 --fault-seed 7
+  chaos multi-token drop=0.20 dup=0.10 crashes=0: detected {0:6 1:3 2:8 3:2} | retransmits=5 dup-suppressed=6 net-drop=10 net-dup=12 crash-drop=0 | oracle: match
+
+A monitor that crashes permanently (process 4 is the monitor of
+application process 0) degrades the verdict gracefully instead of
+hanging the run:
+
+  $ wcpdetect chaos run.trace -a token-vc --crash 4@0
+  chaos token-vc drop=0.00 dup=0.00 crashes=1: undetectable (crashed: 4) | retransmits=12 dup-suppressed=0 net-drop=0 net-dup=0 crash-drop=19 | oracle: degraded
+
+The same fault flags work on plain detect:
+
+  $ wcpdetect detect run.trace -a token-vc --drop 0.15 --fault-seed 3 | cut -d'|' -f1
+  detected {0:6 1:3 2:8 3:2} 
+
+  $ wcpdetect detect run.trace -a checker --drop 0.15
+  wcpdetect: fault injection is only supported for the token algorithms
+  [2]
+
 Comparing everything on the workload:
 
   $ wcpdetect compare ph.trace --procs 0,1,2 | head -3

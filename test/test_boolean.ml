@@ -161,7 +161,9 @@ let prop_possibly_equals_cooper_marzullo =
       let v = Boolean.detect comp expr in
       match Cooper_marzullo.detect comp (fun cut -> Boolean.eval expr comp cut) with
       | Ok (Detection.Detected _, _) -> v.Boolean.possibly
-      | Ok (Detection.No_detection, _) -> not v.Boolean.possibly
+      | Ok ((Detection.No_detection | Detection.Undetectable_crashed _), _)
+        ->
+          not v.Boolean.possibly
       | Error _ -> true)
 
 let prop_disjunct_cuts_minimal =

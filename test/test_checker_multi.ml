@@ -69,7 +69,8 @@ let test_checker_edge_cases () =
   | Detection.Detected cut ->
       Alcotest.(check string) "always true" "{0:1 1:1 2:1 3:1}"
         (Cut.to_string cut)
-  | Detection.No_detection -> Alcotest.fail "expected detection"
+  | Detection.No_detection | Detection.Undetectable_crashed _ ->
+      Alcotest.fail "expected detection"
 
 let test_checker_workloads () =
   List.iter
@@ -148,7 +149,8 @@ let test_multi_edge_cases () =
   | Detection.Detected cut ->
       Alcotest.(check string) "always true, one group per monitor"
         "{0:1 1:1 2:1 3:1}" (Cut.to_string cut)
-  | Detection.No_detection -> Alcotest.fail "expected detection"
+  | Detection.No_detection | Detection.Undetectable_crashed _ ->
+      Alcotest.fail "expected detection"
 
 let test_multi_workloads () =
   List.iter

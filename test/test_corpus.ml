@@ -57,6 +57,9 @@ let check_outcome name expected (outcome : Detection.outcome) =
         (Cut.to_string cut)
   | Some want, Detection.No_detection ->
       Alcotest.failf "%s: expected %s, got no detection" name want
+  | _, Detection.Undetectable_crashed ps ->
+      Alcotest.failf "%s: undetectable, crashed %s" name
+        (String.concat "," (List.map string_of_int ps))
 
 let test_oracle_golden () =
   List.iter

@@ -31,7 +31,8 @@ let test_project_outcome () =
   | Detection.Detected c ->
       Alcotest.(check string) "projection keeps spec entries" "{1:2 3:4}"
         (Cut.to_string c)
-  | Detection.No_detection -> Alcotest.fail "projection lost the cut");
+  | Detection.No_detection | Detection.Undetectable_crashed _ ->
+      Alcotest.fail "projection lost the cut");
   (match Detection.project_outcome spec Detection.No_detection with
   | Detection.No_detection -> ()
   | _ -> Alcotest.fail "projection must preserve No_detection");
@@ -86,8 +87,10 @@ let test_bits_accounting () =
                   { Wcp_clocks.Dependence.src = 1; clock = 1 } ];
        });
   check "token: G + colors" (32 * 6)
-    (Messages.Vc_token { g = [| 0; 0; 0 |]; color = [| Messages.Red; Messages.Red; Messages.Red |] });
-  check "empty dd token" 32 Messages.Dd_token;
+    (Messages.Vc_token
+       { seq = 1; g = [| 0; 0; 0 |];
+         color = [| Messages.Red; Messages.Red; Messages.Red |] });
+  check "empty dd token" 32 (Messages.Dd_token { seq = 1 });
   check "poll: 2 words" 64 (Messages.Poll { clock = 5; next_red = Some 2 });
   check "poll reply: 1 bit" 1 (Messages.Poll_reply { became_red = true });
   check "gcp snapshot: 1 + clock + counts" (32 * 6)
@@ -103,7 +106,7 @@ let test_messages_pp () =
   Alcotest.(check string) "app" "app#7" (show (Messages.App_msg { msg_id = 7 }));
   Alcotest.(check string) "snap-vc" "snap-vc@3"
     (show (Messages.Snap_vc { Snapshot.state = 3; clock = [| 3 |] }));
-  Alcotest.(check string) "dd token" "dd-token" (show Messages.Dd_token);
+  Alcotest.(check string) "dd token" "dd-token" (show (Messages.Dd_token { seq = 1 }));
   Alcotest.(check string) "poll" "poll(4,2)"
     (show (Messages.Poll { clock = 4; next_red = Some 2 }));
   Alcotest.(check string) "poll end" "poll(4,-)"
@@ -112,7 +115,8 @@ let test_messages_pp () =
     "token[1G 0R]"
     (show
        (Messages.Vc_token
-          { g = [| 1; 0 |]; color = [| Messages.Green; Messages.Red |] }))
+          { seq = 1; g = [| 1; 0 |];
+            color = [| Messages.Green; Messages.Red |] }))
 
 (* ------------------------------------------------------------------ *)
 (* Run_common                                                          *)

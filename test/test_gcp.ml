@@ -45,20 +45,23 @@ let test_empty_channel_detection () =
   | Detection.Detected cut ->
       Alcotest.(check string) "degenerates to the oracle" "{0:1 1:1}"
         (Cut.to_string cut)
-  | Detection.No_detection -> Alcotest.fail "expected detection");
+  | Detection.No_detection | Detection.Undetectable_crashed _ ->
+      Alcotest.fail "expected detection");
   (* Requiring the channel empty forbids cuts with unreceived sends:
      {0:1 1:1} (nothing sent) is still fine. *)
   (match Gcp.detect comp spec ~channels:[ Gcp.empty ~src:0 ~dst:1 ] with
   | Detection.Detected cut ->
       Alcotest.(check string) "initial cut has empty channel" "{0:1 1:1}"
         (Cut.to_string cut)
-  | Detection.No_detection -> Alcotest.fail "expected detection");
+  | Detection.No_detection | Detection.Undetectable_crashed _ ->
+      Alcotest.fail "expected detection");
   (* Requiring >= 2 in flight forces {0:3 1:1}. *)
   match Gcp.detect comp spec ~channels:[ Gcp.at_least 2 ~src:0 ~dst:1 ] with
   | Detection.Detected cut ->
       Alcotest.(check string) "first cut with 2 in flight" "{0:3 1:1}"
         (Cut.to_string cut)
-  | Detection.No_detection -> Alcotest.fail "expected detection"
+  | Detection.No_detection | Detection.Undetectable_crashed _ ->
+      Alcotest.fail "expected detection"
 
 let test_empty_with_local_preds () =
   (* Local predicate true only late on P0; channel must be empty: the
@@ -78,13 +81,14 @@ let test_empty_with_local_preds () =
         (Cut.to_string cut);
       Alcotest.(check bool) "channel verified empty" true
         (Gcp.holds_at comp (Gcp.empty ~src:0 ~dst:1) ~cut)
-  | Detection.No_detection -> Alcotest.fail "expected detection"
+  | Detection.No_detection | Detection.Undetectable_crashed _ ->
+      Alcotest.fail "expected detection"
 
 let test_unsatisfiable_channel () =
   let comp = all_true (two_message_comp ()) in
   let spec = Spec.all comp in
   match Gcp.detect comp spec ~channels:[ Gcp.at_least 3 ~src:0 ~dst:1 ] with
-  | Detection.No_detection -> ()
+  | Detection.No_detection | Detection.Undetectable_crashed _ -> ()
   | Detection.Detected _ -> Alcotest.fail "only 2 messages exist on channel"
 
 let test_endpoint_validation () =
@@ -130,7 +134,7 @@ let prop_gcp_detected_cut_valid =
       let channels = gen_channels comp rng in
       let spec = Spec.all comp in
       match Gcp.detect comp spec ~channels with
-      | Detection.No_detection -> true
+      | Detection.No_detection | Detection.Undetectable_crashed _ -> true
       | Detection.Detected cut ->
           Cut.consistent comp cut
           && Cut.satisfies comp cut
@@ -162,7 +166,8 @@ let test_custom_predicate () =
       Alcotest.check Helpers.outcome "brute agrees"
         (Gcp.detect_brute comp spec ~channels)
         (Detection.Detected cut)
-  | Detection.No_detection -> Alcotest.fail "expected detection"
+  | Detection.No_detection | Detection.Undetectable_crashed _ ->
+      Alcotest.fail "expected detection"
 
 (* ------------------------------------------------------------------ *)
 (* Online centralized GCP checker ([6])                                *)
@@ -217,7 +222,8 @@ let test_online_example () =
   | Detection.Detected cut ->
       Alcotest.(check string) "two in flight online" "{0:3 1:1}"
         (Cut.to_string cut)
-  | Detection.No_detection -> Alcotest.fail "expected online detection"
+  | Detection.No_detection | Detection.Undetectable_crashed _ ->
+      Alcotest.fail "expected online detection"
 
 let test_online_determinism () =
   let comp = Helpers.build_comp (4, 6, 50, 50, 3) in

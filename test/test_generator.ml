@@ -267,7 +267,8 @@ let test_philosophers_detected_cut_is_circular_wait () =
       | Detection.Detected cut ->
           Alcotest.(check bool) "cut satisfies the WCP" true
             (Cut.satisfies w.Workloads.comp cut)
-      | Detection.No_detection -> Alcotest.fail "oracle disagrees with probe")
+      | Detection.No_detection | Detection.Undetectable_crashed _ ->
+          Alcotest.fail "oracle disagrees with probe")
 
 let test_all_workloads () =
   let ws = Workloads.all ~seed:42L in

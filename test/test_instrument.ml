@@ -122,7 +122,7 @@ let test_live_vc_buggy_runs () =
   for s = 1 to 15 do
     match verify_live ~mode:Instrument.Vc ~p_bug:0.5 ~seed:(Int64.of_int s) with
     | Detection.Detected _ -> incr detected
-    | Detection.No_detection -> ()
+    | Detection.No_detection | Detection.Undetectable_crashed _ -> ()
   done;
   if !detected = 0 then Alcotest.fail "no buggy run tripped the monitor"
 
@@ -138,7 +138,7 @@ let test_live_dd_buggy_runs () =
   for s = 21 to 35 do
     match verify_live ~mode:Instrument.Dd ~p_bug:0.5 ~seed:(Int64.of_int s) with
     | Detection.Detected _ -> incr detected
-    | Detection.No_detection -> ()
+    | Detection.No_detection | Detection.Undetectable_crashed _ -> ()
   done;
   if !detected = 0 then Alcotest.fail "no buggy run tripped the monitor"
 
@@ -158,7 +158,8 @@ let test_live_detection_time_recorded () =
             Alcotest.fail "detection after the end of the run"
       | Detection.Detected _, None ->
           Alcotest.fail "detected but no detection time"
-      | Detection.No_detection, _ -> hunt (s + 1)
+      | (Detection.No_detection | Detection.Undetectable_crashed _), _ ->
+          hunt (s + 1)
   in
   hunt 1
 

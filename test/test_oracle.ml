@@ -32,7 +32,8 @@ let test_oracle_detects () =
   match Oracle.first_cut c spec with
   | Detection.Detected cut ->
       Alcotest.(check string) "first cut" "{0:2 1:1}" (Cut.to_string cut)
-  | Detection.No_detection -> Alcotest.fail "expected detection"
+  | Detection.No_detection | Detection.Undetectable_crashed _ ->
+      Alcotest.fail "expected detection"
 
 let test_oracle_rejects () =
   let c = tiny_undetectable () in
@@ -53,7 +54,8 @@ let test_oracle_single_process () =
   match Oracle.first_cut c (Spec.all c) with
   | Detection.Detected cut ->
       Alcotest.(check string) "single" "{0:1}" (Cut.to_string cut)
-  | Detection.No_detection -> Alcotest.fail "expected detection"
+  | Detection.No_detection | Detection.Undetectable_crashed _ ->
+      Alcotest.fail "expected detection"
 
 let test_oracle_subset_spec () =
   let c = tiny_detectable () in
@@ -62,7 +64,8 @@ let test_oracle_subset_spec () =
   match Oracle.first_cut c spec with
   | Detection.Detected cut ->
       Alcotest.(check string) "cut over subset" "{1:1}" (Cut.to_string cut)
-  | Detection.No_detection -> Alcotest.fail "expected detection"
+  | Detection.No_detection | Detection.Undetectable_crashed _ ->
+      Alcotest.fail "expected detection"
 
 let prop_oracle_equals_brute =
   qtest ~count:300 "advance-cut oracle = brute force" Helpers.gen_small_comp
@@ -88,7 +91,7 @@ let prop_first_cut_satisfies =
       let spec = Spec.all comp in
       match Oracle.first_cut comp spec with
       | Detection.Detected cut -> Cut.satisfies comp cut
-      | Detection.No_detection -> true)
+      | Detection.No_detection | Detection.Undetectable_crashed _ -> true)
 
 let prop_first_cut_minimal =
   (* Brute force finds the pointwise minimum of all satisfying cuts;
@@ -98,7 +101,7 @@ let prop_first_cut_minimal =
     Helpers.gen_small_comp (fun comp ->
       let spec = Spec.all comp in
       match Oracle.first_cut comp spec with
-      | Detection.No_detection -> true
+      | Detection.No_detection | Detection.Undetectable_crashed _ -> true
       | Detection.Detected first ->
           let n = Computation.n comp in
           let candidate_lists =
@@ -158,7 +161,8 @@ let test_cm_example () =
       Alcotest.(check string) "same first cut" "{0:2 1:1}" (Cut.to_string cut);
       Alcotest.(check bool) "explored at least the initial cut" true
         (expl.Cooper_marzullo.cuts_explored >= 1)
-  | Ok (Detection.No_detection, _) -> Alcotest.fail "expected detection"
+  | Ok ((Detection.No_detection | Detection.Undetectable_crashed _), _) ->
+      Alcotest.fail "expected detection"
   | Error _ -> Alcotest.fail "limit hit unexpectedly"
 
 let test_cm_limit () =
@@ -205,7 +209,7 @@ let test_cm_general_predicate () =
   match Cooper_marzullo.detect c phi with
   | Ok (Detection.Detected cut, _) ->
       Alcotest.(check bool) "phi holds" true (phi cut)
-  | Ok (Detection.No_detection, _) ->
+  | Ok ((Detection.No_detection | Detection.Undetectable_crashed _), _) ->
       Alcotest.fail "initial cut (1,1) already satisfies phi"
   | Error _ -> Alcotest.fail "limit hit"
 
@@ -300,7 +304,8 @@ let test_possibly_but_not_definitely () =
   let spec = Spec.all comp in
   (match Oracle.first_cut comp spec with
   | Detection.Detected _ -> ()
-  | Detection.No_detection -> Alcotest.fail "should be possible");
+  | Detection.No_detection | Detection.Undetectable_crashed _ ->
+      Alcotest.fail "should be possible");
   match Cooper_marzullo.definitely_wcp comp spec with
   | Ok (false, _) -> ()
   | Ok (true, _) -> Alcotest.fail "an observation can dodge the window"

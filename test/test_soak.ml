@@ -107,6 +107,55 @@ let test_large_gcp_equivalence () =
   Alcotest.check Helpers.outcome "online = offline at scale" offline
     online.Detection.outcome
 
+(* Chaos soak: the token algorithms against the oracle across a matrix
+   of drop rates and seeds. The bounded smoke always runs inside
+   `dune runtest`; the full matrix (make chaos-soak) is gated behind
+   WCP_CHAOS_SOAK=1. *)
+let chaos_matrix ~sizes ~drops ~seeds =
+  List.iter
+    (fun (n, m) ->
+      List.iter
+        (fun drop ->
+          List.iter
+            (fun s ->
+              let seed = Int64.of_int s in
+              let comp = big_comp ~n ~m ~p_pred:0.2 ~seed in
+              let spec = Spec.all comp in
+              let fault =
+                Fault.uniform ~seed ~drop ~dup:(drop /. 2.0) ~spike_p:0.1
+                  ~spike_mean:3.0 ()
+              in
+              let expected = Oracle.first_cut comp spec in
+              let fail name =
+                Alcotest.failf "%s mismatch: n=%d m=%d drop=%.2f seed=%d" name
+                  n m drop s
+              in
+              if
+                not
+                  (Detection.outcome_equal expected
+                     (Token_vc.detect ~fault ~seed comp spec).outcome)
+              then fail "vc";
+              if
+                not
+                  (Detection.outcome_equal expected
+                     (Detection.project_outcome spec
+                        (Token_dd.detect ~fault ~seed comp spec).outcome))
+              then fail "dd")
+            seeds)
+        drops)
+    sizes
+
+let test_chaos_smoke () =
+  chaos_matrix ~sizes:[ (6, 8) ] ~drops:[ 0.2 ] ~seeds:[ 1; 2 ]
+
+let test_chaos_soak () =
+  if Sys.getenv_opt "WCP_CHAOS_SOAK" = None then ()
+  else
+    chaos_matrix
+      ~sizes:[ (6, 10); (10, 12); (16, 10) ]
+      ~drops:[ 0.1; 0.2; 0.3 ]
+      ~seeds:[ 1; 2; 3; 4; 5 ]
+
 let () =
   Alcotest.run "soak"
     [
@@ -120,5 +169,11 @@ let () =
           Alcotest.test_case "engine throughput" `Slow test_engine_throughput;
           Alcotest.test_case "gcp equivalence at scale" `Slow
             test_large_gcp_equivalence;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "chaos smoke" `Slow test_chaos_smoke;
+          Alcotest.test_case "chaos matrix (WCP_CHAOS_SOAK=1)" `Slow
+            test_chaos_soak;
         ] );
     ]

@@ -45,7 +45,7 @@ let prop_full_cut_consistent =
                  (not (Spec.mem spec p))
                  || Computation.pred comp (Cut.state cut p))
                (Array.init (Cut.width cut) Fun.id)
-      | Detection.No_detection -> true)
+      | Detection.No_detection | Detection.Undetectable_crashed _ -> true)
 
 let prop_bounds =
   qtest ~count:150 "§4.4 bounds: polls, hops, per-process work and space"
@@ -177,7 +177,8 @@ let test_pred_always_true () =
   | Detection.Detected cut ->
       Alcotest.(check string) "initial cut" "{0:1 1:1 2:1 3:1}"
         (Cut.to_string cut)
-  | Detection.No_detection -> Alcotest.fail "expected detection"
+  | Detection.No_detection | Detection.Undetectable_crashed _ ->
+      Alcotest.fail "expected detection"
 
 let test_single_process () =
   let comp = Computation.of_raw ~ops:[| [] |] ~pred:[| [| true |] |] in
@@ -185,7 +186,8 @@ let test_single_process () =
   match (Token_dd.detect ~seed:1L comp spec).outcome with
   | Detection.Detected cut ->
       Alcotest.(check string) "trivial" "{0:1}" (Cut.to_string cut)
-  | Detection.No_detection -> Alcotest.fail "expected detection"
+  | Detection.No_detection | Detection.Undetectable_crashed _ ->
+      Alcotest.fail "expected detection"
 
 let test_workload_matrix () =
   List.iter

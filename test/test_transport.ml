@@ -1,0 +1,343 @@
+(* The fault layer and the reliable transport built on top of it. *)
+
+open Wcp_sim
+
+(* Message type for transport tests: numbered payloads plus the frames
+   the transport wraps them in. *)
+type m = Payload of int | Fr of m Transport.frame
+
+let inject f = Fr f
+let project = function Fr f -> Some f | Payload _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Fault plan validation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let invalid f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_fault_validation () =
+  invalid (fun () -> Fault.link ~drop:1.5 ());
+  invalid (fun () -> Fault.link ~drop:(-0.1) ());
+  invalid (fun () -> Fault.link ~dup:Float.nan ());
+  invalid (fun () -> Fault.link ~spike_p:2.0 ());
+  invalid (fun () -> Fault.link ~spike_mean:(-1.0) ());
+  invalid (fun () -> Fault.link ~spike_mean:Float.infinity ());
+  invalid (fun () -> Fault.window ~kind:Fault.Crash ~proc:(-1) ~from_t:0.0 ());
+  invalid (fun () -> Fault.window ~kind:Fault.Crash ~proc:0 ~from_t:(-1.0) ());
+  invalid (fun () ->
+      Fault.window ~kind:Fault.Stall ~proc:0 ~from_t:5.0 ~until_t:5.0 ());
+  ignore (Fault.link ~drop:1.0 ~dup:1.0 ~spike_p:1.0 ~spike_mean:3.0 ());
+  ignore (Fault.window ~kind:Fault.Stall ~proc:0 ~from_t:5.0 ~until_t:6.0 ())
+
+let test_network_validation () =
+  invalid (fun () -> Network.create ~latency:(Network.Constant (-1.0)) ());
+  invalid (fun () -> Network.create ~latency:(Network.Constant Float.nan) ());
+  invalid (fun () ->
+      Network.create ~latency:(Network.Constant Float.infinity) ());
+  invalid (fun () -> Network.create ~latency:(Network.Uniform (3.0, 1.0)) ());
+  invalid (fun () -> Network.create ~latency:(Network.Uniform (-1.0, 1.0)) ());
+  invalid (fun () ->
+      Network.create ~latency:(Network.Uniform (0.0, Float.nan)) ());
+  invalid (fun () -> Network.create ~latency:(Network.Exponential 0.0) ());
+  invalid (fun () -> Network.create ~latency:(Network.Exponential (-2.0)) ());
+  ignore (Network.create ~latency:(Network.Constant 0.0) ());
+  ignore (Network.create ~latency:(Network.Uniform (0.5, 0.5)) ());
+  ignore (Network.create ~latency:(Network.Exponential 0.1) ())
+
+let test_plan_classification () =
+  Alcotest.(check bool) "none is none" true (Fault.is_none Fault.none);
+  Alcotest.(check bool) "make () is none" true (Fault.is_none (Fault.make ()));
+  Alcotest.(check bool) "uniform defaults are none" true
+    (Fault.is_none (Fault.uniform ()));
+  Alcotest.(check bool) "drop-rate plan is active" false
+    (Fault.is_none (Fault.uniform ~drop:0.1 ()));
+  let w = Fault.window ~kind:Fault.Crash ~proc:2 ~from_t:1.0 () in
+  let p = Fault.make ~windows:[ w ] () in
+  Alcotest.(check bool) "windowed plan is active" false (Fault.is_none p);
+  Alcotest.(check (list int)) "permanent crash listed" [ 2 ]
+    (Fault.permanently_crashed p);
+  let transient =
+    Fault.make
+      ~windows:[ Fault.window ~kind:Fault.Crash ~proc:1 ~from_t:1.0 ~until_t:2.0 () ]
+      ()
+  in
+  Alcotest.(check (list int)) "transient crash not listed" []
+    (Fault.permanently_crashed transient)
+
+(* ------------------------------------------------------------------ *)
+(* Engine-level fault behavior                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_no_handler_names_both_ends () =
+  let e = Engine.create ~num_processes:5 ~seed:1L () in
+  Engine.schedule_initial e ~proc:3 ~at:0.0 (fun ctx ->
+      Engine.send ctx ~dst:4 ());
+  match Engine.run e with
+  | exception Failure msg ->
+      let has s =
+        let re = Str.regexp_string s in
+        try ignore (Str.search_forward re msg 0); true
+        with Not_found -> false
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "names source (got %S)" msg)
+        true (has "from process 3");
+      Alcotest.(check bool)
+        (Printf.sprintf "names destination (got %S)" msg)
+        true (has "for process 4")
+  | () -> Alcotest.fail "missing handler should fail loudly"
+
+(* A run with [Fault.none] must be indistinguishable from a run with no
+   fault plan at all — same deliveries at the same times, same RNG
+   stream consumption. *)
+let test_fault_none_bit_identical () =
+  let run fault =
+    let e =
+      Engine.create
+        ~network:(Network.create ~latency:(Network.Uniform (0.1, 2.0)) ())
+        ?fault ~num_processes:3 ~seed:77L ()
+    in
+    let log = Buffer.create 256 in
+    for p = 0 to 2 do
+      Engine.set_handler e p (fun ctx ~src msg ->
+          Buffer.add_string log
+            (Printf.sprintf "%d<-%d:%d@%.9f;" p src msg (Engine.time ctx));
+          if msg < 12 then Engine.send ctx ~dst:((p + 1) mod 3) (msg + 1))
+    done;
+    Engine.schedule_initial e ~proc:0 ~at:0.0 (fun ctx ->
+        Engine.send ctx ~dst:1 0);
+    Engine.run e;
+    Buffer.contents log
+  in
+  Alcotest.(check string) "Fault.none ≡ no plan" (run None)
+    (run (Some Fault.none))
+
+let test_chaos_deterministic () =
+  let run () =
+    let e =
+      Engine.create
+        ~network:(Network.create ~latency:(Network.Uniform (0.1, 2.0)) ())
+        ~fault:(Fault.uniform ~seed:5L ~drop:0.3 ~dup:0.2 ~spike_p:0.2 ~spike_mean:4.0 ())
+        ~num_processes:3 ~seed:77L ()
+    in
+    let log = Buffer.create 256 in
+    for p = 0 to 2 do
+      Engine.set_handler e p (fun ctx ~src msg ->
+          Buffer.add_string log
+            (Printf.sprintf "%d<-%d:%d@%.9f;" p src msg (Engine.time ctx));
+          if msg < 30 then Engine.send ctx ~dst:((p + 1) mod 3) (msg + 1))
+    done;
+    Engine.schedule_initial e ~proc:0 ~at:0.0 (fun ctx ->
+        Engine.send ctx ~dst:1 0);
+    Engine.run e;
+    Printf.sprintf "%s|drop=%d dup=%d" (Buffer.contents log)
+      (Stats.net_dropped (Engine.stats e))
+      (Stats.net_duplicated (Engine.stats e))
+  in
+  Alcotest.(check string) "equal seeds, equal chaos" (run ()) (run ())
+
+let test_crash_window_loses_messages () =
+  (* P1 is crashed during [1, 10): a message delivered inside the window
+     vanishes; one delivered after it arrives normally. *)
+  let fault =
+    Fault.make
+      ~windows:[ Fault.window ~kind:Fault.Crash ~proc:1 ~from_t:1.0 ~until_t:10.0 () ]
+      ()
+  in
+  let e =
+    Engine.create
+      ~network:(Network.create ~latency:(Network.Constant 1.0) ())
+      ~fault ~num_processes:2 ~seed:1L ()
+  in
+  let got = ref [] in
+  Engine.set_handler e 1 (fun ctx ~src:_ msg ->
+      got := (msg, Engine.time ctx) :: !got);
+  Engine.schedule_initial e ~proc:0 ~at:0.0 (fun ctx ->
+      Engine.send ctx ~dst:1 "inside");
+  Engine.schedule_initial e ~proc:0 ~at:10.0 (fun ctx ->
+      Engine.send ctx ~dst:1 "after");
+  Engine.run e;
+  (match !got with
+  | [ ("after", t) ] -> Alcotest.(check (float 1e-9)) "after window" 11.0 t
+  | _ -> Alcotest.fail "expected exactly the post-window delivery");
+  Alcotest.(check int) "loss accounted" 1 (Stats.crash_dropped (Engine.stats e))
+
+let test_stall_window_defers () =
+  (* Stall defers both messages and timers to the window end; nothing
+     is lost. *)
+  let fault =
+    Fault.make
+      ~windows:[ Fault.window ~kind:Fault.Stall ~proc:1 ~from_t:1.0 ~until_t:10.0 () ]
+      ()
+  in
+  let e =
+    Engine.create
+      ~network:(Network.create ~latency:(Network.Constant 1.0) ())
+      ~fault ~num_processes:2 ~seed:1L ()
+  in
+  let got = ref [] in
+  let timer_at = ref nan in
+  Engine.set_handler e 1 (fun ctx ~src:_ msg ->
+      got := (msg, Engine.time ctx) :: !got;
+      Engine.schedule ctx ~delay:0.5 (fun ctx ->
+          timer_at := Engine.time ctx));
+  Engine.schedule_initial e ~proc:0 ~at:0.5 (fun ctx ->
+      Engine.send ctx ~dst:1 "stalled");
+  Engine.run e;
+  (match !got with
+  | [ ("stalled", t) ] -> Alcotest.(check (float 1e-9)) "deferred to end" 10.0 t
+  | _ -> Alcotest.fail "stalled message must still arrive");
+  (* The timer set at t=10 expires at 10.5, outside the window. *)
+  Alcotest.(check (float 1e-9)) "timer after restart" 10.5 !timer_at;
+  Alcotest.(check int) "nothing lost" 0 (Stats.crash_dropped (Engine.stats e))
+
+let test_permanent_crash_drops_everything () =
+  let fault =
+    Fault.make
+      ~windows:[ Fault.window ~kind:Fault.Crash ~proc:1 ~from_t:2.0 () ]
+      ()
+  in
+  let e =
+    Engine.create
+      ~network:(Network.create ~latency:(Network.Constant 1.0) ())
+      ~fault ~num_processes:2 ~seed:1L ()
+  in
+  let got = ref 0 in
+  Engine.set_handler e 1 (fun _ ~src:_ () -> incr got);
+  for i = 0 to 4 do
+    Engine.schedule_initial e ~proc:0 ~at:(float_of_int i) (fun ctx ->
+        Engine.send ctx ~dst:1 ())
+  done;
+  Engine.run e;
+  (* Sends at t=0 and t=1 arrive at 1.0 and 2.0... 2.0 is inside the
+     half-open window [2, inf). Only the t=0 send survives. *)
+  Alcotest.(check int) "only pre-crash delivery" 1 !got;
+  Alcotest.(check int) "rest lost" 4 (Stats.crash_dropped (Engine.stats e))
+
+(* ------------------------------------------------------------------ *)
+(* Transport                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* One sender, one receiver, a lossy + duplicating link in both
+   directions (acks suffer too). The transport must deliver every
+   payload exactly once, in order. *)
+let run_flow ~drop ~dup ~count ~seed =
+  let e =
+    Engine.create
+      ~network:(Network.create ~latency:(Network.Uniform (0.1, 1.0)) ())
+      ~fault:(Fault.uniform ~seed ~drop ~dup ())
+      ~num_processes:2 ~seed ()
+  in
+  let t = Transport.create ~rto:3.0 ~inject ~project e in
+  let got = ref [] in
+  Transport.wire t 0 (fun _ ~src:_ _ -> ());
+  Transport.wire t 1 (fun _ ~src:_ msg ->
+      match msg with
+      | Payload k -> got := k :: !got
+      | Fr _ -> Alcotest.fail "frame leaked through the transport");
+  Engine.schedule_initial e ~proc:0 ~at:0.0 (fun ctx ->
+      for k = 1 to count do
+        Transport.send t ctx ~bits:32 ~dst:1 (Payload k)
+      done);
+  Engine.run e;
+  (e, List.rev !got)
+
+let test_exactly_once_in_order () =
+  let total_retx = ref 0 and total_dups = ref 0 in
+  for s = 1 to 10 do
+    let e, got = run_flow ~drop:0.2 ~dup:0.1 ~count:40 ~seed:(Int64.of_int s) in
+    Alcotest.(check (list int))
+      (Printf.sprintf "seed %d: exactly once, in order" s)
+      (List.init 40 (fun i -> i + 1))
+      got;
+    let st = Engine.stats e in
+    total_retx := !total_retx + Stats.total_retransmits st;
+    total_dups := !total_dups + Stats.total_dups_suppressed st
+  done;
+  (* A 20%-lossy link over 400 sends cannot get away without recovery
+     work; the counters must show it happened. *)
+  Alcotest.(check bool) "losses forced retransmissions" true (!total_retx > 0);
+  Alcotest.(check bool) "duplicates were suppressed" true (!total_dups > 0)
+
+let test_clean_link_no_retransmits () =
+  let e, got = run_flow ~drop:0.0 ~dup:0.0 ~count:20 ~seed:3L in
+  Alcotest.(check (list int)) "all delivered"
+    (List.init 20 (fun i -> i + 1))
+    got;
+  Alcotest.(check int) "no retransmits" 0
+    (Stats.total_retransmits (Engine.stats e))
+
+let test_unreachable_gives_up () =
+  (* Total blackout: every data frame is lost, so the oldest frame
+     exhausts its retries and the destination is declared dead. *)
+  let e =
+    Engine.create
+      ~network:(Network.create ~latency:(Network.Constant 0.1) ())
+      ~fault:(Fault.uniform ~seed:9L ~drop:1.0 ())
+      ~num_processes:2 ~seed:9L ()
+  in
+  let dead = ref [] in
+  let t =
+    Transport.create ~rto:1.0 ~max_retries:4 ~inject ~project
+      ~on_unreachable:(fun _ ~dst -> dead := dst :: !dead)
+      e
+  in
+  Transport.wire t 0 (fun _ ~src:_ _ -> ());
+  Transport.wire t 1 (fun _ ~src:_ _ -> Alcotest.fail "nothing can arrive");
+  Engine.schedule_initial e ~proc:0 ~at:0.0 (fun ctx ->
+      Transport.send t ctx ~dst:1 (Payload 1);
+      Transport.send t ctx ~dst:1 (Payload 2));
+  Engine.run e;
+  Alcotest.(check (list int)) "gave up exactly once" [ 1 ] !dead;
+  Alcotest.(check (list int)) "listed unreachable" [ 1 ] (Transport.unreachable t);
+  Alcotest.(check int) "max_retries retransmissions" 4
+    (Stats.total_retransmits (Engine.stats e))
+
+let test_transport_validation () =
+  let e = Engine.create ~num_processes:2 ~seed:1L () in
+  invalid (fun () -> Transport.create ~rto:0.0 ~inject ~project e);
+  invalid (fun () -> Transport.create ~backoff:0.5 ~inject ~project e);
+  invalid (fun () -> Transport.create ~max_retries:0 ~inject ~project e)
+
+let () =
+  Alcotest.run "transport"
+    [
+      ( "fault-plans",
+        [
+          Alcotest.test_case "link/window validation" `Quick
+            test_fault_validation;
+          Alcotest.test_case "network latency validation" `Quick
+            test_network_validation;
+          Alcotest.test_case "plan classification" `Quick
+            test_plan_classification;
+        ] );
+      ( "engine-faults",
+        [
+          Alcotest.test_case "no-handler failure names both ends" `Quick
+            test_no_handler_names_both_ends;
+          Alcotest.test_case "Fault.none is bit-identical" `Quick
+            test_fault_none_bit_identical;
+          Alcotest.test_case "chaos is deterministic" `Quick
+            test_chaos_deterministic;
+          Alcotest.test_case "crash window loses messages" `Quick
+            test_crash_window_loses_messages;
+          Alcotest.test_case "stall window defers" `Quick
+            test_stall_window_defers;
+          Alcotest.test_case "permanent crash drops everything" `Quick
+            test_permanent_crash_drops_everything;
+        ] );
+      ( "reliable-delivery",
+        [
+          Alcotest.test_case "exactly once, in order, under chaos" `Quick
+            test_exactly_once_in_order;
+          Alcotest.test_case "clean link never retransmits" `Quick
+            test_clean_link_no_retransmits;
+          Alcotest.test_case "blackout declares unreachable" `Quick
+            test_unreachable_gives_up;
+          Alcotest.test_case "parameter validation" `Quick
+            test_transport_validation;
+        ] );
+    ]
