@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench tables bench-json perf-check chaos-soak examples clean
+.PHONY: all build test bench tables bench-json perf-check chaos-soak trace-check examples clean
 
 # Committed machine-readable baseline (see EXPERIMENTS.md).
 BENCH_BASELINE ?= BENCH_1.json
@@ -34,6 +34,14 @@ perf-check:
 # inside `make test`; this target unlocks the whole sweep.
 chaos-soak:
 	WCP_CHAOS_SOAK=1 dune exec test/test_soak.exe -- test chaos
+
+# Validate emitted JSONL event logs against the wcp-events/1 schema
+# (codec round-trip, run_meta header, seq/time monotonicity, Chrome
+# export well-formedness) across the full algorithm x size x seed
+# corpus. A bounded smoke of the same validation always runs inside
+# `make test`; this target unlocks the whole sweep.
+trace-check:
+	WCP_TRACE_CHECK=1 dune exec test/test_obs.exe -- test schema
 
 examples:
 	@for e in quickstart mutual_exclusion database_locks \

@@ -280,6 +280,19 @@ type metrics = {
   dups_suppressed : int;
   net_dropped : int;
   net_duplicated : int;
+  (* Trace-derived summaries (schema v3) from a second, traced run of
+     the same job. Recording never touches the engine RNG or stats, so
+     the traced run follows the identical schedule and these are as
+     deterministic as [hops]; the timed run above stays untraced so
+     [wall_ns]/[alloc_bytes] are unaffected. Zero for the adversary. *)
+  trace_events : int;
+  eliminations : int;
+  hop_p50 : float;
+  hop_p95 : float;
+  hop_max : float;
+  elims_per_hop_p50 : float;
+  elims_per_hop_p95 : float;
+  elims_per_hop_max : float;
   (* Machine-dependent; excluded from determinism comparisons. *)
   wall_ns : int;
   alloc_bytes : int;
@@ -292,6 +305,46 @@ let spec_for job comp =
       let rng = Wcp_util.Rng.create (Int64.of_int job.seed) in
       Spec.make comp (Generator.random_procs rng ~n:job.n ~width:job.param)
   | _ -> Spec.all comp
+
+(* One simulation run of a job, optionally traced. A fresh fault plan
+   is built per run (its PRNG stream is private mutable state). *)
+let run_sim ?recorder job =
+  let comp =
+    Generator.random
+      ~params:
+        {
+          Generator.n = job.n;
+          sends_per_process = job.m;
+          p_pred = job.p_pred;
+          p_recv = 0.5;
+        }
+      ~seed:(Int64.of_int job.seed) ()
+  in
+  let spec = spec_for job comp in
+  let seed = Int64.of_int job.seed in
+  (* E9 runs under chaos: drop rate param%, duplication at half the
+     drop rate, fault stream seeded by the job seed. *)
+  let fault =
+    if job.experiment = "E9" then
+      Some
+        (Wcp_sim.Fault.uniform ~seed
+           ~drop:(float_of_int job.param /. 100.0)
+           ~dup:(float_of_int job.param /. 200.0)
+           ())
+    else None
+  in
+  let r =
+    match job.algo with
+    | "token-vc" -> Token_vc.detect ?fault ?recorder ~seed comp spec
+    | "token-dd" -> Token_dd.detect ?fault ?recorder ~seed comp spec
+    | "token-dd-par" ->
+        Token_dd.detect ?fault ?recorder ~parallel:true ~seed comp spec
+    | "token-multi" ->
+        Token_multi.detect ?fault ?recorder ~groups:job.param ~seed comp spec
+    | "checker" -> Checker_centralized.detect ?recorder ~seed comp spec
+    | a -> invalid_arg ("Bench_json.run_job: unknown algo " ^ a)
+  in
+  (comp, r)
 
 let run_job job =
   Gc.minor ();
@@ -314,44 +367,7 @@ let run_job job =
           trace.Wcp_lowerbound.Detector.deletions,
           trace.Wcp_lowerbound.Detector.rounds )
     end
-    else begin
-      let comp =
-        Generator.random
-          ~params:
-            {
-              Generator.n = job.n;
-              sends_per_process = job.m;
-              p_pred = job.p_pred;
-              p_recv = 0.5;
-            }
-          ~seed:(Int64.of_int job.seed) ()
-      in
-      let spec = spec_for job comp in
-      let seed = Int64.of_int job.seed in
-      (* E9 runs under chaos: drop rate param%, duplication at half the
-         drop rate, fault stream seeded by the job seed. *)
-      let fault =
-        if job.experiment = "E9" then
-          Some
-            (Wcp_sim.Fault.uniform ~seed
-               ~drop:(float_of_int job.param /. 100.0)
-               ~dup:(float_of_int job.param /. 200.0)
-               ())
-        else None
-      in
-      let r =
-        match job.algo with
-        | "token-vc" -> Token_vc.detect ?fault ~seed comp spec
-        | "token-dd" -> Token_dd.detect ?fault ~seed comp spec
-        | "token-dd-par" ->
-            Token_dd.detect ?fault ~parallel:true ~seed comp spec
-        | "token-multi" ->
-            Token_multi.detect ?fault ~groups:job.param ~seed comp spec
-        | "checker" -> Checker_centralized.detect ~seed comp spec
-        | a -> invalid_arg ("Bench_json.run_job: unknown algo " ^ a)
-      in
-      `Sim (comp, r)
-    end
+    else `Sim (run_sim job)
   in
   let wall_ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
   let alloc_bytes = int_of_float (Gc.allocated_bytes () -. alloc0) in
@@ -375,10 +391,25 @@ let run_job job =
         dups_suppressed = 0;
         net_dropped = 0;
         net_duplicated = 0;
+        trace_events = 0;
+        eliminations = 0;
+        hop_p50 = 0.0;
+        hop_p95 = 0.0;
+        hop_max = 0.0;
+        elims_per_hop_p50 = 0.0;
+        elims_per_hop_p95 = 0.0;
+        elims_per_hop_max = 0.0;
         wall_ns;
         alloc_bytes;
       }
   | `Sim (comp, r) ->
+      (* Second, traced run outside the timed window: same seed, same
+         schedule (recording is invisible to the engine), feeding the
+         histogram summaries. *)
+      let recorder = Wcp_obs.Recorder.create () in
+      let _ = run_sim ~recorder job in
+      let _, s = Wcp_obs.Metrics.of_events (Wcp_obs.Recorder.events recorder) in
+      let q h p = Wcp_obs.Metrics.quantile h p in
       {
         job;
         outcome =
@@ -401,6 +432,15 @@ let run_job job =
         dups_suppressed = Wcp_sim.Stats.total_dups_suppressed r.stats;
         net_dropped = Wcp_sim.Stats.net_dropped r.stats;
         net_duplicated = Wcp_sim.Stats.net_duplicated r.stats;
+        trace_events = Wcp_obs.Recorder.emitted recorder;
+        eliminations = Wcp_obs.Metrics.count s.Wcp_obs.Metrics.eliminations;
+        hop_p50 = q s.Wcp_obs.Metrics.hop_latency 0.5;
+        hop_p95 = q s.Wcp_obs.Metrics.hop_latency 0.95;
+        hop_max = Wcp_obs.Metrics.hist_max s.Wcp_obs.Metrics.hop_latency;
+        elims_per_hop_p50 = q s.Wcp_obs.Metrics.elims_per_hop 0.5;
+        elims_per_hop_p95 = q s.Wcp_obs.Metrics.elims_per_hop 0.95;
+        elims_per_hop_max =
+          Wcp_obs.Metrics.hist_max s.Wcp_obs.Metrics.elims_per_hop;
         wall_ns;
         alloc_bytes;
       }
@@ -497,7 +537,7 @@ let run ?domains profile =
 (* Serialisation                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let schema = "wcp-bench/2"
+let schema = "wcp-bench/3"
 
 let metrics_to_json r =
   Json.Obj
@@ -525,6 +565,14 @@ let metrics_to_json r =
       ("dups_suppressed", Json.Int r.dups_suppressed);
       ("net_dropped", Json.Int r.net_dropped);
       ("net_duplicated", Json.Int r.net_duplicated);
+      ("trace_events", Json.Int r.trace_events);
+      ("eliminations", Json.Int r.eliminations);
+      ("hop_p50", Json.Float r.hop_p50);
+      ("hop_p95", Json.Float r.hop_p95);
+      ("hop_max", Json.Float r.hop_max);
+      ("elims_per_hop_p50", Json.Float r.elims_per_hop_p50);
+      ("elims_per_hop_p95", Json.Float r.elims_per_hop_p95);
+      ("elims_per_hop_max", Json.Float r.elims_per_hop_max);
       ("wall_ns", Json.Int r.wall_ns);
       ("alloc_bytes", Json.Int r.alloc_bytes);
     ]
@@ -558,6 +606,14 @@ let metrics_of_json j =
     dups_suppressed = to_int (member "dups_suppressed" j);
     net_dropped = to_int (member "net_dropped" j);
     net_duplicated = to_int (member "net_duplicated" j);
+    trace_events = to_int (member "trace_events" j);
+    eliminations = to_int (member "eliminations" j);
+    hop_p50 = to_float (member "hop_p50" j);
+    hop_p95 = to_float (member "hop_p95" j);
+    hop_max = to_float (member "hop_max" j);
+    elims_per_hop_p50 = to_float (member "elims_per_hop_p50" j);
+    elims_per_hop_p95 = to_float (member "elims_per_hop_p95" j);
+    elims_per_hop_max = to_float (member "elims_per_hop_max" j);
     wall_ns = to_int (member "wall_ns" j);
     alloc_bytes = to_int (member "alloc_bytes" j);
   }

@@ -64,6 +64,18 @@ type metrics = {
   dups_suppressed : int;
   net_dropped : int;
   net_duplicated : int;
+  trace_events : int;
+      (** Events emitted by a second, traced run of the same job. The
+          timed run stays untraced (so [wall_ns] is unaffected), and
+          recording never perturbs the engine, so the trace-derived
+          fields below are deterministic. Zero for the adversary. *)
+  eliminations : int;
+  hop_p50 : float;  (** token-hop latency quantiles (sim time) *)
+  hop_p95 : float;
+  hop_max : float;
+  elims_per_hop_p50 : float;  (** eliminations between token acceptances *)
+  elims_per_hop_p95 : float;
+  elims_per_hop_max : float;
   wall_ns : int;  (** machine-dependent *)
   alloc_bytes : int;  (** machine-dependent (GC promotion noise) *)
 }
@@ -84,8 +96,8 @@ val run : ?domains:int -> profile -> metrics array
     deterministic metric fields do not depend on [domains]. *)
 
 val schema : string
-(** Document schema tag, ["wcp-bench/2"] (v2 added the fault-recovery
-    counters). *)
+(** Document schema tag, ["wcp-bench/3"] (v2 added the fault-recovery
+    counters; v3 the trace-derived histogram summaries). *)
 
 val emit : profile:profile -> metrics array -> string
 (** JSON document, one result record per line. *)

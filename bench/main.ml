@@ -1,7 +1,7 @@
 (* Reproduction harness: regenerates every evaluation artefact of
    Garg & Chase (ICDCS 1995). The paper is analytical, so each
    "table" here is a measured check of a §3.4 / §4.4 / §5 complexity
-   claim (see DESIGN.md §4 for the experiment index E1-E13 and
+   claim (see DESIGN.md §4 for the experiment index E1-E14 and
    EXPERIMENTS.md for paper-vs-measured commentary).
 
    Usage:  dune exec bench/main.exe            (all experiments + micro)
@@ -453,6 +453,53 @@ let e12 () =
     [ 0; 5; 10; 15 ]
 
 (* ------------------------------------------------------------------ *)
+(* E14: tracing overhead (observability plane)                         *)
+(* ------------------------------------------------------------------ *)
+
+let e14 () =
+  header "E14 tracing overhead: recorder attached vs detached"
+    "claim: detached recording costs one branch per hook; attached stays small";
+  let m = 20 in
+  Printf.printf "%4s %12s %12s %8s %9s %8s\n" "n" "off-ns" "on-ns" "ratio"
+    "events" "agree";
+  List.iter
+    (fun n ->
+      (* Best-of-5 wall time: the E1 workload, with and without an
+         attached recorder. The verdict must be identical either way
+         (recording is invisible to the engine). *)
+      let reps = 5 in
+      let best f =
+        let b = ref infinity in
+        for _ = 1 to reps do
+          let t0 = Unix.gettimeofday () in
+          f ();
+          let dt = Unix.gettimeofday () -. t0 in
+          if dt < !b then b := dt
+        done;
+        !b
+      in
+      let comp = random_comp ~n ~m ~p_pred:0.3 ~seed:1L in
+      let spec = Spec.all comp in
+      let base = Token_vc.detect ~seed:1L comp spec in
+      let off = best (fun () -> ignore (Token_vc.detect ~seed:1L comp spec)) in
+      let events = ref 0 in
+      let agree = ref true in
+      let on =
+        best (fun () ->
+            let recorder = Wcp_obs.Recorder.create () in
+            let r = Token_vc.detect ~recorder ~seed:1L comp spec in
+            events := Wcp_obs.Recorder.emitted recorder;
+            if not (Detection.outcome_equal r.outcome base.outcome) then
+              agree := false)
+      in
+      Printf.printf "%4d %12.0f %12.0f %8.2f %9d %8s\n" n (off *. 1e9)
+        (on *. 1e9)
+        (on /. off)
+        !events
+        (if !agree then "yes" else "NO"))
+    [ 2; 8; 16; 32 ]
+
+(* ------------------------------------------------------------------ *)
 (* E13: Bechamel micro-benchmarks                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -514,7 +561,8 @@ let tables () =
   e8 ();
   e10 ();
   e11 ();
-  e12 ()
+  e12 ();
+  e14 ()
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable harness (JSON) and the perf-regression gate        *)

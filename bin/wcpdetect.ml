@@ -4,6 +4,8 @@
      generate    write a random computation to a trace file
      workload    write a workload computation (mutex/tpl/ring/cs)
      detect      run one detection algorithm on a trace
+     trace       run an algorithm and record its causal event trace
+     explain     replay a recorded event log into a human narrative
      compare     run every algorithm on a trace and tabulate costs
      lowerbound  play the Theorem 5.1 adversary game *)
 
@@ -244,23 +246,74 @@ let groups_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "per-process" ] ~doc:"Print per-process stats.")
 
-let run_algo ?fault algo ~groups ~seed comp spec =
+(* The DESIGN.md §3 accounting policy the space column follows; printed
+   alongside --per-process output so the units are never ambiguous. *)
+let space_policy =
+  "space = high-water buffered words per process (32-bit words; vc snapshot \
+   = width+1 words, dd snapshot = 1+2|deps|; DESIGN.md §3)"
+
+(* --trace support: record the run's causal event log and export it. *)
+
+let trace_out_arg =
+  let doc = "Record the run's causal event trace to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let trace_format_enum = [ ("jsonl", `Jsonl); ("chrome", `Chrome) ]
+
+let trace_format_arg =
+  let doc =
+    "Trace export format: jsonl (one event per line, greppable, feeds \
+     $(b,wcpdetect explain)) or chrome (trace_event JSON; open in Perfetto \
+     or chrome://tracing)."
+  in
+  Arg.(
+    value
+    & opt (enum trace_format_enum) `Jsonl
+    & info [ "trace-format" ] ~docv:"FMT" ~doc)
+
+let render_events format events =
+  match format with
+  | `Jsonl -> Wcp_obs.Export.jsonl events
+  | `Chrome -> Wcp_obs.Export.chrome events
+
+let write_trace recorder ~path ~format =
+  let events = Wcp_obs.Recorder.events recorder in
+  let data = render_events format events in
+  if path = "-" then print_string data
+  else begin
+    Wcp_obs.Export.write_file path data;
+    let dropped = Wcp_obs.Recorder.dropped recorder in
+    Printf.printf "trace: %d events -> %s%s\n" (Array.length events) path
+      (if dropped > 0 then
+         Printf.sprintf " (%d oldest overwritten by the ring)" dropped
+       else "")
+  end
+
+let run_algo ?fault ?recorder algo ~groups ~seed comp spec =
   (match (fault, algo) with
   | Some _, (Checker | Oracle_a | Cm | Strong_a) ->
       prerr_endline
         "wcpdetect: fault injection is only supported for the token algorithms";
       exit 2
   | _ -> ());
+  (match (recorder, algo) with
+  | Some _, (Oracle_a | Cm | Strong_a) ->
+      prerr_endline
+        "wcpdetect: tracing needs an engine-backed algorithm (token-vc, \
+         multi-token, token-dd, token-dd-par or checker)";
+      exit 2
+  | _ -> ());
   match algo with
-  | Vc -> Some (Token_vc.detect ?fault ~seed comp spec)
+  | Vc -> Some (Token_vc.detect ?fault ?recorder ~seed comp spec)
   | Multi ->
       Some
-        (Token_multi.detect ?fault
+        (Token_multi.detect ?fault ?recorder
            ~groups:(min groups (Spec.width spec))
            ~seed comp spec)
-  | Dd -> Some (Token_dd.detect ?fault ~seed comp spec)
-  | Dd_par -> Some (Token_dd.detect ?fault ~parallel:true ~seed comp spec)
-  | Checker -> Some (Checker_centralized.detect ~seed comp spec)
+  | Dd -> Some (Token_dd.detect ?fault ?recorder ~seed comp spec)
+  | Dd_par ->
+      Some (Token_dd.detect ?fault ?recorder ~parallel:true ~seed comp spec)
+  | Checker -> Some (Checker_centralized.detect ?recorder ~seed comp spec)
   | Oracle_a ->
       Format.printf "oracle: %a@." Detection.pp_outcome
         (Oracle.first_cut comp spec);
@@ -288,22 +341,119 @@ let run_algo ?fault algo ~groups ~seed comp spec =
       None
 
 let detect_cmd =
-  let run trace algo groups procs seed verbose drop dup crashes fault_seed =
+  let run trace algo groups procs seed verbose drop dup crashes fault_seed
+      trace_out trace_format =
     let comp = Trace_codec.read_file trace in
     let spec = spec_of comp procs in
     let fault = fault_plan ~drop ~dup ~crashes ~fault_seed in
-    match run_algo ?fault algo ~groups ~seed comp spec with
+    let recorder =
+      match trace_out with
+      | None -> None
+      | Some _ -> Some (Wcp_obs.Recorder.create ())
+    in
+    match run_algo ?fault ?recorder algo ~groups ~seed comp spec with
     | None -> ()
     | Some r ->
         Format.printf "%a@." Detection.pp_result r;
-        if verbose then Format.printf "%a@." Stats.pp r.Detection.stats
+        if verbose then begin
+          Format.printf "%a@." Stats.pp r.Detection.stats;
+          Format.printf "%s@." space_policy
+        end;
+        (match (recorder, trace_out) with
+        | Some rec_, Some path -> write_trace rec_ ~path ~format:trace_format
+        | _ -> ())
   in
   Cmd.v
     (Cmd.info "detect" ~doc:"Run a detection algorithm on a trace.")
     Term.(
       const (fun () -> run) $ setup_logs $ trace_arg $ algo_arg $ groups_arg
       $ procs_arg $ seed_arg $ verbose_arg $ drop_arg $ dup_arg $ crash_arg
+      $ fault_seed_arg $ trace_out_arg $ trace_format_arg)
+
+(* ------------------------------------------------------------------ *)
+(* trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let out =
+    let doc = "Event log destination; - for stdout (suppresses the summary)." in
+    Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let format =
+    let doc =
+      "jsonl (one event per line; feeds $(b,wcpdetect explain)) or chrome \
+       (trace_event JSON; open in Perfetto or chrome://tracing)."
+    in
+    Arg.(
+      value
+      & opt (enum trace_format_enum) `Jsonl
+      & info [ "f"; "format" ] ~docv:"FMT" ~doc)
+  in
+  let run trace algo groups procs seed out format drop dup crashes fault_seed =
+    let comp = Trace_codec.read_file trace in
+    let spec = spec_of comp procs in
+    let fault = fault_plan ~drop ~dup ~crashes ~fault_seed in
+    let recorder = Wcp_obs.Recorder.create () in
+    match run_algo ?fault ~recorder algo ~groups ~seed comp spec with
+    | None -> ()
+    | Some r ->
+        write_trace recorder ~path:out ~format;
+        if out <> "-" then begin
+          Format.printf "%a@." Detection.pp_result r;
+          let metrics, _ =
+            Wcp_obs.Metrics.of_events (Wcp_obs.Recorder.events recorder)
+          in
+          Format.printf "%a" Wcp_obs.Metrics.pp metrics
+        end
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a detection algorithm and record its causal event trace (token \
+          hops, eliminations, snapshots, polls, probes, retransmits).")
+    Term.(
+      const (fun () -> run) $ setup_logs $ trace_arg $ algo_arg $ groups_arg
+      $ procs_arg $ seed_arg $ out $ format $ drop_arg $ dup_arg $ crash_arg
       $ fault_seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* explain                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let explain_cmd =
+  let events_arg =
+    let doc =
+      "JSONL event log produced by $(b,wcpdetect trace) or $(b,--trace)."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EVENTS" ~doc)
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose" ]
+          ~doc:
+            "Also narrate snapshot arrivals, poll exchanges, watchdog probes \
+             and transport retransmits.")
+  in
+  let run file verbose =
+    let data =
+      try Wcp_obs.Export.read_file file
+      with Sys_error m ->
+        prerr_endline ("wcpdetect explain: " ^ m);
+        exit 1
+    in
+    match Wcp_obs.Export.of_jsonl data with
+    | Error m ->
+        prerr_endline ("wcpdetect explain: " ^ m);
+        exit 1
+    | Ok events -> Wcp_obs.Explain.narrate ~verbose Format.std_formatter events
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Replay a recorded event log into a narrative: which comparison \
+          eliminated which candidate, hop by hop.")
+    Term.(const run $ events_arg $ verbose)
 
 (* ------------------------------------------------------------------ *)
 (* chaos                                                               *)
@@ -317,22 +467,33 @@ let chaos_cmd =
       & opt (enum [ ("token-vc", Vc); ("multi-token", Multi); ("token-dd", Dd) ]) Vc
       & info [ "a"; "algorithm" ] ~docv:"ALGO" ~doc)
   in
-  let run trace algo groups procs seed drop dup crashes fault_seed =
+  let run trace algo groups procs seed drop dup crashes fault_seed trace_out
+      trace_format =
     let comp = Trace_codec.read_file trace in
     let spec = spec_of comp procs in
     let windows = List.map parse_crash crashes in
     let fault = Fault.uniform ~seed:fault_seed ~drop ~dup ~windows () in
+    let recorder =
+      match trace_out with
+      | None -> None
+      | Some _ -> Some (Wcp_obs.Recorder.create ())
+    in
     let name, r, scope =
       match algo with
-      | Vc -> ("token-vc", Token_vc.detect ~fault ~seed comp spec, `Spec)
+      | Vc ->
+          ("token-vc", Token_vc.detect ~fault ?recorder ~seed comp spec, `Spec)
       | Multi ->
           ( "multi-token",
-            Token_multi.detect ~fault
+            Token_multi.detect ~fault ?recorder
               ~groups:(min groups (Spec.width spec))
               ~seed comp spec,
             `Spec )
-      | _ -> ("token-dd", Token_dd.detect ~fault ~seed comp spec, `Full)
+      | _ ->
+          ("token-dd", Token_dd.detect ~fault ?recorder ~seed comp spec, `Full)
     in
+    (match (recorder, trace_out) with
+    | Some rec_, Some path -> write_trace rec_ ~path ~format:trace_format
+    | _ -> ());
     let out =
       match scope with
       | `Spec -> r.Detection.outcome
@@ -362,7 +523,8 @@ let chaos_cmd =
          "Run a token algorithm under a deterministic fault plan and compare           its verdict with the fault-free oracle.")
     Term.(
       const run $ trace_arg $ algo $ groups_arg $ procs_arg $ seed_arg
-      $ drop_arg $ dup_arg $ crash_arg $ fault_seed_arg)
+      $ drop_arg $ dup_arg $ crash_arg $ fault_seed_arg $ trace_out_arg
+      $ trace_format_arg)
 
 (* ------------------------------------------------------------------ *)
 (* compare                                                             *)
@@ -582,6 +744,8 @@ let () =
             generate_cmd;
             workload_cmd;
             detect_cmd;
+            trace_cmd;
+            explain_cmd;
             chaos_cmd;
             compare_cmd;
             render_cmd;

@@ -1,10 +1,13 @@
 open Wcp_trace
 open Wcp_sim
 
-let detect ?network ~seed comp spec =
+let detect ?network ?recorder ~seed comp spec =
   let n = Computation.n comp in
   let width = Spec.width spec in
-  let engine = Run_common.make_engine ?network ~seed comp in
+  let engine = Run_common.make_engine ?network ?recorder ~seed comp in
+  Run_common.emit_run_meta engine ~algo:"checker" ~n ~width;
+  (* Fetched once; tracing off means every hook below is one match. *)
+  let recorder = Engine.recorder engine in
   let checker = Run_common.extra_id ~n in
   let outcome = ref None in
   let snapshots_seen = ref 0 in
@@ -20,6 +23,27 @@ let detect ?network ~seed comp spec =
   let queued_words = ref 0 in
   (* (k, a) happened before (l, b) iff b's clock has seen a's state. *)
   let hb k (a : Snapshot.vc) (b : Snapshot.vc) = b.clock.(k) >= a.clock.(k) in
+  let emit_hb ctx ~victim_k ~by_k =
+    match recorder with
+    | None -> ()
+    | Some r -> (
+        match (cand.(victim_k), cand.(by_k)) with
+        | Some (v : Snapshot.vc), Some (b : Snapshot.vc) ->
+            Wcp_obs.Recorder.emit r ~time:(Engine.time ctx)
+              ~proc:(Engine.self ctx)
+              (Wcp_obs.Event.Hb_eliminated
+                 {
+                   victim_k;
+                   victim_proc = Spec.proc spec victim_k;
+                   victim_state = v.state;
+                   victim_clock = Array.copy v.clock;
+                   by_k;
+                   by_proc = Spec.proc spec by_k;
+                   by_state = b.state;
+                   by_clock = Array.copy b.clock;
+                 })
+        | _ -> ())
+  in
   let fill ctx k =
     let c = Queue.pop queues.(k) in
     queued_words := !queued_words - (width + 1);
@@ -35,8 +59,14 @@ let detect ?network ~seed comp spec =
       (if !l <> k then
          match cand.(!l) with
          | Some other ->
-             if hb k c other then cand.(k) <- None
-             else if hb !l other c then cand.(!l) <- None
+             if hb k c other then begin
+               emit_hb ctx ~victim_k:k ~by_k:!l;
+               cand.(k) <- None
+             end
+             else if hb !l other c then begin
+               emit_hb ctx ~victim_k:!l ~by_k:k;
+               cand.(!l) <- None
+             end
          | None -> ());
       incr l
     done
@@ -56,19 +86,41 @@ let detect ?network ~seed comp spec =
           (function Some (c : Snapshot.vc) -> c.state | None -> assert false)
           cand
       in
-      announce ctx
-        (Detection.Detected (Cut.make ~procs:(Spec.procs spec) ~states))
+      begin
+        (match recorder with
+        | None -> ()
+        | Some r ->
+            Wcp_obs.Recorder.emit r ~time:(Engine.time ctx)
+              ~proc:(Engine.self ctx)
+              (Wcp_obs.Event.Detected
+                 { procs = Array.copy (Spec.procs spec); states }));
+        announce ctx
+          (Detection.Detected (Cut.make ~procs:(Spec.procs spec) ~states))
+      end
     else if
       Array.exists
         (fun k -> cand.(k) = None && Queue.is_empty queues.(k) && finished.(k))
         (Array.init width Fun.id)
-    then announce ctx Detection.No_detection
+    then begin
+      (match recorder with
+      | None -> ()
+      | Some r ->
+          Wcp_obs.Recorder.emit r ~time:(Engine.time ctx)
+            ~proc:(Engine.self ctx) Wcp_obs.Event.No_detection_declared);
+      announce ctx Detection.No_detection
+    end
   in
   let on_message ctx ~src msg =
     let k = Spec.index_of spec (src : int) in
     match msg with
     | Messages.Snap_vc s ->
         incr snapshots_seen;
+        (match recorder with
+        | None -> ()
+        | Some r ->
+            Wcp_obs.Recorder.emit r ~time:(Engine.time ctx)
+              ~proc:(Engine.self ctx)
+              (Wcp_obs.Event.Snapshot_arrived { src; state = s.Snapshot.state }));
         Queue.add s queues.(k);
         queued_words := !queued_words + width + 1;
         Engine.note_space ctx !queued_words;

@@ -17,5 +17,8 @@ open Wcp_trace
 open Wcp_sim
 
 val detect :
-  ?network:Network.t -> seed:int64 -> Computation.t -> Spec.t ->
-  Detection.result
+  ?network:Network.t -> ?recorder:Wcp_obs.Recorder.t -> seed:int64 ->
+  Computation.t -> Spec.t -> Detection.result
+(** [recorder] (default none) records snapshot arrivals and every
+    happened-before elimination with both candidates' vector clocks;
+    see {!Wcp_sim.Engine.create}. *)

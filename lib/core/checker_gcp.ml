@@ -3,7 +3,7 @@ open Wcp_sim
 
 type candidate = { state : int; clock : int array; counts : int array }
 
-let detect ?network ~seed ~channels comp spec =
+let detect ?network ?recorder ~seed ~channels comp spec =
   let n = Computation.n comp in
   let holds =
     List.map
@@ -24,7 +24,11 @@ let detect ?network ~seed ~channels comp spec =
         invalid_arg "Checker_gcp: channel endpoint out of range")
     endpoints;
   let forced = Array.of_list (List.map Gcp.forced_endpoint channels) in
-  let engine = Run_common.make_engine ?network ~seed comp in
+  let names = Array.of_list (List.map Gcp.name channels) in
+  let engine = Run_common.make_engine ?network ?recorder ~seed comp in
+  Run_common.emit_run_meta engine ~algo:"gcp" ~n ~width:n;
+  (* Fetched once; tracing off means every hook below is one match. *)
+  let recorder = Engine.recorder engine in
   let checker = Run_common.extra_id ~n in
   let outcome = ref None in
   let snapshots_seen = ref 0 in
@@ -41,6 +45,27 @@ let detect ?network ~seed ~channels comp spec =
   let snap_words = n + Array.length endpoints + 1 in
   (* (p, a) happened before (q, b) iff b's full clock has seen a. *)
   let hb p (a : candidate) (b : candidate) = b.clock.(p) >= a.clock.(p) in
+  let emit_hb ctx ~victim_p ~by_p =
+    match recorder with
+    | None -> ()
+    | Some r -> (
+        match (cand.(victim_p), cand.(by_p)) with
+        | Some (v : candidate), Some (b : candidate) ->
+            Wcp_obs.Recorder.emit r ~time:(Engine.time ctx)
+              ~proc:(Engine.self ctx)
+              (Wcp_obs.Event.Hb_eliminated
+                 {
+                   victim_k = victim_p;
+                   victim_proc = victim_p;
+                   victim_state = v.state;
+                   victim_clock = Array.copy v.clock;
+                   by_k = by_p;
+                   by_proc = by_p;
+                   by_state = b.state;
+                   by_clock = Array.copy b.clock;
+                 })
+        | _ -> ())
+  in
   let fill ctx p =
     let c = Queue.pop queues.(p) in
     queued_words := !queued_words - snap_words;
@@ -51,8 +76,14 @@ let detect ?network ~seed ~channels comp spec =
       (if !q <> p then
          match cand.(!q) with
          | Some other ->
-             if hb p c other then cand.(p) <- None
-             else if hb !q other c then cand.(!q) <- None
+             if hb p c other then begin
+               emit_hb ctx ~victim_p:p ~by_p:!q;
+               cand.(p) <- None
+             end
+             else if hb !q other c then begin
+               emit_hb ctx ~victim_p:!q ~by_p:p;
+               cand.(!q) <- None
+             end
          | None -> ());
       incr q
     done
@@ -76,6 +107,22 @@ let detect ?network ~seed ~channels comp spec =
         Engine.charge_work ctx 1;
         if holds.(c) (in_flight c) then scan (c + 1)
         else begin
+          (match recorder with
+          | None -> ()
+          | Some r ->
+              let victim_state =
+                match cand.(forced.(c)) with
+                | Some x -> x.state
+                | None -> assert false
+              in
+              Wcp_obs.Recorder.emit r ~time:(Engine.time ctx)
+                ~proc:(Engine.self ctx)
+                (Wcp_obs.Event.Channel_eliminated
+                   {
+                     channel = names.(c);
+                     victim_proc = forced.(c);
+                     victim_state;
+                   }));
           cand.(forced.(c)) <- None;
           true
         end
@@ -100,19 +147,42 @@ let detect ?network ~seed ~channels comp spec =
             (function Some (c : candidate) -> c.state | None -> assert false)
             cand
         in
-        announce ctx
-          (Detection.Detected (Cut.make ~procs:(Array.init n Fun.id) ~states))
+        begin
+          (match recorder with
+          | None -> ()
+          | Some r ->
+              Wcp_obs.Recorder.emit r ~time:(Engine.time ctx)
+                ~proc:(Engine.self ctx)
+                (Wcp_obs.Event.Detected
+                   { procs = Array.init n Fun.id; states }));
+          announce ctx
+            (Detection.Detected
+               (Cut.make ~procs:(Array.init n Fun.id) ~states))
+        end
     end
     else if
       Array.exists
         (fun p -> cand.(p) = None && Queue.is_empty queues.(p) && finished.(p))
         (Array.init n Fun.id)
-    then announce ctx Detection.No_detection
+    then begin
+      (match recorder with
+      | None -> ()
+      | Some r ->
+          Wcp_obs.Recorder.emit r ~time:(Engine.time ctx)
+            ~proc:(Engine.self ctx) Wcp_obs.Event.No_detection_declared);
+      announce ctx Detection.No_detection
+    end
   in
   let on_message ctx ~src msg =
     match msg with
     | Messages.Snap_gcp { state; clock; counts } ->
         incr snapshots_seen;
+        (match recorder with
+        | None -> ()
+        | Some r ->
+            Wcp_obs.Recorder.emit r ~time:(Engine.time ctx)
+              ~proc:(Engine.self ctx)
+              (Wcp_obs.Event.Snapshot_arrived { src; state }));
         Queue.add { state; clock; counts } queues.(src);
         queued_words := !queued_words + snap_words;
         Engine.note_space ctx !queued_words;

@@ -21,6 +21,7 @@ open Wcp_sim
 
 val detect :
   ?network:Network.t ->
+  ?recorder:Wcp_obs.Recorder.t ->
   seed:int64 ->
   channels:Gcp.channel_predicate list ->
   Computation.t ->

@@ -11,12 +11,21 @@ let default_network ~n =
   in
   Network.create ~fifo ~latency:(Network.Uniform (0.5, 1.5)) ()
 
-let make_engine_n ?network ?fault ~seed ~n () =
+let make_engine_n ?network ?fault ?recorder ~seed ~n () =
   let network = match network with Some nw -> nw | None -> default_network ~n in
-  Engine.create ~network ?fault ~num_processes:((2 * n) + 1) ~seed ()
+  Engine.create ~network ?fault ?recorder ~num_processes:((2 * n) + 1) ~seed ()
 
-let make_engine ?network ?fault ~seed comp =
-  make_engine_n ?network ?fault ~seed ~n:(Computation.n comp) ()
+let make_engine ?network ?fault ?recorder ~seed comp =
+  make_engine_n ?network ?fault ?recorder ~seed ~n:(Computation.n comp) ()
+
+(* Every detector opens its recorded log with the same prologue so
+   consumers can map engine ids to P_i / M_i roles. *)
+let emit_run_meta engine ~algo ~n ~width =
+  match Engine.recorder engine with
+  | None -> ()
+  | Some r ->
+      Wcp_obs.Recorder.emit r ~time:0.0 ~proc:(-1)
+        (Wcp_obs.Event.Run_meta { algo; n; width })
 
 type announce = Detection.outcome -> unit
 

@@ -24,16 +24,24 @@ val extra_id : n:int -> int
 val default_network : n:int -> Network.t
 
 val make_engine :
-  ?network:Network.t -> ?fault:Fault.plan -> seed:int64 -> Computation.t ->
+  ?network:Network.t -> ?fault:Fault.plan ->
+  ?recorder:Wcp_obs.Recorder.t -> seed:int64 -> Computation.t ->
   Messages.t Engine.t
 (** Engine with [2N + 1] processes and the default network. [fault]
     (default none) switches on deterministic fault injection; see
-    {!Wcp_sim.Fault}. *)
+    {!Wcp_sim.Fault}. [recorder] (default none) attaches the causal
+    trace recorder; see {!Wcp_sim.Engine.create}. *)
 
 val make_engine_n :
-  ?network:Network.t -> ?fault:Fault.plan -> seed:int64 -> n:int -> unit ->
+  ?network:Network.t -> ?fault:Fault.plan ->
+  ?recorder:Wcp_obs.Recorder.t -> seed:int64 -> n:int -> unit ->
   Messages.t Engine.t
 (** Same, for live systems that have no recorded computation. *)
+
+val emit_run_meta :
+  Messages.t Engine.t -> algo:string -> n:int -> width:int -> unit
+(** Emit the [Run_meta] prologue event if the engine has a recorder
+    (no-op otherwise). Every detector calls this once before wiring. *)
 
 type announce = Detection.outcome -> unit
 (** Callback a monitor invokes exactly once to report the result and

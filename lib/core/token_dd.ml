@@ -35,6 +35,8 @@ type monitors = {
 let install engine ~n_app ~parallel ?net ?watchdog ?check ?(stop = true)
     ?(start_at = 0) ~outcome ~hops ~polls ~snapshots () =
   let net = match net with Some n -> n | None -> Run_common.raw_net engine in
+  (* Fetched once; tracing off means every hook below is one match. *)
+  let recorder = Engine.recorder engine in
   let n = n_app in
   if start_at < 0 || start_at >= n then
     invalid_arg "Token_dd.install: start_at out of range";
@@ -85,6 +87,16 @@ let install engine ~n_app ~parallel ?net ?watchdog ?check ?(stop = true)
           m.deps_pending <- rest;
           m.polling <- true;
           incr polls;
+          (match recorder with
+          | None -> ()
+          | Some r ->
+              Wcp_obs.Recorder.emit r ~time:(Engine.time ctx)
+                ~proc:(Engine.self ctx)
+                (Wcp_obs.Event.Poll_sent
+                   {
+                     dst = monitor_id d.Dependence.src;
+                     clock = d.Dependence.clock;
+                   }));
           let msg = Messages.Poll { clock = d.Dependence.clock; next_red = m.next_red } in
           net.Run_common.send ctx ~bits:(bits msg)
             ~dst:(monitor_id d.Dependence.src) msg
@@ -105,17 +117,31 @@ let install engine ~n_app ~parallel ?net ?watchdog ?check ?(stop = true)
                 m.tentative <- Some cand.Snapshot.state;
                 drive ctx m
             | None ->
-                if m.app_done then
+                if m.app_done then begin
                   (* This process can never produce a fresh candidate:
                      no cut at or before the end of the run satisfies
                      the WCP. *)
-                  announce ctx Detection.No_detection)
+                  (match recorder with
+                  | None -> ()
+                  | Some r ->
+                      Wcp_obs.Recorder.emit r ~time:(Engine.time ctx)
+                        ~proc:(Engine.self ctx)
+                        Wcp_obs.Event.No_detection_declared);
+                  announce ctx Detection.No_detection
+                end)
 
   and commit_and_pass ctx m =
     (match m.tentative with Some c -> m.g <- c | None -> assert false);
     m.tentative <- None;
     m.color <- Messages.Green;
     m.has_token <- false;
+    (match recorder with
+    | None -> ()
+    | Some r ->
+        Wcp_obs.Recorder.emit r ~time:(Engine.time ctx)
+          ~proc:(Engine.self ctx)
+          (Wcp_obs.Event.Candidate_advanced
+             { k = m.proc; proc = m.proc; state = m.g }));
     (match check with
     | Some f ->
         f
@@ -129,6 +155,14 @@ let install engine ~n_app ~parallel ?net ?watchdog ?check ?(stop = true)
         Log.info (fun f ->
             f "t=%.3f WCP detected; chain empty at monitor %d" (Engine.time ctx)
               m.proc);
+        (match recorder with
+        | None -> ()
+        | Some r ->
+            let cut = detected_cut () in
+            Wcp_obs.Recorder.emit r ~time:(Engine.time ctx)
+              ~proc:(Engine.self ctx)
+              (Wcp_obs.Event.Detected
+                 { procs = cut.Cut.procs; states = cut.Cut.states }));
         announce ctx (Detection.Detected (detected_cut ()))
     | Some j ->
         m.next_red <- None;
@@ -136,6 +170,13 @@ let install engine ~n_app ~parallel ?net ?watchdog ?check ?(stop = true)
         let seq = !hops in
         Log.debug (fun f ->
             f "t=%.3f token %d -> %d (G=%d)" (Engine.time ctx) m.proc j m.g);
+        (match recorder with
+        | None -> ()
+        | Some r ->
+            Wcp_obs.Recorder.emit r ~time:(Engine.time ctx)
+              ~proc:(Engine.self ctx)
+              (Wcp_obs.Event.Token_sent
+                 { seq; dst = monitor_id j; g = [| m.g |] }));
         let msg = Messages.Dd_token { seq } in
         net.Run_common.send ctx ~bits:(bits msg) ~dst:(monitor_id j) msg;
         (match watchdog with
@@ -150,6 +191,12 @@ let install engine ~n_app ~parallel ?net ?watchdog ?check ?(stop = true)
     match msg with
     | Messages.Snap_dd s ->
         incr snapshots_seen;
+        (match recorder with
+        | None -> ()
+        | Some r ->
+            Wcp_obs.Recorder.emit r ~time:(Engine.time ctx)
+              ~proc:(Engine.self ctx)
+              (Wcp_obs.Event.Snapshot_arrived { src; state = s.Snapshot.state }));
         Queue.add s m.queue;
         m.queue_words <- m.queue_words + snapshot_words s;
         Engine.note_space ctx m.queue_words;
@@ -163,6 +210,11 @@ let install engine ~n_app ~parallel ?net ?watchdog ?check ?(stop = true)
         if seq > m.last_token_seq then begin
           m.last_token_seq <- seq;
           m.has_token <- true;
+          (match recorder with
+          | None -> ()
+          | Some r ->
+              Wcp_obs.Recorder.emit r ~time:(Engine.time ctx)
+                ~proc:(Engine.self ctx) (Wcp_obs.Event.Token_received { seq }));
           drive ctx m
         end
     | Messages.Poll { clock; next_red } ->
@@ -170,11 +222,29 @@ let install engine ~n_app ~parallel ?net ?watchdog ?check ?(stop = true)
         Engine.charge_work ctx 1;
         let was_green = not (is_red m) in
         if clock >= m.g then begin
+          (match recorder with
+          | None -> ()
+          | Some r ->
+              Wcp_obs.Recorder.emit r ~time:(Engine.time ctx)
+                ~proc:(Engine.self ctx)
+                (Wcp_obs.Event.Dd_eliminated
+                   {
+                     victim_proc = m.proc;
+                     victim_state = m.g;
+                     poll_clock = clock;
+                     poller_proc = src - n;
+                   }));
           m.color <- Messages.Red;
           m.g <- clock
         end;
         let became = is_red m && was_green in
         if became then m.next_red <- next_red;
+        (match recorder with
+        | None -> ()
+        | Some r ->
+            Wcp_obs.Recorder.emit r ~time:(Engine.time ctx)
+              ~proc:(Engine.self ctx)
+              (Wcp_obs.Event.Poll_replied { dst = src; became_red = became }));
         let reply = Messages.Poll_reply { became_red = became } in
         net.Run_common.send ctx ~bits:(bits reply) ~dst:src reply;
         (* A poll can invalidate a prefetched candidate or wake a newly
@@ -182,7 +252,16 @@ let install engine ~n_app ~parallel ?net ?watchdog ?check ?(stop = true)
         if parallel then drive ctx m
     | Messages.Poll_reply { became_red } ->
         m.polling <- false;
-        if became_red then m.next_red <- Some (src - n);
+        if became_red then begin
+          (match recorder with
+          | None -> ()
+          | Some r ->
+              Wcp_obs.Recorder.emit r ~time:(Engine.time ctx)
+                ~proc:(Engine.self ctx)
+                (Wcp_obs.Event.Chain_extended
+                   { after_proc = m.proc; proc = src - n }));
+          m.next_red <- Some (src - n)
+        end;
         drive ctx m
     | Messages.Wd_probe { seq } ->
         let reply =
@@ -281,13 +360,16 @@ let check_invariants comp ~g ~color ~next_red ~next =
         (Printf.sprintf "Lemma 4.2(3) violated: red monitor %d off the chain" i)
   done
 
-let detect ?network ?fault ?(parallel = false) ?(invariant_checks = false)
-    ?start_at ~seed comp spec =
+let detect ?network ?fault ?recorder ?(parallel = false)
+    ?(invariant_checks = false) ?start_at ~seed comp spec =
   let n = Computation.n comp in
   let fault =
     match fault with Some p when not (Fault.is_none p) -> Some p | _ -> None
   in
-  let engine = Run_common.make_engine ?network ?fault ~seed comp in
+  let engine = Run_common.make_engine ?network ?fault ?recorder ~seed comp in
+  Run_common.emit_run_meta engine
+    ~algo:(if parallel then "token-dd-parallel" else "token-dd")
+    ~n ~width:n;
   let outcome = ref None in
   let hops = ref 0 in
   let polls = ref 0 in

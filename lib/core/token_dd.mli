@@ -77,6 +77,7 @@ val start : Messages.t Engine.t -> monitors -> unit
 val detect :
   ?network:Network.t ->
   ?fault:Fault.plan ->
+  ?recorder:Wcp_obs.Recorder.t ->
   ?parallel:bool ->
   ?invariant_checks:bool ->
   ?start_at:int ->

@@ -20,7 +20,8 @@ type leader = {
 
 type assignment = Round_robin | Blocks
 
-let detect ?network ?fault ?(assignment = Round_robin) ~groups ~seed comp spec =
+let detect ?network ?fault ?recorder ?(assignment = Round_robin) ~groups ~seed
+    comp spec =
   let n = Computation.n comp in
   let width = Spec.width spec in
   if groups < 1 || groups > width then
@@ -28,7 +29,10 @@ let detect ?network ?fault ?(assignment = Round_robin) ~groups ~seed comp spec =
   let fault =
     match fault with Some p when not (Fault.is_none p) -> Some p | _ -> None
   in
-  let engine = Run_common.make_engine ?network ?fault ~seed comp in
+  let engine = Run_common.make_engine ?network ?fault ?recorder ~seed comp in
+  Run_common.emit_run_meta engine ~algo:"token-multi" ~n ~width;
+  (* Fetched once; tracing off means every hook below is one match. *)
+  let recorder = Engine.recorder engine in
   let leader_id = Run_common.extra_id ~n in
   let outcome = ref None in
   let hops = ref 0 in
@@ -58,6 +62,12 @@ let detect ?network ?fault ?(assignment = Round_robin) ~groups ~seed comp spec =
   let send_group_token ctx ?wd ~dst ~group g color =
     incr hops;
     let seq = !hops in
+    (match recorder with
+    | None -> ()
+    | Some r ->
+        Wcp_obs.Recorder.emit r ~time:(Engine.time ctx)
+          ~proc:(Engine.self ctx)
+          (Wcp_obs.Event.Token_sent { seq; dst; g = Array.copy g }));
     let msg = Messages.Group_token { seq; g; color; group } in
     net.Run_common.send ctx ~bits:(bits msg) ~dst msg;
     match wd with
@@ -83,14 +93,28 @@ let detect ?network ?fault ?(assignment = Round_robin) ~groups ~seed comp spec =
     | Messages.Red -> (
       match Queue.take_opt m.queue with
       | None ->
-          if m.app_done then announce ctx Detection.No_detection
+          if m.app_done then begin
+            (match recorder with
+            | None -> ()
+            | Some r ->
+                Wcp_obs.Recorder.emit r ~time:(Engine.time ctx)
+                  ~proc:(Engine.self ctx) Wcp_obs.Event.No_detection_declared);
+            announce ctx Detection.No_detection
+          end
           else m.held <- Some (g, color)
       | Some cand ->
           Engine.charge_work ctx 1;
           m.last <- Some cand;
           if cand.Snapshot.clock.(m.k) > g.(m.k) then begin
             g.(m.k) <- cand.Snapshot.clock.(m.k);
-            color.(m.k) <- Messages.Green
+            color.(m.k) <- Messages.Green;
+            match recorder with
+            | None -> ()
+            | Some r ->
+                Wcp_obs.Recorder.emit r ~time:(Engine.time ctx)
+                  ~proc:(Engine.self ctx)
+                  (Wcp_obs.Event.Candidate_advanced
+                     { k = m.k; proc = Spec.proc spec m.k; state = g.(m.k) })
           end;
           process ctx m g color)
     | Messages.Green ->
@@ -99,6 +123,22 @@ let detect ?network ?fault ?(assignment = Round_robin) ~groups ~seed comp spec =
           Engine.charge_work ctx width;
           for j = 0 to width - 1 do
             if j <> m.k && cand.Snapshot.clock.(j) >= g.(j) then begin
+              (match recorder with
+              | None -> ()
+              | Some r ->
+                  Wcp_obs.Recorder.emit r ~time:(Engine.time ctx)
+                    ~proc:(Engine.self ctx)
+                    (Wcp_obs.Event.Vc_advanced
+                       {
+                         by_k = m.k;
+                         by_proc = Spec.proc spec m.k;
+                         by_state = cand.Snapshot.state;
+                         by_clock = Array.copy cand.Snapshot.clock;
+                         victim_k = j;
+                         victim_proc = Spec.proc spec j;
+                         victim_state = g.(j);
+                         witness = cand.Snapshot.clock.(j);
+                       }));
               g.(j) <- cand.Snapshot.clock.(j);
               color.(j) <- Messages.Red
             end
@@ -129,6 +169,12 @@ let detect ?network ?fault ?(assignment = Round_robin) ~groups ~seed comp spec =
     match msg with
     | Messages.Snap_vc s ->
         incr snapshots_seen;
+        (match recorder with
+        | None -> ()
+        | Some r ->
+            Wcp_obs.Recorder.emit r ~time:(Engine.time ctx)
+              ~proc:(Engine.self ctx)
+              (Wcp_obs.Event.Snapshot_arrived { src; state = s.Snapshot.state }));
         Queue.add s m.queue;
         Engine.note_space ctx (Queue.length m.queue * width);
         resume ctx m
@@ -139,6 +185,11 @@ let detect ?network ?fault ?(assignment = Round_robin) ~groups ~seed comp spec =
         assert (group = m.group);
         if seq > m.last_token_seq then begin
           m.last_token_seq <- seq;
+          (match recorder with
+          | None -> ()
+          | Some r ->
+              Wcp_obs.Recorder.emit r ~time:(Engine.time ctx)
+                ~proc:(Engine.self ctx) (Wcp_obs.Event.Token_received { seq }));
           process ctx m g color
         end
     | Messages.Wd_probe { seq } ->
@@ -174,10 +225,26 @@ let detect ?network ?fault ?(assignment = Round_robin) ~groups ~seed comp spec =
   in
   let dispatch ctx =
     incr merges;
-    if Array.for_all (fun c -> c = Messages.Green) ld.merged_color then
+    (match recorder with
+    | None -> ()
+    | Some r ->
+        Wcp_obs.Recorder.emit r ~time:(Engine.time ctx)
+          ~proc:(Engine.self ctx) (Wcp_obs.Event.Merged { round = !merges }));
+    if Array.for_all (fun c -> c = Messages.Green) ld.merged_color then begin
+      (match recorder with
+      | None -> ()
+      | Some r ->
+          Wcp_obs.Recorder.emit r ~time:(Engine.time ctx)
+            ~proc:(Engine.self ctx)
+            (Wcp_obs.Event.Detected
+               {
+                 procs = Array.copy (Spec.procs spec);
+                 states = Array.copy ld.merged_g;
+               }));
       announce ctx
         (Detection.Detected
            (Cut.make ~procs:(Spec.procs spec) ~states:(Array.copy ld.merged_g)))
+    end
     else
       for gr = 0 to groups - 1 do
         let first_red = ref None in

@@ -25,6 +25,7 @@ type assignment =
 val detect :
   ?network:Network.t ->
   ?fault:Fault.plan ->
+  ?recorder:Wcp_obs.Recorder.t ->
   ?assignment:assignment ->
   groups:int ->
   seed:int64 ->

@@ -68,6 +68,9 @@ let check_invariants comp spec ~g ~color =
 let install engine ~n_app ~wcp_procs ?net ?watchdog ?check ?(stop = true)
     ?(start_at = 0) ~outcome ~hops ~snapshots () =
   let net = match net with Some n -> n | None -> Run_common.raw_net engine in
+  (* Fetched once; every emission below is a single match when tracing
+     is off (no closures, no event construction). *)
+  let recorder = Engine.recorder engine in
   let width = Array.length wcp_procs in
   if width = 0 then invalid_arg "Token_vc.install: empty WCP";
   if start_at < 0 || start_at >= width then
@@ -92,14 +95,28 @@ let install engine ~n_app ~wcp_procs ?net ?watchdog ?check ?(stop = true)
     | Messages.Red -> (
       match Queue.take_opt m.queue with
       | None ->
-          if m.app_done then announce ctx Detection.No_detection
+          if m.app_done then begin
+            (match recorder with
+            | None -> ()
+            | Some r ->
+                Wcp_obs.Recorder.emit r ~time:(Engine.time ctx)
+                  ~proc:(Engine.self ctx) Wcp_obs.Event.No_detection_declared);
+            announce ctx Detection.No_detection
+          end
           else m.held <- Some (g, color)
       | Some cand ->
           Engine.charge_work ctx 1;
           m.last <- Some cand;
           if cand.Snapshot.clock.(m.k) > g.(m.k) then begin
             g.(m.k) <- cand.Snapshot.clock.(m.k);
-            color.(m.k) <- Messages.Green
+            color.(m.k) <- Messages.Green;
+            match recorder with
+            | None -> ()
+            | Some r ->
+                Wcp_obs.Recorder.emit r ~time:(Engine.time ctx)
+                  ~proc:(Engine.self ctx)
+                  (Wcp_obs.Event.Candidate_advanced
+                     { k = m.k; proc = wcp_procs.(m.k); state = g.(m.k) })
           end;
           process ctx m g color)
     | Messages.Green ->
@@ -112,6 +129,22 @@ let install engine ~n_app ~wcp_procs ?net ?watchdog ?check ?(stop = true)
       Engine.charge_work ctx width;
       for j = 0 to width - 1 do
         if j <> m.k && cand.Snapshot.clock.(j) >= g.(j) then begin
+          (match recorder with
+          | None -> ()
+          | Some r ->
+              Wcp_obs.Recorder.emit r ~time:(Engine.time ctx)
+                ~proc:(Engine.self ctx)
+                (Wcp_obs.Event.Vc_advanced
+                   {
+                     by_k = m.k;
+                     by_proc = wcp_procs.(m.k);
+                     by_state = cand.Snapshot.state;
+                     by_clock = Array.copy cand.Snapshot.clock;
+                     victim_k = j;
+                     victim_proc = wcp_procs.(j);
+                     victim_state = g.(j);
+                     witness = cand.Snapshot.clock.(j);
+                   }));
           g.(j) <- cand.Snapshot.clock.(j);
           color.(j) <- Messages.Red
         end
@@ -129,6 +162,13 @@ let install engine ~n_app ~wcp_procs ?net ?watchdog ?check ?(stop = true)
         let seq = !hops in
         Log.debug (fun m ->
             m "t=%.3f token %d -> %d" (Engine.time ctx) m_k j);
+        (match recorder with
+        | None -> ()
+        | Some r ->
+            Wcp_obs.Recorder.emit r ~time:(Engine.time ctx)
+              ~proc:(Engine.self ctx)
+              (Wcp_obs.Event.Token_sent
+                 { seq; dst = monitor_id j; g = Array.copy g }));
         let msg = Messages.Vc_token { seq; g; color } in
         net.Run_common.send ctx ~bits:(bits msg) ~dst:(monitor_id j) msg;
         match watchdog with
@@ -149,6 +189,13 @@ let install engine ~n_app ~wcp_procs ?net ?watchdog ?check ?(stop = true)
       else begin
         Log.info (fun m ->
             m "t=%.3f WCP detected at monitor %d" (Engine.time ctx) m_k);
+        (match recorder with
+        | None -> ()
+        | Some r ->
+            Wcp_obs.Recorder.emit r ~time:(Engine.time ctx)
+              ~proc:(Engine.self ctx)
+              (Wcp_obs.Event.Detected
+                 { procs = Array.copy wcp_procs; states = Array.copy g }));
         announce ctx
           (Detection.Detected
              (Cut.make ~procs:wcp_procs ~states:(Array.copy g)))
@@ -165,6 +212,12 @@ let install engine ~n_app ~wcp_procs ?net ?watchdog ?check ?(stop = true)
     match msg with
     | Messages.Snap_vc s ->
         incr snapshots;
+        (match recorder with
+        | None -> ()
+        | Some r ->
+            Wcp_obs.Recorder.emit r ~time:(Engine.time ctx)
+              ~proc:(Engine.self ctx)
+              (Wcp_obs.Event.Snapshot_arrived { src; state = s.Snapshot.state }));
         Queue.add s m.queue;
         Engine.note_space ctx (Queue.length m.queue * width);
         resume ctx m
@@ -176,6 +229,11 @@ let install engine ~n_app ~wcp_procs ?net ?watchdog ?check ?(stop = true)
            number; processing one twice would corrupt the search. *)
         if seq > m.last_token_seq then begin
           m.last_token_seq <- seq;
+          (match recorder with
+          | None -> ()
+          | Some r ->
+              Wcp_obs.Recorder.emit r ~time:(Engine.time ctx)
+                ~proc:(Engine.self ctx) (Wcp_obs.Event.Token_received { seq }));
           process ctx m g color
         end
     | Messages.Wd_probe { seq } ->
@@ -237,14 +295,15 @@ let start engine monitors =
   Engine.schedule_initial engine ~proc:monitors.start_id ~at:0.0
     monitors.start_token
 
-let detect ?network ?fault ?(invariant_checks = false) ?start_at ~seed comp
-    spec =
+let detect ?network ?fault ?recorder ?(invariant_checks = false) ?start_at
+    ~seed comp spec =
   let n = Computation.n comp in
   let width = Spec.width spec in
   let fault =
     match fault with Some p when not (Fault.is_none p) -> Some p | _ -> None
   in
-  let engine = Run_common.make_engine ?network ?fault ~seed comp in
+  let engine = Run_common.make_engine ?network ?fault ?recorder ~seed comp in
+  Run_common.emit_run_meta engine ~algo:"token-vc" ~n ~width;
   let outcome = ref None in
   let hops = ref 0 in
   let snapshots = ref 0 in

@@ -76,6 +76,7 @@ val start : Messages.t Engine.t -> monitors -> unit
 val detect :
   ?network:Network.t ->
   ?fault:Fault.plan ->
+  ?recorder:Wcp_obs.Recorder.t ->
   ?invariant_checks:bool ->
   ?start_at:int ->
   seed:int64 ->
@@ -83,6 +84,12 @@ val detect :
   Spec.t ->
   Detection.result
 (** Replay the computation and run the detection protocol on top.
+
+    [recorder] (default none) records the full causal trace of the run
+    — snapshot arrivals, candidate advances, Fig. 3 eliminations with
+    the witnessing vector-clock comparison, token hops, watchdog
+    probes/regenerations — without perturbing the simulation (see
+    {!Wcp_sim.Engine.create}).
     [invariant_checks] re-validates Lemma 3.1(1–3) against the recorded
     computation at every token processing step — an executable proof
     check (it reads the trace, so costs are not charged for it).

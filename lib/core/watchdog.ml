@@ -23,9 +23,16 @@ let probe_bits = Messages.bits ~spec_width:1 (Messages.Wd_probe { seq = 0 })
    declared unreachable. *)
 let arm t ctx ~delay seq =
   Engine.schedule ctx ~delay (fun ctx ->
-      if t.seq = seq then
+      if t.seq = seq then begin
+        (match Engine.recorder_of ctx with
+        | None -> ()
+        | Some r ->
+            Wcp_obs.Recorder.emit r ~time:(Engine.time ctx)
+              ~proc:(Engine.self ctx)
+              (Wcp_obs.Event.Probe_sent { seq; dst = t.dst }));
         Engine.send ctx ~bits:probe_bits ~dst:t.dst
-          (Messages.Wd_probe { seq }))
+          (Messages.Wd_probe { seq })
+      end)
 
 let watch t ctx ~seq ~dst ~resend =
   if seq <= 0 then invalid_arg "Watchdog.watch: seq must be positive";
@@ -42,6 +49,12 @@ let stand_down t =
 let on_reply t ctx ~seq ~received ~holding =
   if seq = t.seq && seq > 0 then
     if not received then begin
+      (match Engine.recorder_of ctx with
+      | None -> ()
+      | Some r ->
+          Wcp_obs.Recorder.emit r ~time:(Engine.time ctx)
+            ~proc:(Engine.self ctx)
+            (Wcp_obs.Event.Token_regenerated { seq; dst = t.dst }));
       (match t.resend with Some f -> f ctx | None -> ());
       t.probes <- t.probes + 1;
       if t.probes <= t.max_probes then arm t ctx ~delay:t.lease seq

@@ -1,0 +1,154 @@
+type body =
+  | Run_meta of { algo : string; n : int; width : int }
+  | Sent of { dst : int; bits : int }
+  | Delivered of { src : int }
+  | Snapshot_arrived of { src : int; state : int }
+  | Candidate_advanced of { k : int; proc : int; state : int }
+  | Vc_advanced of {
+      by_k : int;
+      by_proc : int;
+      by_state : int;
+      by_clock : int array;
+      victim_k : int;
+      victim_proc : int;
+      victim_state : int;
+      witness : int;
+    }
+  | Dd_eliminated of {
+      victim_proc : int;
+      victim_state : int;
+      poll_clock : int;
+      poller_proc : int;
+    }
+  | Chain_extended of { after_proc : int; proc : int }
+  | Hb_eliminated of {
+      victim_k : int;
+      victim_proc : int;
+      victim_state : int;
+      victim_clock : int array;
+      by_k : int;
+      by_proc : int;
+      by_state : int;
+      by_clock : int array;
+    }
+  | Channel_eliminated of {
+      channel : string;
+      victim_proc : int;
+      victim_state : int;
+    }
+  | Token_sent of { seq : int; dst : int; g : int array }
+  | Token_received of { seq : int }
+  | Token_regenerated of { seq : int; dst : int }
+  | Poll_sent of { dst : int; clock : int }
+  | Poll_replied of { dst : int; became_red : bool }
+  | Probe_sent of { seq : int; dst : int }
+  | Retransmitted of { dst : int; frame_seq : int }
+  | Merged of { round : int }
+  | Detected of { procs : int array; states : int array }
+  | No_detection_declared
+
+type t = { seq : int; time : float; proc : int; body : body }
+
+let kind = function
+  | Run_meta _ -> "run_meta"
+  | Sent _ -> "sent"
+  | Delivered _ -> "delivered"
+  | Snapshot_arrived _ -> "snapshot"
+  | Candidate_advanced _ -> "candidate"
+  | Vc_advanced _ -> "vc_advanced"
+  | Dd_eliminated _ -> "dd_eliminated"
+  | Chain_extended _ -> "chain_extended"
+  | Hb_eliminated _ -> "hb_eliminated"
+  | Channel_eliminated _ -> "channel_eliminated"
+  | Token_sent _ -> "token_sent"
+  | Token_received _ -> "token_received"
+  | Token_regenerated _ -> "token_regenerated"
+  | Poll_sent _ -> "poll_sent"
+  | Poll_replied _ -> "poll_replied"
+  | Probe_sent _ -> "probe_sent"
+  | Retransmitted _ -> "retransmit"
+  | Merged _ -> "merge"
+  | Detected _ -> "detected"
+  | No_detection_declared -> "no_detection"
+
+let kinds =
+  [
+    "run_meta"; "sent"; "delivered"; "snapshot"; "candidate"; "vc_advanced";
+    "dd_eliminated"; "chain_extended"; "hb_eliminated"; "channel_eliminated";
+    "token_sent"; "token_received"; "token_regenerated"; "poll_sent";
+    "poll_replied"; "probe_sent"; "retransmit"; "merge"; "detected";
+    "no_detection";
+  ]
+
+let is_elimination = function
+  | Vc_advanced _ | Dd_eliminated _ | Hb_eliminated _ | Channel_eliminated _ ->
+      true
+  | _ -> false
+
+let equal_body (a : body) (b : body) = a = b
+
+let equal (a : t) (b : t) =
+  a.seq = b.seq && a.proc = b.proc
+  && Float.equal a.time b.time
+  && equal_body a.body b.body
+
+let pp_vec ppf v =
+  Format.pp_print_char ppf '<';
+  Array.iteri
+    (fun i x ->
+      if i > 0 then Format.pp_print_char ppf ',';
+      Format.pp_print_int ppf x)
+    v;
+  Format.pp_print_char ppf '>'
+
+let pp_body ppf = function
+  | Run_meta { algo; n; width } ->
+      Format.fprintf ppf "run algo=%s n=%d width=%d" algo n width
+  | Sent { dst; bits } -> Format.fprintf ppf "sent dst=%d bits=%d" dst bits
+  | Delivered { src } -> Format.fprintf ppf "delivered src=%d" src
+  | Snapshot_arrived { src; state } ->
+      Format.fprintf ppf "snapshot src=%d state=%d" src state
+  | Candidate_advanced { k; proc; state } ->
+      Format.fprintf ppf "candidate G[%d] := %d (P%d)" k state proc
+  | Vc_advanced { by_k; by_clock; victim_k; victim_state; witness; _ } ->
+      Format.fprintf ppf
+        "vc-advance G[%d]: %d -> %d by M%d's candidate %a[%d]" victim_k
+        victim_state witness by_k pp_vec by_clock victim_k
+  | Dd_eliminated { victim_proc; victim_state; poll_clock; poller_proc } ->
+      Format.fprintf ppf "dd-elim (P%d,%d) by poll clock=%d from M%d"
+        victim_proc victim_state poll_clock poller_proc
+  | Chain_extended { after_proc; proc } ->
+      Format.fprintf ppf "chain M%d spliced after M%d" proc after_proc
+  | Hb_eliminated { victim_k; victim_state; by_k; by_state; _ } ->
+      Format.fprintf ppf "hb-elim (k=%d,%d) happened before (k=%d,%d)" victim_k
+        victim_state by_k by_state
+  | Channel_eliminated { channel; victim_proc; victim_state } ->
+      Format.fprintf ppf "channel-elim %s kills (P%d,%d)" channel victim_proc
+        victim_state
+  | Token_sent { seq; dst; g } ->
+      Format.fprintf ppf "token#%d -> %d G=%a" seq dst pp_vec g
+  | Token_received { seq } -> Format.fprintf ppf "token#%d received" seq
+  | Token_regenerated { seq; dst } ->
+      Format.fprintf ppf "token#%d regenerated -> %d" seq dst
+  | Poll_sent { dst; clock } ->
+      Format.fprintf ppf "poll -> %d clock=%d" dst clock
+  | Poll_replied { dst; became_red } ->
+      Format.fprintf ppf "poll-reply -> %d %s" dst
+        (if became_red then "became-red" else "no-change")
+  | Probe_sent { seq; dst } -> Format.fprintf ppf "wd-probe#%d -> %d" seq dst
+  | Retransmitted { dst; frame_seq } ->
+      Format.fprintf ppf "retransmit frame#%d -> %d" frame_seq dst
+  | Merged { round } -> Format.fprintf ppf "leader merge #%d" round
+  | Detected { procs; states } ->
+      Format.fprintf ppf "detected {";
+      Array.iteri
+        (fun i p ->
+          if i > 0 then Format.pp_print_char ppf ' ';
+          Format.fprintf ppf "%d:%d" p states.(i))
+        procs;
+      Format.pp_print_char ppf '}'
+  | No_detection_declared -> Format.pp_print_string ppf "no detection"
+
+let pp ppf e =
+  Format.fprintf ppf "#%d t=%.3f p=%d %s %a" e.seq e.time e.proc (kind e.body)
+    pp_body e.body

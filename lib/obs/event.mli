@@ -1,0 +1,105 @@
+(** Structured trace events — the vocabulary of the observability plane.
+
+    One constructor per observable fact: engine-level sends and
+    deliveries, snapshot arrivals at monitors, candidate advances and
+    the per-algorithm elimination steps (the Fig. 3 vector-clock
+    comparison, the §4 direct-dependence poll, the centralized
+    checker's happened-before test, a GCP channel-predicate
+    violation), token hops, poll/reply exchanges, watchdog probes and
+    token regenerations, and transport retransmits.
+
+    Events deliberately carry {e copies} of any mutable protocol state
+    (clock vectors, cut arrays): a recorded event is immutable even
+    though the algorithm keeps mutating its working arrays. *)
+
+type body =
+  | Run_meta of { algo : string; n : int; width : int }
+      (** First event of a run: detector name, application process
+          count, spec width. Lets consumers map engine process ids to
+          [P_i] / [M_i] roles ([monitor_of ~n p = n + p]). *)
+  | Sent of { dst : int; bits : int }  (** Engine-level send. *)
+  | Delivered of { src : int }  (** Engine-level delivery. *)
+  | Snapshot_arrived of { src : int; state : int }
+      (** A local snapshot reached its monitor. *)
+  | Candidate_advanced of { k : int; proc : int; state : int }
+      (** Monitor [k] accepted a fresh candidate: [G[k] := state]. *)
+  | Vc_advanced of {
+      by_k : int;  (** spec slot of the eliminating monitor *)
+      by_proc : int;
+      by_state : int;  (** its candidate's state index *)
+      by_clock : int array;  (** its candidate's (projected) vector clock *)
+      victim_k : int;  (** spec slot whose entry was overwritten *)
+      victim_proc : int;
+      victim_state : int;  (** previous [G[victim_k]] (0 = none yet) *)
+      witness : int;  (** [by_clock.(victim_k)], the >= witness *)
+    }
+      (** The Fig. 3 elimination: [by_clock.(victim_k) >= G[victim_k]]
+          proves [(P_victim, victim_state)] happened before the
+          candidate of [by_k], so [G[victim_k] := witness], color red. *)
+  | Dd_eliminated of {
+      victim_proc : int;
+      victim_state : int;  (** previous [M.G] of the polled monitor *)
+      poll_clock : int;
+      poller_proc : int;
+    }
+      (** The Fig. 5 elimination: a poll carrying [poll_clock >= G]
+          proves a direct dependence [(P_victim, G) ->_d candidate],
+          so the polled monitor turns red with [G := poll_clock]. *)
+  | Chain_extended of { after_proc : int; proc : int }
+      (** [proc] became red and was spliced into the red chain after
+          [after_proc] (§4). *)
+  | Hb_eliminated of {
+      victim_k : int;
+      victim_proc : int;
+      victim_state : int;
+      victim_clock : int array;
+      by_k : int;
+      by_proc : int;
+      by_state : int;
+      by_clock : int array;
+    }
+      (** Centralized checker: [victim]'s candidate happened before
+          [by]'s ([by_clock.(victim_k) >= victim_clock.(victim_k)]). *)
+  | Channel_eliminated of {
+      channel : string;
+      victim_proc : int;
+      victim_state : int;
+    }
+      (** GCP: a violated channel predicate forced this endpoint. *)
+  | Token_sent of { seq : int; dst : int; g : int array }
+  | Token_received of { seq : int }
+  | Token_regenerated of { seq : int; dst : int }
+      (** Watchdog re-sent a presumed-lost token. *)
+  | Poll_sent of { dst : int; clock : int }
+  | Poll_replied of { dst : int; became_red : bool }
+  | Probe_sent of { seq : int; dst : int }
+  | Retransmitted of { dst : int; frame_seq : int }
+      (** Reliable transport re-sent an unacked frame. *)
+  | Merged of { round : int }  (** Multi-token leader merge (§3.5). *)
+  | Detected of { procs : int array; states : int array }
+  | No_detection_declared
+
+type t = { seq : int; time : float; proc : int; body : body }
+(** [seq] is the recorder's monotonically increasing sequence number,
+    [time] the simulation clock at emission, [proc] the engine process
+    id the event is attributed to (-1 for pre-run metadata). *)
+
+val kind : body -> string
+(** Stable wire name of the constructor (the JSONL ["type"] field). *)
+
+val kinds : string list
+(** All wire names, for schema validation. *)
+
+val is_elimination : body -> bool
+
+val equal : t -> t -> bool
+(** Structural equality (arrays compared element-wise). *)
+
+val equal_body : body -> body -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val pp_body : Format.formatter -> body -> unit
+
+val pp_vec : Format.formatter -> int array -> unit
+(** Renders [<3,5,1>]. *)

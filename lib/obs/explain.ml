@@ -1,0 +1,123 @@
+(* Replay a recorded event log into a human narrative: one line per
+   interesting event, naming processes by role (P_i application
+   process, M_i monitor, checker) using the run_meta prologue, and
+   spelling out each elimination as the comparison that justified it. *)
+
+let name ~n p =
+  if p < 0 then "?"
+  else if n > 0 && p < n then Printf.sprintf "P_%d" p
+  else if n > 0 && p < 2 * n then Printf.sprintf "M_%d" (p - n)
+  else if n > 0 && p = 2 * n then "checker"
+  else Printf.sprintf "proc_%d" p
+
+let narrate ?(verbose = false) ppf events =
+  let n = ref 0 in
+  let hops = ref 0 in
+  let elided = ref 0 in
+  let pr fmt = Format.fprintf ppf fmt in
+  let vec = Event.pp_vec in
+  Array.iter
+    (fun (e : Event.t) ->
+      let who = name ~n:!n e.proc in
+      let line fmt =
+        pr "t=%-8g %s" e.time who;
+        pr ": ";
+        Format.kfprintf (fun ppf -> Format.pp_print_newline ppf ()) ppf fmt
+      in
+      match e.body with
+      | Event.Run_meta { algo; n = procs; width } ->
+          n := procs;
+          pr "run: %s over n=%d processes, predicate width %d@." algo procs
+            width
+      | Event.Sent _ | Event.Delivered _ -> incr elided
+      | Event.Snapshot_arrived { src; state } ->
+          if verbose then
+            line "snapshot: state %d of %s arrived" state (name ~n:!n src)
+      | Event.Candidate_advanced { k; proc; state } ->
+          line "selected candidate state %d of %s (G[%d] := %d, green)" state
+            (name ~n:!n proc) k state
+      | Event.Vc_advanced
+          { by_k; by_proc; by_state; by_clock; victim_k; victim_proc;
+            victim_state; witness } ->
+          if victim_state = 0 then
+            line
+              "advanced G[%d] to %d: candidate (%s, state %d) with clock %a \
+               precedes any future candidate of %s (red)"
+              victim_k witness (name ~n:!n by_proc) by_state vec by_clock
+              (name ~n:!n victim_proc)
+          else
+            line
+              "eliminated state %d of %s because candidate (%s, state %d) \
+               carries clock %a with clock[%d]=%d >= G[%d]=%d; G[%d] := %d \
+               (red)"
+              victim_state
+              (name ~n:!n victim_proc)
+              (name ~n:!n by_proc)
+              by_state vec by_clock victim_k witness victim_k victim_state
+              victim_k witness;
+          ignore by_k
+      | Event.Dd_eliminated { victim_proc; victim_state; poll_clock;
+                              poller_proc } ->
+          line
+            "turned red: poll from %s carries clock %d >= G=%d, so state %d \
+             of %s directly precedes the poller's candidate; G := %d"
+            (name ~n:!n poller_proc)
+            poll_clock victim_state victim_state
+            (name ~n:!n victim_proc)
+            poll_clock
+      | Event.Chain_extended { after_proc; proc } ->
+          line "red chain: %s spliced after %s" (name ~n:!n proc)
+            (name ~n:!n after_proc)
+      | Event.Hb_eliminated
+          { victim_k; victim_proc; victim_state; victim_clock; by_k; by_proc;
+            by_state; by_clock } ->
+          line
+            "eliminated candidate (%s, state %d) %a: happened before (%s, \
+             state %d) %a since clock[%d]: %d >= %d"
+            (name ~n:!n victim_proc)
+            victim_state vec victim_clock (name ~n:!n by_proc) by_state vec
+            by_clock victim_k
+            by_clock.(victim_k)
+            victim_clock.(victim_k);
+          ignore by_k
+      | Event.Channel_eliminated { channel; victim_proc; victim_state } ->
+          line
+            "channel predicate %s violated: candidate state %d of %s is \
+             forced out"
+            channel victim_state
+            (name ~n:!n victim_proc)
+      | Event.Token_sent { seq; dst; g } ->
+          line "hop %d: token -> %s carrying G=%a" seq (name ~n:!n dst) vec g
+      | Event.Token_received { seq } ->
+          incr hops;
+          line "hop %d: token accepted" seq
+      | Event.Token_regenerated { seq; dst } ->
+          line "watchdog regenerated token #%d -> %s" seq (name ~n:!n dst)
+      | Event.Poll_sent { dst; clock } ->
+          if verbose then line "poll -> %s (clock %d)" (name ~n:!n dst) clock
+      | Event.Poll_replied { dst; became_red } ->
+          if verbose then
+            line "poll reply -> %s (became_red=%b)" (name ~n:!n dst) became_red
+      | Event.Probe_sent { seq; dst } ->
+          if verbose then
+            line "watchdog probe #%d -> %s" seq (name ~n:!n dst)
+      | Event.Retransmitted { dst; frame_seq } ->
+          if verbose then
+            line "transport retransmitted frame %d -> %s" frame_seq
+              (name ~n:!n dst)
+      | Event.Merged { round } ->
+          line "leader merged group tokens (round %d)" round
+      | Event.Detected { procs; states } ->
+          line "DETECTED consistent cut: %s"
+            (String.concat ", "
+               (List.map2
+                  (fun p s -> Printf.sprintf "%s@state %d" (name ~n:!n p) s)
+                  (Array.to_list procs) (Array.to_list states)))
+      | Event.No_detection_declared ->
+          line "no detection: run ended without a satisfying cut")
+    events;
+  if !elided > 0 && not verbose then
+    pr "(%d engine send/delivery events elided; --verbose or the JSONL log \
+        has them)@."
+      !elided;
+  pr "%d token hops total@." !hops

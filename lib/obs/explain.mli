@@ -1,0 +1,17 @@
+(** Render a recorded event log as a human narrative.
+
+    Each elimination is spelled out as the comparison that justified
+    it (which [G[i]]/[G[j]] pair, which poll clock, which
+    happened-before witness), processes are named by role ([P_i],
+    [M_i], checker) via the [run_meta] prologue, and token hops are
+    numbered. *)
+
+val narrate : ?verbose:bool -> Format.formatter -> Event.t array -> unit
+(** [verbose] additionally prints snapshot arrivals, poll/reply
+    exchanges, watchdog probes and transport retransmits (default
+    false). Engine-level send/delivery events are always elided and
+    summarised by count. *)
+
+val name : n:int -> int -> string
+(** [name ~n p] is the display role of engine process [p] in a run
+    with [n] application processes ([P_p], [M_(p-n)], or checker). *)

@@ -1,0 +1,43 @@
+(** Exporters for recorded event logs.
+
+    Two formats:
+    - {b JSONL}: one JSON object per event, a full codec —
+      [decode_line] structurally inverts [encode_line], which the
+      schema validator and the round-trip tests rely on. Output is
+      byte-deterministic for a given event sequence.
+    - {b Chrome [trace_event]}: a single JSON document that opens in
+      Perfetto or [chrome://tracing]; token hops become duration
+      slices, algorithm events become instants. Export only — there is
+      no decoder. *)
+
+val schema : string
+(** Event-log schema tag (["wcp-events/1"]), carried by the
+    [run_meta] event. *)
+
+(** {2 JSONL} *)
+
+val encode_line : Event.t -> string
+(** One event as a single JSON line (no trailing newline). *)
+
+val decode_line : string -> (Event.t, string) result
+(** Inverse of {!encode_line}; also accepts semantically equal JSON
+    (field order, int-valued floats). Errors name the offending byte
+    or field. *)
+
+val jsonl : Event.t array -> string
+(** All events, one per line, trailing newline included. *)
+
+val of_jsonl : string -> (Event.t array, string) result
+(** Parse a whole JSONL document; errors are prefixed with the
+    1-based line number. *)
+
+(** {2 Chrome trace_event} *)
+
+val chrome : Event.t array -> string
+(** The whole log as a [{"traceEvents": [...]}] document. *)
+
+(** {2 Files} *)
+
+val write_file : string -> string -> unit
+
+val read_file : string -> string

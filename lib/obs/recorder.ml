@@ -1,0 +1,64 @@
+type t = {
+  capacity : int;
+  mutable buf : Event.t array;  (* circular once full; grows until then *)
+  mutable head : int;  (* index of the oldest retained event *)
+  mutable len : int;
+  mutable next_seq : int;
+  mutable dropped : int;
+}
+
+let default_capacity = 1 lsl 20
+
+let create ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Recorder.create: capacity must be >= 1";
+  {
+    capacity;
+    buf = [||];
+    head = 0;
+    len = 0;
+    next_seq = 0;
+    dropped = 0;
+  }
+
+let sentinel =
+  { Event.seq = -1; time = 0.0; proc = -1; body = Event.No_detection_declared }
+
+let emit t ~time ~proc body =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let e = { Event.seq; time; proc; body } in
+  let cap = Array.length t.buf in
+  if t.len < cap then begin
+    t.buf.((t.head + t.len) mod cap) <- e;
+    t.len <- t.len + 1
+  end
+  else if cap < t.capacity then begin
+    (* Grow geometrically up to the ring capacity. The buffer is only
+       circular once it stops growing, so [head = 0] here. *)
+    let cap' = min t.capacity (max 1024 (2 * cap)) in
+    let buf' = Array.make cap' sentinel in
+    Array.blit t.buf 0 buf' 0 t.len;
+    t.buf <- buf';
+    t.buf.(t.len) <- e;
+    t.len <- t.len + 1
+  end
+  else begin
+    (* Ring is full: overwrite the oldest event. *)
+    t.buf.(t.head) <- e;
+    t.head <- (t.head + 1) mod cap;
+    t.dropped <- t.dropped + 1
+  end
+
+let length t = t.len
+
+let emitted t = t.next_seq
+
+let dropped t = t.dropped
+
+let events t =
+  Array.init t.len (fun i -> t.buf.((t.head + i) mod Array.length t.buf))
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f t.buf.((t.head + i) mod Array.length t.buf)
+  done

@@ -1,0 +1,39 @@
+(** Ring-buffered structured trace recorder.
+
+    A recorder is attached to at most one simulation run. Emission is
+    allocation-cheap (one event record; payload arrays are copied by
+    the {e producer}, not here) and never fails: once the ring reaches
+    its capacity the oldest events are overwritten and counted in
+    {!dropped}, so a runaway run can at worst lose history, never
+    memory.
+
+    The zero-cost-when-disabled contract lives at the call sites: a
+    producer holds a [Recorder.t option] and guards each emission with
+    a single [match], constructing the event body only when a recorder
+    is present. *)
+
+type t
+
+val default_capacity : int
+(** [2^20] events. *)
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default {!default_capacity}) bounds retained events. *)
+
+val emit : t -> time:float -> proc:int -> Event.body -> unit
+(** Stamp [body] with the next sequence number and append it. *)
+
+val length : t -> int
+(** Events currently retained. *)
+
+val emitted : t -> int
+(** Events ever emitted ([length t + dropped t]). *)
+
+val dropped : t -> int
+(** Events overwritten because the ring was full. *)
+
+val events : t -> Event.t array
+(** Retained events, oldest first. Fresh array; safe to keep. *)
+
+val iter : t -> (Event.t -> unit) -> unit
+(** Iterate oldest-first without materialising the array. *)

@@ -19,6 +19,10 @@ and 'msg t = {
      the hot path then never touches the fault layer, so fault-free
      runs are bit-identical to pre-fault builds. *)
   fault : Fault.t option;
+  (* [None] when tracing is off: every observability hook in the hot
+     path is then a single [match] on an immutable field — no closure,
+     no event construction — preserving the allocation-free core. *)
+  recorder : Wcp_obs.Recorder.t option;
   stats : Stats.t;
   queue : 'msg event_body Heap.Flat.t;
   handlers : ('msg ctx -> src:int -> 'msg -> unit) option array;
@@ -34,7 +38,7 @@ and 'msg t = {
 
 and 'msg ctx = { engine : 'msg t; proc : int }
 
-let create ?(network = Network.uniform_default) ?fault
+let create ?(network = Network.uniform_default) ?fault ?recorder
     ?(max_events = 50_000_000) ~num_processes ~seed () =
   if num_processes < 1 then invalid_arg "Engine.create: need >= 1 process";
   let fault =
@@ -48,6 +52,7 @@ let create ?(network = Network.uniform_default) ?fault
       network;
       rng = Rng.create seed;
       fault;
+      recorder;
       stats = Stats.create ~n:num_processes;
       queue = Heap.Flat.create ();
       handlers = Array.make num_processes None;
@@ -69,6 +74,8 @@ let set_handler t i h =
   t.handlers.(i) <- Some h
 
 let stats t = t.stats
+
+let recorder t = t.recorder
 
 let now t = t.clock
 
@@ -99,6 +106,11 @@ let send ctx ?(bits = 32) ~dst msg =
     Network.delivery_time t.network t.rng ~src:ctx.proc ~dst ~now:t.clock
   in
   Stats.msg_sent t.stats ~proc:ctx.proc ~bits;
+  (match t.recorder with
+  | None -> ()
+  | Some r ->
+      Wcp_obs.Recorder.emit r ~time:t.clock ~proc:ctx.proc
+        (Wcp_obs.Event.Sent { dst; bits }));
   match t.fault with
   | None -> push t ~at (Deliver { dst; src = ctx.proc; msg })
   | Some f -> (
@@ -126,6 +138,8 @@ let note_space ctx words = Stats.space ctx.engine.stats ~proc:ctx.proc words
 
 let rng ctx = ctx.engine.rng
 
+let recorder_of ctx = ctx.engine.recorder
+
 let stop ctx = ctx.engine.stop_requested <- true
 
 let dispatch t body =
@@ -133,6 +147,11 @@ let dispatch t body =
   | Deliver { dst; src; msg } -> (
       Log.debug (fun m -> m "t=%.3f deliver %d -> %d" t.clock src dst);
       Stats.msg_received t.stats ~proc:dst;
+      (match t.recorder with
+      | None -> ()
+      | Some r ->
+          Wcp_obs.Recorder.emit r ~time:t.clock ~proc:dst
+            (Wcp_obs.Event.Delivered { src }));
       match t.handlers.(dst) with
       | Some h -> h t.ctxs.(dst) ~src msg
       | None ->

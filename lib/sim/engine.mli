@@ -25,7 +25,8 @@ type 'msg ctx
     the duration of the handler invocation that received it. *)
 
 val create :
-  ?network:Network.t -> ?fault:Fault.plan -> ?max_events:int ->
+  ?network:Network.t -> ?fault:Fault.plan ->
+  ?recorder:Wcp_obs.Recorder.t -> ?max_events:int ->
   num_processes:int -> seed:int64 -> unit -> 'msg t
 (** [max_events] (default 50 million) guards against runaway protocols:
     the budget is checked before each dispatch, so at most [max_events]
@@ -36,7 +37,14 @@ val create :
     the network model fixed the nominal delivery time, and crash/stall
     windows filter events at dispatch. The fault layer draws from its
     own PRNG (seeded by the plan), so passing [Fault.none] — or no plan
-    — leaves runs bit-identical to an engine without the fault layer. *)
+    — leaves runs bit-identical to an engine without the fault layer.
+
+    [recorder] (default none) attaches a trace recorder: the engine
+    emits [Sent]/[Delivered] events and protocol layers emit
+    algorithm-specific events through it. Recording never touches the
+    engine RNG or stats, so a traced run follows the exact event
+    schedule of the untraced run with the same seed; with no recorder
+    every hook is a single match on an immutable field. *)
 
 val set_handler : 'msg t -> int -> ('msg ctx -> src:int -> 'msg -> unit) -> unit
 (** Install the message handler for a process. Messages arriving for a
@@ -46,6 +54,11 @@ val set_handler : 'msg t -> int -> ('msg ctx -> src:int -> 'msg -> unit) -> unit
 val stats : 'msg t -> Stats.t
 (** Message counts are charged automatically on [send]; work and space
     are charged by handlers via {!charge_work} and {!note_space}. *)
+
+val recorder : 'msg t -> Wcp_obs.Recorder.t option
+(** The attached trace recorder, if any. Protocol layers fetch this
+    once at install time and guard each emission with a single match,
+    keeping disabled tracing off the hot path. *)
 
 val schedule_initial :
   'msg t -> proc:int -> at:float -> ('msg ctx -> unit) -> unit
@@ -86,6 +99,9 @@ val note_space : 'msg ctx -> int -> unit
 
 val rng : 'msg ctx -> Rng.t
 (** The engine's PRNG (shared; use for handler-level randomness). *)
+
+val recorder_of : 'msg ctx -> Wcp_obs.Recorder.t option
+(** [recorder (engine of ctx)], for handlers that only hold a ctx. *)
 
 val stop : 'msg ctx -> unit
 (** Halt the simulation after the current handler returns. *)

@@ -97,20 +97,19 @@ let merge_into ~dst src =
   dst.crash_dropped <- dst.crash_dropped + src.crash_dropped
 
 let pp ppf t =
-  Format.fprintf ppf "proc  sent  recv      bits      work    space@.";
+  Format.fprintf ppf
+    "proc  sent  recv      bits      work    space  retx  dupsup@.";
   for i = 0 to n t - 1 do
-    Format.fprintf ppf "%4d %5d %5d %9d %9d %8d@." i t.sent.(i) t.received.(i)
-      t.bits.(i) t.work.(i) t.space_hw.(i)
+    Format.fprintf ppf "%4d %5d %5d %9d %9d %8d %5d %7d@." i t.sent.(i)
+      t.received.(i) t.bits.(i) t.work.(i) t.space_hw.(i) t.retransmits.(i)
+      t.dups_suppressed.(i)
   done;
   Format.fprintf ppf
-    "total sent=%d bits=%d work=%d max-work=%d max-space=%d events=%d"
+    "total sent=%d bits=%d work=%d max-work=%d max-space=%d events=%d@."
     (total_sent t) (total_bits t) (total_work t) (max_work t) (max_space t)
     t.events_done;
-  (* The faults line only appears when fault injection actually fired,
-     so fault-free runs keep their historical (golden-tested) output. *)
-  if any_faults t then
-    Format.fprintf ppf
-      "@.faults retransmit=%d dup-suppressed=%d net-drop=%d net-dup=%d \
-       crash-drop=%d"
-      (total_retransmits t) (total_dups_suppressed t) t.net_dropped
-      t.net_duplicated t.crash_dropped
+  Format.fprintf ppf
+    "faults retransmit=%d dup-suppressed=%d net-drop=%d net-dup=%d \
+     crash-drop=%d"
+    (total_retransmits t) (total_dups_suppressed t) t.net_dropped
+    t.net_duplicated t.crash_dropped

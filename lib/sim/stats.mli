@@ -97,4 +97,7 @@ val merge_into : dst:t -> t -> unit
     high-water marks combine by max. *)
 
 val pp : Format.formatter -> t -> unit
-(** Multi-line table of per-process counters plus totals. *)
+(** Multi-line table of per-process counters (messages, bits, work,
+    high-water space in words, retransmits, duplicates suppressed)
+    plus a totals line and the fault/robustness aggregates
+    (retransmits, dup-suppressed, net-drop, net-dup, crash-drop). *)

@@ -117,6 +117,12 @@ let rec tick t flow ctx =
       end
       else begin
         Stats.retransmit (Engine.stats t.engine) ~proc:(Engine.self ctx);
+        (match Engine.recorder t.engine with
+        | None -> ()
+        | Some r ->
+            Wcp_obs.Recorder.emit r ~time:now ~proc:(Engine.self ctx)
+              (Wcp_obs.Event.Retransmitted
+                 { dst = flow.dst; frame_seq = flow.base }));
         transmit t ctx flow flow.base;
         flow.cur_rto <- flow.cur_rto *. t.backoff;
         flow.deadline <- now +. flow.cur_rto;

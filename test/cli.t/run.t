@@ -120,6 +120,66 @@ The same fault flags work on plain detect:
   wcpdetect: fault injection is only supported for the token algorithms
   [2]
 
+Causal tracing: `trace` runs a detection and writes a structured JSONL
+event log, printing the verdict plus derived metrics; `explain` replays
+the log as a narrative (who held the token, which comparison eliminated
+which candidate):
+
+  $ wcpdetect trace tiny.trace -a token-vc -o ev.jsonl
+  trace: 27 events -> ev.jsonl
+  detected {0:1 1:1} | msgs=11 bits=960 work=6 max-work=3 max-space=4 hops=1 polls=0 snaps=3 t=2.54 ev=11
+  token_regenerations          0
+  retransmits                  0
+  polls                        0
+  token_hops                   1
+  eliminations                 1
+  eliminations_per_hop         n=1 mean=1.000 p50=1.000 p95=1.000 max=1.000
+  token_hop_latency            n=1 mean=1.301 p50=1.301 p95=1.301 max=1.301
+
+  $ head -2 ev.jsonl
+  {"seq":0,"t":0.0,"proc":-1,"type":"run_meta","schema":"wcp-events/1","algo":"token-vc","n":2,"width":2}
+  {"seq":1,"t":0.0,"proc":0,"type":"sent","dst":2,"bits":96}
+
+  $ wcpdetect explain ev.jsonl
+  run: token-vc over n=2 processes, predicate width 2
+  t=1.24156  M_0: selected candidate state 1 of P_0 (G[0] := 1, green)
+  t=1.24156  M_0: advanced G[1] to 0: candidate (P_0, state 1) with clock <1,0> precedes any future candidate of P_1 (red)
+  t=1.24156  M_0: hop 1: token -> M_1 carrying G=<1,0>
+  t=2.5422   M_1: hop 1: token accepted
+  t=2.5422   M_1: selected candidate state 1 of P_1 (G[1] := 1, green)
+  t=2.5422   M_1: DETECTED consistent cut: P_0@state 1, P_1@state 1
+  (17 engine send/delivery events elided; --verbose or the JSONL log has them)
+  1 token hops total
+
+The same log attaches to a plain detect run via --trace, and
+--per-process spells out the space-accounting policy under the table:
+
+  $ wcpdetect detect tiny.trace -a token-vc --trace ev2.jsonl | cut -d'|' -f1
+  detected {0:1 1:1} 
+  trace: 27 events -> ev2.jsonl
+
+  $ wcpdetect detect run.trace -a token-dd --per-process
+  detected {0:6 1:3 2:8 3:2} | msgs=55 bits=3429 work=17 max-work=8 max-space=15 hops=4 polls=5 snaps=17 t=18.32 ev=80
+  proc  sent  recv      bits      work    space  retx  dupsup
+     0    11     6       832         0        2     0       0
+     1    10     5       736         0        2     0       0
+     2    11     5       832         0        2     0       0
+     3     9     4       576         0        2     0       0
+     4     4     9       129         4       12     0       0
+     5     3     8       160         3       10     0       0
+     6     6    12       163         8       15     0       0
+     7     1     6         1         2        7     0       0
+     8     0     0         0         0        0     0       0
+  total sent=55 bits=3429 work=17 max-work=8 max-space=15 events=80
+  faults retransmit=0 dup-suppressed=0 net-drop=0 net-dup=0 crash-drop=0
+  space = high-water buffered words per process (32-bit words; vc snapshot = width+1 words, dd snapshot = 1+2|deps|; DESIGN.md §3)
+
+Tracing a replay-only algorithm is rejected up front:
+
+  $ wcpdetect detect tiny.trace -a oracle --trace nope.jsonl
+  wcpdetect: tracing needs an engine-backed algorithm (token-vc, multi-token, token-dd, token-dd-par or checker)
+  [2]
+
 Comparing everything on the workload:
 
   $ wcpdetect compare ph.trace --procs 0,1,2 | head -3
