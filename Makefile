@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench tables bench-json perf-check chaos-soak trace-check examples clean
+.PHONY: all build test bench tables bench-json perf-check bench-smoke check chaos-soak trace-check examples clean
 
 # Committed machine-readable baseline (see EXPERIMENTS.md).
 BENCH_BASELINE ?= BENCH_1.json
@@ -28,6 +28,16 @@ bench-json:
 # the committed baseline, or wall time regressed > 20% per experiment.
 perf-check:
 	dune exec bench/main.exe -- perf-check $(BENCH_BASELINE)
+
+# Fast wire-regression gate: run the smoke profile (every smoke job is
+# also a full job, including a tiny E15/E16 slice) and subset-compare
+# it against the committed full baseline. Seconds, not minutes.
+bench-smoke:
+	dune exec bench/main.exe -- json --smoke --seq --out _build/bench-smoke.json
+	dune exec bench/main.exe -- perf-check $(BENCH_BASELINE) _build/bench-smoke.json --subset
+
+# Everything a PR should pass: build, tests, and the smoke perf gate.
+check: build test bench-smoke
 
 # Full chaos matrix (drop rate x size x seed, token-vc + token-dd vs
 # the fault-free oracle). A bounded smoke of the same test always runs

@@ -252,13 +252,15 @@ end
 (* ------------------------------------------------------------------ *)
 
 type job = {
-  experiment : string;  (* "E1".."E9" *)
+  experiment : string;  (* "E1".."E9", "E15", "E16" *)
   algo : string;
   n : int;
   m : int;  (* sends per process (adversary: its m parameter) *)
   p_pred : float;
   seed : int;
-  param : int;  (* groups (multi), spec width (E5), else 0 *)
+  param : int;
+      (* groups (multi), spec width (E5), drop % (E9), domain count
+         (E15), delta flag 0/1 (E16), else 0 *)
 }
 
 type metrics = {
@@ -333,20 +335,117 @@ let run_sim ?recorder job =
            ())
     else None
   in
+  (* E16 ablates the wire encoding: param=1 is the hybrid delta
+     encoding (the default everywhere else), param=0 forces dense. The
+     encoding changes no message counts and no RNG draws, so every
+     field except [bits] is identical across the two arms. *)
+  let delta = if job.experiment = "E16" then job.param <> 0 else true in
   let r =
     match job.algo with
-    | "token-vc" -> Token_vc.detect ?fault ?recorder ~seed comp spec
+    | "token-vc" -> Token_vc.detect ?fault ?recorder ~delta ~seed comp spec
     | "token-dd" -> Token_dd.detect ?fault ?recorder ~seed comp spec
     | "token-dd-par" ->
         Token_dd.detect ?fault ?recorder ~parallel:true ~seed comp spec
     | "token-multi" ->
-        Token_multi.detect ?fault ?recorder ~groups:job.param ~seed comp spec
-    | "checker" -> Checker_centralized.detect ?recorder ~seed comp spec
+        (* In E16 [param] is the delta flag, so the group count is
+           pinned at 2 (the E3 sweet spot). *)
+        let groups = if job.experiment = "E16" then 2 else job.param in
+        Token_multi.detect ?fault ?recorder ~delta ~groups ~seed comp spec
+    | "checker" -> Checker_centralized.detect ?recorder ~delta ~seed comp spec
     | a -> invalid_arg ("Bench_json.run_job: unknown algo " ^ a)
   in
   (comp, r)
 
+(* ------------------------------------------------------------------ *)
+(* E15: multicore throughput                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* One E15 job = a fixed batch of [e15_sessions] independent detection
+   sessions (same workload shape, session seeds 1..k) pushed through
+   [Parallel.map] with [job.param] domains. All deterministic fields
+   are batch aggregates, so an E15 row is identical whatever domain
+   count produced it; [outcome] is "ok" iff the per-session summaries
+   are byte-identical to a sequential (1-domain) reference run of the
+   same batch — the {!Wcp_util.Parallel} determinism contract, asserted
+   on every bench run. Only [wall_ns] (from which sessions/sec derives)
+   may vary with the domain count. *)
+let e15_sessions = 24
+
+type e15_session = {
+  s_outcome : Detection.outcome;
+  s_states : int;
+  s_hops : int;
+  s_snapshots : int;
+  s_work : int;
+  s_max_work : int;
+  s_messages : int;
+  s_bits : int;
+  s_events : int;
+  s_sim_time : float;
+}
+
+let run_e15 job =
+  if job.param < 1 then
+    invalid_arg "Bench_json: E15 param is the domain count (>= 1)";
+  let session seed =
+    let comp, r = run_sim { job with seed; param = 0 } in
+    {
+      s_outcome = r.Detection.outcome;
+      s_states = Computation.total_states comp;
+      s_hops = r.extras.Detection.token_hops;
+      s_snapshots = r.extras.Detection.snapshots;
+      s_work = Wcp_sim.Stats.total_work r.stats;
+      s_max_work = Wcp_sim.Stats.max_work r.stats;
+      s_messages = Wcp_sim.Stats.total_sent r.stats;
+      s_bits = Wcp_sim.Stats.total_bits r.stats;
+      s_events = r.events;
+      s_sim_time = r.sim_time;
+    }
+  in
+  let session_seeds = Array.init e15_sessions (fun i -> i + 1) in
+  Gc.minor ();
+  let alloc0 = Gc.allocated_bytes () in
+  let t0 = Unix.gettimeofday () in
+  let batch = Wcp_util.Parallel.map ~domains:job.param session session_seeds in
+  let wall_ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+  let alloc_bytes = int_of_float (Gc.allocated_bytes () -. alloc0) in
+  (* The reference run sits outside the timed window: sessions/sec is
+     the parallel batch only. *)
+  let reference = Wcp_util.Parallel.map ~domains:1 session session_seeds in
+  let sum f = Array.fold_left (fun acc s -> acc + f s) 0 batch in
+  {
+    job;
+    outcome = (if batch = reference then "ok" else "mismatch");
+    states = sum (fun s -> s.s_states);
+    hops = sum (fun s -> s.s_hops);
+    polls = 0;
+    snapshots = sum (fun s -> s.s_snapshots);
+    merges = 0;
+    work = sum (fun s -> s.s_work);
+    max_work = Array.fold_left (fun acc s -> max acc s.s_max_work) 0 batch;
+    messages = sum (fun s -> s.s_messages);
+    bits = sum (fun s -> s.s_bits);
+    events = sum (fun s -> s.s_events);
+    sim_time = Array.fold_left (fun acc s -> acc +. s.s_sim_time) 0.0 batch;
+    retransmits = 0;
+    dups_suppressed = 0;
+    net_dropped = 0;
+    net_duplicated = 0;
+    trace_events = 0;
+    eliminations = 0;
+    hop_p50 = 0.0;
+    hop_p95 = 0.0;
+    hop_max = 0.0;
+    elims_per_hop_p50 = 0.0;
+    elims_per_hop_p95 = 0.0;
+    elims_per_hop_max = 0.0;
+    wall_ns;
+    alloc_bytes;
+  }
+
 let run_job job =
+  if job.experiment = "E15" then run_e15 job
+  else begin
   Gc.minor ();
   let alloc0 = Gc.allocated_bytes () in
   let t0 = Unix.gettimeofday () in
@@ -444,6 +543,7 @@ let run_job job =
         wall_ns;
         alloc_bytes;
       }
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Sweep profiles                                                      *)
@@ -465,15 +565,21 @@ let seeds = [ 1; 2; 3 ]
 
 let jobs = function
   | Smoke ->
+      (* Every smoke job is ALSO a Full job (same key, same workload),
+         so a smoke run can be perf-checked against the committed full
+         baseline in subset mode — the `make bench-smoke` gate. *)
       [
-        job "E1" "token-vc" ~n:8 ~m:10 ~seed:1 ();
-        job "E1" "token-vc" ~n:8 ~m:10 ~seed:2 ();
-        job "E2" "checker" ~n:8 ~m:10 ~seed:1 ();
-        job "E3" "token-multi" ~n:8 ~m:8 ~p_pred:0.25 ~param:2 ~seed:1 ();
-        job "E4" "token-dd" ~n:8 ~m:10 ~p_pred:0.05 ~seed:1 ();
+        job "E1" "token-vc" ~n:8 ~m:20 ~seed:1 ();
+        job "E1" "token-vc" ~n:8 ~m:20 ~seed:2 ();
+        job "E2" "checker" ~n:8 ~m:16 ~seed:1 ();
+        job "E3" "token-multi" ~n:24 ~m:16 ~p_pred:0.25 ~param:2 ~seed:1 ();
+        job "E4" "token-dd" ~n:8 ~m:12 ~p_pred:0.05 ~seed:1 ();
         job "E8" "token-dd-par" ~n:8 ~m:10 ~p_pred:0.05 ~seed:1 ();
         job "E9" "token-vc" ~n:8 ~m:10 ~param:20 ~seed:1 ();
         job "E9" "token-dd" ~n:8 ~m:10 ~param:20 ~seed:1 ();
+        job "E15" "token-vc" ~n:8 ~m:12 ~param:2 ~seed:0 ();
+        job "E16" "token-vc" ~n:8 ~m:20 ~param:0 ~seed:1 ();
+        job "E16" "token-vc" ~n:8 ~m:20 ~param:1 ~seed:1 ();
       ]
   | Full ->
       let sweep f xs = List.concat_map f xs in
@@ -528,6 +634,29 @@ let jobs = function
                     job "E9" algo ~n:8 ~m:10 ~param:drop_pct ~seed ()))
               [ "token-vc"; "token-dd" ])
           [ 10; 20; 30 ]
+      (* E15: throughput of a fixed 24-session batch across domain
+         counts. All deterministic fields are domain-count independent
+         (and outcome="ok" asserts byte-identity against a sequential
+         reference); only wall_ns varies. *)
+      @ List.map
+          (fun d -> job "E15" "token-vc" ~n:8 ~m:12 ~param:d ~seed:0 ())
+          [ 1; 2; 4; 8 ]
+      (* E16: wire bits, hybrid delta (param=1) vs dense (param=0), per
+         vector-clock algorithm x n. Equal-seed pairs differ ONLY in
+         [bits] — the encoding changes no message counts and no RNG
+         draws. token-dd is absent by design: its tags and snapshots
+         already carry O(1) scalar clocks, there is nothing to delta. *)
+      @ sweep
+          (fun n ->
+            sweep
+              (fun algo ->
+                sweep
+                  (fun delta ->
+                    per_seed (fun seed ->
+                        job "E16" algo ~n ~m:20 ~param:delta ~seed ()))
+                  [ 0; 1 ])
+              [ "token-vc"; "token-multi"; "checker" ])
+          [ 8; 16; 32 ]
 
 let run ?domains profile =
   let js = Array.of_list (jobs profile) in
@@ -537,7 +666,10 @@ let run ?domains profile =
 (* Serialisation                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let schema = "wcp-bench/3"
+(* v4: E15 (multicore throughput) and E16 (delta vs dense wire bits)
+   added; interval gating + hybrid delta encoding on by default, so
+   every message/bits/snapshot figure moved vs v3. *)
+let schema = "wcp-bench/4"
 
 let metrics_to_json r =
   Json.Obj
@@ -676,34 +808,62 @@ let deterministic_equal a b = strip_timing a = strip_timing b
    field must match exactly; wall time may regress at most [tolerance]
    (default 0.20) on each experiment's total, with a 10 ms absolute
    floor so scheduler noise on sub-millisecond experiments cannot trip
-   the gate. Returns human-readable failure lines, empty on success. *)
+   the gate. Returns human-readable failure lines, empty on success.
+
+   [subset] (default false) flips the coverage direction: instead of
+   requiring every baseline job to be present in [current], it requires
+   every current job to exist in the baseline — the `make bench-smoke`
+   mode, where a small smoke run is checked against the committed full
+   baseline. Wall totals are then restricted to the jobs the smoke run
+   actually executed. *)
 let wall_floor_ns = 10_000_000
 
-let compare_runs ?(tolerance = 0.20) ~baseline ~current () =
+let compare_runs ?(tolerance = 0.20) ?(subset = false) ~baseline ~current () =
   let errors = ref [] in
   let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
-  let tbl = Hashtbl.create 64 in
-  Array.iter (fun r -> Hashtbl.replace tbl (job_key r.job) r) current;
-  Array.iter
-    (fun b ->
-      match Hashtbl.find_opt tbl (job_key b.job) with
-      | None -> err "missing job: %s" (job_key b.job)
-      | Some c ->
-          if not (deterministic_equal b c) then
-            err "metrics drifted for %s (e.g. hops %d->%d, work %d->%d, messages %d->%d)"
-              (job_key b.job) b.hops c.hops b.work c.work b.messages c.messages)
-    baseline;
-  (* Wall-clock: per-experiment totals, 20% headroom. *)
-  let totals results =
+  let drift b c =
+    if not (deterministic_equal b c) then
+      err "metrics drifted for %s (e.g. hops %d->%d, work %d->%d, messages %d->%d)"
+        (job_key b.job) b.hops c.hops b.work c.work b.messages c.messages
+  in
+  let cur_tbl = Hashtbl.create 64 in
+  Array.iter (fun r -> Hashtbl.replace cur_tbl (job_key r.job) r) current;
+  if subset then begin
+    let base_tbl = Hashtbl.create 64 in
+    Array.iter (fun r -> Hashtbl.replace base_tbl (job_key r.job) r) baseline;
+    Array.iter
+      (fun c ->
+        match Hashtbl.find_opt base_tbl (job_key c.job) with
+        | None -> err "job not in baseline: %s" (job_key c.job)
+        | Some b -> drift b c)
+      current
+  end
+  else
+    Array.iter
+      (fun b ->
+        match Hashtbl.find_opt cur_tbl (job_key b.job) with
+        | None -> err "missing job: %s" (job_key b.job)
+        | Some c -> drift b c)
+      baseline;
+  (* Wall-clock: per-experiment totals, 20% headroom. In subset mode
+     only the baseline jobs the current run re-ran count towards the
+     baseline total, so the comparison stays apples-to-apples. *)
+  let totals keep results =
     let t = Hashtbl.create 8 in
     Array.iter
       (fun r ->
-        let k = r.job.experiment in
-        Hashtbl.replace t k (r.wall_ns + Option.value ~default:0 (Hashtbl.find_opt t k)))
+        if keep r then
+          let k = r.job.experiment in
+          Hashtbl.replace t k
+            (r.wall_ns + Option.value ~default:0 (Hashtbl.find_opt t k)))
       results;
     t
   in
-  let bt = totals baseline and ct = totals current in
+  let bt =
+    totals
+      (fun r -> (not subset) || Hashtbl.mem cur_tbl (job_key r.job))
+      baseline
+  and ct = totals (fun _ -> true) current in
   Hashtbl.iter
     (fun exp base ->
       match Hashtbl.find_opt ct exp with

@@ -1,10 +1,10 @@
 (** Machine-readable benchmark harness.
 
-    Runs the E1-E9 experiment sweeps as independent jobs (fanned out
-    over domains with {!Wcp_util.Parallel}), records one metrics record
-    per job, and serialises the lot as a stable JSON document suitable
-    for committing as a regression baseline (see [BENCH_1.json] and
-    EXPERIMENTS.md, "Machine-readable benchmarks").
+    Runs the E1-E9, E15 and E16 experiment sweeps as independent jobs
+    (fanned out over domains with {!Wcp_util.Parallel}), records one
+    metrics record per job, and serialises the lot as a stable JSON
+    document suitable for committing as a regression baseline (see
+    [BENCH_1.json] and EXPERIMENTS.md, "Machine-readable benchmarks").
 
     All fields except [wall_ns] and [alloc_bytes] are deterministic
     functions of the job parameters: two runs of the same profile — on
@@ -35,7 +35,7 @@ module Json : sig
 end
 
 type job = {
-  experiment : string;  (** "E1".."E9" *)
+  experiment : string;  (** "E1".."E9", "E15", "E16" *)
   algo : string;
       (** "token-vc", "token-dd", "token-dd-par", "token-multi",
           "checker", "adversary" *)
@@ -43,12 +43,17 @@ type job = {
   m : int;
   p_pred : float;
   seed : int;
-  param : int;  (** groups (E3), spec width (E5), drop %% (E9), else 0 *)
+  param : int;
+      (** groups (E3), spec width (E5), drop %% (E9), domain count
+          (E15), delta flag 0/1 (E16), else 0 *)
 }
 
 type metrics = {
   job : job;
-  outcome : string;  (** "detected" or "none" *)
+  outcome : string;
+      (** "detected" or "none"; for E15, "ok" iff the parallel batch
+          was byte-identical to its sequential reference, else
+          "mismatch" *)
   states : int;
   hops : int;
   polls : int;
@@ -95,9 +100,17 @@ val run : ?domains:int -> profile -> metrics array
     {!Wcp_util.Parallel.map} ([domains = 1] runs sequentially). The
     deterministic metric fields do not depend on [domains]. *)
 
+val e15_sessions : int
+(** Sessions per E15 throughput batch; sessions/sec for an E15 row is
+    [e15_sessions /. (wall_ns / 1e9)]. The batch runs under
+    {!Wcp_util.Parallel.map} with [job.param] domains, and its
+    per-session summaries are compared against a sequential reference
+    run (see [outcome]). *)
+
 val schema : string
-(** Document schema tag, ["wcp-bench/3"] (v2 added the fault-recovery
-    counters; v3 the trace-derived histogram summaries). *)
+(** Document schema tag, ["wcp-bench/4"] (v2 added the fault-recovery
+    counters; v3 the trace-derived histogram summaries; v4 E15/E16 and
+    the gated + delta-encoded wire defaults). *)
 
 val emit : profile:profile -> metrics array -> string
 (** JSON document, one result record per line. *)
@@ -114,8 +127,13 @@ val job_key : job -> string
 (** Human-readable identity used to match baseline and current runs. *)
 
 val compare_runs :
-  ?tolerance:float -> baseline:metrics array -> current:metrics array ->
-  unit -> string list
+  ?tolerance:float -> ?subset:bool -> baseline:metrics array ->
+  current:metrics array -> unit -> string list
 (** Failure lines, empty when [current] reproduces every deterministic
     field of [baseline] and no experiment's total wall time regressed
-    by more than [tolerance] (default 0.20). *)
+    by more than [tolerance] (default 0.20). With [~subset:true] the
+    coverage direction flips: every [current] job must exist in
+    [baseline] (jobs the current run skipped are fine), and wall totals
+    count only the jobs the current run executed — the
+    [make bench-smoke] mode, checking a smoke run against the committed
+    full baseline. *)

@@ -11,7 +11,10 @@
    Machine-readable mode (see EXPERIMENTS.md and Bench_json):
            dune exec bench/main.exe -- json [--smoke] [--seq]
                                             [--domains K] [--out FILE]
-           dune exec bench/main.exe -- perf-check BASELINE [CURRENT]     *)
+           dune exec bench/main.exe -- perf-check BASELINE [CURRENT]
+                                                  [--subset]
+   (--subset: CURRENT may cover only part of BASELINE — the
+   bench-smoke gate — but every job it does cover must match.)         *)
 
 open Wcp_trace
 open Wcp_sim
@@ -500,6 +503,83 @@ let e14 () =
     [ 2; 8; 16; 32 ]
 
 (* ------------------------------------------------------------------ *)
+(* E15: multicore throughput of the bench harness itself               *)
+(* ------------------------------------------------------------------ *)
+
+let e15 () =
+  header "E15 multicore throughput: detection sessions/sec vs domains"
+    "claim: Parallel.map output is byte-identical at any domain count; wall drops";
+  let open Wcp_bench.Bench_json in
+  Printf.printf "%8s %10s %12s %9s %10s\n" "domains" "sessions" "wall-ms"
+    "sess/s" "identical";
+  (* Rows must agree on every deterministic field whatever the domain
+     count; normalize away the param (the domain count itself). *)
+  let norm r =
+    let r = strip_timing r in
+    { r with job = { r.job with param = 0 } }
+  in
+  let base = ref None in
+  List.iter
+    (fun d ->
+      let r =
+        run_job
+          {
+            experiment = "E15";
+            algo = "token-vc";
+            n = 8;
+            m = 12;
+            p_pred = 0.3;
+            seed = 0;
+            param = d;
+          }
+      in
+      if !base = None then base := Some (norm r);
+      let identical = r.outcome = "ok" && !base = Some (norm r) in
+      let wall_s = float_of_int r.wall_ns /. 1e9 in
+      Printf.printf "%8d %10d %12.1f %9.0f %10s\n" d e15_sessions
+        (wall_s *. 1e3)
+        (float_of_int e15_sessions /. wall_s)
+        (if identical then "yes" else "NO"))
+    [ 1; 2; 4; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* E16: wire bits, hybrid delta encoding vs dense                      *)
+(* ------------------------------------------------------------------ *)
+
+let e16 () =
+  header "E16 delta encoding: wire bits vs the dense baseline"
+    "claim: sparse clock updates make delta+gating cut bits >= 2x at n=32; cuts identical";
+  let open Wcp_bench.Bench_json in
+  Printf.printf "%-12s %4s %12s %12s %7s %9s\n" "algo" "n" "dense-bits"
+    "delta-bits" "ratio" "same-cut";
+  List.iter
+    (fun algo ->
+      List.iter
+        (fun n ->
+          let run param seed =
+            run_job
+              { experiment = "E16"; algo; n; m = 20; p_pred = 0.3; seed; param }
+          in
+          let rows = List.map (fun s -> (run 0 s, run 1 s)) [ 1; 2; 3 ] in
+          let dense = mean_i (List.map (fun (d, _) -> d.bits) rows) in
+          let delta = mean_i (List.map (fun (_, d) -> d.bits) rows) in
+          (* Same detected cut: every deterministic field except bits
+             (and the delta-flag param) must agree between the arms. *)
+          let norm r =
+            { r with bits = 0; job = { r.job with param = 0 } }
+          in
+          let same =
+            List.for_all
+              (fun (d0, d1) -> deterministic_equal (norm d0) (norm d1))
+              rows
+          in
+          Printf.printf "%-12s %4d %12d %12d %7.2f %9s\n" algo n dense delta
+            (float_of_int dense /. float_of_int (max 1 delta))
+            (if same then "yes" else "NO"))
+        [ 8; 16; 32 ])
+    [ "token-vc"; "token-multi"; "checker" ]
+
+(* ------------------------------------------------------------------ *)
 (* E13: Bechamel micro-benchmarks                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -562,7 +642,9 @@ let tables () =
   e10 ();
   e11 ();
   e12 ();
-  e14 ()
+  e14 ();
+  e15 ();
+  e16 ()
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable harness (JSON) and the perf-regression gate        *)
@@ -618,6 +700,8 @@ let parse_file f =
   | doc -> doc
 
 let perf_check args =
+  let subset = List.mem "--subset" args in
+  let args = List.filter (fun a -> a <> "--subset") args in
   let baseline_file, current =
     match args with
     | [ b ] ->
@@ -627,13 +711,15 @@ let perf_check args =
     | [ b; c ] ->
         let _, current = parse_file c in
         (b, current)
-    | _ -> failwith "usage: perf-check BASELINE [CURRENT]"
+    | _ -> failwith "usage: perf-check BASELINE [CURRENT] [--subset]"
   in
   let _, baseline = parse_file baseline_file in
-  match Wcp_bench.Bench_json.compare_runs ~baseline ~current () with
+  match Wcp_bench.Bench_json.compare_runs ~subset ~baseline ~current () with
   | [] ->
-      Printf.printf "perf-check: OK (%d jobs match %s)\n" (Array.length baseline)
+      Printf.printf "perf-check: OK (%d jobs match %s%s)\n"
+        (Array.length (if subset then current else baseline))
         baseline_file
+        (if subset then ", subset mode" else "")
   | errors ->
       List.iter (fun e -> Printf.eprintf "perf-check: %s\n" e) errors;
       exit 1

@@ -89,6 +89,48 @@ let compare a b =
       in
       go 0
 
+(* --- Sparse delta codec (wire compression) ---------------------- *)
+
+(* A delta is a flat [|i0; v0; i1; v1; ...|] array of (index, value)
+   pairs: the entries of [v] that differ from [base]. Values are
+   absolute, not increments, so applying the same delta twice is
+   idempotent — a property the token layer relies on when a regenerated
+   (duplicate) token is decoded against an already-updated cache. *)
+
+let encode_delta ~base v =
+  let n = Array.length v in
+  if Array.length base <> n then invalid_arg "Vector_clock.encode_delta: size";
+  let changed = ref 0 in
+  for i = 0 to n - 1 do
+    if v.(i) <> base.(i) then incr changed
+  done;
+  let delta = Array.make (2 * !changed) 0 in
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    if v.(i) <> base.(i) then begin
+      delta.(!k) <- i;
+      delta.(!k + 1) <- v.(i);
+      k := !k + 2
+    end
+  done;
+  delta
+
+let decode_delta ~base delta =
+  if Array.length delta land 1 <> 0 then
+    invalid_arg "Vector_clock.decode_delta: odd-length delta";
+  let v = Array.copy base in
+  let n = Array.length v in
+  let k = ref 0 in
+  while !k < Array.length delta do
+    let i = delta.(!k) in
+    if i < 0 || i >= n then invalid_arg "Vector_clock.decode_delta: bad index";
+    v.(i) <- delta.(!k + 1);
+    k := !k + 2
+  done;
+  v
+
+let delta_pairs delta = Array.length delta / 2
+
 let pp ppf t =
   Format.fprintf ppf "[%a]"
     (Format.pp_print_list

@@ -84,6 +84,31 @@ val compare : t -> t -> int
 (** Arbitrary total order (lexicographic); for use in sets and maps
     only — NOT the causal order. *)
 
+(** {2 Sparse delta codec}
+
+    Wire compression for clock vectors in the style of
+    Singhal–Kshemkalyani: ship only the entries that changed since the
+    last vector the receiver saw on the same channel. Both ends must
+    agree on the base — sound whenever per-channel delivery is FIFO (or
+    the messages on the channel are causally serialised, as token hops
+    are). The functions work on raw [int array]s so projected clock
+    vectors (spec-width arrays, not full [t]s) can use the same codec;
+    a [t] coerces via [(v :> int array)]. *)
+
+val encode_delta : base:int array -> int array -> int array
+(** [encode_delta ~base v] is the flat [|i0; v0; i1; v1; ...|] array of
+    (index, value) pairs on which [v] and [base] disagree, in
+    increasing index order. Values are absolute, so a delta is
+    idempotent under {!decode_delta}. Sizes must match. *)
+
+val decode_delta : base:int array -> int array -> int array
+(** [decode_delta ~base delta] is a fresh vector: [base] with the
+    delta's entries overwritten. Raises [Invalid_argument] on an
+    odd-length delta or an out-of-range index. *)
+
+val delta_pairs : int array -> int
+(** Number of (index, value) pairs in an encoded delta. *)
+
 val pp : Format.formatter -> t -> unit
 (** Renders as [[1,0,3]]. *)
 

@@ -11,10 +11,17 @@ type proc_state = {
   mutable blocked : bool;  (* current op is a receive we cannot satisfy yet *)
 }
 
-let install engine comp ?net ~snapshots ~snapshot_dst ~spec_width
+let install engine comp ?net ?app_bits ~snapshots ~snapshot_dst ~spec_width
     ?(think = 0.3) () =
   let net = match net with Some n -> n | None -> Run_common.raw_net engine in
   let n = Computation.n comp in
+  let app_bits =
+    match app_bits with
+    | Some f -> f
+    | None ->
+        fun msg_id ->
+          Messages.bits ~spec_width (Messages.App_msg { msg_id })
+  in
   let emit_snapshot ctx st =
     match (st.dst_monitor, st.pending_snaps) with
     | Some dst, (s, msg) :: rest when s = st.state_index ->
@@ -40,9 +47,7 @@ let install engine comp ?net ~snapshots ~snapshot_dst ~spec_width
     | Computation.Send { dst; msg } :: rest ->
         let delay = Rng.exponential (Engine.rng ctx) ~mean:think in
         Engine.schedule ctx ~delay (fun ctx ->
-            net.Run_common.send ctx
-              ~bits:(Messages.bits ~spec_width (Messages.App_msg { msg_id = msg }))
-              ~dst
+            net.Run_common.send ctx ~bits:(app_bits msg) ~dst
               (Messages.App_msg { msg_id = msg });
             st.script <- rest;
             enter_next_state ctx st;

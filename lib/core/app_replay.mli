@@ -20,6 +20,7 @@ val install :
   Messages.t Engine.t ->
   Computation.t ->
   ?net:Run_common.net ->
+  ?app_bits:(int -> int) ->
   snapshots:(int -> (int * Messages.t) list) ->
   snapshot_dst:(int -> int option) ->
   spec_width:int ->
@@ -30,7 +31,10 @@ val install :
     message to emit upon entering each listed state (ascending state
     order). [snapshot_dst p] is the engine id receiving [p]'s snapshots
     and final [App_done], or [None] if [p] reports to nobody.
-    [spec_width] sizes the clock tag charged on application messages.
+    [spec_width] sizes the clock tag charged on application messages;
+    [app_bits] (default the dense [Messages.bits] formula) overrides
+    the per-message charge by id — used to price delta-encoded clock
+    tags from a {!Wire.app_tag_plan}.
     [think] (default 0.3) is the mean think time before each send.
 
     [net] (default {!Run_common.raw_net}) carries all application

@@ -1,7 +1,7 @@
 open Wcp_trace
 open Wcp_sim
 
-let detect ?network ?recorder ~seed comp spec =
+let detect ?network ?recorder ?(delta = true) ~seed comp spec =
   let n = Computation.n comp in
   let width = Spec.width spec in
   let engine = Run_common.make_engine ?network ?recorder ~seed comp in
@@ -18,6 +18,8 @@ let detect ?network ?recorder ~seed comp spec =
     end
   in
   let queues = Array.init width (fun _ -> Queue.create ()) in
+  (* One decode cache per inbound (spec process -> checker) channel. *)
+  let decoders = Array.init width (fun _ -> Wire.snap_decoder ~width) in
   let finished = Array.make width false in
   let cand : Snapshot.vc option array = Array.make width None in
   let queued_words = ref 0 in
@@ -113,7 +115,8 @@ let detect ?network ?recorder ~seed comp spec =
   let on_message ctx ~src msg =
     let k = Spec.index_of spec (src : int) in
     match msg with
-    | Messages.Snap_vc s ->
+    | Messages.Snap_vc _ | Messages.Snap_vc_delta _ ->
+        let s = Wire.decode_snap decoders.(k) msg in
         incr snapshots_seen;
         (match recorder with
         | None -> ()
@@ -132,11 +135,9 @@ let detect ?network ?recorder ~seed comp spec =
   in
   Engine.set_handler engine checker on_message;
   App_replay.install engine comp
+    ?app_bits:(if delta then Some (Wire.replay_app_bits comp spec) else None)
     ~snapshots:(fun p ->
-      if Spec.mem spec p then
-        List.map
-          (fun (s : Snapshot.vc) -> (s.state, Messages.Snap_vc s))
-          (Snapshot.vc_stream comp spec ~proc:p)
+      if Spec.mem spec p then Wire.encoded_stream ~delta comp spec ~proc:p
       else [])
     ~snapshot_dst:(fun p -> if Spec.mem spec p then Some checker else None)
     ~spec_width:width ();

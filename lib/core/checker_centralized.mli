@@ -17,8 +17,10 @@ open Wcp_trace
 open Wcp_sim
 
 val detect :
-  ?network:Network.t -> ?recorder:Wcp_obs.Recorder.t -> seed:int64 ->
-  Computation.t -> Spec.t -> Detection.result
+  ?network:Network.t -> ?recorder:Wcp_obs.Recorder.t -> ?delta:bool ->
+  seed:int64 -> Computation.t -> Spec.t -> Detection.result
 (** [recorder] (default none) records snapshot arrivals and every
     happened-before elimination with both candidates' vector clocks;
-    see {!Wcp_sim.Engine.create}. *)
+    see {!Wcp_sim.Engine.create}. [delta] as in {!Token_vc.detect}:
+    delta-encoded snapshots and application tags when [true] (the
+    default); detection behaviour identical either way. *)

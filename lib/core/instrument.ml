@@ -14,11 +14,16 @@ type t = {
   clock : int array;  (* Vc mode: the n-entry projected vector clock *)
   mutable scalar : int;  (* 1-based local state index (both modes) *)
   deps : Dependence.accumulator;  (* Dd mode: since the last snapshot *)
+  encoder : Wire.snap_encoder option;  (* Vc mode delta channel state *)
   mutable firstflag : bool;
+  gated : bool;
+  mutable gate_open : bool;
+      (* true iff a send happened since the last emitted snapshot (or
+         none was ever emitted): the interval-gating condition. *)
   mutable finished : bool;
 }
 
-let create ~mode ~n_app ~wcp_procs ~proc =
+let create ?(gated = true) ?(delta = true) ~mode ~n_app ~wcp_procs ~proc () =
   if proc < 0 || proc >= n_app then invalid_arg "Instrument.create: bad proc";
   let width = Array.length wcp_procs in
   if width = 0 then invalid_arg "Instrument.create: empty WCP";
@@ -41,7 +46,13 @@ let create ~mode ~n_app ~wcp_procs ~proc =
     clock;
     scalar = 1;
     deps = Dependence.create_accumulator ();
+    encoder =
+      (match mode with
+      | Vc when delta -> Some (Wire.snap_encoder ~width)
+      | Vc | Dd -> None);
     firstflag = true;
+    gated;
+    gate_open = true;
     finished = false;
   }
 
@@ -53,8 +64,12 @@ let monitor_id t = Run_common.monitor_of ~n:t.n_app t.proc
 
 let snapshot_message t =
   match t.mode with
-  | Vc ->
-      Messages.Snap_vc { Snapshot.state = t.scalar; clock = Array.copy t.clock }
+  | Vc -> (
+      match t.encoder with
+      | Some enc -> Wire.encode_snap enc ~state:t.scalar t.clock
+      | None ->
+          Messages.Snap_vc
+            { Snapshot.state = t.scalar; clock = Array.copy t.clock })
   | Dd -> Messages.Snap_dd { Snapshot.state = t.scalar; deps = Dependence.drain t.deps }
 
 let spec_width t = match t.mode with Vc -> t.width | Dd -> 1
@@ -64,16 +79,23 @@ let emit t ctx =
   let msg = snapshot_message t in
   Engine.send ctx ~bits:(Messages.bits ~spec_width:(spec_width t) msg)
     ~dst:(monitor_id t) msg;
-  t.firstflag <- false
+  t.firstflag <- false;
+  t.gate_open <- false
+
+(* The [firstflag] discipline (one snapshot per state) composed with
+   interval gating (ship only if a send happened since the last shipped
+   snapshot; the very first snapshot always ships because the gate
+   starts open). *)
+let may_emit t = t.firstflag && ((not t.gated) || t.gate_open)
 
 let predicate_true t ctx =
-  if t.spec_index >= 0 && t.firstflag then emit t ctx
+  if t.spec_index >= 0 && may_emit t then emit t ctx
 
 (* §4 gives processes without a local predicate the trivially-true
-   one: in Dd mode they snapshot on every state entry. *)
+   one: in Dd mode they snapshot on every state entry (gating permitting). *)
 let auto_emit t ctx =
   match t.mode with
-  | Dd -> if t.spec_index < 0 && t.firstflag then emit t ctx
+  | Dd -> if t.spec_index < 0 && may_emit t then emit t ctx
   | Vc -> ()
 
 let start t ctx = auto_emit t ctx
@@ -92,6 +114,10 @@ let on_send t ctx =
     | Vc -> Messages.Vc_tag (Array.copy t.clock)
     | Dd -> Messages.Dd_tag { src = t.proc; clock = t.scalar }
   in
+  (* The send happens while still in the current state, so it re-opens
+     the gate for the next candidate even if a snapshot of this very
+     state was already shipped. *)
+  t.gate_open <- true;
   advance t ctx;
   tag
 

@@ -37,9 +37,30 @@ type tag = Messages.tag
 
 type t
 
-val create : mode:mode -> n_app:int -> wcp_procs:int array -> proc:int -> t
+val create :
+  ?gated:bool ->
+  ?delta:bool ->
+  mode:mode ->
+  n_app:int ->
+  wcp_procs:int array ->
+  proc:int ->
+  unit ->
+  t
 (** One instrument per application process. [wcp_procs]: sorted,
-    distinct ids of the processes carrying local predicates. *)
+    distinct ids of the processes carrying local predicates.
+
+    [gated] (default [true]) enables interval gating: a snapshot is
+    shipped only when the process has performed a send since the last
+    shipped snapshot (the first one always ships). Dropping the other
+    candidates never changes the detected cut — see
+    {!Snapshot.vc_stream} for the argument — and in [Dd] mode their
+    direct dependences stay in the accumulator and ride along with the
+    next shipped snapshot.
+
+    [delta] (default [true], [Vc] mode only) ships snapshots
+    hybrid delta/dense encoded over the FIFO channel to the monitor
+    ({!Wire.encode_snap}); the {!Token_vc.install} monitors decode both
+    forms transparently. *)
 
 val state_index : t -> int
 (** Current local state (1-based interval index). *)

@@ -6,6 +6,7 @@ type t =
   | App_msg of { msg_id : int }
   | App_data of { tag : tag; kind : int; data : int }
   | Snap_vc of Snapshot.vc
+  | Snap_vc_delta of { state : int; delta : int array }
   | Snap_dd of Snapshot.dd
   | Snap_gcp of { state : int; clock : int array; counts : int array }
   | App_done
@@ -32,6 +33,10 @@ let rec bits ~spec_width = function
   | App_msg _ -> word * (1 + spec_width)
   | App_data { tag; _ } -> (word * 2) + tag_bits tag
   | Snap_vc _ -> word * (spec_width + 1)
+  (* State word + pair count + ONE packed word per (index, value) pair
+     — {!Wire.encode_snap} only emits this form when the pairs fit the
+     packed 10/22-bit layout, so the charge matches the wire. *)
+  | Snap_vc_delta { delta; _ } -> word * (2 + (Array.length delta / 2))
   | Snap_dd { deps; _ } -> word * (1 + (2 * List.length deps))
   | Snap_gcp { clock; counts; _ } ->
       word * (1 + Array.length clock + Array.length counts)
@@ -63,6 +68,8 @@ let rec pp ppf = function
   | App_msg { msg_id } -> Format.fprintf ppf "app#%d" msg_id
   | App_data { kind; data; _ } -> Format.fprintf ppf "app-data(%d,%d)" kind data
   | Snap_vc { state; _ } -> Format.fprintf ppf "snap-vc@%d" state
+  | Snap_vc_delta { state; delta } ->
+      Format.fprintf ppf "snap-vcd@%d(%d pairs)" state (Array.length delta / 2)
   | Snap_dd { state; deps } ->
       Format.fprintf ppf "snap-dd@%d(%d deps)" state (List.length deps)
   | Snap_gcp { state; counts; _ } ->

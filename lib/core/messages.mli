@@ -23,6 +23,14 @@ type t =
       (** Live application message (paired with {!Instrument}): the
           clock tag plus a small protocol-specific payload. *)
   | Snap_vc of Snapshot.vc  (** Fig. 2 local snapshot *)
+  | Snap_vc_delta of { state : int; delta : int array }
+      (** Fig. 2 local snapshot, delta-encoded against the previous
+          snapshot shipped on the same (process → monitor) channel —
+          the {!Wcp_clocks.Vector_clock.encode_delta} flat pair format.
+          Sound because that channel is FIFO (raw replay network) or
+          in-order exactly-once (reliable transport). Senders emit it
+          only when strictly smaller than the dense {!Snap_vc}
+          ({!Wire} implements the hybrid choice and the decode). *)
   | Snap_dd of Snapshot.dd  (** §4.1 local snapshot *)
   | Snap_gcp of { state : int; clock : int array; counts : int array }
       (** GCP-mode snapshot ([6], see {!Checker_gcp}): full [N]-wide
@@ -62,7 +70,11 @@ val bits : spec_width:int -> t -> int
       vector-clock algorithms — callers pass [~spec_width:1] when
       running the scalar-clock §4 algorithm);
     - [App_data]: two payload words + the actual tag's size;
-    - [Snap_vc]: [spec_width + 1] words; [Snap_dd]: [1 + 2·|deps|];
+    - [Snap_vc]: [spec_width + 1] words; [Snap_vc_delta]:
+      [2 + pairs] words (state, pair count, then ONE packed
+      10-bit-index/22-bit-value word per pair — {!Wire.encode_snap}
+      falls back to dense whenever a pair would not fit);
+      [Snap_dd]: [1 + 2·|deps|];
     - [Snap_gcp]: [1 + N + #channels] words;
     - [Vc_token]/[Group_token]/[Group_return]: [2·spec_width] words
       ([G] plus colors);

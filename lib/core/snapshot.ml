@@ -5,14 +5,38 @@ type vc = { state : int; clock : int array }
 
 type dd = { state : int; deps : Dependence.t list }
 
-let vc_stream comp spec ~proc =
+(* Interval gating: candidate [c'] may be skipped when the previously
+   shipped candidate [c] of the same process is separated from it by no
+   send (no send at a state in [c, c' - 1]). Then for any state [t] of
+   another process, [t → c ⟹ t → c'] (clock monotonicity) and
+   [c → t ⟺ c' → t] (any V_t[i] is a send state of [i], hence < c or
+   ≥ c'), so [c] is consistent with everything [c'] is: the least
+   consistent cut never needs the skipped candidate. The first
+   candidate always ships. *)
+let gate_candidates comp ~proc candidates =
+  let rec go last = function
+    | [] -> []
+    | c :: rest -> (
+        match last with
+        | Some l when not (Computation.sends_in comp ~proc ~lo:l ~hi:(c - 1))
+          ->
+            go last rest
+        | _ -> c :: go (Some c) rest)
+  in
+  go None candidates
+
+let vc_stream ?(gated = true) comp spec ~proc =
   if not (Spec.mem spec proc) then
     invalid_arg "Snapshot.vc_stream: not a spec process";
+  let candidates = Computation.candidates comp proc in
+  let candidates =
+    if gated then gate_candidates comp ~proc candidates else candidates
+  in
   List.map
     (fun s ->
       let st = State.make ~proc ~index:s in
       { state = s; clock = Spec.project spec (Computation.vc comp st) })
-    (Computation.candidates comp proc)
+    candidates
 
 (* A process's candidate states under the dd algorithm: its
    predicate-true states if it carries a local predicate, every state
@@ -21,8 +45,11 @@ let dd_candidates comp spec ~proc =
   if Spec.mem spec proc then Computation.candidates comp proc
   else List.init (Computation.num_states comp proc) (fun k -> k + 1)
 
-let dd_stream comp spec ~proc =
+let dd_stream ?(gated = true) comp spec ~proc =
   let candidates = dd_candidates comp spec ~proc in
+  let candidates =
+    if gated then gate_candidates comp ~proc candidates else candidates
+  in
   (* Walk states 1..last candidate, accumulating the dependence
      recorded at each state entry; drain the accumulator into each
      candidate's snapshot. *)

@@ -5,6 +5,7 @@ type mon = {
   k : int;  (* spec index *)
   group : int;
   queue : Snapshot.vc Queue.t;
+  decoder : Wire.snap_decoder;  (* delta-snapshot channel state *)
   wd : Watchdog.t option;  (* guards this monitor's forwards *)
   mutable app_done : bool;
   mutable held : (int array * Messages.color array) option;
@@ -20,8 +21,8 @@ type leader = {
 
 type assignment = Round_robin | Blocks
 
-let detect ?network ?fault ?recorder ?(assignment = Round_robin) ~groups ~seed
-    comp spec =
+let detect ?network ?fault ?recorder ?(assignment = Round_robin)
+    ?(delta = true) ~groups ~seed comp spec =
   let n = Computation.n comp in
   let width = Spec.width spec in
   if groups < 1 || groups > width then
@@ -51,6 +52,12 @@ let detect ?network ?fault ?recorder ?(assignment = Round_robin) ~groups ~seed
   in
   let bits = Messages.bits ~spec_width:width in
   let monitor_id k = Run_common.monitor_of ~n (Spec.proc spec k) in
+  let meter = if delta then Some (Wire.token_meter ~width) else None in
+  let token_bits ctx ~dst msg g =
+    match meter with
+    | Some mt -> Wire.token_bits mt ~src:(Engine.self ctx) ~dst g
+    | None -> bits msg
+  in
   let group_of =
     match assignment with
     | Round_robin -> fun k -> k mod groups
@@ -69,21 +76,23 @@ let detect ?network ?fault ?recorder ?(assignment = Round_robin) ~groups ~seed
           ~proc:(Engine.self ctx)
           (Wcp_obs.Event.Token_sent { seq; dst; g = Array.copy g }));
     let msg = Messages.Group_token { seq; g; color; group } in
-    net.Run_common.send ctx ~bits:(bits msg) ~dst msg;
+    let hop_bits = token_bits ctx ~dst msg g in
+    net.Run_common.send ctx ~bits:hop_bits ~dst msg;
     match wd with
     | None -> ()
     | Some wd ->
         let g' = Array.copy g and color' = Array.copy color in
+        (* A resend re-ships the originally encoded bytes. *)
         Watchdog.watch wd ctx ~seq ~dst ~resend:(fun ctx ->
             let msg =
               Messages.Group_token
                 { seq; g = Array.copy g'; color = Array.copy color'; group }
             in
-            net.Run_common.send ctx ~bits:(bits msg) ~dst msg)
+            net.Run_common.send ctx ~bits:hop_bits ~dst msg)
   in
-  let send_return ctx ~dst msg =
+  let send_return ctx ~dst g msg =
     incr hops;
-    net.Run_common.send ctx ~bits:(bits msg) ~dst msg
+    net.Run_common.send ctx ~bits:(token_bits ctx ~dst msg g) ~dst msg
   in
   (* Group-token processing: the §3 monitor algorithm, except the token
      may only move to red monitors of its own group and otherwise
@@ -155,7 +164,7 @@ let detect ?network ?fault ?recorder ?(assignment = Round_robin) ~groups ~seed
         send_group_token ctx ?wd:m.wd ~dst:(monitor_id j) ~group:m.group g
           color
       else
-        send_return ctx ~dst:leader_id
+        send_return ctx ~dst:leader_id g
           (Messages.Group_return { g; color; group = m.group })
   in
   let resume ctx m =
@@ -167,7 +176,8 @@ let detect ?network ?fault ?recorder ?(assignment = Round_robin) ~groups ~seed
   in
   let on_monitor m ctx ~src msg =
     match msg with
-    | Messages.Snap_vc s ->
+    | Messages.Snap_vc _ | Messages.Snap_vc_delta _ ->
+        let s = Wire.decode_snap m.decoder msg in
         incr snapshots_seen;
         (match recorder with
         | None -> ()
@@ -291,6 +301,7 @@ let detect ?network ?fault ?recorder ?(assignment = Round_robin) ~groups ~seed
           k;
           group = group_of k;
           queue = Queue.create ();
+          decoder = Wire.snap_decoder ~width;
           wd = (if chaos then Some (Watchdog.create ()) else None);
           app_done = false;
           held = None;
@@ -304,11 +315,9 @@ let detect ?network ?fault ?recorder ?(assignment = Round_robin) ~groups ~seed
   net.Run_common.set_handler leader_id on_leader;
   App_replay.install engine comp
     ?net:(if chaos then Some net else None)
+    ?app_bits:(if delta then Some (Wire.replay_app_bits comp spec) else None)
     ~snapshots:(fun p ->
-      if Spec.mem spec p then
-        List.map
-          (fun (s : Snapshot.vc) -> (s.state, Messages.Snap_vc s))
-          (Snapshot.vc_stream comp spec ~proc:p)
+      if Spec.mem spec p then Wire.encoded_stream ~delta comp spec ~proc:p
       else [])
     ~snapshot_dst:(fun p ->
       if Spec.mem spec p then Some (Run_common.monitor_of ~n p) else None)

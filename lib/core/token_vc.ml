@@ -8,6 +8,7 @@ module Log = (val Logs.src_log log : Logs.LOG)
 type mon = {
   k : int;  (* spec index *)
   queue : Snapshot.vc Queue.t;
+  decoder : Wire.snap_decoder;  (* delta-snapshot channel state *)
   mutable app_done : bool;
   (* Token parked here while we wait for a fresh candidate. *)
   mutable held : (int array * Messages.color array) option;
@@ -66,7 +67,7 @@ let check_invariants comp spec ~g ~color =
   done
 
 let install engine ~n_app ~wcp_procs ?net ?watchdog ?check ?(stop = true)
-    ?(start_at = 0) ~outcome ~hops ~snapshots () =
+    ?(start_at = 0) ?(delta = true) ~outcome ~hops ~snapshots () =
   let net = match net with Some n -> n | None -> Run_common.raw_net engine in
   (* Fetched once; every emission below is a single match when tracing
      is off (no closures, no event construction). *)
@@ -89,6 +90,12 @@ let install engine ~n_app ~wcp_procs ?net ?watchdog ?check ?(stop = true)
   in
   let bits = Messages.bits ~spec_width:width in
   let monitor_id k = Run_common.monitor_of ~n:n_app wcp_procs.(k) in
+  let meter = if delta then Some (Wire.token_meter ~width) else None in
+  let token_bits ctx ~dst msg g =
+    match meter with
+    | Some mt -> Wire.token_bits mt ~src:(Engine.self ctx) ~dst g
+    | None -> bits msg
+  in
   (* Fig. 3, run by the monitor currently holding the token. *)
   let rec process ctx m g color =
     match color.(m.k) with
@@ -170,12 +177,15 @@ let install engine ~n_app ~wcp_procs ?net ?watchdog ?check ?(stop = true)
               (Wcp_obs.Event.Token_sent
                  { seq; dst = monitor_id j; g = Array.copy g }));
         let msg = Messages.Vc_token { seq; g; color } in
-        net.Run_common.send ctx ~bits:(bits msg) ~dst:(monitor_id j) msg;
+        let hop_bits = token_bits ctx ~dst:(monitor_id j) msg g in
+        net.Run_common.send ctx ~bits:hop_bits ~dst:(monitor_id j) msg;
         match watchdog with
         | None -> ()
         | Some wd ->
             (* Deep-copy for regeneration: the receiver mutates the
-               arrays of the copy it gets. *)
+               arrays of the copy it gets. A resend puts the same bytes
+               back on the wire, so it re-charges [hop_bits] rather
+               than re-running the (stateful) encoder. *)
             let g' = Array.copy g and color' = Array.copy color in
             Watchdog.watch wd ctx ~seq ~dst:(monitor_id j)
               ~resend:(fun ctx ->
@@ -183,7 +193,7 @@ let install engine ~n_app ~wcp_procs ?net ?watchdog ?check ?(stop = true)
                   Messages.Vc_token
                     { seq; g = Array.copy g'; color = Array.copy color' }
                 in
-                net.Run_common.send ctx ~bits:(bits msg) ~dst:(monitor_id j)
+                net.Run_common.send ctx ~bits:hop_bits ~dst:(monitor_id j)
                   msg)
       end
       else begin
@@ -210,7 +220,8 @@ let install engine ~n_app ~wcp_procs ?net ?watchdog ?check ?(stop = true)
   in
   let on_message m ctx ~src msg =
     match msg with
-    | Messages.Snap_vc s ->
+    | Messages.Snap_vc _ | Messages.Snap_vc_delta _ ->
+        let s = Wire.decode_snap m.decoder msg in
         incr snapshots;
         (match recorder with
         | None -> ()
@@ -257,6 +268,7 @@ let install engine ~n_app ~wcp_procs ?net ?watchdog ?check ?(stop = true)
         {
           k;
           queue = Queue.create ();
+          decoder = Wire.snap_decoder ~width;
           app_done = false;
           held = None;
           last = None;
@@ -296,7 +308,7 @@ let start engine monitors =
     monitors.start_token
 
 let detect ?network ?fault ?recorder ?(invariant_checks = false) ?start_at
-    ~seed comp spec =
+    ?(delta = true) ~seed comp spec =
   let n = Computation.n comp in
   let width = Spec.width spec in
   let fault =
@@ -317,15 +329,13 @@ let detect ?network ?fault ?recorder ?(invariant_checks = false) ?start_at
   in
   let monitors =
     install engine ~n_app:n ~wcp_procs:(Spec.procs spec) ?net ?watchdog ?check
-      ?start_at ~outcome ~hops ~snapshots ()
+      ?start_at ~delta ~outcome ~hops ~snapshots ()
   in
   (* Application side: Fig. 2 snapshots, spec processes only. *)
   App_replay.install engine comp ?net
+    ?app_bits:(if delta then Some (Wire.replay_app_bits comp spec) else None)
     ~snapshots:(fun p ->
-      if Spec.mem spec p then
-        List.map
-          (fun (s : Snapshot.vc) -> (s.state, Messages.Snap_vc s))
-          (Snapshot.vc_stream comp spec ~proc:p)
+      if Spec.mem spec p then Wire.encoded_stream ~delta comp spec ~proc:p
       else [])
     ~snapshot_dst:(fun p ->
       if Spec.mem spec p then Some (Run_common.monitor_of ~n p) else None)

@@ -40,6 +40,7 @@ val install :
   ?check:(g:int array -> color:Messages.color array -> unit) ->
   ?stop:bool ->
   ?start_at:int ->
+  ?delta:bool ->
   outcome:Detection.outcome option ref ->
   hops:int ref ->
   snapshots:int ref ->
@@ -58,7 +59,13 @@ val install :
     [net] (default {!Run_common.raw_net}) carries all monitor traffic;
     pass {!Run_common.reliable_net} when running under a fault plan.
     [watchdog], when given, guards every token hop against loss (lease
-    probe + regeneration; see {!Watchdog}). *)
+    probe + regeneration; see {!Watchdog}).
+
+    [delta] (default [true]) charges each token hop its delta-encoded
+    wire size ({!Wire.token_bits}) instead of the dense formula, and
+    has the monitors decode {!Messages.Snap_vc_delta} snapshots (they
+    always accept both snapshot forms). Purely a wire-cost matter:
+    detection behaviour is identical either way. *)
 
 val chaos_net :
   Messages.t Engine.t -> outcome:Detection.outcome option ref -> Run_common.net
@@ -79,6 +86,7 @@ val detect :
   ?recorder:Wcp_obs.Recorder.t ->
   ?invariant_checks:bool ->
   ?start_at:int ->
+  ?delta:bool ->
   seed:int64 ->
   Computation.t ->
   Spec.t ->
@@ -99,5 +107,11 @@ val detect :
     watched by a {!Watchdog}, and a permanently crashed/unreachable
     peer yields [Undetectable_crashed] instead of a hang. Passing
     [Fault.none] is identical to omitting [fault].
-    @raise Failure if [invariant_checks] is on and an invariant is
-    violated. *)
+
+    [delta] (default [true]) runs the wire-efficiency layer: snapshots
+    ship hybrid delta/dense ({!Wire.encoded_stream}), token hops and
+    application clock tags are charged their encoded size. With
+    [~delta:false] every payload and charge uses the dense formulas —
+    the E16 baseline. The flag changes no message {e counts} and no
+    RNG draws, so outcome, detected cut, hops and snapshot counts are
+    identical across both settings; only [bits] differs. *)

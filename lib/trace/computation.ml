@@ -18,6 +18,10 @@ type t = {
   vcs : Vector_clock.t array array;
   deps : Dependence.t option array array;
   max_events : int;
+  send_prefix : int array array;
+      (* send_prefix.(i).(s) = number of sends process i performs at
+         states <= s (the op at position p executes at state p + 1), so
+         "any send in [lo, hi]" is one subtraction. *)
 }
 
 exception Invalid of string
@@ -163,7 +167,20 @@ let of_arrays ~ops ~pred =
   let max_events =
     Array.fold_left (fun acc o -> max acc (Array.length o)) 0 ops
   in
-  { n; ops; pred; messages; vcs; deps; max_events }
+  let send_prefix =
+    Array.map
+      (fun proc_ops ->
+        let p = Array.make (Array.length proc_ops + 2) 0 in
+        Array.iteri
+          (fun k op ->
+            p.(k + 1) <-
+              (p.(k) + match op with Send _ -> 1 | Recv _ -> 0))
+          proc_ops;
+        p.(Array.length proc_ops + 1) <- p.(Array.length proc_ops);
+        p)
+      ops
+  in
+  { n; ops; pred; messages; vcs; deps; max_events; send_prefix }
 
 let of_raw ~ops ~pred =
   of_arrays ~ops:(Array.map Array.of_list ops) ~pred:(Array.map Array.copy pred)
@@ -230,6 +247,13 @@ let candidates t i =
   collect states []
 
 let max_events_per_process t = t.max_events
+
+let sends_in t ~proc ~lo ~hi =
+  if proc < 0 || proc >= t.n then invalid "no process %d" proc;
+  let p = t.send_prefix.(proc) in
+  let states = num_states t proc in
+  let lo = max lo 1 and hi = min hi states in
+  lo <= hi && p.(hi) - p.(lo - 1) > 0
 
 let reflag t ~pred =
   let fresh =

@@ -110,6 +110,14 @@ val max_events_per_process : t -> int
 (** The paper's [m]: the largest number of messages sent or received by
     any single process. *)
 
+val sends_in : t -> proc:int -> lo:int -> hi:int -> bool
+(** [sends_in t ~proc ~lo ~hi] is [true] iff process [proc] performs a
+    send while in some state [s] with [lo <= s <= hi] (bounds are
+    clamped to the valid state range; an empty range is [false]).
+    Answered in O(1) from a prefix-sum table. This is the query behind
+    interval gating: a candidate state may be skipped exactly when no
+    send separates it from the previously shipped candidate. *)
+
 val reflag : t -> pred:(proc:int -> state:int -> bool) -> t
 (** The same communication structure with different local-predicate
     flags — used to hand a derived WCP (e.g. one DNF disjunct of a

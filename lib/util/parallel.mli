@@ -1,20 +1,33 @@
 (** Deterministic parallel map over OCaml 5 domains.
 
-    A fixed pool of domains claims work items from a shared counter;
-    result [i] always comes from input [i], so for a pure function the
-    output is identical whatever the domain count (including 1, which
-    runs entirely in the calling domain). Used by the bench harness to
-    fan independent simulation runs out across cores while keeping the
-    emitted metrics byte-identical to a sequential sweep.
+    A fixed pool of domains claims work from a shared atomic counter in
+    {e chunks} of consecutive indices (roughly 8 chunks per domain), so
+    cheap items do not contend on the counter; a domain that finishes
+    its chunk steals the next unclaimed one.
 
-    [f] must not rely on domain-local state and the calls must be
-    independent: items run concurrently in unspecified order. If any
-    call raises, the first such exception (by input index) is re-raised
-    after all domains have drained. *)
+    {b Determinism contract.} Result [i] always comes from input [i]:
+    the output array is a positional image of the input, never a
+    completion-order one. Consequently, for a pure [f] the output is
+    {e byte-identical} whatever the domain count (including 1, which
+    runs entirely in the calling domain with no pool at all) and
+    whatever the chunk schedule. Only wall-clock time may vary. The
+    bench harness leans on this: a parallel sweep must be
+    byte-identical to a sequential one (experiment E15 asserts it).
+
+    [f] must not rely on domain-local or shared mutable state and the
+    calls must be independent: items run concurrently in unspecified
+    order. If any call raises, every domain still drains its remaining
+    chunks, and then the first exception {e by input index} (not by
+    completion time) is re-raised in the calling domain — also a
+    deterministic choice.
+
+    [domains] is clamped to the item count; [~domains:d] with [d < 1]
+    is an [Invalid_argument], as is a [WCP_DOMAINS] environment value
+    that is not a positive integer. *)
 
 val default_domains : unit -> int
-(** [WCP_DOMAINS] from the environment if set (must be a positive
-    integer), else {!Domain.recommended_domain_count}. *)
+(** [WCP_DOMAINS] from the environment if set and non-empty (must then
+    be a positive integer), else {!Domain.recommended_domain_count}. *)
 
 val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map ~domains f xs] with [domains] defaulting to

@@ -96,20 +96,20 @@ token algorithms still converge on the fault-free oracle's first cut,
 and the summary line accounts for the recovery work:
 
   $ wcpdetect chaos run.trace -a token-vc --drop 0.2 --dup 0.1 --fault-seed 7
-  chaos token-vc drop=0.20 dup=0.10 crashes=0: detected {0:6 1:3 2:8 3:2} | retransmits=6 dup-suppressed=7 net-drop=10 net-dup=13 crash-drop=0 | oracle: match
+  chaos token-vc drop=0.20 dup=0.10 crashes=0: detected {0:6 1:3 2:8 3:2} | retransmits=6 dup-suppressed=9 net-drop=9 net-dup=11 crash-drop=0 | oracle: match
 
   $ wcpdetect chaos run.trace -a token-dd --drop 0.2 --dup 0.1 --fault-seed 7
-  chaos token-dd drop=0.20 dup=0.10 crashes=0: detected {0:6 1:3 2:8 3:2} | retransmits=11 dup-suppressed=13 net-drop=17 net-dup=17 crash-drop=0 | oracle: match
+  chaos token-dd drop=0.20 dup=0.10 crashes=0: detected {0:6 1:3 2:8 3:2} | retransmits=6 dup-suppressed=6 net-drop=12 net-dup=14 crash-drop=0 | oracle: match
 
   $ wcpdetect chaos run.trace -a multi-token --groups 2 --drop 0.2 --dup 0.1 --fault-seed 7
-  chaos multi-token drop=0.20 dup=0.10 crashes=0: detected {0:6 1:3 2:8 3:2} | retransmits=5 dup-suppressed=6 net-drop=10 net-dup=12 crash-drop=0 | oracle: match
+  chaos multi-token drop=0.20 dup=0.10 crashes=0: detected {0:6 1:3 2:8 3:2} | retransmits=10 dup-suppressed=9 net-drop=11 net-dup=14 crash-drop=0 | oracle: match
 
 A monitor that crashes permanently (process 4 is the monitor of
 application process 0) degrades the verdict gracefully instead of
 hanging the run:
 
   $ wcpdetect chaos run.trace -a token-vc --crash 4@0
-  chaos token-vc drop=0.00 dup=0.00 crashes=1: undetectable (crashed: 4) | retransmits=12 dup-suppressed=0 net-drop=0 net-dup=0 crash-drop=19 | oracle: degraded
+  chaos token-vc drop=0.00 dup=0.00 crashes=1: undetectable (crashed: 4) | retransmits=12 dup-suppressed=0 net-drop=0 net-dup=0 crash-drop=17 | oracle: degraded
 
 The same fault flags work on plain detect:
 
@@ -126,15 +126,15 @@ the log as a narrative (who held the token, which comparison eliminated
 which candidate):
 
   $ wcpdetect trace tiny.trace -a token-vc -o ev.jsonl
-  trace: 27 events -> ev.jsonl
-  detected {0:1 1:1} | msgs=11 bits=960 work=6 max-work=3 max-space=4 hops=1 polls=0 snaps=3 t=2.54 ev=11
+  trace: 23 events -> ev.jsonl
+  detected {0:1 1:1} | msgs=8 bits=704 work=6 max-work=3 max-space=4 hops=1 polls=0 snaps=3 t=1.96 ev=10
   token_regenerations          0
   retransmits                  0
   polls                        0
   token_hops                   1
   eliminations                 1
   eliminations_per_hop         n=1 mean=1.000 p50=1.000 p95=1.000 max=1.000
-  token_hop_latency            n=1 mean=1.301 p50=1.301 p95=1.301 max=1.301
+  token_hop_latency            n=1 mean=0.718 p50=0.718 p95=0.718 max=0.718
 
   $ head -2 ev.jsonl
   {"seq":0,"t":0.0,"proc":-1,"type":"run_meta","schema":"wcp-events/1","algo":"token-vc","n":2,"width":2}
@@ -145,10 +145,10 @@ which candidate):
   t=1.24156  M_0: selected candidate state 1 of P_0 (G[0] := 1, green)
   t=1.24156  M_0: advanced G[1] to 0: candidate (P_0, state 1) with clock <1,0> precedes any future candidate of P_1 (red)
   t=1.24156  M_0: hop 1: token -> M_1 carrying G=<1,0>
-  t=2.5422   M_1: hop 1: token accepted
-  t=2.5422   M_1: selected candidate state 1 of P_1 (G[1] := 1, green)
-  t=2.5422   M_1: DETECTED consistent cut: P_0@state 1, P_1@state 1
-  (17 engine send/delivery events elided; --verbose or the JSONL log has them)
+  t=1.95997  M_1: hop 1: token accepted
+  t=1.95997  M_1: selected candidate state 1 of P_1 (G[1] := 1, green)
+  t=1.95997  M_1: DETECTED consistent cut: P_0@state 1, P_1@state 1
+  (13 engine send/delivery events elided; --verbose or the JSONL log has them)
   1 token hops total
 
 The same log attaches to a plain detect run via --trace, and
@@ -156,21 +156,21 @@ The same log attaches to a plain detect run via --trace, and
 
   $ wcpdetect detect tiny.trace -a token-vc --trace ev2.jsonl | cut -d'|' -f1
   detected {0:1 1:1} 
-  trace: 27 events -> ev2.jsonl
+  trace: 23 events -> ev2.jsonl
 
   $ wcpdetect detect run.trace -a token-dd --per-process
-  detected {0:6 1:3 2:8 3:2} | msgs=55 bits=3429 work=17 max-work=8 max-space=15 hops=4 polls=5 snaps=17 t=18.32 ev=80
+  detected {0:6 1:3 2:8 3:2} | msgs=50 bits=3013 work=17 max-work=8 max-space=11 hops=4 polls=5 snaps=12 t=17.98 ev=75
   proc  sent  recv      bits      work    space  retx  dupsup
-     0    11     6       832         0        2     0       0
+     0     9     6       704         0        2     0       0
      1    10     5       736         0        2     0       0
-     2    11     5       832         0        2     0       0
-     3     9     4       576         0        2     0       0
-     4     4     9       129         4       12     0       0
-     5     3     8       160         3       10     0       0
-     6     6    12       163         8       15     0       0
-     7     1     6         1         2        7     0       0
+     2     9     5       576         0        3     0       0
+     3     8     4       544         0        2     0       0
+     4     4     7       129         4        8     0       0
+     5     3     8       160         3       11     0       0
+     6     6    10       163         8        7     0       0
+     7     1     5         1         2        6     0       0
      8     0     0         0         0        0     0       0
-  total sent=55 bits=3429 work=17 max-work=8 max-space=15 events=80
+  total sent=50 bits=3013 work=17 max-work=8 max-space=11 events=75
   faults retransmit=0 dup-suppressed=0 net-drop=0 net-dup=0 crash-drop=0
   space = high-water buffered words per process (32-bit words; vc snapshot = width+1 words, dd snapshot = 1+2|deps|; DESIGN.md §3)
 

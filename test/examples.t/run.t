@@ -3,7 +3,7 @@ Every example is deterministic; pin their complete outputs.
   $ ../../examples/quickstart.exe
   computation: 2 processes, 6 states, 2 messages
   oracle:    detected {0:2 1:1}
-  token-vc:  detected {0:2 1:1} | msgs=7 bits=640 work=6 max-work=3 max-space=2 hops=1 polls=0 snaps=2 t=2.30 ev=9
+  token-vc:  detected {0:2 1:1} | msgs=7 bits=608 work=6 max-work=3 max-space=2 hops=1 polls=0 snaps=2 t=2.30 ev=9
   token-dd:  detected {0:2 1:1} | msgs=7 bits=352 work=2 max-work=1 max-space=1 hops=1 polls=0 snaps=2 t=2.30 ev=9
   projected: detected {0:2 1:1}
   quickstart OK
@@ -41,7 +41,7 @@ Every example is deterministic; pin their complete outputs.
   
   == buggy lock manager (p_bug = 0.4) ==
     seed  1: read lock and write lock held concurrently at {1:6 3:6}
-      (cost note: dd work 81 spread with busiest process 43;
+      (cost note: dd work 64 spread with busiest process 29;
        checker work 8, all on the single checker)
     seed  2: read lock and write lock held concurrently at {1:9 3:12}
     seed  3: read lock and write lock held concurrently at {1:6 3:6}
@@ -62,11 +62,11 @@ Every example is deterministic; pin their complete outputs.
   oracle: detected {0:10 2:4 4:7 6:4}
   
   algorithm              msgs       bits      work  max-work max-space    time
-  checker [7]              78      12480        28        28        65     5.3
-  token-vc (§3)          103      16768        23         7        36     8.1
-  multi g=2 (§3.5)       122      20384        43        12        36    10.2
-  token-dd (§4)          274      17356        49         9        73    38.6
-  token-dd ∥ (§4.5)      271      17260        49         9        67    17.7
+  checker [7]              78       8736        28        28        55     7.2
+  token-vc (§3)          111      13152        23         7        32    10.8
+  multi g=2 (§3.5)       123      14656        43        12        32    11.0
+  token-dd (§4)          215      13292        44         6        38    38.2
+  token-dd ∥ (§4.5)      212      13196        44         6        33    17.2
   cooper-marzullo    explored 516774 consistent cuts (frontier 69312)
   
   all detectors agree on the first cut.
@@ -107,10 +107,10 @@ Every example is deterministic; pin their complete outputs.
     seed 2: clean (no violating cut exists)
     seed 3: clean (no violating cut exists)
   -- racy coordinator (p_bug = 0.5) --
-    seed 1: monitors flagged CS1∧CS2 at {1:3 2:6} — sim time 29 of 29
-    seed 2: monitors flagged CS1∧CS2 at {1:3 2:3} — sim time 18 of 18
-    seed 3: monitors flagged CS1∧CS2 at {1:3 2:3} — sim time 17 of 17
-    seed 4: monitors flagged CS1∧CS2 at {1:6 2:6} — sim time 44 of 44
+    seed 1: monitors flagged CS1∧CS2 at {1:3 2:3} — sim time 18 of 18
+    seed 2: monitors flagged CS1∧CS2 at {1:3 2:3} — sim time 16 of 16
+    seed 3: monitors flagged CS1∧CS2 at {1:3 2:3} — sim time 15 of 15
+    seed 4: monitors flagged CS1∧CS2 at {1:3 2:3} — sim time 27 of 27
   
   every online verdict matched the offline oracle exactly.
 

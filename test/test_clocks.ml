@@ -153,6 +153,57 @@ let prop_copy_independent =
       snapshot = Vector_clock.to_array orig)
 
 (* ------------------------------------------------------------------ *)
+(* Delta encoding (the wire codec of Wcp_core.Wire)                    *)
+(* ------------------------------------------------------------------ *)
+
+let prop_delta_roundtrip =
+  qtest "decode_delta (encode_delta base v) = v"
+    QCheck2.Gen.(pair (gen_vc 6) (gen_vc 6))
+    (fun (base, v) ->
+      Vector_clock.decode_delta ~base (Vector_clock.encode_delta ~base v) = v)
+
+let prop_delta_minimal =
+  qtest "delta lists exactly the changed components"
+    QCheck2.Gen.(pair (gen_vc 6) (gen_vc 6))
+    (fun (base, v) ->
+      let delta = Vector_clock.encode_delta ~base v in
+      let changed = ref 0 in
+      Array.iteri (fun i x -> if x <> base.(i) then incr changed) v;
+      Vector_clock.delta_pairs delta = !changed
+      (* ... and each pair records the absolute new value. *)
+      && Array.length delta mod 2 = 0
+      &&
+      let ok = ref true in
+      Array.iteri
+        (fun k x -> if k land 1 = 1 && v.(delta.(k - 1)) <> x then ok := false)
+        delta;
+      !ok)
+
+let prop_delta_idempotent =
+  (* Absolute values make decoding a duplicate (a regenerated token, a
+     retransmitted frame) a no-op: applying the same delta twice equals
+     applying it once. *)
+  qtest "decode is idempotent"
+    QCheck2.Gen.(pair (gen_vc 6) (gen_vc 6))
+    (fun (base, v) ->
+      let delta = Vector_clock.encode_delta ~base v in
+      let once = Vector_clock.decode_delta ~base delta in
+      Vector_clock.decode_delta ~base:once delta = once)
+
+let test_delta_rejects_garbage () =
+  let base = [| 0; 0; 0 |] in
+  List.iter
+    (fun (name, delta) ->
+      match Vector_clock.decode_delta ~base delta with
+      | _ -> Alcotest.failf "%s accepted" name
+      | exception Invalid_argument _ -> ())
+    [
+      ("odd length", [| 1; 2; 3 |]);
+      ("index out of range", [| 3; 7 |]);
+      ("negative index", [| -1; 7 |]);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Dependence accumulator                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -202,6 +253,11 @@ let () =
           prop_tick_into_agrees;
           prop_merge_into_agrees;
           prop_copy_independent;
+          prop_delta_roundtrip;
+          prop_delta_minimal;
+          prop_delta_idempotent;
+          Alcotest.test_case "delta rejects garbage" `Quick
+            test_delta_rejects_garbage;
         ] );
       ( "dependence",
         [

@@ -162,6 +162,73 @@ let test_finish_requires_outcome () =
   | exception Failure _ -> ()
   | _ -> Alcotest.fail "finish without an outcome must fail loudly"
 
+(* ------------------------------------------------------------------ *)
+(* Cross-algorithm agreement                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The four detectors implement the same problem with very different
+   machinery (Fig. 3 token, §3.5 multi-token, §4 direct-dependence
+   token, Garg–Waldecker checker). On any random computation they must
+   all agree with the oracle — and therefore with each other — on the
+   outcome. *)
+let all_outcomes ~seed comp =
+  let spec = Spec.all comp in
+  [
+    ("token-vc", (Token_vc.detect ~seed comp spec).Detection.outcome);
+    ( "token-multi",
+      let groups = min 2 (Spec.width spec) in
+      (Token_multi.detect ~groups ~seed comp spec).Detection.outcome );
+    ( "token-dd",
+      Detection.project_outcome spec
+        (Token_dd.detect ~seed comp spec).Detection.outcome );
+    ("checker", (Checker_centralized.detect ~seed comp spec).Detection.outcome);
+  ]
+
+let prop_algorithms_agree =
+  Helpers.qtest ~count:60 "vc, multi, dd and checker all match the oracle"
+    Helpers.gen_medium_comp (fun comp ->
+      let expected = Oracle.first_cut comp (Spec.all comp) in
+      List.for_all
+        (fun (name, got) ->
+          Detection.outcome_equal expected got
+          || QCheck2.Test.fail_reportf "%s disagrees with the oracle: %a vs %a"
+               name Detection.pp_outcome got Detection.pp_outcome expected)
+        (all_outcomes ~seed:7L comp))
+
+(* Bench anomaly, pinned: at n=32, seed=2 the E1 token-vc row detects
+   while the E2 checker row reports "none". That is parameter skew, not
+   an algorithm bug — E1 runs m=20 sends per process, E2 runs m=16. On
+   each computation every algorithm agrees with the oracle, and only
+   the extra sends of the m=20 trace make the predicate detectable. *)
+let test_e2_anomaly_is_parameter_skew () =
+  let comp_of ~m =
+    Generator.random
+      ~params:
+        { Generator.n = 32; sends_per_process = m; p_pred = 0.3; p_recv = 0.5 }
+      ~seed:2L ()
+  in
+  let agree_on what comp =
+    let expected = Oracle.first_cut comp (Spec.all comp) in
+    List.iter
+      (fun (name, got) ->
+        Alcotest.check Helpers.outcome
+          (Printf.sprintf "%s: %s vs oracle" what name)
+          expected got)
+      (all_outcomes ~seed:2L comp);
+    expected
+  in
+  (* E2's parameters: everyone, oracle included, says "none". *)
+  (match agree_on "m=16 (E2)" (comp_of ~m:16) with
+  | Detection.No_detection -> ()
+  | o ->
+      Alcotest.failf "m=16 must be a genuine no-detection, got %a"
+        Detection.pp_outcome o);
+  (* E1's parameters: the same generator seed detects. The two bench
+     rows differ by [m] alone. *)
+  match agree_on "m=20 (E1)" (comp_of ~m:20) with
+  | Detection.Detected _ -> ()
+  | o -> Alcotest.failf "m=20 must detect, got %a" Detection.pp_outcome o
+
 let () =
   Alcotest.run "detection"
     [
@@ -176,6 +243,12 @@ let () =
         [
           Alcotest.test_case "bits accounting" `Quick test_bits_accounting;
           Alcotest.test_case "pp" `Quick test_messages_pp;
+        ] );
+      ( "agreement",
+        [
+          prop_algorithms_agree;
+          Alcotest.test_case "E2 n=32 seed=2 anomaly is parameter skew"
+            `Quick test_e2_anomaly_is_parameter_skew;
         ] );
       ( "run-common",
         [

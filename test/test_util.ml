@@ -260,6 +260,58 @@ let test_parallel_empty () =
   Alcotest.(check int) "empty input" 0
     (Array.length (Parallel.map ~domains:4 (fun x -> x) [||]))
 
+let test_parallel_domains_exceed_items () =
+  (* The pool is clamped to the item count; asking for far more domains
+     than items must neither crash nor reorder. *)
+  Alcotest.(check (list int)) "more domains than items"
+    [ 10; 20; 30 ]
+    (Parallel.map_list ~domains:64 (fun x -> 10 * x) [ 1; 2; 3 ])
+
+let test_parallel_bad_domains () =
+  Alcotest.check_raises "domains = 0 rejected"
+    (Invalid_argument "Parallel.map: domains must be >= 1") (fun () ->
+      ignore (Parallel.map ~domains:0 (fun x -> x) [| 1 |]))
+
+let test_parallel_first_exception_by_index () =
+  (* Index 1 fails slowly, index 3 fails immediately: the contract is
+     that the FIRST exception by input index — not by completion time —
+     is the one re-raised, so "early" must win even though "late" is
+     thrown first on the wall clock. *)
+  let slow_boom x =
+    if x = 1 then begin
+      let t = Sys.time () in
+      while Sys.time () -. t < 0.02 do () done;
+      failwith "early"
+    end
+    else if x = 3 then failwith "late"
+    else x
+  in
+  match Parallel.map ~domains:2 slow_boom [| 0; 1; 2; 3; 4 |] with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Failure m ->
+      Alcotest.(check string) "lowest index wins" "early" m
+
+let with_env var value f =
+  let old = Sys.getenv_opt var in
+  Unix.putenv var value;
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv var (Option.value ~default:"" old))
+    f
+
+let test_parallel_env_parsing () =
+  with_env "WCP_DOMAINS" "3" (fun () ->
+      Alcotest.(check int) "well-formed value" 3 (Parallel.default_domains ()));
+  with_env "WCP_DOMAINS" " 5 " (fun () ->
+      Alcotest.(check int) "whitespace trimmed" 5 (Parallel.default_domains ()));
+  List.iter
+    (fun bad ->
+      with_env "WCP_DOMAINS" bad (fun () ->
+          Alcotest.check_raises
+            (Printf.sprintf "WCP_DOMAINS=%S rejected" bad)
+            (Invalid_argument "WCP_DOMAINS must be a positive integer")
+            (fun () -> ignore (Parallel.default_domains ()))))
+    [ "0"; "-2"; "many"; "2.5" ]
+
 let () =
   Alcotest.run "util"
     [
@@ -300,5 +352,13 @@ let () =
           Alcotest.test_case "exception propagates" `Quick
             test_parallel_exception;
           Alcotest.test_case "empty" `Quick test_parallel_empty;
+          Alcotest.test_case "domains > items" `Quick
+            test_parallel_domains_exceed_items;
+          Alcotest.test_case "bad domain count" `Quick
+            test_parallel_bad_domains;
+          Alcotest.test_case "first exception by index" `Quick
+            test_parallel_first_exception_by_index;
+          Alcotest.test_case "WCP_DOMAINS parsing" `Quick
+            test_parallel_env_parsing;
         ] );
     ]
