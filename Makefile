@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench tables bench-json perf-check bench-smoke check chaos-soak trace-check examples clean
+.PHONY: all build test bench tables bench-json perf-check bench-smoke check chaos-soak trace-check slice-check examples clean
 
 # Committed machine-readable baseline (see EXPERIMENTS.md).
 BENCH_BASELINE ?= BENCH_1.json
@@ -30,8 +30,9 @@ perf-check:
 	dune exec bench/main.exe -- perf-check $(BENCH_BASELINE)
 
 # Fast wire-regression gate: run the smoke profile (every smoke job is
-# also a full job, including a tiny E15/E16 slice) and subset-compare
-# it against the committed full baseline. Seconds, not minutes.
+# also a full job, including a tiny E15/E16/E17 slice) and
+# subset-compare it against the committed full baseline. Seconds, not
+# minutes.
 bench-smoke:
 	dune exec bench/main.exe -- json --smoke --seq --out _build/bench-smoke.json
 	dune exec bench/main.exe -- perf-check $(BENCH_BASELINE) _build/bench-smoke.json --subset
@@ -52,6 +53,15 @@ chaos-soak:
 # `make test`; this target unlocks the whole sweep.
 trace-check:
 	WCP_TRACE_CHECK=1 dune exec test/test_obs.exe -- test schema
+
+# Full-corpus slicing agreement sweep: every detector, dense vs sliced
+# (--slice / Detection.options ~slice:true), across sizes x predicate
+# densities x seeds x full and partial specs — outcomes must be
+# identical with cuts in dense coordinates. A bounded smoke of the same
+# sweep always runs inside `make test`; this target unlocks the whole
+# corpus.
+slice-check:
+	WCP_SLICE_CHECK=1 dune exec test/test_slice.exe -- test corpus
 
 examples:
 	@for e in quickstart mutual_exclusion database_locks \

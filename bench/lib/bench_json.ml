@@ -252,7 +252,7 @@ end
 (* ------------------------------------------------------------------ *)
 
 type job = {
-  experiment : string;  (* "E1".."E9", "E15", "E16" *)
+  experiment : string;  (* "E1".."E9", "E15", "E16", "E17" *)
   algo : string;
   n : int;
   m : int;  (* sends per process (adversary: its m parameter) *)
@@ -260,12 +260,12 @@ type job = {
   seed : int;
   param : int;
       (* groups (multi), spec width (E5), drop % (E9), domain count
-         (E15), delta flag 0/1 (E16), else 0 *)
+         (E15), delta flag 0/1 (E16), slice flag 0/1 (E17), else 0 *)
 }
 
 type metrics = {
   job : job;
-  outcome : string;  (* "detected" | "none" *)
+  outcome : string;  (* "detected" | "none"; E17 appends the cut *)
   states : int;
   hops : int;
   polls : int;
@@ -295,7 +295,12 @@ type metrics = {
   elims_per_hop_p50 : float;
   elims_per_hop_p95 : float;
   elims_per_hop_max : float;
+  (* Slice shape (E17 sliced arm, schema v5): total states of the
+     sliced computation the detector actually examined. Deterministic;
+     zero for dense runs. *)
+  slice_states : int;
   (* Machine-dependent; excluded from determinism comparisons. *)
+  slice_ns : int;  (* slice-construction overhead (E17 sliced arm) *)
   wall_ns : int;
   alloc_bytes : int;
 }
@@ -340,18 +345,27 @@ let run_sim ?recorder job =
      encoding changes no message counts and no RNG draws, so every
      field except [bits] is identical across the two arms. *)
   let delta = if job.experiment = "E16" then job.param <> 0 else true in
+  (* E17 ablates computation slicing: param=1 detects on the slice
+     (identical outcome, remapped cut), param=0 on the dense run. *)
+  let slice = job.experiment = "E17" && job.param <> 0 in
+  let options = Detection.options ~delta ~slice () in
   let r =
     match job.algo with
-    | "token-vc" -> Token_vc.detect ?fault ?recorder ~delta ~seed comp spec
-    | "token-dd" -> Token_dd.detect ?fault ?recorder ~seed comp spec
+    | "token-vc" -> Token_vc.detect ?fault ?recorder ~options ~seed comp spec
+    | "token-dd" -> Token_dd.detect ?fault ?recorder ~options ~seed comp spec
     | "token-dd-par" ->
-        Token_dd.detect ?fault ?recorder ~parallel:true ~seed comp spec
+        Token_dd.detect ?fault ?recorder ~parallel:true ~options ~seed comp
+          spec
     | "token-multi" ->
-        (* In E16 [param] is the delta flag, so the group count is
-           pinned at 2 (the E3 sweet spot). *)
-        let groups = if job.experiment = "E16" then 2 else job.param in
-        Token_multi.detect ?fault ?recorder ~delta ~groups ~seed comp spec
-    | "checker" -> Checker_centralized.detect ?recorder ~delta ~seed comp spec
+        (* In E16/E17 [param] is the delta/slice flag, so the group
+           count is pinned at 2 (the E3 sweet spot). *)
+        let groups =
+          if job.experiment = "E16" || job.experiment = "E17" then 2
+          else job.param
+        in
+        Token_multi.detect ?fault ?recorder ~options ~groups ~seed comp spec
+    | "checker" ->
+        Checker_centralized.detect ?recorder ~options ~seed comp spec
     | a -> invalid_arg ("Bench_json.run_job: unknown algo " ^ a)
   in
   (comp, r)
@@ -439,6 +453,8 @@ let run_e15 job =
     elims_per_hop_p50 = 0.0;
     elims_per_hop_p95 = 0.0;
     elims_per_hop_max = 0.0;
+    slice_states = 0;
+    slice_ns = 0;
     wall_ns;
     alloc_bytes;
   }
@@ -498,6 +514,8 @@ let run_job job =
         elims_per_hop_p50 = 0.0;
         elims_per_hop_p95 = 0.0;
         elims_per_hop_max = 0.0;
+        slice_states = 0;
+        slice_ns = 0;
         wall_ns;
         alloc_bytes;
       }
@@ -509,11 +527,37 @@ let run_job job =
       let _ = run_sim ~recorder job in
       let _, s = Wcp_obs.Metrics.of_events (Wcp_obs.Recorder.events recorder) in
       let q h p = Wcp_obs.Metrics.quantile h p in
+      (* E17 sliced arm: rebuild the slice outside the timed window to
+         report its shape and isolated construction cost (the timed run
+         above already paid construction inside [detect], so wall_ns
+         compares end-to-end dense vs sliced). *)
+      let slice_states, slice_ns =
+        if job.experiment = "E17" && job.param <> 0 then begin
+          let spec = spec_for job comp in
+          let keep_rest =
+            job.algo = "token-dd" || job.algo = "token-dd-par"
+          in
+          let t0 = Unix.gettimeofday () in
+          let sl =
+            Wcp_slice.Slice.for_spec ~keep_rest comp
+              ~procs:(Spec.procs spec)
+          in
+          let ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+          (Computation.total_states (Wcp_slice.Slice.computation sl), ns)
+        end
+        else (0, 0)
+      in
       {
         job;
         outcome =
           (match r.Detection.outcome with
-          | Detection.Detected _ -> "detected"
+          | Detection.Detected cut ->
+              (* E17 spells the cut out (in dense coordinates), so the
+                 baseline comparison pins the sliced arm to the dense
+                 arm's exact cut, not just to "detected". *)
+              if job.experiment = "E17" then
+                Format.asprintf "detected %a" Cut.pp cut
+              else "detected"
           | Detection.No_detection -> "none"
           | Detection.Undetectable_crashed _ -> "undetectable");
         states = Computation.total_states comp;
@@ -540,6 +584,8 @@ let run_job job =
         elims_per_hop_p95 = q s.Wcp_obs.Metrics.elims_per_hop 0.95;
         elims_per_hop_max =
           Wcp_obs.Metrics.hist_max s.Wcp_obs.Metrics.elims_per_hop;
+        slice_states;
+        slice_ns;
         wall_ns;
         alloc_bytes;
       }
@@ -580,6 +626,14 @@ let jobs = function
         job "E15" "token-vc" ~n:8 ~m:12 ~param:2 ~seed:0 ();
         job "E16" "token-vc" ~n:8 ~m:20 ~param:0 ~seed:1 ();
         job "E16" "token-vc" ~n:8 ~m:20 ~param:1 ~seed:1 ();
+        job "E17" "token-vc" ~n:8 ~m:20 ~p_pred:0.02 ~param:0 ~seed:1 ();
+        job "E17" "token-vc" ~n:8 ~m:20 ~p_pred:0.02 ~param:1 ~seed:1 ();
+        job "E17" "token-dd" ~n:8 ~m:20 ~p_pred:0.02 ~param:0 ~seed:1 ();
+        job "E17" "token-dd" ~n:8 ~m:20 ~p_pred:0.02 ~param:1 ~seed:1 ();
+        job "E17" "token-multi" ~n:8 ~m:20 ~p_pred:0.02 ~param:0 ~seed:1 ();
+        job "E17" "token-multi" ~n:8 ~m:20 ~p_pred:0.02 ~param:1 ~seed:1 ();
+        job "E17" "checker" ~n:8 ~m:20 ~p_pred:0.02 ~param:0 ~seed:1 ();
+        job "E17" "checker" ~n:8 ~m:20 ~p_pred:0.02 ~param:1 ~seed:1 ();
       ]
   | Full ->
       let sweep f xs = List.concat_map f xs in
@@ -657,6 +711,40 @@ let jobs = function
                   [ 0; 1 ])
               [ "token-vc"; "token-multi"; "checker" ])
           [ 8; 16; 32 ]
+      (* E17: computation slicing on a sparse-truth workload (p_pred =
+         0.02 — most states are predicate-false, the regime slicing is
+         for). Equal-seed pairs differ only in param: 1 detects on the
+         slice (events/snapshots/work drop), 0 on the dense run; both
+         arms report identical outcomes with byte-identical cuts (the
+         sliced cut remapped to dense coordinates), asserted by the E17
+         table in bench/main.ml and test/test_slice.ml. *)
+      @ sweep
+          (fun n ->
+            sweep
+              (fun algo ->
+                sweep
+                  (fun slice ->
+                    per_seed (fun seed ->
+                        job "E17" algo ~n ~m:20 ~p_pred:0.02 ~param:slice
+                          ~seed ()))
+                  [ 0; 1 ])
+              [ "token-vc"; "token-dd"; "token-dd-par"; "token-multi";
+                "checker" ])
+          [ 8; 16; 32 ]
+      (* E17 dense-truth control: at p_pred = 0.3 every run DETECTS, so
+         these rows pin actual cuts (spelled out in [outcome], dense
+         coordinates) byte-identical between the arms and against the
+         baseline — the sparse sweep above mostly ends in
+         no-detection, where cut identity is vacuous. *)
+      @ sweep
+          (fun algo ->
+            sweep
+              (fun slice ->
+                per_seed (fun seed ->
+                    job "E17" algo ~n:8 ~m:20 ~p_pred:0.3 ~param:slice ~seed
+                      ()))
+              [ 0; 1 ])
+          [ "token-vc"; "token-dd"; "token-dd-par"; "token-multi"; "checker" ]
 
 let run ?domains profile =
   let js = Array.of_list (jobs profile) in
@@ -668,8 +756,12 @@ let run ?domains profile =
 
 (* v4: E15 (multicore throughput) and E16 (delta vs dense wire bits)
    added; interval gating + hybrid delta encoding on by default, so
-   every message/bits/snapshot figure moved vs v3. *)
-let schema = "wcp-bench/4"
+   every message/bits/snapshot figure moved vs v3.
+   v5: E17 (computation slicing, dense vs sliced) and the
+   slice_states/slice_ns fields added; dd snapshots/polls now priced
+   packed by default (Wire.encode_dd / Wire.poll_bits), so dd-family
+   bits figures moved vs v4. *)
+let schema = "wcp-bench/5"
 
 let metrics_to_json r =
   Json.Obj
@@ -705,6 +797,8 @@ let metrics_to_json r =
       ("elims_per_hop_p50", Json.Float r.elims_per_hop_p50);
       ("elims_per_hop_p95", Json.Float r.elims_per_hop_p95);
       ("elims_per_hop_max", Json.Float r.elims_per_hop_max);
+      ("slice_states", Json.Int r.slice_states);
+      ("slice_ns", Json.Int r.slice_ns);
       ("wall_ns", Json.Int r.wall_ns);
       ("alloc_bytes", Json.Int r.alloc_bytes);
     ]
@@ -746,6 +840,8 @@ let metrics_of_json j =
     elims_per_hop_p50 = to_float (member "elims_per_hop_p50" j);
     elims_per_hop_p95 = to_float (member "elims_per_hop_p95" j);
     elims_per_hop_max = to_float (member "elims_per_hop_max" j);
+    slice_states = to_int (member "slice_states" j);
+    slice_ns = to_int (member "slice_ns" j);
     wall_ns = to_int (member "wall_ns" j);
     alloc_bytes = to_int (member "alloc_bytes" j);
   }
@@ -800,7 +896,7 @@ let job_key j =
   Printf.sprintf "%s/%s n=%d m=%d p=%g seed=%d param=%d" j.experiment j.algo
     j.n j.m j.p_pred j.seed j.param
 
-let strip_timing r = { r with wall_ns = 0; alloc_bytes = 0 }
+let strip_timing r = { r with wall_ns = 0; alloc_bytes = 0; slice_ns = 0 }
 
 let deterministic_equal a b = strip_timing a = strip_timing b
 

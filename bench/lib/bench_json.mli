@@ -1,6 +1,6 @@
 (** Machine-readable benchmark harness.
 
-    Runs the E1-E9, E15 and E16 experiment sweeps as independent jobs
+    Runs the E1-E9 and E15-E17 experiment sweeps as independent jobs
     (fanned out over domains with {!Wcp_util.Parallel}), records one
     metrics record per job, and serialises the lot as a stable JSON
     document suitable for committing as a regression baseline (see
@@ -35,7 +35,7 @@ module Json : sig
 end
 
 type job = {
-  experiment : string;  (** "E1".."E9", "E15", "E16" *)
+  experiment : string;  (** "E1".."E9", "E15", "E16", "E17" *)
   algo : string;
       (** "token-vc", "token-dd", "token-dd-par", "token-multi",
           "checker", "adversary" *)
@@ -45,7 +45,7 @@ type job = {
   seed : int;
   param : int;
       (** groups (E3), spec width (E5), drop %% (E9), domain count
-          (E15), delta flag 0/1 (E16), else 0 *)
+          (E15), delta flag 0/1 (E16), slice flag 0/1 (E17), else 0 *)
 }
 
 type metrics = {
@@ -53,7 +53,10 @@ type metrics = {
   outcome : string;
       (** "detected" or "none"; for E15, "ok" iff the parallel batch
           was byte-identical to its sequential reference, else
-          "mismatch" *)
+          "mismatch". E17 appends the detected cut in dense
+          coordinates (e.g. ["detected {0:6 1:3}"]), so the baseline
+          comparison pins the sliced arm to the dense arm's exact
+          cut. *)
   states : int;
   hops : int;
   polls : int;
@@ -81,6 +84,13 @@ type metrics = {
   elims_per_hop_p50 : float;  (** eliminations between token acceptances *)
   elims_per_hop_p95 : float;
   elims_per_hop_max : float;
+  slice_states : int;
+      (** Total states of the computation slice for the sliced arm of
+          E17 ([job.param = 1]); zero everywhere else. Deterministic:
+          the slice is a function of the computation and the spec. *)
+  slice_ns : int;
+      (** Wall time of slice construction (machine-dependent; zero
+          outside E17's sliced arm). *)
   wall_ns : int;  (** machine-dependent *)
   alloc_bytes : int;  (** machine-dependent (GC promotion noise) *)
 }
@@ -108,9 +118,12 @@ val e15_sessions : int
     run (see [outcome]). *)
 
 val schema : string
-(** Document schema tag, ["wcp-bench/4"] (v2 added the fault-recovery
+(** Document schema tag, ["wcp-bench/5"] (v2 added the fault-recovery
     counters; v3 the trace-derived histogram summaries; v4 E15/E16 and
-    the gated + delta-encoded wire defaults). *)
+    the gated + delta-encoded wire defaults; v5 E17 computation
+    slicing, the [slice_states]/[slice_ns] fields, and packed dd
+    snapshot + poll pricing under [delta], which moves dd bit
+    counts). *)
 
 val emit : profile:profile -> metrics array -> string
 (** JSON document, one result record per line. *)

@@ -580,6 +580,82 @@ let e16 () =
     [ "token-vc"; "token-multi"; "checker" ]
 
 (* ------------------------------------------------------------------ *)
+(* E17: computation slicing, sparse-truth sweep                        *)
+(* ------------------------------------------------------------------ *)
+
+let e17 () =
+  header "E17 computation slicing: detect on the slice vs the dense run"
+    "claim: sparse truth (p_pred=0.02) cuts events examined >= 2x at n=32; \
+     cuts identical";
+  let open Wcp_bench.Bench_json in
+  Printf.printf "%-12s %4s %11s %12s %12s %7s %9s\n" "algo" "n" "slice-state"
+    "dense-event" "slice-event" "ratio" "same-cut";
+  List.iter
+    (fun algo ->
+      List.iter
+        (fun n ->
+          let run param seed =
+            run_job
+              {
+                experiment = "E17";
+                algo;
+                n;
+                m = 20;
+                p_pred = 0.02;
+                seed;
+                param;
+              }
+          in
+          let rows = List.map (fun s -> (run 0 s, run 1 s)) [ 1; 2; 3 ] in
+          let dense = mean_i (List.map (fun (d, _) -> d.events) rows) in
+          let sliced = mean_i (List.map (fun (_, s) -> s.events) rows) in
+          let sstates = mean_i (List.map (fun (_, s) -> s.slice_states) rows) in
+          (* Identical verdicts: the sliced arm's remapped cut (and every
+             deterministic field that is a function of it — outcome,
+             states examined per the slice's own accounting aside) must
+             agree with the dense arm's. Everything that legitimately
+             shrinks on the slice is zeroed before the comparison. *)
+          let norm r =
+            {
+              r with
+              states = 0;
+              hops = 0;
+              polls = 0;
+              snapshots = 0;
+              merges = 0;
+              work = 0;
+              max_work = 0;
+              messages = 0;
+              bits = 0;
+              events = 0;
+              sim_time = 0.;
+              trace_events = 0;
+              eliminations = 0;
+              hop_p50 = 0.;
+              hop_p95 = 0.;
+              hop_max = 0.;
+              elims_per_hop_p50 = 0.;
+              elims_per_hop_p95 = 0.;
+              elims_per_hop_max = 0.;
+              slice_states = 0;
+              job = { r.job with param = 0 };
+            }
+          in
+          let same =
+            List.for_all
+              (fun (d0, d1) ->
+                deterministic_equal (norm d0) (norm d1)
+                && d0.outcome = d1.outcome)
+              rows
+          in
+          Printf.printf "%-12s %4d %11d %12d %12d %7.2f %9s\n" algo n sstates
+            dense sliced
+            (float_of_int dense /. float_of_int (max 1 sliced))
+            (if same then "yes" else "NO"))
+        [ 8; 16; 32 ])
+    [ "token-vc"; "token-dd"; "token-dd-par"; "token-multi"; "checker" ]
+
+(* ------------------------------------------------------------------ *)
 (* E13: Bechamel micro-benchmarks                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -644,7 +720,8 @@ let tables () =
   e12 ();
   e14 ();
   e15 ();
-  e16 ()
+  e16 ();
+  e17 ()
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable harness (JSON) and the perf-regression gate        *)

@@ -246,6 +246,18 @@ let groups_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "per-process" ] ~doc:"Print per-process stats.")
 
+let slice_arg =
+  Arg.(
+    value & flag
+    & info [ "slice" ]
+        ~doc:
+          "Detect on the computation slice instead of the dense \
+           computation (DESIGN.md §10): only predicate-true states (plus \
+           the communication skeleton) are replayed, and the reported cut \
+           is mapped back to dense state indices — byte-identical to the \
+           dense run's cut. Engine-backed algorithms only; with the \
+           checker, incompatible with channel predicates.")
+
 (* The DESIGN.md §3 accounting policy the space column follows; printed
    alongside --per-process output so the units are never ambiguous. *)
 let space_policy =
@@ -289,7 +301,15 @@ let write_trace recorder ~path ~format =
        else "")
   end
 
-let run_algo ?fault ?recorder algo ~groups ~seed comp spec =
+let run_algo ?fault ?recorder ?(slice = false) algo ~groups ~seed comp spec =
+  let options = Detection.options ~slice () in
+  (match (slice, algo) with
+  | true, (Oracle_a | Cm | Strong_a) ->
+      prerr_endline
+        "wcpdetect: --slice needs an engine-backed algorithm (token-vc, \
+         multi-token, token-dd, token-dd-par or checker)";
+      exit 2
+  | _ -> ());
   (match (fault, algo) with
   | Some _, (Checker | Oracle_a | Cm | Strong_a) ->
       prerr_endline
@@ -304,16 +324,19 @@ let run_algo ?fault ?recorder algo ~groups ~seed comp spec =
       exit 2
   | _ -> ());
   match algo with
-  | Vc -> Some (Token_vc.detect ?fault ?recorder ~seed comp spec)
+  | Vc -> Some (Token_vc.detect ?fault ?recorder ~options ~seed comp spec)
   | Multi ->
       Some
-        (Token_multi.detect ?fault ?recorder
+        (Token_multi.detect ?fault ?recorder ~options
            ~groups:(min groups (Spec.width spec))
            ~seed comp spec)
-  | Dd -> Some (Token_dd.detect ?fault ?recorder ~seed comp spec)
+  | Dd -> Some (Token_dd.detect ?fault ?recorder ~options ~seed comp spec)
   | Dd_par ->
-      Some (Token_dd.detect ?fault ?recorder ~parallel:true ~seed comp spec)
-  | Checker -> Some (Checker_centralized.detect ?recorder ~seed comp spec)
+      Some
+        (Token_dd.detect ?fault ?recorder ~options ~parallel:true ~seed comp
+           spec)
+  | Checker ->
+      Some (Checker_centralized.detect ?recorder ~options ~seed comp spec)
   | Oracle_a ->
       Format.printf "oracle: %a@." Detection.pp_outcome
         (Oracle.first_cut comp spec);
@@ -341,8 +364,8 @@ let run_algo ?fault ?recorder algo ~groups ~seed comp spec =
       None
 
 let detect_cmd =
-  let run trace algo groups procs seed verbose drop dup crashes fault_seed
-      trace_out trace_format =
+  let run trace algo groups procs seed verbose slice drop dup crashes
+      fault_seed trace_out trace_format =
     let comp = Trace_codec.read_file trace in
     let spec = spec_of comp procs in
     let fault = fault_plan ~drop ~dup ~crashes ~fault_seed in
@@ -351,7 +374,7 @@ let detect_cmd =
       | None -> None
       | Some _ -> Some (Wcp_obs.Recorder.create ())
     in
-    match run_algo ?fault ?recorder algo ~groups ~seed comp spec with
+    match run_algo ?fault ?recorder ~slice algo ~groups ~seed comp spec with
     | None -> ()
     | Some r ->
         Format.printf "%a@." Detection.pp_result r;
@@ -367,8 +390,8 @@ let detect_cmd =
     (Cmd.info "detect" ~doc:"Run a detection algorithm on a trace.")
     Term.(
       const (fun () -> run) $ setup_logs $ trace_arg $ algo_arg $ groups_arg
-      $ procs_arg $ seed_arg $ verbose_arg $ drop_arg $ dup_arg $ crash_arg
-      $ fault_seed_arg $ trace_out_arg $ trace_format_arg)
+      $ procs_arg $ seed_arg $ verbose_arg $ slice_arg $ drop_arg $ dup_arg
+      $ crash_arg $ fault_seed_arg $ trace_out_arg $ trace_format_arg)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                               *)

@@ -1,7 +1,15 @@
 open Wcp_trace
 open Wcp_sim
 
-let detect ?network ?recorder ?(delta = true) ~seed comp spec =
+let rec detect ?network ?recorder ?(options = Detection.default_options) ~seed
+    comp spec =
+  if options.Detection.slice then
+    Run_common.with_slice ~keep_rest:false comp spec ~run:(fun sliced spec' ->
+        detect ?network ?recorder
+          ~options:{ options with Detection.slice = false }
+          ~seed sliced spec')
+  else
+  let { Detection.gated; delta; slice = _ } = options in
   let n = Computation.n comp in
   let width = Spec.width spec in
   let engine = Run_common.make_engine ?network ?recorder ~seed comp in
@@ -137,7 +145,7 @@ let detect ?network ?recorder ?(delta = true) ~seed comp spec =
   App_replay.install engine comp
     ?app_bits:(if delta then Some (Wire.replay_app_bits comp spec) else None)
     ~snapshots:(fun p ->
-      if Spec.mem spec p then Wire.encoded_stream ~delta comp spec ~proc:p
+      if Spec.mem spec p then Wire.encoded_stream ~gated ~delta comp spec ~proc:p
       else [])
     ~snapshot_dst:(fun p -> if Spec.mem spec p then Some checker else None)
     ~spec_width:width ();

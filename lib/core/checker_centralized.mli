@@ -17,10 +17,12 @@ open Wcp_trace
 open Wcp_sim
 
 val detect :
-  ?network:Network.t -> ?recorder:Wcp_obs.Recorder.t -> ?delta:bool ->
+  ?network:Network.t -> ?recorder:Wcp_obs.Recorder.t ->
+  ?options:Detection.options ->
   seed:int64 -> Computation.t -> Spec.t -> Detection.result
 (** [recorder] (default none) records snapshot arrivals and every
     happened-before elimination with both candidates' vector clocks;
-    see {!Wcp_sim.Engine.create}. [delta] as in {!Token_vc.detect}:
-    delta-encoded snapshots and application tags when [true] (the
-    default); detection behaviour identical either way. *)
+    see {!Wcp_sim.Engine.create}. [options] as in {!Token_vc.detect}:
+    wire encoding ([delta]), interval gating ([gated]) and computation
+    slicing ([slice]); detection behaviour identical under every
+    setting. *)

@@ -3,7 +3,22 @@ open Wcp_sim
 
 type candidate = { state : int; clock : int array; counts : int array }
 
-let detect ?network ?recorder ~seed ~channels comp spec =
+let rec detect ?network ?recorder ?(options = Detection.default_options) ~seed
+    ~channels comp spec =
+  if options.Detection.slice then begin
+    (* Channel predicates count in-flight messages; a slice replaces
+       real messages with skeleton edges, so send/receive counts are
+       not slice-invariant. Only the pure-WCP instance may be sliced. *)
+    if channels <> [] then
+      invalid_arg
+        "Checker_gcp.detect: channel counts are not slice-invariant (use \
+         slice only with ~channels:[])";
+    Run_common.with_slice ~keep_rest:true comp spec ~run:(fun sliced spec' ->
+        detect ?network ?recorder
+          ~options:{ options with Detection.slice = false }
+          ~seed ~channels sliced spec')
+  end
+  else
   let n = Computation.n comp in
   let holds =
     List.map

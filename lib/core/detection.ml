@@ -6,6 +6,13 @@ type outcome =
   | No_detection
   | Undetectable_crashed of int list
 
+type options = { gated : bool; delta : bool; slice : bool }
+
+let default_options = { gated = true; delta = true; slice = false }
+
+let options ?(gated = true) ?(delta = true) ?(slice = false) () =
+  { gated; delta; slice }
+
 type extras = { token_hops : int; polls : int; snapshots : int; merges : int }
 
 let no_extras = { token_hops = 0; polls = 0; snapshots = 0; merges = 0 }
@@ -25,6 +32,10 @@ let outcome_equal a b =
   | Undetectable_crashed p1, Undetectable_crashed p2 ->
       List.sort_uniq compare p1 = List.sort_uniq compare p2
   | (Detected _ | No_detection | Undetectable_crashed _), _ -> false
+
+let remap_outcome f = function
+  | Detected cut -> Detected (f cut)
+  | (No_detection | Undetectable_crashed _) as o -> o
 
 let project_outcome spec = function
   | No_detection -> No_detection

@@ -20,6 +20,26 @@ type outcome =
           permanently or became unreachable, so the protocol cannot
           decide the predicate. Reported instead of hanging. *)
 
+type options = {
+  gated : bool;
+      (** interval-gated snapshots: ship at most one candidate per
+          message interval (sound, see {!Snapshot.vc_stream}) *)
+  delta : bool;
+      (** delta/packed wire encoding and accounting (DESIGN.md §9) *)
+  slice : bool;
+      (** run the detector on the computation slice (DESIGN.md §10)
+          and map the detected cut back to dense coordinates *)
+}
+(** Per-run knobs shared by every detector entry point. Declared once
+    here so the flags cannot drift between algorithms (they used to be
+    re-threaded through each [detect] signature separately). *)
+
+val default_options : options
+(** [{ gated = true; delta = true; slice = false }]. *)
+
+val options : ?gated:bool -> ?delta:bool -> ?slice:bool -> unit -> options
+(** {!default_options} with individual fields overridden. *)
+
 type extras = {
   token_hops : int;  (** times the token changed monitor *)
   polls : int;  (** §4 poll messages issued *)
@@ -41,6 +61,10 @@ type result = {
 }
 
 val outcome_equal : outcome -> outcome -> bool
+
+val remap_outcome : (Cut.t -> Cut.t) -> outcome -> outcome
+(** Apply a cut transformation to a [Detected] outcome (identity on
+    the other outcomes) — e.g. a slice's dense-coordinate remap. *)
 
 val project_outcome : Spec.t -> outcome -> outcome
 (** Restrict a [Detected] cut to the spec processes (identity on the

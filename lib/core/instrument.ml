@@ -15,6 +15,7 @@ type t = {
   mutable scalar : int;  (* 1-based local state index (both modes) *)
   deps : Dependence.accumulator;  (* Dd mode: since the last snapshot *)
   encoder : Wire.snap_encoder option;  (* Vc mode delta channel state *)
+  delta : bool;  (* Dd mode: pack snapshot dependences on the wire *)
   mutable firstflag : bool;
   gated : bool;
   mutable gate_open : bool;
@@ -23,7 +24,9 @@ type t = {
   mutable finished : bool;
 }
 
-let create ?(gated = true) ?(delta = true) ~mode ~n_app ~wcp_procs ~proc () =
+let create ?(options = Detection.default_options) ~mode ~n_app ~wcp_procs
+    ~proc () =
+  let { Detection.gated; delta; slice = _ } = options in
   if proc < 0 || proc >= n_app then invalid_arg "Instrument.create: bad proc";
   let width = Array.length wcp_procs in
   if width = 0 then invalid_arg "Instrument.create: empty WCP";
@@ -50,6 +53,7 @@ let create ?(gated = true) ?(delta = true) ~mode ~n_app ~wcp_procs ~proc () =
       (match mode with
       | Vc when delta -> Some (Wire.snap_encoder ~width)
       | Vc | Dd -> None);
+    delta;
     firstflag = true;
     gated;
     gate_open = true;
@@ -70,7 +74,10 @@ let snapshot_message t =
       | None ->
           Messages.Snap_vc
             { Snapshot.state = t.scalar; clock = Array.copy t.clock })
-  | Dd -> Messages.Snap_dd { Snapshot.state = t.scalar; deps = Dependence.drain t.deps }
+  | Dd ->
+      let deps = Dependence.drain t.deps in
+      if t.delta then Wire.encode_dd ~state:t.scalar deps
+      else Messages.Snap_dd { Snapshot.state = t.scalar; deps }
 
 let spec_width t = match t.mode with Vc -> t.width | Dd -> 1
 

@@ -38,8 +38,7 @@ type tag = Messages.tag
 type t
 
 val create :
-  ?gated:bool ->
-  ?delta:bool ->
+  ?options:Detection.options ->
   mode:mode ->
   n_app:int ->
   wcp_procs:int array ->
@@ -49,18 +48,24 @@ val create :
 (** One instrument per application process. [wcp_procs]: sorted,
     distinct ids of the processes carrying local predicates.
 
-    [gated] (default [true]) enables interval gating: a snapshot is
-    shipped only when the process has performed a send since the last
-    shipped snapshot (the first one always ships). Dropping the other
+    [options] (default {!Detection.default_options}) carries the same
+    shared knobs as the [detect] entry points; [options.slice] is
+    ignored here (live slicing is the monitor side's business, via
+    {!Wcp_slice.Slice.Incremental}).
+
+    [options.gated] enables interval gating: a snapshot is shipped
+    only when the process has performed a send since the last shipped
+    snapshot (the first one always ships). Dropping the other
     candidates never changes the detected cut — see
     {!Snapshot.vc_stream} for the argument — and in [Dd] mode their
     direct dependences stay in the accumulator and ride along with the
     next shipped snapshot.
 
-    [delta] (default [true], [Vc] mode only) ships snapshots
-    hybrid delta/dense encoded over the FIFO channel to the monitor
-    ({!Wire.encode_snap}); the {!Token_vc.install} monitors decode both
-    forms transparently. *)
+    [options.delta] ships snapshots encoded: hybrid delta/dense over
+    the FIFO channel to the monitor in [Vc] mode ({!Wire.encode_snap}),
+    packed dependence words in [Dd] mode ({!Wire.encode_dd}); the
+    {!Token_vc.install} / {!Token_dd.install} monitors decode every
+    form transparently. *)
 
 val state_index : t -> int
 (** Current local state (1-based interval index). *)

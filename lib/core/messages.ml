@@ -8,6 +8,7 @@ type t =
   | Snap_vc of Snapshot.vc
   | Snap_vc_delta of { state : int; delta : int array }
   | Snap_dd of Snapshot.dd
+  | Snap_dd_packed of { state : int; deps : int array }
   | Snap_gcp of { state : int; clock : int array; counts : int array }
   | App_done
   | Vc_token of { seq : int; g : int array; color : color array }
@@ -38,6 +39,10 @@ let rec bits ~spec_width = function
      packed 10/22-bit layout, so the charge matches the wire. *)
   | Snap_vc_delta { delta; _ } -> word * (2 + (Array.length delta / 2))
   | Snap_dd { deps; _ } -> word * (1 + (2 * List.length deps))
+  (* State word + ONE packed word per (src, clock) dependence —
+     {!Wire.encode_dd} only emits this form when every pair fits the
+     packed 10/22-bit layout, so the charge matches the wire. *)
+  | Snap_dd_packed { deps; _ } -> word * (1 + Array.length deps)
   | Snap_gcp { clock; counts; _ } ->
       word * (1 + Array.length clock + Array.length counts)
   | App_done -> word
@@ -72,6 +77,8 @@ let rec pp ppf = function
       Format.fprintf ppf "snap-vcd@%d(%d pairs)" state (Array.length delta / 2)
   | Snap_dd { state; deps } ->
       Format.fprintf ppf "snap-dd@%d(%d deps)" state (List.length deps)
+  | Snap_dd_packed { state; deps } ->
+      Format.fprintf ppf "snap-ddp@%d(%d deps)" state (Array.length deps)
   | Snap_gcp { state; counts; _ } ->
       Format.fprintf ppf "snap-gcp@%d(%d channels)" state (Array.length counts)
   | App_done -> Format.pp_print_string ppf "app-done"

@@ -32,6 +32,11 @@ type t =
           only when strictly smaller than the dense {!Snap_vc}
           ({!Wire} implements the hybrid choice and the decode). *)
   | Snap_dd of Snapshot.dd  (** §4.1 local snapshot *)
+  | Snap_dd_packed of { state : int; deps : int array }
+      (** §4.1 local snapshot with each (src, clock) dependence packed
+          into one 10-bit-src/22-bit-clock word ({!Wire.encode_dd}
+          emits it only when every dependence fits; {!Wire.decode_dd}
+          restores the dense {!Snap_dd}). *)
   | Snap_gcp of { state : int; clock : int array; counts : int array }
       (** GCP-mode snapshot ([6], see {!Checker_gcp}): full [N]-wide
           vector clock plus, per monitored channel on which this
@@ -74,7 +79,7 @@ val bits : spec_width:int -> t -> int
       [2 + pairs] words (state, pair count, then ONE packed
       10-bit-index/22-bit-value word per pair — {!Wire.encode_snap}
       falls back to dense whenever a pair would not fit);
-      [Snap_dd]: [1 + 2·|deps|];
+      [Snap_dd]: [1 + 2·|deps|]; [Snap_dd_packed]: [1 + |deps|] words;
     - [Snap_gcp]: [1 + N + #channels] words;
     - [Vc_token]/[Group_token]/[Group_return]: [2·spec_width] words
       ([G] plus colors);

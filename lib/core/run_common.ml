@@ -75,3 +75,14 @@ let finish ?fault engine ~outcome ~extras =
       | Some plan when Fault.permanently_crashed plan <> [] ->
           result (Detection.Undetectable_crashed (Fault.permanently_crashed plan))
       | _ -> failwith "detection run ended without an outcome")
+
+let with_slice ~keep_rest comp spec ~run =
+  let sl = Wcp_slice.Slice.for_spec ~keep_rest comp ~procs:(Spec.procs spec) in
+  let sliced = Wcp_slice.Slice.computation sl in
+  let spec' = Spec.make sliced (Spec.procs spec) in
+  let r : Detection.result = run sliced spec' in
+  {
+    r with
+    Detection.outcome =
+      Detection.remap_outcome (Wcp_slice.Slice.remap_cut sl) r.Detection.outcome;
+  }

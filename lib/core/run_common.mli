@@ -86,3 +86,16 @@ val finish :
     @raise Failure if the queue drains without an announcement and no
     permanent crash explains it (a protocol bug, surfaced loudly for
     the test suite). *)
+
+val with_slice :
+  keep_rest:bool ->
+  Computation.t ->
+  Spec.t ->
+  run:(Computation.t -> Spec.t -> Detection.result) ->
+  Detection.result
+(** Slice the computation for the spec (see {!Wcp_slice.Slice.for_spec}),
+    run the detector on the slice, and remap the detected cut back to
+    dense coordinates. Every [detect ?options] entry point with
+    [options.slice = true] is this wrapper around its dense self;
+    [keep_rest] is [true] for the algorithms whose cuts span all [N]
+    processes (direct dependence, GCP). *)

@@ -33,7 +33,7 @@ type monitors = {
 }
 
 let install engine ~n_app ~parallel ?net ?watchdog ?check ?(stop = true)
-    ?(start_at = 0) ~outcome ~hops ~polls ~snapshots () =
+    ?(start_at = 0) ?(delta = true) ~outcome ~hops ~polls ~snapshots () =
   let net = match net with Some n -> n | None -> Run_common.raw_net engine in
   (* Fetched once; tracing off means every hook below is one match. *)
   let recorder = Engine.recorder engine in
@@ -98,7 +98,12 @@ let install engine ~n_app ~parallel ?net ?watchdog ?check ?(stop = true)
                      clock = d.Dependence.clock;
                    }));
           let msg = Messages.Poll { clock = d.Dependence.clock; next_red = m.next_red } in
-          net.Run_common.send ctx ~bits:(bits msg)
+          let poll_cost =
+            if delta then
+              Wire.poll_bits ~clock:d.Dependence.clock ~next_red:m.next_red
+            else bits msg
+          in
+          net.Run_common.send ctx ~bits:poll_cost
             ~dst:(monitor_id d.Dependence.src) msg
       | [] -> (
           let tentative_valid =
@@ -189,7 +194,8 @@ let install engine ~n_app ~parallel ?net ?watchdog ?check ?(stop = true)
   in
   let on_message m ctx ~src msg =
     match msg with
-    | Messages.Snap_dd s ->
+    | Messages.Snap_dd _ | Messages.Snap_dd_packed _ ->
+        let s = Wire.decode_dd msg in
         incr snapshots_seen;
         (match recorder with
         | None -> ()
@@ -360,8 +366,16 @@ let check_invariants comp ~g ~color ~next_red ~next =
         (Printf.sprintf "Lemma 4.2(3) violated: red monitor %d off the chain" i)
   done
 
-let detect ?network ?fault ?recorder ?(parallel = false)
-    ?(invariant_checks = false) ?start_at ~seed comp spec =
+let rec detect ?network ?fault ?recorder ?(parallel = false)
+    ?(invariant_checks = false) ?start_at
+    ?(options = Detection.default_options) ~seed comp spec =
+  if options.Detection.slice then
+    Run_common.with_slice ~keep_rest:true comp spec ~run:(fun sliced spec' ->
+        detect ?network ?fault ?recorder ~parallel ~invariant_checks ?start_at
+          ~options:{ options with Detection.slice = false }
+          ~seed sliced spec')
+  else
+  let { Detection.gated; delta; slice = _ } = options in
   let n = Computation.n comp in
   let fault =
     match fault with Some p when not (Fault.is_none p) -> Some p | _ -> None
@@ -388,16 +402,18 @@ let detect ?network ?fault ?recorder ?(parallel = false)
         (Some (Token_vc.chaos_net engine ~outcome), Some (Watchdog.create ()))
   in
   let monitors =
-    install engine ~n_app:n ~parallel ?net ?watchdog ?check ?start_at ~outcome
-      ~hops ~polls ~snapshots ()
+    install engine ~n_app:n ~parallel ?net ?watchdog ?check ?start_at ~delta
+      ~outcome ~hops ~polls ~snapshots ()
   in
   (* Application side: §4.1 snapshots, from every process. *)
   App_replay.install engine comp ?net
     ~snapshots:(fun p ->
       List.map
         (fun (s : Snapshot.dd) ->
-          ((s.state : int), Messages.Snap_dd s))
-        (Snapshot.dd_stream comp spec ~proc:p))
+          ( (s.state : int),
+            if delta then Wire.encode_dd ~state:s.state s.deps
+            else Messages.Snap_dd s ))
+        (Snapshot.dd_stream ~gated comp spec ~proc:p))
     ~snapshot_dst:(fun p -> Some (Run_common.monitor_of ~n p))
     ~spec_width:1 ();
   start engine monitors;

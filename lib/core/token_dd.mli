@@ -56,6 +56,7 @@ val install :
     unit) ->
   ?stop:bool ->
   ?start_at:int ->
+  ?delta:bool ->
   outcome:Detection.outcome option ref ->
   hops:int ref ->
   polls:int ref ->
@@ -67,7 +68,10 @@ val install :
     snapshot streams, which is why live monitoring needs no recorded
     computation). The engine must follow the {!Run_common} id layout.
     The detected cut spans all [n_app] processes. [stop], [net] and
-    [watchdog] as in {!Token_vc.install}. *)
+    [watchdog] as in {!Token_vc.install}. [delta] (default [true])
+    charges each §4 poll its packed one-word size ({!Wire.poll_bits})
+    instead of the dense two words; the monitors decode both dd
+    snapshot forms either way. *)
 
 val start : Messages.t Engine.t -> monitors -> unit
 (** Hand the token to the head of the initial red chain (the monitor of
@@ -81,6 +85,7 @@ val detect :
   ?parallel:bool ->
   ?invariant_checks:bool ->
   ?start_at:int ->
+  ?options:Detection.options ->
   seed:int64 ->
   Computation.t ->
   Spec.t ->
@@ -89,6 +94,12 @@ val detect :
     {!Detection.project_outcome} to compare against the oracle.
     [fault] as in {!Token_vc.detect}: reliable transport + token
     watchdog + graceful [Undetectable_crashed] degradation.
+    [options] as in {!Token_vc.detect}; for this algorithm [delta]
+    packs §4.1 snapshot dependences ({!Wire.encode_dd}) and prices
+    polls at their packed size ({!Wire.poll_bits}) — red-chain
+    prefetch/poll traffic included ([~parallel:true], experiment E8) —
+    and [slice] keeps {e every} state of non-spec processes (the cut
+    spans all [N]).
     [invariant_checks] re-validates Lemma 4.2(1-3) against the recorded
     computation at every commit point (sequential mode only; the
     statements quantify over quiescent protocol states, which

@@ -21,8 +21,15 @@ type leader = {
 
 type assignment = Round_robin | Blocks
 
-let detect ?network ?fault ?recorder ?(assignment = Round_robin)
-    ?(delta = true) ~groups ~seed comp spec =
+let rec detect ?network ?fault ?recorder ?(assignment = Round_robin)
+    ?(options = Detection.default_options) ~groups ~seed comp spec =
+  if options.Detection.slice then
+    Run_common.with_slice ~keep_rest:false comp spec ~run:(fun sliced spec' ->
+        detect ?network ?fault ?recorder ~assignment
+          ~options:{ options with Detection.slice = false }
+          ~groups ~seed sliced spec')
+  else
+  let { Detection.gated; delta; slice = _ } = options in
   let n = Computation.n comp in
   let width = Spec.width spec in
   if groups < 1 || groups > width then
@@ -317,7 +324,7 @@ let detect ?network ?fault ?recorder ?(assignment = Round_robin)
     ?net:(if chaos then Some net else None)
     ?app_bits:(if delta then Some (Wire.replay_app_bits comp spec) else None)
     ~snapshots:(fun p ->
-      if Spec.mem spec p then Wire.encoded_stream ~delta comp spec ~proc:p
+      if Spec.mem spec p then Wire.encoded_stream ~gated ~delta comp spec ~proc:p
       else [])
     ~snapshot_dst:(fun p ->
       if Spec.mem spec p then Some (Run_common.monitor_of ~n p) else None)

@@ -27,7 +27,7 @@ val detect :
   ?fault:Fault.plan ->
   ?recorder:Wcp_obs.Recorder.t ->
   ?assignment:assignment ->
-  ?delta:bool ->
+  ?options:Detection.options ->
   groups:int ->
   seed:int64 ->
   Computation.t ->
@@ -37,7 +37,7 @@ val detect :
     monitors into groups — the paper leaves it open; bench E10 ablates
     the choice. [fault] as in {!Token_vc.detect}: reliable transport,
     one watchdog per group token, graceful [Undetectable_crashed]
-    degradation. [delta] as in {!Token_vc.detect}: wire-encoded
-    snapshots/tokens/tags when [true] (the default), dense formulas
-    when [false]; detection behaviour identical either way.
+    degradation. [options] as in {!Token_vc.detect}: wire encoding
+    ([delta]), interval gating ([gated]) and computation slicing
+    ([slice]); detection behaviour identical under every setting.
     @raise Invalid_argument if [groups < 1] or [groups > Spec.width]. *)

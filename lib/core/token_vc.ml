@@ -307,8 +307,15 @@ let start engine monitors =
   Engine.schedule_initial engine ~proc:monitors.start_id ~at:0.0
     monitors.start_token
 
-let detect ?network ?fault ?recorder ?(invariant_checks = false) ?start_at
-    ?(delta = true) ~seed comp spec =
+let rec detect ?network ?fault ?recorder ?(invariant_checks = false) ?start_at
+    ?(options = Detection.default_options) ~seed comp spec =
+  if options.Detection.slice then
+    Run_common.with_slice ~keep_rest:false comp spec ~run:(fun sliced spec' ->
+        detect ?network ?fault ?recorder ~invariant_checks ?start_at
+          ~options:{ options with Detection.slice = false }
+          ~seed sliced spec')
+  else
+  let { Detection.gated; delta; slice = _ } = options in
   let n = Computation.n comp in
   let width = Spec.width spec in
   let fault =
@@ -335,7 +342,7 @@ let detect ?network ?fault ?recorder ?(invariant_checks = false) ?start_at
   App_replay.install engine comp ?net
     ?app_bits:(if delta then Some (Wire.replay_app_bits comp spec) else None)
     ~snapshots:(fun p ->
-      if Spec.mem spec p then Wire.encoded_stream ~delta comp spec ~proc:p
+      if Spec.mem spec p then Wire.encoded_stream ~gated ~delta comp spec ~proc:p
       else [])
     ~snapshot_dst:(fun p ->
       if Spec.mem spec p then Some (Run_common.monitor_of ~n p) else None)

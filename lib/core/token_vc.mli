@@ -86,7 +86,7 @@ val detect :
   ?recorder:Wcp_obs.Recorder.t ->
   ?invariant_checks:bool ->
   ?start_at:int ->
-  ?delta:bool ->
+  ?options:Detection.options ->
   seed:int64 ->
   Computation.t ->
   Spec.t ->
@@ -108,10 +108,16 @@ val detect :
     peer yields [Undetectable_crashed] instead of a hang. Passing
     [Fault.none] is identical to omitting [fault].
 
-    [delta] (default [true]) runs the wire-efficiency layer: snapshots
-    ship hybrid delta/dense ({!Wire.encoded_stream}), token hops and
-    application clock tags are charged their encoded size. With
-    [~delta:false] every payload and charge uses the dense formulas —
-    the E16 baseline. The flag changes no message {e counts} and no
-    RNG draws, so outcome, detected cut, hops and snapshot counts are
-    identical across both settings; only [bits] differs. *)
+    [options] (default {!Detection.default_options}) bundles the
+    per-run knobs shared by every detector. [options.delta] runs the
+    wire-efficiency layer: snapshots ship hybrid delta/dense
+    ({!Wire.encoded_stream}), token hops and application clock tags
+    are charged their encoded size; with [delta = false] every payload
+    and charge uses the dense formulas — the E16 baseline. The flag
+    changes no message {e counts} and no RNG draws, so outcome,
+    detected cut, hops and snapshot counts are identical across both
+    settings; only [bits] differs. [options.gated] toggles interval
+    gating of the snapshot streams. [options.slice] first slices the
+    computation ({!Run_common.with_slice}, keeping only spec-process
+    anchors), detects on the slice, and remaps the cut back to dense
+    coordinates — same outcome, fewer events examined (bench E17). *)

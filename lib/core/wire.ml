@@ -64,12 +64,67 @@ let decode_snap dec msg =
       { Snapshot.state; clock }
   | _ -> invalid_arg "Wire.decode_snap: not a vc snapshot"
 
-(* Each spec process's gated snapshot stream as replay-ready
-   (state, message) pairs, hybrid-encoded when [delta]. Shared by the
-   three vc-family detectors. *)
-let encoded_stream ~delta comp spec ~proc =
+(* --- Direct-dependence snapshot codec ---------------------------- *)
+
+(* §4.1 snapshots are already small — a state word plus (src, clock)
+   pairs — but each pair fits the same 10/22-bit packed word the vc
+   delta uses (src is a process id, clock a scalar state index), so
+   packing halves the per-dependence cost. Stateless: deps carry
+   absolute values, so no channel cache and no FIFO requirement. *)
+
+let dd_packable deps =
+  List.for_all
+    (fun (d : Wcp_clocks.Dependence.t) ->
+      d.Dependence.src < 1024 && d.Dependence.clock < 0x40_0000 && d.Dependence.clock >= 0)
+    deps
+
+let encode_dd ~state deps =
+  if dd_packable deps then
+    Messages.Snap_dd_packed
+      {
+        state;
+        deps =
+          Array.of_list
+            (List.map
+               (fun (d : Wcp_clocks.Dependence.t) ->
+                 (d.Dependence.src lsl 22) lor d.Dependence.clock)
+               deps);
+      }
+  else Messages.Snap_dd { Snapshot.state; deps }
+
+let decode_dd = function
+  | Messages.Snap_dd s -> s
+  | Messages.Snap_dd_packed { state; deps } ->
+      {
+        Snapshot.state;
+        deps =
+          Array.to_list
+            (Array.map
+               (fun w ->
+                 { Dependence.src = w lsr 22; clock = w land 0x3F_FFFF })
+               deps);
+      }
+  | _ -> invalid_arg "Wire.decode_dd: not a dd snapshot"
+
+(* --- Poll accounting (accounting only) --------------------------- *)
+
+(* A §4 poll carries a scalar clock and the red-chain successor: a
+   21-bit clock and an 11-bit successor (with one sentinel value for
+   [None]) share one word; anything larger falls back to the dense
+   two-word form. Polls stay materialised as {!Messages.Poll} inside
+   the simulation — this prices the encoded form, exactly like the
+   token meter. *)
+let poll_bits ~clock ~next_red =
+  let nr = match next_red with None -> 0 | Some p -> p + 1 in
+  if clock >= 0 && clock < 0x20_0000 && nr < 0x800 then word else word * 2
+
+(* Each spec process's snapshot stream as replay-ready
+   (state, message) pairs, interval-gated when [gated] and
+   hybrid-encoded when [delta]. Shared by the three vc-family
+   detectors. *)
+let encoded_stream ?(gated = true) ~delta comp spec ~proc =
   let width = Spec.width spec in
-  let stream = Snapshot.vc_stream comp spec ~proc in
+  let stream = Snapshot.vc_stream ~gated comp spec ~proc in
   if delta then
     let enc = snap_encoder ~width in
     List.map

@@ -66,12 +66,35 @@ val decode_snap : snap_decoder -> Messages.t -> Snapshot.vc
     the channel cache.
     @raise Invalid_argument on any other message. *)
 
+(** {2 Direct-dependence snapshot codec} *)
+
+val encode_dd : state:int -> Wcp_clocks.Dependence.t list -> Messages.t
+(** Hybrid encode of a §4.1 snapshot: {!Messages.Snap_dd_packed} with
+    one 10-bit-src/22-bit-clock word per dependence when every
+    dependence fits, dense {!Messages.Snap_dd} otherwise. Stateless
+    (dependences are absolute), so it needs no channel cache. *)
+
+val decode_dd : Messages.t -> Snapshot.dd
+(** Decode either dd-snapshot form back to the dense record.
+    @raise Invalid_argument on any other message. *)
+
+val poll_bits : clock:int -> next_red:int option -> int
+(** Encoded wire size of a §4 {!Messages.Poll}: one word when the
+    scalar clock fits 21 bits and the successor 11 (with a [None]
+    sentinel), the dense two words otherwise. Accounting only — polls
+    are materialised as {!Messages.Poll} either way. *)
+
 val encoded_stream :
-  delta:bool -> Computation.t -> Spec.t -> proc:int -> (int * Messages.t) list
-(** The gated {!Snapshot.vc_stream} of a spec process as replay-ready
-    [(state, message)] pairs — hybrid-encoded when [delta], dense
-    {!Messages.Snap_vc} otherwise. Shared by the vc-family
-    detectors. *)
+  ?gated:bool ->
+  delta:bool ->
+  Computation.t ->
+  Spec.t ->
+  proc:int ->
+  (int * Messages.t) list
+(** The {!Snapshot.vc_stream} of a spec process as replay-ready
+    [(state, message)] pairs — interval-gated when [gated] (default
+    [true]), hybrid-encoded when [delta], dense {!Messages.Snap_vc}
+    otherwise. Shared by the vc-family detectors. *)
 
 (** {2 Token wire-size meter} *)
 

@@ -22,6 +22,19 @@ The oracle and every detection algorithm agree on it:
   $ wcpdetect detect run.trace -a multi-token --groups 2 | cut -d'|' -f1
   detected {0:6 1:3 2:8 3:2} 
 
+Detection on the computation slice reports the same cut in dense
+coordinates (DESIGN.md §10) — only the replayed computation shrinks:
+
+  $ wcpdetect detect run.trace -a token-vc --slice | cut -d'|' -f1
+  detected {0:6 1:3 2:8 3:2} 
+
+  $ wcpdetect detect run.trace -a token-dd --slice | cut -d'|' -f1
+  detected {0:6 1:3 2:8 3:2} 
+
+  $ wcpdetect detect run.trace -a oracle --slice
+  wcpdetect: --slice needs an engine-backed algorithm (token-vc, multi-token, token-dd, token-dd-par or checker)
+  [2]
+
 A sub-spec WCP:
 
   $ wcpdetect detect run.trace -a oracle --procs 1,3
@@ -159,18 +172,18 @@ The same log attaches to a plain detect run via --trace, and
   trace: 23 events -> ev2.jsonl
 
   $ wcpdetect detect run.trace -a token-dd --per-process
-  detected {0:6 1:3 2:8 3:2} | msgs=50 bits=3013 work=17 max-work=8 max-space=11 hops=4 polls=5 snaps=12 t=17.98 ev=75
+  detected {0:6 1:3 2:8 3:2} | msgs=50 bits=2469 work=17 max-work=8 max-space=11 hops=4 polls=5 snaps=12 t=17.98 ev=75
   proc  sent  recv      bits      work    space  retx  dupsup
-     0     9     6       704         0        2     0       0
-     1    10     5       736         0        2     0       0
-     2     9     5       576         0        3     0       0
-     3     8     4       544         0        2     0       0
-     4     4     7       129         4        8     0       0
-     5     3     8       160         3       11     0       0
-     6     6    10       163         8        7     0       0
+     0     9     6       576         0        2     0       0
+     1    10     5       608         0        2     0       0
+     2     9     5       512         0        3     0       0
+     3     8     4       480         0        2     0       0
+     4     4     7        97         4        8     0       0
+     5     3     8        96         3       11     0       0
+     6     6    10        99         8        7     0       0
      7     1     5         1         2        6     0       0
      8     0     0         0         0        0     0       0
-  total sent=50 bits=3013 work=17 max-work=8 max-space=11 events=75
+  total sent=50 bits=2469 work=17 max-work=8 max-space=11 events=75
   faults retransmit=0 dup-suppressed=0 net-drop=0 net-dup=0 crash-drop=0
   space = high-water buffered words per process (32-bit words; vc snapshot = width+1 words, dd snapshot = 1+2|deps|; DESIGN.md §3)
 

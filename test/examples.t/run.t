@@ -4,7 +4,7 @@ Every example is deterministic; pin their complete outputs.
   computation: 2 processes, 6 states, 2 messages
   oracle:    detected {0:2 1:1}
   token-vc:  detected {0:2 1:1} | msgs=7 bits=608 work=6 max-work=3 max-space=2 hops=1 polls=0 snaps=2 t=2.30 ev=9
-  token-dd:  detected {0:2 1:1} | msgs=7 bits=352 work=2 max-work=1 max-space=1 hops=1 polls=0 snaps=2 t=2.30 ev=9
+  token-dd:  detected {0:2 1:1} | msgs=7 bits=320 work=2 max-work=1 max-space=1 hops=1 polls=0 snaps=2 t=2.30 ev=9
   projected: detected {0:2 1:1}
   quickstart OK
 
@@ -65,8 +65,8 @@ Every example is deterministic; pin their complete outputs.
   checker [7]              78       8736        28        28        55     7.2
   token-vc (§3)          111      13152        23         7        32    10.8
   multi g=2 (§3.5)       123      14656        43        12        32    11.0
-  token-dd (§4)          215      13292        44         6        38    38.2
-  token-dd ∥ (§4.5)      212      13196        44         6        33    17.2
+  token-dd (§4)          215      11244        44         6        38    38.2
+  token-dd ∥ (§4.5)      212      11148        44         6        33    17.2
   cooper-marzullo    explored 516774 consistent cuts (frontier 69312)
   
   all detectors agree on the first cut.

@@ -1,0 +1,395 @@
+(* Computation slicing (Wcp_slice.Slice): the slice must be invisible
+   to every detector. The properties here pin the contract of DESIGN.md
+   §10: happened-before restricted to retained states survives exactly,
+   the least satisfying cut of the slice maps back to the dense least
+   cut, slicing is idempotent and independent of the (causally
+   consistent) feed order, and the incremental builder agrees with the
+   offline pass. *)
+
+open Wcp_trace
+open Wcp_core
+open Wcp_slice
+
+let qtest ?(count = 40) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let random_comp ~n ~m ~p_pred ~seed =
+  Generator.random
+    ~params:{ Generator.n; sends_per_process = m; p_pred; p_recv = 0.5 }
+    ~seed ()
+
+(* Random computation plus a random spec over a strict-or-full subset
+   of its processes; sparse-ish predicates so slices actually shrink. *)
+let gen_case =
+  QCheck2.Gen.(
+    map
+      (fun (n, m, seed, dense_pred, width_frac) ->
+        let n = 2 + n in
+        let p_pred = if dense_pred then 0.5 else 0.1 in
+        let comp = random_comp ~n ~m:(1 + m) ~p_pred ~seed:(Int64.of_int seed) in
+        let width = max 1 (1 + (width_frac * (n - 1) / 100)) in
+        let rng = Wcp_util.Rng.create (Int64.of_int (seed + 7)) in
+        let procs = Generator.random_procs rng ~n ~width in
+        (comp, procs))
+      (tup5 (int_range 0 8) (int_range 0 12) (int_range 1 10_000) bool
+         (int_range 0 99)))
+
+let outcome = Alcotest.testable Detection.pp_outcome Detection.outcome_equal
+
+(* Structural equality of computations: same scripts, same flags. *)
+let same_computation a b =
+  Computation.n a = Computation.n b
+  && Array.for_all
+       (fun p ->
+         Computation.ops a p = Computation.ops b p
+         && Computation.num_states a p = Computation.num_states b p
+         && List.for_all
+              (fun s ->
+                let st = State.make ~proc:p ~index:s in
+                Computation.pred a st = Computation.pred b st)
+              (List.init (Computation.num_states a p) (fun i -> i + 1)))
+       (Array.init (Computation.n a) (fun p -> p))
+
+(* --- Soundness: the oracle can't tell the difference --------------- *)
+
+let oracle_agrees ~keep_rest (comp, procs) =
+  let spec = Spec.make comp procs in
+  let sl = Slice.for_spec ~keep_rest comp ~procs in
+  let sliced = Slice.computation sl in
+  let spec' = Spec.make sliced procs in
+  let dense = Oracle.first_cut comp spec in
+  let on_slice =
+    Detection.remap_outcome (Slice.remap_cut sl)
+      (Oracle.first_cut sliced spec')
+  in
+  Detection.outcome_equal dense on_slice
+
+let prop_oracle_vc_policy =
+  qtest ~count:80 "oracle: first cut on slice = dense first cut (spec-only)"
+    gen_case
+    (oracle_agrees ~keep_rest:false)
+
+let prop_oracle_full_policy =
+  qtest ~count:80 "oracle: first cut on slice = dense first cut (keep rest)"
+    gen_case
+    (oracle_agrees ~keep_rest:true)
+
+(* --- Happened-before preservation --------------------------------- *)
+
+let prop_hb_preserved =
+  (* For retained states on distinct processes, dense happened-before
+     and slice happened-before (through the forward map) coincide.
+     Same-process anchors may share a slice state (collapsed classes),
+     where slice hb is reflexively false — process order carries them. *)
+  qtest "happened-before between anchors survives exactly" gen_case
+    (fun (comp, procs) ->
+      let sl = Slice.for_spec ~keep_rest:true comp ~procs in
+      let sliced = Slice.computation sl in
+      let n = Computation.n comp in
+      let anchors =
+        List.concat
+          (List.init n (fun p ->
+               List.filter_map
+                 (fun s ->
+                   match Slice.slice_state sl ~proc:p s with
+                   | Some s' -> Some (p, s, s')
+                   | None -> None)
+                 (List.init (Computation.num_states comp p) (fun i -> i + 1))))
+      in
+      List.for_all
+        (fun (p, s, s') ->
+          List.for_all
+            (fun (q, t, t') ->
+              p = q
+              || Computation.happened_before comp
+                   (State.make ~proc:p ~index:s)
+                   (State.make ~proc:q ~index:t)
+                 = Computation.happened_before sliced
+                     (State.make ~proc:p ~index:s')
+                     (State.make ~proc:q ~index:t'))
+            anchors)
+        anchors)
+
+let prop_maps_inverse =
+  qtest "dense_state inverts slice_state on anchor classes" gen_case
+    (fun (comp, procs) ->
+      let sl = Slice.for_spec ~keep_rest:true comp ~procs in
+      Array.for_all
+        (fun p ->
+          List.for_all
+            (fun s ->
+              match Slice.slice_state sl ~proc:p s with
+              | None -> true
+              | Some s' ->
+                  (* The back-map lands on the earliest member of the
+                     class, which is itself retained and maps forward
+                     to the same slice state. *)
+                  let d = Slice.dense_state sl ~proc:p s' in
+                  d <= s && Slice.slice_state sl ~proc:p d = Some s')
+            (List.init (Computation.num_states comp p) (fun i -> i + 1)))
+        (Array.init (Computation.n comp) (fun p -> p)))
+
+(* --- Idempotence and feed-order independence ----------------------- *)
+
+let prop_idempotent =
+  qtest "slicing a slice is the identity" gen_case (fun (comp, procs) ->
+      List.for_all
+        (fun keep_rest ->
+          let sl = Slice.for_spec ~keep_rest comp ~procs in
+          let once = Slice.computation sl in
+          let sl2 = Slice.for_spec ~keep_rest once ~procs in
+          same_computation once (Slice.computation sl2))
+        [ false; true ])
+
+let prop_feed_order_independent =
+  (* [Slice.make] feeds round-robin 0..n-1; feed the same run through
+     the incremental builder scanning processes in reverse instead. Any
+     causally consistent order must build the same slice. *)
+  qtest "incremental builder is feed-order independent" gen_case
+    (fun (comp, procs) ->
+      let n = Computation.n comp in
+      let member = Array.make n false in
+      Array.iter (fun p -> member.(p) <- true) procs;
+      let keep ~proc ~state =
+        if member.(proc) then
+          Computation.pred comp (State.make ~proc ~index:state)
+        else true
+      in
+      let pred p s = Computation.pred comp (State.make ~proc:p ~index:s) in
+      let b = Slice.Incremental.create ~n ~keep ~pred0:(fun p -> pred p 1) in
+      let scripts = Array.init n (fun p -> ref (Computation.ops comp p)) in
+      let states = Array.make n 1 in
+      let sent = Hashtbl.create 64 in
+      let progress = ref true in
+      while !progress do
+        progress := false;
+        for p = n - 1 downto 0 do
+          match !(scripts.(p)) with
+          | [] -> ()
+          | Computation.Send { dst; msg } :: rest ->
+              Hashtbl.replace sent msg ();
+              states.(p) <- states.(p) + 1;
+              Slice.Incremental.on_send b ~proc:p ~dst ~msg
+                ~pred:(pred p states.(p));
+              scripts.(p) := rest;
+              progress := true
+          | Computation.Recv { msg } :: rest ->
+              if Hashtbl.mem sent msg then begin
+                states.(p) <- states.(p) + 1;
+                Slice.Incremental.on_receive b ~proc:p ~msg
+                  ~pred:(pred p states.(p));
+                scripts.(p) := rest;
+                progress := true
+              end
+        done
+      done;
+      let via_incremental = Slice.Incremental.finish b in
+      let via_offline = Slice.for_spec ~keep_rest:true comp ~procs in
+      same_computation
+        (Slice.computation via_incremental)
+        (Slice.computation via_offline))
+
+(* --- Every detector, dense vs sliced ------------------------------- *)
+
+let detector_cases =
+  (* Fixed shapes instead of QCheck: each case runs five discrete-event
+     simulations. Sparse predicates so the slice is a real reduction. *)
+  List.concat_map
+    (fun seed ->
+      List.map (fun n -> (n, seed)) [ 3; 5; 8 ])
+    [ 1; 2; 3; 4 ]
+
+let test_detectors_agree () =
+  List.iter
+    (fun (n, seed) ->
+      let comp = random_comp ~n ~m:8 ~p_pred:0.15 ~seed:(Int64.of_int seed) in
+      let seed = Int64.of_int seed in
+      let spec = Spec.all comp in
+      let procs = Spec.procs spec in
+      let here name = Printf.sprintf "%s n=%d seed=%Ld" name n seed in
+      (* vc-family policy: spec-proc anchors only *)
+      let sl = Slice.for_spec ~keep_rest:false comp ~procs in
+      let sliced = Slice.computation sl in
+      let spec' = Spec.make sliced procs in
+      let remap o = Detection.remap_outcome (Slice.remap_cut sl) o in
+      let dense_vc = Token_vc.detect ~seed comp spec in
+      Alcotest.check outcome (here "token-vc") dense_vc.Detection.outcome
+        (remap (Token_vc.detect ~seed sliced spec').Detection.outcome);
+      let groups = max 1 (n / 2) in
+      Alcotest.check outcome (here "token-multi")
+        (Token_multi.detect ~groups ~seed comp spec).Detection.outcome
+        (remap
+           (Token_multi.detect ~groups ~seed sliced spec').Detection.outcome);
+      Alcotest.check outcome (here "checker")
+        (Checker_centralized.detect ~seed comp spec).Detection.outcome
+        (remap
+           (Checker_centralized.detect ~seed sliced spec').Detection.outcome);
+      (* N-wide-cut algorithms: keep the rest whole *)
+      let slf = Slice.for_spec ~keep_rest:true comp ~procs in
+      let slicedf = Slice.computation slf in
+      let specf = Spec.make slicedf procs in
+      let remapf o = Detection.remap_outcome (Slice.remap_cut slf) o in
+      Alcotest.check outcome (here "token-dd")
+        (Token_dd.detect ~seed comp spec).Detection.outcome
+        (remapf (Token_dd.detect ~seed slicedf specf).Detection.outcome);
+      Alcotest.check outcome (here "checker-gcp")
+        (Checker_gcp.detect ~seed ~channels:[] comp spec).Detection.outcome
+        (remapf
+           (Checker_gcp.detect ~seed ~channels:[] slicedf specf)
+             .Detection.outcome))
+    detector_cases
+
+let test_dd_partial_spec () =
+  (* With a strict spec subset the dd cut spans all N processes; the
+     spec entries must agree after remapping, compared via projection
+     (non-spec entries are detector-internal frontier positions). *)
+  List.iter
+    (fun seed ->
+      let comp = random_comp ~n:6 ~m:8 ~p_pred:0.2 ~seed:(Int64.of_int seed) in
+      let procs = [| 0; 3 |] in
+      let spec = Spec.make comp procs in
+      let sl = Slice.for_spec ~keep_rest:true comp ~procs in
+      let sliced = Slice.computation sl in
+      let spec' = Spec.make sliced procs in
+      let seed = Int64.of_int seed in
+      let dense = Token_dd.detect ~seed comp spec in
+      let on_slice = Token_dd.detect ~seed sliced spec' in
+      Alcotest.check outcome
+        (Printf.sprintf "dd partial spec seed=%Ld" seed)
+        (Detection.project_outcome spec dense.Detection.outcome)
+        (Detection.project_outcome spec
+           (Detection.remap_outcome (Slice.remap_cut sl)
+              on_slice.Detection.outcome)))
+    [ 5; 6; 7; 8 ]
+
+(* --- Reduction sanity ---------------------------------------------- *)
+
+let test_reduction () =
+  (* On a sparse-truth workload the slice must actually shrink — this
+     is the whole point (bench E17 measures it end to end). *)
+  let comp =
+    random_comp ~n:16 ~m:12 ~p_pred:0.05 ~seed:7L
+  in
+  let procs = Spec.procs (Spec.all comp) in
+  let sl = Slice.for_spec ~keep_rest:false comp ~procs in
+  let dense_states = Computation.total_states comp in
+  let slice_states = Computation.total_states (Slice.computation sl) in
+  Alcotest.(check bool)
+    (Printf.sprintf "slice shrinks (%d -> %d states)" dense_states
+       slice_states)
+    true
+    (2 * slice_states <= dense_states)
+
+(* --- Full-corpus sweep (make slice-check) -------------------------- *)
+
+(* Unlike [test_detectors_agree], which drives [Slice.for_spec] and the
+   remap by hand, this sweep goes through the user-facing plumbing:
+   [Detection.options ~slice:true] handed to each detector, whose
+   internal [Run_common.with_slice] must return outcomes already in
+   dense coordinates. Bounded smoke always runs; WCP_SLICE_CHECK=1
+   unlocks the whole corpus (sizes x densities x seeds x full and
+   partial specs). *)
+let corpus_sweep ~sizes ~densities ~seeds =
+  let sliced_opts = Detection.options ~slice:true () in
+  List.iter
+    (fun (n, m) ->
+      List.iter
+        (fun p_pred ->
+          List.iter
+            (fun s ->
+              let seed = Int64.of_int s in
+              let comp = random_comp ~n ~m ~p_pred ~seed in
+              let specs =
+                (* Full-width and a strict-subset spec (every other
+                   process), skipping the subset when it would be the
+                   whole spec anyway. *)
+                Spec.all comp
+                :: (if n < 2 then []
+                    else
+                      [
+                        Spec.make comp
+                          (Array.init ((n + 1) / 2) (fun i -> 2 * i));
+                      ])
+              in
+              List.iter
+                (fun spec ->
+                  let w = Spec.width spec in
+                  let here name =
+                    Printf.sprintf "%s n=%d m=%d p=%.2f w=%d seed=%Ld" name n
+                      m p_pred w seed
+                  in
+                  let agree name dense sliced =
+                    Alcotest.check outcome (here name) dense sliced
+                  in
+                  agree "token-vc"
+                    (Token_vc.detect ~seed comp spec).Detection.outcome
+                    (Token_vc.detect ~options:sliced_opts ~seed comp spec)
+                      .Detection.outcome;
+                  let groups = max 1 (w / 2) in
+                  agree "token-multi"
+                    (Token_multi.detect ~groups ~seed comp spec)
+                      .Detection.outcome
+                    (Token_multi.detect ~options:sliced_opts ~groups ~seed
+                       comp spec)
+                      .Detection.outcome;
+                  agree "checker"
+                    (Checker_centralized.detect ~seed comp spec)
+                      .Detection.outcome
+                    (Checker_centralized.detect ~options:sliced_opts ~seed
+                       comp spec)
+                      .Detection.outcome;
+                  let project = Detection.project_outcome spec in
+                  agree "token-dd"
+                    (project (Token_dd.detect ~seed comp spec).Detection.outcome)
+                    (project
+                       (Token_dd.detect ~options:sliced_opts ~seed comp spec)
+                         .Detection.outcome);
+                  agree "checker-gcp"
+                    (project
+                       (Checker_gcp.detect ~seed ~channels:[] comp spec)
+                         .Detection.outcome)
+                    (project
+                       (Checker_gcp.detect ~options:sliced_opts ~seed
+                          ~channels:[] comp spec)
+                         .Detection.outcome))
+                specs)
+            seeds)
+        densities)
+    sizes
+
+let test_corpus_smoke () =
+  corpus_sweep ~sizes:[ (4, 6) ] ~densities:[ 0.15 ] ~seeds:[ 1; 2 ]
+
+let test_corpus_full () =
+  if Sys.getenv_opt "WCP_SLICE_CHECK" = None then ()
+  else
+    corpus_sweep
+      ~sizes:[ (3, 8); (4, 10); (6, 10); (8, 12); (12, 10); (16, 10) ]
+      ~densities:[ 0.02; 0.05; 0.15; 0.3; 0.6 ]
+      ~seeds:[ 1; 2; 3; 4; 5 ]
+
+let () =
+  Alcotest.run "slice"
+    [
+      ( "oracle",
+        [
+          prop_oracle_vc_policy;
+          prop_oracle_full_policy;
+          prop_hb_preserved;
+          prop_maps_inverse;
+        ] );
+      ("structure", [ prop_idempotent; prop_feed_order_independent ]);
+      ( "detectors",
+        [
+          Alcotest.test_case "all detectors, dense vs sliced" `Quick
+            test_detectors_agree;
+          Alcotest.test_case "dd partial spec" `Quick test_dd_partial_spec;
+          Alcotest.test_case "sparse-truth reduction" `Quick test_reduction;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "options-path smoke" `Quick test_corpus_smoke;
+          Alcotest.test_case "full corpus (WCP_SLICE_CHECK=1)" `Slow
+            test_corpus_full;
+        ] );
+    ]

@@ -144,8 +144,14 @@ let test_delta_ablation () =
     (fun seed ->
       let comp = random_comp ~n:6 ~m:10 ~seed in
       let spec = Spec.all comp in
-      let a = Token_vc.detect ~delta:true ~seed comp spec in
-      let b = Token_vc.detect ~delta:false ~seed comp spec in
+      let a =
+        Token_vc.detect ~options:(Detection.options ~delta:true ()) ~seed comp
+          spec
+      in
+      let b =
+        Token_vc.detect ~options:(Detection.options ~delta:false ()) ~seed comp
+          spec
+      in
       Alcotest.(check bool)
         "same outcome" true
         (Detection.outcome_equal a.outcome b.outcome);
