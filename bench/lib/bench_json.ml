@@ -252,7 +252,7 @@ end
 (* ------------------------------------------------------------------ *)
 
 type job = {
-  experiment : string;  (* "E1".."E9", "E15", "E16", "E17" *)
+  experiment : string;  (* "E1".."E9", "E15", "E16", "E17", "E18" *)
   algo : string;
   n : int;
   m : int;  (* sends per process (adversary: its m parameter) *)
@@ -260,7 +260,8 @@ type job = {
   seed : int;
   param : int;
       (* groups (multi), spec width (E5), drop % (E9), domain count
-         (E15), delta flag 0/1 (E16), slice flag 0/1 (E17), else 0 *)
+         (E15, E18 parallel arm), delta flag 0/1 (E16), slice flag 0/1
+         (E17), else 0 *)
 }
 
 type metrics = {
@@ -299,6 +300,15 @@ type metrics = {
      sliced computation the detector actually examined. Deterministic;
      zero for dense runs. *)
   slice_states : int;
+  (* Parallel-checker round shape (E18, schema v6): barrier rounds,
+     widest frontier (slots advanced in one round) and candidate
+     comparisons. Deterministic and domain-count independent — the
+     frozen-frontier rounds compute the same thresholds whatever the
+     fan-out — so they sit with the replayable fields, not the timing
+     block. Zero for every other detector. *)
+  par_rounds : int;
+  par_frontier : int;
+  par_items : int;
   (* Machine-dependent; excluded from determinism comparisons. *)
   slice_ns : int;  (* slice-construction overhead (E17 sliced arm) *)
   wall_ns : int;
@@ -366,6 +376,12 @@ let run_sim ?recorder job =
         Token_multi.detect ?fault ?recorder ~options ~groups ~seed comp spec
     | "checker" ->
         Checker_centralized.detect ?recorder ~options ~seed comp spec
+    | "parallel" ->
+        (* E18: [param] is the domain count of the parallel checker
+           itself (the detector's own fan-out, not the bench harness
+           parallelism); param=0 falls back to WCP_DOMAINS. *)
+        let domains = if job.param > 0 then Some job.param else None in
+        Checker_parallel.detect ?recorder ?domains ~options ~seed comp spec
     | a -> invalid_arg ("Bench_json.run_job: unknown algo " ^ a)
   in
   (comp, r)
@@ -454,6 +470,9 @@ let run_e15 job =
     elims_per_hop_p95 = 0.0;
     elims_per_hop_max = 0.0;
     slice_states = 0;
+    par_rounds = 0;
+    par_frontier = 0;
+    par_items = 0;
     slice_ns = 0;
     wall_ns;
     alloc_bytes;
@@ -515,6 +534,9 @@ let run_job job =
         elims_per_hop_p95 = 0.0;
         elims_per_hop_max = 0.0;
         slice_states = 0;
+        par_rounds = 0;
+        par_frontier = 0;
+        par_items = 0;
         slice_ns = 0;
         wall_ns;
         alloc_bytes;
@@ -552,10 +574,11 @@ let run_job job =
         outcome =
           (match r.Detection.outcome with
           | Detection.Detected cut ->
-              (* E17 spells the cut out (in dense coordinates), so the
-                 baseline comparison pins the sliced arm to the dense
-                 arm's exact cut, not just to "detected". *)
-              if job.experiment = "E17" then
+              (* E17 and E18 spell the cut out (in dense coordinates):
+                 E17 pins the sliced arm to the dense arm's exact cut,
+                 E18 pins every domain count to the centralized
+                 checker's cut — not just to "detected". *)
+              if job.experiment = "E17" || job.experiment = "E18" then
                 Format.asprintf "detected %a" Cut.pp cut
               else "detected"
           | Detection.No_detection -> "none"
@@ -585,6 +608,9 @@ let run_job job =
         elims_per_hop_max =
           Wcp_obs.Metrics.hist_max s.Wcp_obs.Metrics.elims_per_hop;
         slice_states;
+        par_rounds = Wcp_sim.Stats.par_rounds r.stats;
+        par_frontier = Wcp_sim.Stats.par_max_frontier r.stats;
+        par_items = Wcp_sim.Stats.par_items r.stats;
         slice_ns;
         wall_ns;
         alloc_bytes;
@@ -634,6 +660,9 @@ let jobs = function
         job "E17" "token-multi" ~n:8 ~m:20 ~p_pred:0.02 ~param:1 ~seed:1 ();
         job "E17" "checker" ~n:8 ~m:20 ~p_pred:0.02 ~param:0 ~seed:1 ();
         job "E17" "checker" ~n:8 ~m:20 ~p_pred:0.02 ~param:1 ~seed:1 ();
+        job "E18" "checker" ~n:8 ~m:20 ~seed:1 ();
+        job "E18" "parallel" ~n:8 ~m:20 ~param:1 ~seed:1 ();
+        job "E18" "parallel" ~n:8 ~m:20 ~param:4 ~seed:1 ();
       ]
   | Full ->
       let sweep f xs = List.concat_map f xs in
@@ -745,6 +774,21 @@ let jobs = function
                       ()))
               [ 0; 1 ])
           [ "token-vc"; "token-dd"; "token-dd-par"; "token-multi"; "checker" ]
+      (* E18: parallel-checker crossover. Per n, one centralized
+         checker reference row (param 0) plus the parallel checker at
+         domain counts 1/2/4/8 (param = its own fan-out). Every row of
+         a given n spells out the same cut — the determinism contract
+         across domain counts AND against the centralized checker —
+         and only wall_ns may vary with param. The parallel rows'
+         par_rounds/par_frontier/par_items are identical across domain
+         counts by construction. *)
+      @ sweep
+          (fun n ->
+            job "E18" "checker" ~n ~m:20 ~seed:1 ()
+            :: List.map
+                 (fun d -> job "E18" "parallel" ~n ~m:20 ~param:d ~seed:1 ())
+                 [ 1; 2; 4; 8 ])
+          [ 8; 16; 32; 64; 128 ]
 
 let run ?domains profile =
   let js = Array.of_list (jobs profile) in
@@ -760,8 +804,11 @@ let run ?domains profile =
    v5: E17 (computation slicing, dense vs sliced) and the
    slice_states/slice_ns fields added; dd snapshots/polls now priced
    packed by default (Wire.encode_dd / Wire.poll_bits), so dd-family
-   bits figures moved vs v4. *)
-let schema = "wcp-bench/5"
+   bits figures moved vs v4.
+   v6: E18 (domain-parallel checker crossover) and the
+   par_rounds/par_frontier/par_items fields added; no existing field
+   moved. *)
+let schema = "wcp-bench/6"
 
 let metrics_to_json r =
   Json.Obj
@@ -798,6 +845,9 @@ let metrics_to_json r =
       ("elims_per_hop_p95", Json.Float r.elims_per_hop_p95);
       ("elims_per_hop_max", Json.Float r.elims_per_hop_max);
       ("slice_states", Json.Int r.slice_states);
+      ("par_rounds", Json.Int r.par_rounds);
+      ("par_frontier", Json.Int r.par_frontier);
+      ("par_items", Json.Int r.par_items);
       ("slice_ns", Json.Int r.slice_ns);
       ("wall_ns", Json.Int r.wall_ns);
       ("alloc_bytes", Json.Int r.alloc_bytes);
@@ -841,6 +891,9 @@ let metrics_of_json j =
     elims_per_hop_p95 = to_float (member "elims_per_hop_p95" j);
     elims_per_hop_max = to_float (member "elims_per_hop_max" j);
     slice_states = to_int (member "slice_states" j);
+    par_rounds = to_int (member "par_rounds" j);
+    par_frontier = to_int (member "par_frontier" j);
+    par_items = to_int (member "par_items" j);
     slice_ns = to_int (member "slice_ns" j);
     wall_ns = to_int (member "wall_ns" j);
     alloc_bytes = to_int (member "alloc_bytes" j);

@@ -35,17 +35,18 @@ module Json : sig
 end
 
 type job = {
-  experiment : string;  (** "E1".."E9", "E15", "E16", "E17" *)
+  experiment : string;  (** "E1".."E9", "E15", "E16", "E17", "E18" *)
   algo : string;
       (** "token-vc", "token-dd", "token-dd-par", "token-multi",
-          "checker", "adversary" *)
+          "checker", "parallel", "adversary" *)
   n : int;
   m : int;
   p_pred : float;
   seed : int;
   param : int;
       (** groups (E3), spec width (E5), drop %% (E9), domain count
-          (E15), delta flag 0/1 (E16), slice flag 0/1 (E17), else 0 *)
+          (E15, E18's parallel arm), delta flag 0/1 (E16), slice flag
+          0/1 (E17), else 0 *)
 }
 
 type metrics = {
@@ -53,10 +54,11 @@ type metrics = {
   outcome : string;
       (** "detected" or "none"; for E15, "ok" iff the parallel batch
           was byte-identical to its sequential reference, else
-          "mismatch". E17 appends the detected cut in dense
+          "mismatch". E17 and E18 append the detected cut in dense
           coordinates (e.g. ["detected {0:6 1:3}"]), so the baseline
-          comparison pins the sliced arm to the dense arm's exact
-          cut. *)
+          comparison pins the sliced arm to the dense arm's exact cut
+          (E17) and every domain count to the centralized checker's
+          cut (E18). *)
   states : int;
   hops : int;
   polls : int;
@@ -88,6 +90,14 @@ type metrics = {
       (** Total states of the computation slice for the sliced arm of
           E17 ([job.param = 1]); zero everywhere else. Deterministic:
           the slice is a function of the computation and the spec. *)
+  par_rounds : int;
+      (** Parallel-checker barrier rounds (E18's "parallel" rows; zero
+          for every other detector). Deterministic and domain-count
+          independent, like [par_frontier] and [par_items]. *)
+  par_frontier : int;
+      (** Widest frontier: most slots advanced in a single round. *)
+  par_items : int;
+      (** Candidate-versus-threshold comparisons across all rounds. *)
   slice_ns : int;
       (** Wall time of slice construction (machine-dependent; zero
           outside E17's sliced arm). *)
@@ -118,12 +128,13 @@ val e15_sessions : int
     run (see [outcome]). *)
 
 val schema : string
-(** Document schema tag, ["wcp-bench/5"] (v2 added the fault-recovery
+(** Document schema tag, ["wcp-bench/6"] (v2 added the fault-recovery
     counters; v3 the trace-derived histogram summaries; v4 E15/E16 and
     the gated + delta-encoded wire defaults; v5 E17 computation
     slicing, the [slice_states]/[slice_ns] fields, and packed dd
-    snapshot + poll pricing under [delta], which moves dd bit
-    counts). *)
+    snapshot + poll pricing under [delta], which moves dd bit counts;
+    v6 E18 domain-parallel checker crossover and the
+    [par_rounds]/[par_frontier]/[par_items] fields). *)
 
 val emit : profile:profile -> metrics array -> string
 (** JSON document, one result record per line. *)

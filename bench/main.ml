@@ -656,6 +656,46 @@ let e17 () =
     [ "token-vc"; "token-dd"; "token-dd-par"; "token-multi"; "checker" ]
 
 (* ------------------------------------------------------------------ *)
+(* E18: domain-parallel checker crossover                              *)
+(* ------------------------------------------------------------------ *)
+
+let e18 () =
+  header "E18 domain-parallel checker: wall-clock crossover vs centralized"
+    "claim: byte-identical cuts at every domain count; parallel wins at n>=64";
+  let open Wcp_bench.Bench_json in
+  Printf.printf "%5s %11s %9s %9s %9s %9s %8s %7s %9s\n" "n" "checker-ms"
+    "d=1-ms" "d=2-ms" "d=4-ms" "d=8-ms" "speedup" "rounds" "same-cut";
+  List.iter
+    (fun n ->
+      let run algo param =
+        run_job
+          { experiment = "E18"; algo; n; m = 20; p_pred = 0.3; seed = 1; param }
+      in
+      let ck = run "checker" 0 in
+      let par = List.map (run "parallel") [ 1; 2; 4; 8 ] in
+      (* The determinism contract, asserted per row: every domain count
+         spells out the same cut as the centralized checker (outcome
+         strings are byte-identical), and the round shape — rounds,
+         frontier, items, plus every other deterministic field — is
+         domain-count independent. *)
+      let norm r = { (strip_timing r) with job = { r.job with param = 0 } } in
+      let p1 = List.hd par in
+      let same =
+        List.for_all (fun p -> p.outcome = ck.outcome && norm p = norm p1) par
+      in
+      let ms r = float_of_int r.wall_ns /. 1e6 in
+      let best = List.fold_left (fun acc p -> min acc (ms p)) infinity par in
+      Printf.printf "%5d %11.2f %9.2f %9.2f %9.2f %9.2f %8.2f %7d %9s\n" n
+        (ms ck)
+        (ms (List.nth par 0))
+        (ms (List.nth par 1))
+        (ms (List.nth par 2))
+        (ms (List.nth par 3))
+        (ms ck /. best) p1.par_rounds
+        (if same then "yes" else "NO"))
+    [ 8; 16; 32; 64; 128 ]
+
+(* ------------------------------------------------------------------ *)
 (* E13: Bechamel micro-benchmarks                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -678,6 +718,16 @@ let micro () =
         mk "token-dd" (fun () -> ignore (Token_dd.detect ~seed:5L comp spec));
         mk "token-dd-par" (fun () ->
             ignore (Token_dd.detect ~parallel:true ~seed:5L comp spec));
+        mk "checker-parallel d=4" (fun () ->
+            ignore (Checker_parallel.detect ~domains:4 ~seed:5L comp spec));
+        (* The pooled fan-out itself: with the scoped pool warm this is
+           dispatch + barrier cost, no domain spawns (satellite of the
+           E18 work; Parallel.spawns stays flat across iterations). *)
+        mk "parallel-map d=4 (pooled)" (fun () ->
+            ignore
+              (Wcp_util.Parallel.map ~domains:4
+                 (fun x -> x * x)
+                 (Array.init 256 Fun.id)));
         mk "lower-bound n=16 m=16" (fun () ->
             let world, _ = Wcp_lowerbound.Adversary.make ~n:16 ~m:16 in
             ignore (Wcp_lowerbound.Detector.run world));
@@ -721,7 +771,8 @@ let tables () =
   e14 ();
   e15 ();
   e16 ();
-  e17 ()
+  e17 ();
+  e18 ()
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable harness (JSON) and the perf-regression gate        *)
@@ -805,6 +856,7 @@ let () =
   let argv = Array.to_list Sys.argv in
   match argv with
   | _ :: "tables" :: _ -> tables ()
+  | _ :: "e18" :: _ -> e18 ()
   | _ :: "micro" :: _ -> micro ()
   | _ :: "json" :: rest -> json_mode rest
   | _ :: "perf-check" :: rest -> perf_check rest

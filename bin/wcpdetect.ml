@@ -214,12 +214,22 @@ let workload_cmd =
 (* detect                                                              *)
 (* ------------------------------------------------------------------ *)
 
-type algo = Vc | Multi | Dd | Dd_par | Checker | Oracle_a | Cm | Strong_a
+type algo =
+  | Vc
+  | Multi
+  | Dd
+  | Dd_par
+  | Checker
+  | Parallel
+  | Oracle_a
+  | Cm
+  | Strong_a
 
 let algo_arg =
   let doc =
     "Algorithm: token-vc, multi-token, token-dd, token-dd-par, checker, \
-     oracle, cooper-marzullo or strong (Definitely)."
+     parallel (domain-parallel checker), oracle, cooper-marzullo or strong \
+     (Definitely)."
   in
   Arg.(
     value
@@ -231,6 +241,7 @@ let algo_arg =
              ("token-dd", Dd);
              ("token-dd-par", Dd_par);
              ("checker", Checker);
+             ("parallel", Parallel);
              ("oracle", Oracle_a);
              ("cooper-marzullo", Cm);
              ("strong", Strong_a);
@@ -255,8 +266,9 @@ let slice_arg =
            computation (DESIGN.md §10): only predicate-true states (plus \
            the communication skeleton) are replayed, and the reported cut \
            is mapped back to dense state indices — byte-identical to the \
-           dense run's cut. Engine-backed algorithms only; with the \
-           checker, incompatible with channel predicates.")
+           dense run's cut. Detection algorithms only (not oracle, \
+           cooper-marzullo or strong); with the checker, incompatible with \
+           channel predicates.")
 
 (* The DESIGN.md §3 accounting policy the space column follows; printed
    alongside --per-process output so the units are never ambiguous. *)
@@ -306,12 +318,12 @@ let run_algo ?fault ?recorder ?(slice = false) algo ~groups ~seed comp spec =
   (match (slice, algo) with
   | true, (Oracle_a | Cm | Strong_a) ->
       prerr_endline
-        "wcpdetect: --slice needs an engine-backed algorithm (token-vc, \
-         multi-token, token-dd, token-dd-par or checker)";
+        "wcpdetect: --slice needs a detection algorithm (token-vc, \
+         multi-token, token-dd, token-dd-par, checker or parallel)";
       exit 2
   | _ -> ());
   (match (fault, algo) with
-  | Some _, (Checker | Oracle_a | Cm | Strong_a) ->
+  | Some _, (Checker | Parallel | Oracle_a | Cm | Strong_a) ->
       prerr_endline
         "wcpdetect: fault injection is only supported for the token algorithms";
       exit 2
@@ -319,8 +331,8 @@ let run_algo ?fault ?recorder ?(slice = false) algo ~groups ~seed comp spec =
   (match (recorder, algo) with
   | Some _, (Oracle_a | Cm | Strong_a) ->
       prerr_endline
-        "wcpdetect: tracing needs an engine-backed algorithm (token-vc, \
-         multi-token, token-dd, token-dd-par or checker)";
+        "wcpdetect: tracing needs a detection algorithm (token-vc, \
+         multi-token, token-dd, token-dd-par, checker or parallel)";
       exit 2
   | _ -> ());
   match algo with
@@ -337,6 +349,7 @@ let run_algo ?fault ?recorder ?(slice = false) algo ~groups ~seed comp spec =
            spec)
   | Checker ->
       Some (Checker_centralized.detect ?recorder ~options ~seed comp spec)
+  | Parallel -> Some (Checker_parallel.detect ?recorder ~options ~seed comp spec)
   | Oracle_a ->
       Format.printf "oracle: %a@." Detection.pp_outcome
         (Oracle.first_cut comp spec);
@@ -579,6 +592,7 @@ let compare_cmd =
           (if agree then "" else "  << DISAGREES"))
       [
         ("checker", Checker_centralized.detect ~seed comp spec, `Spec);
+        ("parallel", Checker_parallel.detect ~seed comp spec, `Spec);
         ("token-vc", Token_vc.detect ~seed comp spec, `Spec);
         ( "multi-token",
           Token_multi.detect ~groups:(min 2 (Spec.width spec)) ~seed comp spec,

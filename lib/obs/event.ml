@@ -44,6 +44,7 @@ type body =
   | Probe_sent of { seq : int; dst : int }
   | Retransmitted of { dst : int; frame_seq : int }
   | Merged of { round : int }
+  | Round_advanced of { round : int; frontier : int array; eliminated : int }
   | Detected of { procs : int array; states : int array }
   | No_detection_declared
 
@@ -68,6 +69,7 @@ let kind = function
   | Probe_sent _ -> "probe_sent"
   | Retransmitted _ -> "retransmit"
   | Merged _ -> "merge"
+  | Round_advanced _ -> "round"
   | Detected _ -> "detected"
   | No_detection_declared -> "no_detection"
 
@@ -76,7 +78,7 @@ let kinds =
     "run_meta"; "sent"; "delivered"; "snapshot"; "candidate"; "vc_advanced";
     "dd_eliminated"; "chain_extended"; "hb_eliminated"; "channel_eliminated";
     "token_sent"; "token_received"; "token_regenerated"; "poll_sent";
-    "poll_replied"; "probe_sent"; "retransmit"; "merge"; "detected";
+    "poll_replied"; "probe_sent"; "retransmit"; "merge"; "round"; "detected";
     "no_detection";
   ]
 
@@ -139,6 +141,9 @@ let pp_body ppf = function
   | Retransmitted { dst; frame_seq } ->
       Format.fprintf ppf "retransmit frame#%d -> %d" frame_seq dst
   | Merged { round } -> Format.fprintf ppf "leader merge #%d" round
+  | Round_advanced { round; frontier; eliminated } ->
+      Format.fprintf ppf "round #%d frontier=%a eliminated=%d" round pp_vec
+        frontier eliminated
   | Detected { procs; states } ->
       Format.fprintf ppf "detected {";
       Array.iteri

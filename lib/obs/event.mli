@@ -76,6 +76,10 @@ type body =
   | Retransmitted of { dst : int; frame_seq : int }
       (** Reliable transport re-sent an unacked frame. *)
   | Merged of { round : int }  (** Multi-token leader merge (§3.5). *)
+  | Round_advanced of { round : int; frontier : int array; eliminated : int }
+      (** Parallel checker: one frontier-advance round finished.
+          [frontier] holds the per-slot state indices standing after
+          the round; [eliminated] counts candidates removed by it. *)
   | Detected of { procs : int array; states : int array }
   | No_detection_declared
 

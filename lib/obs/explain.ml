@@ -107,6 +107,10 @@ let narrate ?(verbose = false) ppf events =
               (name ~n:!n dst)
       | Event.Merged { round } ->
           line "leader merged group tokens (round %d)" round
+      | Event.Round_advanced { round; frontier; eliminated } ->
+          line "parallel round %d: frontier %a, %d candidate%s eliminated"
+            round vec frontier eliminated
+            (if eliminated = 1 then "" else "s")
       | Event.Detected { procs; states } ->
           line "DETECTED consistent cut: %s"
             (String.concat ", "

@@ -315,6 +315,12 @@ let body_fields : Event.body -> (string * Json.t) list =
   | Event.Retransmitted { dst; frame_seq } ->
       [ ("dst", Int dst); ("frame_seq", Int frame_seq) ]
   | Event.Merged { round } -> [ ("round", Int round) ]
+  | Event.Round_advanced { round; frontier; eliminated } ->
+      [
+        ("round", Int round);
+        ("frontier", of_int_array frontier);
+        ("eliminated", Int eliminated);
+      ]
   | Event.Detected { procs; states } ->
       [ ("procs", of_int_array procs); ("states", of_int_array states) ]
   | Event.No_detection_declared -> []
@@ -398,6 +404,13 @@ let body_of_json ~kind j =
   | "retransmit" ->
       Event.Retransmitted { dst = i "dst"; frame_seq = i "frame_seq" }
   | "merge" -> Event.Merged { round = i "round" }
+  | "round" ->
+      Event.Round_advanced
+        {
+          round = i "round";
+          frontier = arr "frontier";
+          eliminated = i "eliminated";
+        }
   | "detected" -> Event.Detected { procs = arr "procs"; states = arr "states" }
   | "no_detection" -> Event.No_detection_declared
   | k -> Json.error "unknown event type %S" k

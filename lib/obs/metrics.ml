@@ -170,6 +170,7 @@ type summary = {
   polls : counter;
   retransmits : counter;
   regenerations : counter;
+  rounds : counter;
 }
 
 let of_events events =
@@ -183,6 +184,7 @@ let of_events events =
       polls = counter t "polls";
       retransmits = counter t "retransmits";
       regenerations = counter t "token_regenerations";
+      rounds = counter t "parallel_rounds";
     }
   in
   (* Hop latency pairs each token send with the acceptance of the same
@@ -211,6 +213,7 @@ let of_events events =
           elims_since_hop := 0
       | Event.Poll_sent _ -> incr s.polls
       | Event.Retransmitted _ -> incr s.retransmits
+      | Event.Round_advanced _ -> incr s.rounds
       | _ -> ())
     events;
   (t, s)

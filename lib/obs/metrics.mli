@@ -67,6 +67,7 @@ type summary = {
   polls : counter;
   retransmits : counter;
   regenerations : counter;
+  rounds : counter;  (** parallel-checker frontier rounds *)
 }
 
 val of_events : Event.t array -> t * summary

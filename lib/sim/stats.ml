@@ -10,6 +10,10 @@ type t = {
   mutable net_dropped : int;
   mutable net_duplicated : int;
   mutable crash_dropped : int;
+  (* Parallel-checker round counters: zero for every other detector. *)
+  mutable par_rounds : int;
+  mutable par_max_frontier : int;
+  mutable par_items : int;
 }
 
 let create ~n =
@@ -25,6 +29,9 @@ let create ~n =
     net_dropped = 0;
     net_duplicated = 0;
     crash_dropped = 0;
+    par_rounds = 0;
+    par_max_frontier = 0;
+    par_items = 0;
   }
 
 let n t = Array.length t.sent
@@ -54,6 +61,15 @@ let note_net_dropped t = t.net_dropped <- t.net_dropped + 1
 let note_net_duplicated t = t.net_duplicated <- t.net_duplicated + 1
 
 let note_crash_dropped t = t.crash_dropped <- t.crash_dropped + 1
+
+let set_parallel t ~rounds ~max_frontier ~items =
+  t.par_rounds <- rounds;
+  t.par_max_frontier <- max_frontier;
+  t.par_items <- items
+
+let par_rounds t = t.par_rounds
+let par_max_frontier t = t.par_max_frontier
+let par_items t = t.par_items
 
 let sent t i = t.sent.(i)
 let received t i = t.received.(i)
@@ -94,7 +110,10 @@ let merge_into ~dst src =
   dst.events_done <- dst.events_done + src.events_done;
   dst.net_dropped <- dst.net_dropped + src.net_dropped;
   dst.net_duplicated <- dst.net_duplicated + src.net_duplicated;
-  dst.crash_dropped <- dst.crash_dropped + src.crash_dropped
+  dst.crash_dropped <- dst.crash_dropped + src.crash_dropped;
+  dst.par_rounds <- dst.par_rounds + src.par_rounds;
+  dst.par_max_frontier <- max dst.par_max_frontier src.par_max_frontier;
+  dst.par_items <- dst.par_items + src.par_items
 
 let pp ppf t =
   Format.fprintf ppf
@@ -108,6 +127,12 @@ let pp ppf t =
     "total sent=%d bits=%d work=%d max-work=%d max-space=%d events=%d@."
     (total_sent t) (total_bits t) (total_work t) (max_work t) (max_space t)
     t.events_done;
+  (* Keep the summary lines visually aligned: every line is a label
+     followed by name=value pairs, so the parallel counters only appear
+     when a parallel detector actually filled them in. *)
+  if t.par_rounds > 0 then
+    Format.fprintf ppf "parallel rounds=%d max-frontier=%d items=%d@."
+      t.par_rounds t.par_max_frontier t.par_items;
   Format.fprintf ppf
     "faults retransmit=%d dup-suppressed=%d net-drop=%d net-dup=%d \
      crash-drop=%d"

@@ -63,6 +63,22 @@ val note_crash_dropped : t -> unit
 (** An event lost because its target process was inside a crash
     window. *)
 
+(** {2 Parallel-round counters}
+
+    Filled in only by the domain-parallel checker
+    ([Checker_parallel]); every other detector leaves them at zero, so
+    {!pp} omits the line entirely for them. *)
+
+val set_parallel : t -> rounds:int -> max_frontier:int -> items:int -> unit
+(** [rounds]: frontier-advance rounds executed; [max_frontier]: most
+    spec slots that advanced in any single round (the realized
+    parallel breadth); [items]: total candidates examined across all
+    rounds (the per-domain work items, summed). *)
+
+val par_rounds : t -> int
+val par_max_frontier : t -> int
+val par_items : t -> int
+
 (** {2 Per-process readings} *)
 
 val sent : t -> int -> int
@@ -99,5 +115,6 @@ val merge_into : dst:t -> t -> unit
 val pp : Format.formatter -> t -> unit
 (** Multi-line table of per-process counters (messages, bits, work,
     high-water space in words, retransmits, duplicates suppressed)
-    plus a totals line and the fault/robustness aggregates
-    (retransmits, dup-suppressed, net-drop, net-dup, crash-drop). *)
+    plus a totals line, a parallel-rounds line when those counters are
+    nonzero, and the fault/robustness aggregates (retransmits,
+    dup-suppressed, net-drop, net-dup, crash-drop). *)

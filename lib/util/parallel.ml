@@ -1,13 +1,26 @@
-(* Fixed-pool parallel map over OCaml 5 domains.
+(* Pooled parallel primitives over OCaml 5 domains.
 
-   Work is claimed from a shared atomic counter in chunks (batch
-   scheduling): each claim grabs a run of consecutive indices, so cheap
-   items don't serialize on the counter — one fetch-and-add amortizes
-   over the whole chunk. Every result is still written to the slot of
-   its input index, so the output order — and, for a pure [f], the
-   output values — are independent of the domain count, the chunk size,
-   and scheduling. The bench harness leans on this: a parallel sweep
-   must be byte-identical to a sequential one. *)
+   Two layers:
+
+   - a persistent worker pool (domains parked on a condition variable
+     between jobs), grown on demand and reused across calls so the hot
+     path never pays [Domain.spawn];
+   - [map], the deterministic parallel map, rebuilt on top of the pool.
+     Work is claimed from a shared atomic counter in chunks (batch
+     scheduling): each claim grabs a run of consecutive indices, so
+     cheap items don't serialize on the counter — one fetch-and-add
+     amortizes over the whole chunk. Every result is still written to
+     the slot of its input index, so the output order — and, for a pure
+     [f], the output values — are independent of the domain count, the
+     chunk size, and scheduling. The bench harness leans on this: a
+     parallel sweep must be byte-identical to a sequential one.
+
+   One shared pool serves the whole process. A [scoped_pool] reserves
+   it for the duration of a scope; if it is already reserved (nested
+   parallelism: a [map] running inside another [map]'s worker), the
+   scope falls back to a private pool of freshly spawned domains that
+   is torn down when the scope ends — the pre-pool behavior, kept only
+   for the nested case. *)
 
 let default_domains () =
   match Sys.getenv_opt "WCP_DOMAINS" with
@@ -18,6 +31,178 @@ let default_domains () =
       | Some d when d >= 1 -> d
       | _ -> invalid_arg "WCP_DOMAINS must be a positive integer")
   | Some _ | None -> max 1 (Domain.recommended_domain_count ())
+
+(* ------------------------------------------------------------------ *)
+(* The worker pool                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let spawn_count = Atomic.make 0
+let spawns () = Atomic.get spawn_count
+
+type workers = {
+  lock : Mutex.t;
+  wake : Condition.t; (* workers park here between jobs *)
+  settled : Condition.t; (* the submitter parks here during a job *)
+  mutable generation : int;
+  mutable job : (int -> unit) option; (* given the worker's slot number *)
+  mutable participants : int; (* workers engaged by the current job *)
+  mutable pending : int;
+  mutable stop : bool;
+  mutable spawned : unit Domain.t array;
+}
+
+type pool =
+  | Seq  (** one domain: the caller runs everything inline *)
+  | Pooled of { w : workers; total : int; private_ : bool }
+
+let worker_loop w index =
+  let last = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock w.lock;
+    while (not w.stop) && w.generation = !last do
+      Condition.wait w.wake w.lock
+    done;
+    if w.stop then begin
+      Mutex.unlock w.lock;
+      running := false
+    end
+    else begin
+      last := w.generation;
+      if index < w.participants then begin
+        let job = Option.get w.job in
+        Mutex.unlock w.lock;
+        (* Jobs wrap user code and must not raise (see [run]); the
+           catch-all keeps a buggy job from wedging the barrier. *)
+        (try job (index + 1) with _ -> ());
+        Mutex.lock w.lock;
+        w.pending <- w.pending - 1;
+        if w.pending = 0 then Condition.signal w.settled;
+        Mutex.unlock w.lock
+      end
+      else Mutex.unlock w.lock
+    end
+  done
+
+let make_workers () =
+  {
+    lock = Mutex.create ();
+    wake = Condition.create ();
+    settled = Condition.create ();
+    generation = 0;
+    job = None;
+    participants = 0;
+    pending = 0;
+    stop = false;
+    spawned = [||];
+  }
+
+(* Grow [w] to at least [k] parked workers. Only the owner of the pool
+   calls this, and never while a job is in flight. *)
+let ensure_workers w k =
+  let have = Array.length w.spawned in
+  if have < k then begin
+    let extra =
+      Array.init (k - have) (fun j ->
+          Atomic.incr spawn_count;
+          Domain.spawn (fun () -> worker_loop w (have + j)))
+    in
+    w.spawned <- Array.append w.spawned extra
+  end
+
+let shutdown_workers w =
+  Mutex.lock w.lock;
+  w.stop <- true;
+  Condition.broadcast w.wake;
+  Mutex.unlock w.lock;
+  Array.iter Domain.join w.spawned;
+  w.spawned <- [||]
+
+(* The process-wide shared pool: created on first use, reserved by a
+   compare-and-set so concurrent scopes never share a generation
+   counter, torn down at exit (OCaml requires spawned domains to be
+   joined before the runtime shuts down). *)
+let shared : workers option ref = ref None
+let shared_busy = Atomic.make false
+let shared_create_lock = Mutex.create ()
+
+let shared_workers () =
+  match !shared with
+  | Some w -> w
+  | None ->
+      Mutex.lock shared_create_lock;
+      let w =
+        match !shared with
+        | Some w -> w
+        | None ->
+            let w = make_workers () in
+            shared := Some w;
+            at_exit (fun () -> shutdown_workers w);
+            w
+      in
+      Mutex.unlock shared_create_lock;
+      w
+
+let pool_domains = function Seq -> 1 | Pooled { total; _ } -> total
+
+let scoped_pool ?domains f =
+  let d =
+    match domains with
+    | Some d ->
+        if d < 1 then invalid_arg "Parallel.scoped_pool: domains must be >= 1";
+        d
+    | None -> default_domains ()
+  in
+  if d <= 1 then f Seq
+  else if Atomic.compare_and_set shared_busy false true then begin
+    let w = shared_workers () in
+    ensure_workers w (d - 1);
+    Fun.protect
+      ~finally:(fun () -> Atomic.set shared_busy false)
+      (fun () -> f (Pooled { w; total = d; private_ = false }))
+  end
+  else begin
+    (* The shared pool is reserved by an enclosing scope: nested
+       parallelism gets its own short-lived domains. *)
+    let w = make_workers () in
+    ensure_workers w (d - 1);
+    Fun.protect
+      ~finally:(fun () -> shutdown_workers w)
+      (fun () -> f (Pooled { w; total = d; private_ = true }))
+  end
+
+let run pool f =
+  match pool with
+  | Seq -> f ~slot:0 ~slots:1
+  | Pooled { w; total; _ } ->
+      let helpers = total - 1 in
+      (* First exception by slot number, re-raised after the barrier so
+         every worker still settles. *)
+      let errors = Array.make total None in
+      let body slot =
+        match f ~slot ~slots:total with
+        | () -> ()
+        | exception e -> errors.(slot) <- Some e
+      in
+      Mutex.lock w.lock;
+      w.job <- Some body;
+      w.participants <- helpers;
+      w.pending <- helpers;
+      w.generation <- w.generation + 1;
+      Condition.broadcast w.wake;
+      Mutex.unlock w.lock;
+      body 0;
+      Mutex.lock w.lock;
+      while w.pending > 0 do
+        Condition.wait w.settled w.lock
+      done;
+      w.job <- None;
+      Mutex.unlock w.lock;
+      Array.iter (function Some e -> raise e | None -> ()) errors
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic parallel map on top of the pool                       *)
+(* ------------------------------------------------------------------ *)
 
 let map ?domains f xs =
   let n = Array.length xs in
@@ -35,14 +220,14 @@ let map ?domains f xs =
        enough that an unlucky domain stuck with slow items leaves
        plenty of chunks for the others to steal. *)
     let chunk = max 1 (n / (domains * 8)) in
-    let worker () =
+    let worker ~slot:_ ~slots:_ =
       let rec go () =
         let start = Atomic.fetch_and_add next chunk in
         if start < n then begin
           let stop = min n (start + chunk) in
           for i = start to stop - 1 do
             (* Each slot is written by exactly one domain (the
-               claimant) and read only after the joins below, so this
+               claimant) and read only after the barrier below, so this
                is data-race free under the OCaml memory model. *)
             results.(i) <-
               (match f xs.(i) with
@@ -54,9 +239,7 @@ let map ?domains f xs =
       in
       go ()
     in
-    let spawned = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join spawned;
+    scoped_pool ~domains (fun pool -> run pool worker);
     Array.map
       (function
         | Some (Ok y) -> y

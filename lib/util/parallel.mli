@@ -1,9 +1,15 @@
-(** Deterministic parallel map over OCaml 5 domains.
+(** Deterministic parallel primitives over OCaml 5 domains.
 
-    A fixed pool of domains claims work from a shared atomic counter in
-    {e chunks} of consecutive indices (roughly 8 chunks per domain), so
-    cheap items do not contend on the counter; a domain that finishes
-    its chunk steals the next unclaimed one.
+    A process-wide pool of worker domains is created lazily, parked on
+    a condition variable between jobs, and reused across calls — the
+    hot path ({!map} in a loop, the round barrier inside the parallel
+    checker) never pays [Domain.spawn]. {!spawns} exposes the lifetime
+    spawn count so tests can assert exactly that.
+
+    {!map} claims work from a shared atomic counter in {e chunks} of
+    consecutive indices (roughly 8 chunks per domain), so cheap items
+    do not contend on the counter; a domain that finishes its chunk
+    steals the next unclaimed one.
 
     {b Determinism contract.} Result [i] always comes from input [i]:
     the output array is a positional image of the input, never a
@@ -12,7 +18,9 @@
     runs entirely in the calling domain with no pool at all) and
     whatever the chunk schedule. Only wall-clock time may vary. The
     bench harness leans on this: a parallel sweep must be
-    byte-identical to a sequential one (experiment E15 asserts it).
+    byte-identical to a sequential one (experiment E15 asserts it),
+    and the parallel checker's cuts must be byte-identical at any
+    domain count (experiment E18 asserts it).
 
     [f] must not rely on domain-local or shared mutable state and the
     calls must be independent: items run concurrently in unspecified
@@ -27,10 +35,50 @@
 
 val default_domains : unit -> int
 (** [WCP_DOMAINS] from the environment if set and non-empty (must then
-    be a positive integer), else {!Domain.recommended_domain_count}. *)
+    be a positive integer), else {!Domain.recommended_domain_count}.
+    Read live on every call — tests and the CLI change it at run
+    time. *)
 
 val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map ~domains f xs] with [domains] defaulting to
-    {!default_domains}. The pool never exceeds [Array.length xs]. *)
+    {!default_domains}. Never engages more than [Array.length xs]
+    domains. *)
 
 val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** {1 Scoped pools}
+
+    For round-structured algorithms that hit the barrier many times
+    ({!map} pays one reservation per call; a scope pays one for any
+    number of {!run}s). *)
+
+type pool
+(** A reservation of worker domains. With one domain it is a no-op
+    wrapper: {!run} executes inline in the caller. *)
+
+val scoped_pool : ?domains:int -> (pool -> 'a) -> 'a
+(** [scoped_pool ~domains f] reserves [domains] domains (the caller
+    plus [domains - 1] pool workers, grown on demand but {e reused},
+    never respawned) and runs [f] with the reservation; the pool
+    returns to the shared pool when [f] returns or raises. [domains]
+    defaults to {!default_domains}; [d < 1] is an [Invalid_argument].
+    If the shared pool is already reserved — nested parallelism — the
+    scope gets private, short-lived domains instead, so nesting is
+    safe, just not free. *)
+
+val pool_domains : pool -> int
+(** Total domains the scope may engage, caller included. *)
+
+val run : pool -> (slot:int -> slots:int -> unit) -> unit
+(** [run pool f] executes [f ~slot ~slots] once per engaged domain —
+    [slot] ranging over [0 .. slots-1], the caller taking slot 0 — and
+    returns only after {e all} slots have finished (a barrier). Writes
+    made by the slots are visible to the caller afterwards. If slots
+    raise, the first exception by slot number is re-raised after the
+    barrier. Must not be called re-entrantly on the same pool (from
+    inside [f]): that deadlocks. *)
+
+val spawns : unit -> int
+(** Total [Domain.spawn]s performed by this module over the process
+    lifetime. A warm pool makes repeated {!map}/{!run} calls leave
+    this unchanged — the no-respawn regression test pins that. *)

@@ -19,6 +19,9 @@ The oracle and every detection algorithm agree on it:
   $ wcpdetect detect run.trace -a checker | cut -d'|' -f1
   detected {0:6 1:3 2:8 3:2} 
 
+  $ wcpdetect detect run.trace -a parallel | cut -d'|' -f1
+  detected {0:6 1:3 2:8 3:2} 
+
   $ wcpdetect detect run.trace -a multi-token --groups 2 | cut -d'|' -f1
   detected {0:6 1:3 2:8 3:2} 
 
@@ -31,8 +34,11 @@ coordinates (DESIGN.md §10) — only the replayed computation shrinks:
   $ wcpdetect detect run.trace -a token-dd --slice | cut -d'|' -f1
   detected {0:6 1:3 2:8 3:2} 
 
+  $ wcpdetect detect run.trace -a parallel --slice | cut -d'|' -f1
+  detected {0:6 1:3 2:8 3:2} 
+
   $ wcpdetect detect run.trace -a oracle --slice
-  wcpdetect: --slice needs an engine-backed algorithm (token-vc, multi-token, token-dd, token-dd-par or checker)
+  wcpdetect: --slice needs a detection algorithm (token-vc, multi-token, token-dd, token-dd-par, checker or parallel)
   [2]
 
 A sub-spec WCP:
@@ -133,6 +139,13 @@ The same fault flags work on plain detect:
   wcpdetect: fault injection is only supported for the token algorithms
   [2]
 
+The domain-parallel checker runs no simulated network either, so fault
+injection is rejected the same way:
+
+  $ wcpdetect detect run.trace -a parallel --drop 0.15
+  wcpdetect: fault injection is only supported for the token algorithms
+  [2]
+
 Causal tracing: `trace` runs a detection and writes a structured JSONL
 event log, printing the verdict plus derived metrics; `explain` replays
 the log as a narrative (who held the token, which comparison eliminated
@@ -141,6 +154,7 @@ which candidate):
   $ wcpdetect trace tiny.trace -a token-vc -o ev.jsonl
   trace: 23 events -> ev.jsonl
   detected {0:1 1:1} | msgs=8 bits=704 work=6 max-work=3 max-space=4 hops=1 polls=0 snaps=3 t=1.96 ev=10
+  parallel_rounds              0
   token_regenerations          0
   retransmits                  0
   polls                        0
@@ -190,8 +204,27 @@ The same log attaches to a plain detect run via --trace, and
 Tracing a replay-only algorithm is rejected up front:
 
   $ wcpdetect detect tiny.trace -a oracle --trace nope.jsonl
-  wcpdetect: tracing needs an engine-backed algorithm (token-vc, multi-token, token-dd, token-dd-par or checker)
+  wcpdetect: tracing needs a detection algorithm (token-vc, multi-token, token-dd, token-dd-par, checker or parallel)
   [2]
+
+The parallel checker narrates its frontier rounds through the same
+pipeline — one hb-elimination per advanced candidate, one round event
+per barrier:
+
+  $ wcpdetect detect run.trace -a parallel --trace evp.jsonl | cut -d'|' -f1
+  detected {0:6 1:3 2:8 3:2} 
+  trace: 8 events -> evp.jsonl
+
+  $ wcpdetect explain evp.jsonl
+  run: parallel over n=4 processes, predicate width 4
+  t=1        checker: eliminated candidate (P_2, state 1) <0,0,1,0>: happened before (P_1, state 3) <0,3,5,1> since clock[2]: 5 >= 1
+  t=1        checker: eliminated candidate (P_2, state 5) <0,0,5,1>: happened before (P_1, state 3) <0,3,5,1> since clock[2]: 5 >= 5
+  t=1        checker: parallel round 1: frontier <3,3,1,2>, 2 candidates eliminated
+  t=2        checker: eliminated candidate (P_0, state 3) <3,0,1,0>: happened before (P_2, state 8) <4,0,8,1> since clock[0]: 4 >= 3
+  t=2        checker: parallel round 2: frontier <3,3,8,2>, 1 candidate eliminated
+  t=3        checker: parallel round 3: frontier <6,3,8,2>, 0 candidates eliminated
+  t=3        checker: DETECTED consistent cut: P_0@state 6, P_1@state 3, P_2@state 8, P_3@state 2
+  0 token hops total
 
 Comparing everything on the workload:
 

@@ -166,11 +166,11 @@ let test_finish_requires_outcome () =
 (* Cross-algorithm agreement                                           *)
 (* ------------------------------------------------------------------ *)
 
-(* The four detectors implement the same problem with very different
+(* The detectors implement the same problem with very different
    machinery (Fig. 3 token, §3.5 multi-token, §4 direct-dependence
-   token, Garg–Waldecker checker). On any random computation they must
-   all agree with the oracle — and therefore with each other — on the
-   outcome. *)
+   token, Garg–Waldecker checker, domain-parallel rounds). On any
+   random computation they must all agree with the oracle — and
+   therefore with each other — on the outcome. *)
 let all_outcomes ~seed comp =
   let spec = Spec.all comp in
   [
@@ -182,10 +182,12 @@ let all_outcomes ~seed comp =
       Detection.project_outcome spec
         (Token_dd.detect ~seed comp spec).Detection.outcome );
     ("checker", (Checker_centralized.detect ~seed comp spec).Detection.outcome);
+    ("parallel", (Checker_parallel.detect ~seed comp spec).Detection.outcome);
   ]
 
 let prop_algorithms_agree =
-  Helpers.qtest ~count:60 "vc, multi, dd and checker all match the oracle"
+  Helpers.qtest ~count:60
+    "vc, multi, dd, checker and parallel all match the oracle"
     Helpers.gen_medium_comp (fun comp ->
       let expected = Oracle.first_cut comp (Spec.all comp) in
       List.for_all
@@ -194,6 +196,79 @@ let prop_algorithms_agree =
           || QCheck2.Test.fail_reportf "%s disagrees with the oracle: %a vs %a"
                name Detection.pp_outcome got Detection.pp_outcome expected)
         (all_outcomes ~seed:7L comp))
+
+(* The parallel checker's determinism contract: dense or sliced, at
+   any domain count, the outcome is the oracle's least cut — and the
+   cuts across domain counts are byte-identical (E18 pins the same
+   property at bench scale). *)
+let prop_parallel_checker_agrees =
+  Helpers.qtest ~count:40
+    "checker_parallel matches the oracle (dense and sliced, domains 1/2/4)"
+    Helpers.gen_medium_comp (fun comp ->
+      let spec = Spec.all comp in
+      let expected = Oracle.first_cut comp spec in
+      List.for_all
+        (fun slice ->
+          let outcomes =
+            List.map
+              (fun domains ->
+                (Checker_parallel.detect
+                   ~options:(Detection.options ~slice ())
+                   ~domains ~seed:7L comp spec)
+                  .Detection.outcome)
+              [ 1; 2; 4 ]
+          in
+          List.for_all
+            (fun got ->
+              Detection.outcome_equal expected got
+              || QCheck2.Test.fail_reportf
+                   "parallel (slice=%b) disagrees with the oracle: %a vs %a"
+                   slice Detection.pp_outcome got Detection.pp_outcome expected)
+            outcomes
+          (* Detected cuts must also be *identical*, not merely
+             equivalent, across domain counts. *)
+          && match outcomes with
+             | o :: rest ->
+                 List.for_all
+                   (fun o' ->
+                     Format.asprintf "%a" Detection.pp_outcome o'
+                     = Format.asprintf "%a" Detection.pp_outcome o)
+                   rest
+             | [] -> true)
+        [ false; true ])
+
+(* Degenerate inputs must not crash and must still match the oracle:
+   one process, an empty computation (no sends, no local states beyond
+   the initial one), all-false and all-true predicates. *)
+let test_parallel_checker_degenerate () =
+  let build ~n ~sends ~pred_pct ~seed =
+    Generator.random
+      ~params:
+        {
+          Generator.n;
+          sends_per_process = sends;
+          p_pred = float_of_int pred_pct /. 100.;
+          p_recv = 0.5;
+        }
+      ~seed:(Int64.of_int seed) ()
+  in
+  List.iter
+    (fun (what, comp) ->
+      let spec = Spec.all comp in
+      let expected = Oracle.first_cut comp spec in
+      List.iter
+        (fun domains ->
+          let r = Checker_parallel.detect ~domains ~seed:1L comp spec in
+          Alcotest.check Helpers.outcome
+            (Printf.sprintf "%s (domains=%d)" what domains)
+            expected r.Detection.outcome)
+        [ 1; 2; 4 ])
+    [
+      ("n=1", build ~n:1 ~sends:0 ~pred_pct:100 ~seed:3);
+      ("empty computation", build ~n:3 ~sends:0 ~pred_pct:0 ~seed:4);
+      ("all-false predicate", build ~n:4 ~sends:6 ~pred_pct:0 ~seed:5);
+      ("all-true predicate", build ~n:4 ~sends:6 ~pred_pct:100 ~seed:6);
+    ]
 
 (* Bench anomaly, pinned: at n=32, seed=2 the E1 token-vc row detects
    while the E2 checker row reports "none". That is parameter skew, not
@@ -247,6 +322,9 @@ let () =
       ( "agreement",
         [
           prop_algorithms_agree;
+          prop_parallel_checker_agrees;
+          Alcotest.test_case "parallel checker: degenerate inputs" `Quick
+            test_parallel_checker_degenerate;
           Alcotest.test_case "E2 n=32 seed=2 anomaly is parameter skew"
             `Quick test_e2_anomaly_is_parameter_skew;
         ] );

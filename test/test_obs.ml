@@ -85,6 +85,10 @@ let gen_body : Event.body QCheck2.Gen.t =
         (fun dst frame_seq -> Event.Retransmitted { dst; frame_seq })
         small small;
       map (fun round -> Event.Merged { round }) small;
+      map3
+        (fun round frontier eliminated ->
+          Event.Round_advanced { round; frontier; eliminated })
+        small vec small;
       map2 (fun procs states -> Event.Detected { procs; states }) vec vec;
       return Event.No_detection_declared;
     ]

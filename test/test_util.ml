@@ -291,6 +291,52 @@ let test_parallel_first_exception_by_index () =
   | exception Failure m ->
       Alcotest.(check string) "lowest index wins" "early" m
 
+let test_parallel_pool_no_respawn () =
+  (* The pool is persistent: after a warm-up call, repeated maps at the
+     same (or smaller) domain count must not spawn a single new domain
+     — the hot path parks and wakes workers instead. *)
+  let xs = Array.init 64 Fun.id in
+  ignore (Parallel.map ~domains:4 collatz_len xs);
+  let before = Parallel.spawns () in
+  for _ = 1 to 25 do
+    ignore (Parallel.map ~domains:4 collatz_len xs);
+    ignore (Parallel.map ~domains:2 collatz_len xs)
+  done;
+  Alcotest.(check int) "no per-call domain spawn" before (Parallel.spawns ())
+
+let test_scoped_pool_run () =
+  (* The barrier primitive under the parallel checker: every slot runs
+     exactly once per [run], writes land before [run] returns, and the
+     reservation is reusable across many rounds. *)
+  Parallel.scoped_pool ~domains:3 (fun pool ->
+      Alcotest.(check int) "pool width" 3 (Parallel.pool_domains pool);
+      let seen = Array.make 3 0 in
+      for _round = 1 to 10 do
+        Parallel.run pool (fun ~slot ~slots ->
+            Alcotest.(check int) "slots" 3 slots;
+            seen.(slot) <- seen.(slot) + 1)
+      done;
+      Alcotest.(check (array int)) "each slot ran every round"
+        [| 10; 10; 10 |] seen);
+  (* Exceptions cross the barrier: first by slot number. *)
+  Parallel.scoped_pool ~domains:2 (fun pool ->
+      match
+        Parallel.run pool (fun ~slot ~slots:_ ->
+            if slot = 0 then failwith "slot0" else failwith "slot1")
+      with
+      | () -> Alcotest.fail "expected exception"
+      | exception Failure m ->
+          Alcotest.(check string) "lowest slot wins" "slot0" m)
+
+let test_scoped_pool_nested () =
+  (* A map inside another map's worker must not deadlock on the shared
+     pool; the inner scope falls back to private domains. *)
+  let inner x = Array.fold_left ( + ) 0 (Parallel.map ~domains:2 collatz_len
+                                           (Array.init 8 (fun i -> x + i))) in
+  let a = Parallel.map ~domains:2 inner (Array.init 6 (fun i -> 100 * i)) in
+  let b = Array.map inner (Array.init 6 (fun i -> 100 * i)) in
+  Alcotest.(check (array int)) "nested maps deterministic" b a
+
 let with_env var value f =
   let old = Sys.getenv_opt var in
   Unix.putenv var value;
@@ -360,5 +406,10 @@ let () =
             test_parallel_first_exception_by_index;
           Alcotest.test_case "WCP_DOMAINS parsing" `Quick
             test_parallel_env_parsing;
+          Alcotest.test_case "pool: no per-call respawn" `Quick
+            test_parallel_pool_no_respawn;
+          Alcotest.test_case "scoped pool barrier" `Quick test_scoped_pool_run;
+          Alcotest.test_case "scoped pool nesting" `Quick
+            test_scoped_pool_nested;
         ] );
     ]
