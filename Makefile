@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench tables bench-json perf-check bench-smoke check chaos-soak trace-check slice-check examples clean
+.PHONY: all build test bench tables bench-json perf-check bench-smoke check chaos-soak recovery-soak trace-check slice-check examples clean
 
 # Committed machine-readable baseline (see EXPERIMENTS.md).
 BENCH_BASELINE ?= BENCH_1.json
@@ -45,6 +45,14 @@ check: build test bench-smoke
 # inside `make test`; this target unlocks the whole sweep.
 chaos-soak:
 	WCP_CHAOS_SOAK=1 dune exec test/test_soak.exe -- test chaos
+
+# Seeded crash/restart loop: every token algorithm under a mid-run
+# monitor Restart composed with link loss, across sizes x windows x
+# seeds, each run checked against the fault-free oracle. A bounded
+# smoke of the same loop always runs inside `make test`; this target
+# unlocks the full matrix.
+recovery-soak:
+	WCP_RECOVERY_SOAK=1 dune exec test/test_recovery.exe -- test soak
 
 # Validate emitted JSONL event logs against the wcp-events/1 schema
 # (codec round-trip, run_meta header, seq/time monotonicity, Chrome

@@ -252,7 +252,7 @@ end
 (* ------------------------------------------------------------------ *)
 
 type job = {
-  experiment : string;  (* "E1".."E9", "E15", "E16", "E17", "E18" *)
+  experiment : string;  (* "E1".."E9", "E15".."E19" *)
   algo : string;
   n : int;
   m : int;  (* sends per process (adversary: its m parameter) *)
@@ -261,7 +261,7 @@ type job = {
   param : int;
       (* groups (multi), spec width (E5), drop % (E9), domain count
          (E15, E18 parallel arm), delta flag 0/1 (E16), slice flag 0/1
-         (E17), else 0 *)
+         (E17), restart flag 0/1 (E19), else 0 *)
 }
 
 type metrics = {
@@ -278,11 +278,18 @@ type metrics = {
   bits : int;
   events : int;
   sim_time : float;
-  (* Fault-recovery work; zero everywhere outside E9. *)
+  (* Fault-recovery work; zero everywhere outside E9 and E19. *)
   retransmits : int;
   dups_suppressed : int;
   net_dropped : int;
   net_duplicated : int;
+  (* Crash-recovery work (E19's restart arm, schema v7): frames
+     replayed from the transport's retained history on the
+     post-restart reconnect, and the sim time from the monitor's state
+     restore to the run's verdict. Both deterministic; zero when no
+     restore fired. *)
+  replayed : int;
+  recovery_latency : float;
   (* Trace-derived summaries (schema v3) from a second, traced run of
      the same job. Recording never touches the engine RNG or stats, so
      the traced run follows the identical schedule and these are as
@@ -348,6 +355,20 @@ let run_sim ?recorder job =
            ~drop:(float_of_int job.param /. 100.0)
            ~dup:(float_of_int job.param /. 200.0)
            ())
+    else if job.experiment = "E19" && job.param <> 0 then
+      (* E19 restart arm: the monitor of application process 0 (engine
+         id n+0) crashes mid-protocol and comes back with its state
+         restored from the last checkpoint (ckpt_every = 1, the detect
+         default). param=0 is the fault-free reference; the spelled-out
+         cut in [outcome] pins the two arms byte-identical. *)
+      Some
+        (Wcp_sim.Fault.make
+           ~windows:
+             [
+               Wcp_sim.Fault.window ~kind:Wcp_sim.Fault.Restart ~proc:job.n
+                 ~from_t:2.0 ~until_t:10.0 ();
+             ]
+           ())
     else None
   in
   (* E16 ablates the wire encoding: param=1 is the hybrid delta
@@ -367,10 +388,13 @@ let run_sim ?recorder job =
         Token_dd.detect ?fault ?recorder ~parallel:true ~options ~seed comp
           spec
     | "token-multi" ->
-        (* In E16/E17 [param] is the delta/slice flag, so the group
-           count is pinned at 2 (the E3 sweet spot). *)
+        (* In E16/E17/E19 [param] is the delta/slice/restart flag, so
+           the group count is pinned at 2 (the E3 sweet spot). *)
         let groups =
-          if job.experiment = "E16" || job.experiment = "E17" then 2
+          if
+            job.experiment = "E16" || job.experiment = "E17"
+            || job.experiment = "E19"
+          then 2
           else job.param
         in
         Token_multi.detect ?fault ?recorder ~options ~groups ~seed comp spec
@@ -461,6 +485,8 @@ let run_e15 job =
     dups_suppressed = 0;
     net_dropped = 0;
     net_duplicated = 0;
+    replayed = 0;
+    recovery_latency = 0.0;
     trace_events = 0;
     eliminations = 0;
     hop_p50 = 0.0;
@@ -525,6 +551,8 @@ let run_job job =
         dups_suppressed = 0;
         net_dropped = 0;
         net_duplicated = 0;
+        replayed = 0;
+        recovery_latency = 0.0;
         trace_events = 0;
         eliminations = 0;
         hop_p50 = 0.0;
@@ -569,17 +597,38 @@ let run_job job =
         end
         else (0, 0)
       in
+      (* E19 restart arm: recovery latency is the simulation time from
+         the restarted monitor's state restore (the Restored trace
+         event) to the end of the run — how long the healed protocol
+         needed to reach its verdict after the crash. *)
+      let recovery_latency =
+        let restore_t =
+          Array.fold_left
+            (fun acc (e : Wcp_obs.Event.t) ->
+              match e.body with
+              | Wcp_obs.Event.Restored _ -> Float.max acc e.time
+              | _ -> acc)
+            Float.neg_infinity
+            (Wcp_obs.Recorder.events recorder)
+        in
+        if restore_t = Float.neg_infinity then 0.0
+        else r.sim_time -. restore_t
+      in
       {
         job;
         outcome =
           (match r.Detection.outcome with
           | Detection.Detected cut ->
-              (* E17 and E18 spell the cut out (in dense coordinates):
-                 E17 pins the sliced arm to the dense arm's exact cut,
-                 E18 pins every domain count to the centralized
-                 checker's cut — not just to "detected". *)
-              if job.experiment = "E17" || job.experiment = "E18" then
-                Format.asprintf "detected %a" Cut.pp cut
+              (* E17, E18 and E19 spell the cut out (in dense
+                 coordinates): E17 pins the sliced arm to the dense
+                 arm's exact cut, E18 pins every domain count to the
+                 centralized checker's cut, and E19 pins the
+                 crash-recovery arm to the fault-free reference's cut —
+                 not just to "detected". *)
+              if
+                job.experiment = "E17" || job.experiment = "E18"
+                || job.experiment = "E19"
+              then Format.asprintf "detected %a" Cut.pp cut
               else "detected"
           | Detection.No_detection -> "none"
           | Detection.Undetectable_crashed _ -> "undetectable");
@@ -598,6 +647,8 @@ let run_job job =
         dups_suppressed = Wcp_sim.Stats.total_dups_suppressed r.stats;
         net_dropped = Wcp_sim.Stats.net_dropped r.stats;
         net_duplicated = Wcp_sim.Stats.net_duplicated r.stats;
+        replayed = Wcp_sim.Stats.replayed r.stats;
+        recovery_latency;
         trace_events = Wcp_obs.Recorder.emitted recorder;
         eliminations = Wcp_obs.Metrics.count s.Wcp_obs.Metrics.eliminations;
         hop_p50 = q s.Wcp_obs.Metrics.hop_latency 0.5;
@@ -663,6 +714,12 @@ let jobs = function
         job "E18" "checker" ~n:8 ~m:20 ~seed:1 ();
         job "E18" "parallel" ~n:8 ~m:20 ~param:1 ~seed:1 ();
         job "E18" "parallel" ~n:8 ~m:20 ~param:4 ~seed:1 ();
+        job "E19" "token-vc" ~n:8 ~m:20 ~param:0 ~seed:1 ();
+        job "E19" "token-vc" ~n:8 ~m:20 ~param:1 ~seed:1 ();
+        job "E19" "token-dd" ~n:8 ~m:20 ~param:0 ~seed:1 ();
+        job "E19" "token-dd" ~n:8 ~m:20 ~param:1 ~seed:1 ();
+        job "E19" "token-multi" ~n:8 ~m:20 ~param:0 ~seed:1 ();
+        job "E19" "token-multi" ~n:8 ~m:20 ~param:1 ~seed:1 ();
       ]
   | Full ->
       let sweep f xs = List.concat_map f xs in
@@ -789,6 +846,24 @@ let jobs = function
                  (fun d -> job "E18" "parallel" ~n ~m:20 ~param:d ~seed:1 ())
                  [ 1; 2; 4; 8 ])
           [ 8; 16; 32; 64; 128 ]
+      (* E19: crash recovery. Per token algorithm x n, a fault-free
+         reference row (param 0) and a restart row (param 1) where the
+         monitor of process 0 crashes at t=2 and is restored from its
+         last checkpoint at t=10 (ckpt_every = 1). Both arms spell the
+         cut out in [outcome], so the baseline pins the recovered run's
+         first cut byte-identical to the fault-free reference; the
+         restart arm additionally reports replayed frames and the
+         restore-to-verdict recovery latency. *)
+      @ sweep
+          (fun n ->
+            sweep
+              (fun algo ->
+                List.map
+                  (fun restart ->
+                    job "E19" algo ~n ~m:20 ~param:restart ~seed:1 ())
+                  [ 0; 1 ])
+              [ "token-vc"; "token-dd"; "token-multi" ])
+          [ 8; 16; 32 ]
 
 let run ?domains profile =
   let js = Array.of_list (jobs profile) in
@@ -807,8 +882,11 @@ let run ?domains profile =
    bits figures moved vs v4.
    v6: E18 (domain-parallel checker crossover) and the
    par_rounds/par_frontier/par_items fields added; no existing field
-   moved. *)
-let schema = "wcp-bench/6"
+   moved.
+   v7: E19 (crash-recovery: mid-protocol monitor restart vs fault-free
+   reference) and the replayed/recovery_latency fields added; no
+   existing field moved. *)
+let schema = "wcp-bench/7"
 
 let metrics_to_json r =
   Json.Obj
@@ -836,6 +914,8 @@ let metrics_to_json r =
       ("dups_suppressed", Json.Int r.dups_suppressed);
       ("net_dropped", Json.Int r.net_dropped);
       ("net_duplicated", Json.Int r.net_duplicated);
+      ("replayed", Json.Int r.replayed);
+      ("recovery_latency", Json.Float r.recovery_latency);
       ("trace_events", Json.Int r.trace_events);
       ("eliminations", Json.Int r.eliminations);
       ("hop_p50", Json.Float r.hop_p50);
@@ -882,6 +962,8 @@ let metrics_of_json j =
     dups_suppressed = to_int (member "dups_suppressed" j);
     net_dropped = to_int (member "net_dropped" j);
     net_duplicated = to_int (member "net_duplicated" j);
+    replayed = to_int (member "replayed" j);
+    recovery_latency = to_float (member "recovery_latency" j);
     trace_events = to_int (member "trace_events" j);
     eliminations = to_int (member "eliminations" j);
     hop_p50 = to_float (member "hop_p50" j);

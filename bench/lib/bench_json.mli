@@ -1,6 +1,6 @@
 (** Machine-readable benchmark harness.
 
-    Runs the E1-E9 and E15-E17 experiment sweeps as independent jobs
+    Runs the E1-E9 and E15-E19 experiment sweeps as independent jobs
     (fanned out over domains with {!Wcp_util.Parallel}), records one
     metrics record per job, and serialises the lot as a stable JSON
     document suitable for committing as a regression baseline (see
@@ -35,7 +35,7 @@ module Json : sig
 end
 
 type job = {
-  experiment : string;  (** "E1".."E9", "E15", "E16", "E17", "E18" *)
+  experiment : string;  (** "E1".."E9", "E15".."E19" *)
   algo : string;
       (** "token-vc", "token-dd", "token-dd-par", "token-multi",
           "checker", "parallel", "adversary" *)
@@ -46,7 +46,7 @@ type job = {
   param : int;
       (** groups (E3), spec width (E5), drop %% (E9), domain count
           (E15, E18's parallel arm), delta flag 0/1 (E16), slice flag
-          0/1 (E17), else 0 *)
+          0/1 (E17), restart flag 0/1 (E19), else 0 *)
 }
 
 type metrics = {
@@ -57,8 +57,9 @@ type metrics = {
           "mismatch". E17 and E18 append the detected cut in dense
           coordinates (e.g. ["detected {0:6 1:3}"]), so the baseline
           comparison pins the sliced arm to the dense arm's exact cut
-          (E17) and every domain count to the centralized checker's
-          cut (E18). *)
+          (E17), every domain count to the centralized checker's cut
+          (E18), and the crash-recovery arm to the fault-free
+          reference's cut (E19). *)
   states : int;
   hops : int;
   polls : int;
@@ -70,10 +71,18 @@ type metrics = {
   bits : int;
   events : int;
   sim_time : float;
-  retransmits : int;  (** transport recovery (E9; zero elsewhere) *)
+  retransmits : int;  (** transport recovery (E9, E19; zero elsewhere) *)
   dups_suppressed : int;
   net_dropped : int;
   net_duplicated : int;
+  replayed : int;
+      (** Frames replayed from the transport's retained history on a
+          post-restart reconnect (E19's restart arm; zero elsewhere).
+          Deterministic, like [retransmits]. *)
+  recovery_latency : float;
+      (** Sim time from the restarted monitor's state restore to the
+          run's verdict (E19's restart arm; zero when no restore
+          fired). Deterministic: pure simulation clock. *)
   trace_events : int;
       (** Events emitted by a second, traced run of the same job. The
           timed run stays untraced (so [wall_ns] is unaffected), and
@@ -128,13 +137,14 @@ val e15_sessions : int
     run (see [outcome]). *)
 
 val schema : string
-(** Document schema tag, ["wcp-bench/6"] (v2 added the fault-recovery
+(** Document schema tag, ["wcp-bench/7"] (v2 added the fault-recovery
     counters; v3 the trace-derived histogram summaries; v4 E15/E16 and
     the gated + delta-encoded wire defaults; v5 E17 computation
     slicing, the [slice_states]/[slice_ns] fields, and packed dd
     snapshot + poll pricing under [delta], which moves dd bit counts;
     v6 E18 domain-parallel checker crossover and the
-    [par_rounds]/[par_frontier]/[par_items] fields). *)
+    [par_rounds]/[par_frontier]/[par_items] fields; v7 E19
+    crash-recovery and the [replayed]/[recovery_latency] fields). *)
 
 val emit : profile:profile -> metrics array -> string
 (** JSON document, one result record per line. *)

@@ -107,8 +107,46 @@ let parse_crash spec =
       | _ -> fail ())
   | _ -> fail ()
 
-let fault_plan ~drop ~dup ~crashes ~fault_seed =
-  let windows = List.map parse_crash crashes in
+let restart_arg =
+  let doc =
+    "Crash-with-recovery window ID@START or ID@START-END (engine process id, \
+     as for $(b,--crash); restart a monitor, N+p, to exercise checkpointed \
+     recovery). The process's in-memory state is destroyed at START and \
+     rebuilt from its last checkpoint at END (default START+8). Repeatable."
+  in
+  Arg.(value & opt_all string [] & info [ "restart" ] ~docv:"SPEC" ~doc)
+
+let parse_restart spec =
+  let fail () =
+    failwith
+      (Printf.sprintf "bad --restart %S (want ID@START or ID@START-END)" spec)
+  in
+  match String.split_on_char '@' spec with
+  | [ id; times ] -> (
+      let proc = try int_of_string id with _ -> fail () in
+      match String.split_on_char '-' times with
+      | [ t ] ->
+          let from_t = try float_of_string t with _ -> fail () in
+          Fault.window ~kind:Fault.Restart ~proc ~from_t
+            ~until_t:(from_t +. 8.0) ()
+      | [ a; b ] ->
+          let from_t = try float_of_string a with _ -> fail () in
+          let until_t = try float_of_string b with _ -> fail () in
+          Fault.window ~kind:Fault.Restart ~proc ~from_t ~until_t ()
+      | _ -> fail ())
+  | _ -> fail ()
+
+let ckpt_every_arg =
+  let doc =
+    "Checkpoint each restarting monitor after every K-th handled message \
+     (only meaningful with $(b,--restart); 1 = exact state transfer)."
+  in
+  Arg.(value & opt int 1 & info [ "ckpt-every" ] ~docv:"K" ~doc)
+
+let fault_plan ~drop ~dup ~crashes ~restarts ~fault_seed =
+  let windows =
+    List.map parse_crash crashes @ List.map parse_restart restarts
+  in
   let plan = Fault.uniform ~seed:fault_seed ~drop ~dup ~windows () in
   if Fault.is_none plan then None else Some plan
 
@@ -313,7 +351,8 @@ let write_trace recorder ~path ~format =
        else "")
   end
 
-let run_algo ?fault ?recorder ?(slice = false) algo ~groups ~seed comp spec =
+let run_algo ?fault ?recorder ?(slice = false) ?(ckpt_every = 1) algo ~groups
+    ~seed comp spec =
   let options = Detection.options ~slice () in
   (match (slice, algo) with
   | true, (Oracle_a | Cm | Strong_a) ->
@@ -336,17 +375,21 @@ let run_algo ?fault ?recorder ?(slice = false) algo ~groups ~seed comp spec =
       exit 2
   | _ -> ());
   match algo with
-  | Vc -> Some (Token_vc.detect ?fault ?recorder ~options ~seed comp spec)
+  | Vc ->
+      Some
+        (Token_vc.detect ?fault ?recorder ~ckpt_every ~options ~seed comp spec)
   | Multi ->
       Some
-        (Token_multi.detect ?fault ?recorder ~options
+        (Token_multi.detect ?fault ?recorder ~ckpt_every ~options
            ~groups:(min groups (Spec.width spec))
            ~seed comp spec)
-  | Dd -> Some (Token_dd.detect ?fault ?recorder ~options ~seed comp spec)
+  | Dd ->
+      Some
+        (Token_dd.detect ?fault ?recorder ~ckpt_every ~options ~seed comp spec)
   | Dd_par ->
       Some
-        (Token_dd.detect ?fault ?recorder ~options ~parallel:true ~seed comp
-           spec)
+        (Token_dd.detect ?fault ?recorder ~ckpt_every ~options ~parallel:true
+           ~seed comp spec)
   | Checker ->
       Some (Checker_centralized.detect ?recorder ~options ~seed comp spec)
   | Parallel -> Some (Checker_parallel.detect ?recorder ~options ~seed comp spec)
@@ -377,17 +420,19 @@ let run_algo ?fault ?recorder ?(slice = false) algo ~groups ~seed comp spec =
       None
 
 let detect_cmd =
-  let run trace algo groups procs seed verbose slice drop dup crashes
-      fault_seed trace_out trace_format =
+  let run trace algo groups procs seed verbose slice drop dup crashes restarts
+      ckpt_every fault_seed trace_out trace_format =
     let comp = Trace_codec.read_file trace in
     let spec = spec_of comp procs in
-    let fault = fault_plan ~drop ~dup ~crashes ~fault_seed in
+    let fault = fault_plan ~drop ~dup ~crashes ~restarts ~fault_seed in
     let recorder =
       match trace_out with
       | None -> None
       | Some _ -> Some (Wcp_obs.Recorder.create ())
     in
-    match run_algo ?fault ?recorder ~slice algo ~groups ~seed comp spec with
+    match
+      run_algo ?fault ?recorder ~slice ~ckpt_every algo ~groups ~seed comp spec
+    with
     | None -> ()
     | Some r ->
         Format.printf "%a@." Detection.pp_result r;
@@ -404,7 +449,8 @@ let detect_cmd =
     Term.(
       const (fun () -> run) $ setup_logs $ trace_arg $ algo_arg $ groups_arg
       $ procs_arg $ seed_arg $ verbose_arg $ slice_arg $ drop_arg $ dup_arg
-      $ crash_arg $ fault_seed_arg $ trace_out_arg $ trace_format_arg)
+      $ crash_arg $ restart_arg $ ckpt_every_arg $ fault_seed_arg
+      $ trace_out_arg $ trace_format_arg)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                               *)
@@ -425,12 +471,13 @@ let trace_cmd =
       & opt (enum trace_format_enum) `Jsonl
       & info [ "f"; "format" ] ~docv:"FMT" ~doc)
   in
-  let run trace algo groups procs seed out format drop dup crashes fault_seed =
+  let run trace algo groups procs seed out format drop dup crashes restarts
+      ckpt_every fault_seed =
     let comp = Trace_codec.read_file trace in
     let spec = spec_of comp procs in
-    let fault = fault_plan ~drop ~dup ~crashes ~fault_seed in
+    let fault = fault_plan ~drop ~dup ~crashes ~restarts ~fault_seed in
     let recorder = Wcp_obs.Recorder.create () in
-    match run_algo ?fault ~recorder algo ~groups ~seed comp spec with
+    match run_algo ?fault ~recorder ~ckpt_every algo ~groups ~seed comp spec with
     | None -> ()
     | Some r ->
         write_trace recorder ~path:out ~format;
@@ -450,7 +497,7 @@ let trace_cmd =
     Term.(
       const (fun () -> run) $ setup_logs $ trace_arg $ algo_arg $ groups_arg
       $ procs_arg $ seed_arg $ out $ format $ drop_arg $ dup_arg $ crash_arg
-      $ fault_seed_arg)
+      $ restart_arg $ ckpt_every_arg $ fault_seed_arg)
 
 (* ------------------------------------------------------------------ *)
 (* explain                                                             *)
@@ -503,11 +550,13 @@ let chaos_cmd =
       & opt (enum [ ("token-vc", Vc); ("multi-token", Multi); ("token-dd", Dd) ]) Vc
       & info [ "a"; "algorithm" ] ~docv:"ALGO" ~doc)
   in
-  let run trace algo groups procs seed drop dup crashes fault_seed trace_out
-      trace_format =
+  let run trace algo groups procs seed drop dup crashes restarts ckpt_every
+      fault_seed trace_out trace_format =
     let comp = Trace_codec.read_file trace in
     let spec = spec_of comp procs in
-    let windows = List.map parse_crash crashes in
+    let windows =
+      List.map parse_crash crashes @ List.map parse_restart restarts
+    in
     let fault = Fault.uniform ~seed:fault_seed ~drop ~dup ~windows () in
     let recorder =
       match trace_out with
@@ -517,15 +566,19 @@ let chaos_cmd =
     let name, r, scope =
       match algo with
       | Vc ->
-          ("token-vc", Token_vc.detect ~fault ?recorder ~seed comp spec, `Spec)
+          ( "token-vc",
+            Token_vc.detect ~fault ?recorder ~ckpt_every ~seed comp spec,
+            `Spec )
       | Multi ->
           ( "multi-token",
-            Token_multi.detect ~fault ?recorder
+            Token_multi.detect ~fault ?recorder ~ckpt_every
               ~groups:(min groups (Spec.width spec))
               ~seed comp spec,
             `Spec )
       | _ ->
-          ("token-dd", Token_dd.detect ~fault ?recorder ~seed comp spec, `Full)
+          ( "token-dd",
+            Token_dd.detect ~fault ?recorder ~ckpt_every ~seed comp spec,
+            `Full )
     in
     (match (recorder, trace_out) with
     | Some rec_, Some path -> write_trace rec_ ~path ~format:trace_format
@@ -551,7 +604,16 @@ let chaos_cmd =
       (Stats.total_retransmits st)
       (Stats.total_dups_suppressed st)
       (Stats.net_dropped st) (Stats.net_duplicated st) (Stats.crash_dropped st)
-      oracle
+      oracle;
+    (* Recovery line only when someone restarts: restart-free chaos
+       output stays byte-identical to the pre-recovery pins. *)
+    if restarts <> [] then
+      Format.printf
+        "recovery restarts=%d ckpt-every=%d: checkpoints=%d restores=%d \
+         replayed=%d wd-stand-downs=%d@."
+        (List.length restarts) ckpt_every (Stats.checkpoints st)
+        (Stats.restores st) (Stats.replayed st)
+        (Stats.wd_stand_downs st)
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -559,8 +621,8 @@ let chaos_cmd =
          "Run a token algorithm under a deterministic fault plan and compare           its verdict with the fault-free oracle.")
     Term.(
       const run $ trace_arg $ algo $ groups_arg $ procs_arg $ seed_arg
-      $ drop_arg $ dup_arg $ crash_arg $ fault_seed_arg $ trace_out_arg
-      $ trace_format_arg)
+      $ drop_arg $ dup_arg $ crash_arg $ restart_arg $ ckpt_every_arg
+      $ fault_seed_arg $ trace_out_arg $ trace_format_arg)
 
 (* ------------------------------------------------------------------ *)
 (* compare                                                             *)

@@ -13,7 +13,7 @@ type t =
   | App_done
   | Vc_token of { seq : int; g : int array; color : color array }
   | Group_token of { seq : int; g : int array; color : color array; group : int }
-  | Group_return of { g : int array; color : color array; group : int }
+  | Group_return of { seq : int; g : int array; color : color array; group : int }
   | Dd_token of { seq : int }
   | Poll of { clock : int; next_red : int option }
   | Poll_reply of { became_red : bool }
@@ -54,7 +54,19 @@ let rec bits ~spec_width = function
   | Wd_reply _ -> word
   | Frame (Wcp_sim.Transport.Data { payload; _ }) ->
       Wcp_sim.Transport.frame_overhead_bits + bits ~spec_width payload
-  | Frame (Wcp_sim.Transport.Ack _) -> Wcp_sim.Transport.frame_overhead_bits
+  (* Ack era and Reconnect cursor ride the header word. *)
+  | Frame (Wcp_sim.Transport.Ack _) | Frame (Wcp_sim.Transport.Reconnect _) ->
+      Wcp_sim.Transport.frame_overhead_bits
+
+(* Regenerating a checkpointed token must not alias arrays the
+   receiver will mutate; non-token messages carry no mutable payload
+   the monitors write through. *)
+let deep_copy = function
+  | Vc_token { seq; g; color } ->
+      Vc_token { seq; g = Array.copy g; color = Array.copy color }
+  | Group_token { seq; g; color; group } ->
+      Group_token { seq; g = Array.copy g; color = Array.copy color; group }
+  | m -> m
 
 let pp_color ppf = function
   | Red -> Format.pp_print_string ppf "R"
@@ -85,7 +97,7 @@ let rec pp ppf = function
   | Vc_token { g; color; _ } -> Format.fprintf ppf "token%a" pp_vec (g, color)
   | Group_token { g; color; group; _ } ->
       Format.fprintf ppf "gtoken%d%a" group pp_vec (g, color)
-  | Group_return { g; color; group } ->
+  | Group_return { g; color; group; _ } ->
       Format.fprintf ppf "greturn%d%a" group pp_vec (g, color)
   | Dd_token _ -> Format.pp_print_string ppf "dd-token"
   | Poll { clock; next_red } ->
@@ -100,4 +112,8 @@ let rec pp ppf = function
         (if holding then ",holding" else "")
   | Frame (Wcp_sim.Transport.Data { seq; payload }) ->
       Format.fprintf ppf "frame#%d(%a)" seq pp payload
-  | Frame (Wcp_sim.Transport.Ack { cum }) -> Format.fprintf ppf "ack#%d" cum
+  | Frame (Wcp_sim.Transport.Ack { cum; era }) ->
+      if era = 0 then Format.fprintf ppf "ack#%d" cum
+      else Format.fprintf ppf "ack#%d/e%d" cum era
+  | Frame (Wcp_sim.Transport.Reconnect { expected; era }) ->
+      Format.fprintf ppf "reconnect#%d/e%d" expected era

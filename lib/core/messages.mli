@@ -51,8 +51,11 @@ type t =
           the token's header word, so {!bits} is unchanged by it. *)
   | Group_token of { seq : int; g : int array; color : color array; group : int }
       (** §3.5: a group's token, dispatched by the leader. *)
-  | Group_return of { g : int array; color : color array; group : int }
-      (** §3.5: group token returning to the leader. *)
+  | Group_return of { seq : int; g : int array; color : color array; group : int }
+      (** §3.5: group token returning to the leader. [seq] echoes the
+          hop number of the dispatch it answers so the leader can
+          discard duplicate returns replayed by the recovery layer; it
+          rides the header word, so {!bits} is unchanged by it. *)
   | Dd_token of { seq : int }  (** §4: the (otherwise empty) token. *)
   | Poll of { clock : int; next_red : int option }
       (** §4 poll: a dependence's clock and the poller's red-chain
@@ -87,5 +90,11 @@ val bits : spec_width:int -> t -> int
     - [Wd_probe]/[Wd_reply]: 1 word;
     - [Frame]: the payload plus {!Wcp_sim.Transport.frame_overhead_bits}
       of header ([Ack]s are header-only). *)
+
+val deep_copy : t -> t
+(** Fresh copies of the mutable arrays of a token message (the
+    receiver mutates the [g]/[color] it is handed); identity on
+    everything else. Used when regenerating a token from a watchdog
+    or a decoded checkpoint. *)
 
 val pp : Format.formatter -> t -> unit

@@ -41,17 +41,103 @@ let raw_net engine =
     set_handler = (fun id h -> Engine.set_handler engine id h);
   }
 
-let reliable_net ?rto ?backoff ?max_retries ?on_unreachable engine =
+let reliable_net_transport ?rto ?backoff ?max_retries ?max_unacked ?recovery
+    ?on_unreachable engine =
   let transport =
-    Transport.create ?rto ?backoff ?max_retries
+    Transport.create ?rto ?backoff ?max_retries ?max_unacked ?recovery
       ~inject:(fun frame -> Messages.Frame frame)
       ~project:(function Messages.Frame f -> Some f | _ -> None)
       ?on_unreachable engine
   in
-  {
-    send = (fun ctx ~bits ~dst msg -> Transport.send transport ctx ~bits ~dst msg);
-    set_handler = (fun id h -> Transport.wire transport id h);
-  }
+  ( {
+      send =
+        (fun ctx ~bits ~dst msg -> Transport.send transport ctx ~bits ~dst msg);
+      set_handler = (fun id h -> Transport.wire transport id h);
+    },
+    transport )
+
+let reliable_net ?rto ?backoff ?max_retries ?on_unreachable engine =
+  fst (reliable_net_transport ?rto ?backoff ?max_retries ?on_unreachable engine)
+
+(* --- Crash-recovery wiring (Fault.Restart windows) ---------------- *)
+
+type recovery = {
+  transport : Messages.t Transport.t;
+  restarts : Fault.window list;
+  every : int;
+}
+
+let wire_recovery engine (r : recovery) ~owns ~capture ~restore =
+  if r.every < 1 then invalid_arg "Run_common.wire_recovery: every must be >= 1";
+  let store : (int, string) Hashtbl.t = Hashtbl.create 4 in
+  let counts : (int, int) Hashtbl.t = Hashtbl.create 4 in
+  let procs =
+    List.filter_map
+      (fun (w : Fault.window) ->
+        if owns w.Fault.proc then Some w.Fault.proc else None)
+      r.restarts
+    |> List.sort_uniq compare
+  in
+  let snap ?ctx proc =
+    let algo, watchdog = capture proc in
+    let c =
+      {
+        Checkpoint.proc;
+        algo;
+        transport = Transport.export_state r.transport ~proc;
+        watchdog;
+      }
+    in
+    let s = Checkpoint.encode c in
+    Hashtbl.replace store proc s;
+    match ctx with
+    | None -> ()
+    | Some ctx -> (
+        Stats.note_checkpoint (Engine.stats_of ctx);
+        match Engine.recorder_of ctx with
+        | None -> ()
+        | Some rc ->
+            Wcp_obs.Recorder.emit rc ~time:(Engine.time ctx) ~proc
+              (Wcp_obs.Event.Checkpoint_taken { bytes = String.length s }))
+  in
+  (* Seed every restarting proc with its pre-run state, so a window
+     that opens before the first handled message still restores. *)
+  List.iter (fun p -> snap p) procs;
+  (* One restore timer per window, at its recovery time [until_t]. The
+     timer was scheduled at setup, so at [until_t] it runs before any
+     message the window deferred to the same instant (insertion
+     order), and the deferred deliveries find the restored state. *)
+  List.iter
+    (fun (w : Fault.window) ->
+      if owns w.Fault.proc then
+        match w.Fault.until_t with
+        | None -> ()
+        | Some at ->
+            Engine.schedule_initial engine ~proc:w.Fault.proc ~at (fun ctx ->
+                match Hashtbl.find_opt store w.Fault.proc with
+                | None -> ()
+                | Some s ->
+                    let c = Checkpoint.decode s in
+                    restore ctx c;
+                    Transport.restore_state r.transport ~proc:w.Fault.proc
+                      c.Checkpoint.transport;
+                    Stats.note_restore (Engine.stats_of ctx);
+                    (match Engine.recorder_of ctx with
+                    | None -> ()
+                    | Some rc ->
+                        Wcp_obs.Recorder.emit rc ~time:(Engine.time ctx)
+                          ~proc:w.Fault.proc
+                          (Wcp_obs.Event.Restored { bytes = String.length s }));
+                    Transport.reconnect r.transport ctx ~proc:w.Fault.proc))
+    r.restarts;
+  fun proc ctx ->
+    if Hashtbl.mem store proc then begin
+      let k =
+        (match Hashtbl.find_opt counts proc with Some k -> k | None -> 0) + 1
+      in
+      Hashtbl.replace counts proc k;
+      if k mod r.every = 0 then snap ~ctx proc
+    end
 
 let finish ?fault engine ~outcome ~extras =
   Engine.run engine;

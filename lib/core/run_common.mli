@@ -73,6 +73,51 @@ val reliable_net :
     exhausts its retries (a permanently crashed peer) — detectors use
     it to announce {!Detection.Undetectable_crashed}. *)
 
+val reliable_net_transport :
+  ?rto:float ->
+  ?backoff:float ->
+  ?max_retries:int ->
+  ?max_unacked:int ->
+  ?recovery:bool ->
+  ?on_unreachable:(Messages.t Engine.ctx -> dst:int -> unit) ->
+  Messages.t Engine.t ->
+  net * Messages.t Wcp_sim.Transport.t
+(** {!reliable_net}, but also hands back the transport itself so the
+    crash-recovery layer can checkpoint flow state
+    ({!Wcp_sim.Transport.export_state}) and drive the reconnect
+    handshake after a [Fault.Restart]. [recovery] and [max_unacked] are
+    passed through to {!Wcp_sim.Transport.create}. *)
+
+(** {2 Crash-recovery wiring} *)
+
+type recovery = {
+  transport : Messages.t Wcp_sim.Transport.t;
+      (** the run's reliable transport, created with [~recovery:true] *)
+  restarts : Fault.window list;  (** the plan's [Restart] windows *)
+  every : int;  (** capture after every [every]-th handled message *)
+}
+
+val wire_recovery :
+  Messages.t Engine.t ->
+  recovery ->
+  owns:(int -> bool) ->
+  capture:(int -> Checkpoint.algo * Checkpoint.wd_state option) ->
+  restore:(Messages.t Engine.ctx -> Checkpoint.t -> unit) ->
+  (int -> Messages.t Engine.ctx -> unit)
+(** Wire checkpoint capture and deterministic restore for every
+    [Restart] window whose proc satisfies [owns] (the detector's own
+    monitor ids): seed an initial checkpoint per restarting proc,
+    schedule a restore timer at each window's [until_t] (decode the
+    stored checkpoint, hand it to [restore] for the algorithm and
+    watchdog state, rebuild the transport flows, then run the
+    {!Wcp_sim.Transport.reconnect} handshake), and return the
+    capture hook the detector must call after {e every} handled
+    monitor message — it encodes a fresh checkpoint every
+    [every]-th message for restarting procs and no-ops for others.
+    Checkpoints cross the capture/restore boundary only as encoded
+    strings, so the codec itself is on the recovery path.
+    @raise Invalid_argument if [every < 1]. *)
+
 val finish :
   ?fault:Fault.plan ->
   Messages.t Engine.t ->

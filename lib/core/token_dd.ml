@@ -32,8 +32,9 @@ type monitors = {
   start_token : Messages.t Wcp_sim.Engine.ctx -> unit;
 }
 
-let install engine ~n_app ~parallel ?net ?watchdog ?check ?(stop = true)
-    ?(start_at = 0) ?(delta = true) ~outcome ~hops ~polls ~snapshots () =
+let install engine ~n_app ~parallel ?net ?watchdog ?check ?recovery
+    ?(stop = true) ?(start_at = 0) ?(delta = true) ~outcome ~hops ~polls
+    ~snapshots () =
   let net = match net with Some n -> n | None -> Run_common.raw_net engine in
   (* Fetched once; tracing off means every hook below is one match. *)
   let recorder = Engine.recorder engine in
@@ -187,10 +188,13 @@ let install engine ~n_app ~parallel ?net ?watchdog ?check ?(stop = true)
         (match watchdog with
         | None -> ()
         | Some wd ->
-            Watchdog.watch wd ctx ~seq ~dst:(monitor_id j)
+            Watchdog.watch wd ctx
+              ~token:(msg, bits msg)
+              ~seq ~dst:(monitor_id j)
               ~resend:(fun ctx ->
                 net.Run_common.send ctx ~bits:(bits msg) ~dst:(monitor_id j)
-                  msg))
+                  msg)
+              ())
   in
   let on_message m ctx ~src msg =
     match msg with
@@ -285,8 +289,93 @@ let install engine ~n_app ~parallel ?net ?watchdog ?check ?(stop = true)
         | None -> ())
     | _ -> failwith "Token_dd: unexpected message at monitor"
   in
+  (* Crash recovery: see Token_vc — same capture-after-each-message /
+     restore-at-window-end scheme, over the §4 monitor state. *)
+  let maybe_capture =
+    match recovery with
+    | None -> None
+    | Some r ->
+        let cell_of : (int, mon) Hashtbl.t = Hashtbl.create 8 in
+        Array.iter
+          (fun m -> Hashtbl.replace cell_of (monitor_id m.proc) m)
+          monitors;
+        let capture proc =
+          let m = Hashtbl.find cell_of proc in
+          let algo =
+            Checkpoint.Dd
+              {
+                Checkpoint.d_queue = List.of_seq (Queue.to_seq m.queue);
+                d_app_done = m.app_done;
+                d_color = m.color;
+                d_g = m.g;
+                d_next_red = m.next_red;
+                d_has_token = m.has_token;
+                d_tentative = m.tentative;
+                d_deps = m.deps_pending;
+                d_polling = m.polling;
+                d_last_seq = m.last_token_seq;
+              }
+          in
+          let wd_state =
+            match watchdog with
+            | Some wd when Watchdog.seq wd > 0 && Watchdog.owner wd = proc -> (
+                match Watchdog.token wd with
+                | Some (payload, w_bits) ->
+                    Some
+                      {
+                        Checkpoint.w_seq = Watchdog.seq wd;
+                        w_dst = Watchdog.dst wd;
+                        w_probes = Watchdog.probes wd;
+                        w_bits;
+                        w_payload = payload;
+                      }
+                | None -> None)
+            | _ -> None
+          in
+          (algo, wd_state)
+        in
+        let restore ctx (c : Checkpoint.t) =
+          let m = Hashtbl.find cell_of c.Checkpoint.proc in
+          (match c.Checkpoint.algo with
+          | Checkpoint.Dd s ->
+              Queue.clear m.queue;
+              List.iter (fun x -> Queue.add x m.queue) s.Checkpoint.d_queue;
+              m.queue_words <-
+                Queue.fold (fun acc x -> acc + snapshot_words x) 0 m.queue;
+              m.app_done <- s.Checkpoint.d_app_done;
+              m.color <- s.Checkpoint.d_color;
+              m.g <- s.Checkpoint.d_g;
+              m.next_red <- s.Checkpoint.d_next_red;
+              m.has_token <- s.Checkpoint.d_has_token;
+              m.tentative <- s.Checkpoint.d_tentative;
+              m.deps_pending <- s.Checkpoint.d_deps;
+              m.polling <- s.Checkpoint.d_polling;
+              m.last_token_seq <- s.Checkpoint.d_last_seq
+          | _ -> failwith "Token_dd: checkpoint algorithm mismatch");
+          match (watchdog, c.Checkpoint.watchdog) with
+          | Some wd, Some w when w.Checkpoint.w_seq >= Watchdog.seq wd ->
+              let dst = w.Checkpoint.w_dst and bits = w.Checkpoint.w_bits in
+              let payload = w.Checkpoint.w_payload in
+              Watchdog.restore wd ctx ~token:(payload, bits)
+                ~seq:w.Checkpoint.w_seq ~dst ~probes:w.Checkpoint.w_probes
+                ~resend:(fun ctx -> net.Run_common.send ctx ~bits ~dst payload)
+                ()
+          | _ -> ()
+        in
+        Some
+          (Run_common.wire_recovery engine r
+             ~owns:(Hashtbl.mem cell_of)
+             ~capture ~restore)
+  in
   Array.iter
-    (fun m -> net.Run_common.set_handler (monitor_id m.proc) (on_message m))
+    (fun m ->
+      let id = monitor_id m.proc in
+      match maybe_capture with
+      | None -> net.Run_common.set_handler id (on_message m)
+      | Some cap ->
+          net.Run_common.set_handler id (fun ctx ~src msg ->
+              on_message m ctx ~src msg;
+              cap id ctx))
     monitors;
   {
     start_id = monitor_id start_at;
@@ -294,7 +383,12 @@ let install engine ~n_app ~parallel ?net ?watchdog ?check ?(stop = true)
       (fun ctx ->
         (* The token starts at the chain head. *)
         monitors.(start_at).has_token <- true;
-        drive ctx monitors.(start_at));
+        drive ctx monitors.(start_at);
+        (* Checkpoint the injected token (see Token_vc.install): a
+           restart must not restore a token-less seed. *)
+        match maybe_capture with
+        | None -> ()
+        | Some cap -> cap (monitor_id start_at) ctx);
   }
 
 let start engine monitors =
@@ -367,11 +461,12 @@ let check_invariants comp ~g ~color ~next_red ~next =
   done
 
 let rec detect ?network ?fault ?recorder ?(parallel = false)
-    ?(invariant_checks = false) ?start_at
+    ?(invariant_checks = false) ?start_at ?(ckpt_every = 1)
     ?(options = Detection.default_options) ~seed comp spec =
   if options.Detection.slice then
     Run_common.with_slice ~keep_rest:true comp spec ~run:(fun sliced spec' ->
         detect ?network ?fault ?recorder ~parallel ~invariant_checks ?start_at
+          ~ckpt_every
           ~options:{ options with Detection.slice = false }
           ~seed sliced spec')
   else
@@ -395,15 +490,12 @@ let rec detect ?network ?fault ?recorder ?(parallel = false)
     if invariant_checks && not parallel then Some (check_invariants comp)
     else None
   in
-  let net, watchdog =
-    match fault with
-    | None -> (None, None)
-    | Some _ ->
-        (Some (Token_vc.chaos_net engine ~outcome), Some (Watchdog.create ()))
+  let net, watchdog, recovery =
+    Token_vc.chaos_wiring engine ~fault ~outcome ~ckpt_every
   in
   let monitors =
-    install engine ~n_app:n ~parallel ?net ?watchdog ?check ?start_at ~delta
-      ~outcome ~hops ~polls ~snapshots ()
+    install engine ~n_app:n ~parallel ?net ?watchdog ?check ?recovery ?start_at
+      ~delta ~outcome ~hops ~polls ~snapshots ()
   in
   (* Application side: §4.1 snapshots, from every process. *)
   App_replay.install engine comp ?net

@@ -54,6 +54,7 @@ val install :
     next_red:int option array ->
     next:int option ->
     unit) ->
+  ?recovery:Run_common.recovery ->
   ?stop:bool ->
   ?start_at:int ->
   ?delta:bool ->
@@ -67,8 +68,8 @@ val install :
     (the WCP's identity is immaterial to the monitors: they only see
     snapshot streams, which is why live monitoring needs no recorded
     computation). The engine must follow the {!Run_common} id layout.
-    The detected cut spans all [n_app] processes. [stop], [net] and
-    [watchdog] as in {!Token_vc.install}. [delta] (default [true])
+    The detected cut spans all [n_app] processes. [stop], [net],
+    [watchdog] and [recovery] as in {!Token_vc.install}. [delta] (default [true])
     charges each §4 poll its packed one-word size ({!Wire.poll_bits})
     instead of the dense two words; the monitors decode both dd
     snapshot forms either way. *)
@@ -85,6 +86,7 @@ val detect :
   ?parallel:bool ->
   ?invariant_checks:bool ->
   ?start_at:int ->
+  ?ckpt_every:int ->
   ?options:Detection.options ->
   seed:int64 ->
   Computation.t ->
@@ -92,8 +94,10 @@ val detect :
   Detection.result
 (** The [Detected] cut spans all [N] processes; project it with
     {!Detection.project_outcome} to compare against the oracle.
-    [fault] as in {!Token_vc.detect}: reliable transport + token
-    watchdog + graceful [Undetectable_crashed] degradation.
+    [fault] and [ckpt_every] as in {!Token_vc.detect}: reliable
+    transport + token watchdog + graceful [Undetectable_crashed]
+    degradation, with checkpointed crash recovery under
+    [Fault.Restart] windows.
     [options] as in {!Token_vc.detect}; for this algorithm [delta]
     packs §4.1 snapshot dependences ({!Wire.encode_dd}) and prices
     polls at their packed size ({!Wire.poll_bits}) — red-chain

@@ -17,15 +17,20 @@ type leader = {
   merged_g : int array;
   merged_color : Messages.color array;
   mutable outstanding : int;
+  (* Highest return hop merged per group: a replayed or regenerated
+     [Group_return] repeats its hop number, and merging one twice would
+     double-decrement [outstanding]. *)
+  returns_seen : int array;
 }
 
 type assignment = Round_robin | Blocks
 
 let rec detect ?network ?fault ?recorder ?(assignment = Round_robin)
-    ?(options = Detection.default_options) ~groups ~seed comp spec =
+    ?(ckpt_every = 1) ?(options = Detection.default_options) ~groups ~seed comp
+    spec =
   if options.Detection.slice then
     Run_common.with_slice ~keep_rest:false comp spec ~run:(fun sliced spec' ->
-        detect ?network ?fault ?recorder ~assignment
+        detect ?network ?fault ?recorder ~assignment ~ckpt_every
           ~options:{ options with Detection.slice = false }
           ~groups ~seed sliced spec')
   else
@@ -47,10 +52,25 @@ let rec detect ?network ?fault ?recorder ?(assignment = Round_robin)
   let merges = ref 0 in
   let snapshots_seen = ref 0 in
   let chaos = Option.is_some fault in
-  let net =
-    if chaos then Token_vc.chaos_net engine ~outcome
-    else Run_common.raw_net engine
+  if ckpt_every < 1 then
+    invalid_arg "Token_multi.detect: ckpt_every must be >= 1";
+  let net, recovery =
+    match fault with
+    | None -> (Run_common.raw_net engine, None)
+    | Some f when Fault.has_restarts f ->
+        let net, transport = Token_vc.chaos_net_transport engine ~outcome in
+        ( net,
+          Some
+            {
+              Run_common.transport;
+              restarts = Fault.restarts f;
+              every = ckpt_every;
+            } )
+    | Some _ -> (Token_vc.chaos_net engine ~outcome, None)
   in
+  (* Reprobing (monitor-liveness) watchdogs exist only under plans that
+     restart someone; every other chaos run keeps its exact schedule. *)
+  let wd_reprobe = Option.is_some recovery in
   let announce ctx o =
     if Option.is_none !outcome then begin
       outcome := Some o;
@@ -89,17 +109,25 @@ let rec detect ?network ?fault ?recorder ?(assignment = Round_robin)
     | None -> ()
     | Some wd ->
         let g' = Array.copy g and color' = Array.copy color in
+        let payload =
+          Messages.Group_token { seq; g = g'; color = color'; group }
+        in
         (* A resend re-ships the originally encoded bytes. *)
-        Watchdog.watch wd ctx ~seq ~dst ~resend:(fun ctx ->
-            let msg =
-              Messages.Group_token
-                { seq; g = Array.copy g'; color = Array.copy color'; group }
-            in
-            net.Run_common.send ctx ~bits:hop_bits ~dst msg)
+        Watchdog.watch wd ctx
+          ~token:(payload, hop_bits)
+          ~seq ~dst
+          ~resend:(fun ctx ->
+            net.Run_common.send ctx ~bits:hop_bits ~dst
+              (Messages.deep_copy payload))
+          ()
   in
-  let send_return ctx ~dst g msg =
+  let send_return ctx ~group g color =
     incr hops;
-    net.Run_common.send ctx ~bits:(token_bits ctx ~dst msg g) ~dst msg
+    let seq = !hops in
+    let msg = Messages.Group_return { seq; g; color; group } in
+    net.Run_common.send ctx
+      ~bits:(token_bits ctx ~dst:leader_id msg g)
+      ~dst:leader_id msg
   in
   (* Group-token processing: the §3 monitor algorithm, except the token
      may only move to red monitors of its own group and otherwise
@@ -170,9 +198,7 @@ let rec detect ?network ?fault ?recorder ?(assignment = Round_robin)
       if j >= 0 then
         send_group_token ctx ?wd:m.wd ~dst:(monitor_id j) ~group:m.group g
           color
-      else
-        send_return ctx ~dst:leader_id g
-          (Messages.Group_return { g; color; group = m.group })
+      else send_return ctx ~group:m.group g color
   in
   let resume ctx m =
     match m.held with
@@ -232,12 +258,14 @@ let rec detect ?network ?fault ?recorder ?(assignment = Round_robin)
       merged_g = Array.make width 0;
       merged_color = Array.make width Messages.Red;
       outstanding = 0;
+      returns_seen = Array.make groups 0;
     }
   in
   (* The leader may have one token in flight per group, so it owns one
      watchdog per group (a watchdog tracks a single token). *)
   let leader_wds =
-    if chaos then Array.init groups (fun _ -> Some (Watchdog.create ()))
+    if chaos then
+      Array.init groups (fun _ -> Some (Watchdog.create ~reprobe:wd_reprobe ()))
     else Array.make groups None
   in
   let dispatch ctx =
@@ -280,18 +308,21 @@ let rec detect ?network ?fault ?recorder ?(assignment = Round_robin)
   in
   let on_leader ctx ~src:_ msg =
     match msg with
-    | Messages.Group_return { g; color; group = _ } ->
-        Engine.charge_work ctx width;
-        for j = 0 to width - 1 do
-          if g.(j) > ld.merged_g.(j) then begin
-            ld.merged_g.(j) <- g.(j);
-            ld.merged_color.(j) <- color.(j)
-          end
-          else if g.(j) = ld.merged_g.(j) && color.(j) = Messages.Red then
-            ld.merged_color.(j) <- Messages.Red
-        done;
-        ld.outstanding <- ld.outstanding - 1;
-        if ld.outstanding = 0 then dispatch ctx
+    | Messages.Group_return { seq; g; color; group } ->
+        if seq > ld.returns_seen.(group) then begin
+          ld.returns_seen.(group) <- seq;
+          Engine.charge_work ctx width;
+          for j = 0 to width - 1 do
+            if g.(j) > ld.merged_g.(j) then begin
+              ld.merged_g.(j) <- g.(j);
+              ld.merged_color.(j) <- color.(j)
+            end
+            else if g.(j) = ld.merged_g.(j) && color.(j) = Messages.Red then
+              ld.merged_color.(j) <- Messages.Red
+          done;
+          ld.outstanding <- ld.outstanding - 1;
+          if ld.outstanding = 0 then dispatch ctx
+        end
     | Messages.Wd_reply { seq; received; holding } ->
         (* Route by sequence number: only the watchdog watching [seq]
            reacts, the rest ignore the reply. *)
@@ -309,15 +340,95 @@ let rec detect ?network ?fault ?recorder ?(assignment = Round_robin)
           group = group_of k;
           queue = Queue.create ();
           decoder = Wire.snap_decoder ~width;
-          wd = (if chaos then Some (Watchdog.create ()) else None);
+          wd =
+            (if chaos then Some (Watchdog.create ~reprobe:wd_reprobe ())
+             else None);
           app_done = false;
           held = None;
           last = None;
           last_token_seq = 0;
         })
   in
+  (* Crash recovery for the group monitors (the leader is not in the
+     restart matrix): same capture/restore scheme as Token_vc, plus
+     this monitor's own group watchdog. *)
+  let maybe_capture =
+    match recovery with
+    | None -> None
+    | Some r ->
+        let cell_of : (int, mon) Hashtbl.t = Hashtbl.create 8 in
+        Array.iter
+          (fun m -> Hashtbl.replace cell_of (monitor_id m.k) m)
+          monitors;
+        let capture proc =
+          let m = Hashtbl.find cell_of proc in
+          let algo =
+            Checkpoint.Multi
+              {
+                Checkpoint.v_queue = List.of_seq (Queue.to_seq m.queue);
+                v_decoder = Wire.decoder_state m.decoder;
+                v_app_done = m.app_done;
+                v_held = m.held;
+                v_last = m.last;
+                v_last_seq = m.last_token_seq;
+              }
+          in
+          let wd_state =
+            match m.wd with
+            | Some wd when Watchdog.seq wd > 0 -> (
+                match Watchdog.token wd with
+                | Some (payload, w_bits) ->
+                    Some
+                      {
+                        Checkpoint.w_seq = Watchdog.seq wd;
+                        w_dst = Watchdog.dst wd;
+                        w_probes = Watchdog.probes wd;
+                        w_bits;
+                        w_payload = payload;
+                      }
+                | None -> None)
+            | _ -> None
+          in
+          (algo, wd_state)
+        in
+        let restore ctx (c : Checkpoint.t) =
+          let m = Hashtbl.find cell_of c.Checkpoint.proc in
+          (match c.Checkpoint.algo with
+          | Checkpoint.Multi s ->
+              Queue.clear m.queue;
+              List.iter (fun x -> Queue.add x m.queue) s.Checkpoint.v_queue;
+              Wire.restore_decoder m.decoder s.Checkpoint.v_decoder;
+              m.app_done <- s.Checkpoint.v_app_done;
+              m.held <- s.Checkpoint.v_held;
+              m.last <- s.Checkpoint.v_last;
+              m.last_token_seq <- s.Checkpoint.v_last_seq
+          | _ -> failwith "Token_multi: checkpoint algorithm mismatch");
+          match (m.wd, c.Checkpoint.watchdog) with
+          | Some wd, Some w when w.Checkpoint.w_seq >= Watchdog.seq wd ->
+              let dst = w.Checkpoint.w_dst and bits = w.Checkpoint.w_bits in
+              let payload = w.Checkpoint.w_payload in
+              Watchdog.restore wd ctx ~token:(payload, bits)
+                ~seq:w.Checkpoint.w_seq ~dst ~probes:w.Checkpoint.w_probes
+                ~resend:(fun ctx ->
+                  net.Run_common.send ctx ~bits ~dst
+                    (Messages.deep_copy payload))
+                ()
+          | _ -> ()
+        in
+        Some
+          (Run_common.wire_recovery engine r
+             ~owns:(Hashtbl.mem cell_of)
+             ~capture ~restore)
+  in
   Array.iter
-    (fun m -> net.Run_common.set_handler (monitor_id m.k) (on_monitor m))
+    (fun m ->
+      let id = monitor_id m.k in
+      match maybe_capture with
+      | None -> net.Run_common.set_handler id (on_monitor m)
+      | Some cap ->
+          net.Run_common.set_handler id (fun ctx ~src msg ->
+              on_monitor m ctx ~src msg;
+              cap id ctx))
     monitors;
   net.Run_common.set_handler leader_id on_leader;
   App_replay.install engine comp

@@ -66,8 +66,9 @@ let check_invariants comp spec ~g ~color =
     done
   done
 
-let install engine ~n_app ~wcp_procs ?net ?watchdog ?check ?(stop = true)
-    ?(start_at = 0) ?(delta = true) ~outcome ~hops ~snapshots () =
+let install engine ~n_app ~wcp_procs ?net ?watchdog ?check ?recovery
+    ?(stop = true) ?(start_at = 0) ?(delta = true) ~outcome ~hops ~snapshots ()
+    =
   let net = match net with Some n -> n | None -> Run_common.raw_net engine in
   (* Fetched once; every emission below is a single match when tracing
      is off (no closures, no event construction). *)
@@ -187,14 +188,13 @@ let install engine ~n_app ~wcp_procs ?net ?watchdog ?check ?(stop = true)
                back on the wire, so it re-charges [hop_bits] rather
                than re-running the (stateful) encoder. *)
             let g' = Array.copy g and color' = Array.copy color in
-            Watchdog.watch wd ctx ~seq ~dst:(monitor_id j)
+            let payload = Messages.Vc_token { seq; g = g'; color = color' } in
+            Watchdog.watch wd ctx ~token:(payload, hop_bits) ~seq
+              ~dst:(monitor_id j)
               ~resend:(fun ctx ->
-                let msg =
-                  Messages.Vc_token
-                    { seq; g = Array.copy g'; color = Array.copy color' }
-                in
                 net.Run_common.send ctx ~bits:hop_bits ~dst:(monitor_id j)
-                  msg)
+                  (Messages.deep_copy payload))
+              ()
       end
       else begin
         Log.info (fun m ->
@@ -275,8 +275,86 @@ let install engine ~n_app ~wcp_procs ?net ?watchdog ?check ?(stop = true)
           last_token_seq = 0;
         })
   in
+  (* Crash recovery: capture a checkpoint after every k-th handled
+     message on a restarting monitor, and rebuild its cell (plus any
+     watchdog lease it owned) from the last one at window end. *)
+  let maybe_capture =
+    match recovery with
+    | None -> None
+    | Some r ->
+        let cell_of : (int, mon) Hashtbl.t = Hashtbl.create 8 in
+        Array.iter (fun m -> Hashtbl.replace cell_of (monitor_id m.k) m) cells;
+        let capture proc =
+          let m = Hashtbl.find cell_of proc in
+          let algo =
+            Checkpoint.Vc
+              {
+                Checkpoint.v_queue = List.of_seq (Queue.to_seq m.queue);
+                v_decoder = Wire.decoder_state m.decoder;
+                v_app_done = m.app_done;
+                v_held = m.held;
+                v_last = m.last;
+                v_last_seq = m.last_token_seq;
+              }
+          in
+          let wd_state =
+            match watchdog with
+            | Some wd when Watchdog.seq wd > 0 && Watchdog.owner wd = proc -> (
+                match Watchdog.token wd with
+                | Some (payload, w_bits) ->
+                    Some
+                      {
+                        Checkpoint.w_seq = Watchdog.seq wd;
+                        w_dst = Watchdog.dst wd;
+                        w_probes = Watchdog.probes wd;
+                        w_bits;
+                        w_payload = payload;
+                      }
+                | None -> None)
+            | _ -> None
+          in
+          (algo, wd_state)
+        in
+        let restore ctx (c : Checkpoint.t) =
+          let m = Hashtbl.find cell_of c.Checkpoint.proc in
+          (match c.Checkpoint.algo with
+          | Checkpoint.Vc s ->
+              Queue.clear m.queue;
+              List.iter (fun x -> Queue.add x m.queue) s.Checkpoint.v_queue;
+              Wire.restore_decoder m.decoder s.Checkpoint.v_decoder;
+              m.app_done <- s.Checkpoint.v_app_done;
+              m.held <- s.Checkpoint.v_held;
+              m.last <- s.Checkpoint.v_last;
+              m.last_token_seq <- s.Checkpoint.v_last_seq
+          | _ -> failwith "Token_vc: checkpoint algorithm mismatch");
+          match (watchdog, c.Checkpoint.watchdog) with
+          | Some wd, Some w when w.Checkpoint.w_seq >= Watchdog.seq wd ->
+              (* Latest watch wins: a live watch with a newer hop means
+                 another monitor took over after this checkpoint. *)
+              let dst = w.Checkpoint.w_dst and bits = w.Checkpoint.w_bits in
+              let payload = w.Checkpoint.w_payload in
+              Watchdog.restore wd ctx ~token:(payload, bits)
+                ~seq:w.Checkpoint.w_seq ~dst ~probes:w.Checkpoint.w_probes
+                ~resend:(fun ctx ->
+                  net.Run_common.send ctx ~bits ~dst
+                    (Messages.deep_copy payload))
+                ()
+          | _ -> ()
+        in
+        Some
+          (Run_common.wire_recovery engine r
+             ~owns:(Hashtbl.mem cell_of)
+             ~capture ~restore)
+  in
   Array.iter
-    (fun m -> net.Run_common.set_handler (monitor_id m.k) (on_message m))
+    (fun m ->
+      let id = monitor_id m.k in
+      match maybe_capture with
+      | None -> net.Run_common.set_handler id (on_message m)
+      | Some cap ->
+          net.Run_common.set_handler id (fun ctx ~src msg ->
+              on_message m ctx ~src msg;
+              cap id ctx))
     cells;
   {
     start_id = monitor_id start_at;
@@ -288,7 +366,14 @@ let install engine ~n_app ~wcp_procs ?net ?watchdog ?check ?(stop = true)
            every process at least once." *)
         let g = Array.make width 0 in
         let color = Array.make width Messages.Red in
-        process ctx cells.(start_at) g color);
+        process ctx cells.(start_at) g color;
+        (* The injected token is a handled message like any other: the
+           starting monitor's checkpoint must include it, or a restart
+           before its first real delivery restores a token-less seed
+           and the token is lost with the crash. *)
+        match maybe_capture with
+        | None -> ()
+        | Some cap -> cap (monitor_id start_at) ctx);
   }
 
 (* Shared by the token detectors: under a fault plan, route all
@@ -303,15 +388,48 @@ let chaos_net engine ~outcome =
   in
   Run_common.reliable_net ~on_unreachable engine
 
+(* Under a plan with [Fault.Restart] windows the transport itself is
+   needed (checkpointing flow state, reconnect handshake) and must
+   retain acked frames for replay. *)
+let chaos_net_transport engine ~outcome =
+  let on_unreachable ctx ~dst =
+    if Option.is_none !outcome then begin
+      outcome := Some (Detection.Undetectable_crashed [ dst ]);
+      Engine.stop ctx
+    end
+  in
+  Run_common.reliable_net_transport ~recovery:true ~on_unreachable engine
+
+(* Net, watchdog and recovery wiring shared by the token detectors:
+   reprobing watchdogs and checkpoint capture exist only under plans
+   that actually restart someone, so every other run keeps its exact
+   pre-recovery schedule. *)
+let chaos_wiring engine ~fault ~outcome ~ckpt_every =
+  if ckpt_every < 1 then invalid_arg "detect: ckpt_every must be >= 1";
+  match fault with
+  | None -> (None, None, None)
+  | Some f when Fault.has_restarts f ->
+      let net, transport = chaos_net_transport engine ~outcome in
+      ( Some net,
+        Some (Watchdog.create ~reprobe:true ()),
+        Some
+          {
+            Run_common.transport;
+            restarts = Fault.restarts f;
+            every = ckpt_every;
+          } )
+  | Some _ -> (Some (chaos_net engine ~outcome), Some (Watchdog.create ()), None)
+
 let start engine monitors =
   Engine.schedule_initial engine ~proc:monitors.start_id ~at:0.0
     monitors.start_token
 
 let rec detect ?network ?fault ?recorder ?(invariant_checks = false) ?start_at
-    ?(options = Detection.default_options) ~seed comp spec =
+    ?(ckpt_every = 1) ?(options = Detection.default_options) ~seed comp spec =
   if options.Detection.slice then
     Run_common.with_slice ~keep_rest:false comp spec ~run:(fun sliced spec' ->
         detect ?network ?fault ?recorder ~invariant_checks ?start_at
+          ~ckpt_every
           ~options:{ options with Detection.slice = false }
           ~seed sliced spec')
   else
@@ -329,14 +447,12 @@ let rec detect ?network ?fault ?recorder ?(invariant_checks = false) ?start_at
   let check =
     if invariant_checks then Some (check_invariants comp spec) else None
   in
-  let net, watchdog =
-    match fault with
-    | None -> (None, None)
-    | Some _ -> (Some (chaos_net engine ~outcome), Some (Watchdog.create ()))
+  let net, watchdog, recovery =
+    chaos_wiring engine ~fault ~outcome ~ckpt_every
   in
   let monitors =
     install engine ~n_app:n ~wcp_procs:(Spec.procs spec) ?net ?watchdog ?check
-      ?start_at ~delta ~outcome ~hops ~snapshots ()
+      ?recovery ?start_at ~delta ~outcome ~hops ~snapshots ()
   in
   (* Application side: Fig. 2 snapshots, spec processes only. *)
   App_replay.install engine comp ?net

@@ -38,6 +38,7 @@ val install :
   ?net:Run_common.net ->
   ?watchdog:Watchdog.t ->
   ?check:(g:int array -> color:Messages.color array -> unit) ->
+  ?recovery:Run_common.recovery ->
   ?stop:bool ->
   ?start_at:int ->
   ?delta:bool ->
@@ -59,7 +60,10 @@ val install :
     [net] (default {!Run_common.raw_net}) carries all monitor traffic;
     pass {!Run_common.reliable_net} when running under a fault plan.
     [watchdog], when given, guards every token hop against loss (lease
-    probe + regeneration; see {!Watchdog}).
+    probe + regeneration; see {!Watchdog}). [recovery], when given,
+    wires checkpoint capture and deterministic restore for the plan's
+    [Fault.Restart] windows (see {!Run_common.wire_recovery}); its
+    transport must be the one behind [net].
 
     [delta] (default [true]) charges each token hop its delta-encoded
     wire size ({!Wire.token_bits}) instead of the dense formula, and
@@ -72,6 +76,28 @@ val chaos_net :
 (** {!Run_common.reliable_net} whose unreachable-peer callback records
     [Undetectable_crashed] in [outcome] (first crash wins) and halts
     the engine. Shared by all token detectors' [?fault] modes. *)
+
+val chaos_net_transport :
+  Messages.t Engine.t ->
+  outcome:Detection.outcome option ref ->
+  Run_common.net * Messages.t Wcp_sim.Transport.t
+(** {!chaos_net} in recovery mode (acked frames retained for replay),
+    also exposing the transport for checkpointing. Used by the token
+    detectors whenever the fault plan has [Fault.Restart] windows. *)
+
+val chaos_wiring :
+  Messages.t Engine.t ->
+  fault:Fault.plan option ->
+  outcome:Detection.outcome option ref ->
+  ckpt_every:int ->
+  Run_common.net option * Watchdog.t option * Run_common.recovery option
+(** The full fault-mode wiring decision shared by the token detectors:
+    no plan → all [None]; a plan without restarts → {!chaos_net} and a
+    plain watchdog; a plan with [Fault.Restart] windows →
+    {!chaos_net_transport}, a monitor-liveness ([~reprobe:true])
+    watchdog, and the {!Run_common.recovery} bundle capturing every
+    [ckpt_every]-th message.
+    @raise Invalid_argument if [ckpt_every < 1]. *)
 
 val start : Messages.t Engine.t -> monitors -> unit
 (** Schedule the initial (all-red, [G = 0]) token at the starting
@@ -86,6 +112,7 @@ val detect :
   ?recorder:Wcp_obs.Recorder.t ->
   ?invariant_checks:bool ->
   ?start_at:int ->
+  ?ckpt_every:int ->
   ?options:Detection.options ->
   seed:int64 ->
   Computation.t ->
@@ -106,7 +133,12 @@ val detect :
     chaos: all traffic rides the reliable transport, every token hop is
     watched by a {!Watchdog}, and a permanently crashed/unreachable
     peer yields [Undetectable_crashed] instead of a hang. Passing
-    [Fault.none] is identical to omitting [fault].
+    [Fault.none] is identical to omitting [fault]. When the plan has
+    [Fault.Restart] windows the run additionally checkpoints each
+    restarting monitor after every [ckpt_every]-th handled message
+    (default 1, the exact-state-transfer anchor — see
+    [Checkpoint]) and rebuilds it from the last checkpoint at window
+    end, replaying unconsumed transport frames.
 
     [options] (default {!Detection.default_options}) bundles the
     per-run knobs shared by every detector. [options.delta] runs the

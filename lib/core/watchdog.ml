@@ -3,25 +3,61 @@ open Wcp_sim
 type t = {
   lease : float;
   max_probes : int;
+  (* Monitor-liveness mode: when a probe itself goes unanswered for a
+     whole lease (the peer is down, not merely slow), count it as an
+     unproductive probe and re-probe. Off by default so chaos runs
+     without Restart windows keep their exact pre-recovery schedules. *)
+  reprobe : bool;
   mutable seq : int;  (* watched token hop; 0 = idle *)
   mutable dst : int;
   mutable resend : (Messages.t Engine.ctx -> unit) option;
   mutable probes : int;
+  (* Checkpoint support: which engine proc armed the current watch (a
+     shared watchdog serves whichever monitor forwarded last), and the
+     exact token bytes a restore needs to rebuild [resend] from. *)
+  mutable owner : int;
+  mutable token : (Messages.t * int) option;
 }
 
-let create ?(lease = 25.0) ?(max_probes = 6) () =
+let create ?(lease = 25.0) ?(max_probes = 6) ?(reprobe = false) () =
   if not (Float.is_finite lease) || lease <= 0.0 then
     invalid_arg "Watchdog.create: lease must be positive";
   if max_probes < 1 then invalid_arg "Watchdog.create: max_probes must be >= 1";
-  { lease; max_probes; seq = 0; dst = -1; resend = None; probes = 0 }
+  {
+    lease;
+    max_probes;
+    reprobe;
+    seq = 0;
+    dst = -1;
+    resend = None;
+    probes = 0;
+    owner = -1;
+    token = None;
+  }
 
 let probe_bits = Messages.bits ~spec_width:1 (Messages.Wd_probe { seq = 0 })
+
+let stand_down t =
+  t.seq <- 0;
+  t.resend <- None;
+  t.token <- None
+
+(* Exhaustion is observable: soaks must be able to tell "stood down
+   after max_probes" apart from "never armed". *)
+let give_up t ctx =
+  (match Engine.recorder_of ctx with
+  | None -> ()
+  | Some r ->
+      Wcp_obs.Recorder.emit r ~time:(Engine.time ctx) ~proc:(Engine.self ctx)
+        (Wcp_obs.Event.Watchdog_stood_down { seq = t.seq; dst = t.dst }));
+  Stats.note_wd_stand_down (Engine.stats_of ctx);
+  stand_down t
 
 (* Probes ride the raw network on purpose: they are idempotent, and a
    lost probe merely skips one regeneration opportunity — the reliable
    transport still guarantees the token itself arrives or the peer is
    declared unreachable. *)
-let arm t ctx ~delay seq =
+let rec arm t ctx ~delay seq =
   Engine.schedule ctx ~delay (fun ctx ->
       if t.seq = seq then begin
         (match Engine.recorder_of ctx with
@@ -30,21 +66,53 @@ let arm t ctx ~delay seq =
             Wcp_obs.Recorder.emit r ~time:(Engine.time ctx)
               ~proc:(Engine.self ctx)
               (Wcp_obs.Event.Probe_sent { seq; dst = t.dst }));
-        Engine.send ctx ~bits:probe_bits ~dst:t.dst
-          (Messages.Wd_probe { seq })
+        Engine.send ctx ~bits:probe_bits ~dst:t.dst (Messages.Wd_probe { seq });
+        if t.reprobe then begin
+          let sent_probes = t.probes in
+          Engine.schedule ctx ~delay:t.lease (fun ctx ->
+              (* No reply moved [probes] (and no newer watch superseded
+                 us) for a whole lease: the peer is silent, probably
+                 down. Burn one probe credit and try again — a
+                 restarting peer will answer one of these. *)
+              if t.seq = seq && t.probes = sent_probes then begin
+                t.probes <- t.probes + 1;
+                if t.probes <= t.max_probes then arm t ctx ~delay:0.0 seq
+                else give_up t ctx
+              end)
+        end
       end)
 
-let watch t ctx ~seq ~dst ~resend =
+let watch t ctx ?token ~seq ~dst ~resend () =
   if seq <= 0 then invalid_arg "Watchdog.watch: seq must be positive";
   t.seq <- seq;
   t.dst <- dst;
   t.resend <- Some resend;
   t.probes <- 0;
+  t.owner <- Engine.self ctx;
+  t.token <- token;
   arm t ctx ~delay:t.lease seq
 
-let stand_down t =
-  t.seq <- 0;
-  t.resend <- None
+let seq t = t.seq
+
+let dst t = t.dst
+
+let probes t = t.probes
+
+let owner t = t.owner
+
+let token t = t.token
+
+let restore t ctx ?token ~seq ~dst ~probes ~resend () =
+  if seq <= 0 then stand_down t
+  else begin
+    t.seq <- seq;
+    t.dst <- dst;
+    t.probes <- probes;
+    t.resend <- Some resend;
+    t.owner <- Engine.self ctx;
+    t.token <- token;
+    arm t ctx ~delay:t.lease seq
+  end
 
 let on_reply t ctx ~seq ~received ~holding =
   if seq = t.seq && seq > 0 then
@@ -58,12 +126,12 @@ let on_reply t ctx ~seq ~received ~holding =
       (match t.resend with Some f -> f ctx | None -> ());
       t.probes <- t.probes + 1;
       if t.probes <= t.max_probes then arm t ctx ~delay:t.lease seq
-      else stand_down t
+      else give_up t ctx
     end
     else if holding then begin
       t.probes <- t.probes + 1;
       if t.probes <= t.max_probes then
         arm t ctx ~delay:(t.lease *. float_of_int (1 + t.probes)) seq
-      else stand_down t
+      else give_up t ctx
     end
     else stand_down t

@@ -28,24 +28,79 @@ open Wcp_sim
 
 type t
 
-val create : ?lease:float -> ?max_probes:int -> unit -> t
+val create : ?lease:float -> ?max_probes:int -> ?reprobe:bool -> unit -> t
 (** [lease] (default 25.0 sim-time units) is the initial probe delay;
     [max_probes] (default 6) bounds consecutive unproductive probes.
+    [reprobe] (default false) generalizes the watchdog from token-loss
+    to {e monitor-liveness}: a probe that draws no reply for a whole
+    lease (silent peer — crashed, not just slow) is itself counted as
+    unproductive and followed by another probe, so a peer that restarts
+    mid-window is re-probed (and its token regenerated) instead of
+    waited on forever. Detectors enable it only for plans with
+    [Fault.Restart] windows, keeping other chaos runs bit-identical.
     @raise Invalid_argument on a non-positive lease or max_probes. *)
 
 val watch :
   t ->
   Messages.t Engine.ctx ->
+  ?token:Messages.t * int ->
   seq:int ->
   dst:int ->
   resend:(Messages.t Engine.ctx -> unit) ->
+  unit ->
   unit
 (** Start watching token [seq] just sent to [dst]. [resend] must
     re-emit a fresh copy of that token (deep-copied — the original's
     arrays are mutated by the receiver). [seq] must be positive and
-    increase across calls on the same watchdog. *)
+    increase across calls on the same watchdog. [token], when given,
+    is the (payload, wire bits) pair the resend re-ships, retained so
+    a checkpoint can serialize the watch (closures cannot be). *)
 
 val on_reply :
   t -> Messages.t Engine.ctx -> seq:int -> received:bool -> holding:bool -> unit
 (** Feed a {!Messages.Wd_reply} back in; replies for superseded
-    sequence numbers are ignored. *)
+    sequence numbers are ignored.
+
+    Exhausting [max_probes] (here or via [reprobe]) stands the watchdog
+    down {e loudly}: a [wd_stand_down] event is recorded and
+    {!Wcp_sim.Stats.wd_stand_downs} incremented, so soaks can tell
+    "gave up" from "never armed". *)
+
+(** {2 Checkpoint support} *)
+
+val seq : t -> int
+(** Watched token hop; 0 when idle. *)
+
+val dst : t -> int
+(** Destination of the watched hop (meaningful when [seq t > 0]). Also
+    used by the multi-token leader to route a [Wd_reply] to the one
+    group watchdog probing its sender. *)
+
+val probes : t -> int
+(** Unproductive probes so far for the current watch. *)
+
+val owner : t -> int
+(** Engine proc that armed the current watch (-1 before the first
+    watch). A shared watchdog belongs to whichever monitor forwarded
+    the token last; a restarting monitor checkpoints the watch only
+    when it is the owner. *)
+
+val token : t -> (Messages.t * int) option
+(** The (payload, wire bits) pair passed to {!watch}, for
+    serialization into a checkpoint. *)
+
+val restore :
+  t ->
+  Messages.t Engine.ctx ->
+  ?token:Messages.t * int ->
+  seq:int ->
+  dst:int ->
+  probes:int ->
+  resend:(Messages.t Engine.ctx -> unit) ->
+  unit ->
+  unit
+(** Rebuild an armed watch from checkpointed [(seq, dst, probes)] and a
+    freshly reconstructed resend closure (closures cannot be
+    serialized; the caller regenerates one from the checkpointed
+    token payload), then re-arm the lease. [seq = 0] restores the
+    idle state. *)

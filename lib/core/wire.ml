@@ -53,6 +53,13 @@ type snap_decoder = { mutable rx : int array }
 
 let snap_decoder ~width = { rx = Array.make width 0 }
 
+(* The decoder is channel-stateful: a monitor checkpoint must carry it,
+   or a replayed [Snap_vc_delta] would be decoded against the wrong
+   base after a restore. *)
+let decoder_state dec = Array.copy dec.rx
+
+let restore_decoder dec base = dec.rx <- Array.copy base
+
 let decode_snap dec msg =
   match msg with
   | Messages.Snap_vc s ->

@@ -66,6 +66,14 @@ val decode_snap : snap_decoder -> Messages.t -> Snapshot.vc
     the channel cache.
     @raise Invalid_argument on any other message. *)
 
+val decoder_state : snap_decoder -> int array
+(** Copy of the decoder's channel cache (the clock of the last
+    snapshot decoded), for inclusion in a monitor checkpoint. *)
+
+val restore_decoder : snap_decoder -> int array -> unit
+(** Overwrite the channel cache from a checkpoint, so delta snapshots
+    replayed after a restore decode against the right base. *)
+
 (** {2 Direct-dependence snapshot codec} *)
 
 val encode_dd : state:int -> Wcp_clocks.Dependence.t list -> Messages.t

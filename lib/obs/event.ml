@@ -45,6 +45,11 @@ type body =
   | Retransmitted of { dst : int; frame_seq : int }
   | Merged of { round : int }
   | Round_advanced of { round : int; frontier : int array; eliminated : int }
+  | Checkpoint_taken of { bytes : int }
+  | Restored of { bytes : int }
+  | Resync_requested of { peer : int; expected : int }
+  | Replayed of { dst : int; from_seq : int; count : int }
+  | Watchdog_stood_down of { seq : int; dst : int }
   | Detected of { procs : int array; states : int array }
   | No_detection_declared
 
@@ -70,6 +75,11 @@ let kind = function
   | Retransmitted _ -> "retransmit"
   | Merged _ -> "merge"
   | Round_advanced _ -> "round"
+  | Checkpoint_taken _ -> "recovery/ckpt"
+  | Restored _ -> "recovery/restore"
+  | Resync_requested _ -> "recovery/resync"
+  | Replayed _ -> "recovery/replay"
+  | Watchdog_stood_down _ -> "wd_stand_down"
   | Detected _ -> "detected"
   | No_detection_declared -> "no_detection"
 
@@ -78,8 +88,9 @@ let kinds =
     "run_meta"; "sent"; "delivered"; "snapshot"; "candidate"; "vc_advanced";
     "dd_eliminated"; "chain_extended"; "hb_eliminated"; "channel_eliminated";
     "token_sent"; "token_received"; "token_regenerated"; "poll_sent";
-    "poll_replied"; "probe_sent"; "retransmit"; "merge"; "round"; "detected";
-    "no_detection";
+    "poll_replied"; "probe_sent"; "retransmit"; "merge"; "round";
+    "recovery/ckpt"; "recovery/restore"; "recovery/resync"; "recovery/replay";
+    "wd_stand_down"; "detected"; "no_detection";
   ]
 
 let is_elimination = function
@@ -144,6 +155,14 @@ let pp_body ppf = function
   | Round_advanced { round; frontier; eliminated } ->
       Format.fprintf ppf "round #%d frontier=%a eliminated=%d" round pp_vec
         frontier eliminated
+  | Checkpoint_taken { bytes } -> Format.fprintf ppf "ckpt %d bytes" bytes
+  | Restored { bytes } -> Format.fprintf ppf "restored from %d bytes" bytes
+  | Resync_requested { peer; expected } ->
+      Format.fprintf ppf "resync -> %d expecting#%d" peer expected
+  | Replayed { dst; from_seq; count } ->
+      Format.fprintf ppf "replay -> %d from#%d count=%d" dst from_seq count
+  | Watchdog_stood_down { seq; dst } ->
+      Format.fprintf ppf "wd-stand-down#%d dst=%d" seq dst
   | Detected { procs; states } ->
       Format.fprintf ppf "detected {";
       Array.iteri

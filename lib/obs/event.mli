@@ -80,6 +80,19 @@ type body =
       (** Parallel checker: one frontier-advance round finished.
           [frontier] holds the per-slot state indices standing after
           the round; [eliminated] counts candidates removed by it. *)
+  | Checkpoint_taken of { bytes : int }
+      (** A monitor serialized its resumable state ([Checkpoint]). *)
+  | Restored of { bytes : int }
+      (** A restarting monitor rebuilt itself from its checkpoint. *)
+  | Resync_requested of { peer : int; expected : int }
+      (** A restored receiver asked [peer] to replay its flow from
+          frame [expected] (the reconnect handshake). *)
+  | Replayed of { dst : int; from_seq : int; count : int }
+      (** A sender answered a reconnect: [count] buffered frames
+          starting at [from_seq] were retransmitted to [dst]. *)
+  | Watchdog_stood_down of { seq : int; dst : int }
+      (** The watchdog gave up on token [seq] after [max_probes]
+          unproductive probes of [dst]. *)
   | Detected of { procs : int array; states : int array }
   | No_detection_declared
 

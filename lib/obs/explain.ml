@@ -105,6 +105,22 @@ let narrate ?(verbose = false) ppf events =
           if verbose then
             line "transport retransmitted frame %d -> %s" frame_seq
               (name ~n:!n dst)
+      | Event.Checkpoint_taken { bytes } ->
+          if verbose then line "checkpointed resumable state (%d bytes)" bytes
+      | Event.Restored { bytes } ->
+          line "RESTARTED: rebuilt monitor state from last checkpoint (%d \
+                bytes)"
+            bytes
+      | Event.Resync_requested { peer; expected } ->
+          line "resync: asked %s to replay its flow from frame %d"
+            (name ~n:!n peer) expected
+      | Event.Replayed { dst; from_seq; count } ->
+          line "replayed %d buffered frame%s (from #%d) -> %s" count
+            (if count = 1 then "" else "s")
+            from_seq (name ~n:!n dst)
+      | Event.Watchdog_stood_down { seq; dst } ->
+          line "watchdog stood down on token #%d after max probes of %s" seq
+            (name ~n:!n dst)
       | Event.Merged { round } ->
           line "leader merged group tokens (round %d)" round
       | Event.Round_advanced { round; frontier; eliminated } ->

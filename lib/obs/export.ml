@@ -321,6 +321,14 @@ let body_fields : Event.body -> (string * Json.t) list =
         ("frontier", of_int_array frontier);
         ("eliminated", Int eliminated);
       ]
+  | Event.Checkpoint_taken { bytes } -> [ ("bytes", Int bytes) ]
+  | Event.Restored { bytes } -> [ ("bytes", Int bytes) ]
+  | Event.Resync_requested { peer; expected } ->
+      [ ("peer", Int peer); ("expected", Int expected) ]
+  | Event.Replayed { dst; from_seq; count } ->
+      [ ("dst", Int dst); ("from_seq", Int from_seq); ("count", Int count) ]
+  | Event.Watchdog_stood_down { seq; dst } ->
+      [ ("hop", Int seq); ("dst", Int dst) ]
   | Event.Detected { procs; states } ->
       [ ("procs", of_int_array procs); ("states", of_int_array states) ]
   | Event.No_detection_declared -> []
@@ -411,6 +419,13 @@ let body_of_json ~kind j =
           frontier = arr "frontier";
           eliminated = i "eliminated";
         }
+  | "recovery/ckpt" -> Event.Checkpoint_taken { bytes = i "bytes" }
+  | "recovery/restore" -> Event.Restored { bytes = i "bytes" }
+  | "recovery/resync" ->
+      Event.Resync_requested { peer = i "peer"; expected = i "expected" }
+  | "recovery/replay" ->
+      Event.Replayed { dst = i "dst"; from_seq = i "from_seq"; count = i "count" }
+  | "wd_stand_down" -> Event.Watchdog_stood_down { seq = i "hop"; dst = i "dst" }
   | "detected" -> Event.Detected { procs = arr "procs"; states = arr "states" }
   | "no_detection" -> Event.No_detection_declared
   | k -> Json.error "unknown event type %S" k

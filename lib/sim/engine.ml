@@ -140,6 +140,8 @@ let rng ctx = ctx.engine.rng
 
 let recorder_of ctx = ctx.engine.recorder
 
+let stats_of ctx = ctx.engine.stats
+
 let stop ctx = ctx.engine.stop_requested <- true
 
 let dispatch t body =

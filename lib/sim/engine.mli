@@ -103,5 +103,8 @@ val rng : 'msg ctx -> Rng.t
 val recorder_of : 'msg ctx -> Wcp_obs.Recorder.t option
 (** [recorder (engine of ctx)], for handlers that only hold a ctx. *)
 
+val stats_of : 'msg ctx -> Stats.t
+(** [stats (engine of ctx)], for handlers that only hold a ctx. *)
+
 val stop : 'msg ctx -> unit
 (** Halt the simulation after the current handler returns. *)

@@ -1,6 +1,6 @@
 open Wcp_util
 
-type kind = Crash | Stall
+type kind = Crash | Stall | Restart
 
 type window = {
   proc : int;
@@ -32,7 +32,9 @@ let window ?until_t ~kind ~proc ~from_t () =
   if Float.is_nan from_t || from_t < 0.0 then
     invalid_arg (Printf.sprintf "Fault.window: from_t=%g invalid" from_t);
   (match until_t with
-  | None -> ()
+  | None ->
+      if kind = Restart then
+        invalid_arg "Fault.window: Restart requires until_t (the recovery time)"
   | Some u ->
       if Float.is_nan u || u <= from_t then
         invalid_arg
@@ -59,6 +61,11 @@ let uniform ?(seed = 0L) ?drop ?dup ?spike_p ?spike_mean ?windows () =
 let is_none p = p.links = None && Array.length p.windows = 0
 
 let seed p = p.seed
+
+let restarts p =
+  Array.to_list p.windows |> List.filter (fun w -> w.kind = Restart)
+
+let has_restarts p = Array.exists (fun w -> w.kind = Restart) p.windows
 
 let permanently_crashed p =
   Array.to_list p.windows
@@ -121,5 +128,9 @@ let crash_fate t ~proc ~now ~timer =
         | _, None -> Lost
         | Crash, Some u -> if timer then Deferred u else Lost
         | Stall, Some u -> Deferred u
+        (* Restart loses messages exactly like Crash; the difference is
+           that at [u] the detector rebuilds the process from its last
+           checkpoint instead of trusting surviving in-memory state. *)
+        | Restart, Some u -> if timer then Deferred u else Lost
   in
   find 0

@@ -22,9 +22,17 @@
       [until_t = None] is a {e permanent} crash: everything addressed
       to the process, timers included, is dropped forever.
     - [Stall]: the process is frozen — both messages and timers are
-      deferred to the window end; nothing is lost. *)
+      deferred to the window end; nothing is lost.
+    - [Restart]: like [Crash] inside the window (messages lost, timers
+      deferred), but the process's in-memory state is modelled as
+      destroyed: at [until_t] the detector rebuilds it from its last
+      checkpoint and runs the transport reconnect handshake (see
+      [Wcp_core.Checkpoint]). [until_t] is mandatory — a restart
+      without a recovery time is just a permanent [Crash]. The plan
+      itself draws no randomness for windows, so a [Restart] leaves the
+      fault stream untouched. *)
 
-type kind = Crash | Stall
+type kind = Crash | Stall | Restart
 
 type window = {
   proc : int;
@@ -47,8 +55,8 @@ val link :
     outside [\[0, 1\]] or [spike_mean] is negative or not finite. *)
 
 val window : ?until_t:float -> kind:kind -> proc:int -> from_t:float -> unit -> window
-(** @raise Invalid_argument if [proc < 0], times are negative/NaN, or
-    [until_t <= from_t]. *)
+(** @raise Invalid_argument if [proc < 0], times are negative/NaN,
+    [until_t <= from_t], or [kind = Restart] with no [until_t]. *)
 
 type plan
 
@@ -83,6 +91,14 @@ val seed : plan -> int64
 val permanently_crashed : plan -> int list
 (** Sorted process ids with a [Crash]/[Stall] window that never ends —
     used to report graceful degradation instead of a hang. *)
+
+val restarts : plan -> window list
+(** The plan's [Restart] windows, in declaration order. Detectors use
+    this to schedule checkpoint capture and the restore-at-[until_t]
+    timer for each restarting process. *)
+
+val has_restarts : plan -> bool
+(** [restarts plan <> []], without the list allocation. *)
 
 (** {2 Runtime state (used by the engine)} *)
 

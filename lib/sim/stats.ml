@@ -14,6 +14,13 @@ type t = {
   mutable par_rounds : int;
   mutable par_max_frontier : int;
   mutable par_items : int;
+  (* Crash-recovery counters: zero outside Restart runs, except the
+     retransmit-buffer high-water mark which every transport maintains. *)
+  mutable replayed : int;
+  mutable ckpts : int;
+  mutable restores : int;
+  mutable wd_stand_downs : int;
+  mutable retx_buf_hwm : int;
 }
 
 let create ~n =
@@ -32,6 +39,11 @@ let create ~n =
     par_rounds = 0;
     par_max_frontier = 0;
     par_items = 0;
+    replayed = 0;
+    ckpts = 0;
+    restores = 0;
+    wd_stand_downs = 0;
+    retx_buf_hwm = 0;
   }
 
 let n t = Array.length t.sent
@@ -70,6 +82,23 @@ let set_parallel t ~rounds ~max_frontier ~items =
 let par_rounds t = t.par_rounds
 let par_max_frontier t = t.par_max_frontier
 let par_items t = t.par_items
+
+let note_replayed t k = t.replayed <- t.replayed + k
+
+let note_checkpoint t = t.ckpts <- t.ckpts + 1
+
+let note_restore t = t.restores <- t.restores + 1
+
+let note_wd_stand_down t = t.wd_stand_downs <- t.wd_stand_downs + 1
+
+let note_retx_buf t depth =
+  if depth > t.retx_buf_hwm then t.retx_buf_hwm <- depth
+
+let replayed t = t.replayed
+let checkpoints t = t.ckpts
+let restores t = t.restores
+let wd_stand_downs t = t.wd_stand_downs
+let retx_buf_hwm t = t.retx_buf_hwm
 
 let sent t i = t.sent.(i)
 let received t i = t.received.(i)
@@ -113,7 +142,12 @@ let merge_into ~dst src =
   dst.crash_dropped <- dst.crash_dropped + src.crash_dropped;
   dst.par_rounds <- dst.par_rounds + src.par_rounds;
   dst.par_max_frontier <- max dst.par_max_frontier src.par_max_frontier;
-  dst.par_items <- dst.par_items + src.par_items
+  dst.par_items <- dst.par_items + src.par_items;
+  dst.replayed <- dst.replayed + src.replayed;
+  dst.ckpts <- dst.ckpts + src.ckpts;
+  dst.restores <- dst.restores + src.restores;
+  dst.wd_stand_downs <- dst.wd_stand_downs + src.wd_stand_downs;
+  dst.retx_buf_hwm <- max dst.retx_buf_hwm src.retx_buf_hwm
 
 let pp ppf t =
   Format.fprintf ppf
@@ -133,6 +167,15 @@ let pp ppf t =
   if t.par_rounds > 0 then
     Format.fprintf ppf "parallel rounds=%d max-frontier=%d items=%d@."
       t.par_rounds t.par_max_frontier t.par_items;
+  (* The recovery line appears only when a checkpoint/restore/replay or
+     a watchdog stand-down actually happened, so fault-free (and plain
+     chaos) output is unchanged. The retransmit-buffer high-water mark
+     is informational and does not trigger the line by itself. *)
+  if t.ckpts + t.restores + t.replayed + t.wd_stand_downs > 0 then
+    Format.fprintf ppf
+      "recovery ckpt=%d restore=%d replayed=%d wd-stand-down=%d \
+       retx-buf-hwm=%d@."
+      t.ckpts t.restores t.replayed t.wd_stand_downs t.retx_buf_hwm;
   Format.fprintf ppf
     "faults retransmit=%d dup-suppressed=%d net-drop=%d net-dup=%d \
      crash-drop=%d"

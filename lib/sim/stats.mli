@@ -79,6 +79,36 @@ val par_rounds : t -> int
 val par_max_frontier : t -> int
 val par_items : t -> int
 
+(** {2 Crash-recovery counters}
+
+    Charged by the checkpoint/restore layer ([Wcp_core.Checkpoint] and
+    the token detectors' Restart wiring) plus {!Transport}'s reconnect
+    replay; all stay zero outside [Fault.Restart] runs. The
+    retransmit-buffer high-water mark is the exception: every transport
+    sender maintains it, Restart or not. *)
+
+val note_replayed : t -> int -> unit
+(** [k] frames retransmitted in response to one reconnect handshake. *)
+
+val note_checkpoint : t -> unit
+(** One monitor checkpoint captured. *)
+
+val note_restore : t -> unit
+(** One monitor state rebuilt from its checkpoint. *)
+
+val note_wd_stand_down : t -> unit
+(** A watchdog gave up after [max_probes] unproductive probes. *)
+
+val note_retx_buf : t -> int -> unit
+(** Report the current depth of one sender's unacked retransmit
+    buffer; the high-water mark across all senders is kept. *)
+
+val replayed : t -> int
+val checkpoints : t -> int
+val restores : t -> int
+val wd_stand_downs : t -> int
+val retx_buf_hwm : t -> int
+
 (** {2 Per-process readings} *)
 
 val sent : t -> int -> int
@@ -116,5 +146,6 @@ val pp : Format.formatter -> t -> unit
 (** Multi-line table of per-process counters (messages, bits, work,
     high-water space in words, retransmits, duplicates suppressed)
     plus a totals line, a parallel-rounds line when those counters are
-    nonzero, and the fault/robustness aggregates (retransmits,
-    dup-suppressed, net-drop, net-dup, crash-drop). *)
+    nonzero, a recovery line when any checkpoint/restore/replay or
+    watchdog stand-down happened, and the fault/robustness aggregates
+    (retransmits, dup-suppressed, net-drop, net-dup, crash-drop). *)

@@ -1,4 +1,7 @@
-type 'msg frame = Data of { seq : int; payload : 'msg } | Ack of { cum : int }
+type 'msg frame =
+  | Data of { seq : int; payload : 'msg }
+  | Ack of { cum : int; era : int }
+  | Reconnect of { expected : int; era : int }
 
 let frame_overhead_bits = 32
 
@@ -17,12 +20,19 @@ type 'msg tx = {
   mutable deadline : float;
   mutable retries : int;
   mutable cur_rto : float;
+  (* Receiver incarnation this sender believes in. Acks stamped with an
+     older era are ignored: they were emitted by a receiver state that a
+     restart has since discarded, so trusting their [cum] could advance
+     [base] past frames the restored receiver still needs. Stays 0 in
+     runs without restarts, so the zero-fault stream is unchanged. *)
+  mutable era : int;
 }
 
 (* Receiver side of one (src, dst) flow. *)
 type 'msg rx = {
   mutable expected : int;
   pending : (int, 'msg) Hashtbl.t;  (* out-of-order buffer *)
+  mutable era : int;  (* incremented on each restore from checkpoint *)
 }
 
 type 'msg t = {
@@ -30,6 +40,11 @@ type 'msg t = {
   rto : float;
   backoff : float;
   max_retries : int;
+  max_unacked : int;
+  (* In recovery mode acked frames are retained in [buf] (they never
+     count against [max_unacked]) so a reconnect can replay history a
+     restarted receiver rolled back past its acked frontier. *)
+  recovery : bool;
   inject : 'msg frame -> 'msg;
   project : 'msg -> 'msg frame option;
   on_unreachable : 'msg Engine.ctx -> dst:int -> unit;
@@ -38,7 +53,8 @@ type 'msg t = {
   mutable dead : int list;
 }
 
-let create ?(rto = 4.0) ?(backoff = 2.0) ?(max_retries = 12) ~inject ~project
+let create ?(rto = 4.0) ?(backoff = 2.0) ?(max_retries = 12)
+    ?(max_unacked = 4096) ?(recovery = false) ~inject ~project
     ?(on_unreachable = fun _ ~dst:_ -> ()) engine =
   if not (Float.is_finite rto) || rto <= 0.0 then
     invalid_arg "Transport.create: rto must be positive";
@@ -46,11 +62,15 @@ let create ?(rto = 4.0) ?(backoff = 2.0) ?(max_retries = 12) ~inject ~project
     invalid_arg "Transport.create: backoff must be >= 1";
   if max_retries < 1 then
     invalid_arg "Transport.create: max_retries must be >= 1";
+  if max_unacked < 1 then
+    invalid_arg "Transport.create: max_unacked must be >= 1";
   {
     engine;
     rto;
     backoff;
     max_retries;
+    max_unacked;
+    recovery;
     inject;
     project;
     on_unreachable;
@@ -78,6 +98,7 @@ let tx_flow t ~src ~dst =
           deadline = 0.0;
           retries = 0;
           cur_rto = t.rto;
+          era = 0;
         }
       in
       Hashtbl.add t.txs key f;
@@ -88,7 +109,7 @@ let rx_flow t ~src ~dst =
   match Hashtbl.find_opt t.rxs key with
   | Some f -> f
   | None ->
-      let f = { expected = 1; pending = Hashtbl.create 8 } in
+      let f = { expected = 1; pending = Hashtbl.create 8; era = 0 } in
       Hashtbl.add t.rxs key f;
       f
 
@@ -146,23 +167,68 @@ let send t ctx ?(bits = 32) ~dst payload =
     let seq = flow.next_seq in
     flow.next_seq <- seq + 1;
     Hashtbl.add flow.buf seq (payload, bits);
+    (* Unacked depth, not buffer size: recovery-mode history retention
+       must never trip the cap a slow receiver would. *)
+    let depth = flow.next_seq - flow.base in
+    Stats.note_retx_buf (Engine.stats t.engine) depth;
+    if depth > t.max_unacked then
+      failwith
+        (Printf.sprintf
+           "Transport.send: %d unacked frames %d -> %d exceed max_unacked=%d \
+            (peer down or cap too small; raise ?max_unacked or fix the peer)"
+           depth (Engine.self ctx) dst t.max_unacked);
     transmit t ctx flow seq;
     arm t flow ctx
   end
 
-let handle_ack t ctx ~src cum =
+let retain_acked t = t.recovery
+
+let handle_ack t ctx ~src ~cum ~era =
   match Hashtbl.find_opt t.txs (Engine.self ctx, src) with
   | None -> ()
   | Some flow ->
-      if cum >= flow.base then begin
-        for seq = flow.base to cum do
-          Hashtbl.remove flow.buf seq
-        done;
+      if era >= flow.era && cum >= flow.base then begin
+        if not (retain_acked t) then
+          for seq = flow.base to cum do
+            Hashtbl.remove flow.buf seq
+          done;
         flow.base <- cum + 1;
         flow.retries <- 0;
         flow.cur_rto <- t.rto;
         flow.deadline <- Engine.time ctx +. t.rto
       end
+
+(* Reconnect handshake, sender side: adopt the receiver's new era, roll
+   the ack cursor back to what the restored receiver expects, and
+   replay every buffered frame from there so in-order exactly-once
+   delivery resumes without waiting out a retransmission timeout. *)
+let handle_reconnect t ctx ~src ~expected ~era =
+  let flow = tx_flow t ~src:(Engine.self ctx) ~dst:src in
+  if era >= flow.era then begin
+    flow.era <- era;
+    if expected < flow.base then flow.base <- expected;
+    let count = ref 0 in
+    for seq = expected to flow.next_seq - 1 do
+      if Hashtbl.mem flow.buf seq then begin
+        incr count;
+        transmit t ctx flow seq
+      end
+    done;
+    if !count > 0 then begin
+      Stats.note_replayed (Engine.stats t.engine) !count;
+      match Engine.recorder t.engine with
+      | None -> ()
+      | Some r ->
+          Wcp_obs.Recorder.emit r ~time:(Engine.time ctx)
+            ~proc:(Engine.self ctx)
+            (Wcp_obs.Event.Replayed
+               { dst = src; from_seq = expected; count = !count })
+    end;
+    flow.retries <- 0;
+    flow.cur_rto <- t.rto;
+    flow.deadline <- Engine.time ctx +. t.rto;
+    arm t flow ctx
+  end
 
 let handle_data t ctx ~src ~seq payload deliver =
   let self = Engine.self ctx in
@@ -177,13 +243,150 @@ let handle_data t ctx ~src ~seq payload deliver =
     deliver ctx ~src p
   done;
   (* Cumulative ack; acks themselves ride the raw network — they are
-     idempotent and any retransmitted frame will provoke another one. *)
+     idempotent and any retransmitted frame will provoke another one.
+     The era stamp rides the header word, so ack size is unchanged. *)
   Engine.send ctx ~bits:frame_overhead_bits ~dst:src
-    (t.inject (Ack { cum = flow.expected - 1 }))
+    (t.inject (Ack { cum = flow.expected - 1; era = flow.era }))
 
 let wire t proc handler =
   Engine.set_handler t.engine proc (fun ctx ~src msg ->
       match t.project msg with
       | None -> handler ctx ~src msg
       | Some (Data { seq; payload }) -> handle_data t ctx ~src ~seq payload handler
-      | Some (Ack { cum }) -> handle_ack t ctx ~src cum)
+      | Some (Ack { cum; era }) -> handle_ack t ctx ~src ~cum ~era
+      | Some (Reconnect { expected; era }) ->
+          handle_reconnect t ctx ~src ~expected ~era)
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint support: export / restore / reconnect                    *)
+(* ------------------------------------------------------------------ *)
+
+type 'msg tx_state = {
+  tx_dst : int;
+  tx_next_seq : int;
+  tx_base : int;
+  tx_frames : (int * 'msg * int) list;  (* seq, payload, bits *)
+  tx_era : int;
+}
+
+type rx_state = { rx_src : int; rx_expected : int; rx_era : int }
+
+type 'msg state = { st_txs : 'msg tx_state list; st_rxs : rx_state list }
+
+let sort_by_fst l = List.sort (fun (a, _, _) (b, _, _) -> compare a b) l
+
+let export_state t ~proc =
+  let st_txs =
+    Hashtbl.fold
+      (fun (src, _) flow acc ->
+        if src <> proc then acc
+        else
+          {
+            tx_dst = flow.dst;
+            tx_next_seq = flow.next_seq;
+            tx_base = flow.base;
+            tx_frames =
+              sort_by_fst
+                (Hashtbl.fold
+                   (fun seq (payload, bits) l -> (seq, payload, bits) :: l)
+                   flow.buf []);
+            tx_era = flow.era;
+          }
+          :: acc)
+      t.txs []
+    |> List.sort (fun a b -> compare a.tx_dst b.tx_dst)
+  in
+  let st_rxs =
+    Hashtbl.fold
+      (fun (src, dst) flow acc ->
+        if dst <> proc then acc
+        else
+          { rx_src = src; rx_expected = flow.expected; rx_era = flow.era }
+          :: acc)
+      t.rxs []
+    |> List.sort (fun a b -> compare a.rx_src b.rx_src)
+  in
+  { st_txs; st_rxs }
+
+(* Restore mutates flow records IN PLACE: deferred engine timers from
+   before the crash hold references to the records, so swapping fresh
+   records into the hashtables would detach those timer chains. Flows
+   the checkpoint does not mention are reset to their initial state
+   (they did not exist when the checkpoint was captured). *)
+let restore_state t ~proc (st : 'msg state) =
+  let restore_tx s =
+    let f = tx_flow t ~src:proc ~dst:s.tx_dst in
+    f.next_seq <- s.tx_next_seq;
+    f.base <- s.tx_base;
+    Hashtbl.reset f.buf;
+    List.iter
+      (fun (seq, payload, bits) -> Hashtbl.replace f.buf seq (payload, bits))
+      s.tx_frames;
+    f.retries <- 0;
+    f.cur_rto <- t.rto;
+    (* The live record may already know a newer receiver incarnation
+       (the peer restarted after this checkpoint was captured). *)
+    f.era <- max f.era s.tx_era
+  in
+  List.iter restore_tx st.st_txs;
+  Hashtbl.iter
+    (fun (src, _) flow ->
+      if src = proc && not (List.exists (fun s -> s.tx_dst = flow.dst) st.st_txs)
+      then begin
+        flow.next_seq <- 1;
+        flow.base <- 1;
+        Hashtbl.reset flow.buf;
+        flow.retries <- 0;
+        flow.cur_rto <- t.rto
+      end)
+    t.txs;
+  let restore_rx s =
+    let f = rx_flow t ~src:s.rx_src ~dst:proc in
+    f.expected <- s.rx_expected;
+    Hashtbl.reset f.pending;
+    (* New incarnation: stale acks from the old one must not advance
+       the sender's cursor past frames this state still needs. *)
+    f.era <- s.rx_era + 1
+  in
+  List.iter restore_rx st.st_rxs;
+  Hashtbl.iter
+    (fun (src, dst) flow ->
+      if dst = proc && not (List.exists (fun s -> s.rx_src = src) st.st_rxs)
+      then begin
+        flow.expected <- 1;
+        Hashtbl.reset flow.pending;
+        flow.era <- flow.era + 1
+      end)
+    t.rxs
+
+(* Reconnect handshake, receiver side: one raw-network announcement per
+   incoming flow, retried with backoff until the flow makes progress or
+   the attempts run out. Exhaustion is not a death sentence — the
+   sender's own retransmission timer is the liveness backstop — so the
+   loop just stops. *)
+let reconnect t ctx ~proc =
+  let flows =
+    Hashtbl.fold
+      (fun (src, dst) flow acc -> if dst = proc then (src, flow) :: acc else acc)
+      t.rxs []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (peer, flow) ->
+      let rec attempt n last_expected ctx =
+        if flow.expected = last_expected && n <= t.max_retries then begin
+          (match Engine.recorder t.engine with
+          | None -> ()
+          | Some r ->
+              Wcp_obs.Recorder.emit r ~time:(Engine.time ctx) ~proc
+                (Wcp_obs.Event.Resync_requested
+                   { peer; expected = flow.expected }));
+          Engine.send ctx ~bits:frame_overhead_bits ~dst:peer
+            (t.inject (Reconnect { expected = flow.expected; era = flow.era }));
+          Engine.schedule ctx
+            ~delay:(t.rto *. (t.backoff ** float_of_int (n - 1)))
+            (attempt (n + 1) flow.expected)
+        end
+      in
+      attempt 1 flow.expected ctx)
+    flows

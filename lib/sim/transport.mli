@@ -25,8 +25,14 @@
 type 'msg frame =
   | Data of { seq : int; payload : 'msg }
       (** [seq] counts from 1 per (src, dst) flow. *)
-  | Ack of { cum : int }
-      (** Cumulative: every [Data] frame with [seq <= cum] arrived. *)
+  | Ack of { cum : int; era : int }
+      (** Cumulative: every [Data] frame with [seq <= cum] arrived.
+          [era] is the receiver's incarnation (0 until it restarts);
+          senders ignore acks from a superseded incarnation. *)
+  | Reconnect of { expected : int; era : int }
+      (** Recovery handshake: a restored receiver announces its new
+          incarnation and the next frame it expects; the sender rolls
+          its cursor back and replays from there. *)
 
 type 'msg t
 
@@ -34,6 +40,8 @@ val create :
   ?rto:float ->
   ?backoff:float ->
   ?max_retries:int ->
+  ?max_unacked:int ->
+  ?recovery:bool ->
   inject:('msg frame -> 'msg) ->
   project:('msg -> 'msg frame option) ->
   ?on_unreachable:('msg Engine.ctx -> dst:int -> unit) ->
@@ -43,13 +51,25 @@ val create :
     timeout, doubled ([backoff], default 2.0) after each consecutive
     retransmission of the same oldest frame, up to [max_retries]
     (default 12) before the destination is declared unreachable.
-    [on_unreachable] defaults to doing nothing. *)
+    [on_unreachable] defaults to doing nothing.
+
+    [max_unacked] (default 4096) bounds each flow's unacked window:
+    {!send} raises [Failure] with a diagnostic once a flow holds more
+    in-flight frames, failing fast instead of buffering without bound
+    toward a peer that stopped acking. The deepest window ever seen is
+    recorded in {!Stats.retx_buf_hwm}.
+
+    [recovery] (default false) retains acked frames in the sender
+    buffer so a {!Reconnect} can replay history from before the acked
+    frontier; turn it on when the run contains [Fault.Restart] windows
+    (retained history never counts against [max_unacked]). *)
 
 val send : 'msg t -> 'msg Engine.ctx -> ?bits:int -> dst:int -> 'msg -> unit
 (** Like {!Engine.send} but reliable: assigns the next sequence number
     on the (self, dst) flow, buffers the payload for retransmission and
     arms the flow's timer. [bits] is the payload size; the frame header
-    adds one 32-bit word ({!frame_overhead_bits}). *)
+    adds one 32-bit word ({!frame_overhead_bits}).
+    @raise Failure when the flow exceeds [max_unacked]. *)
 
 val wire :
   'msg t -> int -> ('msg Engine.ctx -> src:int -> 'msg -> unit) -> unit
@@ -65,3 +85,45 @@ val frame_overhead_bits : int
 
 val unreachable : 'msg t -> int list
 (** Sorted destinations declared unreachable so far. *)
+
+(** {2 Checkpoint / recovery support}
+
+    The transport's contribution to a monitor checkpoint: a neutral,
+    serializable snapshot of the flows owned by one process (its send
+    flows and receive cursors). [Wcp_core.Checkpoint] encodes these
+    alongside the detector state; on a [Fault.Restart] the detector
+    restores them and runs {!reconnect}. *)
+
+type 'msg tx_state = {
+  tx_dst : int;
+  tx_next_seq : int;
+  tx_base : int;
+  tx_frames : (int * 'msg * int) list;
+      (** (seq, payload, bits), ascending by seq. *)
+  tx_era : int;
+}
+
+type rx_state = { rx_src : int; rx_expected : int; rx_era : int }
+
+type 'msg state = { st_txs : 'msg tx_state list; st_rxs : rx_state list }
+
+val export_state : 'msg t -> proc:int -> 'msg state
+(** Snapshot of [proc]'s flows: send flows with their full
+    retransmission buffers, receive flows as (expected, era) cursors
+    (the out-of-order pending buffer is deliberately excluded — those
+    frames are unacked and the sender still buffers them). Timer state
+    (deadlines, retry counts) is transient and not captured. *)
+
+val restore_state : 'msg t -> proc:int -> 'msg state -> unit
+(** Overwrite [proc]'s flows with the checkpointed state, {e in place}
+    (deferred engine timers keep their references), bumping each
+    receive flow's era so acks from the superseded incarnation are
+    ignored. Flows of [proc] that the checkpoint does not mention are
+    reset to their initial state. *)
+
+val reconnect : 'msg t -> 'msg Engine.ctx -> proc:int -> unit
+(** Run the receiver side of the recovery handshake for every incoming
+    flow of [proc]: send {!Reconnect} to the peer and retry with
+    backoff (up to [max_retries] attempts) until the flow's [expected]
+    cursor moves. Exhausting the attempts just stops the loop — the
+    sender's retransmission timer remains the liveness backstop. *)

@@ -130,6 +130,35 @@ hanging the run:
   $ wcpdetect chaos run.trace -a token-vc --crash 4@0
   chaos token-vc drop=0.00 dup=0.00 crashes=1: undetectable (crashed: 4) | retransmits=12 dup-suppressed=0 net-drop=0 net-dup=0 crash-drop=17 | oracle: degraded
 
+A --restart window is a crash with recovery: the monitor's in-memory
+state is destroyed at the window start and rebuilt from its last
+checkpoint at the window end, and the verdict still matches the
+oracle. The recovery summary line appears only when someone restarts:
+
+  $ wcpdetect chaos run.trace -a token-vc --restart 4@2-10
+  chaos token-vc drop=0.00 dup=0.00 crashes=0: detected {0:6 1:3 2:8 3:2} | retransmits=3 dup-suppressed=0 net-drop=0 net-dup=0 crash-drop=5 | oracle: match
+  recovery restarts=1 ckpt-every=1: checkpoints=4 restores=1 replayed=0 wd-stand-downs=0
+
+  $ wcpdetect chaos run.trace -a token-dd --drop 0.1 --restart 4@2-10 --fault-seed 7
+  chaos token-dd drop=0.10 dup=0.00 crashes=0: detected {0:6 1:3 2:8 3:2} | retransmits=16 dup-suppressed=5 net-drop=12 net-dup=0 crash-drop=4 | oracle: match
+  recovery restarts=1 ckpt-every=1: checkpoints=8 restores=1 replayed=0 wd-stand-downs=0
+
+Without -END the restart window lasts 8 time units; --ckpt-every
+thins the checkpoint stream (the transport replays what the older
+state has not consumed):
+
+  $ wcpdetect chaos run.trace -a multi-token --groups 2 --restart 4@2 --ckpt-every 3
+  chaos multi-token drop=0.00 dup=0.00 crashes=0: detected {0:6 1:3 2:8 3:2} | retransmits=3 dup-suppressed=0 net-drop=0 net-dup=0 crash-drop=5 | oracle: match
+  recovery restarts=1 ckpt-every=3: checkpoints=1 restores=1 replayed=1 wd-stand-downs=0
+
+The causal trace narrates the recovery:
+
+  $ wcpdetect trace run.trace -a token-vc --restart 4@2-10 -o restart.jsonl | head -1
+  trace: 197 events -> restart.jsonl
+
+  $ wcpdetect explain restart.jsonl | grep RESTARTED
+  t=10       M_0: RESTARTED: rebuilt monitor state from last checkpoint (60 bytes)
+
 The same fault flags work on plain detect:
 
   $ wcpdetect detect run.trace -a token-vc --drop 0.15 --fault-seed 3 | cut -d'|' -f1

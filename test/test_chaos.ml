@@ -186,6 +186,71 @@ let test_stall_preserves_verdict () =
     (Oracle.first_cut comp spec)
     (Token_vc.detect ~fault ~seed:5L comp spec).Detection.outcome
 
+(* Restart windows compose with link chaos: under drop + dup + a
+   mid-run monitor restart, equal seeds reproduce the run bit for bit
+   — recovery counters included — and the healed verdict still matches
+   the fault-free oracle. *)
+let test_restart_composes_with_chaos =
+  Helpers.qtest ~count:10 "restart composes with drop/dup"
+    QCheck2.Gen.(
+      tup3
+        (Helpers.gen_comp_params ~max_n:5 ~max_sends:6)
+        (int_range 0 9_999) (int_range 0 3))
+    (fun (params, s, w) ->
+      let comp = Helpers.build_comp params in
+      let n = Computation.n comp in
+      let spec = Spec.all comp in
+      let from_t = 0.5 +. float_of_int w in
+      let fault () =
+        Fault.uniform ~seed:(Int64.of_int s) ~drop:0.15 ~dup:0.1
+          ~windows:
+            [
+              Fault.window ~kind:Fault.Restart ~proc:(n + (s mod n)) ~from_t
+                ~until_t:(from_t +. 6.0) ();
+            ]
+          ()
+      in
+      let seed = Int64.of_int s in
+      let show (r : Detection.result) =
+        Format.asprintf
+          "%a sent=%d retx=%d replayed=%d ckpts=%d restores=%d t=%.9f"
+          Detection.pp_outcome r.outcome
+          (Stats.total_sent r.stats)
+          (Stats.total_retransmits r.stats)
+          (Stats.replayed r.stats) (Stats.checkpoints r.stats)
+          (Stats.restores r.stats) r.sim_time
+      in
+      let a = Token_vc.detect ~fault:(fault ()) ~seed comp spec in
+      let b = Token_vc.detect ~fault:(fault ()) ~seed comp spec in
+      Alcotest.(check string) "equal seeds, identical runs" (show a) (show b);
+      Alcotest.check Helpers.outcome "healed verdict matches oracle"
+        (Oracle.first_cut comp spec) a.Detection.outcome;
+      true)
+
+(* A plan with zero rates and no windows stays a strict no-op even for
+   random seeds — the recovery layer must not perturb it. *)
+let test_zero_fault_plan_untouched =
+  Helpers.qtest ~count:10 "zero-fault restart-free plans unchanged"
+    QCheck2.Gen.(
+      pair (Helpers.gen_comp_params ~max_n:4 ~max_sends:5) (int_range 0 9_999))
+    (fun (params, s) ->
+      let comp = Helpers.build_comp params in
+      let spec = Spec.all comp in
+      let seed = Int64.of_int s in
+      let show (r : Detection.result) =
+        Format.asprintf "%a sent=%d bits=%d events=%d t=%.9f"
+          Detection.pp_outcome r.outcome
+          (Stats.total_sent r.stats) (Stats.total_bits r.stats) r.events
+          r.sim_time
+      in
+      let bare = show (Token_vc.detect ~seed comp spec) in
+      Alcotest.(check string) "uniform () ≡ no plan" bare
+        (show
+           (Token_vc.detect
+              ~fault:(Fault.uniform ~seed:(Int64.of_int s) ())
+              ~seed comp spec));
+      true)
+
 let () =
   Alcotest.run "chaos"
     [
@@ -218,4 +283,6 @@ let () =
           Alcotest.test_case "stall preserves the verdict" `Quick
             test_stall_preserves_verdict;
         ] );
+      ( "restart-composition",
+        [ test_restart_composes_with_chaos; test_zero_fault_plan_untouched ] );
     ]

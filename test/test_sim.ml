@@ -242,6 +242,81 @@ let test_fifo_network_in_engine () =
     (List.init 50 (fun i -> i + 1))
     (List.rev !got)
 
+(* ------------------------------------------------------------------ *)
+(* Watchdog lease growth and stand-down                                *)
+(* ------------------------------------------------------------------ *)
+
+(* A watched peer that keeps answering "received, still holding" earns
+   linearly growing leases — lease * (1 + probes) — and after
+   [max_probes] unproductive probes the watchdog stands down
+   observably: obs event, Stats counter, disarmed state. *)
+let test_watchdog_lease_growth_and_stand_down () =
+  let module Wd = Wcp_core.Watchdog in
+  let module M = Wcp_core.Messages in
+  let recorder = Wcp_obs.Recorder.create () in
+  let e =
+    Engine.create
+      ~network:(Network.create ~latency:(Network.Constant 0.0) ())
+      ~recorder ~num_processes:2 ~seed:1L ()
+  in
+  let wd = Wd.create ~lease:1.0 ~max_probes:3 () in
+  let probe_times = ref [] in
+  Engine.set_handler e 1 (fun ctx ~src (msg : M.t) ->
+      match msg with
+      | M.Wd_probe { seq } ->
+          probe_times := Engine.time ctx :: !probe_times;
+          Engine.send ctx ~dst:src
+            (M.Wd_reply { seq; received = true; holding = true })
+      | _ -> ());
+  Engine.set_handler e 0 (fun ctx ~src:_ (msg : M.t) ->
+      match msg with
+      | M.Wd_reply { seq; received; holding } ->
+          Wd.on_reply wd ctx ~seq ~received ~holding
+      | _ -> ());
+  Engine.schedule_initial e ~proc:0 ~at:0.0 (fun ctx ->
+      Wd.watch wd ctx ~seq:1 ~dst:1 ~resend:(fun _ -> ()) ());
+  Engine.run e;
+  (* Probe k arrives after a lease of 1.0 * k: at 1, 3, 6, then the
+     max_probes+1st at 10, whose reply trips the stand-down. *)
+  Alcotest.(check (list (float 1e-9)))
+    "linear lease growth" [ 1.0; 3.0; 6.0; 10.0 ]
+    (List.rev !probe_times);
+  Alcotest.(check int) "stand-down counted" 1
+    (Stats.wd_stand_downs (Engine.stats e));
+  Alcotest.(check int) "watchdog disarmed" 0 (Wd.seq wd);
+  let stood_down =
+    Array.exists
+      (fun (ev : Wcp_obs.Event.t) ->
+        match ev.body with
+        | Wcp_obs.Event.Watchdog_stood_down { seq = 1; dst = 1 } -> true
+        | _ -> false)
+      (Wcp_obs.Recorder.events recorder)
+  in
+  Alcotest.(check bool) "stand-down event emitted" true stood_down
+
+(* In reprobe (monitor-liveness) mode a silent peer is re-probed once
+   per lease instead of waited on forever, and exhaustion stands the
+   watchdog down just the same. *)
+let test_watchdog_reprobe_silent_peer () =
+  let module Wd = Wcp_core.Watchdog in
+  let module M = Wcp_core.Messages in
+  let e =
+    Engine.create
+      ~network:(Network.create ~latency:(Network.Constant 0.0) ())
+      ~num_processes:2 ~seed:1L ()
+  in
+  let wd = Wd.create ~lease:1.0 ~max_probes:3 ~reprobe:true () in
+  let probes = ref 0 in
+  Engine.set_handler e 1 (fun _ ~src:_ (msg : M.t) ->
+      match msg with M.Wd_probe _ -> incr probes | _ -> ());
+  Engine.set_handler e 0 (fun _ ~src:_ (_ : M.t) -> ());
+  Engine.schedule_initial e ~proc:0 ~at:0.0 (fun ctx ->
+      Wd.watch wd ctx ~seq:1 ~dst:1 ~resend:(fun _ -> ()) ());
+  Engine.run e;
+  Alcotest.(check int) "one probe per burned credit" 4 !probes;
+  Alcotest.(check int) "gave up once" 1 (Stats.wd_stand_downs (Engine.stats e));
+  Alcotest.(check int) "disarmed" 0 (Wd.seq wd)
+
 let () =
   Alcotest.run "sim"
     [
@@ -273,5 +348,12 @@ let () =
           Alcotest.test_case "self send" `Quick test_self_send;
           Alcotest.test_case "fifo in engine" `Quick
             test_fifo_network_in_engine;
+        ] );
+      ( "watchdog",
+        [
+          Alcotest.test_case "linear lease growth, stand-down edge" `Quick
+            test_watchdog_lease_growth_and_stand_down;
+          Alcotest.test_case "reprobe mode survives a silent peer" `Quick
+            test_watchdog_reprobe_silent_peer;
         ] );
     ]

@@ -300,7 +300,93 @@ let test_transport_validation () =
   let e = Engine.create ~num_processes:2 ~seed:1L () in
   invalid (fun () -> Transport.create ~rto:0.0 ~inject ~project e);
   invalid (fun () -> Transport.create ~backoff:0.5 ~inject ~project e);
-  invalid (fun () -> Transport.create ~max_retries:0 ~inject ~project e)
+  invalid (fun () -> Transport.create ~max_retries:0 ~inject ~project e);
+  invalid (fun () -> Transport.create ~max_unacked:0 ~inject ~project e)
+
+(* The retransmit buffer is bounded: a sender whose peer never acks
+   fails fast at the cap instead of buffering without limit, and the
+   high-water mark records how deep the queue got. *)
+let test_unacked_cap_fails_fast () =
+  let e =
+    Engine.create
+      ~network:(Network.create ~latency:(Network.Constant 0.1) ())
+      ~fault:(Fault.uniform ~seed:2L ~drop:1.0 ())
+      ~num_processes:2 ~seed:2L ()
+  in
+  let t = Transport.create ~max_unacked:4 ~inject ~project e in
+  Transport.wire t 0 (fun _ ~src:_ _ -> ());
+  Transport.wire t 1 (fun _ ~src:_ _ -> Alcotest.fail "blackout delivers nothing");
+  let failed = ref None in
+  Engine.schedule_initial e ~proc:0 ~at:0.0 (fun ctx ->
+      match
+        for k = 1 to 10 do
+          Transport.send t ctx ~dst:1 (Payload k)
+        done
+      with
+      | () -> ()
+      | exception Failure m -> failed := Some m);
+  Engine.run e;
+  (match !failed with
+  | Some m ->
+      let has s =
+        let re = Str.regexp_string s in
+        try
+          ignore (Str.search_forward re m 0);
+          true
+        with Not_found -> false
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "names the cap (got %S)" m)
+        true (has "max_unacked=4")
+  | None -> Alcotest.fail "the 5th unacked send must fail fast");
+  Alcotest.(check int) "high-water mark recorded" 5
+    (Stats.retx_buf_hwm (Engine.stats e))
+
+let test_retx_hwm_on_healthy_flow () =
+  let e, _ = run_flow ~drop:0.2 ~dup:0.1 ~count:40 ~seed:4L in
+  let hwm = Stats.retx_buf_hwm (Engine.stats e) in
+  Alcotest.(check bool) "hwm positive" true (hwm > 0);
+  Alcotest.(check bool) "hwm bounded by traffic" true (hwm <= 40)
+
+(* The recovery handshake: a receiver rolled back to an earlier
+   incarnation (higher era, lower cursor) reconnects, the sender
+   replays the retained frames — even already-acked ones — and
+   delivery stays exactly-once in order per incarnation. *)
+let test_reconnect_replays_history () =
+  let e =
+    Engine.create
+      ~network:(Network.create ~latency:(Network.Constant 0.1) ())
+      ~num_processes:2 ~seed:5L ()
+  in
+  let t = Transport.create ~recovery:true ~inject ~project e in
+  let got = ref [] in
+  Transport.wire t 0 (fun _ ~src:_ _ -> ());
+  Transport.wire t 1 (fun _ ~src:_ msg ->
+      match msg with
+      | Payload k -> got := k :: !got
+      | Fr _ -> Alcotest.fail "frame leaked");
+  let saved = ref None in
+  Engine.schedule_initial e ~proc:0 ~at:0.0 (fun ctx ->
+      for k = 1 to 3 do
+        Transport.send t ctx ~dst:1 (Payload k)
+      done);
+  (* After 1,2,3 are consumed and acked: snapshot the receiver. *)
+  Engine.schedule_initial e ~proc:1 ~at:1.0 (fun _ ->
+      saved := Some (Transport.export_state t ~proc:1));
+  Engine.schedule_initial e ~proc:0 ~at:2.0 (fun ctx ->
+      for k = 4 to 5 do
+        Transport.send t ctx ~dst:1 (Payload k)
+      done);
+  (* "Restart": roll the receiver back to the t=1 state (frames 4 and 5
+     never happened for it) and run the handshake. *)
+  Engine.schedule_initial e ~proc:1 ~at:3.0 (fun ctx ->
+      Transport.restore_state t ~proc:1 (Option.get !saved);
+      Transport.reconnect t ctx ~proc:1);
+  Engine.run e;
+  Alcotest.(check (list int)) "in order, replay after rollback"
+    [ 1; 2; 3; 4; 5; 4; 5 ] (List.rev !got);
+  Alcotest.(check bool) "replay accounted" true
+    (Stats.replayed (Engine.stats e) >= 2)
 
 let () =
   Alcotest.run "transport"
@@ -339,5 +425,14 @@ let () =
             test_unreachable_gives_up;
           Alcotest.test_case "parameter validation" `Quick
             test_transport_validation;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "unacked cap fails fast" `Quick
+            test_unacked_cap_fails_fast;
+          Alcotest.test_case "retransmit-buffer high-water mark" `Quick
+            test_retx_hwm_on_healthy_flow;
+          Alcotest.test_case "reconnect replays retained history" `Quick
+            test_reconnect_replays_history;
         ] );
     ]
