@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench tables bench-json perf-check bench-smoke check chaos-soak recovery-soak trace-check slice-check examples clean
+.PHONY: all build test bench tables bench-json perf-check bench-smoke check chaos-soak recovery-soak trace-check telemetry-check slice-check examples clean
 
 # Committed machine-readable baseline (see EXPERIMENTS.md).
 BENCH_BASELINE ?= BENCH_1.json
@@ -61,6 +61,35 @@ recovery-soak:
 # `make test`; this target unlocks the whole sweep.
 trace-check:
 	WCP_TRACE_CHECK=1 dune exec test/test_obs.exe -- test schema
+
+# Telemetry-plane gate. First unlock the full in-process
+# stream-validation corpus in test_telemetry (codec totality, window
+# invariants, in-process determinism), then prove the wcp-metrics/1
+# stream byte-deterministic ACROSS processes: the same trace, seed and
+# algorithm through two separate CLI invocations must produce
+# byte-identical streams — including the per-phase alloc_bytes profile,
+# which is allocation-schedule (not wall-clock) derived. A bounded
+# smoke of the in-process half always runs inside `make test`.
+telemetry-check:
+	WCP_TELEMETRY_CHECK=1 dune exec test/test_telemetry.exe -- test streams
+	@dune build bin/wcpdetect.exe
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	wcp=_build/default/bin/wcpdetect.exe; \
+	for n in 4 8; do \
+	  $$wcp generate -n $$n -m 12 --p-pred 0.3 --seed $$n -o $$tmp/t$$n.trace >/dev/null; \
+	  for algo in token-vc token-dd checker; do \
+	    $$wcp detect $$tmp/t$$n.trace -a $$algo --metrics-out $$tmp/a.jsonl --metrics-every 5 >/dev/null; \
+	    $$wcp detect $$tmp/t$$n.trace -a $$algo --metrics-out $$tmp/b.jsonl --metrics-every 5 >/dev/null; \
+	    cmp -s $$tmp/a.jsonl $$tmp/b.jsonl \
+	      || { echo "telemetry-check: $$algo n=$$n stream drifted"; exit 1; }; \
+	    echo "telemetry-check: $$algo n=$$n OK ($$(wc -l < $$tmp/a.jsonl) lines)"; \
+	  done; \
+	done; \
+	$$wcp chaos $$tmp/t8.trace -a token-vc --restart 4@2-10 --metrics-out $$tmp/a.jsonl >/dev/null; \
+	$$wcp chaos $$tmp/t8.trace -a token-vc --restart 4@2-10 --metrics-out $$tmp/b.jsonl >/dev/null; \
+	cmp -s $$tmp/a.jsonl $$tmp/b.jsonl \
+	  || { echo "telemetry-check: chaos/restart stream drifted"; exit 1; }; \
+	echo "telemetry-check: chaos/restart OK"
 
 # Full-corpus slicing agreement sweep: every detector, dense vs sliced
 # (--slice / Detection.options ~slice:true), across sizes x predicate

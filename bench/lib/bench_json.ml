@@ -316,6 +316,25 @@ type metrics = {
   par_rounds : int;
   par_frontier : int;
   par_items : int;
+  (* Span-tree summaries (schema v8), derived from the same traced run:
+     per span-kind p50/p95 durations in sim time (token hops in flight,
+     parallel-checker rounds, crash-recovery windows, retransmit
+     bursts; see Wcp_obs.Span). Deterministic; zero for kinds the run
+     never produced, for the adversary and for E15. *)
+  span_token_p50 : float;
+  span_token_p95 : float;
+  span_round_p50 : float;
+  span_round_p95 : float;
+  span_recovery_p50 : float;
+  span_recovery_p95 : float;
+  span_retx_p50 : float;
+  span_retx_p95 : float;
+  (* Telemetry plane (schema v8): lines of the wcp-metrics/1 stream an
+     attached telemetry tap emits for this run (replayed from the
+     traced events with allocation sampling stripped). Deterministic.
+     E20's param=1 rows additionally carry the plane INSIDE the timed
+     run, so their wall_ns prices always-on telemetry. *)
+  telemetry_lines : int;
   (* Machine-dependent; excluded from determinism comparisons. *)
   slice_ns : int;  (* slice-construction overhead (E17 sliced arm) *)
   wall_ns : int;
@@ -499,19 +518,78 @@ let run_e15 job =
     par_rounds = 0;
     par_frontier = 0;
     par_items = 0;
+    span_token_p50 = 0.0;
+    span_token_p95 = 0.0;
+    span_round_p50 = 0.0;
+    span_round_p95 = 0.0;
+    span_recovery_p50 = 0.0;
+    span_recovery_p95 = 0.0;
+    span_retx_p50 = 0.0;
+    span_retx_p95 = 0.0;
+    telemetry_lines = 0;
     slice_ns = 0;
     wall_ns;
     alloc_bytes;
   }
 
+(* One detection run with the full streaming telemetry plane attached:
+   a capacity-1 ring whose tap feeds a live [Wcp_obs.Telemetry]. Returns
+   the run and the wcp-metrics/1 stream it emitted. *)
+let run_attached job =
+  let buf = Buffer.create 4096 in
+  let tel =
+    Wcp_obs.Telemetry.create
+      ~sink:(fun l ->
+        Buffer.add_string buf l;
+        Buffer.add_char buf '\n')
+      ()
+  in
+  let ring = Wcp_obs.Recorder.create ~capacity:1 () in
+  Wcp_obs.Telemetry.attach tel ring;
+  let cr = run_sim ~recorder:ring job in
+  Wcp_obs.Telemetry.close tel;
+  (cr, Buffer.contents buf)
+
+(* Structural stream equality modulo allocation samples: two in-process
+   runs may legally differ in per-phase alloc_bytes (domain warm-up
+   effects), so the determinism check zeroes them. Cross-process byte
+   identity — allocation included — is the CLI sweep's job
+   (`make telemetry-check`). *)
+let stream_deterministic a b =
+  let norm s =
+    match Wcp_obs.Telemetry.decode s with
+    | Result.Error _ -> None
+    | Result.Ok ls ->
+        Some
+          (List.map
+             (function
+               | Wcp_obs.Telemetry.Phase p ->
+                   Wcp_obs.Telemetry.Phase
+                     { p with Wcp_obs.Telemetry.alloc_bytes = 0 }
+               | l -> l)
+             ls)
+  in
+  let na = norm a in
+  na <> None && na = norm b
+
 let run_job job =
   if job.experiment = "E15" then run_e15 job
   else begin
+  (* E20 telemetry arm (param=1): the timed run carries the always-on
+     streaming plane, so wall_ns prices it against the bare param=0
+     reference row. *)
+  let telemetry_on = job.experiment = "E20" && job.param <> 0 in
+  let timed_stream = ref "" in
   Gc.minor ();
   let alloc0 = Gc.allocated_bytes () in
   let t0 = Unix.gettimeofday () in
   let result =
-    if job.algo = "adversary" then begin
+    if telemetry_on then begin
+      let cr, stream = run_attached job in
+      timed_stream := stream;
+      `Sim cr
+    end
+    else if job.algo = "adversary" then begin
       (* E6: the §5 lower-bound game is deterministic and has no
          simulation behind it; map its two counters into the shared
          record shape. *)
@@ -565,6 +643,15 @@ let run_job job =
         par_rounds = 0;
         par_frontier = 0;
         par_items = 0;
+        span_token_p50 = 0.0;
+        span_token_p95 = 0.0;
+        span_round_p50 = 0.0;
+        span_round_p95 = 0.0;
+        span_recovery_p50 = 0.0;
+        span_recovery_p95 = 0.0;
+        span_retx_p50 = 0.0;
+        span_retx_p95 = 0.0;
+        telemetry_lines = 0;
         slice_ns = 0;
         wall_ns;
         alloc_bytes;
@@ -575,8 +662,36 @@ let run_job job =
          histogram summaries. *)
       let recorder = Wcp_obs.Recorder.create () in
       let _ = run_sim ~recorder job in
-      let _, s = Wcp_obs.Metrics.of_events (Wcp_obs.Recorder.events recorder) in
+      let events = Wcp_obs.Recorder.events recorder in
+      let _, s = Wcp_obs.Metrics.of_events events in
       let q h p = Wcp_obs.Metrics.quantile h p in
+      (* Span-tree and telemetry summaries (schema v8), also from the
+         traced run; the telemetry replay strips allocation sampling so
+         the line count is a pure function of the events. *)
+      let spans = Wcp_obs.Span.of_events events in
+      let spq kind p =
+        Wcp_obs.Span.percentile (Wcp_obs.Span.durations kind spans) p
+      in
+      let telemetry_lines =
+        let tel =
+          Wcp_obs.Telemetry.create
+            ~alloc:(fun () -> 0.)
+            ~sink:(fun (_ : string) -> ())
+            ()
+        in
+        Array.iter (fun e -> Wcp_obs.Telemetry.feed tel e) events;
+        Wcp_obs.Telemetry.close tel;
+        Wcp_obs.Telemetry.lines tel
+      in
+      (* E20 determinism contract: a second attached run reproduces the
+         timed run's stream (alloc samples aside). A mismatch poisons
+         [outcome] so the baseline comparison fails loudly. *)
+      let telemetry_ok =
+        (not telemetry_on)
+        ||
+        let _, stream2 = run_attached job in
+        stream_deterministic !timed_stream stream2
+      in
       (* E17 sliced arm: rebuild the slice outside the timed window to
          report its shape and isolated construction cost (the timed run
          above already paid construction inside [detect], so wall_ns
@@ -617,21 +732,24 @@ let run_job job =
       {
         job;
         outcome =
-          (match r.Detection.outcome with
-          | Detection.Detected cut ->
-              (* E17, E18 and E19 spell the cut out (in dense
-                 coordinates): E17 pins the sliced arm to the dense
-                 arm's exact cut, E18 pins every domain count to the
-                 centralized checker's cut, and E19 pins the
-                 crash-recovery arm to the fault-free reference's cut —
-                 not just to "detected". *)
-              if
-                job.experiment = "E17" || job.experiment = "E18"
-                || job.experiment = "E19"
-              then Format.asprintf "detected %a" Cut.pp cut
-              else "detected"
-          | Detection.No_detection -> "none"
-          | Detection.Undetectable_crashed _ -> "undetectable");
+          (if not telemetry_ok then "telemetry-mismatch"
+           else
+             match r.Detection.outcome with
+             | Detection.Detected cut ->
+                 (* E17, E18, E19 and E20 spell the cut out (in dense
+                    coordinates): E17 pins the sliced arm to the dense
+                    arm's exact cut, E18 pins every domain count to the
+                    centralized checker's cut, E19 pins the
+                    crash-recovery arm to the fault-free reference's
+                    cut, and E20 pins the telemetry-attached arm to the
+                    bare reference's cut — not just to "detected". *)
+                 if
+                   job.experiment = "E17" || job.experiment = "E18"
+                   || job.experiment = "E19" || job.experiment = "E20"
+                 then Format.asprintf "detected %a" Cut.pp cut
+                 else "detected"
+             | Detection.No_detection -> "none"
+             | Detection.Undetectable_crashed _ -> "undetectable");
         states = Computation.total_states comp;
         hops = r.extras.Detection.token_hops;
         polls = r.extras.Detection.polls;
@@ -662,6 +780,15 @@ let run_job job =
         par_rounds = Wcp_sim.Stats.par_rounds r.stats;
         par_frontier = Wcp_sim.Stats.par_max_frontier r.stats;
         par_items = Wcp_sim.Stats.par_items r.stats;
+        span_token_p50 = spq Wcp_obs.Span.Token 0.5;
+        span_token_p95 = spq Wcp_obs.Span.Token 0.95;
+        span_round_p50 = spq Wcp_obs.Span.Round 0.5;
+        span_round_p95 = spq Wcp_obs.Span.Round 0.95;
+        span_recovery_p50 = spq Wcp_obs.Span.Recovery 0.5;
+        span_recovery_p95 = spq Wcp_obs.Span.Recovery 0.95;
+        span_retx_p50 = spq Wcp_obs.Span.Retx_burst 0.5;
+        span_retx_p95 = spq Wcp_obs.Span.Retx_burst 0.95;
+        telemetry_lines;
         slice_ns;
         wall_ns;
         alloc_bytes;
@@ -720,6 +847,8 @@ let jobs = function
         job "E19" "token-dd" ~n:8 ~m:20 ~param:1 ~seed:1 ();
         job "E19" "token-multi" ~n:8 ~m:20 ~param:0 ~seed:1 ();
         job "E19" "token-multi" ~n:8 ~m:20 ~param:1 ~seed:1 ();
+        job "E20" "token-vc" ~n:8 ~m:20 ~param:0 ~seed:1 ();
+        job "E20" "token-vc" ~n:8 ~m:20 ~param:1 ~seed:1 ();
       ]
   | Full ->
       let sweep f xs = List.concat_map f xs in
@@ -864,6 +993,21 @@ let jobs = function
                   [ 0; 1 ])
               [ "token-vc"; "token-dd"; "token-multi" ])
           [ 8; 16; 32 ]
+      (* E20: always-on telemetry. Per n, a bare reference row (param
+         0, the E1 workload) and a telemetry-attached row (param 1)
+         whose timed run streams wcp-metrics/1 through a capacity-1
+         ring tap. Both arms spell the cut out, every deterministic
+         field is identical between them (the plane is invisible to
+         the engine), and the attached arm additionally asserts that a
+         second attached run reproduces the stream. Only wall_ns may
+         differ — the overhead E20's table reports. *)
+      @ sweep
+          (fun n ->
+            List.map
+              (fun telemetry ->
+                job "E20" "token-vc" ~n ~m:20 ~param:telemetry ~seed:1 ())
+              [ 0; 1 ])
+          [ 8; 16; 32 ]
 
 let run ?domains profile =
   let js = Array.of_list (jobs profile) in
@@ -885,8 +1029,12 @@ let run ?domains profile =
    moved.
    v7: E19 (crash-recovery: mid-protocol monitor restart vs fault-free
    reference) and the replayed/recovery_latency fields added; no
-   existing field moved. *)
-let schema = "wcp-bench/7"
+   existing field moved.
+   v8: E20 (always-on telemetry overhead, attached vs bare), the
+   per-span-kind duration percentiles (span_*_p50/p95) and
+   telemetry_lines added; traced runs now carry phase marks, so
+   trace_events grew by the mark count vs v7 — no other field moved. *)
+let schema = "wcp-bench/8"
 
 let metrics_to_json r =
   Json.Obj
@@ -928,6 +1076,15 @@ let metrics_to_json r =
       ("par_rounds", Json.Int r.par_rounds);
       ("par_frontier", Json.Int r.par_frontier);
       ("par_items", Json.Int r.par_items);
+      ("span_token_p50", Json.Float r.span_token_p50);
+      ("span_token_p95", Json.Float r.span_token_p95);
+      ("span_round_p50", Json.Float r.span_round_p50);
+      ("span_round_p95", Json.Float r.span_round_p95);
+      ("span_recovery_p50", Json.Float r.span_recovery_p50);
+      ("span_recovery_p95", Json.Float r.span_recovery_p95);
+      ("span_retx_p50", Json.Float r.span_retx_p50);
+      ("span_retx_p95", Json.Float r.span_retx_p95);
+      ("telemetry_lines", Json.Int r.telemetry_lines);
       ("slice_ns", Json.Int r.slice_ns);
       ("wall_ns", Json.Int r.wall_ns);
       ("alloc_bytes", Json.Int r.alloc_bytes);
@@ -976,6 +1133,15 @@ let metrics_of_json j =
     par_rounds = to_int (member "par_rounds" j);
     par_frontier = to_int (member "par_frontier" j);
     par_items = to_int (member "par_items" j);
+    span_token_p50 = to_float (member "span_token_p50" j);
+    span_token_p95 = to_float (member "span_token_p95" j);
+    span_round_p50 = to_float (member "span_round_p50" j);
+    span_round_p95 = to_float (member "span_round_p95" j);
+    span_recovery_p50 = to_float (member "span_recovery_p50" j);
+    span_recovery_p95 = to_float (member "span_recovery_p95" j);
+    span_retx_p50 = to_float (member "span_retx_p50" j);
+    span_retx_p95 = to_float (member "span_retx_p95" j);
+    telemetry_lines = to_int (member "telemetry_lines" j);
     slice_ns = to_int (member "slice_ns" j);
     wall_ns = to_int (member "wall_ns" j);
     alloc_bytes = to_int (member "alloc_bytes" j);

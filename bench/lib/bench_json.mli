@@ -107,6 +107,23 @@ type metrics = {
       (** Widest frontier: most slots advanced in a single round. *)
   par_items : int;
       (** Candidate-versus-threshold comparisons across all rounds. *)
+  span_token_p50 : float;
+      (** Median token-generation span duration (sim time) from the
+          traced reference run's span tree; zero when the run has no
+          spans of the kind. Deterministic, like every span field. *)
+  span_token_p95 : float;  (** 95th-percentile token span. *)
+  span_round_p50 : float;  (** Median elimination-round span. *)
+  span_round_p95 : float;  (** 95th-percentile elimination round. *)
+  span_recovery_p50 : float;
+      (** Median crash-recovery window (restart to replay-complete). *)
+  span_recovery_p95 : float;  (** 95th-percentile recovery window. *)
+  span_retx_p50 : float;
+      (** Median retransmit-burst span (bursts close after a 2.0
+          sim-time gap with no retransmission). *)
+  span_retx_p95 : float;  (** 95th-percentile retransmit burst. *)
+  telemetry_lines : int;
+      (** Lines a [wcp-metrics/1] stream of the traced run would carry
+          (alloc-stripped encoder, so the count is deterministic). *)
   slice_ns : int;
       (** Wall time of slice construction (machine-dependent; zero
           outside E17's sliced arm). *)
@@ -137,14 +154,17 @@ val e15_sessions : int
     run (see [outcome]). *)
 
 val schema : string
-(** Document schema tag, ["wcp-bench/7"] (v2 added the fault-recovery
+(** Document schema tag, ["wcp-bench/8"] (v2 added the fault-recovery
     counters; v3 the trace-derived histogram summaries; v4 E15/E16 and
     the gated + delta-encoded wire defaults; v5 E17 computation
     slicing, the [slice_states]/[slice_ns] fields, and packed dd
     snapshot + poll pricing under [delta], which moves dd bit counts;
     v6 E18 domain-parallel checker crossover and the
     [par_rounds]/[par_frontier]/[par_items] fields; v7 E19
-    crash-recovery and the [replayed]/[recovery_latency] fields). *)
+    crash-recovery and the [replayed]/[recovery_latency] fields; v8
+    E20 always-on telemetry overhead, the [span_*_p50]/[span_*_p95]
+    duration percentiles and [telemetry_lines] — traced runs now carry
+    phase marks, so [trace_events] grew by the mark count). *)
 
 val emit : profile:profile -> metrics array -> string
 (** JSON document, one result record per line. *)

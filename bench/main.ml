@@ -735,6 +735,100 @@ let e19 () =
     [ "token-vc"; "token-dd"; "token-multi" ]
 
 (* ------------------------------------------------------------------ *)
+(* E20: always-on telemetry overhead                                   *)
+(* ------------------------------------------------------------------ *)
+
+let e20 () =
+  header "E20 always-on telemetry: capacity-1 ring + metrics stream vs bare"
+    "claim: the metrics plane costs <= 5% over the recorder hooks at n=32 \
+     and the stream is byte-deterministic";
+  let m = 20 in
+  Printf.printf "%4s %11s %11s %11s %7s %7s %6s %6s %6s\n" "n" "off-ns"
+    "hooks-ns" "on-ns" "plane" "total" "lines" "agree" "deter";
+  List.iter
+    (fun n ->
+      (* Three interleaved arms, best-of-20 each: bare; the recorder
+         hooks alone (capacity-1 ring + no-op tap, i.e. what any
+         attached consumer pays for event materialization — E14's
+         number); and the full plane (telemetry aggregation streaming
+         wcp-metrics/1 into a buffer). Interleaving means slow machine
+         drift hits all arms equally; [Gc.minor] puts each rep in the
+         same heap state. [plane] = on/hooks prices this PR's
+         aggregation layer, [total] = on/off the whole plane including
+         the hooks that predate it. *)
+      let reps = 20 in
+      let comp = random_comp ~n ~m ~p_pred:0.3 ~seed:1L in
+      let spec = Spec.all comp in
+      let base = Token_vc.detect ~seed:1L comp spec in
+      let attached () =
+        let buf = Buffer.create 4096 in
+        let tel =
+          Wcp_obs.Telemetry.create
+            ~sink:(fun l ->
+              Buffer.add_string buf l;
+              Buffer.add_char buf '\n')
+            ()
+        in
+        let recorder = Wcp_obs.Recorder.create ~capacity:1 () in
+        Wcp_obs.Telemetry.attach tel recorder;
+        let r = Token_vc.detect ~recorder ~seed:1L comp spec in
+        Wcp_obs.Telemetry.close tel;
+        (r, Buffer.contents buf)
+      in
+      let agree = ref true in
+      let stream = ref "" in
+      let off = ref infinity and hooks = ref infinity and on = ref infinity in
+      let time f b =
+        Gc.minor ();
+        let t0 = Unix.gettimeofday () in
+        f ();
+        let dt = Unix.gettimeofday () -. t0 in
+        if dt < !b then b := dt
+      in
+      for _ = 1 to reps do
+        time (fun () -> ignore (Token_vc.detect ~seed:1L comp spec)) off;
+        time
+          (fun () ->
+            let recorder = Wcp_obs.Recorder.create ~capacity:1 () in
+            Wcp_obs.Recorder.attach_tap recorder
+              (fun (_ : Wcp_obs.Event.t) -> ());
+            ignore (Token_vc.detect ~recorder ~seed:1L comp spec))
+          hooks;
+        time
+          (fun () ->
+            let r, s = attached () in
+            stream := s;
+            if not (Detection.outcome_equal r.outcome base.outcome) then
+              agree := false)
+          on
+      done;
+      let off = !off and hooks = !hooks and on = !on in
+      let lines = String.split_on_char '\n' !stream |> List.length |> pred in
+      (* Alloc-dependent phase lines aside, the stream must reproduce
+         exactly; compare decoded lines with alloc_bytes zeroed (the
+         cross-process byte-for-byte check is `make telemetry-check`). *)
+      let norm s =
+        match Wcp_obs.Telemetry.decode s with
+        | Result.Error _ -> None
+        | Result.Ok ls ->
+            Some
+              (List.map
+                 (function
+                   | Wcp_obs.Telemetry.Phase p ->
+                       Wcp_obs.Telemetry.Phase { p with alloc_bytes = 0 }
+                   | l -> l)
+                 ls)
+      in
+      let _, s2 = attached () in
+      let deterministic = norm !stream <> None && norm !stream = norm s2 in
+      Printf.printf "%4d %11.0f %11.0f %11.0f %7.2f %7.2f %6d %6s %6s\n" n
+        (off *. 1e9) (hooks *. 1e9) (on *. 1e9) (on /. hooks) (on /. off)
+        lines
+        (if !agree then "yes" else "NO")
+        (if deterministic then "yes" else "NO"))
+    [ 8; 16; 32 ]
+
+(* ------------------------------------------------------------------ *)
 (* E13: Bechamel micro-benchmarks                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -812,7 +906,8 @@ let tables () =
   e16 ();
   e17 ();
   e18 ();
-  e19 ()
+  e19 ();
+  e20 ()
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable harness (JSON) and the perf-regression gate        *)
@@ -898,6 +993,7 @@ let () =
   | _ :: "tables" :: _ -> tables ()
   | _ :: "e18" :: _ -> e18 ()
   | _ :: "e19" :: _ -> e19 ()
+  | _ :: "e20" :: _ -> e20 ()
   | _ :: "micro" :: _ -> micro ()
   | _ :: "json" :: rest -> json_mode rest
   | _ :: "perf-check" :: rest -> perf_check rest

@@ -351,6 +351,55 @@ let write_trace recorder ~path ~format =
        else "")
   end
 
+(* --metrics-out support: stream wcp-metrics/1 telemetry from a tap on
+   the run's recorder. When no --trace recorder exists, a capacity-1
+   ring plus the tap is the bounded-memory streaming configuration —
+   the tap sees every emission even though the ring retains none. *)
+
+let metrics_out_arg =
+  let doc =
+    "Stream live telemetry (wcp-metrics/1 JSONL: per-window rates, hop-latency \
+     p50/p95, recovery health gauges, per-phase allocation profile) to \
+     $(docv); - for stdout. Feeds $(b,wcpdetect top)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let metrics_every_arg =
+  let doc = "Telemetry window width in sim-time units." in
+  Arg.(
+    value
+    & opt float Wcp_obs.Telemetry.default_every
+    & info [ "metrics-every" ] ~docv:"T" ~doc)
+
+let setup_metrics ~recorder ~metrics_out ~metrics_every =
+  match metrics_out with
+  | None -> (recorder, fun () -> ())
+  | Some path ->
+      let buf = Buffer.create 4096 in
+      let tel =
+        Wcp_obs.Telemetry.create ~every:metrics_every
+          ~sink:(fun l ->
+            Buffer.add_string buf l;
+            Buffer.add_char buf '\n')
+          ()
+      in
+      let recorder =
+        match recorder with
+        | Some r -> r
+        | None -> Wcp_obs.Recorder.create ~capacity:1 ()
+      in
+      Wcp_obs.Telemetry.attach tel recorder;
+      ( Some recorder,
+        fun () ->
+          Wcp_obs.Telemetry.close tel;
+          if path = "-" then print_string (Buffer.contents buf)
+          else begin
+            Wcp_obs.Export.write_file path (Buffer.contents buf);
+            Printf.printf "metrics: %d lines -> %s\n"
+              (Wcp_obs.Telemetry.lines tel)
+              path
+          end )
+
 let run_algo ?fault ?recorder ?(slice = false) ?(ckpt_every = 1) algo ~groups
     ~seed comp spec =
   let options = Detection.options ~slice () in
@@ -421,7 +470,7 @@ let run_algo ?fault ?recorder ?(slice = false) ?(ckpt_every = 1) algo ~groups
 
 let detect_cmd =
   let run trace algo groups procs seed verbose slice drop dup crashes restarts
-      ckpt_every fault_seed trace_out trace_format =
+      ckpt_every fault_seed trace_out trace_format metrics_out metrics_every =
     let comp = Trace_codec.read_file trace in
     let spec = spec_of comp procs in
     let fault = fault_plan ~drop ~dup ~crashes ~restarts ~fault_seed in
@@ -429,6 +478,9 @@ let detect_cmd =
       match trace_out with
       | None -> None
       | Some _ -> Some (Wcp_obs.Recorder.create ())
+    in
+    let recorder, finish_metrics =
+      setup_metrics ~recorder ~metrics_out ~metrics_every
     in
     match
       run_algo ?fault ?recorder ~slice ~ckpt_every algo ~groups ~seed comp spec
@@ -442,7 +494,8 @@ let detect_cmd =
         end;
         (match (recorder, trace_out) with
         | Some rec_, Some path -> write_trace rec_ ~path ~format:trace_format
-        | _ -> ())
+        | _ -> ());
+        finish_metrics ()
   in
   Cmd.v
     (Cmd.info "detect" ~doc:"Run a detection algorithm on a trace.")
@@ -450,7 +503,7 @@ let detect_cmd =
       const (fun () -> run) $ setup_logs $ trace_arg $ algo_arg $ groups_arg
       $ procs_arg $ seed_arg $ verbose_arg $ slice_arg $ drop_arg $ dup_arg
       $ crash_arg $ restart_arg $ ckpt_every_arg $ fault_seed_arg
-      $ trace_out_arg $ trace_format_arg)
+      $ trace_out_arg $ trace_format_arg $ metrics_out_arg $ metrics_every_arg)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                               *)
@@ -472,11 +525,14 @@ let trace_cmd =
       & info [ "f"; "format" ] ~docv:"FMT" ~doc)
   in
   let run trace algo groups procs seed out format drop dup crashes restarts
-      ckpt_every fault_seed =
+      ckpt_every fault_seed metrics_out metrics_every =
     let comp = Trace_codec.read_file trace in
     let spec = spec_of comp procs in
     let fault = fault_plan ~drop ~dup ~crashes ~restarts ~fault_seed in
     let recorder = Wcp_obs.Recorder.create () in
+    let _, finish_metrics =
+      setup_metrics ~recorder:(Some recorder) ~metrics_out ~metrics_every
+    in
     match run_algo ?fault ~recorder ~ckpt_every algo ~groups ~seed comp spec with
     | None -> ()
     | Some r ->
@@ -487,7 +543,8 @@ let trace_cmd =
             Wcp_obs.Metrics.of_events (Wcp_obs.Recorder.events recorder)
           in
           Format.printf "%a" Wcp_obs.Metrics.pp metrics
-        end
+        end;
+        finish_metrics ()
   in
   Cmd.v
     (Cmd.info "trace"
@@ -497,7 +554,8 @@ let trace_cmd =
     Term.(
       const (fun () -> run) $ setup_logs $ trace_arg $ algo_arg $ groups_arg
       $ procs_arg $ seed_arg $ out $ format $ drop_arg $ dup_arg $ crash_arg
-      $ restart_arg $ ckpt_every_arg $ fault_seed_arg)
+      $ restart_arg $ ckpt_every_arg $ fault_seed_arg $ metrics_out_arg
+      $ metrics_every_arg)
 
 (* ------------------------------------------------------------------ *)
 (* explain                                                             *)
@@ -539,6 +597,115 @@ let explain_cmd =
     Term.(const run $ events_arg $ verbose)
 
 (* ------------------------------------------------------------------ *)
+(* top                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Render a parsed wcp-metrics/1 stream as a terminal dashboard. Plain
+   fixed-width text with no escape codes in the table, so the one-shot
+   mode is cram-testable; --follow only clears the screen between
+   renders. *)
+let render_top ppf (stream : Wcp_obs.Telemetry.line list) =
+  let open Wcp_obs.Telemetry in
+  let windows =
+    List.filter_map (function Window w -> Some w | _ -> None) stream
+  in
+  let phases =
+    List.filter_map (function Phase p -> Some p | _ -> None) stream
+  in
+  List.iter
+    (function
+      | Meta { algo; n; width; every } ->
+          Format.fprintf ppf "run: %s  n=%d  width=%d  window=%g@." algo n
+            width every
+      | _ -> ())
+    stream;
+  if windows <> [] then begin
+    Format.fprintf ppf
+      "%6s %7s %7s %7s %6s %5s %6s %5s %6s %4s %8s %8s@." "window" "t0" "t1"
+      "events" "elims" "hops" "polls" "retx" "ckpts" "wd" "hop-p50" "hop-p95";
+    List.iter
+      (fun w ->
+        Format.fprintf ppf
+          "%6d %7.1f %7.1f %7d %6d %5d %6d %5d %6d %4d %8.2f %8.2f@." w.idx
+          w.t0 w.t1 w.events w.elims w.hops w.polls w.retx w.ckpts
+          w.stand_downs w.hop_p50 w.hop_p95)
+      windows;
+    let last = List.nth windows (List.length windows - 1) in
+    Format.fprintf ppf
+      "health (cumulative): events=%d elims=%d retx=%d regens=%d ckpts=%d \
+       wd-stand-downs=%d@."
+      last.cum_events last.cum_elims last.cum_retx last.cum_regens
+      last.cum_ckpts last.cum_stand_downs
+  end;
+  if phases <> [] then begin
+    Format.fprintf ppf "phases:@.";
+    List.iter
+      (fun p ->
+        Format.fprintf ppf "  %-9s %7.1f -> %7.1f  events=%-6d alloc=%dB@."
+          p.phase p.p_t0 p.p_t1 p.p_events p.alloc_bytes)
+      phases
+  end;
+  List.iter
+    (function
+      | Total { windows; events; elims; hops; phases } ->
+          Format.fprintf ppf
+            "totals: %d windows, %d events, %d eliminations, %d hops, %d \
+             phases@."
+            windows events elims hops phases
+      | _ -> ())
+    stream
+
+let top_cmd =
+  let file_arg =
+    let doc =
+      "wcp-metrics/1 JSONL stream, as written by $(b,--metrics-out)."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"METRICS" ~doc)
+  in
+  let follow =
+    Arg.(
+      value & flag
+      & info [ "follow" ]
+          ~doc:
+            "Keep re-reading the stream and re-rendering every $(b,--interval) \
+             seconds (live view of a run in progress). Interrupt to quit.")
+  in
+  let interval =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval" ] ~docv:"SECS" ~doc:"Refresh period with $(b,--follow).")
+  in
+  let run file follow interval =
+    let load () =
+      match Wcp_obs.Export.read_file file with
+      | exception Sys_error m -> Error m
+      | data -> Wcp_obs.Telemetry.decode data
+    in
+    if not follow then (
+      match load () with
+      | Error m ->
+          prerr_endline ("wcpdetect top: " ^ m);
+          exit 1
+      | Ok lines -> render_top Format.std_formatter lines)
+    else
+      while true do
+        print_string "\027[2J\027[H";
+        (match load () with
+        | Error m -> Format.printf "wcpdetect top: waiting for stream (%s)@." m
+        | Ok lines -> render_top Format.std_formatter lines);
+        flush stdout;
+        Unix.sleepf interval
+      done
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Tail a wcp-metrics/1 telemetry stream (from $(b,--metrics-out)) as \
+          a live terminal view: per-window rates, hop-latency percentiles, \
+          recovery health gauges and the per-phase profile.")
+    Term.(const run $ file_arg $ follow $ interval)
+
+(* ------------------------------------------------------------------ *)
 (* chaos                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -551,7 +718,7 @@ let chaos_cmd =
       & info [ "a"; "algorithm" ] ~docv:"ALGO" ~doc)
   in
   let run trace algo groups procs seed drop dup crashes restarts ckpt_every
-      fault_seed trace_out trace_format =
+      fault_seed trace_out trace_format metrics_out metrics_every =
     let comp = Trace_codec.read_file trace in
     let spec = spec_of comp procs in
     let windows =
@@ -562,6 +729,9 @@ let chaos_cmd =
       match trace_out with
       | None -> None
       | Some _ -> Some (Wcp_obs.Recorder.create ())
+    in
+    let recorder, finish_metrics =
+      setup_metrics ~recorder ~metrics_out ~metrics_every
     in
     let name, r, scope =
       match algo with
@@ -613,7 +783,8 @@ let chaos_cmd =
          replayed=%d wd-stand-downs=%d@."
         (List.length restarts) ckpt_every (Stats.checkpoints st)
         (Stats.restores st) (Stats.replayed st)
-        (Stats.wd_stand_downs st)
+        (Stats.wd_stand_downs st);
+    finish_metrics ()
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -622,7 +793,8 @@ let chaos_cmd =
     Term.(
       const run $ trace_arg $ algo $ groups_arg $ procs_arg $ seed_arg
       $ drop_arg $ dup_arg $ crash_arg $ restart_arg $ ckpt_every_arg
-      $ fault_seed_arg $ trace_out_arg $ trace_format_arg)
+      $ fault_seed_arg $ trace_out_arg $ trace_format_arg $ metrics_out_arg
+      $ metrics_every_arg)
 
 (* ------------------------------------------------------------------ *)
 (* compare                                                             *)
@@ -845,6 +1017,7 @@ let () =
             detect_cmd;
             trace_cmd;
             explain_cmd;
+            top_cmd;
             chaos_cmd;
             compare_cmd;
             render_cmd;

@@ -4,7 +4,7 @@ open Wcp_sim
 let rec detect ?network ?recorder ?(options = Detection.default_options) ~seed
     comp spec =
   if options.Detection.slice then
-    Run_common.with_slice ~keep_rest:false comp spec ~run:(fun sliced spec' ->
+    Run_common.with_slice ?recorder ~keep_rest:false comp spec ~run:(fun sliced spec' ->
         detect ?network ?recorder
           ~options:{ options with Detection.slice = false }
           ~seed sliced spec')

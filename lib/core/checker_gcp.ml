@@ -13,7 +13,7 @@ let rec detect ?network ?recorder ?(options = Detection.default_options) ~seed
       invalid_arg
         "Checker_gcp.detect: channel counts are not slice-invariant (use \
          slice only with ~channels:[])";
-    Run_common.with_slice ~keep_rest:true comp spec ~run:(fun sliced spec' ->
+    Run_common.with_slice ?recorder ~keep_rest:true comp spec ~run:(fun sliced spec' ->
         detect ?network ?recorder
           ~options:{ options with Detection.slice = false }
           ~seed ~channels sliced spec')

@@ -37,7 +37,7 @@ open Wcp_sim
 let rec detect ?recorder ?(options = Detection.default_options) ?domains ~seed
     comp spec =
   if options.Detection.slice then
-    Run_common.with_slice ~keep_rest:false comp spec ~run:(fun sliced spec' ->
+    Run_common.with_slice ?recorder ~keep_rest:false comp spec ~run:(fun sliced spec' ->
         detect ?recorder
           ~options:{ options with Detection.slice = false }
           ?domains ~seed sliced spec')
@@ -54,7 +54,9 @@ let rec detect ?recorder ?(options = Detection.default_options) ?domains ~seed
     | None -> ()
     | Some r ->
         Wcp_obs.Recorder.emit r ~time:0.0 ~proc:(-1)
-          (Wcp_obs.Event.Run_meta { algo = "parallel"; n; width }));
+          (Wcp_obs.Event.Run_meta { algo = "parallel"; n; width });
+        Wcp_obs.Recorder.emit r ~time:0.0 ~proc:(-1)
+          (Wcp_obs.Event.Phase_marked { name = "build" }));
     (* Materialize the same encoded snapshot streams the centralized
        checker receives, at the same wire prices: the senders are
        charged the encoded bits, the checker the receptions and the
@@ -227,6 +229,11 @@ let rec detect ?recorder ?(options = Detection.default_options) ?domains ~seed
       if d < 1 then invalid_arg "Checker_parallel.detect: domains must be >= 1";
       min d (max 1 width)
     in
+    (match recorder with
+    | None -> ()
+    | Some r ->
+        Wcp_obs.Recorder.emit r ~time:0.0 ~proc:(-1)
+          (Wcp_obs.Event.Phase_marked { name = "detect" }));
     if domains <= 1 then run_rounds (fun f -> f ~slot:0 ~slots:1)
     else
       Wcp_util.Parallel.scoped_pool ~domains (fun pool ->

@@ -19,13 +19,17 @@ let make_engine ?network ?fault ?recorder ~seed comp =
   make_engine_n ?network ?fault ?recorder ~seed ~n:(Computation.n comp) ()
 
 (* Every detector opens its recorded log with the same prologue so
-   consumers can map engine ids to P_i / M_i roles. *)
+   consumers can map engine ids to P_i / M_i roles. The "build" phase
+   mark right after it opens the wiring/setup phase of the telemetry
+   profile; [finish] closes it with the "detect" mark. *)
 let emit_run_meta engine ~algo ~n ~width =
   match Engine.recorder engine with
   | None -> ()
   | Some r ->
       Wcp_obs.Recorder.emit r ~time:0.0 ~proc:(-1)
-        (Wcp_obs.Event.Run_meta { algo; n; width })
+        (Wcp_obs.Event.Run_meta { algo; n; width });
+      Wcp_obs.Recorder.emit r ~time:0.0 ~proc:(-1)
+        (Wcp_obs.Event.Phase_marked { name = "build" })
 
 type announce = Detection.outcome -> unit
 
@@ -127,7 +131,10 @@ let wire_recovery engine (r : recovery) ~owns ~capture ~restore =
                     | Some rc ->
                         Wcp_obs.Recorder.emit rc ~time:(Engine.time ctx)
                           ~proc:w.Fault.proc
-                          (Wcp_obs.Event.Restored { bytes = String.length s }));
+                          (Wcp_obs.Event.Restored { bytes = String.length s });
+                        Wcp_obs.Recorder.emit rc ~time:(Engine.time ctx)
+                          ~proc:(-1)
+                          (Wcp_obs.Event.Phase_marked { name = "recovery" }));
                     Transport.reconnect r.transport ctx ~proc:w.Fault.proc))
     r.restarts;
   fun proc ctx ->
@@ -140,6 +147,11 @@ let wire_recovery engine (r : recovery) ~owns ~capture ~restore =
     end
 
 let finish ?fault engine ~outcome ~extras =
+  (match Engine.recorder engine with
+  | None -> ()
+  | Some r ->
+      Wcp_obs.Recorder.emit r ~time:(Engine.now engine) ~proc:(-1)
+        (Wcp_obs.Event.Phase_marked { name = "detect" }));
   Engine.run engine;
   let result o =
     {
@@ -162,7 +174,15 @@ let finish ?fault engine ~outcome ~extras =
           result (Detection.Undetectable_crashed (Fault.permanently_crashed plan))
       | _ -> failwith "detection run ended without an outcome")
 
-let with_slice ~keep_rest comp spec ~run =
+let with_slice ?recorder ~keep_rest comp spec ~run =
+  (* The "slice" phase mark precedes the inner run's [Run_meta] — the
+     slice is computed before any engine exists. Consumers treat
+     leading phase marks as pre-run profile data (see Event.mli). *)
+  (match recorder with
+  | None -> ()
+  | Some r ->
+      Wcp_obs.Recorder.emit r ~time:0.0 ~proc:(-1)
+        (Wcp_obs.Event.Phase_marked { name = "slice" }));
   let sl = Wcp_slice.Slice.for_spec ~keep_rest comp ~procs:(Spec.procs spec) in
   let sliced = Wcp_slice.Slice.computation sl in
   let spec' = Spec.make sliced (Spec.procs spec) in

@@ -40,8 +40,10 @@ val make_engine_n :
 
 val emit_run_meta :
   Messages.t Engine.t -> algo:string -> n:int -> width:int -> unit
-(** Emit the [Run_meta] prologue event if the engine has a recorder
-    (no-op otherwise). Every detector calls this once before wiring. *)
+(** Emit the [Run_meta] prologue event — followed by the ["build"]
+    phase mark opening the wiring/setup phase of the telemetry
+    profile — if the engine has a recorder (no-op otherwise). Every
+    detector calls this once before wiring. *)
 
 type announce = Detection.outcome -> unit
 (** Callback a monitor invokes exactly once to report the result and
@@ -124,7 +126,8 @@ val finish :
   outcome:Detection.outcome option ref ->
   extras:Detection.extras ->
   Detection.result
-(** Run the engine and assemble the result. If the event queue drains
+(** Emit the ["detect"] phase mark (when a recorder is attached), then
+    run the engine and assemble the result. If the event queue drains
     without any announcement and [fault] contains permanent crash
     windows, the result is [Undetectable_crashed] over those processes
     (graceful degradation).
@@ -133,12 +136,15 @@ val finish :
     the test suite). *)
 
 val with_slice :
+  ?recorder:Wcp_obs.Recorder.t ->
   keep_rest:bool ->
   Computation.t ->
   Spec.t ->
   run:(Computation.t -> Spec.t -> Detection.result) ->
   Detection.result
-(** Slice the computation for the spec (see {!Wcp_slice.Slice.for_spec}),
+(** Emit the ["slice"] phase mark into [recorder] (it legally precedes
+    the inner run's [Run_meta] — slicing happens before any engine
+    exists), slice the computation for the spec (see {!Wcp_slice.Slice.for_spec}),
     run the detector on the slice, and remap the detected cut back to
     dense coordinates. Every [detect ?options] entry point with
     [options.slice = true] is this wrapper around its dense self;

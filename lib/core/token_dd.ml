@@ -464,7 +464,7 @@ let rec detect ?network ?fault ?recorder ?(parallel = false)
     ?(invariant_checks = false) ?start_at ?(ckpt_every = 1)
     ?(options = Detection.default_options) ~seed comp spec =
   if options.Detection.slice then
-    Run_common.with_slice ~keep_rest:true comp spec ~run:(fun sliced spec' ->
+    Run_common.with_slice ?recorder ~keep_rest:true comp spec ~run:(fun sliced spec' ->
         detect ?network ?fault ?recorder ~parallel ~invariant_checks ?start_at
           ~ckpt_every
           ~options:{ options with Detection.slice = false }

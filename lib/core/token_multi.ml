@@ -29,7 +29,7 @@ let rec detect ?network ?fault ?recorder ?(assignment = Round_robin)
     ?(ckpt_every = 1) ?(options = Detection.default_options) ~groups ~seed comp
     spec =
   if options.Detection.slice then
-    Run_common.with_slice ~keep_rest:false comp spec ~run:(fun sliced spec' ->
+    Run_common.with_slice ?recorder ~keep_rest:false comp spec ~run:(fun sliced spec' ->
         detect ?network ?fault ?recorder ~assignment ~ckpt_every
           ~options:{ options with Detection.slice = false }
           ~groups ~seed sliced spec')

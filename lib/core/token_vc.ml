@@ -427,7 +427,7 @@ let start engine monitors =
 let rec detect ?network ?fault ?recorder ?(invariant_checks = false) ?start_at
     ?(ckpt_every = 1) ?(options = Detection.default_options) ~seed comp spec =
   if options.Detection.slice then
-    Run_common.with_slice ~keep_rest:false comp spec ~run:(fun sliced spec' ->
+    Run_common.with_slice ?recorder ~keep_rest:false comp spec ~run:(fun sliced spec' ->
         detect ?network ?fault ?recorder ~invariant_checks ?start_at
           ~ckpt_every
           ~options:{ options with Detection.slice = false }

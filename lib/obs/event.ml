@@ -50,6 +50,7 @@ type body =
   | Resync_requested of { peer : int; expected : int }
   | Replayed of { dst : int; from_seq : int; count : int }
   | Watchdog_stood_down of { seq : int; dst : int }
+  | Phase_marked of { name : string }
   | Detected of { procs : int array; states : int array }
   | No_detection_declared
 
@@ -80,6 +81,7 @@ let kind = function
   | Resync_requested _ -> "recovery/resync"
   | Replayed _ -> "recovery/replay"
   | Watchdog_stood_down _ -> "wd_stand_down"
+  | Phase_marked _ -> "phase"
   | Detected _ -> "detected"
   | No_detection_declared -> "no_detection"
 
@@ -90,7 +92,7 @@ let kinds =
     "token_sent"; "token_received"; "token_regenerated"; "poll_sent";
     "poll_replied"; "probe_sent"; "retransmit"; "merge"; "round";
     "recovery/ckpt"; "recovery/restore"; "recovery/resync"; "recovery/replay";
-    "wd_stand_down"; "detected"; "no_detection";
+    "wd_stand_down"; "phase"; "detected"; "no_detection";
   ]
 
 let is_elimination = function
@@ -163,6 +165,7 @@ let pp_body ppf = function
       Format.fprintf ppf "replay -> %d from#%d count=%d" dst from_seq count
   | Watchdog_stood_down { seq; dst } ->
       Format.fprintf ppf "wd-stand-down#%d dst=%d" seq dst
+  | Phase_marked { name } -> Format.fprintf ppf "phase %s" name
   | Detected { procs; states } ->
       Format.fprintf ppf "detected {";
       Array.iteri

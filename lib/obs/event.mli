@@ -93,6 +93,13 @@ type body =
   | Watchdog_stood_down of { seq : int; dst : int }
       (** The watchdog gave up on token [seq] after [max_probes]
           unproductive probes of [dst]. *)
+  | Phase_marked of { name : string }
+      (** A run-lifecycle phase starts here ("slice", "build",
+          "detect", "recovery"). The mark closes the previous phase:
+          the telemetry plane attributes everything — events, allocated
+          bytes — between two marks to the phase the {e earlier} mark
+          opened. Emitted with [proc = -1] for pre-engine phases, so a
+          ["slice"] mark may legally precede [Run_meta]. *)
   | Detected of { procs : int array; states : int array }
   | No_detection_declared
 

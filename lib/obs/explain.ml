@@ -121,6 +121,8 @@ let narrate ?(verbose = false) ppf events =
       | Event.Watchdog_stood_down { seq; dst } ->
           line "watchdog stood down on token #%d after max probes of %s" seq
             (name ~n:!n dst)
+      | Event.Phase_marked { name } ->
+          if verbose then line "entered phase %S" name
       | Event.Merged { round } ->
           line "leader merged group tokens (round %d)" round
       | Event.Round_advanced { round; frontier; eliminated } ->

@@ -19,29 +19,71 @@ module Json = struct
 
   let error fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
 
+  let escape_free s =
+    let n = String.length s in
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      let c = String.unsafe_get s i in
+      if c = '"' || c = '\\' || Char.code c < 0x20 then ok := false
+    done;
+    !ok
+
+  let rec add_nat buf v =
+    if v >= 10 then add_nat buf (v / 10);
+    Buffer.add_char buf (Char.unsafe_chr (Char.code '0' + (v mod 10)))
+
+  (* [string_of_int] is a C call that allocates its result; telemetry
+     writes ~24 integers per window line, so spell the digits out
+     directly instead. *)
+  let add_int buf v =
+    if v < 0 then begin
+      Buffer.add_char buf '-';
+      if v = min_int then begin
+        (* [-v] overflows; peel one digit first. *)
+        add_nat buf (-(v / 10));
+        add_nat buf (-(v mod 10))
+      end
+      else add_nat buf (-v)
+    end
+    else add_nat buf v
+
+  let add_float buf f =
+    (* Integral doubles are the overwhelming case on the telemetry
+       path (window boundaries, sim timestamps); print them through
+       the integer pipe — same bytes the %.17g branch would produce,
+       an order of magnitude cheaper. *)
+    if Float.is_integer f && Float.abs f < 1e15 then begin
+      add_int buf (int_of_float f);
+      Buffer.add_string buf ".0"
+    end
+    else begin
+      (* %.17g round-trips any finite double. *)
+      let s = Printf.sprintf "%.17g" f in
+      Buffer.add_string buf s;
+      if String.for_all (fun c -> (c >= '0' && c <= '9') || c = '-') s then
+        Buffer.add_string buf ".0"
+    end
+
   let rec emit buf = function
     | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-    | Int i -> Buffer.add_string buf (string_of_int i)
-    | Float f ->
-        (* %.17g round-trips any finite double. *)
-        let s = Printf.sprintf "%.17g" f in
-        Buffer.add_string buf s;
-        if String.for_all (fun c -> (c >= '0' && c <= '9') || c = '-') s then
-          Buffer.add_string buf ".0"
+    | Int i -> add_int buf i
+    | Float f -> add_float buf f
     | Str s ->
         Buffer.add_char buf '"';
-        String.iter
-          (fun c ->
-            match c with
-            | '"' -> Buffer.add_string buf "\\\""
-            | '\\' -> Buffer.add_string buf "\\\\"
-            | '\n' -> Buffer.add_string buf "\\n"
-            | '\t' -> Buffer.add_string buf "\\t"
-            | '\r' -> Buffer.add_string buf "\\r"
-            | c when Char.code c < 0x20 ->
-                Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-            | c -> Buffer.add_char buf c)
-          s;
+        if escape_free s then Buffer.add_string buf s
+        else
+          String.iter
+            (fun c ->
+              match c with
+              | '"' -> Buffer.add_string buf "\\\""
+              | '\\' -> Buffer.add_string buf "\\\\"
+              | '\n' -> Buffer.add_string buf "\\n"
+              | '\t' -> Buffer.add_string buf "\\t"
+              | '\r' -> Buffer.add_string buf "\\r"
+              | c when Char.code c < 0x20 ->
+                  Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+              | c -> Buffer.add_char buf c)
+            s;
         Buffer.add_char buf '"'
     | Arr xs ->
         Buffer.add_char buf '[';
@@ -329,6 +371,7 @@ let body_fields : Event.body -> (string * Json.t) list =
       [ ("dst", Int dst); ("from_seq", Int from_seq); ("count", Int count) ]
   | Event.Watchdog_stood_down { seq; dst } ->
       [ ("hop", Int seq); ("dst", Int dst) ]
+  | Event.Phase_marked { name } -> [ ("name", Str name) ]
   | Event.Detected { procs; states } ->
       [ ("procs", of_int_array procs); ("states", of_int_array states) ]
   | Event.No_detection_declared -> []
@@ -426,6 +469,7 @@ let body_of_json ~kind j =
   | "recovery/replay" ->
       Event.Replayed { dst = i "dst"; from_seq = i "from_seq"; count = i "count" }
   | "wd_stand_down" -> Event.Watchdog_stood_down { seq = i "hop"; dst = i "dst" }
+  | "phase" -> Event.Phase_marked { name = to_str (member "name" j) }
   | "detected" -> Event.Detected { procs = arr "procs"; states = arr "states" }
   | "no_detection" -> Event.No_detection_declared
   | k -> Json.error "unknown event type %S" k
@@ -473,8 +517,11 @@ let of_jsonl s =
 
 (* One simulated time unit is rendered as one millisecond (ts is in
    microseconds); everything lives in pid 0 with one thread per engine
-   process. Token hops become complete ("X") slices on the sender's
-   track; every other event is an instant ("i"). *)
+   process. The interval structure — token hops in flight, elimination
+   rounds, recovery windows, retransmit bursts — is derived by [Span]
+   and rendered as complete ("X") slices; the remaining algorithm,
+   watchdog and recovery events are named instants ("i") carrying
+   their structured JSONL fields as args. *)
 
 let chrome_ts t = t *. 1000.0
 
@@ -511,41 +558,35 @@ let chrome events =
                ("args", Obj [ ("name", Str (thread_name ~n proc)) ]);
              ])
   in
-  (* Pair token sends with acceptances to form slices. *)
-  let sent_at = Hashtbl.create 64 in
-  Array.iter
-    (fun (e : Event.t) ->
-      match e.body with
-      | Event.Token_sent { seq; _ } | Event.Token_regenerated { seq; _ } ->
-          Hashtbl.replace sent_at seq (e.time, e.proc)
-      | _ -> ())
-    events;
+  (* Duration slices from the derived span tree. *)
+  let slices =
+    Span.of_events events
+    |> List.map (fun (s : Span.t) ->
+           Obj
+             [
+               ("name", Str s.name);
+               ("cat", Str (Span.kind_name s.kind));
+               ("ph", Str "X");
+               ("ts", Float (chrome_ts s.t0));
+               ("dur", Float (chrome_ts (s.t1 -. s.t0)));
+               ("pid", Int 0);
+               ("tid", Int (max 0 s.proc));
+               ("args", Obj (List.map (fun (k, v) -> (k, Int v)) s.args));
+             ])
+  in
   let detail e = Format.asprintf "%a" Event.pp_body e in
-  let records =
+  let instants =
     Array.to_list events
     |> List.concat_map (fun (e : Event.t) ->
            match e.body with
-           | Event.Token_sent _ | Event.Token_regenerated _ -> []
-           | Event.Token_received { seq } -> (
-               match Hashtbl.find_opt sent_at seq with
-               | Some (t0, sender) ->
-                   [
-                     Obj
-                       [
-                         ("name", Str (Printf.sprintf "token #%d" seq));
-                         ("cat", Str "token");
-                         ("ph", Str "X");
-                         ("ts", Float (chrome_ts t0));
-                         ("dur", Float (chrome_ts (e.time -. t0)));
-                         ("pid", Int 0);
-                         ("tid", Int sender);
-                         ("args", Obj [ ("accepted_by", Int e.proc) ]);
-                       ];
-                   ]
-               | None -> [])
            | Event.Sent _ | Event.Delivered _ ->
                (* Engine-level traffic is too dense for instants; it is
                   recoverable from the JSONL log when needed. *)
+               []
+           | Event.Token_sent _ | Event.Token_received _
+           | Event.Round_advanced _ ->
+               (* Slice endpoints: the token and round slices carry
+                  these, so instants would only double-draw them. *)
                []
            | body ->
                let cat =
@@ -562,14 +603,16 @@ let chrome events =
                      ("pid", Int 0);
                      ("tid", Int (max 0 e.proc));
                      ("s", Str "t");
-                     ("args", Obj [ ("detail", Str (detail body)) ]);
+                     ( "args",
+                       Obj (("detail", Str (detail body)) :: body_fields body)
+                     );
                    ];
                ])
   in
   to_string
     (Obj
        [
-         ("traceEvents", Arr (meta @ records));
+         ("traceEvents", Arr (meta @ slices @ instants));
          ("displayTimeUnit", Str "ms");
        ])
 

@@ -6,13 +6,64 @@
       schema validator and the round-trip tests rely on. Output is
       byte-deterministic for a given event sequence.
     - {b Chrome [trace_event]}: a single JSON document that opens in
-      Perfetto or [chrome://tracing]; token hops become duration
-      slices, algorithm events become instants. Export only — there is
-      no decoder. *)
+      Perfetto or [chrome://tracing]; the {!Span}-derived interval
+      structure (token hops, elimination rounds, recovery windows,
+      retransmit bursts) becomes duration slices, every other
+      algorithm/watchdog/recovery event a named instant carrying its
+      structured fields as args. Export only — there is no decoder. *)
 
 val schema : string
 (** Event-log schema tag (["wcp-events/1"]), carried by the
     [run_meta] event. *)
+
+(** Minimal JSON tree shared by every JSONL codec in the plane
+    ({!encode_line} here, the [wcp-metrics/1] codec in {!Telemetry}).
+    [emit]/[parse] invert each other on the subset we generate. *)
+module Json : sig
+  type t =
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Error of string
+
+  val error : ('a, unit, string, 'b) format4 -> 'a
+
+  val emit : Buffer.t -> t -> unit
+
+  val add_int : Buffer.t -> int -> unit
+  (** Exactly the bytes [emit] writes for [Int i], without the
+      intermediate [string_of_int] allocation. *)
+
+  val add_float : Buffer.t -> float -> unit
+  (** Exactly the bytes [emit] writes for [Float f] — exposed so
+      hand-rolled hot-path encoders (the telemetry window line) can
+      stay byte-compatible with the generic emitter. *)
+
+  val to_string : t -> string
+
+  val parse : string -> t
+  (** @raise Error on malformed input or trailing garbage. *)
+
+  val member : string -> t -> t
+  (** @raise Error when missing or not an object. *)
+
+  val to_int : t -> int
+
+  val to_float : t -> float
+  (** Accepts ints. *)
+
+  val to_str : t -> string
+
+  val to_bool : t -> bool
+
+  val to_int_array : t -> int array
+
+  val of_int_array : int array -> t
+end
 
 (** {2 JSONL} *)
 
@@ -34,7 +85,8 @@ val of_jsonl : string -> (Event.t array, string) result
 (** {2 Chrome trace_event} *)
 
 val chrome : Event.t array -> string
-(** The whole log as a [{"traceEvents": [...]}] document. *)
+(** The whole log as a [{"traceEvents": [...]}] document: thread-name
+    metadata, then {!Span.of_events} duration slices, then instants. *)
 
 (** {2 Files} *)
 

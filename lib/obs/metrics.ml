@@ -159,6 +159,63 @@ let pp ppf t =
     (names t)
 
 (* ------------------------------------------------------------------ *)
+(* Prometheus text exposition                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Exposition format 0.0.4. Metric names are prefixed "wcp_" and
+   sanitized to [a-zA-Z0-9_:]; histograms render their non-empty
+   power-of-two buckets as cumulative [le] series plus the mandatory
+   [+Inf]/_sum/_count. Output order follows registration order, so the
+   page is byte-deterministic for a deterministic registry. *)
+
+let prom_name name =
+  let b = Bytes.of_string name in
+  for i = 0 to Bytes.length b - 1 do
+    match Bytes.get b i with
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> ()
+    | _ -> Bytes.set b i '_'
+  done;
+  "wcp_" ^ Bytes.to_string b
+
+let prom_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let to_prometheus t =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s) fmt in
+  List.iter
+    (fun name ->
+      match Hashtbl.find t.tbl name with
+      | Counter c ->
+          let pn = prom_name c.c_name in
+          line "# TYPE %s counter\n%s %d\n" pn pn c.count
+      | Gauge g ->
+          let pn = prom_name g.g_name in
+          line "# TYPE %s gauge\n%s %s\n" pn pn (prom_float g.value);
+          line "# TYPE %s_max gauge\n%s_max %s\n" pn pn
+            (prom_float
+               (if g.max_value = neg_infinity then 0.0 else g.max_value))
+      | Histogram h ->
+          let pn = prom_name h.h_name in
+          line "# TYPE %s histogram\n" pn;
+          let cum = ref 0 in
+          for i = 0 to num_buckets - 1 do
+            if h.buckets.(i) > 0 then begin
+              cum := !cum + h.buckets.(i);
+              line "%s_bucket{le=\"%s\"} %d\n" pn
+                (prom_float (bucket_upper i))
+                !cum
+            end
+          done;
+          line "%s_bucket{le=\"+Inf\"} %d\n" pn h.h_count;
+          line "%s_sum %s\n" pn (prom_float h.sum);
+          line "%s_count %d\n" pn h.h_count)
+    (names t);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
 (* Deriving run metrics from a recorded event log                      *)
 (* ------------------------------------------------------------------ *)
 

@@ -57,6 +57,14 @@ val names : t -> string list
 
 val pp : Format.formatter -> t -> unit
 
+val to_prometheus : t -> string
+(** The whole registry in the Prometheus text exposition format
+    (0.0.4): names prefixed [wcp_] and sanitized, counters and gauges
+    as single series (gauges also expose [_max]), histograms as
+    cumulative [le]-labelled buckets (non-empty buckets plus [+Inf])
+    with [_sum]/[_count]. Byte-deterministic: output follows
+    registration order. *)
+
 (** {2 Deriving run metrics from a recorded event log} *)
 
 type summary = {

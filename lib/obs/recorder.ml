@@ -5,6 +5,7 @@ type t = {
   mutable len : int;
   mutable next_seq : int;
   mutable dropped : int;
+  mutable tap : (Event.t -> unit) option;
 }
 
 let default_capacity = 1 lsl 20
@@ -18,7 +19,13 @@ let create ?(capacity = default_capacity) () =
     len = 0;
     next_seq = 0;
     dropped = 0;
+    tap = None;
   }
+
+let attach_tap t f =
+  match t.tap with
+  | None -> t.tap <- Some f
+  | Some _ -> invalid_arg "Recorder.attach_tap: tap already attached"
 
 let sentinel =
   { Event.seq = -1; time = 0.0; proc = -1; body = Event.No_detection_declared }
@@ -47,7 +54,8 @@ let emit t ~time ~proc body =
     t.buf.(t.head) <- e;
     t.head <- (t.head + 1) mod cap;
     t.dropped <- t.dropped + 1
-  end
+  end;
+  match t.tap with None -> () | Some f -> f e
 
 let length t = t.len
 

@@ -21,7 +21,15 @@ val create : ?capacity:int -> unit -> t
 (** [capacity] (default {!default_capacity}) bounds retained events. *)
 
 val emit : t -> time:float -> proc:int -> Event.body -> unit
-(** Stamp [body] with the next sequence number and append it. *)
+(** Stamp [body] with the next sequence number and append it; then
+    hand the stamped event to the attached tap, if any. *)
+
+val attach_tap : t -> (Event.t -> unit) -> unit
+(** Stream every subsequent emission to [f], after it is stored. The
+    tap sees events the ring later overwrites, so a small-capacity
+    recorder plus a tap is a bounded-memory streaming consumer (the
+    telemetry plane). Costs one [match] per emission when absent.
+    @raise Invalid_argument if a tap is already attached. *)
 
 val length : t -> int
 (** Events currently retained. *)

@@ -1,0 +1,137 @@
+type kind = Token | Round | Recovery | Retx_burst
+
+type t = {
+  kind : kind;
+  name : string;
+  proc : int;
+  t0 : float;
+  t1 : float;
+  args : (string * int) list;
+}
+
+let kind_name = function
+  | Token -> "token"
+  | Round -> "round"
+  | Recovery -> "recovery"
+  | Retx_burst -> "retx-burst"
+
+let burst_gap = 2.0
+
+let of_events (events : Event.t array) =
+  let spans = ref [] in
+  let push s = spans := s :: !spans in
+  (* Token hops: pair each send/regeneration with the acceptance of
+     the same hop number; a regenerated send refreshes the start. *)
+  let sent_at = Hashtbl.create 64 in
+  (* Rounds: interval between consecutive Round_advanced events. *)
+  let first_t =
+    if Array.length events = 0 then 0.0 else events.(0).Event.time
+  in
+  let round_t0 = ref first_t in
+  (* Recovery: per restarting proc, the open episode. *)
+  let open_recovery = Hashtbl.create 4 in
+  (* (proc -> t0, bytes, t1-so-far) *)
+  let flush_recovery p =
+    match Hashtbl.find_opt open_recovery p with
+    | None -> ()
+    | Some (t0, bytes, t1) ->
+        Hashtbl.remove open_recovery p;
+        push
+          {
+            kind = Recovery;
+            name = "recovery";
+            proc = p;
+            t0;
+            t1;
+            args = [ ("bytes", bytes) ];
+          }
+  in
+  let extend_recovery p t =
+    match Hashtbl.find_opt open_recovery p with
+    | Some (t0, bytes, _) -> Hashtbl.replace open_recovery p (t0, bytes, t)
+    | None -> ()
+  in
+  (* Retransmit bursts: per sender, the open burst. *)
+  let open_burst = Hashtbl.create 4 in
+  (* (proc -> t0, last_t, count) *)
+  let flush_burst p =
+    match Hashtbl.find_opt open_burst p with
+    | None -> ()
+    | Some (t0, t1, count) ->
+        Hashtbl.remove open_burst p;
+        push
+          {
+            kind = Retx_burst;
+            name = "retx burst";
+            proc = p;
+            t0;
+            t1;
+            args = [ ("count", count) ];
+          }
+  in
+  Array.iter
+    (fun (e : Event.t) ->
+      match e.body with
+      | Event.Token_sent { seq; _ } | Event.Token_regenerated { seq; _ } ->
+          Hashtbl.replace sent_at seq (e.time, e.proc)
+      | Event.Token_received { seq } -> (
+          match Hashtbl.find_opt sent_at seq with
+          | Some (t0, sender) ->
+              Hashtbl.remove sent_at seq;
+              push
+                {
+                  kind = Token;
+                  name = Printf.sprintf "token #%d" seq;
+                  proc = sender;
+                  t0;
+                  t1 = e.time;
+                  args = [ ("hop", seq); ("accepted_by", e.proc) ];
+                }
+          | None -> ())
+      | Event.Round_advanced { round; eliminated; _ } ->
+          push
+            {
+              kind = Round;
+              name = Printf.sprintf "round #%d" round;
+              proc = e.proc;
+              t0 = !round_t0;
+              t1 = e.time;
+              args = [ ("round", round); ("eliminated", eliminated) ];
+            };
+          round_t0 := e.time
+      | Event.Restored { bytes } ->
+          flush_recovery e.proc;
+          Hashtbl.replace open_recovery e.proc (e.time, bytes, e.time)
+      | Event.Resync_requested _ -> extend_recovery e.proc e.time
+      | Event.Replayed { dst; _ } -> extend_recovery dst e.time
+      | Event.Retransmitted _ -> (
+          match Hashtbl.find_opt open_burst e.proc with
+          | Some (t0, last, count) when e.time -. last <= burst_gap ->
+              Hashtbl.replace open_burst e.proc (t0, e.time, count + 1)
+          | Some _ ->
+              flush_burst e.proc;
+              Hashtbl.replace open_burst e.proc (e.time, e.time, 1)
+          | None -> Hashtbl.replace open_burst e.proc (e.time, e.time, 1))
+      | _ -> ())
+    events;
+  (* Flush still-open episodes in proc order for determinism. *)
+  let open_procs tbl = Hashtbl.fold (fun p _ acc -> p :: acc) tbl [] in
+  List.iter flush_recovery (List.sort compare (open_procs open_recovery));
+  List.iter flush_burst (List.sort compare (open_procs open_burst));
+  List.rev !spans
+
+let durations kind spans =
+  spans
+  |> List.filter (fun s -> s.kind = kind)
+  |> List.map (fun s -> s.t1 -. s.t0)
+  |> Array.of_list
+
+let percentile sample q =
+  let n = Array.length sample in
+  if n = 0 then 0.0
+  else begin
+    let a = Array.copy sample in
+    Array.sort Float.compare a;
+    let rank = int_of_float (ceil (q *. float_of_int n)) in
+    a.(max 0 (min (n - 1) (rank - 1)))
+  end

@@ -86,7 +86,8 @@ let events_processed t = t.events_done
 let push t ~at body =
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
-  Heap.Flat.add t.queue ~at ~seq body
+  Heap.Flat.add t.queue ~at ~seq body;
+  Stats.note_queue_depth t.stats (Heap.Flat.length t.queue)
 
 let schedule_initial t ~proc ~at callback =
   if proc < 0 || proc >= t.num_processes then

@@ -21,6 +21,9 @@ type t = {
   mutable restores : int;
   mutable wd_stand_downs : int;
   mutable retx_buf_hwm : int;
+  (* Engine event-queue depth high-water mark: queue pressure for the
+     telemetry plane. Deterministic (a function of the schedule). *)
+  mutable queue_hwm : int;
 }
 
 let create ~n =
@@ -44,6 +47,7 @@ let create ~n =
     restores = 0;
     wd_stand_downs = 0;
     retx_buf_hwm = 0;
+    queue_hwm = 0;
   }
 
 let n t = Array.length t.sent
@@ -93,6 +97,11 @@ let note_wd_stand_down t = t.wd_stand_downs <- t.wd_stand_downs + 1
 
 let note_retx_buf t depth =
   if depth > t.retx_buf_hwm then t.retx_buf_hwm <- depth
+
+let note_queue_depth t depth =
+  if depth > t.queue_hwm then t.queue_hwm <- depth
+
+let queue_hwm t = t.queue_hwm
 
 let replayed t = t.replayed
 let checkpoints t = t.ckpts
@@ -147,7 +156,8 @@ let merge_into ~dst src =
   dst.ckpts <- dst.ckpts + src.ckpts;
   dst.restores <- dst.restores + src.restores;
   dst.wd_stand_downs <- dst.wd_stand_downs + src.wd_stand_downs;
-  dst.retx_buf_hwm <- max dst.retx_buf_hwm src.retx_buf_hwm
+  dst.retx_buf_hwm <- max dst.retx_buf_hwm src.retx_buf_hwm;
+  dst.queue_hwm <- max dst.queue_hwm src.queue_hwm
 
 let pp ppf t =
   Format.fprintf ppf

@@ -103,11 +103,18 @@ val note_retx_buf : t -> int -> unit
 (** Report the current depth of one sender's unacked retransmit
     buffer; the high-water mark across all senders is kept. *)
 
+val note_queue_depth : t -> int -> unit
+(** Report the engine event-queue depth after a push; the high-water
+    mark is kept. Deterministic: a pure function of the schedule, so
+    it is a legitimate baseline field. *)
+
 val replayed : t -> int
 val checkpoints : t -> int
 val restores : t -> int
 val wd_stand_downs : t -> int
 val retx_buf_hwm : t -> int
+val queue_hwm : t -> int
+(** Deepest the engine event queue ever got (queue pressure). *)
 
 (** {2 Per-process readings} *)
 

@@ -154,7 +154,7 @@ state has not consumed):
 The causal trace narrates the recovery:
 
   $ wcpdetect trace run.trace -a token-vc --restart 4@2-10 -o restart.jsonl | head -1
-  trace: 197 events -> restart.jsonl
+  trace: 200 events -> restart.jsonl
 
   $ wcpdetect explain restart.jsonl | grep RESTARTED
   t=10       M_0: RESTARTED: rebuilt monitor state from last checkpoint (60 bytes)
@@ -181,7 +181,7 @@ the log as a narrative (who held the token, which comparison eliminated
 which candidate):
 
   $ wcpdetect trace tiny.trace -a token-vc -o ev.jsonl
-  trace: 23 events -> ev.jsonl
+  trace: 25 events -> ev.jsonl
   detected {0:1 1:1} | msgs=8 bits=704 work=6 max-work=3 max-space=4 hops=1 polls=0 snaps=3 t=1.96 ev=10
   parallel_rounds              0
   token_regenerations          0
@@ -194,7 +194,7 @@ which candidate):
 
   $ head -2 ev.jsonl
   {"seq":0,"t":0.0,"proc":-1,"type":"run_meta","schema":"wcp-events/1","algo":"token-vc","n":2,"width":2}
-  {"seq":1,"t":0.0,"proc":0,"type":"sent","dst":2,"bits":96}
+  {"seq":1,"t":0.0,"proc":-1,"type":"phase","name":"build"}
 
   $ wcpdetect explain ev.jsonl
   run: token-vc over n=2 processes, predicate width 2
@@ -212,7 +212,7 @@ The same log attaches to a plain detect run via --trace, and
 
   $ wcpdetect detect tiny.trace -a token-vc --trace ev2.jsonl | cut -d'|' -f1
   detected {0:1 1:1} 
-  trace: 23 events -> ev2.jsonl
+  trace: 25 events -> ev2.jsonl
 
   $ wcpdetect detect run.trace -a token-dd --per-process
   detected {0:6 1:3 2:8 3:2} | msgs=50 bits=2469 work=17 max-work=8 max-space=11 hops=4 polls=5 snaps=12 t=17.98 ev=75
@@ -242,7 +242,7 @@ per barrier:
 
   $ wcpdetect detect run.trace -a parallel --trace evp.jsonl | cut -d'|' -f1
   detected {0:6 1:3 2:8 3:2} 
-  trace: 8 events -> evp.jsonl
+  trace: 10 events -> evp.jsonl
 
   $ wcpdetect explain evp.jsonl
   run: parallel over n=4 processes, predicate width 4
@@ -254,6 +254,83 @@ per barrier:
   t=3        checker: parallel round 3: frontier <6,3,8,2>, 0 candidates eliminated
   t=3        checker: DETECTED consistent cut: P_0@state 6, P_1@state 3, P_2@state 8, P_3@state 2
   0 token hops total
+
+Live telemetry: --metrics-out streams wcp-metrics/1 aggregation
+windows (sim-time interval set by --metrics-every) next to any detect,
+trace or chaos run. The meta prologue, the window lines and the total
+are deterministic for a fixed seed; phase lines additionally carry the
+allocation profile:
+
+  $ wcpdetect detect run.trace -a token-vc --metrics-out m.jsonl --metrics-every 5 | cut -d'|' -f1
+  detected {0:6 1:3 2:8 3:2} 
+  metrics: 6 lines -> m.jsonl
+
+  $ head -1 m.jsonl
+  {"schema":"wcp-metrics/1","type":"meta","algo":"token-vc","n":4,"width":4,"every":5.0}
+
+  $ grep -c '"type":"window"' m.jsonl
+  2
+
+  $ grep -c '"type":"phase"' m.jsonl
+  2
+
+  $ tail -1 m.jsonl
+  {"type":"total","windows":2,"events":115,"elims":7,"hops":4,"phases":2}
+
+The stream is byte-deterministic: a second identical run reproduces it
+exactly, allocation profile included:
+
+  $ wcpdetect detect run.trace -a token-vc --metrics-out m2.jsonl --metrics-every 5 >/dev/null
+  $ cmp m.jsonl m2.jsonl
+
+Chaos runs surface the fault-handling gauges in the same windows:
+
+  $ wcpdetect chaos run.trace -a token-vc --restart 4@2-10 --metrics-out mc.jsonl >/dev/null
+  $ grep -o '"restores":[0-9]*' mc.jsonl | sort | uniq -c | sort -k2 | head -2
+        6 "restores":0
+        1 "restores":1
+
+`top` renders a metrics stream as a terminal dashboard — windows
+table, cumulative health line, phase profile. On a hand-written
+fixture (fixed alloc bytes, so the output is pinned end to end):
+
+  $ cat > fix.metrics <<'XEOF'
+  > {"schema":"wcp-metrics/1","type":"meta","algo":"token-vc","n":4,"width":4,"every":5.0}
+  > {"type":"window","idx":0,"t0":0.0,"t1":5.0,"events":40,"elims":6,"hops":2,"polls":1,"snaps":8,"retx":0,"probes":0,"regens":0,"ckpts":2,"restores":0,"replays":0,"wd_stand_downs":0,"hop_p50":1.5,"hop_p95":2.5,"cum_events":40,"cum_elims":6,"cum_retx":0,"cum_regens":0,"cum_ckpts":2,"cum_wd_stand_downs":0}
+  > {"type":"window","idx":1,"t0":5.0,"t1":10.0,"events":30,"elims":4,"hops":3,"polls":0,"snaps":4,"retx":1,"probes":1,"regens":0,"ckpts":1,"restores":1,"replays":2,"wd_stand_downs":1,"hop_p50":2.0,"hop_p95":4.0,"cum_events":70,"cum_elims":10,"cum_retx":1,"cum_regens":0,"cum_ckpts":3,"cum_wd_stand_downs":1}
+  > {"type":"phase","name":"build","t0":0.0,"t1":1.0,"alloc_bytes":4096,"events":12}
+  > {"type":"phase","name":"detect","t0":1.0,"t1":9.5,"alloc_bytes":16384,"events":58}
+  > {"type":"total","windows":2,"events":70,"elims":10,"hops":5,"phases":2}
+  > XEOF
+
+  $ wcpdetect top fix.metrics
+  run: token-vc  n=4  width=4  window=5
+  window      t0      t1  events  elims  hops  polls  retx  ckpts   wd  hop-p50  hop-p95
+       0     0.0     5.0      40      6     2      1     0      2    0     1.50     2.50
+       1     5.0    10.0      30      4     3      0     1      1    1     2.00     4.00
+  health (cumulative): events=70 elims=10 retx=1 regens=0 ckpts=3 wd-stand-downs=1
+  phases:
+    build         0.0 ->     1.0  events=12     alloc=4096B
+    detect        1.0 ->     9.5  events=58     alloc=16384B
+  totals: 2 windows, 70 events, 10 eliminations, 5 hops, 2 phases
+
+On a freshly recorded stream the same dashboard aggregates the real
+run (values vary with the allocator, so just probe the sections):
+
+  $ wcpdetect top mc.jsonl | grep -c "phases"
+  2
+
+A missing or malformed stream is a clean error:
+
+  $ wcpdetect top nope.metrics
+  wcpdetect top: nope.metrics: No such file or directory
+  [1]
+
+The recovery narrative is visible through explain --verbose (checkpoint
+captures are engine-level events, elided by default):
+
+  $ wcpdetect explain restart.jsonl --verbose | grep -c "checkpoint"
+  5
 
 Comparing everything on the workload:
 

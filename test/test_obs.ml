@@ -90,6 +90,9 @@ let gen_body : Event.body QCheck2.Gen.t =
           Event.Round_advanced { round; frontier; eliminated })
         small vec small;
       map2 (fun procs states -> Event.Detected { procs; states }) vec vec;
+      map
+        (fun name -> Event.Phase_marked { name })
+        (oneofl [ "build"; "detect"; "slice"; "recovery" ]);
       return Event.No_detection_declared;
     ]
 
@@ -223,10 +226,22 @@ let validate_log tag events =
                if not (List.mem kind Event.kinds) then
                  Alcotest.failf "%s: line %d has unknown type %s" tag (i + 1)
                    kind);
-  (* ...and the event stream itself must be well-formed. *)
-  (match events.(0).Event.body with
-  | Event.Run_meta _ -> ()
-  | b -> Alcotest.failf "%s: log opens with %s, not run_meta" tag (Event.kind b));
+  (* ...and the event stream itself must be well-formed. Phase marks
+     may precede [run_meta] (the slice phase legally runs before the
+     detector announces itself); the first {e non-phase} event must be
+     the meta line. *)
+  (let rec check_opening i =
+     if i >= Array.length events then
+       Alcotest.failf "%s: log has no run_meta" tag
+     else
+       match events.(i).Event.body with
+       | Event.Phase_marked _ -> check_opening (i + 1)
+       | Event.Run_meta _ -> ()
+       | b ->
+           Alcotest.failf "%s: log opens with %s, not run_meta" tag
+             (Event.kind b)
+   in
+   check_opening 0);
   let last_t = ref 0.0 in
   Array.iteri
     (fun i (e : Event.t) ->
