@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench tables bench-json perf-check bench-smoke check chaos-soak recovery-soak trace-check telemetry-check slice-check examples clean
+.PHONY: all build test bench tables bench-json perf-check bench-smoke check chaos-soak recovery-soak trace-check telemetry-check btrace-check slice-check examples clean
 
 # Committed machine-readable baseline (see EXPERIMENTS.md).
 BENCH_BASELINE ?= BENCH_1.json
@@ -90,6 +90,39 @@ telemetry-check:
 	cmp -s $$tmp/a.jsonl $$tmp/b.jsonl \
 	  || { echo "telemetry-check: chaos/restart stream drifted"; exit 1; }; \
 	echo "telemetry-check: chaos/restart OK"
+
+# Binary-trace-store gate. First unlock the full streamed-vs-dense
+# agreement corpus in test_btrace (round-trips, writer/encoder byte
+# identity, corrupt fixtures), then prove the two stores interchangeable
+# THROUGH THE CLI: text -> btrace -> text convert round-trips must be
+# byte-identical (and the btrace byte-identical to the generator's
+# direct-to-disk stream), and `detect --stream` over the mmap'd file
+# must spell out the same cut as the dense text path for every
+# algorithm. A bounded smoke of the in-process half always runs inside
+# `make test`.
+btrace-check:
+	WCP_BTRACE_CHECK=1 dune exec test/test_btrace.exe -- test stream
+	@dune build bin/wcpdetect.exe
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	wcp=_build/default/bin/wcpdetect.exe; \
+	for n in 4 8; do \
+	  $$wcp generate -n $$n -m 12 --p-pred 0.3 --seed $$n -o $$tmp/t$$n.trace >/dev/null; \
+	  $$wcp generate -n $$n -m 12 --p-pred 0.3 --seed $$n -o $$tmp/t$$n.btrace >/dev/null; \
+	  $$wcp convert $$tmp/t$$n.trace -o $$tmp/conv$$n.btrace >/dev/null; \
+	  cmp -s $$tmp/t$$n.btrace $$tmp/conv$$n.btrace \
+	    || { echo "btrace-check: n=$$n streamed file != converted text"; exit 1; }; \
+	  $$wcp convert $$tmp/t$$n.btrace -o $$tmp/back$$n.trace >/dev/null; \
+	  cmp -s $$tmp/t$$n.trace $$tmp/back$$n.trace \
+	    || { echo "btrace-check: n=$$n convert round-trip drifted"; exit 1; }; \
+	  echo "btrace-check: n=$$n convert round-trip OK ($$(wc -c < $$tmp/t$$n.btrace) bytes)"; \
+	  for algo in token-vc token-dd checker; do \
+	    $$wcp detect $$tmp/t$$n.trace -a $$algo | cut -d'|' -f1 > $$tmp/dense.out; \
+	    $$wcp detect $$tmp/t$$n.btrace -a $$algo --stream | cut -d'|' -f1 > $$tmp/stream.out; \
+	    cmp -s $$tmp/dense.out $$tmp/stream.out \
+	      || { echo "btrace-check: $$algo n=$$n streamed cut != dense cut"; exit 1; }; \
+	    echo "btrace-check: $$algo n=$$n streamed cut OK ($$(cat $$tmp/stream.out))"; \
+	  done; \
+	done
 
 # Full-corpus slicing agreement sweep: every detector, dense vs sliced
 # (--slice / Detection.options ~slice:true), across sizes x predicate

@@ -252,7 +252,7 @@ end
 (* ------------------------------------------------------------------ *)
 
 type job = {
-  experiment : string;  (* "E1".."E9", "E15".."E19" *)
+  experiment : string;  (* "E1".."E9", "E15".."E21" *)
   algo : string;
   n : int;
   m : int;  (* sends per process (adversary: its m parameter) *)
@@ -261,7 +261,8 @@ type job = {
   param : int;
       (* groups (multi), spec width (E5), drop % (E9), domain count
          (E15, E18 parallel arm), delta flag 0/1 (E16), slice flag 0/1
-         (E17), restart flag 0/1 (E19), else 0 *)
+         (E17), restart flag 0/1 (E19), btrace-streamed flag 0/1 (E21),
+         else 0 *)
 }
 
 type metrics = {
@@ -335,7 +336,19 @@ type metrics = {
      E20's param=1 rows additionally carry the plane INSIDE the timed
      run, so their wall_ns prices always-on telemetry. *)
   telemetry_lines : int;
+  (* Trace-store shape (E21, schema v9): bytes of the on-disk trace the
+     job detected from (text for param=0, btrace for param=1).
+     Deterministic — both formats are byte-stable functions of the
+     generated run. Zero outside E21. *)
+  trace_bytes : int;
   (* Machine-dependent; excluded from determinism comparisons. *)
+  decode_ns : int;
+      (* E21 load step: text decode to the dense computation (param=0)
+         or btrace open + streamed slice construction (param=1) *)
+  peak_words : int;
+      (* E21: live-heap words the load step left behind (Gc.live_words
+         delta across it) — the bounded-memory evidence: the streamed
+         arm's figure tracks the slice, not the trace length *)
   slice_ns : int;  (* slice-construction overhead (E17 sliced arm) *)
   wall_ns : int;
   alloc_bytes : int;
@@ -527,10 +540,149 @@ let run_e15 job =
     span_retx_p50 = 0.0;
     span_retx_p95 = 0.0;
     telemetry_lines = 0;
+    trace_bytes = 0;
+    decode_ns = 0;
+    peak_words = 0;
     slice_ns = 0;
     wall_ns;
     alloc_bytes;
   }
+
+(* ------------------------------------------------------------------ *)
+(* E21: binary trace store, text/dense vs btrace/streamed              *)
+(* ------------------------------------------------------------------ *)
+
+(* param=0 writes the generated run as a text trace, decodes it back
+   into the dense computation and detects on that; param=1 streams the
+   identical run (same seed, same RNG draw sequence) into a btrace file
+   and detects through the zero-copy cursor — the slice is built
+   straight off the mmap, the dense computation never exists. Both arms
+   spell the detected cut out in dense coordinates, pinning the
+   streamed arm byte-identical to the dense arm. [decode_ns] times the
+   load step (text decode vs btrace open + slice construction),
+   [peak_words] is the live-heap delta that step left behind (the
+   bounded-memory evidence: the streamed figure tracks the slice, not
+   the trace length), [trace_bytes] the on-disk size. *)
+let run_e21 job =
+  let params =
+    {
+      Generator.n = job.n;
+      sends_per_process = job.m;
+      p_pred = job.p_pred;
+      p_recv = 0.5;
+    }
+  in
+  let seed = Int64.of_int job.seed in
+  let streamed = job.param <> 0 in
+  let path =
+    Filename.temp_file "wcp_e21" (if streamed then ".btrace" else ".trace")
+  in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      if streamed then ignore (Generator.random_btrace ~params ~seed path)
+      else Trace_codec.write_file path (Generator.random ~params ~seed ());
+      let trace_bytes = (Unix.stat path).Unix.st_size in
+      let procs = Array.init job.n Fun.id in
+      let keep_rest = job.algo = "token-dd" in
+      let live_words () =
+        Gc.full_major ();
+        (Gc.stat ()).Gc.live_words
+      in
+      let live0 = live_words () in
+      let t0 = Unix.gettimeofday () in
+      (* The load step: everything between the bytes on disk and a
+         computation a detector accepts. *)
+      let comp, remap =
+        if streamed then begin
+          let sl =
+            Wcp_slice.Slice.for_spec_source ~keep_rest
+              (Btrace.source (Btrace.openfile path))
+              ~procs
+          in
+          (Wcp_slice.Slice.computation sl, Wcp_slice.Slice.remap_cut sl)
+        end
+        else (Trace_codec.read_file path, Fun.id)
+      in
+      let decode_ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+      let peak_words = max 0 (live_words () - live0) in
+      let spec = Spec.make comp procs in
+      let options = Detection.options () in
+      Gc.minor ();
+      let alloc0 = Gc.allocated_bytes () in
+      let t0 = Unix.gettimeofday () in
+      let r =
+        match job.algo with
+        | "token-vc" -> Token_vc.detect ~options ~seed comp spec
+        | "token-dd" -> Token_dd.detect ~options ~seed comp spec
+        | "checker" -> Checker_centralized.detect ~options ~seed comp spec
+        | a -> invalid_arg ("Bench_json.run_e21: unsupported algo " ^ a)
+      in
+      (* E21's wall covers the whole pipeline, load included: the load
+         step IS what this experiment benchmarks, and the detect-only
+         slice of the big row is small enough that scheduler jitter
+         would trip the 20% gate on it alone. *)
+      let wall_ns =
+        decode_ns + int_of_float ((Unix.gettimeofday () -. t0) *. 1e9)
+      in
+      let alloc_bytes = int_of_float (Gc.allocated_bytes () -. alloc0) in
+      let outcome =
+        match Detection.remap_outcome remap r.Detection.outcome with
+        | Detection.Detected cut ->
+            Format.asprintf "detected %a" Cut.pp cut
+        | Detection.No_detection -> "none"
+        | Detection.Undetectable_crashed _ -> "undetectable"
+      in
+      {
+        job;
+        outcome;
+        (* Dense states of the recorded run, whichever arm: each of the
+           n processes has events + 1 states. *)
+        states = job.n + (job.n * 2 * job.m);
+        hops = r.extras.Detection.token_hops;
+        polls = r.extras.Detection.polls;
+        snapshots = r.extras.Detection.snapshots;
+        merges = r.extras.Detection.merges;
+        work = Wcp_sim.Stats.total_work r.stats;
+        max_work = Wcp_sim.Stats.max_work r.stats;
+        messages = Wcp_sim.Stats.total_sent r.stats;
+        bits = Wcp_sim.Stats.total_bits r.stats;
+        events = r.events;
+        sim_time = r.sim_time;
+        retransmits = 0;
+        dups_suppressed = 0;
+        net_dropped = 0;
+        net_duplicated = 0;
+        replayed = 0;
+        recovery_latency = 0.0;
+        trace_events = 0;
+        eliminations = 0;
+        hop_p50 = 0.0;
+        hop_p95 = 0.0;
+        hop_max = 0.0;
+        elims_per_hop_p50 = 0.0;
+        elims_per_hop_p95 = 0.0;
+        elims_per_hop_max = 0.0;
+        slice_states = (if streamed then Computation.total_states comp else 0);
+        par_rounds = 0;
+        par_frontier = 0;
+        par_items = 0;
+        span_token_p50 = 0.0;
+        span_token_p95 = 0.0;
+        span_round_p50 = 0.0;
+        span_round_p95 = 0.0;
+        span_recovery_p50 = 0.0;
+        span_recovery_p95 = 0.0;
+        span_retx_p50 = 0.0;
+        span_retx_p95 = 0.0;
+        telemetry_lines = 0;
+        trace_bytes;
+        decode_ns;
+        peak_words;
+        slice_ns = 0;
+        wall_ns;
+        alloc_bytes;
+      })
 
 (* One detection run with the full streaming telemetry plane attached:
    a capacity-1 ring whose tap feeds a live [Wcp_obs.Telemetry]. Returns
@@ -574,6 +726,7 @@ let stream_deterministic a b =
 
 let run_job job =
   if job.experiment = "E15" then run_e15 job
+  else if job.experiment = "E21" then run_e21 job
   else begin
   (* E20 telemetry arm (param=1): the timed run carries the always-on
      streaming plane, so wall_ns prices it against the bare param=0
@@ -652,6 +805,9 @@ let run_job job =
         span_retx_p50 = 0.0;
         span_retx_p95 = 0.0;
         telemetry_lines = 0;
+        trace_bytes = 0;
+        decode_ns = 0;
+        peak_words = 0;
         slice_ns = 0;
         wall_ns;
         alloc_bytes;
@@ -789,6 +945,9 @@ let run_job job =
         span_retx_p50 = spq Wcp_obs.Span.Retx_burst 0.5;
         span_retx_p95 = spq Wcp_obs.Span.Retx_burst 0.95;
         telemetry_lines;
+        trace_bytes = 0;
+        decode_ns = 0;
+        peak_words = 0;
         slice_ns;
         wall_ns;
         alloc_bytes;
@@ -849,6 +1008,12 @@ let jobs = function
         job "E19" "token-multi" ~n:8 ~m:20 ~param:1 ~seed:1 ();
         job "E20" "token-vc" ~n:8 ~m:20 ~param:0 ~seed:1 ();
         job "E20" "token-vc" ~n:8 ~m:20 ~param:1 ~seed:1 ();
+        job "E21" "token-vc" ~n:8 ~m:20 ~p_pred:0.3 ~param:0 ~seed:1 ();
+        job "E21" "token-vc" ~n:8 ~m:20 ~p_pred:0.3 ~param:1 ~seed:1 ();
+        job "E21" "token-dd" ~n:8 ~m:20 ~p_pred:0.3 ~param:0 ~seed:1 ();
+        job "E21" "token-dd" ~n:8 ~m:20 ~p_pred:0.3 ~param:1 ~seed:1 ();
+        job "E21" "checker" ~n:8 ~m:20 ~p_pred:0.3 ~param:0 ~seed:1 ();
+        job "E21" "checker" ~n:8 ~m:20 ~p_pred:0.3 ~param:1 ~seed:1 ();
       ]
   | Full ->
       let sweep f xs = List.concat_map f xs in
@@ -1008,6 +1173,24 @@ let jobs = function
                 job "E20" "token-vc" ~n ~m:20 ~param:telemetry ~seed:1 ())
               [ 0; 1 ])
           [ 8; 16; 32 ]
+      (* E21: binary trace store. Small rows run every algo family on
+         both arms (param 0 = text/dense, param 1 = btrace/streamed)
+         across three seeds; the spelled-out cut pins the streamed
+         replay byte-identical to the dense reference. One big
+         streamed-only row detects over a >= 10^7-event btrace
+         (2 * 16 * 320000 = 10.24M events): its decode_ns/peak_words
+         columns are the bounded-memory evidence — the dense arm at
+         that scale would hold every vector clock in memory. *)
+      @ sweep
+          (fun algo ->
+            sweep
+              (fun streamed ->
+                per_seed (fun seed ->
+                    job "E21" algo ~n:8 ~m:20 ~p_pred:0.3 ~param:streamed
+                      ~seed ()))
+              [ 0; 1 ])
+          [ "token-vc"; "token-dd"; "checker" ]
+      @ [ job "E21" "token-vc" ~n:16 ~m:320000 ~p_pred:0.001 ~param:1 ~seed:1 () ]
 
 let run ?domains profile =
   let js = Array.of_list (jobs profile) in
@@ -1033,8 +1216,11 @@ let run ?domains profile =
    v8: E20 (always-on telemetry overhead, attached vs bare), the
    per-span-kind duration percentiles (span_*_p50/p95) and
    telemetry_lines added; traced runs now carry phase marks, so
-   trace_events grew by the mark count vs v7 — no other field moved. *)
-let schema = "wcp-bench/8"
+   trace_events grew by the mark count vs v7 — no other field moved.
+   v9: E21 (binary trace store: text/dense vs btrace/streamed replay)
+   and the trace_bytes/decode_ns/peak_words fields added; no existing
+   field moved. *)
+let schema = "wcp-bench/9"
 
 let metrics_to_json r =
   Json.Obj
@@ -1085,6 +1271,9 @@ let metrics_to_json r =
       ("span_retx_p50", Json.Float r.span_retx_p50);
       ("span_retx_p95", Json.Float r.span_retx_p95);
       ("telemetry_lines", Json.Int r.telemetry_lines);
+      ("trace_bytes", Json.Int r.trace_bytes);
+      ("decode_ns", Json.Int r.decode_ns);
+      ("peak_words", Json.Int r.peak_words);
       ("slice_ns", Json.Int r.slice_ns);
       ("wall_ns", Json.Int r.wall_ns);
       ("alloc_bytes", Json.Int r.alloc_bytes);
@@ -1142,6 +1331,9 @@ let metrics_of_json j =
     span_retx_p50 = to_float (member "span_retx_p50" j);
     span_retx_p95 = to_float (member "span_retx_p95" j);
     telemetry_lines = to_int (member "telemetry_lines" j);
+    trace_bytes = to_int (member "trace_bytes" j);
+    decode_ns = to_int (member "decode_ns" j);
+    peak_words = to_int (member "peak_words" j);
     slice_ns = to_int (member "slice_ns" j);
     wall_ns = to_int (member "wall_ns" j);
     alloc_bytes = to_int (member "alloc_bytes" j);
@@ -1197,7 +1389,8 @@ let job_key j =
   Printf.sprintf "%s/%s n=%d m=%d p=%g seed=%d param=%d" j.experiment j.algo
     j.n j.m j.p_pred j.seed j.param
 
-let strip_timing r = { r with wall_ns = 0; alloc_bytes = 0; slice_ns = 0 }
+let strip_timing r =
+  { r with wall_ns = 0; alloc_bytes = 0; slice_ns = 0; decode_ns = 0; peak_words = 0 }
 
 let deterministic_equal a b = strip_timing a = strip_timing b
 

@@ -1,6 +1,6 @@
 (** Machine-readable benchmark harness.
 
-    Runs the E1-E9 and E15-E19 experiment sweeps as independent jobs
+    Runs the E1-E9 and E15-E21 experiment sweeps as independent jobs
     (fanned out over domains with {!Wcp_util.Parallel}), records one
     metrics record per job, and serialises the lot as a stable JSON
     document suitable for committing as a regression baseline (see
@@ -35,7 +35,7 @@ module Json : sig
 end
 
 type job = {
-  experiment : string;  (** "E1".."E9", "E15".."E19" *)
+  experiment : string;  (** "E1".."E9", "E15".."E21" *)
   algo : string;
       (** "token-vc", "token-dd", "token-dd-par", "token-multi",
           "checker", "parallel", "adversary" *)
@@ -46,7 +46,8 @@ type job = {
   param : int;
       (** groups (E3), spec width (E5), drop %% (E9), domain count
           (E15, E18's parallel arm), delta flag 0/1 (E16), slice flag
-          0/1 (E17), restart flag 0/1 (E19), else 0 *)
+          0/1 (E17), restart flag 0/1 (E19), btrace-streamed flag 0/1
+          (E21), else 0 *)
 }
 
 type metrics = {
@@ -59,7 +60,8 @@ type metrics = {
           comparison pins the sliced arm to the dense arm's exact cut
           (E17), every domain count to the centralized checker's cut
           (E18), and the crash-recovery arm to the fault-free
-          reference's cut (E19). *)
+          reference's cut (E19). E21 spells the cut too, pinning the
+          btrace-streamed replay to the text/dense reference. *)
   states : int;
   hops : int;
   polls : int;
@@ -124,6 +126,20 @@ type metrics = {
   telemetry_lines : int;
       (** Lines a [wcp-metrics/1] stream of the traced run would carry
           (alloc-stripped encoder, so the count is deterministic). *)
+  trace_bytes : int;
+      (** On-disk bytes of the trace the job detected from (E21: text
+          for [param = 0], btrace for [param = 1]; zero elsewhere).
+          Deterministic — both formats are byte-stable. *)
+  decode_ns : int;
+      (** Wall time of the E21 load step: text decode to the dense
+          computation, or btrace open + streamed slice construction
+          (machine-dependent; zero outside E21). *)
+  peak_words : int;
+      (** Live-heap words the E21 load step left behind ([Gc.live_words]
+          delta). The bounded-memory evidence: the streamed arm's
+          figure tracks the slice, not the trace length. Excluded from
+          determinism comparisons (GC-state dependent); zero outside
+          E21. *)
   slice_ns : int;
       (** Wall time of slice construction (machine-dependent; zero
           outside E17's sliced arm). *)
@@ -154,7 +170,7 @@ val e15_sessions : int
     run (see [outcome]). *)
 
 val schema : string
-(** Document schema tag, ["wcp-bench/8"] (v2 added the fault-recovery
+(** Document schema tag, ["wcp-bench/9"] (v2 added the fault-recovery
     counters; v3 the trace-derived histogram summaries; v4 E15/E16 and
     the gated + delta-encoded wire defaults; v5 E17 computation
     slicing, the [slice_states]/[slice_ns] fields, and packed dd
@@ -164,7 +180,9 @@ val schema : string
     crash-recovery and the [replayed]/[recovery_latency] fields; v8
     E20 always-on telemetry overhead, the [span_*_p50]/[span_*_p95]
     duration percentiles and [telemetry_lines] — traced runs now carry
-    phase marks, so [trace_events] grew by the mark count). *)
+    phase marks, so [trace_events] grew by the mark count; v9 E21
+    binary trace store (text/dense vs btrace/streamed replay) and the
+    [trace_bytes]/[decode_ns]/[peak_words] fields). *)
 
 val emit : profile:profile -> metrics array -> string
 (** JSON document, one result record per line. *)

@@ -829,6 +829,40 @@ let e20 () =
     [ 8; 16; 32 ]
 
 (* ------------------------------------------------------------------ *)
+(* E21: binary trace store, streamed replay vs dense text              *)
+(* ------------------------------------------------------------------ *)
+
+let e21 () =
+  header "E21 binary trace store: mmap'd streamed replay vs dense text decode"
+    "claim: btrace shrinks the on-disk trace and its decode time while \
+     the streamed cut stays byte-identical to the dense reference";
+  let open Wcp_bench.Bench_json in
+  Printf.printf "%-10s %4s %6s %10s %10s %9s %9s %10s %9s\n" "algo" "n" "m"
+    "txt-bytes" "bt-bytes" "txt-dec" "bt-dec" "peak-words" "same-cut";
+  List.iter
+    (fun algo ->
+      List.iter
+        (fun (n, m) ->
+          let run param =
+            run_job
+              { experiment = "E21"; algo; n; m; p_pred = 0.3; seed = 1; param }
+          in
+          let dense = run 0 and streamed = run 1 in
+          (* The format contract: both arms observe the same generated
+             computation, one through the dense text decode and one
+             through the mmap'd slice cursor, so the spelled-out first
+             cut must be byte-identical. Per-run effort (events, work)
+             legitimately shrinks on the streamed slice. *)
+          let same = dense.outcome = streamed.outcome in
+          let ms ns = float_of_int ns /. 1e6 in
+          Printf.printf "%-10s %4d %6d %10d %10d %8.2fms %8.2fms %10d %9s\n"
+            algo n m dense.trace_bytes streamed.trace_bytes
+            (ms dense.decode_ns) (ms streamed.decode_ns) streamed.peak_words
+            (if same then "yes" else "NO"))
+        [ (8, 20); (8, 2000); (16, 8000) ])
+    [ "token-vc"; "token-dd"; "checker" ]
+
+(* ------------------------------------------------------------------ *)
 (* E13: Bechamel micro-benchmarks                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -907,7 +941,8 @@ let tables () =
   e17 ();
   e18 ();
   e19 ();
-  e20 ()
+  e20 ();
+  e21 ()
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable harness (JSON) and the perf-regression gate        *)
@@ -994,6 +1029,7 @@ let () =
   | _ :: "e18" :: _ -> e18 ()
   | _ :: "e19" :: _ -> e19 ()
   | _ :: "e20" :: _ -> e20 ()
+  | _ :: "e21" :: _ -> e21 ()
   | _ :: "micro" :: _ -> micro ()
   | _ :: "json" :: rest -> json_mode rest
   | _ :: "perf-check" :: rest -> perf_check rest

@@ -2,6 +2,7 @@
 
    Subcommands:
      generate    write a random computation to a trace file
+     convert     round-trip a trace between text and binary formats
      workload    write a workload computation (mutex/tpl/ring/cs)
      detect      run one detection algorithm on a trace
      trace       run an algorithm and record its causal event trace
@@ -44,26 +45,39 @@ let procs_arg =
   in
   Arg.(value & opt (some string) None & info [ "procs" ] ~docv:"PROCS" ~doc)
 
+let parse_procs s =
+  let procs =
+    String.split_on_char ',' s
+    |> List.filter (fun t -> t <> "")
+    |> List.map int_of_string |> Array.of_list
+  in
+  Array.sort compare procs;
+  procs
+
 let spec_of comp = function
   | None -> Spec.all comp
-  | Some s ->
-      let procs =
-        String.split_on_char ',' s
-        |> List.filter (fun t -> t <> "")
-        |> List.map int_of_string |> Array.of_list
-      in
-      Array.sort compare procs;
-      Spec.make comp procs
+  | Some s -> Spec.make comp (parse_procs s)
 
 let emit_trace out comp =
   match out with
   | "-" -> print_string (Trace_codec.encode comp)
   | path ->
-      Trace_codec.write_file path comp;
+      (* A .btrace suffix selects the binary store; anything else gets
+         the human-readable text format. *)
+      if Filename.check_suffix path ".btrace" then Btrace.write_file path comp
+      else Trace_codec.write_file path comp;
       Printf.printf "wrote %s (%d processes, %d states, %d messages)\n" path
         (Computation.n comp)
         (Computation.total_states comp)
         (Array.length (Computation.messages comp))
+
+(* Both trace formats (autodetected), with parse errors surfaced as a
+   clean one-line diagnostic instead of an exception trace. *)
+let load_trace path =
+  try Trace_codec.read_file path
+  with Trace_codec.Parse_error { line; message } ->
+    Printf.eprintf "wcpdetect: %s:%d: %s\n" path line message;
+    exit 2
 
 (* ------------------------------------------------------------------ *)
 (* Fault-plan arguments (shared by detect and chaos)                   *)
@@ -175,16 +189,34 @@ let generate_cmd =
       & info [ "p-recv" ] ~docv:"P" ~doc:"Bias toward receiving when possible.")
   in
   let run n sends p_pred p_recv seed out =
-    let comp =
-      Generator.random
-        ~params:{ Generator.n; sends_per_process = sends; p_pred; p_recv }
-        ~seed ()
-    in
-    emit_trace out comp
+    let params = { Generator.n; sends_per_process = sends; p_pred; p_recv } in
+    if out <> "-" && Filename.check_suffix out ".btrace" then begin
+      (* Direct-to-disk: the events stream straight into the binary
+         store, so generation memory is independent of trace length. *)
+      let states, messages = Generator.random_btrace ~params ~seed out in
+      Printf.printf "wrote %s (%d processes, %d states, %d messages)\n" out n
+        states messages
+    end
+    else emit_trace out (Generator.random ~params ~seed ())
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate a random computation trace.")
     Term.(const run $ n $ sends $ p_pred $ p_recv $ seed_arg $ output_arg)
+
+(* ------------------------------------------------------------------ *)
+(* convert                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let convert_cmd =
+  let run trace out = emit_trace out (load_trace trace) in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:
+         "Convert a trace between the text (wcp-trace v1) and binary \
+          (wcp-btrace/1) formats. The input format is autodetected; the \
+          output format follows the output file's extension (.btrace is \
+          binary, anything else — and stdout — is text).")
+    Term.(const run $ trace_arg $ output_arg)
 
 (* ------------------------------------------------------------------ *)
 (* workload                                                            *)
@@ -307,6 +339,18 @@ let slice_arg =
            dense run's cut. Detection algorithms only (not oracle, \
            cooper-marzullo or strong); with the checker, incompatible with \
            channel predicates.")
+
+let stream_arg =
+  Arg.(
+    value & flag
+    & info [ "stream" ]
+        ~doc:
+          "Replay the trace through the zero-copy btrace cursor: the \
+           slice is built straight off the mmap'd file and the dense \
+           computation is never materialised, so peak memory is \
+           independent of trace length. Requires a binary trace (see \
+           $(b,generate -o x.btrace) and $(b,convert)) and a detection \
+           algorithm; detection runs on the slice, as with $(b,--slice).")
 
 (* The DESIGN.md §3 accounting policy the space column follows; printed
    alongside --per-process output so the units are never ambiguous. *)
@@ -469,10 +513,9 @@ let run_algo ?fault ?recorder ?(slice = false) ?(ckpt_every = 1) algo ~groups
       None
 
 let detect_cmd =
-  let run trace algo groups procs seed verbose slice drop dup crashes restarts
-      ckpt_every fault_seed trace_out trace_format metrics_out metrics_every =
-    let comp = Trace_codec.read_file trace in
-    let spec = spec_of comp procs in
+  let run trace algo groups procs seed verbose slice stream drop dup crashes
+      restarts ckpt_every fault_seed trace_out trace_format metrics_out
+      metrics_every =
     let fault = fault_plan ~drop ~dup ~crashes ~restarts ~fault_seed in
     let recorder =
       match trace_out with
@@ -482,9 +525,66 @@ let detect_cmd =
     let recorder, finish_metrics =
       setup_metrics ~recorder ~metrics_out ~metrics_every
     in
-    match
-      run_algo ?fault ?recorder ~slice ~ckpt_every algo ~groups ~seed comp spec
-    with
+    let result =
+      if stream then begin
+        if slice then begin
+          prerr_endline
+            "wcpdetect: --stream already detects on the slice; drop --slice";
+          exit 2
+        end;
+        (match algo with
+        | Vc | Multi | Dd | Dd_par | Checker | Parallel -> ()
+        | Oracle_a | Cm | Strong_a ->
+            prerr_endline
+              "wcpdetect: --stream needs a detection algorithm (token-vc, \
+               multi-token, token-dd, token-dd-par, checker or parallel)";
+            exit 2);
+        let fail fmt =
+          Printf.ksprintf
+            (fun msg ->
+              Printf.eprintf "wcpdetect: %s: %s\n" trace msg;
+              exit 2)
+            fmt
+        in
+        let reader =
+          try Btrace.openfile trace with
+          | Btrace.Corrupt msg -> fail "btrace: %s" msg
+          | Unix.Unix_error (e, _, _) -> fail "%s" (Unix.error_message e)
+        in
+        let procs_arr =
+          match procs with
+          | None -> Array.init (Btrace.num_processes reader) Fun.id
+          | Some s -> parse_procs s
+        in
+        (* Direct dependence's cuts span all N processes, so the slice
+           must keep non-spec processes (same policy as the detectors'
+           own --slice paths). *)
+        let keep_rest =
+          match algo with Dd | Dd_par -> true | _ -> false
+        in
+        try
+          Some
+            (Run_common.with_source ?recorder ~keep_rest
+               (Btrace.source reader) ~procs:procs_arr
+               ~run:(fun sliced spec' ->
+                 match
+                   run_algo ?fault ?recorder ~ckpt_every algo ~groups ~seed
+                     sliced spec'
+                 with
+                 | Some r -> r
+                 | None -> assert false))
+        with
+        | Btrace.Corrupt msg -> fail "btrace: %s" msg
+        | Computation.Invalid msg -> fail "invalid computation: %s" msg
+      end
+      else begin
+        let comp = load_trace trace in
+        let spec = spec_of comp procs in
+        run_algo ?fault ?recorder ~slice ~ckpt_every algo ~groups ~seed comp
+          spec
+      end
+    in
+    match result with
     | None -> ()
     | Some r ->
         Format.printf "%a@." Detection.pp_result r;
@@ -501,8 +601,8 @@ let detect_cmd =
     (Cmd.info "detect" ~doc:"Run a detection algorithm on a trace.")
     Term.(
       const (fun () -> run) $ setup_logs $ trace_arg $ algo_arg $ groups_arg
-      $ procs_arg $ seed_arg $ verbose_arg $ slice_arg $ drop_arg $ dup_arg
-      $ crash_arg $ restart_arg $ ckpt_every_arg $ fault_seed_arg
+      $ procs_arg $ seed_arg $ verbose_arg $ slice_arg $ stream_arg $ drop_arg
+      $ dup_arg $ crash_arg $ restart_arg $ ckpt_every_arg $ fault_seed_arg
       $ trace_out_arg $ trace_format_arg $ metrics_out_arg $ metrics_every_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -526,7 +626,7 @@ let trace_cmd =
   in
   let run trace algo groups procs seed out format drop dup crashes restarts
       ckpt_every fault_seed metrics_out metrics_every =
-    let comp = Trace_codec.read_file trace in
+    let comp = load_trace trace in
     let spec = spec_of comp procs in
     let fault = fault_plan ~drop ~dup ~crashes ~restarts ~fault_seed in
     let recorder = Wcp_obs.Recorder.create () in
@@ -719,7 +819,7 @@ let chaos_cmd =
   in
   let run trace algo groups procs seed drop dup crashes restarts ckpt_every
       fault_seed trace_out trace_format metrics_out metrics_every =
-    let comp = Trace_codec.read_file trace in
+    let comp = load_trace trace in
     let spec = spec_of comp procs in
     let windows =
       List.map parse_crash crashes @ List.map parse_restart restarts
@@ -802,7 +902,7 @@ let chaos_cmd =
 
 let compare_cmd =
   let run trace procs seed =
-    let comp = Trace_codec.read_file trace in
+    let comp = load_trace trace in
     let spec = spec_of comp procs in
     let oracle = Oracle.first_cut comp spec in
     Format.printf "oracle: %a@.@." Detection.pp_outcome oracle;
@@ -857,7 +957,7 @@ let render_cmd =
           ~doc:"Highlight the oracle's first satisfying cut.")
   in
   let run trace format procs mark =
-    let comp = Trace_codec.read_file trace in
+    let comp = load_trace trace in
     let cut =
       if mark then
         match Oracle.first_cut comp (spec_of comp procs) with
@@ -909,7 +1009,7 @@ let gcp_cmd =
           ~doc:"Run the online centralized checker instead of the offline                 algorithm.")
   in
   let run trace channel_specs procs online seed =
-    let comp = Trace_codec.read_file trace in
+    let comp = load_trace trace in
     let spec = spec_of comp procs in
     let channels = List.map (fun s -> parse_channel ~line:s s) channel_specs in
     if online then
@@ -1013,6 +1113,7 @@ let () =
        (Cmd.group info
           [
             generate_cmd;
+            convert_cmd;
             workload_cmd;
             detect_cmd;
             trace_cmd;

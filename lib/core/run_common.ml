@@ -192,3 +192,19 @@ let with_slice ?recorder ~keep_rest comp spec ~run =
     Detection.outcome =
       Detection.remap_outcome (Wcp_slice.Slice.remap_cut sl) r.Detection.outcome;
   }
+
+let with_source ?recorder ~keep_rest src ~procs ~run =
+  (match recorder with
+  | None -> ()
+  | Some r ->
+      Wcp_obs.Recorder.emit r ~time:0.0 ~proc:(-1)
+        (Wcp_obs.Event.Phase_marked { name = "slice" }));
+  let sl = Wcp_slice.Slice.for_spec_source ~keep_rest src ~procs in
+  let sliced = Wcp_slice.Slice.computation sl in
+  let spec' = Spec.make sliced procs in
+  let r : Detection.result = run sliced spec' in
+  {
+    r with
+    Detection.outcome =
+      Detection.remap_outcome (Wcp_slice.Slice.remap_cut sl) r.Detection.outcome;
+  }

@@ -150,3 +150,17 @@ val with_slice :
     [options.slice = true] is this wrapper around its dense self;
     [keep_rest] is [true] for the algorithms whose cuts span all [N]
     processes (direct dependence, GCP). *)
+
+val with_source :
+  ?recorder:Wcp_obs.Recorder.t ->
+  keep_rest:bool ->
+  Computation.Stream.source ->
+  procs:int array ->
+  run:(Computation.t -> Spec.t -> Detection.result) ->
+  Detection.result
+(** {!with_slice} fed by a streaming cursor instead of a dense
+    computation: the slice is built directly from the source (see
+    {!Wcp_slice.Slice.for_spec_source}), so detection over an mmap'd
+    {!Wcp_trace.Btrace} reader never materialises the dense run. The
+    detected cut is remapped to dense coordinates exactly as in
+    {!with_slice}, so the two paths agree cut-for-cut. *)

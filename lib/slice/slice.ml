@@ -315,14 +315,17 @@ module Incremental = struct
     }
 end
 
-let make comp ~keep =
-  let n = Computation.n comp in
-  let pred p s = Computation.pred comp (State.make ~proc:p ~index:s) in
+let of_source (src : Computation.Stream.source) ~keep =
+  let n = src.Computation.Stream.src_n in
+  let pred p s = src.Computation.Stream.pred ~proc:p ~state:s in
   let b = Incremental.create ~n ~keep ~pred0:(fun p -> pred p 1) in
   (* Feed the recorded run in a causally consistent order: round-robin
      over processes, blocking each on its next unsatisfied receive —
-     the same linearisation [Computation.of_arrays] validates with. *)
-  let scripts = Array.init n (fun p -> ref (Computation.ops comp p)) in
+     the same linearisation [Computation.of_arrays] validates with.
+     Events are pulled through the cursor one at a time, so a btrace
+     source never materialises the run. *)
+  let nops = Array.init n src.Computation.Stream.num_ops in
+  let cursor = Array.make n 0 in
   let states = Array.make n 1 in
   let progress = ref true in
   while !progress do
@@ -330,38 +333,47 @@ let make comp ~keep =
     for p = 0 to n - 1 do
       let continue = ref true in
       while !continue do
-        match !(scripts.(p)) with
-        | [] -> continue := false
-        | Computation.Send { dst; msg } :: rest ->
-            states.(p) <- states.(p) + 1;
-            Incremental.on_send b ~proc:p ~dst ~msg ~pred:(pred p states.(p));
-            scripts.(p) := rest;
-            progress := true
-        | Computation.Recv { msg } :: rest ->
-            if Hashtbl.mem b.Incremental.tags msg then begin
+        if cursor.(p) >= nops.(p) then continue := false
+        else
+          match src.Computation.Stream.op ~proc:p ~k:cursor.(p) with
+          | Computation.Send { dst; msg } ->
               states.(p) <- states.(p) + 1;
-              Incremental.on_receive b ~proc:p ~msg ~pred:(pred p states.(p));
-              scripts.(p) := rest;
+              Incremental.on_send b ~proc:p ~dst ~msg ~pred:(pred p states.(p));
+              cursor.(p) <- cursor.(p) + 1;
               progress := true
-            end
-            else continue := false
+          | Computation.Recv { msg } ->
+              if Hashtbl.mem b.Incremental.tags msg then begin
+                states.(p) <- states.(p) + 1;
+                Incremental.on_receive b ~proc:p ~msg ~pred:(pred p states.(p));
+                cursor.(p) <- cursor.(p) + 1;
+                progress := true
+              end
+              else continue := false
       done
     done
   done;
-  Array.iter
-    (fun s -> if !s <> [] then failwith "Slice.make: computation not drained")
-    scripts;
+  Array.iteri
+    (fun p c ->
+      if c <> nops.(p) then failwith "Slice.make: computation not drained")
+    cursor;
   Incremental.finish b
 
-let for_spec ?(keep_rest = false) comp ~procs =
-  let n = Computation.n comp in
+let make comp ~keep = of_source (Computation.Stream.of_computation comp) ~keep
+
+let keep_for_spec (src : Computation.Stream.source) ~procs ~keep_rest =
+  let n = src.Computation.Stream.src_n in
   let member = Array.make n false in
   Array.iter
     (fun p ->
       if p < 0 || p >= n then invalid_arg "Slice.for_spec: bad process";
       member.(p) <- true)
     procs;
-  make comp ~keep:(fun ~proc ~state ->
-      if member.(proc) then
-        Computation.pred comp (State.make ~proc ~index:state)
-      else keep_rest)
+  fun ~proc ~state ->
+    if member.(proc) then src.Computation.Stream.pred ~proc ~state
+    else keep_rest
+
+let for_spec_source ?(keep_rest = false) src ~procs =
+  of_source src ~keep:(keep_for_spec src ~procs ~keep_rest)
+
+let for_spec ?(keep_rest = false) comp ~procs =
+  for_spec_source ~keep_rest (Computation.Stream.of_computation comp) ~procs

@@ -41,13 +41,26 @@ type t
 val make : Computation.t -> keep:(proc:int -> state:int -> bool) -> t
 (** [make comp ~keep] slices [comp], retaining exactly the states
     [keep] selects. The slice's predicate flag at a retained state is
-    the dense flag (the OR over a collapsed class). *)
+    the dense flag (the OR over a collapsed class). Implemented as
+    {!of_source} over {!Computation.Stream.of_computation}, so the
+    dense and streamed paths produce identical slices by
+    construction. *)
+
+val of_source :
+  Computation.Stream.source -> keep:(proc:int -> state:int -> bool) -> t
+(** {!make} over a streaming cursor: events and flags are pulled one
+    at a time, so slicing an mmap'd {!Btrace} source holds only the
+    slice itself — never the dense computation — in memory. *)
 
 val for_spec : ?keep_rest:bool -> Computation.t -> procs:int array -> t
 (** The detector-facing policy: processes in [procs] retain their
     predicate-true states; the others retain every state when
     [keep_rest] (direct-dependence / GCP, whose cuts span all
     processes) and nothing otherwise (vc-family, default). *)
+
+val for_spec_source :
+  ?keep_rest:bool -> Computation.Stream.source -> procs:int array -> t
+(** {!for_spec} over a streaming cursor (see {!of_source}). *)
 
 val computation : t -> Computation.t
 (** The sliced computation — a well-formed [Computation.t] every

@@ -1,0 +1,452 @@
+(* wcp-btrace/1: the compact binary trace store (DESIGN.md §12).
+
+   Layout (all multi-byte fields little-endian unsigned 64-bit, all
+   sections 8-byte aligned):
+
+     0   magic "wcpbtrc1"
+     8   n          number of processes
+     16  num_msgs   messages (ids are dense, 0-based)
+     24  total_ops  events across all processes
+     32  index      n records of 3 u64: ops_off, num_ops, pred_off
+     ..  sections   per process, in id order: packed ops, pred bitset
+
+   One event is one u64 word in the style of [Messages.Snap_dd_packed]:
+   bit 0 is the kind (0 = send, 1 = receive), bits 1-23 the destination
+   (sends only; zero for receives), bits 24-62 the message id. Bit 63
+   is always clear, so a word round-trips through a native OCaml int.
+   The pred section is a bitset, LSB-first within each byte: bit
+   [s - 1] is the flag of state [s]; the section is zero-padded to a
+   u64 boundary. Offsets are canonical (each section starts where the
+   previous one ends) and validated on open. *)
+
+let magic = "wcpbtrc1"
+
+let header_bytes = 32
+
+let index_entry_bytes = 24
+
+let max_dst = (1 lsl 23) - 1
+
+let max_msg = (1 lsl 39) - 1
+
+exception Corrupt of string
+
+let corrupt fmt = Format.kasprintf (fun s -> raise (Corrupt s)) fmt
+
+let is_magic s =
+  String.length s >= String.length magic
+  && String.sub s 0 (String.length magic) = magic
+
+(* Number of u64 words of the pred bitset of a process with [num_ops]
+   events (= [num_ops + 1] states, one bit each, rounded up). *)
+let pred_words num_ops = (num_ops + 64) / 64
+
+let pred_bytes num_ops = 8 * pred_words num_ops
+
+let buf_add_u64 buf v =
+  for k = 0 to 7 do
+    Buffer.add_char buf (Char.chr ((v lsr (8 * k)) land 0xff))
+  done
+
+let pack_op = function
+  | Computation.Send { dst; msg } ->
+      if dst < 0 || dst > max_dst then
+        invalid_arg "Btrace: destination out of the 23-bit field";
+      if msg < 0 || msg > max_msg then
+        invalid_arg "Btrace: message id out of the 39-bit field";
+      (msg lsl 24) lor (dst lsl 1)
+  | Computation.Recv { msg } ->
+      if msg < 0 || msg > max_msg then
+        invalid_arg "Btrace: message id out of the 39-bit field";
+      (msg lsl 24) lor 1
+
+(* ------------------------------------------------------------------ *)
+(* Dense encode (the [convert] path: the computation already exists)   *)
+(* ------------------------------------------------------------------ *)
+
+let add_pred_bits buf flag_at ~states =
+  let acc = ref 0 and bits = ref 0 and written = ref 0 in
+  for s = 1 to states do
+    if flag_at s then acc := !acc lor (1 lsl !bits);
+    incr bits;
+    if !bits = 8 then begin
+      Buffer.add_char buf (Char.chr !acc);
+      incr written;
+      acc := 0;
+      bits := 0
+    end
+  done;
+  if !bits > 0 then begin
+    Buffer.add_char buf (Char.chr !acc);
+    incr written
+  end;
+  while !written mod 8 <> 0 do
+    Buffer.add_char buf '\000';
+    incr written
+  done
+
+let encode comp =
+  let n = Computation.n comp in
+  if n > max_dst then invalid_arg "Btrace.encode: too many processes";
+  let num_ops = Array.init n (fun i -> Computation.num_states comp i - 1) in
+  let total_ops = Array.fold_left ( + ) 0 num_ops in
+  let buf =
+    Buffer.create
+      (header_bytes + (index_entry_bytes * n) + (8 * total_ops) + (16 * n))
+  in
+  Buffer.add_string buf magic;
+  buf_add_u64 buf n;
+  buf_add_u64 buf (Array.length (Computation.messages comp));
+  buf_add_u64 buf total_ops;
+  let off = ref (header_bytes + (index_entry_bytes * n)) in
+  for i = 0 to n - 1 do
+    buf_add_u64 buf !off;
+    buf_add_u64 buf num_ops.(i);
+    let pred_off = !off + (8 * num_ops.(i)) in
+    buf_add_u64 buf pred_off;
+    off := pred_off + pred_bytes num_ops.(i)
+  done;
+  for i = 0 to n - 1 do
+    List.iter (fun op -> buf_add_u64 buf (pack_op op)) (Computation.ops comp i);
+    add_pred_bits buf
+      (fun s -> Computation.pred comp (State.make ~proc:i ~index:s))
+      ~states:(num_ops.(i) + 1)
+  done;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Streaming writer                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Writer = struct
+  (* Per-process append stream. Full buffers spill to one shared temp
+     file in recorded chunks, so writer memory is O(n) buffers however
+     long the trace grows; [close] stitches the chunks into the final
+     per-process sections. *)
+  type spool = {
+    sbuf : Buffer.t;
+    mutable chunks : (int * int) list;  (* (tmp offset, length), newest first *)
+  }
+
+  type t = {
+    path : string;
+    tmp_path : string;
+    tmp : out_channel;
+    mutable tmp_len : int;
+    n : int;
+    ops : spool array;
+    preds : spool array;
+    num_ops : int array;
+    pred_acc : int array;  (* partial pred byte; always holds the last bit *)
+    pred_bits : int array;  (* bits live in pred_acc, 1..8 *)
+    pred_bytes_out : int array;  (* full bytes already appended *)
+    mutable next_msg : int;
+    mutable closed : bool;
+  }
+
+  let spill_threshold = 1 lsl 16
+
+  let new_spool () = { sbuf = Buffer.create 1024; chunks = [] }
+
+  let spill t sp =
+    let len = Buffer.length sp.sbuf in
+    if len > 0 then begin
+      Buffer.output_buffer t.tmp sp.sbuf;
+      sp.chunks <- (t.tmp_len, len) :: sp.chunks;
+      t.tmp_len <- t.tmp_len + len;
+      Buffer.clear sp.sbuf
+    end
+
+  let maybe_spill t sp =
+    if Buffer.length sp.sbuf >= spill_threshold then spill t sp
+
+  let create path ~n =
+    if n < 1 then invalid_arg "Btrace.Writer.create: n must be positive";
+    if n > max_dst then invalid_arg "Btrace.Writer.create: too many processes";
+    let tmp_path = path ^ ".spill" in
+    {
+      path;
+      tmp_path;
+      tmp = open_out_bin tmp_path;
+      tmp_len = 0;
+      n;
+      ops = Array.init n (fun _ -> new_spool ());
+      preds = Array.init n (fun _ -> new_spool ());
+      num_ops = Array.make n 0;
+      pred_acc = Array.make n 0;
+      (* State 1 exists before any event, flag false (Builder parity). *)
+      pred_bits = Array.make n 1;
+      pred_bytes_out = Array.make n 0;
+      next_msg = 0;
+      closed = false;
+    }
+
+  let check_proc t p ~what =
+    if p < 0 || p >= t.n then
+      invalid_arg (Printf.sprintf "Btrace.Writer.%s: no process %d" what p)
+
+  (* Append the new state's pred bit (false until [set_pred]). The full
+     byte is flushed lazily, on the NEXT append, so the current state's
+     bit is always still in the accumulator and [set_pred] can flip it. *)
+  let push_state_bit t i =
+    if t.pred_bits.(i) = 8 then begin
+      let sp = t.preds.(i) in
+      Buffer.add_char sp.sbuf (Char.chr t.pred_acc.(i));
+      t.pred_bytes_out.(i) <- t.pred_bytes_out.(i) + 1;
+      maybe_spill t sp;
+      t.pred_acc.(i) <- 0;
+      t.pred_bits.(i) <- 0
+    end;
+    t.pred_bits.(i) <- t.pred_bits.(i) + 1
+
+  let push_op t i word =
+    let sp = t.ops.(i) in
+    buf_add_u64 sp.sbuf word;
+    maybe_spill t sp;
+    t.num_ops.(i) <- t.num_ops.(i) + 1;
+    push_state_bit t i
+
+  let send t ~src ~dst =
+    check_proc t src ~what:"send";
+    check_proc t dst ~what:"send";
+    if src = dst then invalid_arg "Btrace.Writer.send: self-send";
+    let id = t.next_msg in
+    if id > max_msg then invalid_arg "Btrace.Writer.send: message id overflow";
+    t.next_msg <- id + 1;
+    push_op t src ((id lsl 24) lor (dst lsl 1));
+    id
+
+  let recv t ~dst ~msg =
+    check_proc t dst ~what:"recv";
+    if msg < 0 || msg >= t.next_msg then
+      invalid_arg "Btrace.Writer.recv: unknown message";
+    push_op t dst ((msg lsl 24) lor 1)
+
+  let set_pred t ~proc v =
+    check_proc t proc ~what:"set_pred";
+    let m = 1 lsl (t.pred_bits.(proc) - 1) in
+    t.pred_acc.(proc) <-
+      (if v then t.pred_acc.(proc) lor m else t.pred_acc.(proc) land lnot m)
+
+  let states t = Array.fold_left ( + ) t.n t.num_ops
+
+  let messages t = t.next_msg
+
+  let abort t =
+    if not t.closed then begin
+      t.closed <- true;
+      close_out_noerr t.tmp;
+      try Sys.remove t.tmp_path with Sys_error _ -> ()
+    end
+
+  let close t =
+    if t.closed then invalid_arg "Btrace.Writer.close: already closed";
+    t.closed <- true;
+    let finish () =
+      for i = 0 to t.n - 1 do
+        (* Trailing pred byte (the accumulator always holds >= 1 bit),
+           then zero-pad the section to a u64 boundary. *)
+        let sp = t.preds.(i) in
+        Buffer.add_char sp.sbuf (Char.chr t.pred_acc.(i));
+        t.pred_bytes_out.(i) <- t.pred_bytes_out.(i) + 1;
+        while t.pred_bytes_out.(i) mod 8 <> 0 do
+          Buffer.add_char sp.sbuf '\000';
+          t.pred_bytes_out.(i) <- t.pred_bytes_out.(i) + 1
+        done;
+        spill t t.ops.(i);
+        spill t sp
+      done;
+      close_out t.tmp;
+      let total_ops = Array.fold_left ( + ) 0 t.num_ops in
+      let oc = open_out_bin t.path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          let head =
+            Buffer.create (header_bytes + (index_entry_bytes * t.n))
+          in
+          Buffer.add_string head magic;
+          buf_add_u64 head t.n;
+          buf_add_u64 head t.next_msg;
+          buf_add_u64 head total_ops;
+          let off = ref (header_bytes + (index_entry_bytes * t.n)) in
+          for i = 0 to t.n - 1 do
+            buf_add_u64 head !off;
+            buf_add_u64 head t.num_ops.(i);
+            let pred_off = !off + (8 * t.num_ops.(i)) in
+            buf_add_u64 head pred_off;
+            off := pred_off + pred_bytes t.num_ops.(i)
+          done;
+          Buffer.output_buffer oc head;
+          let ic = open_in_bin t.tmp_path in
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () ->
+              let block = Bytes.create 65536 in
+              let copy (tmp_off, len) =
+                seek_in ic tmp_off;
+                let left = ref len in
+                while !left > 0 do
+                  let k = min !left (Bytes.length block) in
+                  really_input ic block 0 k;
+                  output oc block 0 k;
+                  left := !left - k
+                done
+              in
+              for i = 0 to t.n - 1 do
+                List.iter copy (List.rev t.ops.(i).chunks);
+                List.iter copy (List.rev t.preds.(i).chunks)
+              done))
+    in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove t.tmp_path with Sys_error _ -> ())
+      finish
+end
+
+let write_file path comp =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (encode comp))
+
+(* ------------------------------------------------------------------ *)
+(* Zero-copy reader                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type data = (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type reader = {
+  data : data;
+  r_n : int;
+  num_msgs : int;
+  total_ops : int;
+  ops_off : int array;
+  nops : int array;
+  pred_off : int array;
+}
+
+let byte (d : data) i = Char.code (Bigarray.Array1.unsafe_get d i)
+
+let get_u64 d off =
+  let hi = byte d (off + 7) in
+  if hi land 0x80 <> 0 then
+    corrupt "field at byte %d exceeds the 63-bit OCaml int range" off;
+  byte d off
+  lor (byte d (off + 1) lsl 8)
+  lor (byte d (off + 2) lsl 16)
+  lor (byte d (off + 3) lsl 24)
+  lor (byte d (off + 4) lsl 32)
+  lor (byte d (off + 5) lsl 40)
+  lor (byte d (off + 6) lsl 48)
+  lor (hi lsl 56)
+
+let of_bigarray (data : data) =
+  let len = Bigarray.Array1.dim data in
+  if len < header_bytes then corrupt "truncated header (%d bytes)" len;
+  for k = 0 to String.length magic - 1 do
+    if Bigarray.Array1.get data k <> magic.[k] then
+      corrupt "bad magic (not a wcp-btrace/1 file)"
+  done;
+  let n = get_u64 data 8 in
+  if n < 1 then corrupt "n must be >= 1, got %d" n;
+  if n > max_dst then corrupt "implausible process count %d" n;
+  let num_msgs = get_u64 data 16 in
+  let total_ops = get_u64 data 24 in
+  if len < header_bytes + (index_entry_bytes * n) then
+    corrupt "truncated index (%d bytes for n = %d)" len n;
+  let ops_off = Array.make n 0 in
+  let nops = Array.make n 0 in
+  let pred_off = Array.make n 0 in
+  let expect = ref (header_bytes + (index_entry_bytes * n)) in
+  let seen_ops = ref 0 in
+  for i = 0 to n - 1 do
+    let base = header_bytes + (index_entry_bytes * i) in
+    ops_off.(i) <- get_u64 data base;
+    nops.(i) <- get_u64 data (base + 8);
+    pred_off.(i) <- get_u64 data (base + 16);
+    (* Before any arithmetic on the count: a 63-bit count could make
+       [8 * nops] wrap and defeat the canonical-offset checks below. *)
+    if nops.(i) > len / 8 then
+      corrupt "process %d claims %d events in a %d-byte file" i nops.(i) len;
+    if ops_off.(i) <> !expect then
+      corrupt "process %d ops section at byte %d, expected %d" i ops_off.(i)
+        !expect;
+    if pred_off.(i) <> ops_off.(i) + (8 * nops.(i)) then
+      corrupt "process %d pred section at byte %d, expected %d" i pred_off.(i)
+        (ops_off.(i) + (8 * nops.(i)));
+    expect := pred_off.(i) + pred_bytes nops.(i);
+    seen_ops := !seen_ops + nops.(i);
+    if !expect > len then
+      corrupt "process %d sections extend to byte %d of a %d-byte file" i
+        !expect len
+  done;
+  if !expect <> len then
+    corrupt "trailing garbage: sections end at byte %d of %d" !expect len;
+  if !seen_ops <> total_ops then
+    corrupt "header says %d events, index sums to %d" total_ops !seen_ops;
+  { data; r_n = n; num_msgs; total_ops; ops_off; nops; pred_off }
+
+let openfile path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  let data =
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        let size = (Unix.fstat fd).Unix.st_size in
+        if size < header_bytes then corrupt "truncated header (%d bytes)" size;
+        Bigarray.array1_of_genarray
+          (Unix.map_file fd Bigarray.char Bigarray.c_layout false [| -1 |]))
+  in
+  of_bigarray data
+
+let trace_bytes r = Bigarray.Array1.dim r.data
+
+let num_processes r = r.r_n
+
+let num_messages r = r.num_msgs
+
+let total_events r = r.total_ops
+
+let op_at r ~proc ~k =
+  if proc < 0 || proc >= r.r_n then corrupt "no process %d" proc;
+  if k < 0 || k >= r.nops.(proc) then
+    corrupt "process %d has no event %d" proc k;
+  let w = get_u64 r.data (r.ops_off.(proc) + (8 * k)) in
+  let msg = w lsr 24 in
+  if msg >= r.num_msgs then
+    corrupt "process %d event %d: message %d out of range" proc k msg;
+  if w land 1 = 1 then Computation.Recv { msg }
+  else begin
+    let dst = (w lsr 1) land max_dst in
+    if dst >= r.r_n then
+      corrupt "process %d event %d: send to invalid process %d" proc k dst;
+    Computation.Send { dst; msg }
+  end
+
+let pred_at r ~proc ~state =
+  if proc < 0 || proc >= r.r_n then corrupt "no process %d" proc;
+  if state < 1 || state > r.nops.(proc) + 1 then
+    corrupt "process %d has no state %d" proc state;
+  let bit = state - 1 in
+  let b = byte r.data (r.pred_off.(proc) + (bit lsr 3)) in
+  b land (1 lsl (bit land 7)) <> 0
+
+let source r =
+  {
+    Computation.Stream.src_n = r.r_n;
+    num_ops = (fun i -> if i < 0 || i >= r.r_n then corrupt "no process %d" i else r.nops.(i));
+    op = (fun ~proc ~k -> op_at r ~proc ~k);
+    pred = (fun ~proc ~state -> pred_at r ~proc ~state);
+  }
+
+let read_file path = Computation.Stream.materialize (source (openfile path))
+
+let of_string s =
+  let len = String.length s in
+  let a = Bigarray.Array1.create Bigarray.char Bigarray.c_layout len in
+  for i = 0 to len - 1 do
+    Bigarray.Array1.set a i s.[i]
+  done;
+  of_bigarray a
+
+let decode s = Computation.Stream.materialize (source (of_string s))

@@ -1,0 +1,120 @@
+(** wcp-btrace/1: a compact, mmap-friendly binary trace store with a
+    bounded-memory streaming writer and a zero-copy reader (DESIGN.md
+    §12).
+
+    Layout — every multi-byte field is little-endian unsigned 64-bit
+    and every section is 8-byte aligned:
+    {v
+    0    magic "wcpbtrc1"
+    8    n           number of processes
+    16   num_msgs    messages (dense 0-based ids)
+    24   total_ops   events across all processes
+    32   index       n x (ops_off, num_ops, pred_off)
+    ..   sections    per process: packed ops, then pred bitset
+    v}
+    One event packs into one u64 word (the [Snap_dd_packed] idiom):
+    bit 0 is the kind (0 send / 1 receive), bits 1-23 the destination
+    (zero for receives), bits 24-62 the message id, bit 63 always clear
+    so a word is a native OCaml int. The pred section is a bitset,
+    LSB-first within each byte — bit [s - 1] is state [s]'s flag —
+    zero-padded to a u64 boundary. Section offsets are canonical
+    (each starts where the previous ends) and validated on open.
+
+    Versioning: the magic's trailing digit is the format version; any
+    layout change (field widths, section order, header fields) bumps it
+    to a fresh magic, so old readers fail loudly on new files and
+    vice versa — there is no in-place migration. *)
+
+exception Corrupt of string
+(** Structurally broken btrace data (bad magic, truncated sections,
+    out-of-range ids, non-canonical offsets). The text codec's
+    {!Trace_codec.read_file} wraps this into a [Parse_error]. *)
+
+val magic : string
+(** ["wcpbtrc1"], the 8 leading bytes of every file. *)
+
+val is_magic : string -> bool
+(** Does this string (a file's first bytes suffice) start with the
+    btrace magic? The autodetection hook for the text read paths. *)
+
+val encode : Computation.t -> string
+(** Serialise a dense computation. Byte-identical to what
+    {!Writer} produces for the same run. *)
+
+val write_file : string -> Computation.t -> unit
+(** {!encode} to a file — the [wcpdetect convert] path. *)
+
+val decode : string -> Computation.t
+(** Parse and re-validate a btrace image.
+    @raise Corrupt on structural damage.
+    @raise Computation.Invalid on causally unsound content. *)
+
+val read_file : string -> Computation.t
+(** mmap + {!decode}: materialise the dense computation (use
+    {!openfile}/{!source} to avoid materialising). *)
+
+(** Streaming writer: events are appended one at a time and spilled to
+    a temporary side file in bounded chunks, so writer memory is O(n)
+    buffers regardless of trace length — the [generate -o x.btrace]
+    direct-to-disk path. The semantics mirror {!Builder}: each pushed
+    event opens a new state whose predicate flag defaults to [false];
+    {!Writer.set_pred} flips the {e current} state's flag; message ids
+    are allocated densely by {!Writer.send}. *)
+module Writer : sig
+  type t
+
+  val create : string -> n:int -> t
+  (** Open a writer for [path]; a [path ^ ".spill"] temp file exists
+      until {!close}/{!abort}. *)
+
+  val send : t -> src:int -> dst:int -> int
+  (** Append a send event on [src]; returns the allocated message id. *)
+
+  val recv : t -> dst:int -> msg:int -> unit
+  (** Append the matching receive on [dst]. The writer does not check
+      single receipt — the reader's re-validation does. *)
+
+  val set_pred : t -> proc:int -> bool -> unit
+  (** Set the predicate flag of [proc]'s current (latest) state. *)
+
+  val states : t -> int
+  (** Total states so far (events + n). *)
+
+  val messages : t -> int
+  (** Message ids allocated so far. *)
+
+  val close : t -> unit
+  (** Assemble header, index and sections into [path] and delete the
+      spill file. The writer must not be used afterwards. *)
+
+  val abort : t -> unit
+  (** Drop the spill file without writing [path] (error paths). *)
+end
+
+(** {2 Zero-copy reading} *)
+
+type reader
+(** An open btrace file: a validated header/index over an mmap'd
+    [Bigarray] (unmapped when the reader is GC'd). Ops and pred flags
+    are decoded on access straight from the mapping — opening a file
+    costs O(n), not O(events). *)
+
+val openfile : string -> reader
+(** @raise Corrupt on structural damage (header/index validation is
+    eager; per-event content is validated on access). *)
+
+val of_string : string -> reader
+(** Reader over an in-memory image (copies into a [Bigarray]). *)
+
+val source : reader -> Computation.Stream.source
+(** The cursor interface detectors and {!Wcp_slice.Slice} consume; its
+    accessors raise {!Corrupt} on out-of-range event content. *)
+
+val trace_bytes : reader -> int
+(** On-disk size of the mapping. *)
+
+val num_processes : reader -> int
+
+val num_messages : reader -> int
+
+val total_events : reader -> int

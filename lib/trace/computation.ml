@@ -265,3 +265,32 @@ let reflag t ~pred =
 let pp_summary ppf t =
   Format.fprintf ppf "computation: %d processes, %d states, %d messages"
     t.n (total_states t) (Array.length t.messages)
+
+module Stream = struct
+  type source = {
+    src_n : int;
+    num_ops : int -> int;
+    op : proc:int -> k:int -> op;
+    pred : proc:int -> state:int -> bool;
+  }
+
+  let of_computation t =
+    {
+      src_n = t.n;
+      num_ops = (fun i -> Array.length t.ops.(i));
+      op = (fun ~proc ~k -> t.ops.(proc).(k));
+      pred = (fun ~proc ~state -> t.pred.(proc).(state - 1));
+    }
+
+  let materialize s =
+    let ops =
+      Array.init s.src_n (fun i ->
+          Array.init (s.num_ops i) (fun k -> s.op ~proc:i ~k))
+    in
+    let pred =
+      Array.init s.src_n (fun i ->
+          Array.init (s.num_ops i + 1) (fun k ->
+              s.pred ~proc:i ~state:(k + 1)))
+    in
+    of_arrays ~ops ~pred
+end

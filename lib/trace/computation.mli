@@ -126,3 +126,31 @@ val reflag : t -> pred:(proc:int -> state:int -> bool) -> t
 
 val pp_summary : Format.formatter -> t -> unit
 (** One-line shape summary (process count, states, messages). *)
+
+(** {2 Streaming access}
+
+    A [Stream.source] is the minimal random-access view of a recorded
+    run that the replay/detection side needs: the per-process event
+    scripts and per-state predicate flags, behind accessor functions
+    instead of materialised arrays. The dense [t] adapts to one
+    trivially ({!Stream.of_computation}); the binary trace store
+    ({!Btrace}) serves one straight off an mmap'd file, so a slice can
+    be built — and detection run — without ever holding the dense
+    computation (its vector clocks dominate the footprint) in memory. *)
+module Stream : sig
+  type source = {
+    src_n : int;  (** number of processes *)
+    num_ops : int -> int;  (** events of process [i] *)
+    op : proc:int -> k:int -> op;  (** [k]-th event (0-based) of [proc] *)
+    pred : proc:int -> state:int -> bool;
+        (** predicate flag of the 1-based [state] of [proc] *)
+  }
+
+  val of_computation : t -> source
+  (** Zero-cost dense adapter (accessors index the existing arrays). *)
+
+  val materialize : source -> t
+  (** Pull every event and flag through the cursor and build (and
+      re-validate) the dense computation.
+      @raise Invalid if the streamed run is causally unsound. *)
+end

@@ -9,22 +9,31 @@ type params = {
 
 let default_params = { n = 4; sends_per_process = 10; p_pred = 0.5; p_recv = 0.5 }
 
-let random ?(params = default_params) ~seed () =
-  let { n; sends_per_process; p_pred; p_recv } = params in
+let validate { n; sends_per_process; _ } =
   if n < 1 then invalid_arg "Generator.random: n must be >= 1";
   if n = 1 && sends_per_process > 0 then
-    invalid_arg "Generator.random: a single process has nobody to send to";
+    invalid_arg "Generator.random: a single process has nobody to send to"
+
+(* The interleaving simulation, polymorphic in the event sink: [send]
+   returns a message handle that [recv] later consumes, [set_pred]
+   flags the process's current state. The RNG draw sequence is a
+   function of the parameters only — never of the sink — so every sink
+   (dense Builder, streaming btrace Writer) sees byte-identical runs
+   for equal seeds. *)
+let generate_into (type a) ~params ~seed ~(send : src:int -> dst:int -> a)
+    ~(recv : dst:int -> a -> unit) ~(set_pred : proc:int -> bool -> unit) () =
+  let { n; sends_per_process; p_pred; p_recv } = params in
+  validate params;
   let rng = Rng.create seed in
-  let b = Builder.create ~n in
   for i = 0 to n - 1 do
-    Builder.set_pred b ~proc:i (Rng.bernoulli rng p_pred)
+    set_pred ~proc:i (Rng.bernoulli rng p_pred)
   done;
   let sends_left = Array.make n sends_per_process in
   (* pending.(i): messages in flight toward process i, newest last — an
      array-backed bag so drawing the k-th-newest element allocates
      nothing (the list version consed O(k) cells per receive, the
      single largest allocation in big sweeps). *)
-  let pending = Array.make n [||] in
+  let pending : a array array = Array.make n [||] in
   let pending_count = Array.make n 0 in
   let total_pending = ref 0 in
   let total_sends = ref (n * sends_per_process) in
@@ -41,15 +50,15 @@ let random ?(params = default_params) ~seed () =
     done;
     pending_count.(i) <- c - 1;
     decr total_pending;
-    Builder.recv b ~dst:i m;
-    Builder.set_pred b ~proc:i (Rng.bernoulli rng p_pred)
+    recv ~dst:i m;
+    set_pred ~proc:i (Rng.bernoulli rng p_pred)
   in
   let send_from i =
     let dst =
       let d = Rng.int rng (n - 1) in
       if d >= i then d + 1 else d
     in
-    let m = Builder.send b ~src:i ~dst in
+    let m = send ~src:i ~dst in
     let c = pending_count.(dst) in
     if c = Array.length pending.(dst) then begin
       let fresh = Array.make (max 8 (2 * c)) m in
@@ -61,7 +70,7 @@ let random ?(params = default_params) ~seed () =
     incr total_pending;
     sends_left.(i) <- sends_left.(i) - 1;
     decr total_sends;
-    Builder.set_pred b ~proc:i (Rng.bernoulli rng p_pred)
+    set_pred ~proc:i (Rng.bernoulli rng p_pred)
   in
   while !total_sends > 0 || !total_pending > 0 do
     let i = Rng.int rng n in
@@ -70,8 +79,34 @@ let random ?(params = default_params) ~seed () =
     if can_recv && ((not can_send) || Rng.bernoulli rng p_recv) then receive_on i
     else if can_send then send_from i
     (* else: this process is idle; the loop retries another process. *)
-  done;
+  done
+
+let random ?(params = default_params) ~seed () =
+  validate params;
+  let b = Builder.create ~n:params.n in
+  generate_into ~params ~seed
+    ~send:(fun ~src ~dst -> Builder.send b ~src ~dst)
+    ~recv:(fun ~dst m -> Builder.recv b ~dst m)
+    ~set_pred:(fun ~proc v -> Builder.set_pred b ~proc v)
+    ();
   Builder.finish b
+
+let random_btrace ?(params = default_params) ~seed path =
+  validate params;
+  let w = Btrace.Writer.create path ~n:params.n in
+  (try
+     generate_into ~params ~seed
+       ~send:(fun ~src ~dst -> Btrace.Writer.send w ~src ~dst)
+       ~recv:(fun ~dst msg -> Btrace.Writer.recv w ~dst ~msg)
+       ~set_pred:(fun ~proc v -> Btrace.Writer.set_pred w ~proc v)
+       ()
+   with e ->
+     Btrace.Writer.abort w;
+     raise e);
+  let states = Btrace.Writer.states w in
+  let messages = Btrace.Writer.messages w in
+  Btrace.Writer.close w;
+  (states, messages)
 
 let random_procs rng ~n ~width =
   if width < 1 || width > n then invalid_arg "Generator.random_procs";

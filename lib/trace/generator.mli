@@ -30,6 +30,28 @@ val default_params : params
 
 val random : ?params:params -> seed:int64 -> unit -> Computation.t
 
+val random_btrace : ?params:params -> seed:int64 -> string -> int * int
+(** [random_btrace ~params ~seed path] runs the same simulation as
+    {!random} — identical RNG draw sequence, so the file decodes to the
+    computation {!random} returns for equal arguments — but streams the
+    events straight into [path] through {!Btrace.Writer} without ever
+    materialising the computation. Returns [(states, messages)] for
+    reporting. The [wcp generate -o x.btrace] direct-to-disk path. *)
+
+val generate_into :
+  params:params ->
+  seed:int64 ->
+  send:(src:int -> dst:int -> 'a) ->
+  recv:(dst:int -> 'a -> unit) ->
+  set_pred:(proc:int -> bool -> unit) ->
+  unit ->
+  unit
+(** The simulation core, polymorphic in the event sink. [send] returns
+    a message handle that is later passed back to [recv]; [set_pred]
+    flags the issuing process's current state. The RNG draw sequence
+    depends only on [params] and [seed], never on the sink, which is
+    what makes {!random} and {!random_btrace} agree. *)
+
 val random_procs : Rng.t -> n:int -> width:int -> int array
 (** A sorted random subset of [width] distinct processes out of [n];
     used to choose which processes a WCP spans. *)

@@ -3,115 +3,331 @@ exception Parse_error of { line : int; message : string }
 let parse_error ~line fmt =
   Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
 
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* [encode] and [write_file] share these emitters, so the streamed file
+   is byte-identical to the in-memory encoding by construction. *)
+
+let add_header buf comp =
+  Buffer.add_string buf "wcp-trace v1\n";
+  Buffer.add_string buf "n ";
+  Buffer.add_string buf (string_of_int (Computation.n comp));
+  Buffer.add_char buf '\n'
+
+let add_proc buf comp i =
+  Buffer.add_string buf "ops ";
+  Buffer.add_string buf (string_of_int i);
+  List.iter
+    (fun op ->
+      match op with
+      | Computation.Send { dst; msg } ->
+          Buffer.add_string buf " S";
+          Buffer.add_string buf (string_of_int dst);
+          Buffer.add_char buf ':';
+          Buffer.add_string buf (string_of_int msg)
+      | Computation.Recv { msg } ->
+          Buffer.add_string buf " R:";
+          Buffer.add_string buf (string_of_int msg))
+    (Computation.ops comp i);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf "pred ";
+  Buffer.add_string buf (string_of_int i);
+  for s = 1 to Computation.num_states comp i do
+    Buffer.add_string buf
+      (if Computation.pred comp (State.make ~proc:i ~index:s) then " 1"
+       else " 0")
+  done;
+  Buffer.add_char buf '\n'
+
 let encode comp =
   let buf = Buffer.create 1024 in
-  let n = Computation.n comp in
-  Buffer.add_string buf "wcp-trace v1\n";
-  Buffer.add_string buf (Printf.sprintf "n %d\n" n);
-  for i = 0 to n - 1 do
-    Buffer.add_string buf (Printf.sprintf "ops %d" i);
-    List.iter
-      (fun op ->
-        match op with
-        | Computation.Send { dst; msg } ->
-            Buffer.add_string buf (Printf.sprintf " S%d:%d" dst msg)
-        | Computation.Recv { msg } ->
-            Buffer.add_string buf (Printf.sprintf " R:%d" msg))
-      (Computation.ops comp i);
-    Buffer.add_char buf '\n';
-    Buffer.add_string buf (Printf.sprintf "pred %d" i);
-    for s = 1 to Computation.num_states comp i do
-      Buffer.add_string buf
-        (if Computation.pred comp (State.make ~proc:i ~index:s) then " 1"
-         else " 0")
-    done;
-    Buffer.add_char buf '\n'
+  add_header buf comp;
+  for i = 0 to Computation.n comp - 1 do
+    add_proc buf comp i
   done;
   Buffer.contents buf
-
-let split_ws s =
-  String.split_on_char ' ' s |> List.filter (fun t -> t <> "")
-
-let strip_comment s =
-  match String.index_opt s '#' with
-  | None -> s
-  | Some i -> String.sub s 0 i
-
-let parse_int ~line s =
-  match int_of_string_opt s with
-  | Some v -> v
-  | None -> parse_error ~line "expected integer, got %S" s
-
-let parse_op ~line tok =
-  if String.length tok >= 2 && tok.[0] = 'R' && tok.[1] = ':' then
-    Computation.Recv
-      { msg = parse_int ~line (String.sub tok 2 (String.length tok - 2)) }
-  else if String.length tok >= 1 && tok.[0] = 'S' then
-    match String.index_opt tok ':' with
-    | Some c ->
-        let dst = parse_int ~line (String.sub tok 1 (c - 1)) in
-        let msg =
-          parse_int ~line (String.sub tok (c + 1) (String.length tok - c - 1))
-        in
-        Computation.Send { dst; msg }
-    | None -> parse_error ~line "malformed send token %S" tok
-  else parse_error ~line "unknown op token %S" tok
-
-let decode text =
-  let lines = String.split_on_char '\n' text in
-  let n = ref (-1) in
-  let ops : Computation.op list array ref = ref [||] in
-  let pred : bool array array ref = ref [||] in
-  let saw_header = ref false in
-  List.iteri
-    (fun idx raw ->
-      let line = idx + 1 in
-      match split_ws (strip_comment raw) with
-      | [] -> ()
-      | "wcp-trace" :: version :: _ ->
-          if version <> "v1" then
-            parse_error ~line "unsupported version %S" version;
-          saw_header := true
-      | "n" :: [ count ] ->
-          if not !saw_header then parse_error ~line "missing wcp-trace header";
-          let c = parse_int ~line count in
-          if c < 1 then parse_error ~line "n must be >= 1";
-          n := c;
-          ops := Array.make c [];
-          pred := Array.make c [||]
-      | "ops" :: proc :: toks ->
-          let p = parse_int ~line proc in
-          if !n < 0 then parse_error ~line "ops before n";
-          if p < 0 || p >= !n then parse_error ~line "no process %d" p;
-          !ops.(p) <- List.map (parse_op ~line) toks
-      | "pred" :: proc :: toks ->
-          let p = parse_int ~line proc in
-          if !n < 0 then parse_error ~line "pred before n";
-          if p < 0 || p >= !n then parse_error ~line "no process %d" p;
-          !pred.(p) <-
-            Array.of_list
-              (List.map
-                 (fun t ->
-                   match t with
-                   | "0" -> false
-                   | "1" -> true
-                   | _ -> parse_error ~line "pred flag must be 0 or 1, got %S" t)
-                 toks)
-      | tok :: _ -> parse_error ~line "unknown directive %S" tok)
-    lines;
-  if !n < 0 then parse_error ~line:0 "no 'n' directive";
-  Computation.of_raw ~ops:!ops ~pred:!pred
 
 let write_file path comp =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (encode comp))
+    (fun () ->
+      (* Stream per process instead of building one giant string: the
+         buffer never holds more than one process's lines past 64KiB. *)
+      let buf = Buffer.create 65536 in
+      add_header buf comp;
+      for i = 0 to Computation.n comp - 1 do
+        add_proc buf comp i;
+        if Buffer.length buf >= 65536 then begin
+          Buffer.output_buffer oc buf;
+          Buffer.clear buf
+        end
+      done;
+      Buffer.output_buffer oc buf)
+
+(* ------------------------------------------------------------------ *)
+(* Decoding: a single-pass scanner                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Tokens are maximal runs of non-' ' characters (exactly the historical
+   [String.split_on_char ' '] semantics: tabs are token characters), cut
+   at the first '#'. The scanner walks the text once, addressing tokens
+   as (start, stop) spans — no per-token substring allocation on the
+   happy path. *)
+
+let token_end s lim i =
+  let j = ref i in
+  while !j < lim && s.[!j] <> ' ' do
+    incr j
+  done;
+  !j
+
+let skip_spaces s lim i =
+  let j = ref i in
+  while !j < lim && s.[!j] = ' ' do
+    incr j
+  done;
+  !j
+
+let tok_is s start stop lit =
+  stop - start = String.length lit
+  &&
+  let rec eq k = k = String.length lit || (s.[start + k] = lit.[k] && eq (k + 1)) in
+  eq 0
+
+(* Fast path: plain decimal. Anything else (hex, underscores, signs,
+   junk) falls back to [int_of_string_opt] on the substring, keeping the
+   historical acceptance exactly. *)
+let parse_int_sub ~line s start stop =
+  let all_digits =
+    let rec go k = k >= stop || (s.[k] >= '0' && s.[k] <= '9' && go (k + 1)) in
+    stop > start && stop - start <= 18 && go start
+  in
+  if all_digits then begin
+    let v = ref 0 in
+    for k = start to stop - 1 do
+      v := (!v * 10) + (Char.code s.[k] - Char.code '0')
+    done;
+    !v
+  end
+  else
+    let sub = String.sub s start (stop - start) in
+    match int_of_string_opt sub with
+    | Some v -> v
+    | None -> parse_error ~line "expected integer, got %S" sub
+
+let parse_op_sub ~line s start stop =
+  let len = stop - start in
+  if len >= 2 && s.[start] = 'R' && s.[start + 1] = ':' then
+    Computation.Recv { msg = parse_int_sub ~line s (start + 2) stop }
+  else if len >= 1 && s.[start] = 'S' then begin
+    let c = ref start in
+    while !c < stop && s.[!c] <> ':' do
+      incr c
+    done;
+    if !c < stop then
+      let dst = parse_int_sub ~line s (start + 1) !c in
+      let msg = parse_int_sub ~line s (!c + 1) stop in
+      Computation.Send { dst; msg }
+    else parse_error ~line "malformed send token %S" (String.sub s start len)
+  end
+  else parse_error ~line "unknown op token %S" (String.sub s start len)
+
+(* Attribute a [Computation.Invalid] message to the source line that
+   introduced the offending data: "process N ..." errors point at that
+   process's ops (or pred, for flag-count errors) line; message-id
+   errors point at the ops line of the first process mentioning that
+   id. 0 when nothing matches (e.g. a process with no ops line). *)
+
+let first_int msg =
+  let len = String.length msg in
+  let i = ref 0 in
+  while !i < len && not (msg.[!i] >= '0' && msg.[!i] <= '9') do
+    incr i
+  done;
+  if !i >= len then None
+  else begin
+    let stop = ref !i in
+    while !stop < len && msg.[!stop] >= '0' && msg.[!stop] <= '9' do
+      incr stop
+    done;
+    let v = int_of_string (String.sub msg !i (!stop - !i)) in
+    Some (if !i > 0 && msg.[!i - 1] = '-' then -v else v)
+  end
+
+let contains_sub msg sub =
+  let ml = String.length msg and sl = String.length sub in
+  let rec at i = i + sl <= ml && (String.sub msg i sl = sub || at (i + 1)) in
+  at 0
+
+let attribute_line ~ops ~ops_line ~pred_line msg =
+  match first_int msg with
+  | None -> 0
+  | Some v ->
+      if String.length msg >= 8 && String.sub msg 0 8 = "process " then
+        if v >= 0 && v < Array.length ops_line then
+          if contains_sub msg "predicate" then pred_line.(v) else ops_line.(v)
+        else 0
+      else begin
+        (* A message-id error: find the first process whose script
+           mentions the id. *)
+        let line = ref 0 in
+        (try
+           Array.iteri
+             (fun p script ->
+               Array.iter
+                 (fun op ->
+                   let m =
+                     match op with
+                     | Computation.Send { msg = m; _ } -> m
+                     | Computation.Recv { msg = m } -> m
+                   in
+                   if m = v then begin
+                     line := ops_line.(p);
+                     raise Exit
+                   end)
+                 script)
+             ops
+         with Exit -> ());
+        !line
+      end
+
+let decode_text text =
+  let len = String.length text in
+  let n = ref (-1) in
+  let ops : Computation.op array array ref = ref [||] in
+  let pred : bool array array ref = ref [||] in
+  let ops_line = ref [||] in
+  let pred_line = ref [||] in
+  let saw_header = ref false in
+  let pos = ref 0 in
+  let line = ref 0 in
+  while !pos < len do
+    incr line;
+    let line_no = !line in
+    let eol =
+      match String.index_from_opt text !pos '\n' with
+      | Some e -> e
+      | None -> len
+    in
+    (* Comments run to end of line; the '#' may land mid-token. *)
+    let lim =
+      let j = ref !pos in
+      while !j < eol && text.[!j] <> '#' do
+        incr j
+      done;
+      !j
+    in
+    let t0 = skip_spaces text lim !pos in
+    if t0 < lim then begin
+      let t0e = token_end text lim t0 in
+      let t1 = skip_spaces text lim t0e in
+      let count_toks from =
+        let c = ref 0 and i = ref from in
+        while !i < lim do
+          incr c;
+          i := skip_spaces text lim (token_end text lim !i)
+        done;
+        !c
+      in
+      if tok_is text t0 t0e "wcp-trace" && t1 < lim then begin
+        let t1e = token_end text lim t1 in
+        if not (tok_is text t1 t1e "v1") then
+          parse_error ~line:line_no "unsupported version %S"
+            (String.sub text t1 (t1e - t1));
+        saw_header := true
+      end
+      else if tok_is text t0 t0e "n" && count_toks t1 = 1 then begin
+        if not !saw_header then
+          parse_error ~line:line_no "missing wcp-trace header";
+        let c = parse_int_sub ~line:line_no text t1 (token_end text lim t1) in
+        if c < 1 then parse_error ~line:line_no "n must be >= 1";
+        n := c;
+        ops := Array.make c [||];
+        pred := Array.make c [||];
+        ops_line := Array.make c 0;
+        pred_line := Array.make c 0
+      end
+      else if tok_is text t0 t0e "ops" && t1 < lim then begin
+        let t1e = token_end text lim t1 in
+        let p = parse_int_sub ~line:line_no text t1 t1e in
+        if !n < 0 then parse_error ~line:line_no "ops before n";
+        if p < 0 || p >= !n then parse_error ~line:line_no "no process %d" p;
+        let toks = count_toks (skip_spaces text lim t1e) in
+        let arr = Array.make toks (Computation.Recv { msg = 0 }) in
+        let i = ref (skip_spaces text lim t1e) in
+        for k = 0 to toks - 1 do
+          let e = token_end text lim !i in
+          arr.(k) <- parse_op_sub ~line:line_no text !i e;
+          i := skip_spaces text lim e
+        done;
+        !ops.(p) <- arr;
+        !ops_line.(p) <- line_no
+      end
+      else if tok_is text t0 t0e "pred" && t1 < lim then begin
+        let t1e = token_end text lim t1 in
+        let p = parse_int_sub ~line:line_no text t1 t1e in
+        if !n < 0 then parse_error ~line:line_no "pred before n";
+        if p < 0 || p >= !n then parse_error ~line:line_no "no process %d" p;
+        let toks = count_toks (skip_spaces text lim t1e) in
+        let arr = Array.make toks false in
+        let i = ref (skip_spaces text lim t1e) in
+        for k = 0 to toks - 1 do
+          let e = token_end text lim !i in
+          (if e - !i = 1 && text.[!i] = '1' then arr.(k) <- true
+           else if e - !i = 1 && text.[!i] = '0' then arr.(k) <- false
+           else
+             parse_error ~line:line_no "pred flag must be 0 or 1, got %S"
+               (String.sub text !i (e - !i)));
+          i := skip_spaces text lim e
+        done;
+        !pred.(p) <- arr;
+        !pred_line.(p) <- line_no
+      end
+      else
+        parse_error ~line:line_no "unknown directive %S"
+          (String.sub text t0 (t0e - t0))
+    end;
+    pos := eol + 1
+  done;
+  if !n < 0 then parse_error ~line:0 "no 'n' directive";
+  try Computation.of_arrays ~ops:!ops ~pred:!pred
+  with Computation.Invalid msg ->
+    parse_error
+      ~line:
+        (attribute_line ~ops:!ops ~ops_line:!ops_line ~pred_line:!pred_line msg)
+      "invalid computation: %s" msg
+
+(* ------------------------------------------------------------------ *)
+(* Entry points with btrace autodetection                              *)
+(* ------------------------------------------------------------------ *)
+
+let wrap_btrace f =
+  try f () with
+  | Btrace.Corrupt msg -> parse_error ~line:0 "btrace: %s" msg
+  | Computation.Invalid msg -> parse_error ~line:0 "invalid computation: %s" msg
+
+let decode text =
+  if Btrace.is_magic text then wrap_btrace (fun () -> Btrace.decode text)
+  else decode_text text
 
 let read_file path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let len = in_channel_length ic in
-      decode (really_input_string ic len))
+  let is_btrace =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        in_channel_length ic >= String.length Btrace.magic
+        && Btrace.is_magic (really_input_string ic (String.length Btrace.magic)))
+  in
+  if is_btrace then wrap_btrace (fun () -> Btrace.read_file path)
+  else begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let len = in_channel_length ic in
+        decode_text (really_input_string ic len))
+  end

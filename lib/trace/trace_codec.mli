@@ -13,18 +13,27 @@
     message [m]". The [pred] line for process [i] lists one [0]/[1]
     flag per state ([number of ops + 1] flags).
 
-    Decoding re-validates causal soundness through
-    {!Computation.of_raw}, so a trace file can never produce an
-    inconsistent in-memory computation. *)
+    Decoding re-validates causal soundness, so a trace file can never
+    produce an inconsistent in-memory computation; a causally unsound
+    trace raises {!Parse_error} carrying the [ops]/[pred] line that
+    introduced the offending data.
+
+    Both read entry points sniff the {!Btrace.magic} bytes and fall
+    through to the binary store when present, so every consumer of
+    [decode]/[read_file] accepts either format transparently; binary
+    structural damage surfaces as a [Parse_error] at line 0. *)
 
 exception Parse_error of { line : int; message : string }
 
 val encode : Computation.t -> string
 
 val decode : string -> Computation.t
-(** @raise Parse_error on syntax errors.
-    @raise Computation.Invalid on causally unsound traces. *)
+(** @raise Parse_error on syntax errors, causally unsound content, and
+    corrupt btrace images. *)
 
 val write_file : string -> Computation.t -> unit
+(** {!encode} streamed to [path] per process (byte-identical to
+    [encode], without materialising the whole string). *)
 
 val read_file : string -> Computation.t
+(** Slurp and {!decode} (btrace files are mmap'd instead). *)

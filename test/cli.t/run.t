@@ -338,3 +338,96 @@ Comparing everything on the workload:
   oracle: detected {0:3 1:3 2:3}
   
   algorithm          msgs       bits      work  max-work max-space   hops   time
+
+The binary trace store (DESIGN.md §12): `generate -o x.btrace` streams
+the run straight to disk through the btrace writer, and `convert`
+round-trips between the text and binary stores. The streamed file is
+byte-identical to converting the text trace — same seed, same bytes:
+
+  $ wcpdetect generate -n 4 -m 5 --p-pred 0.4 --seed 9 -o run.btrace
+  wrote run.btrace (4 processes, 44 states, 20 messages)
+
+  $ wcpdetect convert run.trace -o conv.btrace
+  wrote conv.btrace (4 processes, 44 states, 20 messages)
+
+  $ cmp run.btrace conv.btrace
+
+  $ wcpdetect convert run.btrace -o back.trace
+  wrote back.trace (4 processes, 44 states, 20 messages)
+
+  $ cmp run.trace back.trace
+
+Every read path autodetects the magic, so a btrace file drops in
+wherever a text trace does:
+
+  $ wcpdetect detect run.btrace -a token-vc | cut -d'|' -f1
+  detected {0:6 1:3 2:8 3:2} 
+
+  $ wcpdetect render run.btrace | tail -1
+  messages: 0:0->1 1:2->0 2:0->3 3:2->0 4:2->1 5:3->2 6:2->1 7:0->2 8:0->3 9:2->1 10:0->3 11:3->0 12:1->0 13:1->2 14:1->2 15:1->3 16:3->1 17:3->2 18:3->0 19:1->0
+
+`detect --stream` replays the mmap'd file through the slice cursor
+without materialising the dense computation; the cut is identical:
+
+  $ wcpdetect detect run.btrace -a token-vc --stream | cut -d'|' -f1
+  detected {0:6 1:3 2:8 3:2} 
+
+  $ wcpdetect detect run.btrace -a token-dd --stream | cut -d'|' -f1
+  detected {0:6 1:3 2:8 3:2} 
+
+  $ wcpdetect detect run.btrace -a checker --stream | cut -d'|' -f1
+  detected {0:6 1:3 2:8 3:2} 
+
+  $ wcpdetect detect run.btrace -a parallel --stream | cut -d'|' -f1
+  detected {0:6 1:3 2:8 3:2} 
+
+Streaming needs the binary store and a detection algorithm, and it
+already replays the slice:
+
+  $ wcpdetect detect run.trace -a token-vc --stream
+  wcpdetect: run.trace: btrace: bad magic (not a wcp-btrace/1 file)
+  [2]
+
+  $ wcpdetect detect run.btrace -a oracle --stream
+  wcpdetect: --stream needs a detection algorithm (token-vc, multi-token, token-dd, token-dd-par, checker or parallel)
+  [2]
+
+  $ wcpdetect detect run.btrace -a token-vc --stream --slice
+  wcpdetect: --stream already detects on the slice; drop --slice
+  [2]
+
+Causally unsound text traces die with the offending line attributed
+(the ops line that introduced the lost message, the pred line whose
+flag count is off), and structural btrace damage is a clean line-0
+parse error:
+
+  $ cat > lost.trace <<'XEOF'
+  > wcp-trace v1
+  > n 2
+  > ops 0 S1:0
+  > pred 0 0 0
+  > ops 1
+  > pred 1 0
+  > XEOF
+
+  $ wcpdetect detect lost.trace -a oracle
+  wcpdetect: lost.trace:3: invalid computation: message 0 never received
+  [2]
+
+  $ cat > flags.trace <<'XEOF'
+  > wcp-trace v1
+  > n 2
+  > ops 0 S1:0
+  > pred 0 0 1
+  > ops 1
+  > pred 1 1 0
+  > XEOF
+
+  $ wcpdetect detect flags.trace -a oracle
+  wcpdetect: flags.trace:6: invalid computation: process 1: 2 predicate flags for 1 states
+  [2]
+
+  $ head -c 20 run.btrace > trunc.btrace
+  $ wcpdetect detect trunc.btrace -a token-vc
+  wcpdetect: trunc.btrace:0: btrace: truncated header (20 bytes)
+  [2]

@@ -1,0 +1,336 @@
+(* wcp-btrace/1 (Wcp_trace.Btrace): the binary store must be an exact
+   stand-in for the text codec. The properties here pin the contract of
+   DESIGN.md §12: text <-> btrace <-> text round-trips are lossless (and
+   re-encodes byte-identical), the streaming writer produces the same
+   bytes as the dense encoder, every read path autodetects the magic,
+   structural damage dies as [Btrace.Corrupt] (wrapped into a clean
+   [Trace_codec.Parse_error] by the codec entry points), and a streamed
+   detection run spells out the same first cut as the dense reference.
+   Bounded smoke always runs; WCP_BTRACE_CHECK=1 (make btrace-check)
+   unlocks the full corpus sweep. *)
+
+open Wcp_trace
+open Wcp_core
+
+let qtest ?(count = 40) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let params ~n ~m ~p_pred =
+  { Generator.n; sends_per_process = m; p_pred; p_recv = 0.5 }
+
+let random_comp ~n ~m ~p_pred ~seed =
+  Generator.random ~params:(params ~n ~m ~p_pred) ~seed ()
+
+(* Random shapes, including n=1 (necessarily message-free) and m=0. *)
+let gen_comp =
+  QCheck2.Gen.(
+    map
+      (fun (n, m, seed, dense_pred) ->
+        let n = 1 + n in
+        let m = if n = 1 then 0 else m in
+        let p_pred = if dense_pred then 0.5 else 0.1 in
+        random_comp ~n ~m ~p_pred ~seed:(Int64.of_int seed))
+      (tup4 (int_range 0 9) (int_range 0 15) (int_range 1 10_000) bool))
+
+(* Structural equality of computations: same scripts, same flags. *)
+let same_computation a b =
+  Computation.n a = Computation.n b
+  && Array.for_all
+       (fun p ->
+         Computation.ops a p = Computation.ops b p
+         && Computation.num_states a p = Computation.num_states b p
+         && List.for_all
+              (fun s ->
+                let st = State.make ~proc:p ~index:s in
+                Computation.pred a st = Computation.pred b st)
+              (List.init (Computation.num_states a p) (fun i -> i + 1)))
+       (Array.init (Computation.n a) (fun p -> p))
+
+let with_temp_file suffix f =
+  let path = Filename.temp_file "wcp_btrace_test" suffix in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let read_bytes path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* --- Round trips --------------------------------------------------- *)
+
+let prop_roundtrip_structural =
+  qtest ~count:120 "btrace: decode (encode c) == c" gen_comp (fun comp ->
+      same_computation comp (Btrace.decode (Btrace.encode comp)))
+
+let prop_reencode_identity =
+  qtest ~count:120 "btrace: re-encode is byte-identical" gen_comp (fun comp ->
+      let img = Btrace.encode comp in
+      String.equal img (Btrace.encode (Btrace.decode img)))
+
+let prop_text_btrace_text =
+  (* The full interchange loop: canonical text -> btrace -> canonical
+     text must be byte-identical (so is the reverse, by the re-encode
+     property above). *)
+  qtest ~count:120 "text -> btrace -> text is byte-identical" gen_comp
+    (fun comp ->
+      let text = Trace_codec.encode comp in
+      let comp' = Btrace.decode (Btrace.encode (Trace_codec.decode text)) in
+      String.equal text (Trace_codec.encode comp'))
+
+let prop_autodetect_decode =
+  qtest ~count:60 "Trace_codec.decode autodetects the magic" gen_comp
+    (fun comp ->
+      same_computation comp (Trace_codec.decode (Btrace.encode comp)))
+
+let prop_source_materialize =
+  qtest ~count:60 "Stream.materialize (source r) == original" gen_comp
+    (fun comp ->
+      let r = Btrace.of_string (Btrace.encode comp) in
+      same_computation comp (Computation.Stream.materialize (Btrace.source r)))
+
+let prop_reader_accessors =
+  qtest ~count:60 "reader header accessors match the computation" gen_comp
+    (fun comp ->
+      let img = Btrace.encode comp in
+      let r = Btrace.of_string img in
+      Btrace.num_processes r = Computation.n comp
+      && Btrace.num_messages r = Array.length (Computation.messages comp)
+      && Btrace.trace_bytes r = String.length img
+      && Btrace.total_events r
+         = Array.fold_left ( + ) 0
+             (Array.init (Computation.n comp) (fun p ->
+                  List.length (Computation.ops comp p))))
+
+(* --- Streaming writer vs dense encoder ----------------------------- *)
+
+let prop_writer_bytes =
+  (* [Generator.random_btrace] streams through [Btrace.Writer] while
+     [Generator.random] materialises through [Builder]; same params and
+     seed must put the exact same bytes on disk as [Btrace.encode]. *)
+  qtest ~count:30 "random_btrace file == encode (random ())"
+    QCheck2.Gen.(tup3 (int_range 2 8) (int_range 1 40) (int_range 1 10_000))
+    (fun (n, m, seed) ->
+      let params = params ~n ~m ~p_pred:0.3 in
+      let seed = Int64.of_int seed in
+      with_temp_file ".btrace" (fun path ->
+          let states, messages = Generator.random_btrace ~params ~seed path in
+          let comp = Generator.random ~params ~seed () in
+          states = Computation.total_states comp
+          && messages = Array.length (Computation.messages comp)
+          && String.equal (read_bytes path) (Btrace.encode comp)))
+
+(* --- Structural damage --------------------------------------------- *)
+
+let raises_corrupt f =
+  match f () with
+  | (_ : Computation.t) -> Alcotest.fail "expected Btrace.Corrupt"
+  | exception Btrace.Corrupt _ -> ()
+
+let set_u64 b off v =
+  for k = 0 to 7 do
+    Bytes.set b (off + k) (Char.chr ((v lsr (8 * k)) land 0xff))
+  done
+
+let test_corrupt_fixtures () =
+  let comp = random_comp ~n:4 ~m:10 ~p_pred:0.3 ~seed:7L in
+  let img = Btrace.encode comp in
+  (* Truncated header: magic alone is not a file. *)
+  raises_corrupt (fun () -> Btrace.decode (String.sub img 0 8));
+  (* Truncated mid-section. *)
+  raises_corrupt (fun () ->
+      Btrace.decode (String.sub img 0 (String.length img - 5)));
+  (* Trailing garbage after the last section. *)
+  raises_corrupt (fun () -> Btrace.decode (img ^ "\x00"));
+  (* Mutations: each writes one header/index field and must be caught
+     by the eager open-time validation. *)
+  let mutated off v =
+    let b = Bytes.of_string img in
+    set_u64 b off v;
+    Bytes.to_string b
+  in
+  (* n = 0. *)
+  raises_corrupt (fun () -> Btrace.decode (mutated 8 0));
+  (* Absurd per-process event count (offset/size overflow bait). *)
+  raises_corrupt (fun () -> Btrace.decode (mutated (32 + 8) max_int));
+  (* total_ops disagreeing with the index. *)
+  raises_corrupt (fun () -> Btrace.decode (mutated 24 1));
+  (* A 64-bit field with the top bit set exceeds OCaml's int range. *)
+  raises_corrupt (fun () ->
+      let b = Bytes.of_string img in
+      Bytes.set b 31 '\x80';
+      Btrace.decode (Bytes.to_string b));
+  (* Non-canonical section offset. *)
+  raises_corrupt (fun () -> Btrace.decode (mutated 32 33))
+
+let test_corrupt_wrapped_as_parse_error () =
+  (* The text entry points present binary damage as a line-0
+     Parse_error, never a bare Corrupt. *)
+  let check_parse_error ~prefix f =
+    match f () with
+    | (_ : Computation.t) -> Alcotest.fail "expected Parse_error"
+    | exception Trace_codec.Parse_error { line; message } ->
+        Alcotest.(check int) "line" 0 line;
+        if not (String.length message >= String.length prefix
+                && String.sub message 0 (String.length prefix) = prefix)
+        then
+          Alcotest.failf "message %S does not start with %S" message prefix
+  in
+  let comp = random_comp ~n:3 ~m:6 ~p_pred:0.3 ~seed:3L in
+  let img = Btrace.encode comp in
+  let truncated = String.sub img 0 20 in
+  check_parse_error ~prefix:"btrace: " (fun () -> Trace_codec.decode truncated);
+  with_temp_file ".btrace" (fun path ->
+      let oc = open_out_bin path in
+      output_string oc truncated;
+      close_out oc;
+      check_parse_error ~prefix:"btrace: " (fun () ->
+          Trace_codec.read_file path));
+  (* Causal unsoundness in a structurally clean file: the writer does
+     not validate, the reading side must. *)
+  with_temp_file ".btrace" (fun path ->
+      let w = Btrace.Writer.create path ~n:2 in
+      let _msg = Btrace.Writer.send w ~src:0 ~dst:1 in
+      Btrace.Writer.close w;
+      check_parse_error ~prefix:"invalid computation: " (fun () ->
+          Trace_codec.read_file path))
+
+let test_writer_abort () =
+  (* abort must leave neither the target nor the spill file behind. *)
+  let path = Filename.temp_file "wcp_btrace_abort" ".btrace" in
+  Sys.remove path;
+  let w = Btrace.Writer.create path ~n:2 in
+  let _ = Btrace.Writer.send w ~src:0 ~dst:1 in
+  Btrace.Writer.abort w;
+  Alcotest.(check bool) "no spill" false (Sys.file_exists (path ^ ".spill"));
+  Alcotest.(check bool) "no target" false (Sys.file_exists path)
+
+(* --- Streamed detection == dense detection ------------------------- *)
+
+let outcome = Alcotest.testable Detection.pp_outcome Detection.outcome_equal
+
+(* Mirror the CLI's [--stream] plumbing: slice straight off the mmap
+   cursor, detect on the slice, remap the cut to dense coordinates. *)
+let streamed_outcome reader ~procs ~detect ~keep_rest =
+  (Run_common.with_source ~keep_rest (Btrace.source reader) ~procs
+     ~run:(fun sliced spec' -> detect sliced spec'))
+    .Detection.outcome
+
+let stream_sweep ~sizes ~densities ~seeds =
+  let seed = 1L in
+  List.iter
+    (fun (n, m) ->
+      List.iter
+        (fun p_pred ->
+          List.iter
+            (fun s ->
+              let comp = random_comp ~n ~m ~p_pred ~seed:(Int64.of_int s) in
+              let reader = Btrace.of_string (Btrace.encode comp) in
+              let specs =
+                Array.init n Fun.id
+                :: (if n < 2 then []
+                    else [ Array.init ((n + 1) / 2) (fun i -> 2 * i) ])
+              in
+              List.iter
+                (fun procs ->
+                  let spec = Spec.make comp procs in
+                  let here name =
+                    Printf.sprintf "%s n=%d m=%d p=%.2f w=%d seed=%d" name n m
+                      p_pred (Array.length procs) s
+                  in
+                  let agree name dense streamed =
+                    Alcotest.check outcome (here name) dense streamed
+                  in
+                  agree "token-vc"
+                    (Token_vc.detect ~seed comp spec).Detection.outcome
+                    (streamed_outcome reader ~procs ~keep_rest:false
+                       ~detect:(Token_vc.detect ~seed));
+                  agree "checker"
+                    (Checker_centralized.detect ~seed comp spec)
+                      .Detection.outcome
+                    (streamed_outcome reader ~procs ~keep_rest:false
+                       ~detect:(Checker_centralized.detect ~seed));
+                  let groups = max 1 (Array.length procs / 2) in
+                  agree "token-multi"
+                    (Token_multi.detect ~groups ~seed comp spec)
+                      .Detection.outcome
+                    (streamed_outcome reader ~procs ~keep_rest:false
+                       ~detect:(Token_multi.detect ~groups ~seed));
+                  let project = Detection.project_outcome spec in
+                  agree "token-dd"
+                    (project
+                       (Token_dd.detect ~seed comp spec).Detection.outcome)
+                    (project
+                       (streamed_outcome reader ~procs ~keep_rest:true
+                          ~detect:(Token_dd.detect ~seed))))
+                specs)
+            seeds)
+        densities)
+    sizes
+
+let test_stream_smoke () =
+  stream_sweep ~sizes:[ (4, 8); (5, 6) ] ~densities:[ 0.3 ] ~seeds:[ 1; 2 ]
+
+let test_stream_full () =
+  if Sys.getenv_opt "WCP_BTRACE_CHECK" = None then ()
+  else
+    stream_sweep
+      ~sizes:[ (2, 10); (3, 8); (4, 12); (8, 12); (16, 10) ]
+      ~densities:[ 0.02; 0.1; 0.3; 0.6 ]
+      ~seeds:[ 1; 2; 3; 4; 5 ]
+
+(* --- Corpus convert round-trip (make btrace-check) ----------------- *)
+
+let corpus_roundtrip () =
+  (* dune runs tests from the build directory; the traces live in the
+     source tree, two levels up. *)
+  let dir =
+    let candidates = [ "../../traces"; "../traces"; "traces" ] in
+    match List.find_opt Sys.file_exists candidates with
+    | Some d -> d
+    | None -> Alcotest.fail "trace corpus directory not found"
+  in
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".trace")
+    |> List.sort compare
+  in
+  Alcotest.(check bool) "corpus present" true (files <> []);
+  List.iter
+    (fun f ->
+      let comp = Trace_codec.read_file (Filename.concat dir f) in
+      let canon = Trace_codec.encode comp in
+      let back = Trace_codec.decode (Btrace.encode comp) in
+      Alcotest.(check string) f canon (Trace_codec.encode back))
+    files
+
+let () =
+  Alcotest.run "btrace"
+    [
+      ( "roundtrip",
+        [
+          prop_roundtrip_structural;
+          prop_reencode_identity;
+          prop_text_btrace_text;
+          prop_autodetect_decode;
+          prop_source_materialize;
+          prop_reader_accessors;
+        ] );
+      ("writer", [ prop_writer_bytes ]);
+      ( "corrupt",
+        [
+          Alcotest.test_case "structural fixtures" `Quick test_corrupt_fixtures;
+          Alcotest.test_case "wrapped as Parse_error" `Quick
+            test_corrupt_wrapped_as_parse_error;
+          Alcotest.test_case "writer abort cleans up" `Quick test_writer_abort;
+        ] );
+      ( "stream",
+        [
+          Alcotest.test_case "dense vs streamed smoke" `Quick test_stream_smoke;
+          Alcotest.test_case "full corpus (WCP_BTRACE_CHECK=1)" `Slow
+            test_stream_full;
+          Alcotest.test_case "corpus convert round-trip" `Quick
+            corpus_roundtrip;
+        ] );
+    ]

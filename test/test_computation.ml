@@ -362,8 +362,13 @@ let test_codec_errors () =
   expect_parse "bad op token" "wcp-trace v1\nn 2\nops 0 X:1\npred 0 0 0\n";
   expect_parse "no n" "wcp-trace v1\n";
   match Trace_codec.decode "wcp-trace v1\nn 2\nops 0 S1:0\npred 0 0 0\nops 1\npred 1 0\n" with
-  | exception Computation.Invalid _ -> ()
-  | _ -> Alcotest.fail "unreceived message should be Computation.Invalid"
+  | exception Trace_codec.Parse_error { line; message } ->
+      (* Causally unsound traces surface as Parse_error attributed to
+         the ops line that introduced the offending message. *)
+      Alcotest.(check int) "attributed line" 3 line;
+      Alcotest.(check string) "wrapped message"
+        "invalid computation: message 0 never received" message
+  | _ -> Alcotest.fail "unreceived message should be a wrapped Parse_error"
 
 let prop_codec_never_crashes =
   (* Decoding arbitrary bytes must either succeed or raise one of the
